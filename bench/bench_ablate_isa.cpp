@@ -1,0 +1,63 @@
+//===- bench_ablate_isa.cpp - §III-C portability across ISAs --------------===//
+//
+// The same schedule retargeted through different instruction libraries:
+// portable 128-bit lane kernels (the Neon-shaped schedule), AVX2 and
+// AVX-512 broadcast kernels. Full GEMM at each width.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil/Bench.h"
+#include "gemm/ExoProvider.h"
+#include "gemm/Gemm.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace gemm;
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  std::printf("Ablation: one schedule, three instruction libraries\n");
+
+  struct IsaCase {
+    const char *Label;
+    const exo::IsaLib *Isa;
+    int64_t Mr, Nr;
+  };
+  const IsaCase Cases[] = {
+      {"portable (128b lane, Neon-shaped)", &exo::portableIsa(), 8, 12},
+      {"avx2 (256b broadcast)", &exo::avx2Isa(), 8, 12},
+      {"avx512 (512b broadcast)", &exo::avx512Isa(), 16, 12},
+  };
+
+  std::vector<int64_t> Sizes = Opt.Big
+                                   ? std::vector<int64_t>{1024, 2048, 4096}
+                                   : std::vector<int64_t>{384, 768, 1152};
+  std::vector<std::string> Header{"isa"};
+  for (int64_t S : Sizes)
+    Header.push_back(std::to_string(S));
+  benchutil::Table T("ablate_isa_gflops", Header, Opt.Csv);
+
+  for (const IsaCase &C : Cases) {
+    if (!C.Isa->hostExecutable())
+      continue;
+    ExoProvider P(C.Mr, C.Nr, C.Isa);
+    GemmPlan Plan = GemmPlan::standard(P);
+    std::vector<double> Row;
+    for (int64_t S : Sizes) {
+      std::vector<float> A(S * S), B(S * S), Cm(S * S, 0.f);
+      benchutil::fillRandom(A.data(), A.size(), 1);
+      benchutil::fillRandom(B.data(), B.size(), 2);
+      double Secs = benchutil::timeIt(
+          [&] {
+            blisGemm(Plan, P, S, S, S, 1.f, A.data(), S, B.data(), S, 1.f,
+                     Cm.data(), S);
+          },
+          Opt.Seconds);
+      Row.push_back(benchutil::gflops(2.0 * S * S * S, Secs));
+    }
+    T.addRow(C.Label, Row);
+  }
+  T.print();
+  return 0;
+}

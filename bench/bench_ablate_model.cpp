@@ -1,0 +1,62 @@
+//===- bench_ablate_model.cpp - Analytical model vs fixed blocking --------===//
+//
+// The ALG+ series relies on the Low et al. analytical model for (mc, kc,
+// nc). This ablation compares it against a naive fixed blocking on square
+// problems.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil/Bench.h"
+#include "gemm/ExoProvider.h"
+#include "gemm/Gemm.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace gemm;
+
+namespace {
+
+double run(const GemmPlan &Plan, KernelProvider &P, int64_t S,
+           double Seconds) {
+  std::vector<float> A(S * S), B(S * S), C(S * S, 0.f);
+  benchutil::fillRandom(A.data(), A.size(), 1);
+  benchutil::fillRandom(B.data(), B.size(), 2);
+  double Secs = benchutil::timeIt(
+      [&] {
+        blisGemm(Plan, P, S, S, S, 1.f, A.data(), S, B.data(), S, 1.f,
+                 C.data(), S);
+      },
+      Seconds);
+  return benchutil::gflops(2.0 * S * S * S, Secs);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  std::printf("Ablation: analytical cache model vs fixed blocking "
+              "(ALG+EXO kernels)\n");
+
+  ExoProvider Exo(8, 12);
+  GemmPlan Model = GemmPlan::standard(Exo);
+  GemmPlan Fixed = Model;
+  Fixed.Blocks = fixedBlockSizes(8, 12);
+
+  std::printf("model:  %s\nfixed:  %s\ncaches: %s\n",
+              Model.Blocks.describe().c_str(),
+              Fixed.Blocks.describe().c_str(),
+              CacheConfig::host().describe().c_str());
+
+  benchutil::Table T("ablate_model_gflops",
+                     {"size", "analytical_model", "fixed_blocking"},
+                     Opt.Csv);
+  std::vector<int64_t> Sizes =
+      Opt.Big ? std::vector<int64_t>{1000, 2000, 4000}
+              : std::vector<int64_t>{256, 512, 1024, 1536};
+  for (int64_t S : Sizes)
+    T.addRow(std::to_string(S), {run(Model, Exo, S, Opt.Seconds),
+                                 run(Fixed, Exo, S, Opt.Seconds)});
+  T.print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- bench_ablate_shape.cpp - Micro-kernel shape sweep ------------------===//
+//
+// Why 8x12-class shapes win: solo-mode GFLOPS across the (MR, NR) plane at
+// fixed kc. Tall-skinny and short-wide tiles lose arithmetic intensity;
+// oversized tiles spill registers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil/Bench.h"
+#include "ukr/KernelRegistry.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace exo;
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  const int64_t Kc = 512;
+  std::printf("Ablation: micro-kernel shape sweep (solo mode, kc=%lld, "
+              "auto ISA per MR)\n",
+              static_cast<long long>(Kc));
+
+  std::vector<int64_t> Mrs = {4, 8, 16, 24, 32};
+  std::vector<int64_t> Nrs = {1, 2, 4, 6, 8, 12, 16};
+
+  std::vector<std::string> Header{"mr\\nr"};
+  for (int64_t Nr : Nrs)
+    Header.push_back(std::to_string(Nr));
+  benchutil::Table T("ablate_shape_gflops", Header, Opt.Csv);
+
+  for (int64_t Mr : Mrs) {
+    std::vector<double> Row;
+    for (int64_t Nr : Nrs) {
+      ukr::UkrConfig Cfg;
+      Cfg.MR = Mr;
+      Cfg.NR = Nr;
+      Cfg.Isa = ukr::bestIsaForMr(Mr);
+      if (!Cfg.Isa)
+        Cfg.Style = ukr::FmaStyle::Scalar;
+      auto K = ukr::KernelCache::global().get(Cfg);
+      if (!K || !(*K)->Fn) {
+        Row.push_back(0);
+        continue;
+      }
+      std::vector<float> Ac(Kc * Mr), Bc(Kc * Nr), C(Nr * Mr, 0.f);
+      benchutil::fillRandom(Ac.data(), Ac.size(), 1);
+      benchutil::fillRandom(Bc.data(), Bc.size(), 2);
+      ukr::MicroKernelF32 Fn = (*K)->Fn;
+      double Secs = benchutil::timeIt(
+          [&] { Fn(Kc, Mr, Ac.data(), Bc.data(), C.data()); }, Opt.Seconds);
+      Row.push_back(benchutil::gflops(2.0 * Mr * Nr * Kc, Secs));
+    }
+    T.addRow(std::to_string(Mr), Row);
+  }
+  T.print();
+  return 0;
+}

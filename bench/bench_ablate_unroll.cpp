@@ -1,0 +1,64 @@
+//===- bench_ablate_unroll.cpp - Unrolling ablation (§III step f) ---------===//
+//
+// Does the schedule's explicit load unrolling matter, and does fully
+// unrolling the compute loops help further? Solo-mode 8x12 kernels, three
+// variants per ISA.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil/Bench.h"
+#include "ukr/KernelRegistry.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace exo;
+
+namespace {
+
+double soloGflops(ukr::MicroKernelF32 Fn, int64_t Mr, int64_t Nr, int64_t Kc,
+                  double Seconds) {
+  std::vector<float> Ac(Kc * Mr), Bc(Kc * Nr), C(Nr * Mr, 0.f);
+  benchutil::fillRandom(Ac.data(), Ac.size(), 1);
+  benchutil::fillRandom(Bc.data(), Bc.size(), 2);
+  double Secs = benchutil::timeIt(
+      [&] { Fn(Kc, Mr, Ac.data(), Bc.data(), C.data()); }, Seconds);
+  return benchutil::gflops(2.0 * Mr * Nr * Kc, Secs);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  std::printf("Ablation: loop unrolling in the generated 8x12 kernel "
+              "(solo mode, kc=512)\n");
+
+  benchutil::Table T("ablate_unroll_gflops",
+                     {"isa", "rolled_loads", "unrolled_loads(paper)",
+                      "fully_unrolled"},
+                     Opt.Csv);
+
+  for (const IsaLib *Isa : {&portableIsa(), &avx2Isa(), &avx512Isa()}) {
+    if (!Isa->hostExecutable())
+      continue;
+    int64_t Mr = Isa->lanes(ScalarKind::F32) == 16 ? 16 : 8;
+    std::vector<double> Row;
+    for (int Variant = 0; Variant != 3; ++Variant) {
+      ukr::UkrConfig Cfg;
+      Cfg.MR = Mr;
+      Cfg.NR = 12;
+      Cfg.Isa = Isa;
+      Cfg.UnrollLoads = Variant >= 1;
+      Cfg.UnrollCompute = Variant == 2;
+      auto K = ukr::KernelCache::global().get(Cfg);
+      if (!K || !(*K)->Fn) {
+        Row.push_back(0);
+        continue;
+      }
+      Row.push_back(soloGflops((*K)->Fn, Mr, 12, 512, Opt.Seconds));
+    }
+    T.addRow(Isa->name(), Row);
+  }
+  T.print();
+  return 0;
+}

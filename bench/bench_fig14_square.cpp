@@ -1,0 +1,36 @@
+//===- bench_fig14_square.cpp - Paper Figure 14 ---------------------------===//
+//
+// Squarish GEMM through the full BLIS-like algorithm with the analytical
+// blocking model. Default sizes are scaled down to keep the suite fast;
+// --big runs the paper's {1000, 2000, 4000, 5000}. Expected shape (paper
+// Fig. 14): BLIS (in-kernel prefetch) and ALG+EXO lead; ALG+EXO beats the
+// other ALG+ series; ALG+NEON trails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigCommon.h"
+
+#include "exo/support/Str.h"
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  std::vector<int64_t> Sizes = Opt.Big
+                                   ? std::vector<int64_t>{1000, 2000, 4000, 5000}
+                                   : std::vector<int64_t>{256, 512, 1024, 1536};
+
+  std::printf("Figure 14: squarish GEMM (m = n = k)%s\n",
+              Opt.Big ? " [paper sizes]" : " [scaled; use --big]");
+  benchutil::Table T("fig14_square_gflops",
+                     {"size", "ALG+NEON", "ALG+BLIS", "ALG+EXO", "BLIS"},
+                     Opt.Csv);
+  for (int64_t S : Sizes) {
+    auto [Mr, Nr] = gemm::ExoProvider::pickShape(S, S, &exo::avx2Isa());
+    std::vector<double> Row = fig::gemmSeriesGflops(S, S, S, Opt.Seconds);
+    T.addRow(exo::strf("%lld (exo %lldx%lld)", static_cast<long long>(S),
+                       static_cast<long long>(Mr),
+                       static_cast<long long>(Nr)),
+             Row);
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- bench_fig15_resnet.cpp - Paper Figure 15 (and Table I) -------------===//
+//
+// Per-layer GFLOPS for the 20 unique ResNet50 v1.5 im2row GEMMs. Expected
+// shape (paper Fig. 15): ALG+EXO is the best option on roughly half the
+// layers (the edge-rich ones), BLIS-with-prefetch on most of the rest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigCommon.h"
+
+#include "exo/support/Str.h"
+
+#include "dnn/Models.h"
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+
+  std::printf("Table I: ResNet50 v1.5 im2row GEMM shapes\n");
+  benchutil::Table Tab("table1_resnet50_shapes",
+                       {"layer", "layers", "m", "n", "k"}, Opt.Csv);
+  for (const dnn::LayerGemm &L : dnn::resnet50Layers())
+    Tab.addRow({std::to_string(L.Id), L.Layers, std::to_string(L.M),
+                std::to_string(L.N), std::to_string(L.K)});
+  Tab.print();
+
+  std::printf("\nFigure 15: per-layer performance, ResNet50 v1.5\n");
+  benchutil::Table T("fig15_resnet_gflops",
+                     {"layer", "ALG+NEON", "ALG+BLIS", "ALG+EXO", "BLIS",
+                      "winner"},
+                     Opt.Csv);
+  int ExoWins = 0;
+  for (const dnn::LayerGemm &L : dnn::resnet50Layers()) {
+    std::vector<double> Row =
+        fig::gemmSeriesGflops(L.M, L.N, L.K, Opt.Seconds);
+    size_t Win = 0;
+    for (size_t I = 1; I < Row.size(); ++I)
+      if (Row[I] > Row[Win])
+        Win = I;
+    if (fig::seriesNames()[Win] == "ALG+EXO")
+      ++ExoWins;
+    std::vector<std::string> Cells{std::to_string(L.Id)};
+    for (double V : Row)
+      Cells.push_back(exo::strf("%.2f", V));
+    Cells.push_back(fig::seriesNames()[Win]);
+    T.addRow(std::move(Cells));
+  }
+  T.print();
+  std::printf("ALG+EXO is the best option for %d of %zu layers "
+              "(paper: 9 of 20 on Carmel).\n",
+              ExoWins, dnn::resnet50Layers().size());
+  return 0;
+}

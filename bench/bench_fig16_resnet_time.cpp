@@ -1,0 +1,34 @@
+//===- bench_fig16_resnet_time.cpp - Paper Figure 16 ----------------------===//
+//
+// Aggregated GEMM time for one ResNet50 v1.5 inference pass (batch 1):
+// sum over all 53 layer instances of per-layer time. Expected shape (paper
+// Fig. 16): ALG+EXO lowest total, then BLIS, ALG+BLIS, ALG+NEON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigCommon.h"
+
+#include "dnn/Models.h"
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  std::printf("Figure 16: aggregated inference GEMM time, ResNet50 v1.5\n");
+
+  std::vector<double> Total(fig::seriesNames().size(), 0.0);
+  double TotalFlops = 0;
+  for (const dnn::LayerGemm &L : dnn::resnet50Layers()) {
+    std::vector<double> Secs =
+        fig::gemmSeriesSeconds(L.M, L.N, L.K, Opt.Seconds);
+    for (size_t I = 0; I != Secs.size(); ++I)
+      Total[I] += Secs[I] * L.Count;
+    TotalFlops += L.flops() * L.Count;
+  }
+
+  benchutil::Table T("fig16_resnet_time",
+                     {"series", "time_ms", "aggregate_gflops"}, Opt.Csv);
+  for (size_t I = 0; I != Total.size(); ++I)
+    T.addRow(fig::seriesNames()[I],
+             {Total[I] * 1e3, benchutil::gflops(TotalFlops, Total[I])});
+  T.print();
+  return 0;
+}

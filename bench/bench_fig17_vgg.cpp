@@ -1,0 +1,46 @@
+//===- bench_fig17_vgg.cpp - Paper Figure 17 (and Table II) ---------------===//
+//
+// Per-layer GFLOPS for the 9 unique VGG16 im2row GEMMs. Expected shape
+// (paper Fig. 17): EXO best on a few layers, BLIS-with-prefetch on several,
+// ALG+BLIS on a couple; overall close.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigCommon.h"
+
+#include "exo/support/Str.h"
+
+#include "dnn/Models.h"
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+
+  std::printf("Table II: VGG16 im2row GEMM shapes\n");
+  benchutil::Table Tab("table2_vgg16_shapes",
+                       {"layer", "layers", "m", "n", "k"}, Opt.Csv);
+  for (const dnn::LayerGemm &L : dnn::vgg16Layers())
+    Tab.addRow({std::to_string(L.Id), L.Layers, std::to_string(L.M),
+                std::to_string(L.N), std::to_string(L.K)});
+  Tab.print();
+
+  std::printf("\nFigure 17: per-layer performance, VGG16\n");
+  benchutil::Table T("fig17_vgg_gflops",
+                     {"layer", "ALG+NEON", "ALG+BLIS", "ALG+EXO", "BLIS",
+                      "winner"},
+                     Opt.Csv);
+  for (const dnn::LayerGemm &L : dnn::vgg16Layers()) {
+    std::vector<double> Row =
+        fig::gemmSeriesGflops(L.M, L.N, L.K, Opt.Seconds);
+    size_t Win = 0;
+    for (size_t I = 1; I < Row.size(); ++I)
+      if (Row[I] > Row[Win])
+        Win = I;
+    std::vector<std::string> Cells{std::to_string(L.Id)};
+    for (double V : Row)
+      Cells.push_back(exo::strf("%.2f", V));
+    Cells.push_back(fig::seriesNames()[Win]);
+    T.addRow(std::move(Cells));
+  }
+  T.print();
+  return 0;
+}

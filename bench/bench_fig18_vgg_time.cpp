@@ -1,0 +1,33 @@
+//===- bench_fig18_vgg_time.cpp - Paper Figure 18 -------------------------===//
+//
+// Aggregated GEMM time for one VGG16 inference pass (batch 1). Expected
+// shape (paper Fig. 18): ALG+EXO and BLIS close at the top.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigCommon.h"
+
+#include "dnn/Models.h"
+
+int main(int Argc, char **Argv) {
+  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  std::printf("Figure 18: aggregated inference GEMM time, VGG16\n");
+
+  std::vector<double> Total(fig::seriesNames().size(), 0.0);
+  double TotalFlops = 0;
+  for (const dnn::LayerGemm &L : dnn::vgg16Layers()) {
+    std::vector<double> Secs =
+        fig::gemmSeriesSeconds(L.M, L.N, L.K, Opt.Seconds);
+    for (size_t I = 0; I != Secs.size(); ++I)
+      Total[I] += Secs[I] * L.Count;
+    TotalFlops += L.flops() * L.Count;
+  }
+
+  benchutil::Table T("fig18_vgg_time",
+                     {"series", "time_ms", "aggregate_gflops"}, Opt.Csv);
+  for (size_t I = 0; I != Total.size(); ++I)
+    T.addRow(fig::seriesNames()[I],
+             {Total[I] * 1e3, benchutil::gflops(TotalFlops, Total[I])});
+  T.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench_gbench_micro.cpp - google-benchmark micro-kernel timings -----===//
+//
+// Fine-grained micro-kernel latencies under google-benchmark: generated
+// kernels at several shapes, and the hand-written baselines, all in solo
+// mode on packed panels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchutil/Bench.h"
+#include "gemm/ExoProvider.h"
+#include "gemm/Kernels.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace gemm;
+
+namespace {
+
+/// Shared solo-mode fixture: runs a KernelFn on fresh packed panels.
+void runKernelBench(benchmark::State &State, KernelFn Fn, int64_t Mr,
+                    int64_t Nr) {
+  const int64_t Kc = State.range(0);
+  std::vector<float> Ac(Kc * Mr), Bc(Kc * Nr), C(Nr * Mr, 0.f);
+  benchutil::fillRandom(Ac.data(), Ac.size(), 1);
+  benchutil::fillRandom(Bc.data(), Bc.size(), 2);
+  for (auto _ : State) {
+    Fn(Kc, Mr, Ac.data(), Bc.data(), C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * Mr * Nr * Kc);
+}
+
+void BM_ExoKernel(benchmark::State &State, int64_t Mr, int64_t Nr) {
+  static ExoProvider Exo(8, 12);
+  auto K = Exo.shape(Mr, Nr);
+  if (!K || !K->Fn) {
+    State.SkipWithError("kernel unavailable");
+    return;
+  }
+  runKernelBench(State, K->Fn, Mr, Nr);
+}
+
+void BM_HandVector(benchmark::State &State) {
+  if (!baselineKernelsUsable()) {
+    State.SkipWithError("no AVX2");
+    return;
+  }
+  runKernelBench(State, &handVectorKernel8x12, 8, 12);
+}
+
+void BM_BlisStyle(benchmark::State &State) {
+  if (!baselineKernelsUsable()) {
+    State.SkipWithError("no AVX2");
+    return;
+  }
+  runKernelBench(State, &blisStyleKernel8x12Prefetch, 8, 12);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_ExoKernel, 8x12, 8, 12)->Arg(128)->Arg(512);
+BENCHMARK_CAPTURE(BM_ExoKernel, 8x4, 8, 4)->Arg(512);
+BENCHMARK_CAPTURE(BM_ExoKernel, 4x4, 4, 4)->Arg(512);
+BENCHMARK_CAPTURE(BM_ExoKernel, 16x12, 16, 12)->Arg(512);
+BENCHMARK(BM_HandVector)->Arg(512);
+BENCHMARK(BM_BlisStyle)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+//===- custom_instructions.cpp - A user-defined instruction library -------===//
+//
+// The paper's §II-B point: hardware descriptions are *user input*, not
+// compiler internals. This example defines a brand-new 4-lane "ISA" whose
+// intrinsics belong to an imaginary `mylib_*` C API, registers its memory
+// space and instructions at runtime, runs the standard schedule against it,
+// and prints the generated C — no changes to the compiler required.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/ir/Builder.h"
+#include "exo/ir/Printer.h"
+#include "exo/sched/Schedule.h"
+#include "ukr/UkrSpec.h"
+
+#include <cstdio>
+
+using namespace exo;
+
+namespace {
+
+/// Builds `dst[i] = src[i]` over 4 lanes — the semantic definition the
+/// `replace` directive verifies against (compare the paper's Fig. 3).
+InstrPtr makeMyLoad(const MemSpace *Reg) {
+  ProcBuilder B("mylib_load4");
+  B.tensorParam("dst", ScalarKind::F32, {idx(4)}, Reg, /*Mutable=*/true);
+  B.tensorParam("src", ScalarKind::F32, {idx(4)}, MemSpace::dram(), false);
+  ExprPtr I = B.beginFor("i", idx(0), idx(4));
+  B.assign("dst", {I}, B.readOf("src", {I}));
+  B.endFor();
+  return Instr::make(B.build(), "{dst_data} = mylib_load4(&{src_data});");
+}
+
+InstrPtr makeMyStore(const MemSpace *Reg) {
+  ProcBuilder B("mylib_store4");
+  B.tensorParam("dst", ScalarKind::F32, {idx(4)}, MemSpace::dram(), true);
+  B.tensorParam("src", ScalarKind::F32, {idx(4)}, Reg, /*Mutable=*/false);
+  ExprPtr I = B.beginFor("i", idx(0), idx(4));
+  B.assign("dst", {I}, B.readOf("src", {I}));
+  B.endFor();
+  return Instr::make(B.build(), "mylib_store4(&{dst_data}, {src_data});");
+}
+
+InstrPtr makeMyFma(const MemSpace *Reg) {
+  ProcBuilder B("mylib_fma_lane4");
+  B.tensorParam("dst", ScalarKind::F32, {idx(4)}, Reg, true);
+  B.tensorParam("lhs", ScalarKind::F32, {idx(4)}, Reg, false);
+  B.tensorParam("rhs", ScalarKind::F32, {idx(4)}, Reg, false);
+  ExprPtr L = B.indexParam("l");
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Ge, L, idx(0)));
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Lt, L, idx(4)));
+  ExprPtr I = B.beginFor("i", idx(0), idx(4));
+  B.reduce("dst", {I}, B.readOf("lhs", {I}) * B.readOf("rhs", {L}));
+  B.endFor();
+  return Instr::make(B.build(),
+                     "{dst_data} = mylib_fma_lane4({dst_data}, {lhs_data}, "
+                     "{rhs_data}, {l});");
+}
+
+} // namespace
+
+int main() {
+  // 1. Register a 128-bit register file for the imaginary hardware.
+  const MemSpace *Reg = MemSpace::makeRegisterFile(
+      "MyVec", {{ScalarKind::F32, {"mylib_v4f", 4}}});
+  InstrPtr Vld = makeMyLoad(Reg);
+  InstrPtr Vst = makeMyStore(Reg);
+  InstrPtr Fma = makeMyFma(Reg);
+
+  // 2. Run the paper's schedule with the new instructions (a condensed
+  //    4x4 variant to keep the output short).
+  auto Step = [](Expected<Proc> P) {
+    if (!P) {
+      std::fprintf(stderr, "schedule failed: %s\n", P.message().c_str());
+      std::exit(1);
+    }
+    return P.take();
+  };
+  Proc P = renameProc(ukr::makeUkernelRef(), "uk_4x4_mylib");
+  P = Step(partialEval(P, {{"MR", 4}, {"NR", 4}}));
+  P = Step(stageMem(P, "C[_] += _", "C", "C_reg"));
+  P = Step(expandDim(P, "C_reg", idx(4), var("i")));
+  P = Step(expandDim(P, "C_reg", idx(4), var("j")));
+  P = Step(liftAlloc(P, "C_reg", 3));
+  P = Step(autofission(P, "C_reg[_] = _", /*After=*/true, 3));
+  P = Step(autofission(P, "C[_] = _", /*After=*/false, 3));
+  P = Step(replaceWithInstr(P, "for i in _: _ #0", Vld));
+  P = Step(replaceWithInstr(P, "for i in _: _ #1", Vst));
+  P = Step(setMemory(P, "C_reg", Reg));
+  P = Step(bindExpr(P, "Ac[_]", "A_reg"));
+  P = Step(expandDim(P, "A_reg", idx(4), var("i")));
+  P = Step(liftAlloc(P, "A_reg", 3));
+  P = Step(autofission(P, "A_reg[_] = _", /*After=*/true, 2));
+  P = Step(replaceWithInstr(P, "for i in _: _ #0", Vld));
+  P = Step(setMemory(P, "A_reg", Reg));
+  P = Step(bindExpr(P, "Bc[_]", "B_reg"));
+  P = Step(expandDim(P, "B_reg", idx(4), var("j")));
+  P = Step(liftAlloc(P, "B_reg", 3));
+  P = Step(autofission(P, "B_reg[_] = _", /*After=*/true, 2));
+  P = Step(replaceWithInstr(P, "for j in _: _ #1", Vld));
+  P = Step(setMemory(P, "B_reg", Reg));
+  P = Step(replaceWithInstr(P, "for i in _: _ #0", Fma));
+
+  std::printf("=== scheduled against the user-defined library ===\n%s\n",
+              printProc(P).c_str());
+  std::printf("The `replace` directives above were *verified*: an\n"
+              "instruction only substitutes a loop that matches its\n"
+              "semantic definition, so a wrong mylib_* description would\n"
+              "have been rejected.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- quickstart.cpp - Build a micro-kernel step by step -----------------===//
+//
+// The repository's "hello world": reproduces the paper's §III walkthrough.
+// Starting from the naive micro-kernel specification (Fig. 5), it applies
+// the schedule one step at a time, printing the intermediate program after
+// the milestones shown in the paper's Figs. 6-11, emits the final C, and —
+// because this machine can run the portable instruction library — JIT
+// compiles the kernel and verifies it against a naive loop.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/ir/Printer.h"
+#include "ukr/KernelRegistry.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace exo;
+
+int main() {
+  // Configure the paper's flagship: an 8x12 f32 kernel, lane-FMA schedule.
+  // Swap `portableIsa()` for `neonIsa()` to emit the paper's exact ARM code
+  // (which this x86 host cannot execute but any aarch64 compiler accepts).
+  ukr::UkrConfig Cfg;
+  Cfg.MR = 8;
+  Cfg.NR = 12;
+  Cfg.Isa = &portableIsa();
+  Cfg.Style = ukr::FmaStyle::Lane;
+
+  auto R = ukr::generateUkernel(Cfg);
+  if (!R) {
+    std::fprintf(stderr, "schedule failed: %s\n", R.message().c_str());
+    return 1;
+  }
+
+  // Print the milestones of the §III walkthrough.
+  const char *Milestones[] = {
+      "partial_eval",     // v1, Fig. 6
+      "divide_loop j",    // v2, Fig. 7
+      "set_memory C_reg", // v3, Fig. 8
+      "set_memory B_reg", // v4, Fig. 9
+      "replace fmla",     // v5, Fig. 10
+      "unroll B load",    // v6, Fig. 11
+  };
+  int V = 1;
+  for (const char *M : Milestones) {
+    for (const ukr::UkrStep &S : R->Steps) {
+      if (S.Label != M)
+        continue;
+      std::printf("=== v%d (after %s) ===\n%s\n", V++, M,
+                  printProc(S.P).c_str());
+    }
+  }
+
+  std::printf("=== generated C ===\n%s\n", R->CSource.c_str());
+
+  // Compile and verify.
+  auto K = ukr::buildKernel(Cfg);
+  if (!K || !K->Fn) {
+    std::fprintf(stderr, "kernel unavailable: %s\n",
+                 K ? "not executable on this host" : K.message().c_str());
+    return 1;
+  }
+  const int64_t KC = 64, Ldc = 8;
+  std::vector<float> Ac(KC * 8), Bc(KC * 12), C(12 * 8, 0.f),
+      Want(12 * 8, 0.f);
+  for (size_t I = 0; I != Ac.size(); ++I)
+    Ac[I] = static_cast<float>(I % 7) - 3;
+  for (size_t I = 0; I != Bc.size(); ++I)
+    Bc[I] = static_cast<float>(I % 5) - 2;
+  for (int64_t J = 0; J < 12; ++J)
+    for (int64_t I = 0; I < 8; ++I)
+      for (int64_t P = 0; P < KC; ++P)
+        Want[J * Ldc + I] += Ac[P * 8 + I] * Bc[P * 12 + J];
+  K->Fn(KC, Ldc, Ac.data(), Bc.data(), C.data());
+  for (size_t I = 0; I != C.size(); ++I)
+    if (C[I] != Want[I]) {
+      std::fprintf(stderr, "MISMATCH at %zu\n", I);
+      return 1;
+    }
+  std::printf("JIT-compiled kernel verified against the naive loop. All "
+              "good.\n");
+  return 0;
+}

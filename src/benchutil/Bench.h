@@ -1,0 +1,74 @@
+//===- Bench.h - Timing and reporting helpers -----------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock measurement in the style of the paper's driver: run the
+/// workload repeatedly until a minimum duration elapses (the paper uses 5
+/// seconds in solo mode; these benches default lower so the full suite runs
+/// in minutes — raise with --seconds or EXO_BENCH_SECONDS), then report
+/// GFLOPS. Also provides the aligned-column table printer the fig benches
+/// share, and common CLI parsing (--big, --seconds, --csv).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCHUTIL_BENCH_H
+#define BENCHUTIL_BENCH_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// CLI/env options shared by the fig benches.
+struct BenchOptions {
+  /// Use the paper's full problem sizes instead of scaled defaults.
+  bool Big = false;
+  /// Minimum measured seconds per data point.
+  double Seconds = 0.25;
+  /// Also print machine-readable CSV lines (prefix "CSV,").
+  bool Csv = false;
+
+  static BenchOptions parse(int Argc, char **Argv);
+};
+
+/// Runs \p Fn repeatedly until \p MinSeconds elapse (at least once) and
+/// returns the average seconds per run.
+double timeIt(const std::function<void()> &Fn, double MinSeconds);
+
+/// GFLOPS for \p Flops work done in \p Seconds.
+inline double gflops(double Flops, double Seconds) {
+  return Flops / Seconds * 1e-9;
+}
+
+/// Aligned-column table with a title, header and float formatting; prints
+/// to stdout. Optionally mirrors rows as CSV.
+class Table {
+public:
+  Table(std::string Title, std::vector<std::string> Header, bool Csv);
+
+  void addRow(std::vector<std::string> Cells);
+  /// Convenience: first cell is a label, the rest are %.2f numbers.
+  void addRow(const std::string &Label, const std::vector<double> &Values);
+  void print() const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  bool Csv;
+};
+
+/// Fills \p N floats with a reproducible pattern in [-1, 1].
+void fillRandom(float *Data, size_t N, unsigned Seed);
+
+/// Max |A[i] - B[i]| over N elements.
+float maxAbsDiff(const float *A, const float *B, size_t N);
+
+} // namespace benchutil
+
+#endif // BENCHUTIL_BENCH_H

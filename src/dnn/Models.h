@@ -1,0 +1,51 @@
+//===- Models.h - DNN layer GEMM workloads --------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rectangular GEMM workloads of the paper's §IV-C: the (m, n, k)
+/// problems produced by applying the IM2ROW transform to the convolution
+/// layers of ResNet50 v1.5 and VGG16 at batch size 1 — the paper's Tables I
+/// and II, including the layer-number multiplicities (layers that share a
+/// shape are listed once but run as often as they occur in the model, which
+/// is what the aggregated-time figures 16/18 sum over).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DNN_MODELS_H
+#define DNN_MODELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnn {
+
+/// One unique GEMM shape of a model.
+struct LayerGemm {
+  int Id = 0;          ///< Layer id. in the paper's table.
+  std::string Layers;  ///< Layer numbers sharing the shape ("009/021/031").
+  int Count = 1;       ///< Multiplicity in one inference pass.
+  int64_t M = 0, N = 0, K = 0;
+
+  double flops() const { return 2.0 * M * N * K; }
+};
+
+/// Table I: ResNet50 v1.5, batch 1 (20 unique shapes, 53 layer instances).
+const std::vector<LayerGemm> &resnet50Layers();
+
+/// Table II: VGG16, batch 1 (9 unique shapes, 13 layer instances).
+const std::vector<LayerGemm> &vgg16Layers();
+
+/// Derives an IM2ROW GEMM shape from convolution parameters (used by the
+/// conv-lowering example and tests that re-derive the tables):
+/// m = out_h*out_w, n = out_channels, k = kh*kw*in_channels.
+LayerGemm im2rowGemm(int Id, int64_t InC, int64_t OutC, int64_t InH,
+                     int64_t InW, int64_t Kh, int64_t Kw, int64_t Stride,
+                     int64_t Pad);
+
+} // namespace dnn
+
+#endif // DNN_MODELS_H

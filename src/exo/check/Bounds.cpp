@@ -1,0 +1,322 @@
+//===- Bounds.cpp ---------------------------------------------------------===//
+
+#include "exo/check/Bounds.h"
+
+#include "exo/ir/Affine.h"
+#include "exo/ir/Printer.h"
+
+#include <map>
+#include <optional>
+
+using namespace exo;
+
+namespace {
+
+/// Symbolic bounds of one variable: linear forms over size parameters.
+struct VarBounds {
+  LinExpr Lower;
+  LinExpr Upper; // Inclusive.
+};
+
+class BoundsChecker {
+public:
+  explicit BoundsChecker(const Proc &P) : P(P) {}
+
+  Error run();
+
+private:
+  Error checkBody(const std::vector<StmtPtr> &Body);
+  Error checkStmt(const StmtPtr &S);
+  Error checkAccess(const std::string &Buf, const std::vector<ExprPtr> &Idx,
+                    const char *What);
+  Error checkWindow(const CallArg &A, const Param &Pa);
+  /// Checks every read inside a value expression.
+  Error checkReads(const ExprPtr &E);
+
+  /// Bounds an index expression over the current environment; nullopt when
+  /// the expression is non-affine or a variable is unbounded.
+  std::optional<LinExpr> boundExpr(const ExprPtr &E, bool Upper);
+
+  /// True when \p L is provably >= 0 given every size parameter >= 1.
+  bool provablyNonNegative(const LinExpr &L) const {
+    int64_t Min = L.Const;
+    for (const auto &[V, K] : L.Coeffs) {
+      if (!isSizeParam(V))
+        return false; // Leftover loop variable — bounding failed upstream.
+      if (K < 0)
+        return false; // Sizes are unbounded above.
+      Min += K;
+    }
+    return Min >= 0;
+  }
+
+  bool isSizeParam(const std::string &Name) const {
+    const Param *Pa = P.findParam(Name);
+    return Pa && Pa->PKind == Param::Kind::Size;
+  }
+
+  const Proc &P;
+  std::map<std::string, VarBounds> Env;
+};
+
+std::optional<LinExpr> BoundsChecker::boundExpr(const ExprPtr &E,
+                                                bool Upper) {
+  auto L = linearize(E);
+  if (!L)
+    return std::nullopt;
+  LinExpr Out;
+  Out.Const = L->Const;
+  for (const auto &[V, K] : L->Coeffs) {
+    if (isSizeParam(V)) {
+      Out.Coeffs[V] += K;
+      continue;
+    }
+    auto It = Env.find(V);
+    if (It == Env.end())
+      return std::nullopt;
+    // Positive coefficients take the variable's extreme in the requested
+    // direction; negative ones take the opposite.
+    const LinExpr &Ext = (K > 0) == Upper ? It->second.Upper
+                                          : It->second.Lower;
+    LinExpr Scaled = Ext;
+    Scaled *= K;
+    Out += Scaled;
+  }
+  Out.normalize();
+  return Out;
+}
+
+Error BoundsChecker::checkAccess(const std::string &Buf,
+                                 const std::vector<ExprPtr> &Idx,
+                                 const char *What) {
+  auto Info = P.findBuffer(Buf);
+  if (!Info)
+    return errorf("%s: unknown buffer '%s'", What, Buf.c_str());
+  if (Idx.size() != Info->Shape.size())
+    return errorf("%s: '%s' has rank %zu, accessed with %zu indices", What,
+                  Buf.c_str(), Info->Shape.size(), Idx.size());
+  for (size_t D = 0; D != Idx.size(); ++D) {
+    auto Lo = boundExpr(Idx[D], /*Upper=*/false);
+    auto Hi = boundExpr(Idx[D], /*Upper=*/true);
+    auto Extent = linearize(Info->Shape[D]);
+    if (!Lo || !Hi || !Extent)
+      return errorf("%s: cannot bound index %zu of '%s' (%s)", What, D,
+                    Buf.c_str(), printExpr(Idx[D]).c_str());
+    if (!provablyNonNegative(*Lo))
+      return errorf("%s: index %zu of '%s' may be negative (%s)", What, D,
+                    Buf.c_str(), printExpr(Idx[D]).c_str());
+    // extent - 1 - upper >= 0.
+    LinExpr Slack = *Extent;
+    Slack.Const -= 1;
+    Slack -= *Hi;
+    if (!provablyNonNegative(Slack))
+      return errorf("%s: index %zu of '%s' may exceed its extent (%s)",
+                    What, D, Buf.c_str(), printExpr(Idx[D]).c_str());
+  }
+  return Error::success();
+}
+
+Error BoundsChecker::checkWindow(const CallArg &A, const Param &Pa) {
+  auto Info = P.findBuffer(A.Buf);
+  if (!Info)
+    return errorf("call: unknown buffer '%s'", A.Buf.c_str());
+  if (A.Dims.size() != Info->Shape.size())
+    return errorf("call: window rank mismatch on '%s'", A.Buf.c_str());
+  size_t WinDims = 0;
+  for (size_t D = 0; D != A.Dims.size(); ++D) {
+    const WindowDim &W = A.Dims[D];
+    ExprPtr LoE = W.isPoint() ? W.Point : W.Lo;
+    ExprPtr HiE = W.isPoint() ? W.Point : foldExpr(W.Lo + W.Len - 1);
+    auto Lo = boundExpr(LoE, false);
+    auto Hi = boundExpr(HiE, true);
+    auto Extent = linearize(Info->Shape[D]);
+    if (!Lo || !Hi || !Extent)
+      return errorf("call: cannot bound window dim %zu of '%s'", D,
+                    A.Buf.c_str());
+    if (!provablyNonNegative(*Lo))
+      return errorf("call: window dim %zu of '%s' may be negative", D,
+                    A.Buf.c_str());
+    LinExpr Slack = *Extent;
+    Slack.Const -= 1;
+    Slack -= *Hi;
+    if (!provablyNonNegative(Slack))
+      return errorf("call: window dim %zu of '%s' may exceed its extent", D,
+                    A.Buf.c_str());
+    if (!W.isPoint())
+      ++WinDims;
+  }
+  if (WinDims != Pa.Shape.size())
+    return errorf("call: window into '%s' has %zu ranges, parameter '%s' "
+                  "wants %zu",
+                  A.Buf.c_str(), WinDims, Pa.Name.c_str(), Pa.Shape.size());
+  return Error::success();
+}
+
+Error BoundsChecker::checkStmt(const StmtPtr &S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castS<AssignStmt>(S);
+    if (Error Err = checkAccess(A->buffer(), A->indices(), "write"))
+      return Err;
+    return checkReads(A->rhs());
+  }
+  case Stmt::Kind::For: {
+    const auto *F = castS<ForStmt>(S);
+    auto Lo = boundExpr(F->lo(), /*Upper=*/false);
+    auto Hi = boundExpr(F->hi(), /*Upper=*/true);
+    if (!Lo || !Hi)
+      return errorf("cannot bound loop '%s'", F->loopVar().c_str());
+    VarBounds VB;
+    VB.Lower = *Lo;
+    VB.Upper = *Hi;
+    VB.Upper.Const -= 1; // seq(lo, hi) runs to hi - 1.
+    auto Saved = Env.find(F->loopVar()) != Env.end()
+                     ? std::optional<VarBounds>(Env[F->loopVar()])
+                     : std::nullopt;
+    Env[F->loopVar()] = VB;
+    Error Err = checkBody(F->body());
+    if (Saved)
+      Env[F->loopVar()] = *Saved;
+    else
+      Env.erase(F->loopVar());
+    return Err;
+  }
+  case Stmt::Kind::Alloc:
+    return Error::success();
+  case Stmt::Kind::Call: {
+    const auto *C = castS<CallStmt>(S);
+    const auto &Params = C->callee()->semantics().params();
+    const auto &Args = C->args();
+    if (Params.size() != Args.size())
+      return errorf("call to '%s': arity mismatch",
+                    C->callee()->name().c_str());
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (Args[I].isWindow()) {
+        if (Error Err = checkWindow(Args[I], Params[I]))
+          return Err;
+        continue;
+      }
+      if (Params[I].PKind != Param::Kind::IndexVal)
+        continue;
+      // Scalar index arguments must satisfy the callee's constant-range
+      // preconditions (e.g. the lane checks `l >= 0`, `l < 4`).
+      for (const ExprPtr &Pre : C->callee()->semantics().preconds()) {
+        const auto *B = dyn_cast<BinOpExpr>(Pre);
+        if (!B)
+          continue;
+        const auto *V = dyn_cast<VarExpr>(B->lhs());
+        if (!V || V->name() != Params[I].Name)
+          continue;
+        auto Rhs = tryConstFold(B->rhs());
+        if (!Rhs)
+          continue;
+        if (B->op() == BinOpExpr::Op::Ge) {
+          auto Lo = boundExpr(Args[I].Scalar, /*Upper=*/false);
+          if (!Lo)
+            return errorf("call to '%s': cannot bound lane argument '%s'",
+                          C->callee()->name().c_str(),
+                          Params[I].Name.c_str());
+          LinExpr Slack = *Lo;
+          Slack.Const -= *Rhs;
+          if (!provablyNonNegative(Slack))
+            return errorf("call to '%s': lane '%s' may violate >= %lld",
+                          C->callee()->name().c_str(),
+                          Params[I].Name.c_str(),
+                          static_cast<long long>(*Rhs));
+        } else if (B->op() == BinOpExpr::Op::Lt ||
+                   B->op() == BinOpExpr::Op::Le) {
+          auto Hi = boundExpr(Args[I].Scalar, /*Upper=*/true);
+          if (!Hi)
+            return errorf("call to '%s': cannot bound lane argument '%s'",
+                          C->callee()->name().c_str(),
+                          Params[I].Name.c_str());
+          int64_t Limit = B->op() == BinOpExpr::Op::Lt ? *Rhs - 1 : *Rhs;
+          LinExpr Slack;
+          Slack.Const = Limit;
+          Slack -= *Hi;
+          if (!provablyNonNegative(Slack))
+            return errorf("call to '%s': lane '%s' may exceed %lld",
+                          C->callee()->name().c_str(),
+                          Params[I].Name.c_str(),
+                          static_cast<long long>(Limit));
+        }
+      }
+    }
+    return Error::success();
+  }
+  }
+  return errorf("unknown statement kind");
+}
+
+Error BoundsChecker::checkReads(const ExprPtr &E) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return Error::success();
+  case Expr::Kind::Read: {
+    const auto *R = cast<ReadExpr>(E);
+    return checkAccess(R->buffer(), R->indices(), "read");
+  }
+  case Expr::Kind::USub:
+    return checkReads(cast<USubExpr>(E)->operand());
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    if (Error Err = checkReads(B->lhs()))
+      return Err;
+    return checkReads(B->rhs());
+  }
+  }
+  return errorf("unknown expression kind");
+}
+
+Error BoundsChecker::checkBody(const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &S : Body)
+    if (Error Err = checkStmt(S))
+      return Err;
+  return Error::success();
+}
+
+Error BoundsChecker::run() {
+  // Index parameters pick up bounds from preconditions of the forms
+  // `v >= c`, `v <= e`, `v < e`.
+  for (const Param &Pa : P.params()) {
+    if (Pa.PKind != Param::Kind::IndexVal)
+      continue;
+    std::optional<LinExpr> Lower, Upper;
+    for (const ExprPtr &Pre : P.preconds()) {
+      const auto *B = dyn_cast<BinOpExpr>(Pre);
+      if (!B)
+        continue;
+      const auto *V = dyn_cast<VarExpr>(B->lhs());
+      if (!V || V->name() != Pa.Name)
+        continue;
+      auto R = linearize(B->rhs());
+      if (!R)
+        continue;
+      switch (B->op()) {
+      case BinOpExpr::Op::Ge:
+        Lower = *R;
+        break;
+      case BinOpExpr::Op::Le:
+        Upper = *R;
+        break;
+      case BinOpExpr::Op::Lt:
+        Upper = *R;
+        Upper->Const -= 1;
+        break;
+      default:
+        break;
+      }
+    }
+    if (Lower && Upper)
+      Env[Pa.Name] = {*Lower, *Upper};
+  }
+  return checkBody(P.body());
+}
+
+} // namespace
+
+Error exo::checkBounds(const Proc &P) {
+  BoundsChecker C(P);
+  return C.run();
+}

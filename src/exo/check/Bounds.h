@@ -1,0 +1,41 @@
+//===- Bounds.h - Static bounds checking ----------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proves, for all parameter values (size parameters are >= 1, index
+/// parameters bounded by the procedure's preconditions), that every buffer
+/// access and call window in a proc stays inside the declared extents.
+///
+/// The analysis is symbolic interval arithmetic over affine forms: each
+/// loop variable carries [lower, upper] bounds that are themselves linear
+/// expressions over size parameters; an access index is bounded by
+/// substituting extremes per coefficient sign, and `0 <= lower` /
+/// `upper <= extent - 1` are discharged by the "minimum over sizes >= 1"
+/// test. Conservative by construction: non-affine indices or unbounded
+/// variables are reported as failures.
+///
+/// The micro-kernel generator runs this on every final kernel, and the
+/// instruction libraries' semantic procs are checked in tests — this is the
+/// static side of the paper's "definitions ensure the user methods do not
+/// change the behavior" story (the dynamic side is sched/Validate.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_CHECK_BOUNDS_H
+#define EXO_CHECK_BOUNDS_H
+
+#include "exo/ir/Proc.h"
+#include "exo/support/Error.h"
+
+namespace exo {
+
+/// Returns success when every access in \p P is provably in bounds; the
+/// first violation (or unprovable access) otherwise.
+Error checkBounds(const Proc &P);
+
+} // namespace exo
+
+#endif // EXO_CHECK_BOUNDS_H

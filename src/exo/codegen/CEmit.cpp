@@ -1,0 +1,403 @@
+//===- CEmit.cpp ----------------------------------------------------------===//
+
+#include "exo/codegen/CEmit.h"
+
+#include "exo/ir/Affine.h"
+#include "exo/ir/Printer.h"
+#include "exo/support/Str.h"
+
+#include <map>
+
+using namespace exo;
+
+namespace {
+
+/// What code generation knows about one visible buffer.
+struct CgBuffer {
+  ScalarKind Ty = ScalarKind::F32;
+  const MemSpace *Mem = nullptr;
+  std::vector<ExprPtr> Shape;
+  /// C expressions for per-dimension strides (element units). Register-file
+  /// buffers store strides over the *array* dimensions only (lane dimension
+  /// folded away).
+  std::vector<std::string> Strides;
+  bool Rank0 = false;
+};
+
+class CEmitter {
+public:
+  CEmitter(const Proc &P, const CodegenOptions &Opts) : P(P), Opts(Opts) {}
+
+  Expected<std::string> emitFunction();
+
+private:
+  Error declareParams(std::string &Sig);
+  Error declareBuffer(const std::string &Name, ScalarKind Ty,
+                      const std::vector<ExprPtr> &Shape, const MemSpace *Mem,
+                      const std::string &LeadStrideVar);
+  Error emitBody(const std::vector<StmtPtr> &Body, int Indent);
+  Error emitStmt(const StmtPtr &S, int Indent);
+  Error emitCall(const CallStmt &C, int Indent);
+
+  /// C expression for one scalar element access.
+  Expected<std::string> accessExpr(const std::string &Buf,
+                                   const std::vector<ExprPtr> &Idx);
+  /// C "data expression" for a window argument (see Instr::cFormat).
+  Expected<std::string> windowDataExpr(const CallArg &A);
+
+  /// Index expressions contain no reads; the Exo printer's output is valid
+  /// C for them.
+  std::string exprToC(const ExprPtr &E) { return printExpr(E); }
+
+  /// Value expressions may read buffers, which must lower through
+  /// accessExpr (flattened strides), so they get their own printer.
+  Expected<std::string> valueToC(const ExprPtr &E, int ParentPrec = 0);
+
+  void line(int Indent, const std::string &Text) {
+    Out.append(static_cast<size_t>(Indent) * 4, ' ');
+    Out += Text;
+    Out += "\n";
+  }
+
+  const Proc &P;
+  const CodegenOptions &Opts;
+  std::map<std::string, CgBuffer> Bufs;
+  std::string Out;
+};
+
+/// Builds per-dimension stride expressions for a dense row-major layout.
+/// Constant suffix products fold to literals.
+std::vector<std::string> denseStrides(const std::vector<ExprPtr> &Shape) {
+  std::vector<std::string> S(Shape.size());
+  if (Shape.empty())
+    return S;
+  S.back() = "1";
+  // Accumulate the symbolic product right-to-left.
+  ExprPtr Prod = idx(1);
+  for (int D = static_cast<int>(Shape.size()) - 2; D >= 0; --D) {
+    Prod = foldExpr(Prod * Shape[D + 1]);
+    if (auto C = tryConstFold(Prod))
+      S[D] = std::to_string(*C);
+    else
+      S[D] = "(" + printExpr(Prod) + ")";
+  }
+  return S;
+}
+
+Error CEmitter::declareBuffer(const std::string &Name, ScalarKind Ty,
+                              const std::vector<ExprPtr> &Shape,
+                              const MemSpace *Mem,
+                              const std::string &LeadStrideVar) {
+  CgBuffer B;
+  B.Ty = Ty;
+  B.Mem = Mem;
+  B.Shape = Shape;
+  B.Rank0 = Shape.empty();
+  if (Mem->isRegisterFile()) {
+    if (!Mem->supports(Ty))
+      return errorf("buffer '%s': space '%s' does not hold %s", Name.c_str(),
+                    Mem->name().c_str(), scalarKindName(Ty));
+    unsigned Lanes = Mem->lanes(Ty);
+    if (Shape.empty())
+      return errorf("register buffer '%s' needs a lane dimension",
+                    Name.c_str());
+    auto Last = tryConstFold(Shape.back());
+    if (!Last || *Last != static_cast<int64_t>(Lanes))
+      return errorf("register buffer '%s': innermost extent must equal the "
+                    "vector width %u",
+                    Name.c_str(), Lanes);
+    std::vector<ExprPtr> ArrayDims(Shape.begin(), Shape.end() - 1);
+    B.Strides = denseStrides(ArrayDims);
+  } else {
+    B.Strides = denseStrides(Shape);
+    if (!LeadStrideVar.empty()) {
+      if (Shape.size() < 1)
+        return errorf("lead stride on rank-0 buffer '%s'", Name.c_str());
+      B.Strides[0] = LeadStrideVar;
+    }
+  }
+  Bufs[Name] = std::move(B);
+  return Error::success();
+}
+
+Expected<std::string> CEmitter::accessExpr(const std::string &Buf,
+                                           const std::vector<ExprPtr> &Idx) {
+  auto It = Bufs.find(Buf);
+  if (It == Bufs.end())
+    return errorf("codegen: unknown buffer '%s'", Buf.c_str());
+  const CgBuffer &B = It->second;
+  if (B.Rank0)
+    return Buf;
+  if (!B.Mem->isRegisterFile()) {
+    if (Idx.size() != B.Shape.size())
+      return errorf("codegen: rank mismatch accessing '%s'", Buf.c_str());
+    // name[(i0)*s0 + ... + in]
+    std::vector<std::string> Terms;
+    for (size_t D = 0; D != Idx.size(); ++D) {
+      std::string I = exprToC(foldExpr(Idx[D]));
+      if (B.Strides[D] == "1")
+        Terms.push_back(I);
+      else if (I == "0")
+        continue;
+      else
+        Terms.push_back("(" + I + ") * " + B.Strides[D]);
+    }
+    if (Terms.empty())
+      Terms.push_back("0");
+    return Buf + "[" + join(Terms, " + ") + "]";
+  }
+  // Register file: scalar access name[a0][a1]...[lane] (GNU C vector
+  // subscripting). The final index is the lane.
+  if (Idx.size() != B.Shape.size())
+    return errorf("codegen: rank mismatch accessing register '%s'",
+                  Buf.c_str());
+  std::string S = Buf;
+  for (const ExprPtr &I : Idx)
+    S += "[" + exprToC(foldExpr(I)) + "]";
+  return S;
+}
+
+Expected<std::string> CEmitter::windowDataExpr(const CallArg &A) {
+  auto It = Bufs.find(A.Buf);
+  if (It == Bufs.end())
+    return errorf("codegen: unknown buffer '%s' in call", A.Buf.c_str());
+  const CgBuffer &B = It->second;
+  if (B.Rank0)
+    return A.Buf;
+  if (!B.Mem->isRegisterFile()) {
+    // Element expression at the window origin.
+    std::vector<ExprPtr> Origin;
+    Origin.reserve(A.Dims.size());
+    for (const WindowDim &D : A.Dims)
+      Origin.push_back(D.isPoint() ? D.Point : D.Lo);
+    return accessExpr(A.Buf, Origin);
+  }
+  // Register file: point dims index the array part; the interval must be
+  // the lane dimension, already folded into the vector type.
+  if (A.Dims.size() != B.Shape.size())
+    return errorf("codegen: window rank mismatch for register '%s'",
+                  A.Buf.c_str());
+  std::string S = A.Buf;
+  for (size_t D = 0; D + 1 < A.Dims.size(); ++D) {
+    if (!A.Dims[D].isPoint())
+      return errorf("codegen: register window '%s' has a non-lane interval",
+                    A.Buf.c_str());
+    S += "[" + exprToC(foldExpr(A.Dims[D].Point)) + "]";
+  }
+  if (A.Dims.empty() || A.Dims.back().isPoint())
+    return errorf("codegen: register window '%s' must span the lane "
+                  "dimension",
+                  A.Buf.c_str());
+  return S;
+}
+
+Expected<std::string> CEmitter::valueToC(const ExprPtr &E, int ParentPrec) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return printExpr(E);
+  case Expr::Kind::Read: {
+    const auto *R = cast<ReadExpr>(E);
+    return accessExpr(R->buffer(), R->indices());
+  }
+  case Expr::Kind::USub: {
+    auto Op = valueToC(cast<USubExpr>(E)->operand(), 3);
+    if (!Op)
+      return Op.takeError();
+    std::string S = "-" + *Op;
+    return ParentPrec >= 3 ? "(" + S + ")" : S;
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    int Prec;
+    switch (B->op()) {
+    case BinOpExpr::Op::Mul:
+    case BinOpExpr::Op::Div:
+    case BinOpExpr::Op::Mod:
+      Prec = 3;
+      break;
+    case BinOpExpr::Op::Add:
+    case BinOpExpr::Op::Sub:
+      Prec = 2;
+      break;
+    default:
+      Prec = 1;
+      break;
+    }
+    auto L = valueToC(B->lhs(), Prec - 1);
+    if (!L)
+      return L.takeError();
+    auto R = valueToC(B->rhs(), Prec);
+    if (!R)
+      return R.takeError();
+    std::string S = *L + " " + BinOpExpr::opName(B->op()) + " " + *R;
+    return Prec <= ParentPrec ? "(" + S + ")" : S;
+  }
+  }
+  return errorf("codegen: unknown expression kind");
+}
+
+Error CEmitter::emitCall(const CallStmt &C, int Indent) {
+  const Instr &I = *C.callee();
+  const auto &Params = I.semantics().params();
+  const auto &Args = C.args();
+  if (Params.size() != Args.size())
+    return errorf("codegen: call arity mismatch for '%s'", I.name().c_str());
+
+  std::string Text = I.cFormat();
+  for (size_t K = 0; K != Params.size(); ++K) {
+    const Param &Pa = Params[K];
+    if (Pa.PKind == Param::Kind::Tensor) {
+      auto DataOr = windowDataExpr(Args[K]);
+      if (!DataOr)
+        return DataOr.takeError();
+      Text = replaceAll(std::move(Text), "{" + Pa.Name + "_data}", *DataOr);
+    } else {
+      Text = replaceAll(std::move(Text), "{" + Pa.Name + "}",
+                        exprToC(foldExpr(Args[K].Scalar)));
+    }
+  }
+  if (Text.find('{') != std::string::npos)
+    return errorf("codegen: unsubstituted placeholder in '%s' lowering: %s",
+                  I.name().c_str(), Text.c_str());
+  line(Indent, Text);
+  return Error::success();
+}
+
+Error CEmitter::emitStmt(const StmtPtr &S, int Indent) {
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castS<AssignStmt>(S);
+    auto LhsOr = accessExpr(A->buffer(), A->indices());
+    if (!LhsOr)
+      return LhsOr.takeError();
+    auto RhsOr = valueToC(foldExpr(A->rhs()));
+    if (!RhsOr)
+      return RhsOr.takeError();
+    line(Indent, *LhsOr + (A->isReduce() ? " += " : " = ") + *RhsOr + ";");
+    return Error::success();
+  }
+  case Stmt::Kind::For: {
+    const auto *F = castS<ForStmt>(S);
+    const std::string &V = F->loopVar();
+    line(Indent, "for (int64_t " + V + " = " + exprToC(foldExpr(F->lo())) +
+                     "; " + V + " < " + exprToC(foldExpr(F->hi())) + "; " +
+                     V + "++) {");
+    if (Error Err = emitBody(F->body(), Indent + 1))
+      return Err;
+    line(Indent, "}");
+    return Error::success();
+  }
+  case Stmt::Kind::Alloc: {
+    const auto *A = castS<AllocStmt>(S);
+    if (Error Err = declareBuffer(A->name(), A->elemType(), A->shape(),
+                                  A->mem(), ""))
+      return Err;
+    if (A->mem()->isRegisterFile()) {
+      const VecTypeInfo &VT = A->mem()->vecType(A->elemType());
+      std::string Decl = VT.CType + " " + A->name();
+      for (size_t D = 0; D + 1 < A->shape().size(); ++D)
+        Decl += "[" + exprToC(foldExpr(A->shape()[D])) + "]";
+      line(Indent, Decl + ";");
+      return Error::success();
+    }
+    if (A->shape().empty()) {
+      line(Indent, std::string(scalarKindCType(A->elemType())) + " " +
+                       A->name() + ";");
+      return Error::success();
+    }
+    // Flat (possibly variable-length) local array.
+    ExprPtr Total = idx(1);
+    for (const ExprPtr &D : A->shape())
+      Total = Total * D;
+    line(Indent, std::string(scalarKindCType(A->elemType())) + " " +
+                     A->name() + "[" + exprToC(foldExpr(Total)) + "];");
+    return Error::success();
+  }
+  case Stmt::Kind::Call:
+    return emitCall(*castS<CallStmt>(S), Indent);
+  }
+  return errorf("codegen: unknown statement kind");
+}
+
+Error CEmitter::emitBody(const std::vector<StmtPtr> &Body, int Indent) {
+  for (const StmtPtr &S : Body)
+    if (Error Err = emitStmt(S, Indent))
+      return Err;
+  return Error::success();
+}
+
+Error CEmitter::declareParams(std::string &Sig) {
+  std::vector<std::string> Parts;
+  for (const Param &Pa : P.params()) {
+    if (Pa.PKind != Param::Kind::Tensor) {
+      Parts.push_back("int64_t " + Pa.Name);
+      continue;
+    }
+    if (Error Err = declareBuffer(Pa.Name, Pa.Ty, Pa.Shape, Pa.Mem,
+                                  Pa.LeadStrideVar))
+      return Err;
+    if (Pa.Mem->isRegisterFile())
+      return errorf("parameter '%s' cannot live in a register file",
+                    Pa.Name.c_str());
+    std::string T = scalarKindCType(Pa.Ty);
+    Parts.push_back((Pa.Mutable ? T : "const " + T) + " *restrict " +
+                    Pa.Name);
+  }
+  Sig = "void " + P.name() + "(" + join(Parts, ", ") + ")";
+  return Error::success();
+}
+
+Expected<std::string> CEmitter::emitFunction() {
+  std::string Sig;
+  if (Error Err = declareParams(Sig))
+    return Err;
+  line(0, "// Generated by exo-ukr from proc '" + P.name() + "'.");
+  for (const ExprPtr &Pre : P.preconds())
+    line(0, "// requires: " + printExpr(Pre));
+  line(0, Sig + " {");
+  if (Error Err = emitBody(P.body(), 1))
+    return Err;
+  line(0, "}");
+  return Out;
+}
+
+} // namespace
+
+Expected<std::string> exo::emitCFunction(const Proc &P,
+                                         const CodegenOptions &Opts) {
+  CEmitter E(P, Opts);
+  auto Fn = E.emitFunction();
+  if (!Fn)
+    return Fn.takeError();
+  if (Opts.StaticFn)
+    return "static " + *Fn;
+  return Fn;
+}
+
+Expected<std::string> exo::emitCModule(const Proc &P,
+                                       const CodegenOptions &Opts) {
+  auto Fn = emitCFunction(P, Opts);
+  if (!Fn)
+    return Fn.takeError();
+  std::string Out = "#include <stdint.h>\n";
+  if (Opts.Isa)
+    Out += Opts.Isa->prologue();
+  Out += "\n";
+  Out += *Fn;
+  return Out;
+}
+
+std::string exo::cSignature(const Proc &P) {
+  std::vector<std::string> Parts;
+  for (const Param &Pa : P.params()) {
+    if (Pa.PKind != Param::Kind::Tensor) {
+      Parts.push_back("int64_t " + Pa.Name);
+      continue;
+    }
+    std::string T = scalarKindCType(Pa.Ty);
+    Parts.push_back((Pa.Mutable ? T : "const " + T) + " *restrict " +
+                    Pa.Name);
+  }
+  return "void " + P.name() + "(" + join(Parts, ", ") + ")";
+}

@@ -1,0 +1,56 @@
+//===- CEmit.h - C code generation from procs -----------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a (scheduled or unscheduled) proc to freestanding C99 — the system
+/// deliberately emits plain C plus the ISA's intrinsics and nothing else, so
+/// "the user can try different combinations of hardware/compiler" (§II-B).
+///
+/// Lowering rules:
+///   - size/index parameters     -> `int64_t`
+///   - DRAM tensor parameters    -> `(const) <elem> *restrict`, row-major,
+///                                  with dimension-0 stride taken from the
+///                                  declared lead-stride parameter if any
+///   - DRAM allocations          -> local arrays (VLAs when symbolic)
+///   - register-file allocations -> arrays of the ISA vector type, the lane
+///                                  dimension folded into the vector type
+///   - instruction calls         -> the instruction's C format string with
+///                                  `{arg_data}` / `{arg}` substituted
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_CODEGEN_CEMIT_H
+#define EXO_CODEGEN_CEMIT_H
+
+#include "exo/ir/Proc.h"
+#include "exo/isa/IsaLib.h"
+#include "exo/support/Error.h"
+
+#include <string>
+
+namespace exo {
+
+struct CodegenOptions {
+  /// Supplies the prologue (intrinsics header / typedefs). May be null for
+  /// procs that use no instructions.
+  const IsaLib *Isa = nullptr;
+  /// Emit the function as `static`.
+  bool StaticFn = false;
+};
+
+/// Emits only the function definition for \p P.
+Expected<std::string> emitCFunction(const Proc &P, const CodegenOptions &Opts);
+
+/// Emits a self-contained translation unit: stdint include, ISA prologue,
+/// and the function.
+Expected<std::string> emitCModule(const Proc &P, const CodegenOptions &Opts);
+
+/// The C prototype of \p P's generated function (no trailing semicolon).
+std::string cSignature(const Proc &P);
+
+} // namespace exo
+
+#endif // EXO_CODEGEN_CEMIT_H

@@ -1,0 +1,622 @@
+//===- Parse.cpp ----------------------------------------------------------===//
+
+#include "exo/front/Parse.h"
+
+#include "exo/ir/Affine.h"
+#include "exo/isa/IsaLib.h"
+#include "exo/support/Str.h"
+
+#include <cctype>
+#include <map>
+
+using namespace exo;
+
+namespace {
+
+/// Window upper bound to length: len = hi - lo (folded).
+ExprPtr windowLen(ExprPtr Hi, const ExprPtr &Lo) {
+  return normalizeIndexExpr(std::move(Hi) - Lo);
+}
+
+/// Character-level scanner over one line.
+class LineLexer {
+public:
+  explicit LineLexer(std::string_view Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && Text[Pos] == ' ')
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  /// Consumes \p Tok when it is next (after spaces).
+  bool eat(std::string_view Tok) {
+    skipSpace();
+    if (Text.substr(Pos, Tok.size()) != Tok)
+      return false;
+    // Keyword tokens must not swallow identifier prefixes.
+    if (!Tok.empty() && (std::isalnum(static_cast<unsigned char>(Tok.back())) ||
+                         Tok.back() == '_')) {
+      size_t After = Pos + Tok.size();
+      if (After < Text.size() &&
+          (std::isalnum(static_cast<unsigned char>(Text[After])) ||
+           Text[After] == '_'))
+        return false;
+    }
+    Pos += Tok.size();
+    return true;
+  }
+
+  /// Peeks whether \p Tok is next.
+  bool peek(std::string_view Tok) {
+    size_t Saved = Pos;
+    bool Ok = eat(Tok);
+    Pos = Saved;
+    return Ok;
+  }
+
+  /// Parses an identifier; empty when none.
+  std::string ident() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (std::isalpha(static_cast<unsigned char>(Text[Pos])) ||
+                              Text[Pos] == '_'))
+      ++Pos;
+    while (Pos < Text.size() && (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+                                 Text[Pos] == '_'))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  /// Parses a numeric literal: (intValue, isFloat, floatValue).
+  bool number(int64_t &IVal, bool &IsFloat, double &FVal) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    IsFloat = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      IsFloat = true;
+    }
+    // Exponent part (the printer may emit it for odd float constants).
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      size_t Exp = Pos + 1;
+      if (Exp < Text.size() && (Text[Exp] == '+' || Text[Exp] == '-'))
+        ++Exp;
+      if (Exp < Text.size() && std::isdigit(static_cast<unsigned char>(Text[Exp]))) {
+        Pos = Exp;
+        while (Pos < Text.size() &&
+               std::isdigit(static_cast<unsigned char>(Text[Pos])))
+          ++Pos;
+        IsFloat = true;
+      }
+    }
+    std::string S(Text.substr(Start, Pos - Start));
+    if (IsFloat)
+      FVal = std::atof(S.c_str());
+    else
+      IVal = std::atoll(S.c_str());
+    return true;
+  }
+
+  std::string rest() {
+    skipSpace();
+    return std::string(Text.substr(Pos));
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+/// Parser state shared across lines.
+class ProcParser {
+public:
+  ProcParser(const std::string &Text, const InstrResolver &Resolver)
+      : Resolver(Resolver) {
+    for (std::string &L : split(Text, '\n', /*KeepEmpty=*/true))
+      Lines.push_back(std::move(L));
+  }
+
+  Expected<Proc> parse();
+
+private:
+  Error parseHeader(const std::string &Line);
+  Error parseParam(LineLexer &Lx);
+  /// Parses the statements of one indentation level into \p Out.
+  Error parseBody(int Indent, std::vector<StmtPtr> &Out);
+  Error parseStmtLine(LineLexer &Lx, int Indent, std::vector<StmtPtr> &Out);
+
+  Expected<ExprPtr> parseExpr(LineLexer &Lx);
+  Expected<ExprPtr> parseCmp(LineLexer &Lx);
+  Expected<ExprPtr> parseAdditive(LineLexer &Lx);
+  Expected<ExprPtr> parseTerm(LineLexer &Lx);
+  Expected<ExprPtr> parseUnary(LineLexer &Lx);
+  Expected<ExprPtr> parsePrimary(LineLexer &Lx);
+
+  /// Parses `ty[dims] @ Mem` after the colon of a param/alloc.
+  Error parseTypeSuffix(LineLexer &Lx, ScalarKind &Ty,
+                        std::vector<ExprPtr> &Shape, const MemSpace *&Mem);
+
+  ScalarKind elemTypeOf(const std::string &Buf) const {
+    auto It = BufTypes.find(Buf);
+    return It == BufTypes.end() ? ScalarKind::F32 : It->second;
+  }
+  bool isBuffer(const std::string &Name) const {
+    return BufTypes.count(Name) != 0;
+  }
+
+  /// Indentation (in levels of 4 spaces) of line \p I; -1 for blank lines.
+  int indentOf(size_t I) const {
+    const std::string &L = Lines[I];
+    size_t Spaces = 0;
+    while (Spaces < L.size() && L[Spaces] == ' ')
+      ++Spaces;
+    if (Spaces >= L.size())
+      return -1;
+    return static_cast<int>(Spaces / 4);
+  }
+
+  InstrResolver Resolver;
+  std::vector<std::string> Lines;
+  size_t Cur = 0;
+
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<ExprPtr> Preconds;
+  std::map<std::string, ScalarKind> BufTypes;
+};
+
+Error ProcParser::parseTypeSuffix(LineLexer &Lx, ScalarKind &Ty,
+                                  std::vector<ExprPtr> &Shape,
+                                  const MemSpace *&Mem) {
+  std::string TyName = Lx.ident();
+  if (!parseScalarKind(TyName, Ty))
+    return errorf("unknown type '%s'", TyName.c_str());
+  Shape.clear();
+  if (Lx.eat("[")) {
+    do {
+      auto Dim = parseExpr(Lx);
+      if (!Dim)
+        return Dim.takeError();
+      Shape.push_back(Dim.take());
+    } while (Lx.eat(","));
+    if (!Lx.eat("]"))
+      return errorf("expected ']' in shape");
+  }
+  if (!Lx.eat("@"))
+    return errorf("expected '@ Mem' after type");
+  std::string MemName = Lx.ident();
+  Mem = MemSpace::lookup(MemName);
+  if (!Mem)
+    return errorf("unknown memory space '%s'", MemName.c_str());
+  return Error::success();
+}
+
+Error ProcParser::parseParam(LineLexer &Lx) {
+  std::string PName = Lx.ident();
+  if (PName.empty())
+    return errorf("expected parameter name");
+  if (!Lx.eat(":"))
+    return errorf("expected ':' after parameter '%s'", PName.c_str());
+  if (Lx.eat("size")) {
+    Params.push_back(Param::size(PName));
+    return Error::success();
+  }
+  if (Lx.eat("index")) {
+    Params.push_back(Param::indexVal(PName));
+    return Error::success();
+  }
+  ScalarKind Ty;
+  std::vector<ExprPtr> Shape;
+  const MemSpace *Mem;
+  if (Error Err = parseTypeSuffix(Lx, Ty, Shape, Mem))
+    return Err;
+  // Mutability and lead strides are not part of the surface syntax; tensors
+  // parse as mutable and dense (schedulers may adjust via withParams).
+  Params.push_back(Param::tensor(PName, Ty, std::move(Shape), Mem,
+                                 /*Mutable=*/true));
+  BufTypes[PName] = Ty;
+  return Error::success();
+}
+
+Error ProcParser::parseHeader(const std::string &Line) {
+  LineLexer Lx(Line);
+  if (!Lx.eat("def"))
+    return errorf("expected 'def'");
+  Name = Lx.ident();
+  if (Name.empty())
+    return errorf("expected procedure name");
+  if (!Lx.eat("("))
+    return errorf("expected '('");
+  if (!Lx.peek(")")) {
+    do {
+      if (Error Err = parseParam(Lx))
+        return Err;
+    } while (Lx.eat(","));
+  }
+  if (!Lx.eat(")") || !Lx.eat(":"))
+    return errorf("expected '):' closing the signature");
+  return Error::success();
+}
+
+Expected<ExprPtr> ProcParser::parsePrimary(LineLexer &Lx) {
+  if (Lx.eat("(")) {
+    auto E = parseCmp(Lx);
+    if (!E)
+      return E;
+    if (!Lx.eat(")"))
+      return errorf("expected ')'");
+    return E;
+  }
+  int64_t IVal;
+  bool IsFloat;
+  double FVal;
+  if (Lx.number(IVal, IsFloat, FVal)) {
+    if (IsFloat)
+      return ConstExpr::makeFloat(FVal, ScalarKind::F64);
+    return idx(IVal);
+  }
+  std::string Id = Lx.ident();
+  if (Id.empty())
+    return errorf("expected expression near '%s'", Lx.rest().c_str());
+  if (Lx.eat("[")) {
+    std::vector<ExprPtr> Idx;
+    do {
+      auto I = parseAdditive(Lx);
+      if (!I)
+        return I;
+      Idx.push_back(I.take());
+    } while (Lx.eat(","));
+    if (!Lx.eat("]"))
+      return errorf("expected ']' in access to '%s'", Id.c_str());
+    return read(Id, std::move(Idx), elemTypeOf(Id));
+  }
+  // A bare buffer name is a rank-0 read; otherwise an index variable.
+  if (isBuffer(Id))
+    return read(Id, {}, elemTypeOf(Id));
+  return var(Id);
+}
+
+Expected<ExprPtr> ProcParser::parseUnary(LineLexer &Lx) {
+  if (Lx.eat("-")) {
+    auto E = parseUnary(Lx);
+    if (!E)
+      return E;
+    return USubExpr::make(E.take());
+  }
+  return parsePrimary(Lx);
+}
+
+/// Reconciles the types of binary operands: int literals coerce to the
+/// float side (value expressions mix literals with typed reads).
+static Error coerce(ExprPtr &L, ExprPtr &R) {
+  if (L->type() == R->type())
+    return Error::success();
+  auto Coerce1 = [](ExprPtr &A, ScalarKind To) -> bool {
+    if (const auto *C = dyn_cast<ConstExpr>(A)) {
+      if (isFloatKind(To)) {
+        A = ConstExpr::makeFloat(C->floatValue(), To);
+        return true;
+      }
+    }
+    return false;
+  };
+  if (Coerce1(L, R->type()) || Coerce1(R, L->type()))
+    return Error::success();
+  // f64 literals folded into another float kind.
+  if (isFloatKind(L->type()) && isFloatKind(R->type()))
+    return Error::success();
+  return errorf("cannot mix %s and %s in one expression",
+                scalarKindName(L->type()), scalarKindName(R->type()));
+}
+
+Expected<ExprPtr> ProcParser::parseTerm(LineLexer &Lx) {
+  auto L = parseUnary(Lx);
+  if (!L)
+    return L;
+  ExprPtr Acc = L.take();
+  while (true) {
+    BinOpExpr::Op Op;
+    if (Lx.eat("*"))
+      Op = BinOpExpr::Op::Mul;
+    else if (Lx.eat("/"))
+      Op = BinOpExpr::Op::Div;
+    else if (Lx.eat("%"))
+      Op = BinOpExpr::Op::Mod;
+    else
+      return Acc;
+    auto R = parseUnary(Lx);
+    if (!R)
+      return R;
+    ExprPtr Rhs = R.take();
+    if (Error Err = coerce(Acc, Rhs))
+      return Err;
+    Acc = BinOpExpr::make(Op, std::move(Acc), std::move(Rhs));
+  }
+}
+
+Expected<ExprPtr> ProcParser::parseAdditive(LineLexer &Lx) {
+  auto L = parseTerm(Lx);
+  if (!L)
+    return L;
+  ExprPtr Acc = L.take();
+  while (true) {
+    BinOpExpr::Op Op;
+    // '+=' must not be consumed as '+'.
+    if (!Lx.peek("+=") && Lx.eat("+"))
+      Op = BinOpExpr::Op::Add;
+    else if (Lx.eat("-"))
+      Op = BinOpExpr::Op::Sub;
+    else
+      return Acc;
+    auto R = parseTerm(Lx);
+    if (!R)
+      return R;
+    ExprPtr Rhs = R.take();
+    if (Error Err = coerce(Acc, Rhs))
+      return Err;
+    Acc = BinOpExpr::make(Op, std::move(Acc), std::move(Rhs));
+  }
+}
+
+Expected<ExprPtr> ProcParser::parseCmp(LineLexer &Lx) {
+  auto L = parseAdditive(Lx);
+  if (!L)
+    return L;
+  BinOpExpr::Op Op;
+  if (Lx.eat("<="))
+    Op = BinOpExpr::Op::Le;
+  else if (Lx.eat(">="))
+    Op = BinOpExpr::Op::Ge;
+  else if (Lx.eat("=="))
+    Op = BinOpExpr::Op::Eq;
+  else if (Lx.eat("<"))
+    Op = BinOpExpr::Op::Lt;
+  else if (Lx.eat(">"))
+    Op = BinOpExpr::Op::Gt;
+  else
+    return L;
+  auto R = parseAdditive(Lx);
+  if (!R)
+    return R;
+  return BinOpExpr::make(Op, L.take(), R.take());
+}
+
+Expected<ExprPtr> ProcParser::parseExpr(LineLexer &Lx) {
+  return parseCmp(Lx);
+}
+
+Error ProcParser::parseStmtLine(LineLexer &Lx, int Indent,
+                                std::vector<StmtPtr> &Out) {
+  // for v in seq(lo, hi):
+  if (Lx.eat("for")) {
+    std::string V = Lx.ident();
+    if (V.empty() || !Lx.eat("in") || !Lx.eat("seq") || !Lx.eat("("))
+      return errorf("malformed for header");
+    auto Lo = parseAdditive(Lx);
+    if (!Lo)
+      return Lo.takeError();
+    if (!Lx.eat(","))
+      return errorf("expected ',' in seq()");
+    auto Hi = parseAdditive(Lx);
+    if (!Hi)
+      return Hi.takeError();
+    if (!Lx.eat(")") || !Lx.eat(":"))
+      return errorf("expected '):' after seq bounds");
+    ++Cur;
+    std::vector<StmtPtr> Body;
+    if (Error Err = parseBody(Indent + 1, Body))
+      return Err;
+    Out.push_back(ForStmt::make(V, Lo.take(), Hi.take(), std::move(Body)));
+    return Error::success();
+  }
+
+  std::string Id = Lx.ident();
+  if (Id.empty())
+    return errorf("cannot parse statement: '%s'", Lx.rest().c_str());
+
+  // Allocation: name: ty[shape] @ Mem
+  if (Lx.peek(":")) {
+    Lx.eat(":");
+    ScalarKind Ty;
+    std::vector<ExprPtr> Shape;
+    const MemSpace *Mem;
+    if (Error Err = parseTypeSuffix(Lx, Ty, Shape, Mem))
+      return Err;
+    BufTypes[Id] = Ty;
+    Out.push_back(AllocStmt::make(Id, Ty, std::move(Shape), Mem));
+    ++Cur;
+    return Error::success();
+  }
+
+  // Instruction call: name(arg, ...)
+  if (Lx.peek("(")) {
+    if (!Resolver)
+      return errorf("instruction call '%s' but no resolver given",
+                    Id.c_str());
+    InstrPtr Callee = Resolver(Id);
+    if (!Callee)
+      return errorf("unknown instruction '%s'", Id.c_str());
+    Lx.eat("(");
+    std::vector<CallArg> Args;
+    if (!Lx.peek(")")) {
+      do {
+        // Window argument when the head is a known buffer followed by '['.
+        size_t ArgIndex = Args.size();
+        const auto &CalleeParams = Callee->semantics().params();
+        bool WantWindow =
+            ArgIndex < CalleeParams.size() &&
+            CalleeParams[ArgIndex].PKind == Param::Kind::Tensor;
+        if (WantWindow) {
+          std::string Buf = Lx.ident();
+          if (Buf.empty() || !Lx.eat("["))
+            return errorf("expected window argument for '%s'", Id.c_str());
+          std::vector<WindowDim> Dims;
+          do {
+            auto Lo = parseAdditive(Lx);
+            if (!Lo)
+              return Lo.takeError();
+            if (Lx.eat(":")) {
+              auto Hi = parseAdditive(Lx);
+              if (!Hi)
+                return Hi.takeError();
+              ExprPtr LoE = Lo.take();
+              Dims.push_back(
+                  WindowDim::interval(LoE, windowLen(Hi.take(), LoE)));
+            } else {
+              Dims.push_back(WindowDim::point(Lo.take()));
+            }
+          } while (Lx.eat(","));
+          if (!Lx.eat("]"))
+            return errorf("expected ']' in window");
+          Args.push_back(CallArg::window(Buf, std::move(Dims)));
+        } else {
+          auto E = parseAdditive(Lx);
+          if (!E)
+            return E.takeError();
+          Args.push_back(CallArg::scalar(E.take()));
+        }
+      } while (Lx.eat(","));
+    }
+    if (!Lx.eat(")"))
+      return errorf("expected ')' closing call to '%s'", Id.c_str());
+    Out.push_back(CallStmt::make(std::move(Callee), std::move(Args)));
+    ++Cur;
+    return Error::success();
+  }
+
+  // Assignment / reduction.
+  std::vector<ExprPtr> Idx;
+  if (Lx.eat("[")) {
+    do {
+      auto I = parseAdditive(Lx);
+      if (!I)
+        return I.takeError();
+      Idx.push_back(I.take());
+    } while (Lx.eat(","));
+    if (!Lx.eat("]"))
+      return errorf("expected ']' on assignment lhs");
+  }
+  bool Reduce;
+  if (Lx.eat("+="))
+    Reduce = true;
+  else if (Lx.eat("="))
+    Reduce = false;
+  else
+    return errorf("expected '=' or '+=' after '%s'", Id.c_str());
+  auto Rhs = parseAdditive(Lx);
+  if (!Rhs)
+    return Rhs.takeError();
+  ExprPtr R = Rhs.take();
+  // Float literals adopt the destination's element type.
+  if (const auto *C = dyn_cast<ConstExpr>(R)) {
+    ScalarKind DstTy = elemTypeOf(Id);
+    if (isFloatKind(DstTy))
+      R = ConstExpr::makeFloat(C->floatValue(), DstTy);
+  }
+  Out.push_back(AssignStmt::make(Id, std::move(Idx), std::move(R), Reduce));
+  ++Cur;
+  return Error::success();
+}
+
+Error ProcParser::parseBody(int Indent, std::vector<StmtPtr> &Out) {
+  while (Cur < Lines.size()) {
+    int LineIndent = indentOf(Cur);
+    if (LineIndent < 0) {
+      ++Cur; // Blank line.
+      continue;
+    }
+    if (LineIndent < Indent)
+      return Error::success(); // Dedent closes this body.
+    if (LineIndent > Indent)
+      return errorf("unexpected indentation at line %zu", Cur + 1);
+    LineLexer Lx(std::string_view(Lines[Cur]).substr(
+        static_cast<size_t>(Indent) * 4));
+    if (Error Err = parseStmtLine(Lx, Indent, Out))
+      return errorf("line %zu: %s", Cur + 1, Err.message().c_str());
+  }
+  return Error::success();
+}
+
+Expected<Proc> ProcParser::parse() {
+  // Find the header line.
+  while (Cur < Lines.size() && trim(Lines[Cur]).empty())
+    ++Cur;
+  if (Cur >= Lines.size())
+    return errorf("empty input");
+  if (Error Err = parseHeader(std::string(trim(Lines[Cur]))))
+    return errorf("line %zu: %s", Cur + 1, Err.message().c_str());
+  ++Cur;
+
+  // Leading asserts.
+  std::vector<StmtPtr> Body;
+  while (Cur < Lines.size()) {
+    int LineIndent = indentOf(Cur);
+    if (LineIndent < 0) {
+      ++Cur;
+      continue;
+    }
+    if (LineIndent != 1)
+      break;
+    LineLexer Lx(std::string_view(Lines[Cur]).substr(4));
+    if (!Lx.eat("assert"))
+      break;
+    auto Pre = parseExpr(Lx);
+    if (!Pre)
+      return errorf("line %zu: %s", Cur + 1, Pre.message().c_str());
+    Preconds.push_back(Pre.take());
+    ++Cur;
+  }
+
+  if (Error Err = parseBody(1, Body))
+    return Err;
+  return Proc(Name, std::move(Params), std::move(Preconds), std::move(Body));
+}
+
+} // namespace
+
+InstrResolver exo::isaInstrResolver() {
+  // Touch every library now so their register-file memory spaces are
+  // interned before the parser looks them up in alloc statements.
+  (void)allIsas();
+  return [](const std::string &Name) -> InstrPtr {
+    for (const IsaLib *Isa : allIsas())
+      for (ScalarKind Ty :
+           {ScalarKind::F16, ScalarKind::F32, ScalarKind::F64}) {
+        if (!Isa->supports(Ty))
+          continue;
+        for (InstrPtr I : {Isa->load(Ty), Isa->store(Ty), Isa->fmaLane(Ty),
+                           Isa->fmaBroadcast(Ty), Isa->broadcast(Ty)})
+          if (I && I->name() == Name)
+            return I;
+      }
+    return nullptr;
+  };
+}
+
+Expected<Proc> exo::parseProc(const std::string &Text,
+                              const InstrResolver &Resolver) {
+  ProcParser P(Text, Resolver);
+  return P.parse();
+}
+
+Expected<ExprPtr> exo::parseIndexExpr(const std::string &Text) {
+  auto P = parseProc("def dummy():\n    q = " + Text + "\n", nullptr);
+  if (!P)
+    return errorf("cannot parse expression '%s': %s", Text.c_str(),
+                  P.message().c_str());
+  // Extract the rhs of the single assignment.
+  const auto *A = dyn_castS<AssignStmt>(P->body().at(0));
+  return A->rhs();
+}

@@ -1,0 +1,62 @@
+//===- Parse.h - Parser for the Exo-like surface syntax -------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by exo/ir/Printer.h back into a Proc,
+/// making the surface syntax a real front-end: procs can be written as
+/// text, and print -> parse -> print is the identity (round-trip property
+/// tests rely on this).
+///
+/// Grammar (indentation-based, 4 spaces per level):
+///
+///   proc      ::= "def" name "(" param ("," param)* "):" NL body
+///   param     ::= name ":" ("size" | "index" | type shape? "@" mem)
+///   body      ::= (assert | alloc | for | assign | call)+
+///   assert    ::= "assert" expr NL
+///   alloc     ::= name ":" type shape? "@" mem NL
+///   for       ::= "for" name "in" "seq(" expr "," expr "):" NL body
+///   assign    ::= name index? ("=" | "+=") expr NL
+///   call      ::= name "(" arg ("," arg)* ")" NL
+///   arg       ::= name "[" wdim ("," wdim)* "]" | expr
+///   wdim      ::= expr (":" expr)?
+///   expr      ::= additive with * / % precedence, unary -, parentheses,
+///                 integer/float literals, variables, reads name[expr,...]
+///
+/// Instruction calls resolve through a caller-provided resolver (typically
+/// wrapping the ISA registry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_FRONT_PARSE_H
+#define EXO_FRONT_PARSE_H
+
+#include "exo/ir/Proc.h"
+#include "exo/support/Error.h"
+
+#include <functional>
+#include <string>
+
+namespace exo {
+
+/// Maps an instruction name to its definition; return nullptr for unknown
+/// names (the parser reports an error).
+using InstrResolver = std::function<InstrPtr(const std::string &)>;
+
+/// A resolver over all built-in instruction libraries.
+InstrResolver isaInstrResolver();
+
+/// Parses one proc definition. \p Resolver may be null when the text
+/// contains no instruction calls.
+Expected<Proc> parseProc(const std::string &Text,
+                         const InstrResolver &Resolver = nullptr);
+
+/// Parses a standalone expression over the given index variables (every
+/// identifier is treated as an index variable; no reads).
+Expected<ExprPtr> parseIndexExpr(const std::string &Text);
+
+} // namespace exo
+
+#endif // EXO_FRONT_PARSE_H

@@ -1,0 +1,414 @@
+//===- ScheduleScript.cpp -------------------------------------------------===//
+
+#include "exo/front/ScheduleScript.h"
+
+#include "exo/support/Str.h"
+
+#include <cctype>
+
+using namespace exo;
+
+namespace {
+
+/// One parsed directive argument.
+struct Arg {
+  enum class Kind { Str, Int, Bool, List, Gap } K = Kind::Str;
+  std::string S;
+  int64_t I = 0;
+  bool B = false;
+  std::vector<std::string> List;
+  /// Gap form: after("pat") / before("pat").
+  bool GapAfter = false;
+  std::string GapPattern;
+};
+
+/// Minimal recursive-descent scanner for one directive line.
+class ArgLexer {
+public:
+  explicit ArgLexer(std::string_view Text) : Text(Text) {}
+
+  void skip() {
+    while (Pos < Text.size() && Text[Pos] == ' ')
+      ++Pos;
+  }
+  bool eat(char C) {
+    skip();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char C) {
+    skip();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+  bool atEnd() {
+    skip();
+    return Pos >= Text.size();
+  }
+
+  std::string ident() {
+    skip();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  Expected<std::string> quoted() {
+    skip();
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return errorf("expected a quoted string");
+    ++Pos;
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != '"')
+      ++Pos;
+    if (Pos >= Text.size())
+      return errorf("unterminated string");
+    std::string Out(Text.substr(Start, Pos - Start));
+    ++Pos;
+    return Out;
+  }
+
+  Expected<int64_t> integer() {
+    skip();
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return errorf("expected an integer");
+    return std::atoll(std::string(Text.substr(Start, Pos - Start)).c_str());
+  }
+
+  std::string rest() {
+    skip();
+    return std::string(Text.substr(Pos));
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+/// A parsed directive: name, positional args, keyword args.
+struct Directive {
+  std::string Name;
+  std::vector<Arg> Pos;
+  std::map<std::string, Arg> Kw;
+};
+
+Expected<Arg> parseArg(ArgLexer &Lx) {
+  Arg A;
+  if (Lx.peek('"')) {
+    auto S = Lx.quoted();
+    if (!S)
+      return S.takeError();
+    A.K = Arg::Kind::Str;
+    A.S = S.take();
+    return A;
+  }
+  if (Lx.peek('[')) {
+    Lx.eat('[');
+    A.K = Arg::Kind::List;
+    if (!Lx.peek(']')) {
+      do {
+        auto S = Lx.quoted();
+        if (!S)
+          return S.takeError();
+        A.List.push_back(S.take());
+      } while (Lx.eat(','));
+    }
+    if (!Lx.eat(']'))
+      return errorf("expected ']' closing a list");
+    return A;
+  }
+  if (Lx.peek('-') || Lx.peek('0') || Lx.peek('1') || Lx.peek('2') ||
+      Lx.peek('3') || Lx.peek('4') || Lx.peek('5') || Lx.peek('6') ||
+      Lx.peek('7') || Lx.peek('8') || Lx.peek('9')) {
+    auto I = Lx.integer();
+    if (!I)
+      return I.takeError();
+    A.K = Arg::Kind::Int;
+    A.I = *I;
+    return A;
+  }
+  std::string Id = Lx.ident();
+  if (Id.empty())
+    return errorf("cannot parse argument near '%s'", Lx.rest().c_str());
+  if (Id == "True" || Id == "False") {
+    A.K = Arg::Kind::Bool;
+    A.B = Id == "True";
+    return A;
+  }
+  if (Id == "after" || Id == "before") {
+    if (!Lx.eat('('))
+      return errorf("expected '(' after %s", Id.c_str());
+    auto S = Lx.quoted();
+    if (!S)
+      return S.takeError();
+    if (!Lx.eat(')'))
+      return errorf("expected ')' closing %s(...)", Id.c_str());
+    A.K = Arg::Kind::Gap;
+    A.GapAfter = Id == "after";
+    A.GapPattern = S.take();
+    return A;
+  }
+  return errorf("unknown token '%s'", Id.c_str());
+}
+
+Expected<Directive> parseDirective(const std::string &Line) {
+  ArgLexer Lx(Line);
+  // p = name(p, ...)
+  if (Lx.ident() != "p")
+    return errorf("directive must have the form `p = name(p, ...)`");
+  if (!Lx.eat('='))
+    return errorf("expected '='");
+  Directive D;
+  D.Name = Lx.ident();
+  if (D.Name.empty() || !Lx.eat('('))
+    return errorf("expected a directive call");
+  if (Lx.ident() != "p")
+    return errorf("first argument must be `p`");
+  while (Lx.eat(',')) {
+    // Keyword argument: ident '=' value (distinguish from bare idents by
+    // lookahead).
+    ArgLexer Probe = Lx;
+    std::string Key = Probe.ident();
+    if (!Key.empty() && Key != "True" && Key != "False" && Key != "after" &&
+        Key != "before" && Probe.eat('=')) {
+      Lx = Probe;
+      auto V = parseArg(Lx);
+      if (!V)
+        return V.takeError();
+      D.Kw[Key] = V.take();
+      continue;
+    }
+    auto V = parseArg(Lx);
+    if (!V)
+      return V.takeError();
+    D.Pos.push_back(V.take());
+  }
+  if (!Lx.eat(')'))
+    return errorf("expected ')' closing the directive");
+  if (!Lx.atEnd())
+    return errorf("trailing text '%s'", Lx.rest().c_str());
+  return D;
+}
+
+/// Argument accessors with diagnostics.
+Expected<std::string> strArg(const Directive &D, size_t I) {
+  if (I >= D.Pos.size() || D.Pos[I].K != Arg::Kind::Str)
+    return errorf("%s: argument %zu must be a string", D.Name.c_str(),
+                  I + 1);
+  return D.Pos[I].S;
+}
+Expected<int64_t> intArg(const Directive &D, size_t I) {
+  if (I >= D.Pos.size() || D.Pos[I].K != Arg::Kind::Int)
+    return errorf("%s: argument %zu must be an integer", D.Name.c_str(),
+                  I + 1);
+  return D.Pos[I].I;
+}
+Expected<int64_t> intKwOrPos(const Directive &D, const char *Key,
+                             size_t PosIdx) {
+  auto It = D.Kw.find(Key);
+  if (It != D.Kw.end()) {
+    if (It->second.K != Arg::Kind::Int)
+      return errorf("%s: %s= must be an integer", D.Name.c_str(), Key);
+    return It->second.I;
+  }
+  return intArg(D, PosIdx);
+}
+
+Expected<Proc> applyDirective(const Proc &P, const Directive &D,
+                              const InstrResolver &Resolver,
+                              const SchedOptions &Opts) {
+  const std::string &N = D.Name;
+  if (N == "rename") {
+    auto Name = strArg(D, 0);
+    if (!Name)
+      return Name.takeError();
+    return renameProc(P, Name.take());
+  }
+  if (N == "simplify")
+    return simplifyProc(P);
+  if (N == "partial_eval") {
+    std::map<std::string, int64_t> Sizes;
+    for (const auto &[Key, V] : D.Kw) {
+      if (V.K != Arg::Kind::Int)
+        return errorf("partial_eval: %s= must be an integer", Key.c_str());
+      Sizes[Key] = V.I;
+    }
+    if (Sizes.empty())
+      return errorf("partial_eval: no sizes given");
+    return partialEval(P, Sizes);
+  }
+  if (N == "divide_loop") {
+    auto Pat = strArg(D, 0);
+    auto Factor = intArg(D, 1);
+    if (!Pat || !Factor)
+      return Pat ? Factor.takeError() : Pat.takeError();
+    if (D.Pos.size() < 3 || D.Pos[2].K != Arg::Kind::List ||
+        D.Pos[2].List.size() != 2)
+      return errorf("divide_loop: third argument must be [\"outer\", "
+                    "\"inner\"]");
+    bool Perfect = false;
+    if (auto It = D.Kw.find("perfect"); It != D.Kw.end())
+      Perfect = It->second.K == Arg::Kind::Bool && It->second.B;
+    return divideLoop(P, *Pat, *Factor, D.Pos[2].List[0], D.Pos[2].List[1],
+                      Perfect, Opts);
+  }
+  if (N == "reorder_loops") {
+    auto Pair = strArg(D, 0);
+    if (!Pair)
+      return Pair.takeError();
+    return reorderLoops(P, *Pair, Opts);
+  }
+  if (N == "unroll_loop") {
+    auto Pat = strArg(D, 0);
+    if (!Pat)
+      return Pat.takeError();
+    return unrollLoop(P, *Pat, Opts);
+  }
+  if (N == "bind_expr") {
+    auto Pat = strArg(D, 0);
+    auto Name = strArg(D, 1);
+    if (!Pat || !Name)
+      return Pat ? Name.takeError() : Pat.takeError();
+    return bindExpr(P, *Pat, *Name, Opts);
+  }
+  if (N == "stage_mem") {
+    auto Pat = strArg(D, 0);
+    auto Buf = strArg(D, 1);
+    auto Name = strArg(D, 2);
+    if (!Pat || !Buf || !Name)
+      return errorf("stage_mem: expects (p, \"stmt\", \"buf\", \"name\")");
+    return stageMem(P, *Pat, *Buf, *Name, Opts);
+  }
+  if (N == "expand_dim") {
+    auto Name = strArg(D, 0);
+    if (!Name)
+      return Name.takeError();
+    // Size: integer or expression string.
+    ExprPtr Size;
+    if (D.Pos.size() > 1 && D.Pos[1].K == Arg::Kind::Int) {
+      Size = idx(D.Pos[1].I);
+    } else {
+      auto S = strArg(D, 1);
+      if (!S)
+        return S.takeError();
+      auto E = parseIndexExpr(*S);
+      if (!E)
+        return E.takeError();
+      Size = E.take();
+    }
+    auto IdxS = strArg(D, 2);
+    if (!IdxS)
+      return IdxS.takeError();
+    auto IdxE = parseIndexExpr(*IdxS);
+    if (!IdxE)
+      return IdxE.takeError();
+    return expandDim(P, *Name, Size, IdxE.take(), Opts);
+  }
+  if (N == "lift_alloc") {
+    auto Name = strArg(D, 0);
+    auto Lifts = intKwOrPos(D, "n_lifts", 1);
+    if (!Name || !Lifts)
+      return Name ? Lifts.takeError() : Name.takeError();
+    return liftAlloc(P, *Name, static_cast<int>(*Lifts), Opts);
+  }
+  if (N == "autofission") {
+    if (D.Pos.empty() || D.Pos[0].K != Arg::Kind::Gap)
+      return errorf("autofission: expects after(\"pat\") or "
+                    "before(\"pat\")");
+    auto Lifts = intKwOrPos(D, "n_lifts", 1);
+    if (!Lifts)
+      return Lifts.takeError();
+    return autofission(P, D.Pos[0].GapPattern, D.Pos[0].GapAfter,
+                       static_cast<int>(*Lifts), Opts);
+  }
+  if (N == "replace") {
+    auto Pat = strArg(D, 0);
+    auto InstrName = strArg(D, 1);
+    if (!Pat || !InstrName)
+      return Pat ? InstrName.takeError() : Pat.takeError();
+    InstrPtr I = Resolver ? Resolver(*InstrName) : nullptr;
+    if (!I)
+      return errorf("replace: unknown instruction '%s'",
+                    InstrName->c_str());
+    return replaceWithInstr(P, *Pat, I, Opts);
+  }
+  if (N == "set_memory") {
+    auto Name = strArg(D, 0);
+    auto Space = strArg(D, 1);
+    if (!Name || !Space)
+      return Name ? Space.takeError() : Name.takeError();
+    const MemSpace *Mem = MemSpace::lookup(*Space);
+    if (!Mem)
+      return errorf("set_memory: unknown memory space '%s'",
+                    Space->c_str());
+    return setMemory(P, *Name, Mem);
+  }
+  if (N == "set_precision") {
+    auto Name = strArg(D, 0);
+    auto Ty = strArg(D, 1);
+    if (!Name || !Ty)
+      return Name ? Ty.takeError() : Name.takeError();
+    ScalarKind K;
+    if (!parseScalarKind(*Ty, K))
+      return errorf("set_precision: unknown type '%s'", Ty->c_str());
+    return setPrecision(P, *Name, K);
+  }
+  if (N == "cut_loop") {
+    auto Pat = strArg(D, 0);
+    auto Point = intArg(D, 1);
+    if (!Pat || !Point)
+      return Pat ? Point.takeError() : Pat.takeError();
+    return cutLoop(P, *Pat, *Point, Opts);
+  }
+  if (N == "fuse_loops") {
+    auto Pat = strArg(D, 0);
+    if (!Pat)
+      return Pat.takeError();
+    return fuseLoops(P, *Pat, Opts);
+  }
+  if (N == "remove_loop") {
+    auto Pat = strArg(D, 0);
+    if (!Pat)
+      return Pat.takeError();
+    return removeLoop(P, *Pat, Opts);
+  }
+  return errorf("unknown directive '%s'", N.c_str());
+}
+
+} // namespace
+
+Expected<ScheduleScriptResult>
+exo::runScheduleScript(const Proc &Init, const std::string &Script,
+                       const InstrResolver &Resolver,
+                       const SchedOptions &Opts) {
+  ScheduleScriptResult R;
+  R.Final = Init;
+  size_t LineNo = 0;
+  for (const std::string &Raw : split(Script, '\n', /*KeepEmpty=*/true)) {
+    ++LineNo;
+    std::string Line(trim(Raw));
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    auto D = parseDirective(Line);
+    if (!D)
+      return errorf("schedule line %zu: %s", LineNo, D.message().c_str());
+    auto Next = applyDirective(R.Final, *D, Resolver, Opts);
+    if (!Next)
+      return errorf("schedule line %zu (%s): %s", LineNo, D->Name.c_str(),
+                    Next.message().c_str());
+    R.Final = Next.take();
+    R.Steps.emplace_back(Line, R.Final);
+  }
+  return R;
+}

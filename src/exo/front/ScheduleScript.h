@@ -1,0 +1,56 @@
+//===- ScheduleScript.h - Textual schedule directives ---------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs schedules written the way the paper's figures write them — one
+/// directive per line, transforming the proc bound to `p`:
+///
+/// \code
+///   p = partial_eval(p, MR=8, NR=12)
+///   p = divide_loop(p, "for i in _: _", 4, ["it", "itt"], perfect=True)
+///   p = stage_mem(p, "C[_] += _", "C", "C_reg")
+///   p = expand_dim(p, "C_reg", 4, "itt")
+///   p = lift_alloc(p, "C_reg", n_lifts=5)
+///   p = autofission(p, after("C_reg[_] = _"), n_lifts=5)
+///   p = replace(p, "for itt in _: _ #0", "neon_vld_4xf32")
+///   p = set_memory(p, "C_reg", "Neon")
+///   # comments and blank lines are ignored
+/// \endcode
+///
+/// Supported directives: rename, partial_eval, simplify, divide_loop,
+/// reorder_loops, unroll_loop, bind_expr, stage_mem, expand_dim,
+/// lift_alloc, autofission, replace, set_memory, set_precision, cut_loop,
+/// fuse_loops, remove_loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_FRONT_SCHEDULESCRIPT_H
+#define EXO_FRONT_SCHEDULESCRIPT_H
+
+#include "exo/front/Parse.h"
+#include "exo/sched/Schedule.h"
+
+#include <vector>
+
+namespace exo {
+
+/// Outcome of a script run; every directive's result is retained.
+struct ScheduleScriptResult {
+  Proc Final;
+  std::vector<std::pair<std::string, Proc>> Steps;
+};
+
+/// Applies \p Script to \p Init. Instruction names in `replace` resolve
+/// through \p Resolver; memory spaces in `set_memory` through the interned
+/// registry. Fails with a line-numbered diagnostic on the first error.
+Expected<ScheduleScriptResult>
+runScheduleScript(const Proc &Init, const std::string &Script,
+                  const InstrResolver &Resolver = isaInstrResolver(),
+                  const SchedOptions &Opts = defaultSchedOptions());
+
+} // namespace exo
+
+#endif // EXO_FRONT_SCHEDULESCRIPT_H

@@ -1,0 +1,445 @@
+//===- Interp.cpp ---------------------------------------------------------===//
+
+#include "exo/interp/Interp.h"
+
+#include "exo/support/Str.h"
+
+#include <cmath>
+#include <deque>
+
+using namespace exo;
+
+namespace {
+
+/// A (possibly strided) view over caller or local storage.
+struct BufView {
+  double *Base = nullptr;
+  ScalarKind Ty = ScalarKind::F32;
+  std::vector<int64_t> Shape;
+  std::vector<int64_t> Strides;
+
+  int64_t rank() const { return static_cast<int64_t>(Shape.size()); }
+};
+
+/// Rounds \p V to the representable value of kind \p K (double compute,
+/// typed stores).
+double roundToKind(double V, ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F16:
+    return static_cast<double>(static_cast<_Float16>(V));
+  case ScalarKind::F32:
+    return static_cast<double>(static_cast<float>(V));
+  case ScalarKind::F64:
+    return V;
+  case ScalarKind::I8:
+    return static_cast<double>(static_cast<int8_t>(std::llrint(V)));
+  case ScalarKind::I16:
+    return static_cast<double>(static_cast<int16_t>(std::llrint(V)));
+  case ScalarKind::I32:
+    return static_cast<double>(static_cast<int32_t>(std::llrint(V)));
+  case ScalarKind::Index:
+  case ScalarKind::Bool:
+    return V;
+  }
+  return V;
+}
+
+class Machine {
+public:
+  Error run(const Proc &P, const std::map<std::string, int64_t> &Scalars,
+            const std::map<std::string, TensorArg> &Tensors);
+
+private:
+  Error bindParams(const Proc &P,
+                   const std::map<std::string, int64_t> &Scalars,
+                   const std::map<std::string, TensorArg> &Tensors);
+  Error execBody(const std::vector<StmtPtr> &Body);
+  Error execStmt(const StmtPtr &S);
+  Error execCall(const CallStmt &C);
+  Error evalInt(const ExprPtr &E, int64_t &Out);
+  Error evalValue(const ExprPtr &E, double &Out);
+  Error elemAddr(const std::string &Buf, const std::vector<ExprPtr> &Idx,
+                 double *&Addr, ScalarKind &Ty);
+
+  std::map<std::string, int64_t> IntEnv;
+  std::map<std::string, BufView> Bufs;
+  /// Owns local allocation storage (stable addresses).
+  std::deque<std::vector<double>> LocalStorage;
+};
+
+Error Machine::evalInt(const ExprPtr &E, int64_t &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    Out = cast<ConstExpr>(E)->intValue();
+    return Error::success();
+  case Expr::Kind::Var: {
+    auto It = IntEnv.find(cast<VarExpr>(E)->name());
+    if (It == IntEnv.end())
+      return errorf("unbound variable '%s'",
+                    cast<VarExpr>(E)->name().c_str());
+    Out = It->second;
+    return Error::success();
+  }
+  case Expr::Kind::USub: {
+    if (Error Err = evalInt(cast<USubExpr>(E)->operand(), Out))
+      return Err;
+    Out = -Out;
+    return Error::success();
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    int64_t L, R;
+    if (Error Err = evalInt(B->lhs(), L))
+      return Err;
+    if (Error Err = evalInt(B->rhs(), R))
+      return Err;
+    switch (B->op()) {
+    case BinOpExpr::Op::Add:
+      Out = L + R;
+      return Error::success();
+    case BinOpExpr::Op::Sub:
+      Out = L - R;
+      return Error::success();
+    case BinOpExpr::Op::Mul:
+      Out = L * R;
+      return Error::success();
+    case BinOpExpr::Op::Div:
+      if (R == 0)
+        return errorf("division by zero in index expression");
+      Out = L / R;
+      return Error::success();
+    case BinOpExpr::Op::Mod:
+      if (R == 0)
+        return errorf("modulo by zero in index expression");
+      Out = L % R;
+      return Error::success();
+    case BinOpExpr::Op::Lt:
+      Out = L < R;
+      return Error::success();
+    case BinOpExpr::Op::Le:
+      Out = L <= R;
+      return Error::success();
+    case BinOpExpr::Op::Gt:
+      Out = L > R;
+      return Error::success();
+    case BinOpExpr::Op::Ge:
+      Out = L >= R;
+      return Error::success();
+    case BinOpExpr::Op::Eq:
+      Out = L == R;
+      return Error::success();
+    }
+    return errorf("unknown integer binop");
+  }
+  case Expr::Kind::Read:
+    return errorf("buffer read in index expression");
+  }
+  return errorf("unknown expression kind");
+}
+
+Error Machine::elemAddr(const std::string &Buf,
+                        const std::vector<ExprPtr> &Idx, double *&Addr,
+                        ScalarKind &Ty) {
+  auto It = Bufs.find(Buf);
+  if (It == Bufs.end())
+    return errorf("access to unknown buffer '%s'", Buf.c_str());
+  BufView &V = It->second;
+  if (static_cast<int64_t>(Idx.size()) != V.rank())
+    return errorf("buffer '%s' has rank %lld, accessed with %zu indices",
+                  Buf.c_str(), static_cast<long long>(V.rank()), Idx.size());
+  int64_t Off = 0;
+  for (size_t D = 0; D != Idx.size(); ++D) {
+    int64_t I;
+    if (Error Err = evalInt(Idx[D], I))
+      return Err;
+    if (I < 0 || I >= V.Shape[D])
+      return errorf("out-of-bounds access %s[dim %zu] = %lld, extent %lld",
+                    Buf.c_str(), D, static_cast<long long>(I),
+                    static_cast<long long>(V.Shape[D]));
+    Off += I * V.Strides[D];
+  }
+  Addr = V.Base + Off;
+  Ty = V.Ty;
+  return Error::success();
+}
+
+Error Machine::evalValue(const ExprPtr &E, double &Out) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+    Out = cast<ConstExpr>(E)->floatValue();
+    return Error::success();
+  case Expr::Kind::Var: {
+    int64_t I;
+    if (Error Err = evalInt(E, I))
+      return Err;
+    Out = static_cast<double>(I);
+    return Error::success();
+  }
+  case Expr::Kind::Read: {
+    const auto *R = cast<ReadExpr>(E);
+    double *Addr;
+    ScalarKind Ty;
+    if (Error Err = elemAddr(R->buffer(), R->indices(), Addr, Ty))
+      return Err;
+    Out = *Addr;
+    return Error::success();
+  }
+  case Expr::Kind::USub: {
+    if (Error Err = evalValue(cast<USubExpr>(E)->operand(), Out))
+      return Err;
+    Out = -Out;
+    return Error::success();
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    double L, R;
+    if (Error Err = evalValue(B->lhs(), L))
+      return Err;
+    if (Error Err = evalValue(B->rhs(), R))
+      return Err;
+    switch (B->op()) {
+    case BinOpExpr::Op::Add:
+      Out = L + R;
+      return Error::success();
+    case BinOpExpr::Op::Sub:
+      Out = L - R;
+      return Error::success();
+    case BinOpExpr::Op::Mul:
+      Out = L * R;
+      return Error::success();
+    case BinOpExpr::Op::Div:
+      Out = L / R;
+      return Error::success();
+    default:
+      return errorf("operator %s not valid in value expressions",
+                    BinOpExpr::opName(B->op()));
+    }
+  }
+  }
+  return errorf("unknown expression kind");
+}
+
+Error Machine::execCall(const CallStmt &C) {
+  const Proc &Callee = C.callee()->semantics();
+  const auto &Params = Callee.params();
+  const auto &Args = C.args();
+  if (Params.size() != Args.size())
+    return errorf("call to '%s': %zu args for %zu params",
+                  C.callee()->name().c_str(), Args.size(), Params.size());
+
+  // Evaluate arguments in the caller's environment.
+  std::map<std::string, int64_t> CalleeInts;
+  std::map<std::string, BufView> CalleeBufs;
+  for (size_t I = 0; I != Args.size(); ++I) {
+    const Param &P = Params[I];
+    const CallArg &A = Args[I];
+    if (P.PKind != Param::Kind::Tensor) {
+      if (A.isWindow())
+        return errorf("call to '%s': window passed for scalar param '%s'",
+                      C.callee()->name().c_str(), P.Name.c_str());
+      int64_t V;
+      if (Error Err = evalInt(A.Scalar, V))
+        return Err;
+      CalleeInts[P.Name] = V;
+      continue;
+    }
+    if (!A.isWindow())
+      return errorf("call to '%s': scalar passed for tensor param '%s'",
+                    C.callee()->name().c_str(), P.Name.c_str());
+    auto It = Bufs.find(A.Buf);
+    if (It == Bufs.end())
+      return errorf("call references unknown buffer '%s'", A.Buf.c_str());
+    const BufView &Parent = It->second;
+    if (static_cast<int64_t>(A.Dims.size()) != Parent.rank())
+      return errorf("window into '%s' has %zu dims, buffer rank %lld",
+                    A.Buf.c_str(), A.Dims.size(),
+                    static_cast<long long>(Parent.rank()));
+    BufView View;
+    View.Ty = Parent.Ty;
+    int64_t Off = 0;
+    for (size_t D = 0; D != A.Dims.size(); ++D) {
+      const WindowDim &W = A.Dims[D];
+      if (W.isPoint()) {
+        int64_t Pt;
+        if (Error Err = evalInt(W.Point, Pt))
+          return Err;
+        if (Pt < 0 || Pt >= Parent.Shape[D])
+          return errorf("window point %lld out of bounds in '%s' dim %zu",
+                        static_cast<long long>(Pt), A.Buf.c_str(), D);
+        Off += Pt * Parent.Strides[D];
+        continue;
+      }
+      int64_t Lo, Len;
+      if (Error Err = evalInt(W.Lo, Lo))
+        return Err;
+      if (Error Err = evalInt(W.Len, Len))
+        return Err;
+      if (Lo < 0 || Len < 0 || Lo + Len > Parent.Shape[D])
+        return errorf("window [%lld, +%lld) out of bounds in '%s' dim %zu",
+                      static_cast<long long>(Lo),
+                      static_cast<long long>(Len), A.Buf.c_str(), D);
+      Off += Lo * Parent.Strides[D];
+      View.Shape.push_back(Len);
+      View.Strides.push_back(Parent.Strides[D]);
+    }
+    View.Base = Parent.Base + Off;
+
+    // Check the window rank matches the instruction parameter's rank.
+    if (View.Shape.size() != P.Shape.size())
+      return errorf("window for '%s' has rank %zu, param wants %zu",
+                    P.Name.c_str(), View.Shape.size(), P.Shape.size());
+    CalleeBufs[P.Name] = View;
+  }
+
+  // Run the callee body in a fresh machine state sharing storage views.
+  Machine Sub;
+  Sub.IntEnv = std::move(CalleeInts);
+  Sub.Bufs = std::move(CalleeBufs);
+  return Sub.execBody(Callee.body());
+}
+
+Error Machine::execStmt(const StmtPtr &S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castS<AssignStmt>(S);
+    double *Addr;
+    ScalarKind Ty;
+    if (Error Err = elemAddr(A->buffer(), A->indices(), Addr, Ty))
+      return Err;
+    double V;
+    if (Error Err = evalValue(A->rhs(), V))
+      return Err;
+    *Addr = roundToKind(A->isReduce() ? *Addr + V : V, Ty);
+    return Error::success();
+  }
+  case Stmt::Kind::For: {
+    const auto *F = castS<ForStmt>(S);
+    int64_t Lo, Hi;
+    if (Error Err = evalInt(F->lo(), Lo))
+      return Err;
+    if (Error Err = evalInt(F->hi(), Hi))
+      return Err;
+    auto Saved = IntEnv.find(F->loopVar()) != IntEnv.end()
+                     ? std::optional<int64_t>(IntEnv[F->loopVar()])
+                     : std::nullopt;
+    for (int64_t I = Lo; I < Hi; ++I) {
+      IntEnv[F->loopVar()] = I;
+      if (Error Err = execBody(F->body()))
+        return Err;
+    }
+    if (Saved)
+      IntEnv[F->loopVar()] = *Saved;
+    else
+      IntEnv.erase(F->loopVar());
+    return Error::success();
+  }
+  case Stmt::Kind::Alloc: {
+    const auto *A = castS<AllocStmt>(S);
+    BufView V;
+    V.Ty = A->elemType();
+    int64_t Total = 1;
+    for (const ExprPtr &D : A->shape()) {
+      int64_t E;
+      if (Error Err = evalInt(D, E))
+        return Err;
+      if (E < 0)
+        return errorf("negative extent in allocation '%s'",
+                      A->name().c_str());
+      V.Shape.push_back(E);
+      Total *= E;
+    }
+    // Dense row-major strides.
+    V.Strides.assign(V.Shape.size(), 1);
+    for (int D = static_cast<int>(V.Shape.size()) - 2; D >= 0; --D)
+      V.Strides[D] = V.Strides[D + 1] * V.Shape[D + 1];
+    LocalStorage.emplace_back(static_cast<size_t>(Total), 0.0);
+    V.Base = LocalStorage.back().data();
+    Bufs[A->name()] = V;
+    return Error::success();
+  }
+  case Stmt::Kind::Call:
+    return execCall(*castS<CallStmt>(S));
+  }
+  return errorf("unknown statement kind");
+}
+
+Error Machine::execBody(const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &S : Body)
+    if (Error Err = execStmt(S))
+      return Err;
+  return Error::success();
+}
+
+Error Machine::bindParams(const Proc &P,
+                          const std::map<std::string, int64_t> &Scalars,
+                          const std::map<std::string, TensorArg> &Tensors) {
+  for (const Param &Pa : P.params()) {
+    if (Pa.PKind != Param::Kind::Tensor) {
+      auto It = Scalars.find(Pa.Name);
+      if (It == Scalars.end())
+        return errorf("missing scalar argument '%s'", Pa.Name.c_str());
+      if (Pa.PKind == Param::Kind::Size && It->second <= 0)
+        return errorf("size '%s' must be positive, got %lld", Pa.Name.c_str(),
+                      static_cast<long long>(It->second));
+      IntEnv[Pa.Name] = It->second;
+      continue;
+    }
+    auto It = Tensors.find(Pa.Name);
+    if (It == Tensors.end())
+      return errorf("missing tensor argument '%s'", Pa.Name.c_str());
+    const TensorArg &T = It->second;
+    BufView V;
+    V.Base = T.Data;
+    V.Ty = Pa.Ty;
+    // Declared shape, evaluated with the size environment.
+    for (const ExprPtr &D : Pa.Shape) {
+      int64_t E;
+      if (Error Err = evalInt(D, E))
+        return Err;
+      V.Shape.push_back(E);
+    }
+    if (V.Shape != T.Shape)
+      return errorf("tensor '%s' shape mismatch", Pa.Name.c_str());
+    V.Strides.assign(V.Shape.size(), 1);
+    for (int D = static_cast<int>(V.Shape.size()) - 2; D >= 0; --D)
+      V.Strides[D] = V.Strides[D + 1] * V.Shape[D + 1];
+    if (!Pa.LeadStrideVar.empty()) {
+      auto LS = Scalars.find(Pa.LeadStrideVar);
+      int64_t Lead = T.LeadStride;
+      if (LS != Scalars.end())
+        Lead = LS->second;
+      if (Lead < 0)
+        return errorf("tensor '%s' needs a leading stride", Pa.Name.c_str());
+      V.Strides[0] = Lead;
+    } else if (T.LeadStride >= 0 && !V.Strides.empty()) {
+      V.Strides[0] = T.LeadStride;
+    }
+    Bufs[Pa.Name] = V;
+  }
+
+  // Check preconditions.
+  for (const ExprPtr &Pre : P.preconds()) {
+    int64_t V;
+    if (Error Err = evalInt(Pre, V))
+      return Err;
+    if (!V)
+      return errorf("precondition failed in '%s'", P.name().c_str());
+  }
+  return Error::success();
+}
+
+Error Machine::run(const Proc &P, const std::map<std::string, int64_t> &Scalars,
+                   const std::map<std::string, TensorArg> &Tensors) {
+  if (Error Err = bindParams(P, Scalars, Tensors))
+    return Err;
+  return execBody(P.body());
+}
+
+} // namespace
+
+Error exo::interpret(const Proc &P,
+                     const std::map<std::string, int64_t> &Scalars,
+                     const std::map<std::string, TensorArg> &Tensors) {
+  Machine M;
+  return M.run(P, Scalars, Tensors);
+}

@@ -1,0 +1,50 @@
+//===- Interp.h - Reference interpreter for procs -------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes any proc directly on host buffers, including instruction calls
+/// (by running the instruction's semantic body). The interpreter is the
+/// semantic ground truth of the system: property tests run it on a proc
+/// before and after every scheduling rewrite and require identical results,
+/// and JIT-compiled kernels are validated against it.
+///
+/// Values are computed in double and rounded to the destination buffer's
+/// element type on every store, so f32/f16 behaviour is modeled faithfully
+/// up to the associativity differences the tests' tolerances allow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_INTERP_INTERP_H
+#define EXO_INTERP_INTERP_H
+
+#include "exo/ir/Proc.h"
+#include "exo/support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace exo {
+
+/// A caller-owned dense tensor argument. Data is in doubles regardless of
+/// the declared element kind; the interpreter rounds stores to the declared
+/// kind. Dimension 0 may have a custom stride (in elements) via LeadStride;
+/// -1 means dense (product of inner extents).
+struct TensorArg {
+  double *Data = nullptr;
+  std::vector<int64_t> Shape;
+  int64_t LeadStride = -1;
+};
+
+/// Runs \p P with the given size/index parameter values and tensors. Checks
+/// parameter shapes and preconditions. Returns a diagnostic on any mismatch
+/// or out-of-bounds access.
+Error interpret(const Proc &P, const std::map<std::string, int64_t> &Scalars,
+                const std::map<std::string, TensorArg> &Tensors);
+
+} // namespace exo
+
+#endif // EXO_INTERP_INTERP_H

@@ -1,0 +1,175 @@
+//===- Affine.cpp ---------------------------------------------------------===//
+
+#include "exo/ir/Affine.h"
+
+using namespace exo;
+
+LinExpr &LinExpr::operator+=(const LinExpr &O) {
+  Const += O.Const;
+  for (const auto &[V, K] : O.Coeffs)
+    Coeffs[V] += K;
+  normalize();
+  return *this;
+}
+
+LinExpr &LinExpr::operator-=(const LinExpr &O) {
+  Const -= O.Const;
+  for (const auto &[V, K] : O.Coeffs)
+    Coeffs[V] -= K;
+  normalize();
+  return *this;
+}
+
+LinExpr &LinExpr::operator*=(int64_t K) {
+  Const *= K;
+  for (auto &[V, C] : Coeffs)
+    C *= K;
+  normalize();
+  return *this;
+}
+
+void LinExpr::normalize() {
+  for (auto It = Coeffs.begin(); It != Coeffs.end();) {
+    if (It->second == 0)
+      It = Coeffs.erase(It);
+    else
+      ++It;
+  }
+}
+
+std::optional<LinExpr> exo::linearize(const ExprPtr &E) {
+  switch (E->kind()) {
+  case Expr::Kind::Const: {
+    const auto *C = cast<ConstExpr>(E);
+    if (isFloatKind(C->type()))
+      return std::nullopt;
+    LinExpr L;
+    L.Const = C->intValue();
+    return L;
+  }
+  case Expr::Kind::Var: {
+    LinExpr L;
+    L.Coeffs[cast<VarExpr>(E)->name()] = 1;
+    return L;
+  }
+  case Expr::Kind::Read:
+    return std::nullopt;
+  case Expr::Kind::USub: {
+    auto L = linearize(cast<USubExpr>(E)->operand());
+    if (!L)
+      return std::nullopt;
+    *L *= -1;
+    return L;
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    auto L = linearize(B->lhs());
+    auto R = linearize(B->rhs());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->op()) {
+    case BinOpExpr::Op::Add:
+      *L += *R;
+      return L;
+    case BinOpExpr::Op::Sub:
+      *L -= *R;
+      return L;
+    case BinOpExpr::Op::Mul:
+      if (R->isConstant()) {
+        *L *= R->Const;
+        return L;
+      }
+      if (L->isConstant()) {
+        *R *= L->Const;
+        return R;
+      }
+      return std::nullopt;
+    case BinOpExpr::Op::Div:
+      // Exact constant division only (e.g. folding (4*it)/4).
+      if (!R->isConstant() || R->Const == 0)
+        return std::nullopt;
+      if (L->Const % R->Const != 0)
+        return std::nullopt;
+      for (const auto &[V, K] : L->Coeffs)
+        if (K % R->Const != 0)
+          return std::nullopt;
+      for (auto &[V, K] : L->Coeffs)
+        K /= R->Const;
+      L->Const /= R->Const;
+      L->normalize();
+      return L;
+    case BinOpExpr::Op::Mod:
+      if (L->isConstant() && R->isConstant() && R->Const != 0) {
+        LinExpr Out;
+        Out.Const = L->Const % R->Const;
+        return Out;
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+    }
+  }
+  }
+  return std::nullopt;
+}
+
+ExprPtr exo::fromLinear(const LinExpr &L) {
+  ExprPtr Acc;
+  for (const auto &[V, K] : L.Coeffs) {
+    ExprPtr Term;
+    if (K == 1)
+      Term = var(V);
+    else if (K == -1)
+      Term = USubExpr::make(var(V));
+    else
+      Term = idx(K) * var(V);
+    Acc = Acc ? std::move(Acc) + std::move(Term) : std::move(Term);
+  }
+  if (!Acc)
+    return idx(L.Const);
+  if (L.Const > 0)
+    return std::move(Acc) + L.Const;
+  if (L.Const < 0)
+    return std::move(Acc) - (-L.Const);
+  return Acc;
+}
+
+ExprPtr exo::normalizeIndexExpr(const ExprPtr &E) {
+  if (auto L = linearize(E))
+    return fromLinear(*L);
+  return E;
+}
+
+std::optional<int64_t> exo::tryConstFold(const ExprPtr &E) {
+  auto L = linearize(E);
+  if (L && L->isConstant())
+    return L->Const;
+  return std::nullopt;
+}
+
+ExprPtr exo::foldExpr(const ExprPtr &E) {
+  // Index-typed expressions normalize through the linear form.
+  if (E->type() == ScalarKind::Index)
+    return normalizeIndexExpr(E);
+  // Value expressions fold recursively by rebuilding.
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return E;
+  case Expr::Kind::Read: {
+    const auto *R = cast<ReadExpr>(E);
+    std::vector<ExprPtr> Idx;
+    Idx.reserve(R->indices().size());
+    for (const ExprPtr &I : R->indices())
+      Idx.push_back(normalizeIndexExpr(I));
+    return ReadExpr::make(R->buffer(), std::move(Idx), R->type());
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    return BinOpExpr::make(B->op(), foldExpr(B->lhs()), foldExpr(B->rhs()));
+  }
+  case Expr::Kind::USub:
+    return USubExpr::make(foldExpr(cast<USubExpr>(E)->operand()));
+  }
+  return E;
+}

@@ -1,0 +1,70 @@
+//===- Affine.h - Linear index-expression analysis ------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Index expressions in GEMM schedules are linear combinations of loop
+/// variables and size parameters, e.g. `jtt + 4 * jt`. LinExpr is the
+/// canonical form `sum(coeff_i * var_i) + const`; it drives `replace`
+/// unification, fission safety checks, constant folding, and printing in a
+/// deterministic normal form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_AFFINE_H
+#define EXO_IR_AFFINE_H
+
+#include "exo/ir/Expr.h"
+
+#include <map>
+#include <optional>
+
+namespace exo {
+
+/// `sum(Coeffs[v] * v) + Const`. Zero coefficients are never stored.
+struct LinExpr {
+  std::map<std::string, int64_t> Coeffs;
+  int64_t Const = 0;
+
+  bool isConstant() const { return Coeffs.empty(); }
+  int64_t coeff(const std::string &V) const {
+    auto It = Coeffs.find(V);
+    return It == Coeffs.end() ? 0 : It->second;
+  }
+
+  LinExpr &operator+=(const LinExpr &O);
+  LinExpr &operator-=(const LinExpr &O);
+  LinExpr &operator*=(int64_t K);
+
+  bool operator==(const LinExpr &O) const {
+    return Const == O.Const && Coeffs == O.Coeffs;
+  }
+
+  /// Drops variables whose coefficient became zero.
+  void normalize();
+};
+
+/// Linearizes \p E. Fails (nullopt) on non-linear shapes: products of two
+/// non-constant terms, divisions and modulo, and reads.
+std::optional<LinExpr> linearize(const ExprPtr &E);
+
+/// Rebuilds a normalized index expression from \p L, with variables in
+/// map order (i.e. lexicographic), e.g. `4 * jt + jtt + 1`.
+ExprPtr fromLinear(const LinExpr &L);
+
+/// Linearize-then-rebuild. Returns \p E unchanged when non-linear.
+ExprPtr normalizeIndexExpr(const ExprPtr &E);
+
+/// Evaluates \p E when it is a constant (after folding). Handles linear
+/// shapes plus constant division/modulo.
+std::optional<int64_t> tryConstFold(const ExprPtr &E);
+
+/// Folds constant subtrees of any expression (also inside reads and value
+/// arithmetic); used by `simplify`.
+ExprPtr foldExpr(const ExprPtr &E);
+
+} // namespace exo
+
+#endif // EXO_IR_AFFINE_H

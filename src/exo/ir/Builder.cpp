@@ -1,0 +1,92 @@
+//===- Builder.cpp --------------------------------------------------------===//
+
+#include "exo/ir/Builder.h"
+
+#include "exo/support/Error.h"
+
+using namespace exo;
+
+ProcBuilder::ProcBuilder(std::string Name) : Name(std::move(Name)) {
+  Stack.emplace_back();
+}
+
+ExprPtr ProcBuilder::sizeParam(const std::string &Name) {
+  assert(!Name.empty());
+  Params.push_back(Param::size(Name));
+  return var(Name);
+}
+
+ExprPtr ProcBuilder::indexParam(const std::string &Name) {
+  Params.push_back(Param::indexVal(Name));
+  return var(Name);
+}
+
+void ProcBuilder::tensorParam(const std::string &Name, ScalarKind Ty,
+                              std::vector<ExprPtr> Shape, const MemSpace *Mem,
+                              bool Mutable, const std::string &LeadStrideVar) {
+  Params.push_back(
+      Param::tensor(Name, Ty, std::move(Shape), Mem, Mutable, LeadStrideVar));
+}
+
+void ProcBuilder::precond(ExprPtr Cond) {
+  assert(Cond->type() == ScalarKind::Bool && "precondition must be boolean");
+  Preconds.push_back(std::move(Cond));
+}
+
+ExprPtr ProcBuilder::beginFor(const std::string &Var, ExprPtr Lo, ExprPtr Hi) {
+  OpenLoops.push_back({Var, std::move(Lo), std::move(Hi)});
+  Stack.emplace_back();
+  return var(Var);
+}
+
+void ProcBuilder::endFor() {
+  assert(!OpenLoops.empty() && "endFor without beginFor");
+  OpenLoop L = std::move(OpenLoops.back());
+  OpenLoops.pop_back();
+  std::vector<StmtPtr> Body = std::move(Stack.back());
+  Stack.pop_back();
+  append(ForStmt::make(L.Var, L.Lo, L.Hi, std::move(Body)));
+}
+
+void ProcBuilder::assign(const std::string &Buf, std::vector<ExprPtr> Idx,
+                         ExprPtr Rhs) {
+  append(AssignStmt::make(Buf, std::move(Idx), std::move(Rhs), false));
+}
+
+void ProcBuilder::reduce(const std::string &Buf, std::vector<ExprPtr> Idx,
+                         ExprPtr Rhs) {
+  append(AssignStmt::make(Buf, std::move(Idx), std::move(Rhs), true));
+}
+
+void ProcBuilder::alloc(const std::string &Name, ScalarKind Ty,
+                        std::vector<ExprPtr> Shape, const MemSpace *Mem) {
+  AllocTypes.emplace_back(Name, Ty);
+  append(AllocStmt::make(Name, Ty, std::move(Shape), Mem));
+}
+
+void ProcBuilder::call(InstrPtr Callee, std::vector<CallArg> Args) {
+  append(CallStmt::make(std::move(Callee), std::move(Args)));
+}
+
+ScalarKind ProcBuilder::elemTypeOf(const std::string &Buf) const {
+  for (const Param &P : Params)
+    if (P.Name == Buf && P.PKind == Param::Kind::Tensor)
+      return P.Ty;
+  for (const auto &[Name, Ty] : AllocTypes)
+    if (Name == Buf)
+      return Ty;
+  fatal("readOf of undeclared buffer '" + Buf + "'");
+}
+
+ExprPtr ProcBuilder::readOf(const std::string &Buf, std::vector<ExprPtr> Idx) {
+  return read(Buf, std::move(Idx), elemTypeOf(Buf));
+}
+
+void ProcBuilder::append(StmtPtr S) { Stack.back().push_back(std::move(S)); }
+
+Proc ProcBuilder::build() {
+  assert(OpenLoops.empty() && "unclosed for loop at build()");
+  assert(Stack.size() == 1 && "builder stack corrupted");
+  return Proc(std::move(Name), std::move(Params), std::move(Preconds),
+              std::move(Stack.back()));
+}

@@ -1,0 +1,86 @@
+//===- Builder.h - Fluent construction of procs ---------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProcBuilder assembles a Proc imperatively, mirroring how the paper's
+/// Fig. 4 Exo source reads:
+///
+/// \code
+///   ProcBuilder B("ukernel_ref");
+///   ExprPtr MR = B.sizeParam("MR"), NR = B.sizeParam("NR");
+///   ExprPtr KC = B.sizeParam("KC");
+///   B.tensorParam("Ac", ScalarKind::F32, {KC, MR}, MemSpace::dram(), false);
+///   ...
+///   ExprPtr K = B.beginFor("k", idx(0), KC);
+///   ...
+///   B.endFor();
+///   Proc P = B.build();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_BUILDER_H
+#define EXO_IR_BUILDER_H
+
+#include "exo/ir/Proc.h"
+
+namespace exo {
+
+class ProcBuilder {
+public:
+  explicit ProcBuilder(std::string Name);
+
+  /// Declares `name: size` and returns a reference to it.
+  ExprPtr sizeParam(const std::string &Name);
+  /// Declares `name: index` and returns a reference to it.
+  ExprPtr indexParam(const std::string &Name);
+  /// Declares a tensor parameter.
+  void tensorParam(const std::string &Name, ScalarKind Ty,
+                   std::vector<ExprPtr> Shape, const MemSpace *Mem,
+                   bool Mutable, const std::string &LeadStrideVar = "");
+  /// Adds `assert cond` to the preconditions.
+  void precond(ExprPtr Cond);
+
+  /// Opens `for v in seq(lo, hi):`; returns the loop variable.
+  ExprPtr beginFor(const std::string &Var, ExprPtr Lo, ExprPtr Hi);
+  void endFor();
+
+  void assign(const std::string &Buf, std::vector<ExprPtr> Idx, ExprPtr Rhs);
+  void reduce(const std::string &Buf, std::vector<ExprPtr> Idx, ExprPtr Rhs);
+  void alloc(const std::string &Name, ScalarKind Ty, std::vector<ExprPtr> Shape,
+             const MemSpace *Mem);
+  void call(InstrPtr Callee, std::vector<CallArg> Args);
+
+  /// Reads element [Idx...] of a declared buffer, with the element type taken
+  /// from the declaration.
+  ExprPtr readOf(const std::string &Buf, std::vector<ExprPtr> Idx);
+
+  /// Finishes construction; the builder must be back at nesting depth zero.
+  Proc build();
+
+private:
+  void append(StmtPtr S);
+  ScalarKind elemTypeOf(const std::string &Buf) const;
+
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<ExprPtr> Preconds;
+  /// Stack of open statement lists; Stack[0] is the proc body, each open
+  /// `for` pushes one entry.
+  std::vector<std::vector<StmtPtr>> Stack;
+  /// Headers of the open loops, innermost last.
+  struct OpenLoop {
+    std::string Var;
+    ExprPtr Lo, Hi;
+  };
+  std::vector<OpenLoop> OpenLoops;
+  /// Allocation types, for readOf.
+  std::vector<std::pair<std::string, ScalarKind>> AllocTypes;
+};
+
+} // namespace exo
+
+#endif // EXO_IR_BUILDER_H

@@ -1,0 +1,136 @@
+//===- Equal.cpp ----------------------------------------------------------===//
+
+#include "exo/ir/Equal.h"
+
+#include "exo/ir/Affine.h"
+
+using namespace exo;
+
+bool exo::exprEqual(const ExprPtr &A, const ExprPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind() || A->type() != B->type())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::Const: {
+    const auto *CA = cast<ConstExpr>(A);
+    const auto *CB = cast<ConstExpr>(B);
+    if (isFloatKind(CA->type()))
+      return CA->floatValue() == CB->floatValue();
+    return CA->intValue() == CB->intValue();
+  }
+  case Expr::Kind::Var:
+    return cast<VarExpr>(A)->name() == cast<VarExpr>(B)->name();
+  case Expr::Kind::Read: {
+    const auto *RA = cast<ReadExpr>(A);
+    const auto *RB = cast<ReadExpr>(B);
+    if (RA->buffer() != RB->buffer() ||
+        RA->indices().size() != RB->indices().size())
+      return false;
+    for (size_t I = 0; I != RA->indices().size(); ++I)
+      if (!exprEqual(RA->indices()[I], RB->indices()[I]))
+        return false;
+    return true;
+  }
+  case Expr::Kind::BinOp: {
+    const auto *BA = cast<BinOpExpr>(A);
+    const auto *BB = cast<BinOpExpr>(B);
+    return BA->op() == BB->op() && exprEqual(BA->lhs(), BB->lhs()) &&
+           exprEqual(BA->rhs(), BB->rhs());
+  }
+  case Expr::Kind::USub:
+    return exprEqual(cast<USubExpr>(A)->operand(),
+                     cast<USubExpr>(B)->operand());
+  }
+  return false;
+}
+
+bool exo::exprEquiv(const ExprPtr &A, const ExprPtr &B) {
+  if (A->type() == ScalarKind::Index && B->type() == ScalarKind::Index) {
+    auto LA = linearize(A);
+    auto LB = linearize(B);
+    if (LA && LB)
+      return *LA == *LB;
+  }
+  return exprEqual(A, B);
+}
+
+static bool windowDimEqual(const WindowDim &A, const WindowDim &B) {
+  if (A.isPoint() != B.isPoint())
+    return false;
+  if (A.isPoint())
+    return exprEqual(A.Point, B.Point);
+  return exprEqual(A.Lo, B.Lo) && exprEqual(A.Len, B.Len);
+}
+
+static bool callArgEqual(const CallArg &A, const CallArg &B) {
+  if (A.isWindow() != B.isWindow())
+    return false;
+  if (!A.isWindow())
+    return exprEqual(A.Scalar, B.Scalar);
+  if (A.Buf != B.Buf || A.Dims.size() != B.Dims.size())
+    return false;
+  for (size_t I = 0; I != A.Dims.size(); ++I)
+    if (!windowDimEqual(A.Dims[I], B.Dims[I]))
+      return false;
+  return true;
+}
+
+bool exo::stmtEqual(const StmtPtr &A, const StmtPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *SA = castS<AssignStmt>(A);
+    const auto *SB = castS<AssignStmt>(B);
+    if (SA->buffer() != SB->buffer() || SA->isReduce() != SB->isReduce() ||
+        SA->indices().size() != SB->indices().size())
+      return false;
+    for (size_t I = 0; I != SA->indices().size(); ++I)
+      if (!exprEqual(SA->indices()[I], SB->indices()[I]))
+        return false;
+    return exprEqual(SA->rhs(), SB->rhs());
+  }
+  case Stmt::Kind::For: {
+    const auto *FA = castS<ForStmt>(A);
+    const auto *FB = castS<ForStmt>(B);
+    return FA->loopVar() == FB->loopVar() && exprEqual(FA->lo(), FB->lo()) &&
+           exprEqual(FA->hi(), FB->hi()) && bodyEqual(FA->body(), FB->body());
+  }
+  case Stmt::Kind::Alloc: {
+    const auto *AA = castS<AllocStmt>(A);
+    const auto *AB = castS<AllocStmt>(B);
+    if (AA->name() != AB->name() || AA->elemType() != AB->elemType() ||
+        AA->mem() != AB->mem() || AA->shape().size() != AB->shape().size())
+      return false;
+    for (size_t I = 0; I != AA->shape().size(); ++I)
+      if (!exprEqual(AA->shape()[I], AB->shape()[I]))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::Call: {
+    const auto *CA = castS<CallStmt>(A);
+    const auto *CB = castS<CallStmt>(B);
+    if (CA->callee()->name() != CB->callee()->name() ||
+        CA->args().size() != CB->args().size())
+      return false;
+    for (size_t I = 0; I != CA->args().size(); ++I)
+      if (!callArgEqual(CA->args()[I], CB->args()[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+bool exo::bodyEqual(const std::vector<StmtPtr> &A,
+                    const std::vector<StmtPtr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!stmtEqual(A[I], B[I]))
+      return false;
+  return true;
+}

@@ -1,0 +1,31 @@
+//===- Equal.h - Structural equality of IR trees --------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural equality over expressions and statements, plus an
+/// "equivalent modulo affine normalization" comparison used by tests and by
+/// `replace` unification (so `jtt + 4 * jt` equals `4 * jt + jtt`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_EQUAL_H
+#define EXO_IR_EQUAL_H
+
+#include "exo/ir/Proc.h"
+
+namespace exo {
+
+/// Exact structural equality.
+bool exprEqual(const ExprPtr &A, const ExprPtr &B);
+bool stmtEqual(const StmtPtr &A, const StmtPtr &B);
+bool bodyEqual(const std::vector<StmtPtr> &A, const std::vector<StmtPtr> &B);
+
+/// Equality after affine normalization of index expressions.
+bool exprEquiv(const ExprPtr &A, const ExprPtr &B);
+
+} // namespace exo
+
+#endif // EXO_IR_EQUAL_H

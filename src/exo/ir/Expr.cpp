@@ -1,0 +1,101 @@
+//===- Expr.cpp -----------------------------------------------------------===//
+
+#include "exo/ir/Expr.h"
+
+#include "exo/support/Error.h"
+
+using namespace exo;
+
+Expr::~Expr() = default;
+
+ExprPtr ConstExpr::makeIndex(int64_t V) {
+  return ExprPtr(new ConstExpr(V, static_cast<double>(V), ScalarKind::Index));
+}
+
+ExprPtr ConstExpr::makeFloat(double V, ScalarKind Ty) {
+  assert(isFloatKind(Ty) && "float constant needs a float kind");
+  return ExprPtr(new ConstExpr(0, V, Ty));
+}
+
+ExprPtr VarExpr::make(std::string Name) {
+  assert(!Name.empty() && "variable needs a name");
+  return ExprPtr(new VarExpr(std::move(Name)));
+}
+
+ExprPtr ReadExpr::make(std::string Buf, std::vector<ExprPtr> Idx,
+                       ScalarKind Ty) {
+  assert(!Buf.empty() && "read needs a buffer name");
+  for ([[maybe_unused]] const ExprPtr &E : Idx)
+    assert(E->type() == ScalarKind::Index && "indices must be index-typed");
+  return ExprPtr(new ReadExpr(std::move(Buf), std::move(Idx), Ty));
+}
+
+const char *BinOpExpr::opName(Op O) {
+  switch (O) {
+  case Op::Add:
+    return "+";
+  case Op::Sub:
+    return "-";
+  case Op::Mul:
+    return "*";
+  case Op::Div:
+    return "/";
+  case Op::Mod:
+    return "%";
+  case Op::Lt:
+    return "<";
+  case Op::Le:
+    return "<=";
+  case Op::Gt:
+    return ">";
+  case Op::Ge:
+    return ">=";
+  case Op::Eq:
+    return "==";
+  }
+  fatal("unknown BinOp");
+}
+
+ExprPtr BinOpExpr::make(Op O, ExprPtr L, ExprPtr R) {
+  assert(L && R && "binop needs two operands");
+  bool IsCmp = O == Op::Lt || O == Op::Le || O == Op::Gt || O == Op::Ge ||
+               O == Op::Eq;
+  ScalarKind Ty = IsCmp ? ScalarKind::Bool : L->type();
+  // Value * index scaling is not part of the language; operand types match.
+  assert((IsCmp || L->type() == R->type()) && "binop operand type mismatch");
+  return ExprPtr(new BinOpExpr(O, std::move(L), std::move(R), Ty));
+}
+
+ExprPtr USubExpr::make(ExprPtr Operand) {
+  assert(Operand && "usub needs an operand");
+  return ExprPtr(new USubExpr(std::move(Operand)));
+}
+
+ExprPtr exo::idx(int64_t V) { return ConstExpr::makeIndex(V); }
+ExprPtr exo::var(const std::string &Name) { return VarExpr::make(Name); }
+ExprPtr exo::read(const std::string &Buf, std::vector<ExprPtr> Idx,
+                  ScalarKind Ty) {
+  return ReadExpr::make(Buf, std::move(Idx), Ty);
+}
+
+ExprPtr exo::operator+(ExprPtr L, ExprPtr R) {
+  return BinOpExpr::make(BinOpExpr::Op::Add, std::move(L), std::move(R));
+}
+ExprPtr exo::operator-(ExprPtr L, ExprPtr R) {
+  return BinOpExpr::make(BinOpExpr::Op::Sub, std::move(L), std::move(R));
+}
+ExprPtr exo::operator*(ExprPtr L, ExprPtr R) {
+  return BinOpExpr::make(BinOpExpr::Op::Mul, std::move(L), std::move(R));
+}
+ExprPtr exo::operator/(ExprPtr L, ExprPtr R) {
+  return BinOpExpr::make(BinOpExpr::Op::Div, std::move(L), std::move(R));
+}
+ExprPtr exo::operator%(ExprPtr L, ExprPtr R) {
+  return BinOpExpr::make(BinOpExpr::Op::Mod, std::move(L), std::move(R));
+}
+ExprPtr exo::operator+(ExprPtr L, int64_t R) { return std::move(L) + idx(R); }
+ExprPtr exo::operator-(ExprPtr L, int64_t R) { return std::move(L) - idx(R); }
+ExprPtr exo::operator*(ExprPtr L, int64_t R) { return std::move(L) * idx(R); }
+ExprPtr exo::operator*(int64_t L, ExprPtr R) { return idx(L) * std::move(R); }
+ExprPtr exo::operator/(ExprPtr L, int64_t R) { return std::move(L) / idx(R); }
+ExprPtr exo::operator%(ExprPtr L, int64_t R) { return std::move(L) % idx(R); }

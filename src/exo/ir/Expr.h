@@ -1,0 +1,201 @@
+//===- Expr.h - Object-language expressions -------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable expression trees of the object language. Expressions are shared
+/// (`std::shared_ptr<const Expr>`) and never mutated after construction;
+/// scheduling rewrites build new trees.
+///
+/// The expression language is deliberately small — it is what GEMM-family
+/// loop nests need: buffer reads, constants, loop/size variables, and the
+/// usual arithmetic. Index expressions (type Index) index buffers and bound
+/// loops; value expressions (f32 etc.) appear on assignment right-hand sides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_EXPR_H
+#define EXO_IR_EXPR_H
+
+#include "exo/ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace exo {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Base of all expressions. Uses LLVM-style kind dispatch (no RTTI).
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    Const,
+    Var,
+    Read,
+    BinOp,
+    USub,
+  };
+
+  virtual ~Expr();
+
+  Kind kind() const { return K; }
+  ScalarKind type() const { return Ty; }
+
+protected:
+  Expr(Kind K, ScalarKind Ty) : K(K), Ty(Ty) {}
+
+private:
+  Kind K;
+  ScalarKind Ty;
+};
+
+/// A numeric literal. Integer-valued literals of type Index are the common
+/// case (loop bounds, tile sizes); float literals appear in value positions.
+class ConstExpr final : public Expr {
+public:
+  static ExprPtr makeIndex(int64_t V);
+  static ExprPtr makeFloat(double V, ScalarKind Ty);
+
+  /// Integer value; asserts the constant is integral (Index or int kinds).
+  int64_t intValue() const {
+    assert(!isFloatKind(type()) && "not an integer constant");
+    return IVal;
+  }
+  /// Float value; valid for any constant (ints convert).
+  double floatValue() const { return isFloatKind(type()) ? FVal : IVal; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Const; }
+
+private:
+  ConstExpr(int64_t I, double F, ScalarKind Ty)
+      : Expr(Kind::Const, Ty), IVal(I), FVal(F) {}
+
+  int64_t IVal = 0;
+  double FVal = 0;
+};
+
+/// A reference to a loop variable or size parameter (always type Index).
+class VarExpr final : public Expr {
+public:
+  static ExprPtr make(std::string Name);
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Var; }
+
+private:
+  explicit VarExpr(std::string Name)
+      : Expr(Kind::Var, ScalarKind::Index), Name(std::move(Name)) {}
+
+  std::string Name;
+};
+
+/// A scalar read `buf[i0, i1, ...]` of a tensor parameter or allocation.
+/// Scalar (rank-0) reads have an empty index list.
+class ReadExpr final : public Expr {
+public:
+  static ExprPtr make(std::string Buf, std::vector<ExprPtr> Idx,
+                      ScalarKind Ty);
+
+  const std::string &buffer() const { return Buf; }
+  const std::vector<ExprPtr> &indices() const { return Idx; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Read; }
+
+private:
+  ReadExpr(std::string Buf, std::vector<ExprPtr> Idx, ScalarKind Ty)
+      : Expr(Kind::Read, Ty), Buf(std::move(Buf)), Idx(std::move(Idx)) {}
+
+  std::string Buf;
+  std::vector<ExprPtr> Idx;
+};
+
+/// Binary arithmetic / comparison. Comparisons yield Bool and appear only in
+/// procedure preconditions.
+class BinOpExpr final : public Expr {
+public:
+  enum class Op : uint8_t { Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq };
+
+  static ExprPtr make(Op O, ExprPtr L, ExprPtr R);
+
+  Op op() const { return O; }
+  const ExprPtr &lhs() const { return L; }
+  const ExprPtr &rhs() const { return R; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BinOp; }
+
+  /// "+", "-", ... for printing.
+  static const char *opName(Op O);
+
+private:
+  BinOpExpr(Op O, ExprPtr L, ExprPtr R, ScalarKind Ty)
+      : Expr(Kind::BinOp, Ty), O(O), L(std::move(L)), R(std::move(R)) {}
+
+  Op O;
+  ExprPtr L, R;
+};
+
+/// Unary negation.
+class USubExpr final : public Expr {
+public:
+  static ExprPtr make(ExprPtr Operand);
+
+  const ExprPtr &operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::USub; }
+
+private:
+  explicit USubExpr(ExprPtr Operand)
+      : Expr(Kind::USub, Operand->type()), Operand(std::move(Operand)) {}
+
+  ExprPtr Operand;
+};
+
+/// LLVM-style cast helpers over Expr::Kind.
+template <typename T> bool isa(const Expr *E) { return T::classof(E); }
+template <typename T> bool isa(const ExprPtr &E) { return T::classof(E.get()); }
+template <typename T> const T *cast(const Expr *E) {
+  assert(T::classof(E) && "bad Expr cast");
+  return static_cast<const T *>(E);
+}
+template <typename T> const T *cast(const ExprPtr &E) { return cast<T>(E.get()); }
+template <typename T> const T *dyn_cast(const Expr *E) {
+  return T::classof(E) ? static_cast<const T *>(E) : nullptr;
+}
+template <typename T> const T *dyn_cast(const ExprPtr &E) {
+  return dyn_cast<T>(E.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Construction helpers
+//===----------------------------------------------------------------------===//
+
+/// Index literal.
+ExprPtr idx(int64_t V);
+/// Variable reference.
+ExprPtr var(const std::string &Name);
+/// Tensor read.
+ExprPtr read(const std::string &Buf, std::vector<ExprPtr> Idx, ScalarKind Ty);
+
+ExprPtr operator+(ExprPtr L, ExprPtr R);
+ExprPtr operator-(ExprPtr L, ExprPtr R);
+ExprPtr operator*(ExprPtr L, ExprPtr R);
+ExprPtr operator/(ExprPtr L, ExprPtr R);
+ExprPtr operator%(ExprPtr L, ExprPtr R);
+ExprPtr operator+(ExprPtr L, int64_t R);
+ExprPtr operator-(ExprPtr L, int64_t R);
+ExprPtr operator*(ExprPtr L, int64_t R);
+ExprPtr operator*(int64_t L, ExprPtr R);
+ExprPtr operator/(ExprPtr L, int64_t R);
+ExprPtr operator%(ExprPtr L, int64_t R);
+
+} // namespace exo
+
+#endif // EXO_IR_EXPR_H

@@ -1,0 +1,187 @@
+//===- Printer.cpp --------------------------------------------------------===//
+
+#include "exo/ir/Printer.h"
+
+#include "exo/ir/Affine.h"
+#include "exo/support/Error.h"
+#include "exo/support/Str.h"
+
+#include <sstream>
+
+using namespace exo;
+
+namespace {
+
+/// Operator precedence for minimal parenthesization.
+int precedence(BinOpExpr::Op O) {
+  switch (O) {
+  case BinOpExpr::Op::Mul:
+  case BinOpExpr::Op::Div:
+  case BinOpExpr::Op::Mod:
+    return 3;
+  case BinOpExpr::Op::Add:
+  case BinOpExpr::Op::Sub:
+    return 2;
+  default:
+    return 1; // comparisons
+  }
+}
+
+std::string printExprPrec(const ExprPtr &E, int Parent);
+
+std::string printIndices(const std::vector<ExprPtr> &Idx) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Idx.size());
+  for (const ExprPtr &I : Idx)
+    Parts.push_back(printExprPrec(normalizeIndexExpr(I), 0));
+  return join(Parts, ", ");
+}
+
+std::string printExprPrec(const ExprPtr &E, int Parent) {
+  switch (E->kind()) {
+  case Expr::Kind::Const: {
+    const auto *C = cast<ConstExpr>(E);
+    if (isFloatKind(C->type())) {
+      std::ostringstream OS;
+      OS << C->floatValue();
+      return OS.str();
+    }
+    return std::to_string(C->intValue());
+  }
+  case Expr::Kind::Var:
+    return cast<VarExpr>(E)->name();
+  case Expr::Kind::Read: {
+    const auto *R = cast<ReadExpr>(E);
+    if (R->indices().empty())
+      return R->buffer();
+    return R->buffer() + "[" + printIndices(R->indices()) + "]";
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    int Prec = precedence(B->op());
+    std::string S = printExprPrec(B->lhs(), Prec - 1) + " " +
+                    BinOpExpr::opName(B->op()) + " " +
+                    printExprPrec(B->rhs(), Prec);
+    if (Prec <= Parent)
+      return "(" + S + ")";
+    return S;
+  }
+  case Expr::Kind::USub: {
+    std::string S = "-" + printExprPrec(cast<USubExpr>(E)->operand(), 3);
+    if (Parent >= 3)
+      return "(" + S + ")";
+    return S;
+  }
+  }
+  fatal("unknown Expr kind");
+}
+
+std::string printWindowDim(const WindowDim &D) {
+  if (D.isPoint())
+    return printExprPrec(normalizeIndexExpr(D.Point), 0);
+  ExprPtr Lo = normalizeIndexExpr(D.Lo);
+  ExprPtr Hi = normalizeIndexExpr(D.Lo + D.Len);
+  return printExprPrec(Lo, 0) + ":" + printExprPrec(Hi, 0);
+}
+
+std::string printCallArg(const CallArg &A) {
+  if (!A.isWindow())
+    return printExprPrec(normalizeIndexExpr(A.Scalar), 0);
+  std::vector<std::string> Dims;
+  Dims.reserve(A.Dims.size());
+  for (const WindowDim &D : A.Dims)
+    Dims.push_back(printWindowDim(D));
+  return A.Buf + "[" + join(Dims, ", ") + "]";
+}
+
+void printStmtInto(std::string &Out, const StmtPtr &S, unsigned Indent) {
+  std::string Pad(Indent * 4, ' ');
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castS<AssignStmt>(S);
+    Out += Pad + A->buffer();
+    if (!A->indices().empty())
+      Out += "[" + printIndices(A->indices()) + "]";
+    Out += A->isReduce() ? " += " : " = ";
+    Out += printExprPrec(foldExpr(A->rhs()), 0);
+    Out += "\n";
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = castS<ForStmt>(S);
+    Out += Pad + "for " + F->loopVar() + " in seq(" +
+           printExprPrec(normalizeIndexExpr(F->lo()), 0) + ", " +
+           printExprPrec(normalizeIndexExpr(F->hi()), 0) + "):\n";
+    for (const StmtPtr &C : F->body())
+      printStmtInto(Out, C, Indent + 1);
+    return;
+  }
+  case Stmt::Kind::Alloc: {
+    const auto *A = castS<AllocStmt>(S);
+    Out += Pad + A->name() + ": " + scalarKindName(A->elemType());
+    if (!A->shape().empty())
+      Out += "[" + printIndices(A->shape()) + "]";
+    Out += " @ " + A->mem()->name() + "\n";
+    return;
+  }
+  case Stmt::Kind::Call: {
+    const auto *C = castS<CallStmt>(S);
+    std::vector<std::string> Args;
+    Args.reserve(C->args().size());
+    for (const CallArg &A : C->args())
+      Args.push_back(printCallArg(A));
+    Out += Pad + C->callee()->name() + "(" + join(Args, ", ") + ")\n";
+    return;
+  }
+  }
+  fatal("unknown Stmt kind");
+}
+
+std::string printParam(const Param &P) {
+  switch (P.PKind) {
+  case Param::Kind::Size:
+    return P.Name + ": size";
+  case Param::Kind::IndexVal:
+    return P.Name + ": index";
+  case Param::Kind::Tensor: {
+    std::string S = P.Name + ": " + scalarKindName(P.Ty);
+    if (!P.Shape.empty())
+      S += "[" + printIndices(P.Shape) + "]";
+    S += " @ " + P.Mem->name();
+    return S;
+  }
+  }
+  fatal("unknown Param kind");
+}
+
+} // namespace
+
+std::string exo::printExpr(const ExprPtr &E) {
+  return printExprPrec(foldExpr(E), 0);
+}
+
+std::string exo::printStmt(const StmtPtr &S, unsigned Indent) {
+  std::string Out;
+  printStmtInto(Out, S, Indent);
+  return Out;
+}
+
+std::string exo::printBody(const std::vector<StmtPtr> &Body, unsigned Indent) {
+  std::string Out;
+  for (const StmtPtr &S : Body)
+    printStmtInto(Out, S, Indent);
+  return Out;
+}
+
+std::string exo::printProc(const Proc &P) {
+  std::string Out = "def " + P.name() + "(";
+  std::vector<std::string> Ps;
+  Ps.reserve(P.params().size());
+  for (const Param &Pa : P.params())
+    Ps.push_back(printParam(Pa));
+  Out += join(Ps, ", ") + "):\n";
+  for (const ExprPtr &Pre : P.preconds())
+    Out += "    assert " + printExprPrec(normalizeIndexExpr(Pre), 0) + "\n";
+  Out += printBody(P.body(), 1);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- Printer.h - Exo-style textual form of the IR -----------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pretty-printing of procs in the Exo surface syntax used in
+/// the paper's figures, e.g.:
+///
+/// \code
+///   def uk_8x12(KC: size, alpha: f32[1] @ DRAM, ...):
+///       C_reg: f32[12, 2, 4] @ Neon
+///       for k in seq(0, KC):
+///           neon_vld_4xf32(A_reg[it, 0:4], Ac[k, 4 * it:4 * it + 4])
+/// \endcode
+///
+/// Index expressions print in affine normal form so golden tests are stable
+/// across scheduling orders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_PRINTER_H
+#define EXO_IR_PRINTER_H
+
+#include "exo/ir/Proc.h"
+
+#include <string>
+
+namespace exo {
+
+std::string printExpr(const ExprPtr &E);
+std::string printStmt(const StmtPtr &S, unsigned Indent = 0);
+std::string printBody(const std::vector<StmtPtr> &Body, unsigned Indent = 0);
+std::string printProc(const Proc &P);
+
+} // namespace exo
+
+#endif // EXO_IR_PRINTER_H

@@ -1,0 +1,82 @@
+//===- Proc.cpp -----------------------------------------------------------===//
+
+#include "exo/ir/Proc.h"
+
+using namespace exo;
+
+Proc::Proc(std::string Name, std::vector<Param> Params,
+           std::vector<ExprPtr> Preconds, std::vector<StmtPtr> Body)
+    : Name(std::move(Name)), Params(std::move(Params)),
+      Preconds(std::move(Preconds)), Body(std::move(Body)) {}
+
+const Param *Proc::findParam(const std::string &Name) const {
+  for (const Param &P : Params)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+/// Scans \p Body recursively for an allocation named \p Name.
+static const AllocStmt *findAllocIn(const std::vector<StmtPtr> &Body,
+                                    const std::string &Name) {
+  for (const StmtPtr &S : Body) {
+    if (const auto *A = dyn_castS<AllocStmt>(S)) {
+      if (A->name() == Name)
+        return A;
+      continue;
+    }
+    if (const auto *F = dyn_castS<ForStmt>(S))
+      if (const AllocStmt *A = findAllocIn(F->body(), Name))
+        return A;
+  }
+  return nullptr;
+}
+
+std::optional<BufferInfo> Proc::findBuffer(const std::string &Name) const {
+  if (const Param *P = findParam(Name)) {
+    if (P->PKind != Param::Kind::Tensor)
+      return std::nullopt;
+    BufferInfo B;
+    B.Ty = P->Ty;
+    B.Shape = P->Shape;
+    B.Mem = P->Mem;
+    B.IsParam = true;
+    B.Mutable = P->Mutable;
+    B.LeadStrideVar = P->LeadStrideVar;
+    return B;
+  }
+  if (const AllocStmt *A = findAllocIn(Body, Name)) {
+    BufferInfo B;
+    B.Ty = A->elemType();
+    B.Shape = A->shape();
+    B.Mem = A->mem();
+    B.IsParam = false;
+    B.Mutable = true;
+    return B;
+  }
+  return std::nullopt;
+}
+
+Proc Proc::withName(std::string NewName) const {
+  Proc P = *this;
+  P.Name = std::move(NewName);
+  return P;
+}
+
+Proc Proc::withBody(std::vector<StmtPtr> NewBody) const {
+  Proc P = *this;
+  P.Body = std::move(NewBody);
+  return P;
+}
+
+Proc Proc::withParams(std::vector<Param> NewParams) const {
+  Proc P = *this;
+  P.Params = std::move(NewParams);
+  return P;
+}
+
+Proc Proc::withPreconds(std::vector<ExprPtr> NewPre) const {
+  Proc P = *this;
+  P.Preconds = std::move(NewPre);
+  return P;
+}

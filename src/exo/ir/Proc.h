@@ -1,0 +1,153 @@
+//===- Proc.h - Procedures and instructions -------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Proc is a schedulable procedure: a name, parameters (sizes, scalars and
+/// tensors), preconditions, and a statement body. Procs are value types; all
+/// scheduling primitives consume a Proc and return a new one.
+///
+/// An Instr is a hardware instruction: a Proc giving its exact semantics
+/// (the paper's Fig. 3 `@instr` definitions) plus the C code it lowers to.
+/// The semantic Proc is what `replace` unifies loop nests against, and what
+/// the interpreter executes, so a schedule cannot substitute an instruction
+/// that does not implement the code it replaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_PROC_H
+#define EXO_IR_PROC_H
+
+#include "exo/ir/Stmt.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace exo {
+
+/// A procedure parameter.
+struct Param {
+  enum class Kind : uint8_t {
+    /// `MR: size` — a compile-time-positive integer.
+    Size,
+    /// `l: index` — an index value (used by instruction lane arguments).
+    IndexVal,
+    /// `Ac: f32[KC, MR] @ DRAM` — a tensor (rank >= 1).
+    Tensor,
+  };
+
+  std::string Name;
+  Kind PKind = Kind::Size;
+  ScalarKind Ty = ScalarKind::Index;
+
+  // Tensor-only fields.
+  std::vector<ExprPtr> Shape;
+  const MemSpace *Mem = nullptr;
+  bool Mutable = false;
+  /// When non-empty, the stride (in elements) between rows of dimension 0 is
+  /// the runtime value of this size parameter instead of the product of the
+  /// remaining dimensions. This is how a micro-kernel's C operand addresses a
+  /// tile inside a larger matrix. Only valid for rank-2 DRAM tensors.
+  std::string LeadStrideVar;
+
+  static Param size(std::string Name) {
+    Param P;
+    P.Name = std::move(Name);
+    P.PKind = Kind::Size;
+    return P;
+  }
+  static Param indexVal(std::string Name) {
+    Param P;
+    P.Name = std::move(Name);
+    P.PKind = Kind::IndexVal;
+    return P;
+  }
+  static Param tensor(std::string Name, ScalarKind Ty,
+                      std::vector<ExprPtr> Shape, const MemSpace *Mem,
+                      bool Mutable, std::string LeadStrideVar = "") {
+    Param P;
+    P.Name = std::move(Name);
+    P.PKind = Kind::Tensor;
+    P.Ty = Ty;
+    P.Shape = std::move(Shape);
+    P.Mem = Mem;
+    P.Mutable = Mutable;
+    P.LeadStrideVar = std::move(LeadStrideVar);
+    return P;
+  }
+};
+
+/// Shape/type/space information for any buffer (parameter or allocation)
+/// visible at some point in a proc.
+struct BufferInfo {
+  ScalarKind Ty = ScalarKind::F32;
+  std::vector<ExprPtr> Shape;
+  const MemSpace *Mem = nullptr;
+  bool IsParam = false;
+  bool Mutable = true;
+  std::string LeadStrideVar;
+};
+
+/// See file comment.
+class Proc {
+public:
+  Proc() = default;
+  Proc(std::string Name, std::vector<Param> Params,
+       std::vector<ExprPtr> Preconds, std::vector<StmtPtr> Body);
+
+  const std::string &name() const { return Name; }
+  const std::vector<Param> &params() const { return Params; }
+  const std::vector<ExprPtr> &preconds() const { return Preconds; }
+  const std::vector<StmtPtr> &body() const { return Body; }
+
+  /// Finds a parameter by name; nullptr when absent.
+  const Param *findParam(const std::string &Name) const;
+
+  /// Finds the declaration of buffer \p Name: a tensor/scalar parameter or an
+  /// allocation anywhere in the body (allocation names are unique per proc).
+  std::optional<BufferInfo> findBuffer(const std::string &Name) const;
+
+  /// Copies with replacements (scheduling primitives use these).
+  Proc withName(std::string NewName) const;
+  Proc withBody(std::vector<StmtPtr> NewBody) const;
+  Proc withParams(std::vector<Param> NewParams) const;
+  Proc withPreconds(std::vector<ExprPtr> NewPre) const;
+
+private:
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<ExprPtr> Preconds;
+  std::vector<StmtPtr> Body;
+};
+
+/// A hardware instruction: semantics plus lowering. See file comment.
+///
+/// The C format string refers to arguments as `{arg_data}` (the data
+/// expression of a window argument, or the C expression of a scalar
+/// argument). Code generation substitutes these; e.g. Neon vst1q_f32 is
+/// `vst1q_f32(&{dst_data}, {src_data});`.
+class Instr {
+public:
+  Instr(Proc Semantics, std::string CFormat)
+      : Semantics(std::move(Semantics)), CFormat(std::move(CFormat)) {}
+
+  const std::string &name() const { return Semantics.name(); }
+  const Proc &semantics() const { return Semantics; }
+  const std::string &cFormat() const { return CFormat; }
+
+  static InstrPtr make(Proc Semantics, std::string CFormat) {
+    return std::make_shared<const Instr>(std::move(Semantics),
+                                         std::move(CFormat));
+  }
+
+private:
+  Proc Semantics;
+  std::string CFormat;
+};
+
+} // namespace exo
+
+#endif // EXO_IR_PROC_H

@@ -1,0 +1,313 @@
+//===- Rewrite.cpp --------------------------------------------------------===//
+
+#include "exo/ir/Rewrite.h"
+
+#include "exo/support/Error.h"
+
+using namespace exo;
+
+ExprPtr exo::rewriteExpr(const ExprPtr &E,
+                         const std::function<ExprPtr(const ExprPtr &)> &Fn) {
+  ExprPtr Rebuilt = E;
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    break;
+  case Expr::Kind::Read: {
+    const auto *R = cast<ReadExpr>(E);
+    std::vector<ExprPtr> Idx;
+    bool Changed = false;
+    Idx.reserve(R->indices().size());
+    for (const ExprPtr &I : R->indices()) {
+      ExprPtr NI = rewriteExpr(I, Fn);
+      Changed |= NI != I;
+      Idx.push_back(std::move(NI));
+    }
+    if (Changed)
+      Rebuilt = ReadExpr::make(R->buffer(), std::move(Idx), R->type());
+    break;
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    ExprPtr L = rewriteExpr(B->lhs(), Fn);
+    ExprPtr R = rewriteExpr(B->rhs(), Fn);
+    if (L != B->lhs() || R != B->rhs())
+      Rebuilt = BinOpExpr::make(B->op(), std::move(L), std::move(R));
+    break;
+  }
+  case Expr::Kind::USub: {
+    const auto *U = cast<USubExpr>(E);
+    ExprPtr Op = rewriteExpr(U->operand(), Fn);
+    if (Op != U->operand())
+      Rebuilt = USubExpr::make(std::move(Op));
+    break;
+  }
+  }
+  if (ExprPtr Replaced = Fn(Rebuilt))
+    return Replaced;
+  return Rebuilt;
+}
+
+/// Rewrites the expressions of one CallArg.
+static CallArg rewriteArgExprs(const CallArg &A,
+                               const std::function<ExprPtr(const ExprPtr &)> &Fn) {
+  if (!A.isWindow()) {
+    CallArg Out = A;
+    Out.Scalar = rewriteExpr(A.Scalar, Fn);
+    return Out;
+  }
+  CallArg Out;
+  Out.Buf = A.Buf;
+  Out.Dims.reserve(A.Dims.size());
+  for (const WindowDim &D : A.Dims) {
+    if (D.isPoint())
+      Out.Dims.push_back(WindowDim::point(rewriteExpr(D.Point, Fn)));
+    else
+      Out.Dims.push_back(
+          WindowDim::interval(rewriteExpr(D.Lo, Fn), rewriteExpr(D.Len, Fn)));
+  }
+  return Out;
+}
+
+StmtPtr exo::rewriteStmtExprs(
+    const StmtPtr &S, const std::function<ExprPtr(const ExprPtr &)> &Fn) {
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castS<AssignStmt>(S);
+    std::vector<ExprPtr> Idx;
+    Idx.reserve(A->indices().size());
+    for (const ExprPtr &I : A->indices())
+      Idx.push_back(rewriteExpr(I, Fn));
+    return AssignStmt::make(A->buffer(), std::move(Idx),
+                            rewriteExpr(A->rhs(), Fn), A->isReduce());
+  }
+  case Stmt::Kind::For: {
+    const auto *F = castS<ForStmt>(S);
+    std::vector<StmtPtr> Body;
+    Body.reserve(F->body().size());
+    for (const StmtPtr &C : F->body())
+      Body.push_back(rewriteStmtExprs(C, Fn));
+    return ForStmt::make(F->loopVar(), rewriteExpr(F->lo(), Fn),
+                         rewriteExpr(F->hi(), Fn), std::move(Body));
+  }
+  case Stmt::Kind::Alloc: {
+    const auto *A = castS<AllocStmt>(S);
+    std::vector<ExprPtr> Shape;
+    Shape.reserve(A->shape().size());
+    for (const ExprPtr &D : A->shape())
+      Shape.push_back(rewriteExpr(D, Fn));
+    return AllocStmt::make(A->name(), A->elemType(), std::move(Shape),
+                           A->mem());
+  }
+  case Stmt::Kind::Call: {
+    const auto *C = castS<CallStmt>(S);
+    std::vector<CallArg> Args;
+    Args.reserve(C->args().size());
+    for (const CallArg &A : C->args())
+      Args.push_back(rewriteArgExprs(A, Fn));
+    return CallStmt::make(C->callee(), std::move(Args));
+  }
+  }
+  fatal("unknown Stmt kind");
+}
+
+std::vector<StmtPtr> exo::rewriteStmts(const std::vector<StmtPtr> &Body,
+                                       const StmtRewriteFn &Fn) {
+  std::vector<StmtPtr> Out;
+  Out.reserve(Body.size());
+  for (const StmtPtr &S : Body) {
+    StmtPtr Rebuilt = S;
+    if (const auto *F = dyn_castS<ForStmt>(S)) {
+      std::vector<StmtPtr> NewBody = rewriteStmts(F->body(), Fn);
+      Rebuilt = F->withBody(std::move(NewBody));
+    }
+    if (std::optional<std::vector<StmtPtr>> Repl = Fn(Rebuilt)) {
+      for (StmtPtr &R : *Repl)
+        Out.push_back(std::move(R));
+      continue;
+    }
+    Out.push_back(std::move(Rebuilt));
+  }
+  return Out;
+}
+
+ExprPtr exo::substVars(const ExprPtr &E,
+                       const std::map<std::string, ExprPtr> &Map) {
+  return rewriteExpr(E, [&](const ExprPtr &N) -> ExprPtr {
+    if (const auto *V = dyn_cast<VarExpr>(N)) {
+      auto It = Map.find(V->name());
+      if (It != Map.end())
+        return It->second;
+    }
+    return nullptr;
+  });
+}
+
+StmtPtr exo::substVarsStmt(const StmtPtr &S,
+                           const std::map<std::string, ExprPtr> &Map) {
+  if (Map.empty())
+    return S;
+  // Loops that rebind a substituted name shadow it inside their body.
+  if (const auto *F = dyn_castS<ForStmt>(S)) {
+    std::map<std::string, ExprPtr> Inner = Map;
+    Inner.erase(F->loopVar());
+    std::vector<StmtPtr> Body;
+    Body.reserve(F->body().size());
+    for (const StmtPtr &C : F->body())
+      Body.push_back(substVarsStmt(C, Inner));
+    auto SubstFn = [&](const ExprPtr &N) -> ExprPtr {
+      if (const auto *V = dyn_cast<VarExpr>(N)) {
+        auto It = Map.find(V->name());
+        if (It != Map.end())
+          return It->second;
+      }
+      return nullptr;
+    };
+    return ForStmt::make(F->loopVar(), rewriteExpr(F->lo(), SubstFn),
+                         rewriteExpr(F->hi(), SubstFn), std::move(Body));
+  }
+  return rewriteStmtExprs(S, [&](const ExprPtr &N) -> ExprPtr {
+    if (const auto *V = dyn_cast<VarExpr>(N)) {
+      auto It = Map.find(V->name());
+      if (It != Map.end())
+        return It->second;
+    }
+    return nullptr;
+  });
+}
+
+std::vector<StmtPtr>
+exo::substVarsBody(const std::vector<StmtPtr> &Body,
+                   const std::map<std::string, ExprPtr> &Map) {
+  std::vector<StmtPtr> Out;
+  Out.reserve(Body.size());
+  for (const StmtPtr &S : Body)
+    Out.push_back(substVarsStmt(S, Map));
+  return Out;
+}
+
+std::vector<StmtPtr> exo::renameBuffer(const std::vector<StmtPtr> &Body,
+                                       const std::string &From,
+                                       const std::string &To) {
+  return rewriteStmts(Body, [&](const StmtPtr &S)
+                                -> std::optional<std::vector<StmtPtr>> {
+    StmtPtr N = rewriteStmtExprs(S, [&](const ExprPtr &E) -> ExprPtr {
+      if (const auto *R = dyn_cast<ReadExpr>(E))
+        if (R->buffer() == From)
+          return ReadExpr::make(To, R->indices(), R->type());
+      return nullptr;
+    });
+    if (const auto *A = dyn_castS<AssignStmt>(N)) {
+      if (A->buffer() == From)
+        N = AssignStmt::make(To, A->indices(), A->rhs(), A->isReduce());
+    } else if (const auto *Al = dyn_castS<AllocStmt>(N)) {
+      if (Al->name() == From)
+        N = AllocStmt::make(To, Al->elemType(), Al->shape(), Al->mem());
+    } else if (const auto *C = dyn_castS<CallStmt>(N)) {
+      bool Any = false;
+      std::vector<CallArg> Args = C->args();
+      for (CallArg &Arg : Args)
+        if (Arg.isWindow() && Arg.Buf == From) {
+          Arg.Buf = To;
+          Any = true;
+        }
+      if (Any)
+        N = CallStmt::make(C->callee(), std::move(Args));
+    }
+    if (N == S)
+      return std::nullopt;
+    return std::vector<StmtPtr>{N};
+  });
+}
+
+void exo::forEachExpr(const StmtPtr &S,
+                      const std::function<void(const ExprPtr &)> &Fn) {
+  // Reuse the rewriter as a read-only walk (no replacement returned).
+  rewriteStmtExprs(S, [&](const ExprPtr &E) -> ExprPtr {
+    Fn(E);
+    return nullptr;
+  });
+}
+
+void exo::forEachStmt(const std::vector<StmtPtr> &Body,
+                      const std::function<void(const StmtPtr &)> &Fn) {
+  for (const StmtPtr &S : Body) {
+    Fn(S);
+    if (const auto *F = dyn_castS<ForStmt>(S))
+      forEachStmt(F->body(), Fn);
+  }
+}
+
+void exo::collectVars(const ExprPtr &E, std::set<std::string> &Out) {
+  rewriteExpr(E, [&](const ExprPtr &N) -> ExprPtr {
+    if (const auto *V = dyn_cast<VarExpr>(N))
+      Out.insert(V->name());
+    return nullptr;
+  });
+}
+
+std::map<std::string, BufferUse>
+exo::collectBufferUses(const std::vector<StmtPtr> &Body) {
+  std::map<std::string, BufferUse> Out;
+  forEachStmt(Body, [&](const StmtPtr &S) {
+    forEachExpr(S, [&](const ExprPtr &E) {
+      if (const auto *R = dyn_cast<ReadExpr>(E))
+        Out[R->buffer()].Read = true;
+    });
+    if (const auto *A = dyn_castS<AssignStmt>(S)) {
+      Out[A->buffer()].Written = true;
+      if (A->isReduce())
+        Out[A->buffer()].Read = true;
+    } else if (const auto *C = dyn_castS<CallStmt>(S)) {
+      // Call arguments align 1:1 with the instruction's parameters.
+      const auto &Params = C->callee()->semantics().params();
+      const auto &Args = C->args();
+      assert(Params.size() == Args.size() && "call arity mismatch");
+      for (size_t I = 0; I != Args.size(); ++I) {
+        if (Params[I].PKind != Param::Kind::Tensor || !Args[I].isWindow())
+          continue;
+        Out[Args[I].Buf].Read = true;
+        if (Params[I].Mutable)
+          Out[Args[I].Buf].Written = true;
+      }
+    }
+  });
+  return Out;
+}
+
+bool exo::bodyMentionsVar(const std::vector<StmtPtr> &Body,
+                          const std::string &Var) {
+  bool Found = false;
+  forEachStmt(Body, [&](const StmtPtr &S) {
+    if (Found)
+      return;
+    forEachExpr(S, [&](const ExprPtr &E) {
+      if (const auto *V = dyn_cast<VarExpr>(E))
+        if (V->name() == Var)
+          Found = true;
+    });
+  });
+  return Found;
+}
+
+bool exo::bodyMentionsBuffer(const std::vector<StmtPtr> &Body,
+                             const std::string &Buf) {
+  auto Uses = collectBufferUses(Body);
+  return Uses.count(Buf) != 0;
+}
+
+void exo::collectLoopVars(const std::vector<StmtPtr> &Body,
+                          std::set<std::string> &Out) {
+  forEachStmt(Body, [&](const StmtPtr &S) {
+    if (const auto *F = dyn_castS<ForStmt>(S))
+      Out.insert(F->loopVar());
+  });
+}
+
+void exo::collectAllocNames(const std::vector<StmtPtr> &Body,
+                            std::set<std::string> &Out) {
+  forEachStmt(Body, [&](const StmtPtr &S) {
+    if (const auto *A = dyn_castS<AllocStmt>(S))
+      Out.insert(A->name());
+  });
+}

@@ -1,0 +1,94 @@
+//===- Rewrite.h - Generic IR traversal and rewriting ---------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional traversal helpers every scheduling primitive is built from:
+/// bottom-up expression/statement rewriting, variable substitution, buffer
+/// renaming, and read-only visitors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_REWRITE_H
+#define EXO_IR_REWRITE_H
+
+#include "exo/ir/Proc.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+namespace exo {
+
+/// Maps an expression bottom-up: children are rewritten first, then \p Fn is
+/// applied to the rebuilt node. \p Fn returns nullptr to keep the node.
+ExprPtr rewriteExpr(const ExprPtr &E,
+                    const std::function<ExprPtr(const ExprPtr &)> &Fn);
+
+/// Maps every expression inside \p S bottom-up with \p Fn (loop bounds,
+/// indices, right-hand sides, alloc shapes, call arguments).
+StmtPtr rewriteStmtExprs(const StmtPtr &S,
+                         const std::function<ExprPtr(const ExprPtr &)> &Fn);
+
+/// Maps a statement tree bottom-up: children first, then \p Fn on the rebuilt
+/// statement. \p Fn may return a replacement list (empty list deletes, one
+/// element replaces, several splice). Returning std::nullopt keeps the node.
+using StmtRewriteFn =
+    std::function<std::optional<std::vector<StmtPtr>>(const StmtPtr &)>;
+std::vector<StmtPtr> rewriteStmts(const std::vector<StmtPtr> &Body,
+                                  const StmtRewriteFn &Fn);
+
+/// Substitutes free variables by expressions (capture is not an issue: loop
+/// variables shadow, and substitution skips loops that rebind a name).
+ExprPtr substVars(const ExprPtr &E, const std::map<std::string, ExprPtr> &Map);
+StmtPtr substVarsStmt(const StmtPtr &S,
+                      const std::map<std::string, ExprPtr> &Map);
+std::vector<StmtPtr> substVarsBody(const std::vector<StmtPtr> &Body,
+                                   const std::map<std::string, ExprPtr> &Map);
+
+/// Renames every access to buffer \p From (reads, writes, windows, allocs).
+std::vector<StmtPtr> renameBuffer(const std::vector<StmtPtr> &Body,
+                                  const std::string &From,
+                                  const std::string &To);
+
+/// Read-only visitors. Return false from the callback to stop early.
+void forEachExpr(const StmtPtr &S,
+                 const std::function<void(const ExprPtr &)> &Fn);
+void forEachStmt(const std::vector<StmtPtr> &Body,
+                 const std::function<void(const StmtPtr &)> &Fn);
+
+/// Collects the free index variables of \p E.
+void collectVars(const ExprPtr &E, std::set<std::string> &Out);
+
+/// Buffer usage summary for dependence checks.
+struct BufferUse {
+  bool Read = false;
+  bool Written = false;
+};
+/// Collects, per buffer, whether \p Body reads and/or writes it. Instruction
+/// calls count window arguments according to the mutability of the matching
+/// instruction parameter.
+std::map<std::string, BufferUse>
+collectBufferUses(const std::vector<StmtPtr> &Body);
+
+/// True when any statement in \p Body mentions variable \p Var in any
+/// expression.
+bool bodyMentionsVar(const std::vector<StmtPtr> &Body, const std::string &Var);
+
+/// True when any statement in \p Body accesses buffer \p Buf.
+bool bodyMentionsBuffer(const std::vector<StmtPtr> &Body,
+                        const std::string &Buf);
+
+/// Returns all loop-variable names bound anywhere in the body.
+void collectLoopVars(const std::vector<StmtPtr> &Body,
+                     std::set<std::string> &Out);
+
+/// Returns all allocation names in the body.
+void collectAllocNames(const std::vector<StmtPtr> &Body,
+                       std::set<std::string> &Out);
+
+} // namespace exo
+
+#endif // EXO_IR_REWRITE_H

@@ -1,0 +1,39 @@
+//===- Stmt.cpp -----------------------------------------------------------===//
+
+#include "exo/ir/Stmt.h"
+
+using namespace exo;
+
+Stmt::~Stmt() = default;
+
+StmtPtr AssignStmt::make(std::string Buf, std::vector<ExprPtr> Idx,
+                         ExprPtr Rhs, bool IsReduce) {
+  assert(!Buf.empty() && "assignment needs a destination buffer");
+  assert(Rhs && "assignment needs a right-hand side");
+  return StmtPtr(
+      new AssignStmt(std::move(Buf), std::move(Idx), std::move(Rhs), IsReduce));
+}
+
+StmtPtr ForStmt::make(std::string Var, ExprPtr Lo, ExprPtr Hi,
+                      std::vector<StmtPtr> Body) {
+  assert(!Var.empty() && "loop needs a variable");
+  assert(Lo && Hi && "loop needs bounds");
+  return StmtPtr(
+      new ForStmt(std::move(Var), std::move(Lo), std::move(Hi), std::move(Body)));
+}
+
+StmtPtr ForStmt::withBody(std::vector<StmtPtr> NewBody) const {
+  return make(Var, Lo, Hi, std::move(NewBody));
+}
+
+StmtPtr AllocStmt::make(std::string Name, ScalarKind Ty,
+                        std::vector<ExprPtr> Shape, const MemSpace *Mem) {
+  assert(!Name.empty() && "allocation needs a name");
+  assert(Mem && "allocation needs a memory space");
+  return StmtPtr(new AllocStmt(std::move(Name), Ty, std::move(Shape), Mem));
+}
+
+StmtPtr CallStmt::make(InstrPtr Callee, std::vector<CallArg> Args) {
+  assert(Callee && "call needs a callee");
+  return StmtPtr(new CallStmt(std::move(Callee), std::move(Args)));
+}

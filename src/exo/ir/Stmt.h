@@ -1,0 +1,217 @@
+//===- Stmt.h - Object-language statements --------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable statement trees: sequential `for` loops, scalar assignments and
+/// reductions, local allocations, and calls to hardware instructions.
+///
+/// Instruction calls take *window* arguments: a buffer name plus, per
+/// dimension, either a point index or an interval. Windows are how a call
+/// like `neon_vld_4xf32(C_reg[j, it, 0:4], C[j, 4*it:4*it+4])` names the
+/// 4-element slices the instruction operates on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_STMT_H
+#define EXO_IR_STMT_H
+
+#include "exo/ir/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace exo {
+
+class Stmt;
+class Instr;
+using StmtPtr = std::shared_ptr<const Stmt>;
+using InstrPtr = std::shared_ptr<const Instr>;
+
+/// One dimension of a window: either a single point or a half-open interval
+/// [Lo, Lo+Len).
+struct WindowDim {
+  ExprPtr Point; ///< Set for point dims.
+  ExprPtr Lo;    ///< Set for interval dims.
+  ExprPtr Len;   ///< Set for interval dims (usually a constant).
+
+  bool isPoint() const { return Point != nullptr; }
+
+  static WindowDim point(ExprPtr E) {
+    WindowDim D;
+    D.Point = std::move(E);
+    return D;
+  }
+  static WindowDim interval(ExprPtr Lo, ExprPtr Len) {
+    WindowDim D;
+    D.Lo = std::move(Lo);
+    D.Len = std::move(Len);
+    return D;
+  }
+};
+
+/// An argument to an instruction call: either a window into a buffer or a
+/// scalar expression (e.g. the lane index of vfmaq_laneq).
+struct CallArg {
+  /// Window form: non-empty Buf.
+  std::string Buf;
+  std::vector<WindowDim> Dims;
+  /// Scalar form: Buf empty, Scalar set.
+  ExprPtr Scalar;
+
+  bool isWindow() const { return !Buf.empty(); }
+
+  static CallArg window(std::string Buf, std::vector<WindowDim> Dims) {
+    CallArg A;
+    A.Buf = std::move(Buf);
+    A.Dims = std::move(Dims);
+    return A;
+  }
+  static CallArg scalar(ExprPtr E) {
+    CallArg A;
+    A.Scalar = std::move(E);
+    return A;
+  }
+};
+
+/// Base of all statements.
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Assign,
+    For,
+    Alloc,
+    Call,
+  };
+
+  virtual ~Stmt();
+
+  Kind kind() const { return K; }
+
+protected:
+  explicit Stmt(Kind K) : K(K) {}
+
+private:
+  Kind K;
+};
+
+/// `buf[i...] = rhs` or `buf[i...] += rhs` (when IsReduce).
+class AssignStmt final : public Stmt {
+public:
+  static StmtPtr make(std::string Buf, std::vector<ExprPtr> Idx, ExprPtr Rhs,
+                      bool IsReduce);
+
+  const std::string &buffer() const { return Buf; }
+  const std::vector<ExprPtr> &indices() const { return Idx; }
+  const ExprPtr &rhs() const { return Rhs; }
+  bool isReduce() const { return Reduce; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  AssignStmt(std::string Buf, std::vector<ExprPtr> Idx, ExprPtr Rhs,
+             bool Reduce)
+      : Stmt(Kind::Assign), Buf(std::move(Buf)), Idx(std::move(Idx)),
+        Rhs(std::move(Rhs)), Reduce(Reduce) {}
+
+  std::string Buf;
+  std::vector<ExprPtr> Idx;
+  ExprPtr Rhs;
+  bool Reduce;
+};
+
+/// `for v in seq(lo, hi): body` — a sequential loop over [lo, hi).
+class ForStmt final : public Stmt {
+public:
+  static StmtPtr make(std::string Var, ExprPtr Lo, ExprPtr Hi,
+                      std::vector<StmtPtr> Body);
+
+  const std::string &loopVar() const { return Var; }
+  const ExprPtr &lo() const { return Lo; }
+  const ExprPtr &hi() const { return Hi; }
+  const std::vector<StmtPtr> &body() const { return Body; }
+
+  /// Returns a copy with a different body.
+  StmtPtr withBody(std::vector<StmtPtr> NewBody) const;
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  ForStmt(std::string Var, ExprPtr Lo, ExprPtr Hi, std::vector<StmtPtr> Body)
+      : Stmt(Kind::For), Var(std::move(Var)), Lo(std::move(Lo)),
+        Hi(std::move(Hi)), Body(std::move(Body)) {}
+
+  std::string Var;
+  ExprPtr Lo, Hi;
+  std::vector<StmtPtr> Body;
+};
+
+/// `name : ty[shape...] @ mem` — a local buffer. Rank-0 allocations (empty
+/// shape) are scalars.
+class AllocStmt final : public Stmt {
+public:
+  static StmtPtr make(std::string Name, ScalarKind Ty,
+                      std::vector<ExprPtr> Shape, const MemSpace *Mem);
+
+  const std::string &name() const { return Name; }
+  ScalarKind elemType() const { return Ty; }
+  const std::vector<ExprPtr> &shape() const { return Shape; }
+  const MemSpace *mem() const { return Mem; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Alloc; }
+
+private:
+  AllocStmt(std::string Name, ScalarKind Ty, std::vector<ExprPtr> Shape,
+            const MemSpace *Mem)
+      : Stmt(Kind::Alloc), Name(std::move(Name)), Ty(Ty),
+        Shape(std::move(Shape)), Mem(Mem) {}
+
+  std::string Name;
+  ScalarKind Ty;
+  std::vector<ExprPtr> Shape;
+  const MemSpace *Mem;
+};
+
+/// A call to a hardware instruction (see exo::Instr).
+class CallStmt final : public Stmt {
+public:
+  static StmtPtr make(InstrPtr Callee, std::vector<CallArg> Args);
+
+  const InstrPtr &callee() const { return Callee; }
+  const std::vector<CallArg> &args() const { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Call; }
+
+private:
+  CallStmt(InstrPtr Callee, std::vector<CallArg> Args)
+      : Stmt(Kind::Call), Callee(std::move(Callee)), Args(std::move(Args)) {}
+
+  InstrPtr Callee;
+  std::vector<CallArg> Args;
+};
+
+/// Stmt-side LLVM-style cast helpers.
+template <typename T> bool isaS(const Stmt *S) { return T::classof(S); }
+template <typename T> bool isaS(const StmtPtr &S) {
+  return T::classof(S.get());
+}
+template <typename T> const T *castS(const Stmt *S) {
+  assert(T::classof(S) && "bad Stmt cast");
+  return static_cast<const T *>(S);
+}
+template <typename T> const T *castS(const StmtPtr &S) {
+  return castS<T>(S.get());
+}
+template <typename T> const T *dyn_castS(const Stmt *S) {
+  return T::classof(S) ? static_cast<const T *>(S) : nullptr;
+}
+template <typename T> const T *dyn_castS(const StmtPtr &S) {
+  return dyn_castS<T>(S.get());
+}
+
+} // namespace exo
+
+#endif // EXO_IR_STMT_H

@@ -1,0 +1,161 @@
+//===- Type.cpp -----------------------------------------------------------===//
+
+#include "exo/ir/Type.h"
+
+#include "exo/support/Error.h"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+using namespace exo;
+
+const char *exo::scalarKindName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F16:
+    return "f16";
+  case ScalarKind::F32:
+    return "f32";
+  case ScalarKind::F64:
+    return "f64";
+  case ScalarKind::I8:
+    return "i8";
+  case ScalarKind::I16:
+    return "i16";
+  case ScalarKind::I32:
+    return "i32";
+  case ScalarKind::Index:
+    return "index";
+  case ScalarKind::Bool:
+    return "bool";
+  }
+  fatal("unknown ScalarKind");
+}
+
+const char *exo::scalarKindCType(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F16:
+    return "_Float16";
+  case ScalarKind::F32:
+    return "float";
+  case ScalarKind::F64:
+    return "double";
+  case ScalarKind::I8:
+    return "int8_t";
+  case ScalarKind::I16:
+    return "int16_t";
+  case ScalarKind::I32:
+    return "int32_t";
+  case ScalarKind::Index:
+    return "int_fast32_t";
+  case ScalarKind::Bool:
+    return "_Bool";
+  }
+  fatal("unknown ScalarKind");
+}
+
+unsigned exo::scalarKindBytes(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F16:
+    return 2;
+  case ScalarKind::F32:
+    return 4;
+  case ScalarKind::F64:
+    return 8;
+  case ScalarKind::I8:
+    return 1;
+  case ScalarKind::I16:
+    return 2;
+  case ScalarKind::I32:
+    return 4;
+  case ScalarKind::Index:
+  case ScalarKind::Bool:
+    return 0;
+  }
+  fatal("unknown ScalarKind");
+}
+
+bool exo::isFloatKind(ScalarKind K) {
+  return K == ScalarKind::F16 || K == ScalarKind::F32 || K == ScalarKind::F64;
+}
+
+bool exo::parseScalarKind(const std::string &Name, ScalarKind &Out) {
+  static const std::map<std::string, ScalarKind> Names = {
+      {"f16", ScalarKind::F16},     {"f32", ScalarKind::F32},
+      {"f64", ScalarKind::F64},     {"i8", ScalarKind::I8},
+      {"i16", ScalarKind::I16},     {"i32", ScalarKind::I32},
+      {"index", ScalarKind::Index}, {"bool", ScalarKind::Bool},
+  };
+  auto It = Names.find(Name);
+  if (It == Names.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+namespace {
+/// Owns all interned memory spaces for the lifetime of the process.
+struct MemSpaceRegistry {
+  std::mutex Mu;
+  std::map<std::string, std::unique_ptr<MemSpace>> Spaces;
+
+  static MemSpaceRegistry &get() {
+    static MemSpaceRegistry R;
+    return R;
+  }
+};
+} // namespace
+
+const MemSpace *MemSpace::dram() {
+  static const MemSpace *D = [] {
+    auto &R = MemSpaceRegistry::get();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    auto S = std::unique_ptr<MemSpace>(new MemSpace());
+    S->Name = "DRAM";
+    S->IsRegisterFile = false;
+    const MemSpace *Ptr = S.get();
+    R.Spaces.emplace("DRAM", std::move(S));
+    return Ptr;
+  }();
+  return D;
+}
+
+const MemSpace *
+MemSpace::makeRegisterFile(const std::string &Name,
+                           std::map<ScalarKind, VecTypeInfo> VecTypes) {
+  assert(Name != "DRAM" && "DRAM is not a register file");
+  auto &R = MemSpaceRegistry::get();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.Spaces.find(Name);
+  if (It != R.Spaces.end())
+    return It->second.get();
+  auto S = std::unique_ptr<MemSpace>(new MemSpace());
+  S->Name = Name;
+  S->IsRegisterFile = true;
+  S->VecTypes = std::move(VecTypes);
+  const MemSpace *Ptr = S.get();
+  R.Spaces.emplace(Name, std::move(S));
+  return Ptr;
+}
+
+const MemSpace *MemSpace::lookup(const std::string &Name) {
+  if (Name == "DRAM")
+    return dram(); // Ensure it is interned.
+  auto &R = MemSpaceRegistry::get();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.Spaces.find(Name);
+  return It == R.Spaces.end() ? nullptr : It->second.get();
+}
+
+bool MemSpace::supports(ScalarKind K) const {
+  if (!IsRegisterFile)
+    return scalarKindBytes(K) != 0;
+  return VecTypes.count(K) != 0;
+}
+
+const VecTypeInfo &MemSpace::vecType(ScalarKind K) const {
+  assert(IsRegisterFile && "DRAM has no vector lowering");
+  auto It = VecTypes.find(K);
+  assert(It != VecTypes.end() && "scalar kind unsupported in this space");
+  return It->second;
+}

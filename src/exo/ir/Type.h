@@ -1,0 +1,104 @@
+//===- Type.h - Scalar types and memory spaces ----------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar element types of the object language (f16/f32/f64/i8/i16/i32 plus
+/// the compile-time-only index and bool types) and memory spaces.
+///
+/// A memory space says where a buffer lives: plain addressable memory (DRAM)
+/// or a vector register file provided by an instruction library (e.g. ARM
+/// Neon 128-bit registers, AVX2 256-bit registers). Register-file spaces
+/// carry the information code generation needs: the C vector type per scalar
+/// kind and the number of lanes. Memory spaces are interned; identity
+/// comparison of `const MemSpace *` is meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_TYPE_H
+#define EXO_IR_TYPE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exo {
+
+/// Element types of buffers and scalars in the object language.
+enum class ScalarKind : uint8_t {
+  F16,
+  F32,
+  F64,
+  I8,
+  I16,
+  I32,
+  /// Loop variables, size parameters, and index expressions.
+  Index,
+  /// Results of comparisons in preconditions.
+  Bool,
+};
+
+/// Returns the Exo-syntax name ("f32", "index", ...).
+const char *scalarKindName(ScalarKind K);
+
+/// Returns the C type used for this scalar in generated code.
+const char *scalarKindCType(ScalarKind K);
+
+/// Returns sizeof the element in generated code (0 for index/bool).
+unsigned scalarKindBytes(ScalarKind K);
+
+/// True for f16/f32/f64.
+bool isFloatKind(ScalarKind K);
+
+/// Parses "f32" etc. Returns false on unknown names.
+bool parseScalarKind(const std::string &Name, ScalarKind &Out);
+
+/// How a register-file memory space lowers one scalar kind.
+struct VecTypeInfo {
+  /// C type of one register, e.g. "float32x4_t" or "__m256".
+  std::string CType;
+  /// Number of scalar lanes in one register.
+  unsigned Lanes = 0;
+};
+
+/// A place buffers can be allocated. See file comment.
+class MemSpace {
+public:
+  /// The interned DRAM space (plain addressable memory).
+  static const MemSpace *dram();
+
+  /// Interns a register-file space. Calling again with the same name returns
+  /// the already-interned space (the lowering table must match).
+  static const MemSpace *
+  makeRegisterFile(const std::string &Name,
+                   std::map<ScalarKind, VecTypeInfo> VecTypes);
+
+  /// Looks up an interned space by name; nullptr when unknown.
+  static const MemSpace *lookup(const std::string &Name);
+
+  const std::string &name() const { return Name; }
+  bool isRegisterFile() const { return IsRegisterFile; }
+
+  /// True when this space can hold buffers of kind \p K.
+  bool supports(ScalarKind K) const;
+
+  /// Lowering info for \p K; asserts that the kind is supported.
+  const VecTypeInfo &vecType(ScalarKind K) const;
+
+  /// Lanes of one register for \p K (asserts support).
+  unsigned lanes(ScalarKind K) const { return vecType(K).Lanes; }
+
+private:
+  MemSpace() = default;
+
+  std::string Name;
+  bool IsRegisterFile = false;
+  std::map<ScalarKind, VecTypeInfo> VecTypes;
+};
+
+} // namespace exo
+
+#endif // EXO_IR_TYPE_H

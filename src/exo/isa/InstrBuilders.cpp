@@ -1,0 +1,73 @@
+//===- InstrBuilders.cpp --------------------------------------------------===//
+
+#include "exo/isa/InstrBuilders.h"
+
+#include "exo/ir/Builder.h"
+
+using namespace exo;
+
+InstrPtr exo::makeLoadInstr(const std::string &Name, ScalarKind Ty,
+                            unsigned Lanes, const MemSpace *Reg,
+                            const std::string &CFormat) {
+  ProcBuilder B(Name);
+  B.tensorParam("dst", Ty, {idx(Lanes)}, Reg, /*Mutable=*/true);
+  B.tensorParam("src", Ty, {idx(Lanes)}, MemSpace::dram(), /*Mutable=*/false);
+  ExprPtr I = B.beginFor("i", idx(0), idx(Lanes));
+  B.assign("dst", {I}, B.readOf("src", {I}));
+  B.endFor();
+  return Instr::make(B.build(), CFormat);
+}
+
+InstrPtr exo::makeStoreInstr(const std::string &Name, ScalarKind Ty,
+                             unsigned Lanes, const MemSpace *Reg,
+                             const std::string &CFormat) {
+  ProcBuilder B(Name);
+  B.tensorParam("dst", Ty, {idx(Lanes)}, MemSpace::dram(), /*Mutable=*/true);
+  B.tensorParam("src", Ty, {idx(Lanes)}, Reg, /*Mutable=*/false);
+  ExprPtr I = B.beginFor("i", idx(0), idx(Lanes));
+  B.assign("dst", {I}, B.readOf("src", {I}));
+  B.endFor();
+  return Instr::make(B.build(), CFormat);
+}
+
+InstrPtr exo::makeFmaLaneInstr(const std::string &Name, ScalarKind Ty,
+                               unsigned Lanes, const MemSpace *Reg,
+                               const std::string &CFormat) {
+  ProcBuilder B(Name);
+  B.tensorParam("dst", Ty, {idx(Lanes)}, Reg, /*Mutable=*/true);
+  B.tensorParam("lhs", Ty, {idx(Lanes)}, Reg, /*Mutable=*/false);
+  B.tensorParam("rhs", Ty, {idx(Lanes)}, Reg, /*Mutable=*/false);
+  ExprPtr L = B.indexParam("l");
+  // The paper's Fig. 3 lane checks: 0 <= l < Lanes.
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Ge, L, idx(0)));
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Lt, L, idx(Lanes)));
+  ExprPtr I = B.beginFor("i", idx(0), idx(Lanes));
+  B.reduce("dst", {I}, B.readOf("lhs", {I}) * B.readOf("rhs", {L}));
+  B.endFor();
+  return Instr::make(B.build(), CFormat);
+}
+
+InstrPtr exo::makeFmaBroadcastInstr(const std::string &Name, ScalarKind Ty,
+                                    unsigned Lanes, const MemSpace *Reg,
+                                    const std::string &CFormat) {
+  ProcBuilder B(Name);
+  B.tensorParam("dst", Ty, {idx(Lanes)}, Reg, /*Mutable=*/true);
+  B.tensorParam("lhs", Ty, {idx(Lanes)}, Reg, /*Mutable=*/false);
+  B.tensorParam("s", Ty, {idx(1)}, MemSpace::dram(), /*Mutable=*/false);
+  ExprPtr I = B.beginFor("i", idx(0), idx(Lanes));
+  B.reduce("dst", {I}, B.readOf("lhs", {I}) * B.readOf("s", {idx(0)}));
+  B.endFor();
+  return Instr::make(B.build(), CFormat);
+}
+
+InstrPtr exo::makeBroadcastInstr(const std::string &Name, ScalarKind Ty,
+                                 unsigned Lanes, const MemSpace *Reg,
+                                 const std::string &CFormat) {
+  ProcBuilder B(Name);
+  B.tensorParam("dst", Ty, {idx(Lanes)}, Reg, /*Mutable=*/true);
+  B.tensorParam("s", Ty, {idx(1)}, MemSpace::dram(), /*Mutable=*/false);
+  ExprPtr I = B.beginFor("i", idx(0), idx(Lanes));
+  B.assign("dst", {I}, B.readOf("s", {idx(0)}));
+  B.endFor();
+  return Instr::make(B.build(), CFormat);
+}

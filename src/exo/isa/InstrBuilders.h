@@ -1,0 +1,55 @@
+//===- InstrBuilders.h - Canonical instruction semantics ------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factories for the semantic procs shared by all instruction libraries
+/// (what varies per ISA is only the name, lane count, register space and C
+/// format string). The semantics follow the paper's Fig. 3: e.g. a lane FMA
+/// of width L is
+///
+/// \code
+///   def <name>(dst: [ty][L] @ Reg, lhs: [ty][L] @ Reg,
+///              rhs: [ty][L] @ Reg, l: index):
+///       for i in seq(0, L):
+///           dst[i] += lhs[i] * rhs[l]
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_ISA_INSTRBUILDERS_H
+#define EXO_ISA_INSTRBUILDERS_H
+
+#include "exo/ir/Proc.h"
+
+namespace exo {
+
+/// dst[i] = src[i] over [0, Lanes); dst in \p Reg, src in DRAM.
+InstrPtr makeLoadInstr(const std::string &Name, ScalarKind Ty, unsigned Lanes,
+                       const MemSpace *Reg, const std::string &CFormat);
+
+/// dst[i] = src[i] over [0, Lanes); dst in DRAM, src in \p Reg.
+InstrPtr makeStoreInstr(const std::string &Name, ScalarKind Ty,
+                        unsigned Lanes, const MemSpace *Reg,
+                        const std::string &CFormat);
+
+/// dst[i] += lhs[i] * rhs[l]; all registers, l an index parameter.
+InstrPtr makeFmaLaneInstr(const std::string &Name, ScalarKind Ty,
+                          unsigned Lanes, const MemSpace *Reg,
+                          const std::string &CFormat);
+
+/// dst[i] += lhs[i] * s[0]; s is one DRAM element.
+InstrPtr makeFmaBroadcastInstr(const std::string &Name, ScalarKind Ty,
+                               unsigned Lanes, const MemSpace *Reg,
+                               const std::string &CFormat);
+
+/// dst[i] = s[0]; s is one DRAM element.
+InstrPtr makeBroadcastInstr(const std::string &Name, ScalarKind Ty,
+                            unsigned Lanes, const MemSpace *Reg,
+                            const std::string &CFormat);
+
+} // namespace exo
+
+#endif // EXO_ISA_INSTRBUILDERS_H

@@ -1,0 +1,89 @@
+//===- IsaLib.h - Instruction library interface ---------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An instruction library is the hardware description the paper's §II-B
+/// externalizes: a vector register memory space plus a set of Instr
+/// definitions (semantic proc + C lowering). Switching architectures means
+/// passing a different library to the same schedule (§III-C).
+///
+/// Libraries provided:
+///   - neon:     ARM Neon 128-bit, f32 (4 lanes) and f16 (8 lanes, "Neon8f").
+///               Matches the paper's Fig. 3 definitions. Not executable on
+///               this repo's x86 test hardware; codegen output is
+///               golden-tested textually instead.
+///   - avx2:     Intel AVX2+FMA, f32 (8 lanes), broadcast-style FMA.
+///   - avx512:   Intel AVX-512, f32 (16 lanes), broadcast-style FMA.
+///   - portable: GCC vector extensions, f32 (4 lanes), lane-style FMA with
+///               the exact shape of the Neon schedule; executable anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_ISA_ISALIB_H
+#define EXO_ISA_ISALIB_H
+
+#include "exo/ir/Proc.h"
+
+#include <string>
+#include <vector>
+
+namespace exo {
+
+/// See file comment.
+class IsaLib {
+public:
+  virtual ~IsaLib();
+
+  /// Short identifier ("neon", "avx2", ...).
+  virtual std::string name() const = 0;
+
+  /// True when generated code can be compiled and run on this host.
+  virtual bool hostExecutable() const = 0;
+
+  /// True when the library has instructions for \p Ty.
+  virtual bool supports(ScalarKind Ty) const = 0;
+
+  /// The vector register memory space for \p Ty.
+  virtual const MemSpace *space(ScalarKind Ty) const = 0;
+
+  /// Lanes of one vector register for \p Ty.
+  unsigned lanes(ScalarKind Ty) const { return space(Ty)->lanes(Ty); }
+
+  /// C source prelude for generated kernels (includes / typedefs).
+  virtual std::string prologue() const = 0;
+
+  /// Extra compiler flags for JIT compilation of generated code.
+  virtual std::string jitFlags() const = 0;
+
+  /// dst[0:L] = src[0:L]; src in DRAM, dst in registers.
+  virtual InstrPtr load(ScalarKind Ty) const = 0;
+  /// dst[0:L] = src[0:L]; dst in DRAM, src in registers.
+  virtual InstrPtr store(ScalarKind Ty) const = 0;
+  /// dst[i] += lhs[i] * rhs[l] with rhs in registers and lane index l
+  /// (the Neon vfmaq_laneq shape). Null when the ISA has no lane FMA.
+  virtual InstrPtr fmaLane(ScalarKind Ty) const = 0;
+  /// dst[i] += lhs[i] * s[0] with s a single element in DRAM (broadcast
+  /// FMA, the natural x86 shape). Null when unavailable.
+  virtual InstrPtr fmaBroadcast(ScalarKind Ty) const = 0;
+  /// dst[i] = s[0] (broadcast/dup). Null when unavailable.
+  virtual InstrPtr broadcast(ScalarKind Ty) const = 0;
+};
+
+/// Built-in libraries.
+const IsaLib &neonIsa();
+const IsaLib &avx2Isa();
+const IsaLib &avx512Isa();
+const IsaLib &portableIsa();
+
+/// Looks an ISA up by name; nullptr when unknown.
+const IsaLib *findIsa(const std::string &Name);
+
+/// All built-in libraries.
+std::vector<const IsaLib *> allIsas();
+
+} // namespace exo
+
+#endif // EXO_ISA_ISALIB_H

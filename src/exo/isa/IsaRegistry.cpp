@@ -1,0 +1,18 @@
+//===- IsaRegistry.cpp ----------------------------------------------------===//
+
+#include "exo/isa/IsaLib.h"
+
+using namespace exo;
+
+IsaLib::~IsaLib() = default;
+
+const IsaLib *exo::findIsa(const std::string &Name) {
+  for (const IsaLib *I : allIsas())
+    if (I->name() == Name)
+      return I;
+  return nullptr;
+}
+
+std::vector<const IsaLib *> exo::allIsas() {
+  return {&neonIsa(), &avx2Isa(), &avx512Isa(), &portableIsa()};
+}

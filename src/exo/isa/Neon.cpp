@@ -1,0 +1,122 @@
+//===- Neon.cpp - ARM Neon instruction library ----------------------------===//
+//
+// The paper's hardware target. The f32 definitions mirror its Fig. 3
+// (`neon_vst_4xf32`, `neon_vfmla_4xf32_4xf32`, ...); f16 support uses the
+// "Neon8f" register space exactly as §III-D describes. This library is not
+// executable on the x86 hardware this repository is developed on — its
+// generated C is validated by golden tests against the paper's figures and
+// compiles on any aarch64 toolchain.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/isa/InstrBuilders.h"
+#include "exo/isa/IsaLib.h"
+
+using namespace exo;
+
+namespace {
+
+class NeonIsa final : public IsaLib {
+public:
+  NeonIsa() {
+    F32Space = MemSpace::makeRegisterFile(
+        "Neon", {{ScalarKind::F32, {"float32x4_t", 4}},
+                 {ScalarKind::F64, {"float64x2_t", 2}}});
+    F16Space = MemSpace::makeRegisterFile(
+        "Neon8f", {{ScalarKind::F16, {"float16x8_t", 8}}});
+
+    LoadF32 = makeLoadInstr("neon_vld_4xf32", ScalarKind::F32, 4, F32Space,
+                            "{dst_data} = vld1q_f32(&{src_data});");
+    StoreF32 = makeStoreInstr("neon_vst_4xf32", ScalarKind::F32, 4, F32Space,
+                              "vst1q_f32(&{dst_data}, {src_data});");
+    FmaLaneF32 = makeFmaLaneInstr(
+        "neon_vfmla_4xf32_4xf32", ScalarKind::F32, 4, F32Space,
+        "{dst_data} = vfmaq_laneq_f32({dst_data}, {lhs_data}, {rhs_data}, "
+        "{l});");
+    FmaBcstF32 = makeFmaBroadcastInstr(
+        "neon_vfmadd_4xf32_4xf32", ScalarKind::F32, 4, F32Space,
+        "{dst_data} = vfmaq_n_f32({dst_data}, {lhs_data}, {s_data});");
+    BcstF32 = makeBroadcastInstr("neon_vdup_4xf32", ScalarKind::F32, 4,
+                                 F32Space,
+                                 "{dst_data} = vld1q_dup_f32(&{s_data});");
+
+    LoadF16 = makeLoadInstr("neon_vld_8xf16", ScalarKind::F16, 8, F16Space,
+                            "{dst_data} = vld1q_f16(&{src_data});");
+    StoreF16 = makeStoreInstr("neon_vst_8xf16", ScalarKind::F16, 8, F16Space,
+                              "vst1q_f16(&{dst_data}, {src_data});");
+    FmaLaneF16 = makeFmaLaneInstr(
+        "neon_vfmla_8xf16_8xf16", ScalarKind::F16, 8, F16Space,
+        "{dst_data} = vfmaq_laneq_f16({dst_data}, {lhs_data}, {rhs_data}, "
+        "{l});");
+    FmaBcstF16 = makeFmaBroadcastInstr(
+        "neon_vfmadd_8xf16_8xf16", ScalarKind::F16, 8, F16Space,
+        "{dst_data} = vfmaq_n_f16({dst_data}, {lhs_data}, {s_data});");
+    BcstF16 = makeBroadcastInstr("neon_vdup_8xf16", ScalarKind::F16, 8,
+                                 F16Space,
+                                 "{dst_data} = vld1q_dup_f16(&{s_data});");
+  }
+
+  std::string name() const override { return "neon"; }
+
+  bool hostExecutable() const override {
+#ifdef __aarch64__
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  bool supports(ScalarKind Ty) const override {
+    return Ty == ScalarKind::F32 || Ty == ScalarKind::F16;
+  }
+
+  const MemSpace *space(ScalarKind Ty) const override {
+    return Ty == ScalarKind::F16 ? F16Space : F32Space;
+  }
+
+  std::string prologue() const override {
+    return "#include <arm_neon.h>\n";
+  }
+
+  std::string jitFlags() const override {
+    return "-march=armv8.2-a+fp16";
+  }
+
+  InstrPtr load(ScalarKind Ty) const override {
+    return pick(Ty, LoadF32, LoadF16);
+  }
+  InstrPtr store(ScalarKind Ty) const override {
+    return pick(Ty, StoreF32, StoreF16);
+  }
+  InstrPtr fmaLane(ScalarKind Ty) const override {
+    return pick(Ty, FmaLaneF32, FmaLaneF16);
+  }
+  InstrPtr fmaBroadcast(ScalarKind Ty) const override {
+    return pick(Ty, FmaBcstF32, FmaBcstF16);
+  }
+  InstrPtr broadcast(ScalarKind Ty) const override {
+    return pick(Ty, BcstF32, BcstF16);
+  }
+
+private:
+  static InstrPtr pick(ScalarKind Ty, const InstrPtr &F32,
+                       const InstrPtr &F16) {
+    if (Ty == ScalarKind::F32)
+      return F32;
+    if (Ty == ScalarKind::F16)
+      return F16;
+    return nullptr;
+  }
+
+  const MemSpace *F32Space = nullptr;
+  const MemSpace *F16Space = nullptr;
+  InstrPtr LoadF32, StoreF32, FmaLaneF32, FmaBcstF32, BcstF32;
+  InstrPtr LoadF16, StoreF16, FmaLaneF16, FmaBcstF16, BcstF16;
+};
+
+} // namespace
+
+const IsaLib &exo::neonIsa() {
+  static NeonIsa Isa;
+  return Isa;
+}

@@ -1,0 +1,134 @@
+//===- Jit.cpp ------------------------------------------------------------===//
+
+#include "exo/jit/Jit.h"
+
+#include "exo/support/Str.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace exo;
+
+JitKernel::JitKernel(void *Handle, void *Sym, std::string SoPath)
+    : Handle(Handle), Sym(Sym), SoPath(std::move(SoPath)) {}
+
+JitKernel::~JitKernel() {
+  if (Handle)
+    dlclose(Handle);
+}
+
+namespace {
+
+/// Process-wide compilation cache and scratch directory.
+struct JitState {
+  std::mutex Mu;
+  std::string Dir;
+  std::map<size_t, JitKernelPtr> Cache;
+  int Counter = 0;
+
+  static JitState &get() {
+    static JitState S;
+    return S;
+  }
+};
+
+std::string compilerCommand() {
+  if (const char *CC = std::getenv("EXO_CC"))
+    return CC;
+  return "cc";
+}
+
+/// Creates (once) the scratch directory for generated sources.
+Error ensureDir(JitState &S) {
+  if (!S.Dir.empty())
+    return Error::success();
+  std::string Tmpl = "/tmp/exo-ukr-jit-XXXXXX";
+  std::vector<char> Buf(Tmpl.begin(), Tmpl.end());
+  Buf.push_back('\0');
+  if (!mkdtemp(Buf.data()))
+    return errorf("cannot create JIT scratch directory");
+  S.Dir.assign(Buf.data());
+  return Error::success();
+}
+
+/// Runs a shell command, capturing combined output. Returns the exit code.
+int runCommand(const std::string &Cmd, std::string &Output) {
+  std::string Full = Cmd + " 2>&1";
+  FILE *Pipe = popen(Full.c_str(), "r");
+  if (!Pipe)
+    return -1;
+  char Buf[4096];
+  Output.clear();
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Output.append(Buf, N);
+  return pclose(Pipe);
+}
+
+} // namespace
+
+Expected<JitKernelPtr> exo::jitCompile(const std::string &CSource,
+                                       const std::string &SymbolName,
+                                       const std::string &ExtraFlags) {
+  JitState &S = JitState::get();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+
+  size_t Key = std::hash<std::string>()(CSource + "\x1f" + ExtraFlags +
+                                        "\x1f" + SymbolName);
+  if (auto It = S.Cache.find(Key); It != S.Cache.end())
+    return It->second;
+
+  if (Error Err = ensureDir(S))
+    return Err;
+  std::string Stem = strf("%s/k%04d_%zx", S.Dir.c_str(), S.Counter++, Key);
+  std::string CPath = Stem + ".c";
+  std::string SoPath = Stem + ".so";
+  {
+    std::ofstream OS(CPath);
+    if (!OS)
+      return errorf("cannot write %s", CPath.c_str());
+    OS << CSource;
+  }
+
+  // -ffp-contract=fast restores FMA contraction that -std=c11 would turn
+  // off; generated vector-extension arithmetic relies on it (intrinsics
+  // are explicit FMAs either way).
+  std::string Cmd = compilerCommand() +
+                    " -O3 -std=c11 -ffp-contract=fast " + ExtraFlags +
+                    " -shared -fPIC -o " + SoPath + " " + CPath;
+  std::string CcOut;
+  int Rc = runCommand(Cmd, CcOut);
+  if (Rc != 0)
+    return errorf("JIT compilation failed (%s):\n%s", Cmd.c_str(),
+                  CcOut.c_str());
+
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle)
+    return errorf("dlopen failed: %s", dlerror());
+  void *Sym = dlsym(Handle, SymbolName.c_str());
+  if (!Sym) {
+    dlclose(Handle);
+    return errorf("symbol '%s' not found in generated object",
+                  SymbolName.c_str());
+  }
+  auto K = std::make_shared<JitKernel>(Handle, Sym, SoPath);
+  S.Cache.emplace(Key, K);
+  return K;
+}
+
+bool exo::jitAvailable() {
+  static int Avail = -1;
+  if (Avail < 0) {
+    std::string Out;
+    Avail = runCommand(compilerCommand() + " --version", Out) == 0 ? 1 : 0;
+  }
+  return Avail == 1;
+}

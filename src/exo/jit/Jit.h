@@ -1,0 +1,62 @@
+//===- Jit.h - Runtime compilation of generated C -------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exo's contract is "emit plain C and let the user pick the compiler". The
+/// JIT honours it literally: generated C is written to a scratch directory,
+/// compiled with the system C compiler (override with EXO_CC), loaded with
+/// dlopen, and the kernel symbol resolved. Compilations are cached by a hash
+/// of (source, flags) for the lifetime of the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_JIT_JIT_H
+#define EXO_JIT_JIT_H
+
+#include "exo/support/Error.h"
+
+#include <memory>
+#include <string>
+
+namespace exo {
+
+/// A loaded kernel; keeps the shared object alive.
+class JitKernel {
+public:
+  JitKernel(void *Handle, void *Sym, std::string SoPath);
+  ~JitKernel();
+  JitKernel(const JitKernel &) = delete;
+  JitKernel &operator=(const JitKernel &) = delete;
+
+  /// Raw function pointer.
+  void *symbol() const { return Sym; }
+
+  /// Typed function pointer, e.g. `K->as<void (*)(int64_t, ...)>()`.
+  template <typename Fn> Fn as() const {
+    return reinterpret_cast<Fn>(Sym);
+  }
+
+private:
+  void *Handle;
+  void *Sym;
+  std::string SoPath;
+};
+
+using JitKernelPtr = std::shared_ptr<JitKernel>;
+
+/// Compiles \p CSource with `$EXO_CC -O3 <ExtraFlags> -shared -fPIC` and
+/// resolves \p SymbolName. Returns the loaded kernel or a diagnostic
+/// including the compiler's stderr.
+Expected<JitKernelPtr> jitCompile(const std::string &CSource,
+                                  const std::string &SymbolName,
+                                  const std::string &ExtraFlags);
+
+/// True when a working C compiler is available for jitCompile.
+bool jitAvailable();
+
+} // namespace exo
+
+#endif // EXO_JIT_JIT_H

@@ -1,0 +1,169 @@
+//===- Cursor.cpp ---------------------------------------------------------===//
+
+#include "exo/pattern/Cursor.h"
+
+#include "exo/ir/Rewrite.h"
+#include "exo/support/Error.h"
+
+using namespace exo;
+
+const StmtPtr &exo::stmtAt(const Proc &P, const StmtPath &Path) {
+  assert(!Path.Steps.empty() && "empty path addresses no statement");
+  const std::vector<StmtPtr> *Body = &P.body();
+  const StmtPtr *S = nullptr;
+  for (size_t Level = 0; Level != Path.Steps.size(); ++Level) {
+    int I = Path.Steps[Level];
+    assert(I >= 0 && static_cast<size_t>(I) < Body->size() && "bad path step");
+    S = &(*Body)[I];
+    if (Level + 1 != Path.Steps.size()) {
+      const auto *F = dyn_castS<ForStmt>(*S);
+      assert(F && "path descends into a non-loop");
+      Body = &F->body();
+    }
+  }
+  return *S;
+}
+
+const std::vector<StmtPtr> &exo::bodyAt(const Proc &P,
+                                        const StmtPath &OwnerPath) {
+  if (OwnerPath.Steps.empty())
+    return P.body();
+  const StmtPtr &S = stmtAt(P, OwnerPath);
+  const auto *F = dyn_castS<ForStmt>(S);
+  assert(F && "body owner must be a for loop");
+  return F->body();
+}
+
+/// Recursive helper: rebuilds \p Body with the statement at Steps[Level...]
+/// replaced by \p Repl.
+static std::vector<StmtPtr> spliceBody(const std::vector<StmtPtr> &Body,
+                                       const std::vector<int> &Steps,
+                                       size_t Level,
+                                       std::vector<StmtPtr> &&Repl) {
+  int I = Steps[Level];
+  assert(I >= 0 && static_cast<size_t>(I) < Body.size() && "bad path step");
+  std::vector<StmtPtr> Out;
+  Out.reserve(Body.size() + Repl.size());
+  for (int J = 0; J != I; ++J)
+    Out.push_back(Body[J]);
+  if (Level + 1 == Steps.size()) {
+    for (StmtPtr &R : Repl)
+      Out.push_back(std::move(R));
+  } else {
+    const auto *F = dyn_castS<ForStmt>(Body[I]);
+    assert(F && "path descends into a non-loop");
+    Out.push_back(
+        F->withBody(spliceBody(F->body(), Steps, Level + 1, std::move(Repl))));
+  }
+  for (size_t J = I + 1; J != Body.size(); ++J)
+    Out.push_back(Body[J]);
+  return Out;
+}
+
+Proc exo::spliceAt(const Proc &P, const StmtPath &Path,
+                   std::vector<StmtPtr> Repl) {
+  assert(!Path.Steps.empty() && "cannot splice at the proc itself");
+  return P.withBody(spliceBody(P.body(), Path.Steps, 0, std::move(Repl)));
+}
+
+Proc exo::insertAt(const Proc &P, const StmtPath &Path,
+                   std::vector<StmtPtr> Stmts, bool Before) {
+  const StmtPtr &Old = stmtAt(P, Path);
+  std::vector<StmtPtr> Repl;
+  Repl.reserve(Stmts.size() + 1);
+  if (Before) {
+    for (StmtPtr &S : Stmts)
+      Repl.push_back(std::move(S));
+    Repl.push_back(Old);
+  } else {
+    Repl.push_back(Old);
+    for (StmtPtr &S : Stmts)
+      Repl.push_back(std::move(S));
+  }
+  return spliceAt(P, Path, std::move(Repl));
+}
+
+static void findInBody(const std::vector<StmtPtr> &Body,
+                       const StmtPattern &Pat, StmtPath &Prefix,
+                       std::vector<StmtPath> &Out) {
+  for (size_t I = 0; I != Body.size(); ++I) {
+    Prefix.Steps.push_back(static_cast<int>(I));
+    if (Pat.matches(Body[I]))
+      Out.push_back(Prefix);
+    if (const auto *F = dyn_castS<ForStmt>(Body[I]))
+      findInBody(F->body(), Pat, Prefix, Out);
+    Prefix.Steps.pop_back();
+  }
+}
+
+std::vector<StmtPath> exo::findAllStmts(const Proc &P,
+                                        const StmtPattern &Pat) {
+  std::vector<StmtPath> Out;
+  StmtPath Prefix;
+  findInBody(P.body(), Pat, Prefix, Out);
+  return Out;
+}
+
+Expected<StmtPath> exo::findStmt(const Proc &P, const std::string &Pattern) {
+  Expected<StmtPattern> Pat = parseStmtPattern(Pattern);
+  if (!Pat)
+    return Pat.takeError();
+  std::vector<StmtPath> All = findAllStmts(P, *Pat);
+  if (static_cast<size_t>(Pat->Occurrence) >= All.size())
+    return errorf("pattern '%s' has %zu matches in '%s', wanted #%d",
+                  Pattern.c_str(), All.size(), P.name().c_str(),
+                  Pat->Occurrence);
+  return All[Pat->Occurrence];
+}
+
+Expected<ExprMatch> exo::findExpr(const Proc &P, const std::string &Pattern) {
+  Expected<ExprPattern> Pat = parseExprPattern(Pattern);
+  if (!Pat)
+    return Pat.takeError();
+
+  std::vector<ExprMatch> All;
+  // Visit every statement in pre-order, collecting matching reads. Loops
+  // contribute only their bounds at their own level; their bodies are walked
+  // separately so each match is attributed to the directly enclosing
+  // statement.
+  std::function<void(const std::vector<StmtPtr> &, StmtPath &)> Walk =
+      [&](const std::vector<StmtPtr> &Body, StmtPath &Prefix) {
+        for (size_t I = 0; I != Body.size(); ++I) {
+          Prefix.Steps.push_back(static_cast<int>(I));
+          auto Collect = [&](const ExprPtr &E) -> ExprPtr {
+            if (Pat->matches(E))
+              All.push_back({Prefix, E});
+            return nullptr;
+          };
+          if (const auto *F = dyn_castS<ForStmt>(Body[I])) {
+            rewriteExpr(F->lo(), Collect);
+            rewriteExpr(F->hi(), Collect);
+            Walk(F->body(), Prefix);
+          } else {
+            forEachExpr(Body[I],
+                        [&](const ExprPtr &E) { Collect(E); });
+          }
+          Prefix.Steps.pop_back();
+        }
+      };
+  StmtPath Prefix;
+  Walk(P.body(), Prefix);
+
+  if (static_cast<size_t>(Pat->Occurrence) >= All.size())
+    return errorf("expression pattern '%s' has %zu matches in '%s'",
+                  Pattern.c_str(), All.size(), P.name().c_str());
+  return All[Pat->Occurrence];
+}
+
+std::vector<const ForStmt *> exo::enclosingLoops(const Proc &P,
+                                                 const StmtPath &Path) {
+  std::vector<const ForStmt *> Out;
+  StmtPath Prefix;
+  for (size_t Level = 0; Level + 1 < Path.Steps.size(); ++Level) {
+    Prefix.Steps.push_back(Path.Steps[Level]);
+    const auto *F = dyn_castS<ForStmt>(stmtAt(P, Prefix));
+    assert(F && "path descends into a non-loop");
+    Out.push_back(F);
+  }
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- Cursor.h - Paths into procedure bodies -----------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A StmtPath addresses one statement in a proc: Steps[0] indexes the proc
+/// body; whenever the addressed statement is a `for`, the next step indexes
+/// its body. Because procs are immutable, paths found before a rewrite stay
+/// valid for the *old* proc only; primitives re-find what they need.
+///
+/// Gap positions (before/after a statement) support fission and insertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_PATTERN_CURSOR_H
+#define EXO_PATTERN_CURSOR_H
+
+#include "exo/pattern/Pattern.h"
+
+namespace exo {
+
+struct StmtPath {
+  std::vector<int> Steps;
+
+  bool operator==(const StmtPath &O) const { return Steps == O.Steps; }
+
+  /// Path to the enclosing statement list owner (drops the last step).
+  StmtPath parent() const {
+    StmtPath P = *this;
+    P.Steps.pop_back();
+    return P;
+  }
+  int lastIndex() const { return Steps.back(); }
+};
+
+/// Returns the statement at \p Path; asserts the path is valid.
+const StmtPtr &stmtAt(const Proc &P, const StmtPath &Path);
+
+/// Returns the statement list that contains the children addressed below
+/// \p OwnerPath. An empty path means the proc body; otherwise the path must
+/// address a `for` and its body is returned.
+const std::vector<StmtPtr> &bodyAt(const Proc &P, const StmtPath &OwnerPath);
+
+/// Replaces the statement at \p Path by \p Repl (possibly several statements
+/// or none), rebuilding the spine.
+Proc spliceAt(const Proc &P, const StmtPath &Path, std::vector<StmtPtr> Repl);
+
+/// Inserts \p Stmts into the statement list owning \p Path, before (or after)
+/// the addressed statement.
+Proc insertAt(const Proc &P, const StmtPath &Path, std::vector<StmtPtr> Stmts,
+              bool Before);
+
+/// Finds all statements matching \p Pat in pre-order.
+std::vector<StmtPath> findAllStmts(const Proc &P, const StmtPattern &Pat);
+
+/// Parses \p Pattern and returns its Occurrence-th match.
+Expected<StmtPath> findStmt(const Proc &P, const std::string &Pattern);
+
+/// An expression match: the statement containing it plus the expression.
+struct ExprMatch {
+  StmtPath Path;
+  ExprPtr E;
+};
+
+/// Parses an expression pattern and returns its Occurrence-th match
+/// (pre-order over statements, then over each statement's expressions).
+Expected<ExprMatch> findExpr(const Proc &P, const std::string &Pattern);
+
+/// Returns the chain of `for` statements enclosing (and not including)
+/// \p Path, outermost first.
+std::vector<const ForStmt *> enclosingLoops(const Proc &P,
+                                            const StmtPath &Path);
+
+} // namespace exo
+
+#endif // EXO_PATTERN_CURSOR_H

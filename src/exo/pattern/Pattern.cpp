@@ -1,0 +1,138 @@
+//===- Pattern.cpp --------------------------------------------------------===//
+
+#include "exo/pattern/Pattern.h"
+
+#include "exo/support/Str.h"
+
+#include <cctype>
+
+using namespace exo;
+
+bool StmtPattern::matches(const StmtPtr &S) const {
+  switch (K) {
+  case Kind::For: {
+    const auto *F = dyn_castS<ForStmt>(S);
+    if (!F)
+      return false;
+    return LoopVar.empty() || F->loopVar() == LoopVar;
+  }
+  case Kind::Assign: {
+    const auto *A = dyn_castS<AssignStmt>(S);
+    if (!A || A->isReduce() != IsReduce)
+      return false;
+    return Buf.empty() || A->buffer() == Buf;
+  }
+  case Kind::Alloc: {
+    const auto *A = dyn_castS<AllocStmt>(S);
+    return A && A->name() == AllocName;
+  }
+  }
+  return false;
+}
+
+bool ExprPattern::matches(const ExprPtr &E) const {
+  const auto *R = dyn_cast<ReadExpr>(E);
+  return R && R->buffer() == Buf;
+}
+
+/// Strips a trailing `#k` selector, storing k in \p Occurrence.
+static std::string stripOccurrence(std::string_view Text, int &Occurrence) {
+  Occurrence = 0;
+  size_t Hash = Text.rfind('#');
+  if (Hash == std::string_view::npos)
+    return std::string(trim(Text));
+  std::string Num(trim(Text.substr(Hash + 1)));
+  if (!Num.empty() && Num.find_first_not_of("0123456789") == std::string::npos)
+    Occurrence = std::stoi(Num);
+  return std::string(trim(Text.substr(0, Hash)));
+}
+
+/// True for a valid identifier or the `_` wildcard.
+static bool isIdentOrWild(std::string_view S) {
+  if (S.empty())
+    return false;
+  if (S == "_")
+    return true;
+  if (!(std::isalpha(static_cast<unsigned char>(S[0])) || S[0] == '_'))
+    return false;
+  for (char C : S)
+    if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_'))
+      return false;
+  return true;
+}
+
+Expected<StmtPattern> exo::parseStmtPattern(const std::string &Text) {
+  StmtPattern P;
+  std::string Body = stripOccurrence(Text, P.Occurrence);
+
+  // "for <var> in _: _"
+  if (startsWith(Body, "for ")) {
+    std::string Rest(trim(std::string_view(Body).substr(4)));
+    size_t In = Rest.find(" in ");
+    if (In == std::string::npos)
+      return errorf("bad loop pattern '%s' (expected 'for v in _: _')",
+                    Text.c_str());
+    std::string Var(trim(std::string_view(Rest).substr(0, In)));
+    std::string Tail(trim(std::string_view(Rest).substr(In + 4)));
+    if (!isIdentOrWild(Var) || (Tail != "_: _" && Tail != "_:_"))
+      return errorf("bad loop pattern '%s' (expected 'for v in _: _')",
+                    Text.c_str());
+    P.K = StmtPattern::Kind::For;
+    P.LoopVar = Var == "_" ? "" : Var;
+    return P;
+  }
+
+  // "name: _" — an allocation.
+  if (size_t Colon = Body.find(':'); Colon != std::string::npos &&
+                                     Body.find('=') == std::string::npos) {
+    std::string Name(trim(std::string_view(Body).substr(0, Colon)));
+    std::string Tail(trim(std::string_view(Body).substr(Colon + 1)));
+    if (!isIdentOrWild(Name) || Name == "_" || Tail != "_")
+      return errorf("bad alloc pattern '%s' (expected 'name: _')",
+                    Text.c_str());
+    P.K = StmtPattern::Kind::Alloc;
+    P.AllocName = Name;
+    return P;
+  }
+
+  // "buf[_] += _" / "buf[_] = _" / "_ = _" / "_ += _"
+  bool Reduce = Body.find("+=") != std::string::npos;
+  size_t Eq = Reduce ? Body.find("+=") : Body.find('=');
+  if (Eq == std::string::npos)
+    return errorf("unrecognized pattern '%s'", Text.c_str());
+  std::string Lhs(trim(std::string_view(Body).substr(0, Eq)));
+  std::string Rhs(
+      trim(std::string_view(Body).substr(Eq + (Reduce ? 2 : 1))));
+  if (Rhs != "_")
+    return errorf("assignment pattern '%s' must have rhs '_'", Text.c_str());
+  std::string BufName;
+  if (Lhs == "_") {
+    BufName.clear();
+  } else if (endsWith(Lhs, "[_]")) {
+    BufName = std::string(trim(std::string_view(Lhs).substr(0, Lhs.size() - 3)));
+    if (!isIdentOrWild(BufName))
+      return errorf("bad buffer name in pattern '%s'", Text.c_str());
+    if (BufName == "_")
+      BufName.clear();
+  } else {
+    return errorf("bad lhs in pattern '%s' (expected 'buf[_]' or '_')",
+                  Text.c_str());
+  }
+  P.K = StmtPattern::Kind::Assign;
+  P.Buf = BufName;
+  P.IsReduce = Reduce;
+  return P;
+}
+
+Expected<ExprPattern> exo::parseExprPattern(const std::string &Text) {
+  ExprPattern P;
+  std::string Body = stripOccurrence(Text, P.Occurrence);
+  if (!endsWith(Body, "[_]"))
+    return errorf("bad expression pattern '%s' (expected 'buf[_]')",
+                  Text.c_str());
+  std::string Name(trim(std::string_view(Body).substr(0, Body.size() - 3)));
+  if (!isIdentOrWild(Name) || Name == "_")
+    return errorf("bad buffer name in expression pattern '%s'", Text.c_str());
+  P.Buf = Name;
+  return P;
+}

@@ -1,0 +1,69 @@
+//===- Pattern.h - Schedule pattern language ------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textual patterns scheduling directives use to point at code, as in
+/// the paper's user schedules:
+///
+///   "for itt in _: _"   a loop with variable `itt` (or `_` for any loop)
+///   "C[_] += _"         a reduction into buffer C
+///   "C_reg[_] = _"      an assignment to buffer C_reg
+///   "_ = _"             any assignment
+///   "C_reg: _"          the allocation of C_reg
+///   "Ac[_]"             a read of buffer Ac (expression pattern)
+///
+/// A `#k` suffix (e.g. "for i in _: _ #1") selects the k-th match in
+/// pre-order, counting from zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_PATTERN_PATTERN_H
+#define EXO_PATTERN_PATTERN_H
+
+#include "exo/ir/Proc.h"
+#include "exo/support/Error.h"
+
+#include <string>
+
+namespace exo {
+
+/// A parsed statement pattern.
+struct StmtPattern {
+  enum class Kind : uint8_t { For, Assign, Alloc };
+
+  Kind K = Kind::For;
+  /// For-loop variable; empty means wildcard.
+  std::string LoopVar;
+  /// Assignment destination buffer; empty means wildcard.
+  std::string Buf;
+  /// Assign: true matches `+=` only, false matches `=` only.
+  bool IsReduce = false;
+  /// Alloc name (never a wildcard).
+  std::string AllocName;
+  /// Which match to select (pre-order, from zero).
+  int Occurrence = 0;
+
+  /// True when \p S matches this pattern (ignoring Occurrence).
+  bool matches(const StmtPtr &S) const;
+};
+
+/// A parsed expression pattern (`Buf[_]` — a read of Buf).
+struct ExprPattern {
+  std::string Buf;
+  int Occurrence = 0;
+
+  bool matches(const ExprPtr &E) const;
+};
+
+/// Parses a statement pattern; fails with a diagnostic on syntax errors.
+Expected<StmtPattern> parseStmtPattern(const std::string &Text);
+
+/// Parses an expression pattern (`Name[_]`).
+Expected<ExprPattern> parseExprPattern(const std::string &Text);
+
+} // namespace exo
+
+#endif // EXO_PATTERN_PATTERN_H

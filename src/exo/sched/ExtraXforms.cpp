@@ -1,0 +1,135 @@
+//===- ExtraXforms.cpp - cut_loop, fuse_loops, remove_loop ----------------===//
+
+#include "exo/ir/Affine.h"
+#include "exo/ir/Rewrite.h"
+#include "exo/pattern/Cursor.h"
+#include "exo/sched/Schedule.h"
+#include "exo/sched/Validate.h"
+
+#include <set>
+
+using namespace exo;
+
+Expected<Proc> exo::cutLoop(const Proc &P, const std::string &LoopPattern,
+                            int64_t Point, const SchedOptions &Opts) {
+  auto PathOr = findStmt(P, LoopPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+  const auto *F = dyn_castS<ForStmt>(stmtAt(P, *PathOr));
+  if (!F)
+    return errorf("cut_loop: pattern '%s' is not a loop",
+                  LoopPattern.c_str());
+  auto Lo = tryConstFold(F->lo());
+  auto Hi = tryConstFold(F->hi());
+  if (!Lo || !Hi)
+    return errorf("cut_loop: loop '%s' needs constant bounds",
+                  F->loopVar().c_str());
+  if (Point < *Lo || Point > *Hi)
+    return errorf("cut_loop: point %lld outside [%lld, %lld]",
+                  static_cast<long long>(Point),
+                  static_cast<long long>(*Lo), static_cast<long long>(*Hi));
+
+  StmtPtr First = ForStmt::make(F->loopVar(), F->lo(), idx(Point), F->body());
+  StmtPtr Second = ForStmt::make(F->loopVar(), idx(Point), F->hi(), F->body());
+  Proc Out = spliceAt(P, *PathOr, {First, Second});
+  if (Error Err = validateRewrite(P, Out, Opts, "cut_loop"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::fuseLoops(const Proc &P, const std::string &LoopPattern,
+                              const SchedOptions &Opts) {
+  auto PathOr = findStmt(P, LoopPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+  const auto *F1 = dyn_castS<ForStmt>(stmtAt(P, *PathOr));
+  if (!F1)
+    return errorf("fuse_loops: pattern '%s' is not a loop",
+                  LoopPattern.c_str());
+
+  // The next sibling must be a loop with identical bounds.
+  const std::vector<StmtPtr> &Siblings = bodyAt(P, PathOr->parent());
+  int Idx = PathOr->lastIndex();
+  if (static_cast<size_t>(Idx + 1) >= Siblings.size())
+    return errorf("fuse_loops: loop '%s' has no following sibling",
+                  F1->loopVar().c_str());
+  const auto *F2 = dyn_castS<ForStmt>(Siblings[Idx + 1]);
+  if (!F2)
+    return errorf("fuse_loops: statement after '%s' is not a loop",
+                  F1->loopVar().c_str());
+  auto Lo1 = linearize(F1->lo());
+  auto Lo2 = linearize(F2->lo());
+  auto Hi1 = linearize(F1->hi());
+  auto Hi2 = linearize(F2->hi());
+  if (!Lo1 || !Lo2 || !Hi1 || !Hi2 || !(*Lo1 == *Lo2) || !(*Hi1 == *Hi2))
+    return errorf("fuse_loops: bounds of '%s' and '%s' differ",
+                  F1->loopVar().c_str(), F2->loopVar().c_str());
+
+  // Rename the second loop's variable into the first's.
+  std::vector<StmtPtr> Body2 = F2->body();
+  if (F2->loopVar() != F1->loopVar())
+    Body2 = substVarsBody(Body2, {{F2->loopVar(), var(F1->loopVar())}});
+
+  std::vector<StmtPtr> Merged = F1->body();
+  for (StmtPtr &S : Body2)
+    Merged.push_back(std::move(S));
+  StmtPtr Fused =
+      ForStmt::make(F1->loopVar(), F1->lo(), F1->hi(), std::move(Merged));
+
+  // Splice both out, insert the fusion.
+  std::vector<StmtPtr> NewSiblings;
+  for (size_t I = 0; I != Siblings.size(); ++I) {
+    if (static_cast<int>(I) == Idx) {
+      NewSiblings.push_back(Fused);
+      ++I; // Skip the second loop.
+      continue;
+    }
+    NewSiblings.push_back(Siblings[I]);
+  }
+  Proc Out;
+  if (PathOr->parent().Steps.empty()) {
+    Out = P.withBody(std::move(NewSiblings));
+  } else {
+    const auto *Owner = castS<ForStmt>(stmtAt(P, PathOr->parent()));
+    Out = spliceAt(P, PathOr->parent(),
+                   {Owner->withBody(std::move(NewSiblings))});
+  }
+  if (Error Err = validateRewrite(P, Out, Opts, "fuse_loops"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::removeLoop(const Proc &P, const std::string &LoopPattern,
+                               const SchedOptions &Opts) {
+  auto PathOr = findStmt(P, LoopPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+  const auto *F = dyn_castS<ForStmt>(stmtAt(P, *PathOr));
+  if (!F)
+    return errorf("remove_loop: pattern '%s' is not a loop",
+                  LoopPattern.c_str());
+  if (bodyMentionsVar(F->body(), F->loopVar()))
+    return errorf("remove_loop: body of '%s' uses the loop variable",
+                  F->loopVar().c_str());
+
+  // Trip count must be provably >= 1 (sizes are >= 1).
+  auto Extent = linearize(F->hi() - F->lo());
+  if (!Extent)
+    return errorf("remove_loop: cannot bound the trip count of '%s'",
+                  F->loopVar().c_str());
+  int64_t Min = Extent->Const;
+  for (const auto &[V, K] : Extent->Coeffs) {
+    if (K < 0)
+      return errorf("remove_loop: trip count of '%s' may be zero",
+                    F->loopVar().c_str());
+    Min += K;
+  }
+  if (Min < 1)
+    return errorf("remove_loop: trip count of '%s' may be zero",
+                  F->loopVar().c_str());
+
+  Proc Out = spliceAt(P, *PathOr, F->body());
+  if (Error Err = validateRewrite(P, Out, Opts, "remove_loop"))
+    return Err;
+  return Out;
+}

@@ -1,0 +1,247 @@
+//===- LoopXforms.cpp - divide/reorder/unroll/fission ---------------------===//
+
+#include "exo/ir/Affine.h"
+#include "exo/ir/Rewrite.h"
+#include "exo/pattern/Cursor.h"
+#include "exo/sched/Schedule.h"
+#include "exo/sched/Validate.h"
+#include "exo/support/Str.h"
+
+#include <set>
+
+using namespace exo;
+
+namespace {
+
+/// True when \p E (an extent) is provably >= 1 given that size parameters
+/// are >= 1: all coefficients non-negative and minimum value (every size at
+/// 1) positive.
+bool provablyPositive(const ExprPtr &E) {
+  auto L = linearize(E);
+  if (!L)
+    return false;
+  int64_t Min = L->Const;
+  for (const auto &[V, K] : L->Coeffs) {
+    if (K < 0)
+      return false;
+    Min += K;
+  }
+  return Min >= 1;
+}
+
+/// Checks that \p Name is fresh (no loop var, param, or alloc collides).
+Error checkFreshName(const Proc &P, const std::string &Name) {
+  if (P.findParam(Name))
+    return errorf("name '%s' collides with a parameter", Name.c_str());
+  std::set<std::string> Used;
+  collectLoopVars(P.body(), Used);
+  collectAllocNames(P.body(), Used);
+  if (Used.count(Name))
+    return errorf("name '%s' is already used in '%s'", Name.c_str(),
+                  P.name().c_str());
+  return Error::success();
+}
+
+/// Folds every index expression in \p Body (after substitutions).
+std::vector<StmtPtr> foldBody(const std::vector<StmtPtr> &Body) {
+  std::vector<StmtPtr> Out;
+  Out.reserve(Body.size());
+  for (const StmtPtr &S : Body)
+    Out.push_back(rewriteStmtExprs(
+        S, [](const ExprPtr &E) -> ExprPtr { return foldExpr(E); }));
+  return Out;
+}
+
+} // namespace
+
+Expected<Proc> exo::divideLoop(const Proc &P, const std::string &LoopPattern,
+                               int64_t Factor, const std::string &Outer,
+                               const std::string &Inner, bool Perfect,
+                               const SchedOptions &Opts) {
+  if (Factor <= 0)
+    return errorf("divide_loop: factor must be positive");
+  auto PathOr = findStmt(P, LoopPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+  const auto *F = dyn_castS<ForStmt>(stmtAt(P, *PathOr));
+  if (!F)
+    return errorf("divide_loop: pattern '%s' is not a loop",
+                  LoopPattern.c_str());
+  if (Error Err = checkFreshName(P, Outer))
+    return errorf("divide_loop: %s", Err.message().c_str());
+  if (Error Err = checkFreshName(P, Inner))
+    return errorf("divide_loop: %s", Err.message().c_str());
+
+  auto Lo = tryConstFold(F->lo());
+  auto Hi = tryConstFold(F->hi());
+  if (!Lo || *Lo != 0)
+    return errorf("divide_loop: loop '%s' must start at 0",
+                  F->loopVar().c_str());
+  if (!Hi)
+    return errorf("divide_loop: loop '%s' needs a constant trip count "
+                  "(apply partial_eval first)",
+                  F->loopVar().c_str());
+  int64_t N = *Hi;
+  if (Perfect && N % Factor != 0)
+    return errorf("divide_loop: %lld iterations not divisible by %lld",
+                  static_cast<long long>(N), static_cast<long long>(Factor));
+
+  const std::string &V = F->loopVar();
+  std::map<std::string, ExprPtr> Subst{
+      {V, idx(Factor) * var(Outer) + var(Inner)}};
+  StmtPtr Main = ForStmt::make(
+      Outer, idx(0), idx(N / Factor),
+      {ForStmt::make(Inner, idx(0), idx(Factor),
+                     foldBody(substVarsBody(F->body(), Subst)))});
+
+  std::vector<StmtPtr> Repl{Main};
+  if (!Perfect && N % Factor != 0) {
+    // Tail loop covering [Factor*(N/Factor), N).
+    std::map<std::string, ExprPtr> TailSubst{
+        {V, idx(Factor * (N / Factor)) + var(Inner)}};
+    Repl.push_back(ForStmt::make(
+        Inner, idx(0), idx(N % Factor),
+        foldBody(substVarsBody(F->body(), TailSubst))));
+  }
+
+  Proc Out = spliceAt(P, *PathOr, std::move(Repl));
+  if (Error Err = validateRewrite(P, Out, Opts, "divide_loop"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::reorderLoops(const Proc &P, const std::string &Pair,
+                                 const SchedOptions &Opts) {
+  std::vector<std::string> Names = split(Pair, ' ');
+  std::string Occurrence;
+  if (Names.size() == 3 && Names[2].size() > 1 && Names[2][0] == '#') {
+    Occurrence = " " + Names[2];
+    Names.pop_back();
+  }
+  if (Names.size() != 2)
+    return errorf("reorder_loops: expected 'outer inner [#k]', got '%s'",
+                  Pair.c_str());
+  auto PathOr = findStmt(P, "for " + Names[0] + " in _: _" + Occurrence);
+  if (!PathOr)
+    return PathOr.takeError();
+  const auto *FOut = castS<ForStmt>(stmtAt(P, *PathOr));
+  if (FOut->body().size() != 1)
+    return errorf("reorder_loops: loop '%s' body is not a single loop",
+                  Names[0].c_str());
+  const auto *FIn = dyn_castS<ForStmt>(FOut->body()[0]);
+  if (!FIn || FIn->loopVar() != Names[1])
+    return errorf("reorder_loops: loop '%s' is not immediately inside '%s'",
+                  Names[1].c_str(), Names[0].c_str());
+
+  // Inner bounds must not depend on the outer variable.
+  std::set<std::string> BoundVars;
+  collectVars(FIn->lo(), BoundVars);
+  collectVars(FIn->hi(), BoundVars);
+  if (BoundVars.count(FOut->loopVar()))
+    return errorf("reorder_loops: inner bounds depend on '%s'",
+                  FOut->loopVar().c_str());
+
+  StmtPtr Swapped = ForStmt::make(
+      FIn->loopVar(), FIn->lo(), FIn->hi(),
+      {ForStmt::make(FOut->loopVar(), FOut->lo(), FOut->hi(), FIn->body())});
+  Proc Out = spliceAt(P, *PathOr, {Swapped});
+  if (Error Err = validateRewrite(P, Out, Opts, "reorder_loops"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::unrollLoop(const Proc &P, const std::string &LoopPattern,
+                               const SchedOptions &Opts) {
+  auto PathOr = findStmt(P, LoopPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+  const auto *F = dyn_castS<ForStmt>(stmtAt(P, *PathOr));
+  if (!F)
+    return errorf("unroll_loop: pattern '%s' is not a loop",
+                  LoopPattern.c_str());
+  auto Lo = tryConstFold(F->lo());
+  auto Hi = tryConstFold(F->hi());
+  if (!Lo || !Hi)
+    return errorf("unroll_loop: loop '%s' needs constant bounds",
+                  F->loopVar().c_str());
+  if (*Hi - *Lo > 64)
+    return errorf("unroll_loop: refusing to unroll %lld iterations",
+                  static_cast<long long>(*Hi - *Lo));
+
+  std::vector<StmtPtr> Repl;
+  for (int64_t I = *Lo; I < *Hi; ++I) {
+    std::map<std::string, ExprPtr> Subst{{F->loopVar(), idx(I)}};
+    for (StmtPtr S : foldBody(substVarsBody(F->body(), Subst)))
+      Repl.push_back(std::move(S));
+  }
+  Proc Out = spliceAt(P, *PathOr, std::move(Repl));
+  if (Error Err = validateRewrite(P, Out, Opts, "unroll_loop"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::autofission(const Proc &P, const std::string &StmtPattern,
+                                bool After, int NLifts,
+                                const SchedOptions &Opts) {
+  auto PathOr = findStmt(P, StmtPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+
+  Proc Cur = P;
+  // The gap lives in the statement list owned by OwnerPath, at index GapIdx
+  // (statements [0, GapIdx) are before the gap).
+  StmtPath OwnerPath = PathOr->parent();
+  int GapIdx = PathOr->lastIndex() + (After ? 1 : 0);
+
+  for (int Lift = 0; Lift != NLifts && !OwnerPath.Steps.empty(); ++Lift) {
+    const auto *F = castS<ForStmt>(stmtAt(Cur, OwnerPath));
+    const std::vector<StmtPtr> &B = F->body();
+    assert(GapIdx >= 0 && static_cast<size_t>(GapIdx) <= B.size());
+
+    if (GapIdx == 0) {
+      // Gap is already at the top of this loop; it moves before the loop.
+      GapIdx = OwnerPath.lastIndex();
+      OwnerPath = OwnerPath.parent();
+      continue;
+    }
+    if (static_cast<size_t>(GapIdx) == B.size()) {
+      GapIdx = OwnerPath.lastIndex() + 1;
+      OwnerPath = OwnerPath.parent();
+      continue;
+    }
+
+    std::vector<StmtPtr> H1(B.begin(), B.begin() + GapIdx);
+    std::vector<StmtPtr> H2(B.begin() + GapIdx, B.end());
+    bool TripPos = provablyPositive(F->hi() - F->lo());
+
+    // Emit a half without its loop when it does not mention the loop
+    // variable and the loop provably runs at least once.
+    auto EmitHalf = [&](std::vector<StmtPtr> Half,
+                        std::vector<StmtPtr> &Out) -> int {
+      if (!bodyMentionsVar(Half, F->loopVar()) && TripPos) {
+        int N = static_cast<int>(Half.size());
+        for (StmtPtr &S : Half)
+          Out.push_back(std::move(S));
+        return N;
+      }
+      Out.push_back(
+          ForStmt::make(F->loopVar(), F->lo(), F->hi(), std::move(Half)));
+      return 1;
+    };
+
+    std::vector<StmtPtr> Repl;
+    int Len1 = EmitHalf(std::move(H1), Repl);
+    EmitHalf(std::move(H2), Repl);
+
+    int OwnerIdx = OwnerPath.lastIndex();
+    StmtPath Parent = OwnerPath.parent();
+    Cur = spliceAt(Cur, OwnerPath, std::move(Repl));
+    // The gap now separates the two emitted groups in the parent list.
+    OwnerPath = Parent;
+    GapIdx = OwnerIdx + Len1;
+  }
+
+  if (Error Err = validateRewrite(P, Cur, Opts, "autofission"))
+    return Err;
+  return Cur;
+}

@@ -1,0 +1,278 @@
+//===- MemXforms.cpp - bind_expr, stage_mem, expand_dim, lift_alloc -------===//
+
+#include "exo/ir/Affine.h"
+#include "exo/ir/Equal.h"
+#include "exo/ir/Rewrite.h"
+#include "exo/pattern/Cursor.h"
+#include "exo/sched/Schedule.h"
+#include "exo/sched/Validate.h"
+
+#include <set>
+
+using namespace exo;
+
+namespace {
+
+Error checkFreshBufName(const Proc &P, const std::string &Name) {
+  if (P.findParam(Name))
+    return errorf("name '%s' collides with a parameter", Name.c_str());
+  std::set<std::string> Used;
+  collectLoopVars(P.body(), Used);
+  collectAllocNames(P.body(), Used);
+  if (Used.count(Name))
+    return errorf("name '%s' is already used", Name.c_str());
+  return Error::success();
+}
+
+} // namespace
+
+Expected<Proc> exo::bindExpr(const Proc &P, const std::string &ExprPattern,
+                             const std::string &NewName,
+                             const SchedOptions &Opts) {
+  auto MatchOr = findExpr(P, ExprPattern);
+  if (!MatchOr)
+    return MatchOr.takeError();
+  if (Error Err = checkFreshBufName(P, NewName))
+    return errorf("bind_expr: %s", Err.message().c_str());
+  const ExprPtr &Target = MatchOr->E;
+  if (!isa<ReadExpr>(Target))
+    return errorf("bind_expr: pattern must match a buffer read");
+
+  const StmtPtr &Old = stmtAt(P, MatchOr->Path);
+  // Replace all structurally equal occurrences within the statement.
+  StmtPtr NewStmt = rewriteStmtExprs(Old, [&](const ExprPtr &E) -> ExprPtr {
+    if (exprEqual(E, Target))
+      return ReadExpr::make(NewName, {}, Target->type());
+    return nullptr;
+  });
+
+  std::vector<StmtPtr> Repl{
+      AllocStmt::make(NewName, Target->type(), {}, MemSpace::dram()),
+      AssignStmt::make(NewName, {}, Target, /*IsReduce=*/false), NewStmt};
+  Proc Out = spliceAt(P, MatchOr->Path, std::move(Repl));
+  if (Error Err = validateRewrite(P, Out, Opts, "bind_expr"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::stageMem(const Proc &P, const std::string &StmtPattern,
+                             const std::string &Buf,
+                             const std::string &NewName,
+                             const SchedOptions &Opts) {
+  auto PathOr = findStmt(P, StmtPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+  if (Error Err = checkFreshBufName(P, NewName))
+    return errorf("stage_mem: %s", Err.message().c_str());
+  auto BufInfo = P.findBuffer(Buf);
+  if (!BufInfo)
+    return errorf("stage_mem: no buffer '%s'", Buf.c_str());
+
+  const StmtPtr &Old = stmtAt(P, *PathOr);
+  const auto *A = dyn_castS<AssignStmt>(Old);
+  if (!A)
+    return errorf("stage_mem: matched statement is not an assignment");
+
+  // Gather the accessed index of Buf inside the statement; all accesses must
+  // agree so a single scalar can stage them.
+  std::vector<ExprPtr> AccessIdx;
+  bool Mixed = false;
+  auto Note = [&](const std::vector<ExprPtr> &Idx) {
+    if (AccessIdx.empty() && !Idx.empty()) {
+      AccessIdx = Idx;
+      return;
+    }
+    if (Idx.size() != AccessIdx.size()) {
+      Mixed = true;
+      return;
+    }
+    for (size_t I = 0; I != Idx.size(); ++I)
+      if (!exprEquiv(Idx[I], AccessIdx[I]))
+        Mixed = true;
+  };
+  bool ReadsBuf = false, WritesBuf = false;
+  forEachExpr(Old, [&](const ExprPtr &E) {
+    if (const auto *R = dyn_cast<ReadExpr>(E))
+      if (R->buffer() == Buf) {
+        ReadsBuf = true;
+        Note(R->indices());
+      }
+  });
+  if (A->buffer() == Buf) {
+    WritesBuf = true;
+    if (A->isReduce())
+      ReadsBuf = true;
+    Note(A->indices());
+  }
+  if (!ReadsBuf && !WritesBuf)
+    return errorf("stage_mem: statement does not access '%s'", Buf.c_str());
+  if (Mixed)
+    return errorf("stage_mem: '%s' is accessed at several indices in the "
+                  "statement; scalar staging needs a single element",
+                  Buf.c_str());
+
+  // Rewrite the statement to use the staging scalar.
+  StmtPtr Staged = rewriteStmtExprs(Old, [&](const ExprPtr &E) -> ExprPtr {
+    if (const auto *R = dyn_cast<ReadExpr>(E))
+      if (R->buffer() == Buf)
+        return ReadExpr::make(NewName, {}, BufInfo->Ty);
+    return nullptr;
+  });
+  if (const auto *SA = dyn_castS<AssignStmt>(Staged); SA->buffer() == Buf)
+    Staged = AssignStmt::make(NewName, {}, SA->rhs(), SA->isReduce());
+
+  std::vector<StmtPtr> Repl;
+  Repl.push_back(AllocStmt::make(NewName, BufInfo->Ty, {}, MemSpace::dram()));
+  if (ReadsBuf)
+    Repl.push_back(AssignStmt::make(
+        NewName, {}, ReadExpr::make(Buf, AccessIdx, BufInfo->Ty),
+        /*IsReduce=*/false));
+  Repl.push_back(Staged);
+  if (WritesBuf)
+    Repl.push_back(AssignStmt::make(Buf, AccessIdx,
+                                    ReadExpr::make(NewName, {}, BufInfo->Ty),
+                                    /*IsReduce=*/false));
+  Proc Out = spliceAt(P, *PathOr, std::move(Repl));
+  if (Error Err = validateRewrite(P, Out, Opts, "stage_mem"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::expandDim(const Proc &P, const std::string &Name,
+                              ExprPtr Size, ExprPtr Index,
+                              const SchedOptions &Opts) {
+  auto BufInfo = P.findBuffer(Name);
+  if (!BufInfo)
+    return errorf("expand_dim: no buffer '%s'", Name.c_str());
+  if (BufInfo->IsParam)
+    return errorf("expand_dim: '%s' is a parameter", Name.c_str());
+
+  // Light static bound check: with a constant size and constant loop bounds
+  // at every use, 0 <= Index < Size must hold. Non-constant cases are left
+  // to dynamic validation (the interpreter bound-checks every access).
+  if (auto SizeC = tryConstFold(Size)) {
+    if (auto L = linearize(Index)) {
+      // Bound each variable by scanning loop extents (loop bounds in these
+      // schedules are constants after partial_eval).
+      std::map<std::string, int64_t> MaxOf;
+      bool AllBounded = true;
+      forEachStmt(P.body(), [&](const StmtPtr &S) {
+        if (const auto *F = dyn_castS<ForStmt>(S)) {
+          auto Lo = tryConstFold(F->lo());
+          auto Hi = tryConstFold(F->hi());
+          if (Lo && Hi && *Lo == 0)
+            MaxOf[F->loopVar()] = *Hi - 1;
+        }
+      });
+      int64_t Min = L->Const, Max = L->Const;
+      for (const auto &[V, K] : L->Coeffs) {
+        auto It = MaxOf.find(V);
+        if (It == MaxOf.end()) {
+          AllBounded = false;
+          break;
+        }
+        if (K > 0)
+          Max += K * It->second;
+        else
+          Min += K * It->second;
+      }
+      if (AllBounded && (Min < 0 || Max >= *SizeC))
+        return errorf("expand_dim: index range [%lld, %lld] exceeds new "
+                      "dimension of extent %lld",
+                      static_cast<long long>(Min),
+                      static_cast<long long>(Max),
+                      static_cast<long long>(*SizeC));
+    }
+  }
+
+  auto Rewrite = [&](const StmtPtr &S) -> std::optional<std::vector<StmtPtr>> {
+    // Loops are handled by recursion over their (already rewritten)
+    // children; touching them here would prepend the index twice. Their
+    // bounds cannot reference buffers.
+    if (isaS<ForStmt>(S))
+      return std::nullopt;
+    StmtPtr N = rewriteStmtExprs(S, [&](const ExprPtr &E) -> ExprPtr {
+      if (const auto *R = dyn_cast<ReadExpr>(E)) {
+        if (R->buffer() != Name)
+          return nullptr;
+        std::vector<ExprPtr> Idx{Index};
+        for (const ExprPtr &I : R->indices())
+          Idx.push_back(I);
+        return ReadExpr::make(Name, std::move(Idx), R->type());
+      }
+      return nullptr;
+    });
+    if (const auto *A = dyn_castS<AssignStmt>(N)) {
+      if (A->buffer() == Name) {
+        std::vector<ExprPtr> Idx{Index};
+        for (const ExprPtr &I : A->indices())
+          Idx.push_back(I);
+        N = AssignStmt::make(Name, std::move(Idx), A->rhs(), A->isReduce());
+      }
+    } else if (const auto *Al = dyn_castS<AllocStmt>(N)) {
+      if (Al->name() == Name) {
+        std::vector<ExprPtr> Shape{Size};
+        for (const ExprPtr &D : Al->shape())
+          Shape.push_back(D);
+        N = AllocStmt::make(Name, Al->elemType(), std::move(Shape), Al->mem());
+      }
+    } else if (const auto *C = dyn_castS<CallStmt>(N)) {
+      bool Any = false;
+      std::vector<CallArg> Args = C->args();
+      for (CallArg &Arg : Args)
+        if (Arg.isWindow() && Arg.Buf == Name) {
+          Arg.Dims.insert(Arg.Dims.begin(), WindowDim::point(Index));
+          Any = true;
+        }
+      if (Any)
+        N = CallStmt::make(C->callee(), std::move(Args));
+    }
+    if (N == S)
+      return std::nullopt;
+    return std::vector<StmtPtr>{N};
+  };
+
+  Proc Out = P.withBody(rewriteStmts(P.body(), Rewrite));
+  if (Error Err = validateRewrite(P, Out, Opts, "expand_dim"))
+    return Err;
+  return Out;
+}
+
+Expected<Proc> exo::liftAlloc(const Proc &P, const std::string &Name,
+                              int NLifts, const SchedOptions &Opts) {
+  Proc Cur = P;
+  for (int Lift = 0; Lift != NLifts; ++Lift) {
+    StmtPattern Pat;
+    Pat.K = StmtPattern::Kind::Alloc;
+    Pat.AllocName = Name;
+    std::vector<StmtPath> All = findAllStmts(Cur, Pat);
+    if (All.empty())
+      return errorf("lift_alloc: no allocation '%s'", Name.c_str());
+    StmtPath Path = All.front();
+    if (Path.Steps.size() == 1)
+      break; // Already at the top level.
+
+    StmtPath OwnerPath = Path.parent();
+    const auto *F = castS<ForStmt>(stmtAt(Cur, OwnerPath));
+    const auto *A = castS<AllocStmt>(stmtAt(Cur, Path));
+    for (const ExprPtr &D : A->shape()) {
+      std::set<std::string> Vars;
+      collectVars(D, Vars);
+      if (Vars.count(F->loopVar()))
+        return errorf("lift_alloc: extent of '%s' depends on loop '%s'",
+                      Name.c_str(), F->loopVar().c_str());
+    }
+
+    // Remove the alloc from the loop body, reinsert before the loop.
+    std::vector<StmtPtr> NewBody;
+    for (size_t I = 0; I != F->body().size(); ++I)
+      if (static_cast<int>(I) != Path.lastIndex())
+        NewBody.push_back(F->body()[I]);
+    StmtPtr NewLoop = F->withBody(std::move(NewBody));
+    Cur = spliceAt(Cur, OwnerPath, {stmtAt(Cur, Path), NewLoop});
+  }
+
+  if (Error Err = validateRewrite(P, Cur, Opts, "lift_alloc"))
+    return Err;
+  return Cur;
+}

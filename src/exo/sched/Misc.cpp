@@ -1,0 +1,194 @@
+//===- Misc.cpp - rename, partial_eval, simplify, set_memory/precision ----===//
+
+#include "exo/ir/Affine.h"
+#include "exo/ir/Rewrite.h"
+#include "exo/sched/Schedule.h"
+#include "exo/sched/Validate.h"
+
+using namespace exo;
+
+SchedOptions &exo::defaultSchedOptions() {
+  static SchedOptions Opts;
+  return Opts;
+}
+
+Proc exo::renameProc(const Proc &P, std::string NewName) {
+  return P.withName(std::move(NewName));
+}
+
+Expected<Proc> exo::partialEval(const Proc &P,
+                                const std::map<std::string, int64_t> &Sizes) {
+  std::map<std::string, ExprPtr> Subst;
+  for (const auto &[Name, Val] : Sizes) {
+    const Param *Pa = P.findParam(Name);
+    if (!Pa)
+      return errorf("partial_eval: no parameter '%s' in '%s'", Name.c_str(),
+                    P.name().c_str());
+    if (Pa->PKind != Param::Kind::Size)
+      return errorf("partial_eval: parameter '%s' is not a size",
+                    Name.c_str());
+    if (Val <= 0)
+      return errorf("partial_eval: size '%s' must be positive", Name.c_str());
+    Subst[Name] = idx(Val);
+  }
+
+  // Drop the evaluated parameters; substitute in remaining tensor shapes.
+  std::vector<Param> NewParams;
+  for (const Param &Pa : P.params()) {
+    if (Sizes.count(Pa.Name))
+      continue;
+    Param NP = Pa;
+    for (ExprPtr &D : NP.Shape)
+      D = normalizeIndexExpr(substVars(D, Subst));
+    NewParams.push_back(std::move(NP));
+  }
+
+  std::vector<ExprPtr> NewPre;
+  for (const ExprPtr &Pre : P.preconds()) {
+    ExprPtr E = substVars(Pre, Subst);
+    // Drop preconditions that became trivially true.
+    if (auto C = tryConstFold(E); C && *C != 0)
+      continue;
+    NewPre.push_back(std::move(E));
+  }
+
+  Proc Out = P.withParams(std::move(NewParams))
+                 .withPreconds(std::move(NewPre))
+                 .withBody(substVarsBody(P.body(), Subst));
+  return simplifyProc(Out);
+}
+
+Proc exo::simplifyProc(const Proc &P) {
+  std::vector<StmtPtr> Body;
+  Body.reserve(P.body().size());
+  for (const StmtPtr &S : P.body())
+    Body.push_back(rewriteStmtExprs(
+        S, [](const ExprPtr &E) -> ExprPtr { return foldExpr(E); }));
+  return P.withBody(std::move(Body));
+}
+
+Expected<Proc> exo::setMemory(const Proc &P, const std::string &Name,
+                              const MemSpace *Mem) {
+  assert(Mem && "set_memory needs a memory space");
+  auto Buf = P.findBuffer(Name);
+  if (!Buf)
+    return errorf("set_memory: no buffer '%s' in '%s'", Name.c_str(),
+                  P.name().c_str());
+  if (Buf->IsParam)
+    return errorf("set_memory: '%s' is a parameter; only allocations can be "
+                  "re-homed",
+                  Name.c_str());
+  if (!Mem->supports(Buf->Ty))
+    return errorf("set_memory: space '%s' does not support %s",
+                  Mem->name().c_str(), scalarKindName(Buf->Ty));
+
+  bool Found = false;
+  std::vector<StmtPtr> Body = rewriteStmts(
+      P.body(), [&](const StmtPtr &S) -> std::optional<std::vector<StmtPtr>> {
+        const auto *A = dyn_castS<AllocStmt>(S);
+        if (!A || A->name() != Name)
+          return std::nullopt;
+        Found = true;
+        return std::vector<StmtPtr>{
+            AllocStmt::make(A->name(), A->elemType(), A->shape(), Mem)};
+      });
+  if (!Found)
+    return errorf("set_memory: allocation '%s' not found", Name.c_str());
+  return P.withBody(std::move(Body));
+}
+
+namespace {
+
+/// Rebuilds \p E with reads of \p Buf retyped to \p Ty, checking that value
+/// arithmetic stays consistently typed.
+Expected<ExprPtr> retypeExpr(const ExprPtr &E, const std::string &Buf,
+                             ScalarKind Ty) {
+  switch (E->kind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+    return E;
+  case Expr::Kind::Read: {
+    const auto *R = cast<ReadExpr>(E);
+    if (R->buffer() != Buf)
+      return E;
+    return ReadExpr::make(R->buffer(), R->indices(), Ty);
+  }
+  case Expr::Kind::USub: {
+    auto Op = retypeExpr(cast<USubExpr>(E)->operand(), Buf, Ty);
+    if (!Op)
+      return Op.takeError();
+    return USubExpr::make(Op.take());
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    auto L = retypeExpr(B->lhs(), Buf, Ty);
+    if (!L)
+      return L.takeError();
+    auto R = retypeExpr(B->rhs(), Buf, Ty);
+    if (!R)
+      return R.takeError();
+    if ((*L)->type() != (*R)->type())
+      return errorf("set_precision: mixing %s and %s in one expression",
+                    scalarKindName((*L)->type()),
+                    scalarKindName((*R)->type()));
+    return BinOpExpr::make(B->op(), L.take(), R.take());
+  }
+  }
+  return errorf("set_precision: unknown expression kind");
+}
+
+} // namespace
+
+Expected<Proc> exo::setPrecision(const Proc &P, const std::string &Name,
+                                 ScalarKind Ty) {
+  auto Buf = P.findBuffer(Name);
+  if (!Buf)
+    return errorf("set_precision: no buffer '%s' in '%s'", Name.c_str(),
+                  P.name().c_str());
+
+  Error Failed = Error::success();
+  auto RetypeStmt = [&](const StmtPtr &S) -> std::optional<std::vector<StmtPtr>> {
+    if (Failed)
+      return std::nullopt;
+    switch (S->kind()) {
+    case Stmt::Kind::Alloc: {
+      const auto *A = castS<AllocStmt>(S);
+      if (A->name() != Name)
+        return std::nullopt;
+      if (A->mem()->isRegisterFile() && !A->mem()->supports(Ty)) {
+        Failed = errorf("set_precision: space '%s' does not support %s",
+                        A->mem()->name().c_str(), scalarKindName(Ty));
+        return std::nullopt;
+      }
+      return std::vector<StmtPtr>{
+          AllocStmt::make(A->name(), Ty, A->shape(), A->mem())};
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = castS<AssignStmt>(S);
+      auto Rhs = retypeExpr(A->rhs(), Name, Ty);
+      if (!Rhs) {
+        Failed = Rhs.takeError();
+        return std::nullopt;
+      }
+      if (*Rhs == A->rhs())
+        return std::nullopt;
+      return std::vector<StmtPtr>{AssignStmt::make(
+          A->buffer(), A->indices(), Rhs.take(), A->isReduce())};
+    }
+    default:
+      return std::nullopt;
+    }
+  };
+
+  std::vector<StmtPtr> Body = rewriteStmts(P.body(), RetypeStmt);
+  if (Failed)
+    return Failed;
+
+  // Retype the parameter if the buffer is one.
+  std::vector<Param> Params = P.params();
+  if (Buf->IsParam)
+    for (Param &Pa : Params)
+      if (Pa.Name == Name)
+        Pa.Ty = Ty;
+  return P.withParams(std::move(Params)).withBody(std::move(Body));
+}

@@ -1,0 +1,501 @@
+//===- Replace.cpp - Verified instruction substitution --------------------===//
+//
+// Implements the paper's `replace(p, 'for itt in _: _', instr)` directive.
+// The matched loop nest is unified against the instruction's semantic body
+// (its Fig. 3 `@instr` definition): loop variables map to loop variables,
+// window parameters bind to buffer regions whose affine structure matches
+// the instruction's access pattern, and index parameters (e.g. the lane of
+// vfmaq_laneq) bind to index expressions. Only a successful unification may
+// introduce a call — substituting an instruction that computes something
+// else fails here, which is the "security definition" of §II-B.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/ir/Affine.h"
+#include "exo/ir/Equal.h"
+#include "exo/ir/Rewrite.h"
+#include "exo/pattern/Cursor.h"
+#include "exo/sched/Schedule.h"
+#include "exo/sched/Validate.h"
+
+#include <set>
+
+using namespace exo;
+
+namespace {
+
+/// Renders a loop bound for diagnostics.
+std::string printableBound(const ExprPtr &E) {
+  if (auto C = tryConstFold(E))
+    return std::to_string(*C);
+  return std::string("<expr>");
+}
+
+/// One bound window parameter: the target buffer and, per target dimension,
+/// either a point expression or the interval produced by the mapped
+/// instruction index.
+struct WindowBind {
+  std::string Buf;
+  std::vector<WindowDim> Dims;
+};
+
+/// Unification state. Copied wholesale to support backtracking across the
+/// commutative-operand alternative.
+struct UState {
+  /// Instruction loop var -> target loop var.
+  std::map<std::string, std::string> LoopMap;
+  /// Instruction index param -> target index expression.
+  std::map<std::string, ExprPtr> ScalarBind;
+  std::map<std::string, WindowBind> Windows;
+};
+
+class Unifier {
+public:
+  Unifier(const Proc &Target, const Instr &I,
+          const std::map<std::string, std::pair<int64_t, int64_t>> &Ranges)
+      : Target(Target), I(I), Sem(I.semantics()), Ranges(Ranges) {}
+
+  Error unifyFor(const ForStmt *SF, const ForStmt *TF);
+
+  /// Builds the call arguments in parameter order after unification.
+  Expected<std::vector<CallArg>> buildArgs();
+
+private:
+  Error unifyBody(const std::vector<StmtPtr> &SB,
+                  const std::vector<StmtPtr> &TB);
+  Error unifyStmt(const StmtPtr &Ss, const StmtPtr &Ts);
+  Error unifyExpr(const ExprPtr &Se, const ExprPtr &Te);
+  Error unifyAccess(const Param &P, const std::vector<ExprPtr> &SIdx,
+                    const std::string &TBuf, const std::vector<ExprPtr> &TIdx,
+                    bool IsWrite);
+
+  /// Substitutes current bindings into an instruction-side expression.
+  ExprPtr substSem(const ExprPtr &E) const;
+
+  /// Loop range of a target variable when constant, from context + descent.
+  std::optional<std::pair<int64_t, int64_t>> rangeOf(const std::string &V) const {
+    auto It = Ranges.find(V);
+    if (It == Ranges.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  const Proc &Target;
+  const Instr &I;
+  const Proc &Sem;
+  std::map<std::string, std::pair<int64_t, int64_t>> Ranges;
+  UState St;
+};
+
+ExprPtr Unifier::substSem(const ExprPtr &E) const {
+  std::map<std::string, ExprPtr> Map;
+  for (const auto &[SV, TV] : St.LoopMap)
+    Map[SV] = var(TV);
+  for (const auto &[SP, TE] : St.ScalarBind)
+    Map[SP] = TE;
+  return substVars(E, Map);
+}
+
+Error Unifier::unifyFor(const ForStmt *SF, const ForStmt *TF) {
+  if (!exprEquiv(substSem(SF->lo()), TF->lo()) ||
+      !exprEquiv(substSem(SF->hi()), TF->hi()))
+    return errorf("loop bounds differ: instruction wants seq(%s, %s)",
+                  printableBound(SF->lo()).c_str(),
+                  printableBound(SF->hi()).c_str());
+  St.LoopMap[SF->loopVar()] = TF->loopVar();
+  auto Lo = tryConstFold(TF->lo());
+  auto Hi = tryConstFold(TF->hi());
+  if (Lo && Hi)
+    Ranges[TF->loopVar()] = {*Lo, *Hi};
+  return unifyBody(SF->body(), TF->body());
+}
+
+Error Unifier::unifyBody(const std::vector<StmtPtr> &SB,
+                         const std::vector<StmtPtr> &TB) {
+  if (SB.size() != TB.size())
+    return errorf("statement counts differ (%zu vs %zu)", SB.size(),
+                  TB.size());
+  for (size_t K = 0; K != SB.size(); ++K)
+    if (Error Err = unifyStmt(SB[K], TB[K]))
+      return Err;
+  return Error::success();
+}
+
+Error Unifier::unifyStmt(const StmtPtr &Ss, const StmtPtr &Ts) {
+  if (Ss->kind() != Ts->kind())
+    return errorf("statement kinds differ");
+  switch (Ss->kind()) {
+  case Stmt::Kind::For:
+    return unifyFor(castS<ForStmt>(Ss), castS<ForStmt>(Ts));
+  case Stmt::Kind::Assign: {
+    const auto *SA = castS<AssignStmt>(Ss);
+    const auto *TA = castS<AssignStmt>(Ts);
+    if (SA->isReduce() != TA->isReduce())
+      return errorf("assignment/reduction mismatch");
+    const Param *P = Sem.findParam(SA->buffer());
+    if (!P || P->PKind != Param::Kind::Tensor)
+      return errorf("instruction writes non-parameter '%s'",
+                    SA->buffer().c_str());
+    if (Error Err = unifyAccess(*P, SA->indices(), TA->buffer(),
+                                TA->indices(), /*IsWrite=*/true))
+      return Err;
+    return unifyExpr(SA->rhs(), TA->rhs());
+  }
+  default:
+    return errorf("unsupported statement in instruction body");
+  }
+}
+
+Error Unifier::unifyExpr(const ExprPtr &Se, const ExprPtr &Te) {
+  switch (Se->kind()) {
+  case Expr::Kind::Const:
+    if (!exprEquiv(Se, Te))
+      return errorf("constant mismatch");
+    return Error::success();
+  case Expr::Kind::Var: {
+    const std::string &Name = cast<VarExpr>(Se)->name();
+    auto LIt = St.LoopMap.find(Name);
+    if (LIt != St.LoopMap.end()) {
+      if (!exprEquiv(var(LIt->second), Te))
+        return errorf("loop variable use mismatch");
+      return Error::success();
+    }
+    const Param *P = Sem.findParam(Name);
+    if (P && P->PKind != Param::Kind::Tensor) {
+      auto BIt = St.ScalarBind.find(Name);
+      if (BIt != St.ScalarBind.end()) {
+        if (!exprEquiv(BIt->second, Te))
+          return errorf("inconsistent binding for '%s'", Name.c_str());
+        return Error::success();
+      }
+      if (Te->type() != ScalarKind::Index)
+        return errorf("index parameter '%s' bound to a value expression",
+                      Name.c_str());
+      St.ScalarBind[Name] = Te;
+      return Error::success();
+    }
+    return errorf("unbound instruction variable '%s'", Name.c_str());
+  }
+  case Expr::Kind::Read: {
+    const auto *SR = cast<ReadExpr>(Se);
+    const Param *P = Sem.findParam(SR->buffer());
+    if (!P || P->PKind != Param::Kind::Tensor)
+      return errorf("instruction reads unknown buffer '%s'",
+                    SR->buffer().c_str());
+    const auto *TR = dyn_cast<ReadExpr>(Te);
+    if (!TR)
+      return errorf("expected a buffer read for '%s'", SR->buffer().c_str());
+    return unifyAccess(*P, SR->indices(), TR->buffer(), TR->indices(),
+                       /*IsWrite=*/false);
+  }
+  case Expr::Kind::USub: {
+    const auto *TU = dyn_cast<USubExpr>(Te);
+    if (!TU)
+      return errorf("negation shape mismatch");
+    return unifyExpr(cast<USubExpr>(Se)->operand(), TU->operand());
+  }
+  case Expr::Kind::BinOp: {
+    const auto *SB = cast<BinOpExpr>(Se);
+    const auto *TB = dyn_cast<BinOpExpr>(Te);
+    if (!TB || SB->op() != TB->op())
+      return errorf("operator mismatch");
+    UState Snapshot = St;
+    Error Direct = [&] {
+      if (Error Err = unifyExpr(SB->lhs(), TB->lhs()))
+        return Err;
+      return unifyExpr(SB->rhs(), TB->rhs());
+    }();
+    if (!Direct)
+      return Error::success();
+    bool Comm = SB->op() == BinOpExpr::Op::Add ||
+                SB->op() == BinOpExpr::Op::Mul;
+    if (!Comm)
+      return Direct;
+    St = std::move(Snapshot);
+    if (Error Err = unifyExpr(SB->lhs(), TB->rhs()))
+      return Err;
+    return unifyExpr(SB->rhs(), TB->lhs());
+  }
+  }
+  return errorf("unknown expression kind in instruction body");
+}
+
+Error Unifier::unifyAccess(const Param &P, const std::vector<ExprPtr> &SIdx,
+                           const std::string &TBuf,
+                           const std::vector<ExprPtr> &TIdx, bool IsWrite) {
+  if (SIdx.size() != P.Shape.size())
+    return errorf("instruction access rank mismatch for '%s'",
+                  P.Name.c_str());
+  auto TInfo = Target.findBuffer(TBuf);
+  if (!TInfo)
+    return errorf("target buffer '%s' not found", TBuf.c_str());
+  if (IsWrite && P.Mutable && !TInfo->Mutable)
+    return errorf("instruction writes read-only buffer '%s'", TBuf.c_str());
+
+  // Linearize the target indices.
+  std::vector<LinExpr> TLin;
+  TLin.reserve(TIdx.size());
+  for (const ExprPtr &E : TIdx) {
+    auto L = linearize(E);
+    if (!L)
+      return errorf("non-affine index into '%s'", TBuf.c_str());
+    TLin.push_back(*L);
+  }
+
+  std::vector<WindowDim> Dims(TIdx.size());
+  std::vector<bool> Consumed(TIdx.size(), false);
+
+  // First pass: instruction indices that are (mapped) loop variables pick
+  // the unique target dimension where that variable occurs.
+  struct Pending {
+    size_t SDim;
+    int64_t Extent;
+  };
+  std::vector<Pending> Free; // Indices with no loop variable (params/consts).
+  for (size_t J = 0; J != SIdx.size(); ++J) {
+    auto SL = linearize(SIdx[J]);
+    if (!SL)
+      return errorf("non-affine access in instruction body");
+    auto Extent = tryConstFold(P.Shape[J]);
+    if (!Extent)
+      return errorf("instruction window '%s' needs constant extents",
+                    P.Name.c_str());
+
+    // Find a loop variable inside the instruction index.
+    std::string SLoopVar;
+    for (const auto &[V, K] : SL->Coeffs)
+      if (St.LoopMap.count(V)) {
+        if (!SLoopVar.empty())
+          return errorf("two loop variables in one instruction index");
+        if (K != 1)
+          return errorf("instruction index uses a strided loop variable");
+        SLoopVar = V;
+      }
+    if (SLoopVar.empty()) {
+      Free.push_back({J, *Extent});
+      continue;
+    }
+    const std::string &TVar = St.LoopMap[SLoopVar];
+    int Candidate = -1;
+    for (size_t D = 0; D != TLin.size(); ++D) {
+      if (TLin[D].coeff(TVar) == 0)
+        continue;
+      if (Candidate >= 0)
+        return errorf("loop variable '%s' appears in several dimensions of "
+                      "'%s'",
+                      TVar.c_str(), TBuf.c_str());
+      Candidate = static_cast<int>(D);
+    }
+    if (Candidate < 0)
+      return errorf("loop variable '%s' does not index '%s'", TVar.c_str(),
+                    TBuf.c_str());
+    if (TLin[Candidate].coeff(TVar) != 1)
+      return errorf("loop variable '%s' is strided in '%s'", TVar.c_str(),
+                    TBuf.c_str());
+    if (Consumed[Candidate])
+      return errorf("two instruction indices map to one dimension of '%s'",
+                    TBuf.c_str());
+    // lo = target index with the loop term removed, shifted by the
+    // instruction-side base (SIdx = v + base => lo = e_d - base).
+    LinExpr LoL = TLin[Candidate];
+    LoL.Coeffs.erase(TVar);
+    LinExpr Base = *SL;
+    Base.Coeffs.erase(SLoopVar);
+    // Remaining instruction-side base must be a constant offset.
+    if (!Base.Coeffs.empty())
+      return errorf("instruction index mixes loop variable and parameters");
+    LoL.Const -= Base.Const;
+    Dims[Candidate] = WindowDim::interval(fromLinear(LoL), idx(*Extent));
+    Consumed[Candidate] = true;
+  }
+
+  // Second pass: parameter/constant indices take the remaining target
+  // dimensions from the innermost (last) outwards.
+  for (auto It = Free.rbegin(); It != Free.rend(); ++It) {
+    int Candidate = -1;
+    for (int D = static_cast<int>(TLin.size()) - 1; D >= 0; --D)
+      if (!Consumed[D]) {
+        Candidate = D;
+        break;
+      }
+    if (Candidate < 0)
+      return errorf("instruction window rank exceeds target rank for '%s'",
+                    TBuf.c_str());
+    Consumed[Candidate] = true;
+
+    const ExprPtr &SIdxE = SIdx[It->SDim];
+    auto SL = linearize(SIdxE);
+    if (!SL)
+      return errorf("non-affine access in instruction body");
+    // Split the instruction index into an index-parameter part and const.
+    std::string ParamVar;
+    for (const auto &[V, K] : SL->Coeffs) {
+      if (K != 1 || !ParamVar.empty())
+        return errorf("unsupported instruction index form");
+      ParamVar = V;
+    }
+    const LinExpr &TD = TLin[Candidate];
+    if (ParamVar.empty()) {
+      // Constant instruction index c: window lo = e_d - c.
+      LinExpr LoL = TD;
+      LoL.Const -= SL->Const;
+      Dims[Candidate] = WindowDim::interval(fromLinear(LoL), idx(It->Extent));
+      continue;
+    }
+    // Index parameter: find a target variable with unit coefficient whose
+    // loop range is exactly [0, extent); it becomes the lane expression.
+    auto BIt = St.ScalarBind.find(ParamVar);
+    if (BIt != St.ScalarBind.end()) {
+      // Already bound: lo = e_d - bound - const.
+      auto BL = linearize(BIt->second);
+      if (!BL)
+        return errorf("non-affine lane binding");
+      LinExpr LoL = TD;
+      LoL -= *BL;
+      LoL.Const -= SL->Const;
+      Dims[Candidate] = WindowDim::interval(fromLinear(LoL), idx(It->Extent));
+      continue;
+    }
+    std::string LaneVar;
+    for (const auto &[V, K] : TD.Coeffs) {
+      if (K != 1)
+        continue;
+      auto R = rangeOf(V);
+      if (R && R->first == 0 && R->second == It->Extent) {
+        LaneVar = V;
+        break;
+      }
+    }
+    LinExpr LoL = TD;
+    LinExpr LaneL;
+    if (!LaneVar.empty()) {
+      LoL.Coeffs.erase(LaneVar);
+      LaneL.Coeffs[LaneVar] = 1;
+    } else {
+      // No in-range variable: the whole expression is the lane, lo = 0.
+      LaneL = TD;
+      LoL = LinExpr();
+    }
+    LoL.Const -= SL->Const;
+    St.ScalarBind[ParamVar] = fromLinear(LaneL);
+    Dims[Candidate] = WindowDim::interval(fromLinear(LoL), idx(It->Extent));
+  }
+
+  // Unconsumed target dimensions become points; they must not mention any
+  // mapped loop variable.
+  std::set<std::string> MappedTVars;
+  for (const auto &[SV, TV] : St.LoopMap)
+    MappedTVars.insert(TV);
+  for (size_t D = 0; D != TLin.size(); ++D) {
+    if (Consumed[D])
+      continue;
+    for (const auto &[V, K] : TLin[D].Coeffs)
+      if (MappedTVars.count(V))
+        return errorf("dimension %zu of '%s' mixes the vectorized loop "
+                      "variable into a point index",
+                      D, TBuf.c_str());
+    Dims[D] = WindowDim::point(fromLinear(TLin[D]));
+  }
+
+  // Contiguity: the interval must lie in the last dimension (unit stride
+  // both in DRAM layout and in the register-file lowering).
+  for (size_t D = 0; D != Dims.size(); ++D) {
+    if (Dims[D].isPoint())
+      continue;
+    if (D + 1 != Dims.size())
+      return errorf("window into '%s' is not unit-stride (interval must be "
+                    "the last dimension)",
+                    TBuf.c_str());
+    if (TInfo->Mem->isRegisterFile()) {
+      auto Lo = tryConstFold(Dims[D].Lo);
+      auto Len = tryConstFold(Dims[D].Len);
+      auto Extent = tryConstFold(TInfo->Shape.back());
+      if (!Lo || *Lo != 0 || !Len || !Extent || *Len != *Extent)
+        return errorf("register window into '%s' must span the whole lane "
+                      "dimension",
+                      TBuf.c_str());
+    }
+  }
+
+  // Record or check the binding.
+  auto WIt = St.Windows.find(P.Name);
+  if (WIt == St.Windows.end()) {
+    St.Windows.emplace(P.Name, WindowBind{TBuf, std::move(Dims)});
+    return Error::success();
+  }
+  const WindowBind &Old = WIt->second;
+  if (Old.Buf != TBuf || Old.Dims.size() != Dims.size())
+    return errorf("inconsistent window binding for '%s'", P.Name.c_str());
+  for (size_t D = 0; D != Dims.size(); ++D) {
+    const WindowDim &A = Old.Dims[D];
+    const WindowDim &B = Dims[D];
+    if (A.isPoint() != B.isPoint())
+      return errorf("inconsistent window shape for '%s'", P.Name.c_str());
+    bool Same = A.isPoint() ? exprEquiv(A.Point, B.Point)
+                            : (exprEquiv(A.Lo, B.Lo) && exprEquiv(A.Len, B.Len));
+    if (!Same)
+      return errorf("inconsistent window region for '%s'", P.Name.c_str());
+  }
+  return Error::success();
+}
+
+Expected<std::vector<CallArg>> Unifier::buildArgs() {
+  std::vector<CallArg> Args;
+  for (const Param &P : Sem.params()) {
+    if (P.PKind == Param::Kind::Tensor) {
+      auto It = St.Windows.find(P.Name);
+      if (It == St.Windows.end())
+        return errorf("instruction parameter '%s' was never used",
+                      P.Name.c_str());
+      Args.push_back(CallArg::window(It->second.Buf, It->second.Dims));
+      continue;
+    }
+    auto It = St.ScalarBind.find(P.Name);
+    if (It == St.ScalarBind.end())
+      return errorf("instruction index parameter '%s' was never bound",
+                    P.Name.c_str());
+    Args.push_back(CallArg::scalar(It->second));
+  }
+  return Args;
+}
+
+} // namespace
+
+Expected<Proc> exo::replaceWithInstr(const Proc &P,
+                                     const std::string &LoopPattern,
+                                     InstrPtr I, const SchedOptions &Opts) {
+  auto PathOr = findStmt(P, LoopPattern);
+  if (!PathOr)
+    return PathOr.takeError();
+  const auto *TF = dyn_castS<ForStmt>(stmtAt(P, *PathOr));
+  if (!TF)
+    return errorf("replace: pattern '%s' is not a loop", LoopPattern.c_str());
+
+  const Proc &Sem = I->semantics();
+  if (Sem.body().size() != 1 || !isaS<ForStmt>(Sem.body()[0]))
+    return errorf("replace: instruction '%s' body is not a single loop",
+                  I->name().c_str());
+
+  // Constant ranges of enclosing target loops (lane inference needs them).
+  std::map<std::string, std::pair<int64_t, int64_t>> Ranges;
+  for (const ForStmt *F : enclosingLoops(P, *PathOr)) {
+    auto Lo = tryConstFold(F->lo());
+    auto Hi = tryConstFold(F->hi());
+    if (Lo && Hi)
+      Ranges[F->loopVar()] = {*Lo, *Hi};
+  }
+
+  Unifier U(P, *I, Ranges);
+  if (Error Err = U.unifyFor(castS<ForStmt>(Sem.body()[0]), TF))
+    return errorf("replace with '%s' failed: %s", I->name().c_str(),
+                  Err.message().c_str());
+  auto ArgsOr = U.buildArgs();
+  if (!ArgsOr)
+    return errorf("replace with '%s' failed: %s", I->name().c_str(),
+                  ArgsOr.message().c_str());
+
+  Proc Out = spliceAt(P, *PathOr, {CallStmt::make(I, ArgsOr.take())});
+  if (Error Err = validateRewrite(P, Out, Opts, "replace"))
+    return Err;
+  return Out;
+}

@@ -1,0 +1,38 @@
+//===- Validate.h - Dynamic equivalence validation ------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter-based equivalence checking between two procs with identical
+/// signatures: both run on the same random instantiations (small sizes,
+/// integer-valued tensor data so floating-point reassociation is exact) and
+/// all mutable tensors are compared bit-for-bit. Used as the scheduling
+/// safety net (see Schedule.h) and directly by property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SCHED_VALIDATE_H
+#define EXO_SCHED_VALIDATE_H
+
+#include "exo/ir/Proc.h"
+#include "exo/sched/Schedule.h"
+#include "exo/support/Error.h"
+
+namespace exo {
+
+/// Checks P0 ~ P1 on \p Trials random instantiations. Returns success when
+/// all runs agree; a diagnostic otherwise. Requires identical parameter
+/// lists (order, kinds, shapes).
+Error checkProcsEquivalent(const Proc &P0, const Proc &P1, int Trials,
+                           unsigned Seed);
+
+/// Runs the Schedule.h validation policy: no-op when \p Opts.Validate is
+/// off or signatures differ; otherwise checkProcsEquivalent.
+Error validateRewrite(const Proc &Before, const Proc &After,
+                      const SchedOptions &Opts, const char *PrimName);
+
+} // namespace exo
+
+#endif // EXO_SCHED_VALIDATE_H

@@ -1,0 +1,23 @@
+//===- Error.cpp ----------------------------------------------------------===//
+
+#include "exo/support/Error.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace exo;
+
+Error exo::errorf(const char *Fmt, ...) {
+  char Buf[1024];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  return Error::failure(Buf);
+}
+
+void exo::fatal(const std::string &Msg) {
+  std::fprintf(stderr, "exo fatal error: %s\n", Msg.c_str());
+  std::abort();
+}

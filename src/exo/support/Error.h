@@ -1,0 +1,106 @@
+//===- Error.h - Lightweight error handling for the exo library ----------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free error handling in the style of llvm::Error/Expected.
+/// Scheduling primitives are fallible (a pattern may not match, a rewrite may
+/// be unsafe); they return Expected<T> carrying a human-readable diagnostic.
+/// Programmer errors (violated API contracts) are asserts, not Errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_ERROR_H
+#define EXO_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace exo {
+
+/// A failure diagnostic. An Error is either success (empty) or a message.
+class Error {
+public:
+  Error() = default;
+
+  /// Creates a failure with the given message.
+  static Error failure(std::string Msg) {
+    Error E;
+    E.Msg = std::move(Msg);
+    assert(!E.Msg->empty() && "failure message must be non-empty");
+    return E;
+  }
+
+  static Error success() { return Error(); }
+
+  /// True when this holds a failure.
+  explicit operator bool() const { return Msg.has_value(); }
+
+  const std::string &message() const {
+    assert(Msg && "no message on a success Error");
+    return *Msg;
+  }
+
+private:
+  std::optional<std::string> Msg;
+};
+
+/// Either a value of type T or an error message. Accessing the value of a
+/// failed Expected asserts; callers must test first.
+template <typename T> class Expected {
+public:
+  /*implicit*/ Expected(T Val) : Val(std::move(Val)) {}
+  /*implicit*/ Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "constructing Expected from a success Error");
+  }
+
+  /// True on success.
+  explicit operator bool() const { return Val.has_value(); }
+
+  T &operator*() {
+    assert(Val && "dereferencing a failed Expected");
+    return *Val;
+  }
+  const T &operator*() const {
+    assert(Val && "dereferencing a failed Expected");
+    return *Val;
+  }
+  T *operator->() {
+    assert(Val && "dereferencing a failed Expected");
+    return &*Val;
+  }
+  const T *operator->() const {
+    assert(Val && "dereferencing a failed Expected");
+    return &*Val;
+  }
+
+  /// Moves the contained value out.
+  T take() {
+    assert(Val && "taking from a failed Expected");
+    return std::move(*Val);
+  }
+
+  const std::string &message() const { return Err.message(); }
+  Error takeError() {
+    assert(!Val && "takeError on a success Expected");
+    return std::move(Err);
+  }
+
+private:
+  std::optional<T> Val;
+  Error Err;
+};
+
+/// Creates a failed Expected<T>/Error with a printf-style message.
+Error errorf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Aborts with a message; used for unreachable code paths.
+[[noreturn]] void fatal(const std::string &Msg);
+
+} // namespace exo
+
+#endif // EXO_SUPPORT_ERROR_H

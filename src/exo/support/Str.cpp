@@ -1,0 +1,87 @@
+//===- Str.cpp ------------------------------------------------------------===//
+
+#include "exo/support/Str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace exo;
+
+std::string exo::strf(const char *Fmt, ...) {
+  char Buf[2048];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N < 0)
+    return std::string();
+  if (static_cast<size_t>(N) < sizeof(Buf))
+    return std::string(Buf, N);
+  // Rare slow path for very long formats.
+  std::string Out(static_cast<size_t>(N) + 1, '\0');
+  va_start(Ap, Fmt);
+  vsnprintf(Out.data(), Out.size(), Fmt, Ap);
+  va_end(Ap);
+  Out.resize(static_cast<size_t>(N));
+  return Out;
+}
+
+std::vector<std::string> exo::split(std::string_view S, char Sep,
+                                    bool KeepEmpty) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t End = S.find(Sep, Start);
+    if (End == std::string_view::npos)
+      End = S.size();
+    std::string_view Piece = S.substr(Start, End - Start);
+    if (KeepEmpty || !Piece.empty())
+      Out.emplace_back(Piece);
+    if (End == S.size())
+      break;
+    Start = End + 1;
+  }
+  return Out;
+}
+
+std::string_view exo::trim(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t' ||
+                        S.front() == '\n' || S.front() == '\r'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t' ||
+                        S.back() == '\n' || S.back() == '\r'))
+    S.remove_suffix(1);
+  return S;
+}
+
+std::string exo::join(const std::vector<std::string> &Parts,
+                      std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I)
+      Out.append(Sep);
+    Out.append(Parts[I]);
+  }
+  return Out;
+}
+
+bool exo::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool exo::endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+std::string exo::replaceAll(std::string S, std::string_view From,
+                            std::string_view To) {
+  if (From.empty())
+    return S;
+  size_t Pos = 0;
+  while ((Pos = S.find(From, Pos)) != std::string::npos) {
+    S.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return S;
+}

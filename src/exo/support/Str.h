@@ -1,0 +1,47 @@
+//===- Str.h - Small string utilities -------------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the library: splitting, trimming, joining,
+/// and printf-style formatting into std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_STR_H
+#define EXO_SUPPORT_STR_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exo {
+
+/// printf into a std::string.
+std::string strf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits \p S on \p Sep, dropping empty pieces when \p KeepEmpty is false.
+std::vector<std::string> split(std::string_view S, char Sep,
+                               bool KeepEmpty = false);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// True when \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// True when \p S ends with \p Suffix.
+bool endsWith(std::string_view S, std::string_view Suffix);
+
+/// Replaces every occurrence of \p From in \p S with \p To.
+std::string replaceAll(std::string S, std::string_view From,
+                       std::string_view To);
+
+} // namespace exo
+
+#endif // EXO_SUPPORT_STR_H

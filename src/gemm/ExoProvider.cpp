@@ -1,0 +1,96 @@
+//===- ExoProvider.cpp ----------------------------------------------------===//
+
+#include "gemm/ExoProvider.h"
+
+#include <cstdio>
+
+using namespace gemm;
+
+ExoProvider::ExoProvider(int64_t MR, int64_t NR, const exo::IsaLib *Isa,
+                         bool UnrollCompute)
+    : MR(MR), NR(NR), Isa(Isa ? Isa : ukr::bestIsaForMr(MR)),
+      UnrollCompute(UnrollCompute) {}
+
+std::optional<MicroKernel> ExoProvider::shape(int64_t Mr, int64_t Nr) {
+  auto Memo = ShapeCache.find({Mr, Nr});
+  if (Memo != ShapeCache.end())
+    return Memo->second;
+  ukr::UkrConfig Cfg;
+  Cfg.MR = Mr;
+  Cfg.NR = Nr;
+  Cfg.UnrollCompute = UnrollCompute;
+  // Full tiles use the configured library; edges re-pick per shape.
+  Cfg.Isa = (Mr == MR && Isa) ? Isa : ukr::bestIsaForMr(Mr);
+  if (!Cfg.Isa)
+    Cfg.Style = ukr::FmaStyle::Scalar;
+  auto K = ukr::KernelCache::global().get(Cfg);
+  std::optional<MicroKernel> Out;
+  if (K && (*K)->Fn)
+    Out = MicroKernel{Mr, Nr, (*K)->Fn, "exo generated"};
+  else if (!K)
+    std::fprintf(stderr, "exo provider: %s\n", K.message().c_str());
+  ShapeCache.emplace(std::make_pair(Mr, Nr), Out);
+  return Out;
+}
+
+MicroKernel ExoProvider::main() {
+  auto K = shape(MR, NR);
+  if (!K)
+    return MicroKernel{MR, NR, nullptr, "exo (unavailable)"};
+  return *K;
+}
+
+std::optional<MicroKernel> ExoProvider::edge(int64_t MrEff, int64_t NrEff) {
+  if (!SpecializeEdges)
+    return std::nullopt;
+  return shape(MrEff, NrEff);
+}
+
+std::pair<int64_t, int64_t>
+ExoProvider::pickShape(int64_t M, int64_t N, const exo::IsaLib *ForceIsa) {
+  // Candidate full-tile shapes (host-vectorizable MR values).
+  static const std::pair<int64_t, int64_t> Candidates[] = {
+      {8, 12}, {8, 8}, {8, 6}, {8, 4},  {16, 12}, {16, 8},
+      {16, 6}, {16, 4}, {4, 12}, {4, 8}, {4, 4},  {24, 4},
+  };
+  // Estimated flops-per-load of an a x b tile update: 2ab FMs per (a + b)
+  // elements streamed from the packed panels.
+  auto Eff = [](int64_t A, int64_t B) {
+    if (A <= 0 || B <= 0)
+      return 0.0;
+    return 2.0 * static_cast<double>(A) * static_cast<double>(B) /
+           static_cast<double>(A + B);
+  };
+
+  std::pair<int64_t, int64_t> Best = {8, 12};
+  double BestScore = -1;
+  for (auto [Mr, Nr] : Candidates) {
+    const exo::IsaLib *Isa = ForceIsa ? ForceIsa : ukr::bestIsaForMr(Mr);
+    if (!Isa || Mr % Isa->lanes(exo::ScalarKind::F32) != 0)
+      continue;
+    // Register-pressure sanity: C tile + one A register + one broadcast
+    // must fit 16 vector registers at the chosen width.
+    int64_t Vecs = (Mr / Isa->lanes(exo::ScalarKind::F32));
+    if (Nr * Vecs + Vecs + 1 > 16)
+      continue;
+
+    int64_t MEdge = M % Mr, NEdge = N % Nr;
+    double FullM = static_cast<double>(M - MEdge) / M;
+    double FullN = static_cast<double>(N - NEdge) / N;
+    double EdgeM = static_cast<double>(MEdge) / M;
+    double EdgeN = static_cast<double>(NEdge) / N;
+    // Edge regions pay dispatch/packing overhead beyond their lower
+    // flops-per-load, so they are further discounted; exact divisors win
+    // near-ties.
+    const double EdgeDiscount = 0.6;
+    double Score = Eff(Mr, Nr) * FullM * FullN +
+                   EdgeDiscount * (Eff(MEdge, Nr) * EdgeM * FullN +
+                                   Eff(Mr, NEdge) * FullM * EdgeN +
+                                   Eff(MEdge, NEdge) * EdgeM * EdgeN);
+    if (Score > BestScore) {
+      BestScore = Score;
+      Best = {Mr, Nr};
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,151 @@
+//===- Gemm.cpp -----------------------------------------------------------===//
+
+#include "gemm/Gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace exo;
+using namespace gemm;
+
+GemmPlan GemmPlan::standard(KernelProvider &P) {
+  MicroKernel K = P.main();
+  GemmPlan Plan;
+  Plan.Blocks =
+      analyticalBlockSizes(CacheConfig::host(), K.MR, K.NR, sizeof(float));
+  Plan.PackMode = P.edge(K.MR, 1).has_value() ? EdgePack::Tight
+                                              : EdgePack::ZeroPad;
+  return Plan;
+}
+
+Error gemm::blisGemm(const GemmPlan &Plan, KernelProvider &Provider,
+                     int64_t M, int64_t N, int64_t K, float Alpha,
+                     const float *A, int64_t Lda, const float *B,
+                     int64_t Ldb, float Beta, float *C, int64_t Ldc) {
+  return blisGemmT(Plan, Provider, Trans::None, Trans::None, M, N, K, Alpha,
+                   A, Lda, B, Ldb, Beta, C, Ldc);
+}
+
+Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
+                      Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                      float Alpha, const float *A, int64_t Lda,
+                      const float *B, int64_t Ldb, float Beta, float *C,
+                      int64_t Ldc) {
+  if (M < 0 || N < 0 || K < 0)
+    return errorf("gemm: negative dimension");
+  if (M == 0 || N == 0)
+    return Error::success();
+
+  MicroKernel Main = Provider.main();
+  if (!Main.Fn)
+    return errorf("gemm: provider '%s' has no runnable kernel",
+                  Provider.name());
+  const int64_t Mr = Main.MR, Nr = Main.NR;
+  // Clamp blocks to the problem so pack buffers stay proportionate.
+  auto RoundUp = [](int64_t V, int64_t Q) { return ((V + Q - 1) / Q) * Q; };
+  const int64_t Mc =
+      std::min(std::max<int64_t>(Plan.Blocks.MC, Mr), RoundUp(M, Mr));
+  const int64_t Kc =
+      std::min(std::max<int64_t>(Plan.Blocks.KC, 1), std::max<int64_t>(K, 1));
+  const int64_t Nc =
+      std::min(std::max<int64_t>(Plan.Blocks.NC, Nr), RoundUp(N, Nr));
+
+  // K == 0 degenerates to a beta scaling.
+  if (K == 0) {
+    for (int64_t J = 0; J < N; ++J)
+      for (int64_t I = 0; I < M; ++I)
+        C[I + J * Ldc] *= Beta;
+    return Error::success();
+  }
+
+  std::vector<float> BBuf(((Nc + Nr - 1) / Nr) * Kc * Nr);
+  std::vector<float> ABuf(((Mc + Mr - 1) / Mr) * Kc * Mr);
+  std::vector<float> Scratch(Mr * Nr);
+
+  for (int64_t Jc = 0; Jc < N; Jc += Nc) {            // Loop L1
+    int64_t NcEff = std::min(Nc, N - Jc);
+    for (int64_t Pc = 0; Pc < K; Pc += Kc) {          // Loop L2
+      int64_t KcEff = std::min(Kc, K - Pc);
+      // Element (k, j) of the logical block; transposition swaps strides.
+      if (TB == Trans::None)
+        packBStrided(B + Pc + Jc * Ldb, 1, Ldb, KcEff, NcEff, Nr,
+                     /*Alpha=*/1.0f, Plan.PackMode, BBuf.data());
+      else
+        packBStrided(B + Jc + Pc * Ldb, Ldb, 1, KcEff, NcEff, Nr,
+                     /*Alpha=*/1.0f, Plan.PackMode, BBuf.data());
+
+      // Apply beta once per (jc) column block, before the first update.
+      if (Pc == 0 && Beta != 1.0f)
+        for (int64_t J = 0; J < NcEff; ++J)
+          for (int64_t I = 0; I < M; ++I)
+            C[I + (Jc + J) * Ldc] *= Beta;
+
+      for (int64_t Ic = 0; Ic < M; Ic += Mc) {        // Loop L3
+        int64_t McEff = std::min(Mc, M - Ic);
+        // A panels are always zero-padded to the full Mr: edge kernels
+        // keep the full vector width along m and the driver masks the
+        // copy-out instead (rows >= mr_eff contribute zeros).
+        if (TA == Trans::None)
+          packAStrided(A + Ic + Pc * Lda, 1, Lda, McEff, KcEff, Mr, Alpha,
+                       EdgePack::ZeroPad, ABuf.data());
+        else
+          packAStrided(A + Pc + Ic * Lda, Lda, 1, McEff, KcEff, Mr, Alpha,
+                       EdgePack::ZeroPad, ABuf.data());
+
+        for (int64_t Jr = 0; Jr < NcEff; Jr += Nr) {  // Loop L4
+          int64_t NrEff = std::min(Nr, NcEff - Jr);
+          const float *BPanel = BBuf.data() + (Jr / Nr) * KcEff * Nr;
+          // The edge kernel depends only on the strip width; resolve it
+          // once per strip, not once per tile.
+          std::optional<MicroKernel> StripKernel;
+          if (NrEff == Nr) {
+            StripKernel = Main;
+          } else if (Plan.PackMode == EdgePack::Tight) {
+            StripKernel = Provider.edge(Mr, NrEff);
+            if (!StripKernel || !StripKernel->Fn)
+              return errorf("gemm: no specialized kernel for %lldx%lld "
+                            "edge tile",
+                            static_cast<long long>(Mr),
+                            static_cast<long long>(NrEff));
+          }
+          for (int64_t Ir = 0; Ir < McEff; Ir += Mr) { // Loop L5
+            int64_t MrEff = std::min(Mr, McEff - Ir);
+            const float *APanel = ABuf.data() + (Ir / Mr) * KcEff * Mr;
+            float *CTile = C + (Ic + Ir) + (Jc + Jr) * Ldc;
+
+            if (MrEff == Mr && NrEff == Nr) {
+              Main.Fn(KcEff, Ldc, APanel, BPanel, CTile);
+              continue;
+            }
+            if (Plan.PackMode == EdgePack::Tight) {
+              // Specialized kernel at full vector width along m and the
+              // exact nr_eff along n (B panels are tight). When the m edge
+              // is short, the same kernel computes into a scratch tile —
+              // the A panel's padded rows are zero — and the valid window
+              // is accumulated back.
+              if (MrEff == Mr) {
+                StripKernel->Fn(KcEff, Ldc, APanel, BPanel, CTile);
+                continue;
+              }
+              std::fill(Scratch.begin(), Scratch.end(), 0.0f);
+              StripKernel->Fn(KcEff, Mr, APanel, BPanel, Scratch.data());
+              for (int64_t J = 0; J < NrEff; ++J)
+                for (int64_t I = 0; I < MrEff; ++I)
+                  CTile[I + J * Ldc] += Scratch[J * Mr + I];
+              continue;
+            }
+            // Monolithic kernel through a zero-initialized scratch tile;
+            // packed panels are zero-padded, so the kernel computes a full
+            // Mr x Nr product and the valid window is accumulated back.
+            std::fill(Scratch.begin(), Scratch.end(), 0.0f);
+            Main.Fn(KcEff, Mr, APanel, BPanel, Scratch.data());
+            for (int64_t J = 0; J < NrEff; ++J)
+              for (int64_t I = 0; I < MrEff; ++I)
+                CTile[I + J * Ldc] += Scratch[J * Mr + I];
+          }
+        }
+      }
+    }
+  }
+  return Error::success();
+}

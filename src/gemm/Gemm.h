@@ -1,0 +1,61 @@
+//===- Gemm.h - BLIS-like GEMM driver -------------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GotoBLAS/BLIS five-loop macro-kernel (paper Figs. 1-2): jc over nc
+/// column blocks (Bc packed for L3), pc over kc depth blocks, ic over mc row
+/// blocks (Ac packed for L2), then jr/ir micro-tile loops invoking the
+/// micro-kernel. Edge tiles either dispatch to a provider-specialized
+/// kernel (EXO mode, tight packing) or run the monolithic kernel into a
+/// zero-padded scratch tile (BLIS mode).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEMM_GEMM_H
+#define GEMM_GEMM_H
+
+#include "exo/support/Error.h"
+#include "gemm/CacheModel.h"
+#include "gemm/MicroKernel.h"
+#include "gemm/Pack.h"
+
+namespace gemm {
+
+struct GemmPlan {
+  BlockSizes Blocks;
+  /// Tight for providers with per-edge kernels; ZeroPad for monolithic
+  /// kernels routed through the scratch tile.
+  EdgePack PackMode = EdgePack::ZeroPad;
+
+  /// Standard plan for \p P: analytical blocking for the host caches and
+  /// the packing mode implied by the provider's edge support.
+  static GemmPlan standard(KernelProvider &P);
+};
+
+/// BLAS-style operand transposition. Packing absorbs the transpose (the
+/// packed panels are identical either way), so transposed GEMM costs the
+/// same as the plain case — the BLIS property.
+enum class Trans : uint8_t { None, Transpose };
+
+/// Column-major SGEMM, C = alpha*A*B + beta*C, through the macro-kernel.
+/// Fails when a needed edge kernel cannot be built or shapes are invalid.
+exo::Error blisGemm(const GemmPlan &Plan, KernelProvider &Provider,
+                    int64_t M, int64_t N, int64_t K, float Alpha,
+                    const float *A, int64_t Lda, const float *B, int64_t Ldb,
+                    float Beta, float *C, int64_t Ldc);
+
+/// General form: C = alpha * op(A) * op(B) + beta * C with op per operand.
+/// op(A) is m x k; with TA == Transpose, A is stored k x m (leading
+/// dimension >= k), and symmetrically for B.
+exo::Error blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
+                     Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                     float Alpha, const float *A, int64_t Lda,
+                     const float *B, int64_t Ldb, float Beta, float *C,
+                     int64_t Ldc);
+
+} // namespace gemm
+
+#endif // GEMM_GEMM_H

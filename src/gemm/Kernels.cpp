@@ -1,0 +1,121 @@
+//===- Kernels.cpp --------------------------------------------------------===//
+
+#include "gemm/Kernels.h"
+
+using namespace gemm;
+
+namespace {
+/// 256-bit vector of 8 floats, unaligned-safe.
+typedef float V8f __attribute__((vector_size(32), aligned(4)));
+
+__attribute__((target("avx2,fma"), always_inline)) inline V8f
+loadV8(const float *P) {
+  return *reinterpret_cast<const V8f *>(P);
+}
+__attribute__((target("avx2,fma"), always_inline)) inline void
+storeV8(float *P, V8f V) {
+  *reinterpret_cast<V8f *>(P) = V;
+}
+} // namespace
+
+bool gemm::baselineKernelsUsable() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+/// "NEON" stand-in: plain intrinsics-style loops, compiler-scheduled.
+__attribute__((target("avx2,fma"))) void
+gemm::handVectorKernel8x12(int64_t Kc, int64_t Ldc, const float *Ac,
+                           const float *Bc, float *C) {
+  V8f Creg[12];
+  for (int J = 0; J < 12; ++J)
+    Creg[J] = loadV8(C + J * Ldc);
+  for (int64_t K = 0; K < Kc; ++K) {
+    V8f A0 = loadV8(Ac + K * 8);
+    const float *B = Bc + K * 12;
+    for (int J = 0; J < 12; ++J)
+      Creg[J] += A0 * B[J];
+  }
+  for (int J = 0; J < 12; ++J)
+    storeV8(C + J * Ldc, Creg[J]);
+}
+
+namespace {
+
+/// Shared fully unrolled BLIS-style body; Prefetch selects the BLIS
+/// in-kernel prefetching (a template parameter so each variant compiles to
+/// its own straight-line code, as the assembly original would).
+template <bool Prefetch>
+__attribute__((target("avx2,fma"))) inline void
+blisBody(int64_t Kc, int64_t Ldc, const float *Ac, const float *Bc,
+         float *C) {
+  if (Prefetch) {
+    // BLIS prefetches the C tile before the k loop so the final update
+    // does not stall.
+    for (int J = 0; J < 12; ++J)
+      __builtin_prefetch(C + J * Ldc, 1, 3);
+  }
+  V8f C0 = loadV8(C + 0 * Ldc), C1 = loadV8(C + 1 * Ldc);
+  V8f C2 = loadV8(C + 2 * Ldc), C3 = loadV8(C + 3 * Ldc);
+  V8f C4 = loadV8(C + 4 * Ldc), C5 = loadV8(C + 5 * Ldc);
+  V8f C6 = loadV8(C + 6 * Ldc), C7 = loadV8(C + 7 * Ldc);
+  V8f C8 = loadV8(C + 8 * Ldc), C9 = loadV8(C + 9 * Ldc);
+  V8f C10 = loadV8(C + 10 * Ldc), C11 = loadV8(C + 11 * Ldc);
+  for (int64_t K = 0; K < Kc; ++K) {
+    if (Prefetch) {
+      __builtin_prefetch(Ac + K * 8 + 64, 0, 0);
+      __builtin_prefetch(Bc + K * 12 + 96, 0, 0);
+    }
+    V8f A0 = loadV8(Ac + K * 8);
+    const float *B = Bc + K * 12;
+    C0 += A0 * B[0];
+    C1 += A0 * B[1];
+    C2 += A0 * B[2];
+    C3 += A0 * B[3];
+    C4 += A0 * B[4];
+    C5 += A0 * B[5];
+    C6 += A0 * B[6];
+    C7 += A0 * B[7];
+    C8 += A0 * B[8];
+    C9 += A0 * B[9];
+    C10 += A0 * B[10];
+    C11 += A0 * B[11];
+  }
+  storeV8(C + 0 * Ldc, C0);
+  storeV8(C + 1 * Ldc, C1);
+  storeV8(C + 2 * Ldc, C2);
+  storeV8(C + 3 * Ldc, C3);
+  storeV8(C + 4 * Ldc, C4);
+  storeV8(C + 5 * Ldc, C5);
+  storeV8(C + 6 * Ldc, C6);
+  storeV8(C + 7 * Ldc, C7);
+  storeV8(C + 8 * Ldc, C8);
+  storeV8(C + 9 * Ldc, C9);
+  storeV8(C + 10 * Ldc, C10);
+  storeV8(C + 11 * Ldc, C11);
+}
+
+} // namespace
+
+__attribute__((target("avx2,fma"))) void
+gemm::blisStyleKernel8x12(int64_t Kc, int64_t Ldc, const float *Ac,
+                          const float *Bc, float *C) {
+  blisBody<false>(Kc, Ldc, Ac, Bc, C);
+}
+
+__attribute__((target("avx2,fma"))) void
+gemm::blisStyleKernel8x12Prefetch(int64_t Kc, int64_t Ldc, const float *Ac,
+                                  const float *Bc, float *C) {
+  blisBody<true>(Kc, Ldc, Ac, Bc, C);
+}
+
+MicroKernel gemm::handVectorKernel() {
+  return {8, 12, &handVectorKernel8x12, "hand-vector 8x12"};
+}
+
+MicroKernel gemm::blisKernel() {
+  return {8, 12, &blisStyleKernel8x12, "blis-style 8x12"};
+}
+
+MicroKernel gemm::blisKernelPrefetch() {
+  return {8, 12, &blisStyleKernel8x12Prefetch, "blis-style 8x12 +prefetch"};
+}

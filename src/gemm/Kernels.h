@@ -1,0 +1,50 @@
+//===- Kernels.h - Hand-written baseline micro-kernels --------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two hand-written baselines the paper compares against, transplanted
+/// from ARM to this repository's x86 test hardware (see DESIGN.md):
+///
+///   - handVectorKernel8x12 ("NEON"): written with GCC vector extensions the
+///     way a competent developer writes an intrinsics kernel — straight
+///     loops, compiler does the scheduling. No prefetch.
+///   - blisStyleKernel8x12 / blisStyleKernel8x12Prefetch ("ALG+BLIS" /
+///     "BLIS"): fully unrolled update with explicit register rotation like
+///     BLIS's assembly kernels; the Prefetch variant adds the C-tile and
+///     A/B-stream prefetching BLIS performs inside the micro-kernel.
+///
+/// All use 256-bit vectors (the natural width of the host, as 128-bit Neon
+/// is of the paper's Carmel) and carry `target("avx2,fma")` so the library
+/// itself builds without global -mavx2. Callers must check
+/// `baselineKernelsUsable()` first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEMM_KERNELS_H
+#define GEMM_KERNELS_H
+
+#include "gemm/MicroKernel.h"
+
+namespace gemm {
+
+/// True when the host executes AVX2+FMA (all baseline kernels need it).
+bool baselineKernelsUsable();
+
+void handVectorKernel8x12(int64_t Kc, int64_t Ldc, const float *Ac,
+                          const float *Bc, float *C);
+void blisStyleKernel8x12(int64_t Kc, int64_t Ldc, const float *Ac,
+                         const float *Bc, float *C);
+void blisStyleKernel8x12Prefetch(int64_t Kc, int64_t Ldc, const float *Ac,
+                                 const float *Bc, float *C);
+
+/// Convenience MicroKernel descriptors.
+MicroKernel handVectorKernel();
+MicroKernel blisKernel();
+MicroKernel blisKernelPrefetch();
+
+} // namespace gemm
+
+#endif // GEMM_KERNELS_H

@@ -1,0 +1,7 @@
+//===- MicroKernel.cpp ----------------------------------------------------===//
+
+#include "gemm/MicroKernel.h"
+
+using namespace gemm;
+
+KernelProvider::~KernelProvider() = default;

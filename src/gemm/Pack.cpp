@@ -1,0 +1,67 @@
+//===- Pack.cpp -----------------------------------------------------------===//
+
+#include "gemm/Pack.h"
+
+#include <algorithm>
+
+using namespace gemm;
+
+void gemm::packAStrided(const float *A, int64_t RowStride, int64_t ColStride,
+                        int64_t Mc, int64_t Kc, int64_t Mr, float Alpha,
+                        EdgePack Mode, float *Buf) {
+  for (int64_t P = 0, Ir = 0; Ir < Mc; ++P, Ir += Mr) {
+    int64_t MrEff = std::min(Mr, Mc - Ir);
+    float *Panel = Buf + P * Kc * Mr;
+    if (Mode == EdgePack::Tight || MrEff == Mr) {
+      // kc x mr_eff, k-major.
+      for (int64_t K = 0; K < Kc; ++K)
+        for (int64_t I = 0; I < MrEff; ++I)
+          Panel[K * MrEff + I] =
+              Alpha * A[(Ir + I) * RowStride + K * ColStride];
+      continue;
+    }
+    for (int64_t K = 0; K < Kc; ++K) {
+      for (int64_t I = 0; I < MrEff; ++I)
+        Panel[K * Mr + I] =
+            Alpha * A[(Ir + I) * RowStride + K * ColStride];
+      for (int64_t I = MrEff; I < Mr; ++I)
+        Panel[K * Mr + I] = 0.0f;
+    }
+  }
+}
+
+void gemm::packBStrided(const float *B, int64_t RowStride, int64_t ColStride,
+                        int64_t Kc, int64_t Nc, int64_t Nr, float Alpha,
+                        EdgePack Mode, float *Buf) {
+  for (int64_t P = 0, Jr = 0; Jr < Nc; ++P, Jr += Nr) {
+    int64_t NrEff = std::min(Nr, Nc - Jr);
+    float *Panel = Buf + P * Kc * Nr;
+    if (Mode == EdgePack::Tight || NrEff == Nr) {
+      // kc x nr_eff, k-major.
+      for (int64_t K = 0; K < Kc; ++K)
+        for (int64_t J = 0; J < NrEff; ++J)
+          Panel[K * NrEff + J] =
+              Alpha * B[K * RowStride + (Jr + J) * ColStride];
+      continue;
+    }
+    for (int64_t K = 0; K < Kc; ++K) {
+      for (int64_t J = 0; J < NrEff; ++J)
+        Panel[K * Nr + J] =
+            Alpha * B[K * RowStride + (Jr + J) * ColStride];
+      for (int64_t J = NrEff; J < Nr; ++J)
+        Panel[K * Nr + J] = 0.0f;
+    }
+  }
+}
+
+void gemm::packA(const float *A, int64_t Lda, int64_t Mc, int64_t Kc,
+                 int64_t Mr, float Alpha, EdgePack Mode, float *Buf) {
+  // Column-major A: element (i, k) at A[i + k*Lda].
+  packAStrided(A, 1, Lda, Mc, Kc, Mr, Alpha, Mode, Buf);
+}
+
+void gemm::packB(const float *B, int64_t Ldb, int64_t Kc, int64_t Nc,
+                 int64_t Nr, float Alpha, EdgePack Mode, float *Buf) {
+  // Column-major B: element (k, j) at B[k + j*Ldb].
+  packBStrided(B, 1, Ldb, Kc, Nc, Nr, Alpha, Mode, Buf);
+}

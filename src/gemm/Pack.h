@@ -1,0 +1,56 @@
+//===- Pack.h - GotoBLAS packing routines ---------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two packing routines of the BLIS macro-kernel (paper Fig. 1/2). Both
+/// produce panel-major buffers the micro-kernel reads with unit stride:
+///
+///   packA: an mc x kc block of column-major A becomes ceil(mc/mr) panels,
+///          panel p holding rows [p*mr, p*mr + mr) as a kc x mr matrix
+///          (k-major), scaled by alpha. Panel capacity is always kc*mr
+///          elements; a short edge panel is either packed *tight* (kc x
+///          mr_eff, for dispatch to a specialized edge kernel) or
+///          zero-padded to full width (for a monolithic kernel + scratch
+///          tile).
+///   packB: symmetric, nr-wide panels of a kc x nc block of B.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEMM_PACK_H
+#define GEMM_PACK_H
+
+#include <cstdint>
+
+namespace gemm {
+
+/// How edge panels are laid out (see file comment).
+enum class EdgePack : uint8_t { Tight, ZeroPad };
+
+/// Packs A[ic:ic+mc, pc:pc+kc] (column-major, leading dimension lda) into
+/// \p Buf. Caller sizes Buf as ceil(mc/mr)*kc*mr floats.
+void packA(const float *A, int64_t Lda, int64_t Mc, int64_t Kc, int64_t Mr,
+           float Alpha, EdgePack Mode, float *Buf);
+
+/// Packs B[pc:pc+kc, jc:jc+nc] (column-major, leading dimension ldb) into
+/// \p Buf. Caller sizes Buf as ceil(nc/nr)*kc*nr floats.
+void packB(const float *B, int64_t Ldb, int64_t Kc, int64_t Nc, int64_t Nr,
+           float Alpha, EdgePack Mode, float *Buf);
+
+/// Generalized variants over arbitrary element strides: element (i, k) of
+/// the logical mc x kc block sits at A[i*RowStride + k*ColStride]. These
+/// implement the BLAS transpose cases — a transposed operand is just the
+/// swapped stride pair, packed identically (packing absorbs the transpose,
+/// as in BLIS).
+void packAStrided(const float *A, int64_t RowStride, int64_t ColStride,
+                  int64_t Mc, int64_t Kc, int64_t Mr, float Alpha,
+                  EdgePack Mode, float *Buf);
+void packBStrided(const float *B, int64_t RowStride, int64_t ColStride,
+                  int64_t Kc, int64_t Nc, int64_t Nr, float Alpha,
+                  EdgePack Mode, float *Buf);
+
+} // namespace gemm
+
+#endif // GEMM_PACK_H

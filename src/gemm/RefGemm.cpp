@@ -1,0 +1,20 @@
+//===- RefGemm.cpp --------------------------------------------------------===//
+
+#include "gemm/RefGemm.h"
+
+using namespace gemm;
+
+void gemm::refSgemm(int64_t M, int64_t N, int64_t K, float Alpha,
+                    const float *A, int64_t Lda, const float *B, int64_t Ldb,
+                    float Beta, float *C, int64_t Ldc) {
+  for (int64_t J = 0; J < N; ++J) {
+    for (int64_t I = 0; I < M; ++I) {
+      double Acc = 0.0;
+      for (int64_t P = 0; P < K; ++P)
+        Acc += static_cast<double>(A[I + P * Lda]) * B[P + J * Ldb];
+      C[I + J * Ldc] =
+          static_cast<float>(Alpha * Acc + static_cast<double>(Beta) *
+                                               C[I + J * Ldc]);
+    }
+  }
+}

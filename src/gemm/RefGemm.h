@@ -1,0 +1,28 @@
+//===- RefGemm.h - Naive reference GEMM -----------------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Triple-loop column-major SGEMM used as the correctness oracle for every
+/// optimized path in the repository. Deliberately unoptimized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEMM_REFGEMM_H
+#define GEMM_REFGEMM_H
+
+#include <cstdint>
+
+namespace gemm {
+
+/// C = alpha * A * B + beta * C with column-major operands: A is m x k
+/// (leading dimension Lda), B is k x n, C is m x n.
+void refSgemm(int64_t M, int64_t N, int64_t K, float Alpha, const float *A,
+              int64_t Lda, const float *B, int64_t Ldb, float Beta, float *C,
+              int64_t Ldc);
+
+} // namespace gemm
+
+#endif // GEMM_REFGEMM_H

@@ -1,0 +1,91 @@
+//===- KernelRegistry.cpp -------------------------------------------------===//
+
+#include "ukr/KernelRegistry.h"
+
+#include <map>
+#include <mutex>
+
+using namespace exo;
+using namespace ukr;
+
+Expected<Kernel> ukr::buildKernel(const UkrConfig &Cfg,
+                                  const SchedOptions &Opts) {
+  auto Res = generateUkernel(Cfg, Opts);
+  if (!Res)
+    return Res.takeError();
+
+  Kernel K;
+  K.Cfg = Cfg;
+  K.Style = Res->Style;
+  K.Final = Res->Final;
+  K.CSource = std::move(Res->CSource);
+
+  bool Executable = K.Style == FmaStyle::Scalar ||
+                    (Cfg.Isa && Cfg.Isa->hostExecutable());
+  if (Executable && jitAvailable()) {
+    std::string Flags = K.Style == FmaStyle::Scalar ? "-march=native"
+                                                     : Cfg.Isa->jitFlags();
+    auto Jit = jitCompile(K.CSource, Cfg.kernelName(), Flags);
+    if (!Jit)
+      return Jit.takeError();
+    K.Jit = Jit.take();
+    if (Cfg.Ty == ScalarKind::F32) {
+      if (Cfg.GeneralAlphaBeta)
+        K.FnAxpby = K.Jit->as<MicroKernelAxpbyF32>();
+      else
+        K.Fn = K.Jit->as<MicroKernelF32>();
+    }
+  }
+  return K;
+}
+
+struct KernelCache::Impl {
+  std::mutex Mu;
+  std::map<std::string, Kernel> Kernels;
+};
+
+KernelCache &KernelCache::global() {
+  static KernelCache C;
+  return C;
+}
+
+KernelCache::Impl &KernelCache::impl() const {
+  static Impl I;
+  return I;
+}
+
+Expected<const Kernel *> KernelCache::get(const UkrConfig &Cfg) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::string Key = Cfg.kernelName();
+  auto It = I.Kernels.find(Key);
+  if (It != I.Kernels.end())
+    return const_cast<const Kernel *>(&It->second);
+  auto K = buildKernel(Cfg);
+  if (!K)
+    return K.takeError();
+  auto [Pos, Inserted] = I.Kernels.emplace(Key, K.take());
+  (void)Inserted;
+  return const_cast<const Kernel *>(&Pos->second);
+}
+
+size_t KernelCache::size() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return I.Kernels.size();
+}
+
+const IsaLib *ukr::bestIsaForMr(int64_t MR) {
+  const IsaLib *Best = nullptr;
+  unsigned BestLanes = 0;
+  for (const IsaLib *I : allIsas()) {
+    if (!I->hostExecutable() || !I->supports(ScalarKind::F32))
+      continue;
+    unsigned L = I->lanes(ScalarKind::F32);
+    if (MR % L == 0 && L > BestLanes) {
+      Best = I;
+      BestLanes = L;
+    }
+  }
+  return Best;
+}

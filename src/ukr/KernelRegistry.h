@@ -1,0 +1,80 @@
+//===- KernelRegistry.h - Generated-kernel cache and JIT handles ----------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns UkrConfig descriptions into callable kernels: runs the schedule,
+/// emits C, JIT-compiles it with the system compiler, and caches the result
+/// for the process lifetime. The GEMM framework asks this registry for the
+/// specialized kernel of each (mr, nr) it encounters — the paper's "one
+/// auto-generated micro-kernel per edge case" deployment model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UKR_KERNELREGISTRY_H
+#define UKR_KERNELREGISTRY_H
+
+#include "exo/jit/Jit.h"
+#include "ukr/UkrSchedule.h"
+
+namespace ukr {
+
+/// ABI of every generated f32 micro-kernel (parameter order follows the
+/// reference spec after partial evaluation): C (NR x MR tile, row stride
+/// ldc) += Ac (KC x MR panel) * Bc (KC x NR panel).
+using MicroKernelF32 = void (*)(int64_t KC, int64_t Ldc, const float *Ac,
+                                const float *Bc, float *C);
+
+/// ABI of general alpha/beta kernels (UkrConfig::GeneralAlphaBeta, paper
+/// Fig. 4): C = beta*C + Ac * (alpha*Bc).
+using MicroKernelAxpbyF32 = void (*)(int64_t KC, int64_t Ldc,
+                                     const float *Alpha, const float *Ac,
+                                     const float *Bc, const float *Beta,
+                                     float *C);
+
+/// A generated, compiled, callable kernel.
+struct Kernel {
+  UkrConfig Cfg;
+  FmaStyle Style = FmaStyle::Scalar;
+  exo::Proc Final;
+  std::string CSource;
+  exo::JitKernelPtr Jit;
+  MicroKernelF32 Fn = nullptr;
+  /// Set instead of Fn for GeneralAlphaBeta configurations.
+  MicroKernelAxpbyF32 FnAxpby = nullptr;
+
+  int64_t mr() const { return Cfg.MR; }
+  int64_t nr() const { return Cfg.NR; }
+};
+
+/// Generates + compiles one kernel (uncached). Fn stays null when the
+/// ISA is not executable on this host or no C compiler is available.
+exo::Expected<Kernel>
+buildKernel(const UkrConfig &Cfg,
+            const exo::SchedOptions &Opts = exo::defaultSchedOptions());
+
+/// Process-wide cache keyed by the kernel name.
+class KernelCache {
+public:
+  static KernelCache &global();
+
+  /// Returns the cached kernel for \p Cfg, building it on first use.
+  exo::Expected<const Kernel *> get(const UkrConfig &Cfg);
+
+  /// Number of kernels built so far.
+  size_t size() const;
+
+private:
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// Picks the widest host-executable ISA whose f32 vector width divides
+/// \p MR; nullptr when none does (the scalar fallback case).
+const exo::IsaLib *bestIsaForMr(int64_t MR);
+
+} // namespace ukr
+
+#endif // UKR_KERNELREGISTRY_H

@@ -1,0 +1,66 @@
+//===- UkrConfig.h - Micro-kernel generator configuration -----------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One generated micro-kernel is described by an (MR, NR, element type,
+/// instruction library, schedule style) tuple. The paper's flagship is the
+/// 8x12 f32 Neon kernel; edge cases are the same schedule at other sizes
+/// (§III-B), and other ISAs/types come from swapping the library (§III-C/D).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UKR_UKRCONFIG_H
+#define UKR_UKRCONFIG_H
+
+#include "exo/isa/IsaLib.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ukr {
+
+/// How the inner product update is vectorized.
+enum class FmaStyle : uint8_t {
+  /// Pick Lane when the ISA has a lane-indexed FMA, else Broadcast.
+  Auto,
+  /// B staged in registers, lane-indexed FMA (the paper's Neon schedule).
+  Lane,
+  /// B broadcast from memory (idiomatic AVX2/AVX-512 schedule).
+  Broadcast,
+  /// No vectorization: partial evaluation only. Used when MR is smaller
+  /// than every available vector width (e.g. the paper's 1xNR kernels).
+  Scalar,
+};
+
+const char *fmaStyleName(FmaStyle S);
+
+/// See file comment.
+struct UkrConfig {
+  int64_t MR = 8;
+  int64_t NR = 12;
+  exo::ScalarKind Ty = exo::ScalarKind::F32;
+  const exo::IsaLib *Isa = &exo::portableIsa();
+  FmaStyle Style = FmaStyle::Auto;
+  /// Unroll the A/B register-load loops (paper §III step f).
+  bool UnrollLoads = true;
+  /// Additionally unroll the compute loops into straight-line FMAs.
+  bool UnrollCompute = false;
+  /// Schedule the general alpha/beta specification (paper Fig. 4, with the
+  /// Cb and Ba staging nests) instead of the simplified alpha = beta = 1
+  /// kernel of Fig. 5. The compute core is vectorized identically; the
+  /// scaling nests remain scalar C, as the paper leaves them.
+  bool GeneralAlphaBeta = false;
+
+  /// Style after resolving Auto against the ISA and MR.
+  FmaStyle effectiveStyle() const;
+
+  /// Stable identifier, e.g. "uk_8x12_f32_portable_lane".
+  std::string kernelName() const;
+};
+
+} // namespace ukr
+
+#endif // UKR_UKRCONFIG_H

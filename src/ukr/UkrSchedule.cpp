@@ -1,0 +1,325 @@
+//===- UkrSchedule.cpp ----------------------------------------------------===//
+
+#include "ukr/UkrSchedule.h"
+
+#include "exo/check/Bounds.h"
+#include "exo/codegen/CEmit.h"
+#include "exo/support/Str.h"
+#include "ukr/UkrSpec.h"
+
+using namespace exo;
+using namespace ukr;
+
+const char *ukr::fmaStyleName(FmaStyle S) {
+  switch (S) {
+  case FmaStyle::Auto:
+    return "auto";
+  case FmaStyle::Lane:
+    return "lane";
+  case FmaStyle::Broadcast:
+    return "bcst";
+  case FmaStyle::Scalar:
+    return "scalar";
+  }
+  return "?";
+}
+
+FmaStyle UkrConfig::effectiveStyle() const {
+  if (Style == FmaStyle::Scalar)
+    return FmaStyle::Scalar;
+  if (!Isa || !Isa->supports(Ty))
+    return FmaStyle::Scalar;
+  int64_t L = Isa->lanes(Ty);
+  if (MR % L != 0)
+    return FmaStyle::Scalar;
+  if (Style == FmaStyle::Lane)
+    return FmaStyle::Lane;
+  if (Style == FmaStyle::Broadcast)
+    return FmaStyle::Broadcast;
+  // Auto: prefer the lane schedule when the ISA has a lane FMA and NR
+  // divides evenly; otherwise broadcast.
+  if (Isa->fmaLane(Ty) && NR % L == 0)
+    return FmaStyle::Lane;
+  if (Isa->fmaBroadcast(Ty))
+    return FmaStyle::Broadcast;
+  return FmaStyle::Scalar;
+}
+
+std::string UkrConfig::kernelName() const {
+  FmaStyle S = effectiveStyle();
+  std::string Isas = S == FmaStyle::Scalar ? "c" : Isa->name();
+  std::string Name =
+      strf("uk_%lldx%lld_%s_%s_%s", static_cast<long long>(MR),
+           static_cast<long long>(NR), scalarKindName(Ty), Isas.c_str(),
+           fmaStyleName(S));
+  // Non-default unroll settings are part of the identity (the kernel cache
+  // keys on this name).
+  if (!UnrollLoads)
+    Name += "_noul";
+  if (UnrollCompute)
+    Name += "_full";
+  if (GeneralAlphaBeta)
+    Name += "_axpby";
+  return Name;
+}
+
+namespace {
+
+/// Chains Expected<Proc> steps, recording each version.
+class Pipeline {
+public:
+  Pipeline(Proc Init, std::vector<UkrStep> &Steps)
+      : Cur(std::move(Init)), Steps(Steps) {}
+
+  /// Applies one rewrite; remembers it under \p Label. On failure the
+  /// pipeline latches the error.
+  void step(const std::string &Label, Expected<Proc> Next) {
+    if (Failed)
+      return;
+    if (!Next) {
+      Failed = errorf("schedule step '%s' failed: %s", Label.c_str(),
+                      Next.message().c_str());
+      return;
+    }
+    Cur = Next.take();
+    Steps.push_back({Label, Cur});
+  }
+
+  const Proc &current() const { return Cur; }
+  Error takeError() { return std::move(Failed); }
+  bool failed() const { return static_cast<bool>(Failed); }
+
+private:
+  Proc Cur;
+  std::vector<UkrStep> &Steps;
+  Error Failed;
+};
+
+/// Which buffers the compute nest reads and updates: the simplified spec
+/// updates C from Ac/Bc; the general spec updates the Cb staging buffer
+/// from Ac and the alpha-scaled Ba (paper Fig. 4).
+struct CoreBufs {
+  std::string C = "C";
+  std::string A = "Ac";
+  std::string B = "Bc";
+  /// Pattern selecting the staged store back into C. In the general spec
+  /// "Cb[_] = _" also matches the beta-scaling statement, which precedes
+  /// the store in pre-order, so the store is occurrence #1 there.
+  std::string StorePattern = "C[_] = _";
+};
+
+/// The paper's Neon schedule (lane-indexed FMA, B staged in registers).
+void runLaneSchedule(Pipeline &P, const UkrConfig &Cfg, const CoreBufs &Bufs,
+                     const SchedOptions &Opts) {
+  const IsaLib &Isa = *Cfg.Isa;
+  int64_t L = Isa.lanes(Cfg.Ty);
+  const MemSpace *Reg = Isa.space(Cfg.Ty);
+  InstrPtr Vld = Isa.load(Cfg.Ty);
+  InstrPtr Vst = Isa.store(Cfg.Ty);
+  InstrPtr Fmla = Isa.fmaLane(Cfg.Ty);
+
+  // v2: split i and j to the vector length (paper Fig. 7).
+  P.step("divide_loop i",
+         divideLoop(P.current(), "for i in _: _", L, "it", "itt",
+                    /*Perfect=*/true, Opts));
+  P.step("divide_loop j",
+         divideLoop(P.current(), "for j in _: _", L, "jt", "jtt",
+                    /*Perfect=*/true, Opts));
+
+  // v3: stage the C tile in vector registers (paper Fig. 8).
+  P.step("stage_mem C",
+         stageMem(P.current(), Bufs.C + "[_] += _", Bufs.C, "C_reg", Opts));
+  P.step("expand_dim C_reg itt",
+         expandDim(P.current(), "C_reg", idx(L), var("itt"), Opts));
+  P.step("expand_dim C_reg it",
+         expandDim(P.current(), "C_reg", idx(Cfg.MR / L), var("it"), Opts));
+  P.step("expand_dim C_reg jt",
+         expandDim(P.current(), "C_reg", idx(Cfg.NR),
+                   var("jt") * L + var("jtt"), Opts));
+  P.step("lift_alloc C_reg", liftAlloc(P.current(), "C_reg", 5, Opts));
+  P.step("autofission C load",
+         autofission(P.current(), "C_reg[_] = _", /*After=*/true, 5, Opts));
+  P.step("autofission C store",
+         autofission(P.current(), Bufs.StorePattern, /*After=*/false, 5,
+                     Opts));
+  P.step("replace C load",
+         replaceWithInstr(P.current(), "for itt in _: _ #0", Vld, Opts));
+  P.step("replace C store",
+         replaceWithInstr(P.current(), "for itt in _: _ #1", Vst, Opts));
+  P.step("set_memory C_reg", setMemory(P.current(), "C_reg", Reg));
+
+  // v4: stage the Ac operand (paper Fig. 9).
+  P.step("bind_expr Ac", bindExpr(P.current(), Bufs.A + "[_]", "A_reg", Opts));
+  P.step("expand_dim A_reg itt",
+         expandDim(P.current(), "A_reg", idx(L), var("itt"), Opts));
+  P.step("expand_dim A_reg it",
+         expandDim(P.current(), "A_reg", idx(Cfg.MR / L), var("it"), Opts));
+  P.step("lift_alloc A_reg", liftAlloc(P.current(), "A_reg", 5, Opts));
+  P.step("autofission A load",
+         autofission(P.current(), "A_reg[_] = _", /*After=*/true, 4, Opts));
+  P.step("replace A load",
+         replaceWithInstr(P.current(), "for itt in _: _ #0", Vld, Opts));
+  P.step("set_memory A_reg", setMemory(P.current(), "A_reg", Reg));
+
+  // v4: stage the Bc operand.
+  P.step("bind_expr Bc", bindExpr(P.current(), Bufs.B + "[_]", "B_reg", Opts));
+  P.step("expand_dim B_reg jtt",
+         expandDim(P.current(), "B_reg", idx(L), var("jtt"), Opts));
+  P.step("expand_dim B_reg jt",
+         expandDim(P.current(), "B_reg", idx(Cfg.NR / L), var("jt"), Opts));
+  P.step("lift_alloc B_reg", liftAlloc(P.current(), "B_reg", 5, Opts));
+  P.step("autofission B load",
+         autofission(P.current(), "B_reg[_] = _", /*After=*/true, 4, Opts));
+  P.step("replace B load",
+         replaceWithInstr(P.current(), "for jtt in _: _ #1", Vld, Opts));
+  P.step("set_memory B_reg", setMemory(P.current(), "B_reg", Reg));
+
+  // v5: reorder so B lanes are consumed sequentially, then the FMA
+  // (paper Fig. 10). Occurrence #1 of jtt is the compute nest (the C load
+  // nest holds #0).
+  P.step("reorder_loops jtt/it",
+         reorderLoops(P.current(), "jtt it #1", Opts));
+  P.step("replace fmla",
+         replaceWithInstr(P.current(), "for itt in _: _ #0", Fmla, Opts));
+
+  // v6: unroll the register loads (paper Fig. 11).
+  if (Cfg.UnrollLoads) {
+    P.step("unroll A load",
+           unrollLoop(P.current(), "for it in _: _ #1", Opts));
+    P.step("unroll B load",
+           unrollLoop(P.current(), "for jt in _: _ #1", Opts));
+  }
+  if (Cfg.UnrollCompute) {
+    P.step("unroll compute jtt",
+           unrollLoop(P.current(), "for jtt in _: _ #1", Opts));
+    P.step("unroll compute it",
+           unrollLoop(P.current(), "for it in _: _ #1", Opts));
+    P.step("unroll compute jt",
+           unrollLoop(P.current(), "for jt in _: _ #1", Opts));
+  }
+}
+
+/// The broadcast-FMA schedule for ISAs without a lane-indexed FMA (§III-C):
+/// the j loop stays scalar and each B element is broadcast from memory.
+void runBroadcastSchedule(Pipeline &P, const UkrConfig &Cfg,
+                          const CoreBufs &Bufs, const SchedOptions &Opts) {
+  const IsaLib &Isa = *Cfg.Isa;
+  int64_t L = Isa.lanes(Cfg.Ty);
+  const MemSpace *Reg = Isa.space(Cfg.Ty);
+  InstrPtr Vld = Isa.load(Cfg.Ty);
+  InstrPtr Vst = Isa.store(Cfg.Ty);
+  InstrPtr Fma = Isa.fmaBroadcast(Cfg.Ty);
+
+  P.step("divide_loop i",
+         divideLoop(P.current(), "for i in _: _", L, "it", "itt",
+                    /*Perfect=*/true, Opts));
+
+  // Stage C.
+  P.step("stage_mem C",
+         stageMem(P.current(), Bufs.C + "[_] += _", Bufs.C, "C_reg", Opts));
+  P.step("expand_dim C_reg itt",
+         expandDim(P.current(), "C_reg", idx(L), var("itt"), Opts));
+  P.step("expand_dim C_reg it",
+         expandDim(P.current(), "C_reg", idx(Cfg.MR / L), var("it"), Opts));
+  P.step("expand_dim C_reg j",
+         expandDim(P.current(), "C_reg", idx(Cfg.NR), var("j"), Opts));
+  P.step("lift_alloc C_reg", liftAlloc(P.current(), "C_reg", 4, Opts));
+  P.step("autofission C load",
+         autofission(P.current(), "C_reg[_] = _", /*After=*/true, 4, Opts));
+  P.step("autofission C store",
+         autofission(P.current(), Bufs.StorePattern, /*After=*/false, 4,
+                     Opts));
+  P.step("replace C load",
+         replaceWithInstr(P.current(), "for itt in _: _ #0", Vld, Opts));
+  P.step("replace C store",
+         replaceWithInstr(P.current(), "for itt in _: _ #1", Vst, Opts));
+  P.step("set_memory C_reg", setMemory(P.current(), "C_reg", Reg));
+
+  // Stage A.
+  P.step("bind_expr Ac", bindExpr(P.current(), Bufs.A + "[_]", "A_reg", Opts));
+  P.step("expand_dim A_reg itt",
+         expandDim(P.current(), "A_reg", idx(L), var("itt"), Opts));
+  P.step("expand_dim A_reg it",
+         expandDim(P.current(), "A_reg", idx(Cfg.MR / L), var("it"), Opts));
+  P.step("lift_alloc A_reg", liftAlloc(P.current(), "A_reg", 4, Opts));
+  P.step("autofission A load",
+         autofission(P.current(), "A_reg[_] = _", /*After=*/true, 3, Opts));
+  P.step("replace A load",
+         replaceWithInstr(P.current(), "for itt in _: _ #0", Vld, Opts));
+  P.step("set_memory A_reg", setMemory(P.current(), "A_reg", Reg));
+
+  // The broadcast FMA consumes Bc directly from memory.
+  P.step("replace fma",
+         replaceWithInstr(P.current(), "for itt in _: _ #0", Fma, Opts));
+
+  if (Cfg.UnrollLoads)
+    P.step("unroll A load",
+           unrollLoop(P.current(), "for it in _: _ #1", Opts));
+  if (Cfg.UnrollCompute) {
+    P.step("unroll compute it",
+           unrollLoop(P.current(), "for it in _: _ #1", Opts));
+    P.step("unroll compute j",
+           unrollLoop(P.current(), "for j in _: _ #1", Opts));
+  }
+}
+
+} // namespace
+
+Expected<UkrResult> ukr::generateUkernel(const UkrConfig &Cfg,
+                                         const SchedOptions &Opts) {
+  if (Cfg.MR <= 0 || Cfg.NR <= 0)
+    return errorf("generate_ukernel: MR/NR must be positive");
+
+  UkrResult R;
+  R.Cfg = Cfg;
+  R.Style = Cfg.effectiveStyle();
+
+  Proc Ref = Cfg.GeneralAlphaBeta ? makeUkernelRefFull(Cfg.Ty)
+                                  : makeUkernelRef(Cfg.Ty);
+  CoreBufs Bufs;
+  if (Cfg.GeneralAlphaBeta) {
+    Bufs.C = "Cb";
+    Bufs.B = "Ba";
+    Bufs.StorePattern = "Cb[_] = _ #1";
+  }
+  Pipeline P(renameProc(Ref, Cfg.kernelName()), R.Steps);
+
+  // v1: specialize MR and NR (paper Fig. 6).
+  P.step("partial_eval",
+         partialEval(P.current(), {{"MR", Cfg.MR}, {"NR", Cfg.NR}}));
+
+  switch (R.Style) {
+  case FmaStyle::Lane:
+    runLaneSchedule(P, Cfg, Bufs, Opts);
+    break;
+  case FmaStyle::Broadcast:
+    runBroadcastSchedule(P, Cfg, Bufs, Opts);
+    break;
+  case FmaStyle::Scalar:
+    // Partial evaluation plus cleanup only; the C compiler's optimizer is
+    // the vectorizer of last resort for degenerate shapes (paper's 1xNR
+    // edge kernels).
+    P.step("simplify", Expected<Proc>(simplifyProc(P.current())));
+    break;
+  case FmaStyle::Auto:
+    return errorf("effectiveStyle returned Auto");
+  }
+
+  if (P.failed())
+    return P.takeError();
+
+  R.Final = P.current();
+  // Static safety net: every access of the final kernel is provably in
+  // bounds for all KC/ldc satisfying the preconditions.
+  if (Error Err = checkBounds(R.Final))
+    return errorf("bounds check of '%s' failed: %s",
+                  Cfg.kernelName().c_str(), Err.message().c_str());
+  CodegenOptions CgOpts;
+  CgOpts.Isa = R.Style == FmaStyle::Scalar ? nullptr : Cfg.Isa;
+  auto Src = emitCModule(R.Final, CgOpts);
+  if (!Src)
+    return errorf("codegen of '%s' failed: %s",
+                  Cfg.kernelName().c_str(), Src.message().c_str());
+  R.CSource = Src.take();
+  return R;
+}

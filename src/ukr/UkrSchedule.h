@@ -1,0 +1,52 @@
+//===- UkrSchedule.h - The paper's step-by-step schedule ------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the §III pipeline over the reference spec: partial evaluation
+/// (v1), loop splitting to the vector length (v2), staging C into registers
+/// with vectorized load/store (v3), staging the A and B operands (v4),
+/// reordering and FMA replacement (v5), and load unrolling (v6). Every
+/// intermediate version is retained so tests and the quickstart example can
+/// print the same progression as the paper's Figs. 6-11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UKR_UKRSCHEDULE_H
+#define UKR_UKRSCHEDULE_H
+
+#include "exo/sched/Schedule.h"
+#include "ukr/UkrConfig.h"
+
+#include <vector>
+
+namespace ukr {
+
+/// One named intermediate version of the schedule.
+struct UkrStep {
+  std::string Label;
+  exo::Proc P;
+};
+
+/// The outcome of running the full pipeline.
+struct UkrResult {
+  UkrConfig Cfg;
+  FmaStyle Style = FmaStyle::Scalar;
+  std::vector<UkrStep> Steps;
+  exo::Proc Final;
+  /// Self-contained C translation unit for Cfg.Isa.
+  std::string CSource;
+};
+
+/// Runs the schedule for \p Cfg. Fails when the configuration is
+/// inconsistent (e.g. lane style with NR not a multiple of the vector
+/// width) or any rewrite is rejected.
+exo::Expected<UkrResult>
+generateUkernel(const UkrConfig &Cfg,
+                const exo::SchedOptions &Opts = exo::defaultSchedOptions());
+
+} // namespace ukr
+
+#endif // UKR_UKRSCHEDULE_H

@@ -1,0 +1,86 @@
+//===- UkrSpec.cpp --------------------------------------------------------===//
+
+#include "ukr/UkrSpec.h"
+
+#include "exo/ir/Builder.h"
+
+using namespace exo;
+
+Proc ukr::makeUkernelRef(ScalarKind Ty) {
+  ProcBuilder B("ukernel_ref");
+  ExprPtr MR = B.sizeParam("MR");
+  ExprPtr NR = B.sizeParam("NR");
+  ExprPtr KC = B.sizeParam("KC");
+  ExprPtr Ldc = B.sizeParam("ldc");
+  B.tensorParam("Ac", Ty, {KC, MR}, MemSpace::dram(), /*Mutable=*/false);
+  B.tensorParam("Bc", Ty, {KC, NR}, MemSpace::dram(), /*Mutable=*/false);
+  B.tensorParam("C", Ty, {NR, MR}, MemSpace::dram(), /*Mutable=*/true,
+                /*LeadStrideVar=*/"ldc");
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Ge, Ldc, MR));
+
+  ExprPtr K = B.beginFor("k", idx(0), KC);
+  ExprPtr J = B.beginFor("j", idx(0), NR);
+  ExprPtr I = B.beginFor("i", idx(0), MR);
+  B.reduce("C", {J, I}, B.readOf("Ac", {K, I}) * B.readOf("Bc", {K, J}));
+  B.endFor();
+  B.endFor();
+  B.endFor();
+  return B.build();
+}
+
+Proc ukr::makeUkernelRefFull(ScalarKind Ty) {
+  ProcBuilder B("ukernel_ref_full");
+  ExprPtr MR = B.sizeParam("MR");
+  ExprPtr NR = B.sizeParam("NR");
+  ExprPtr KC = B.sizeParam("KC");
+  ExprPtr Ldc = B.sizeParam("ldc");
+  B.tensorParam("alpha", Ty, {idx(1)}, MemSpace::dram(), /*Mutable=*/false);
+  B.tensorParam("Ac", Ty, {KC, MR}, MemSpace::dram(), /*Mutable=*/false);
+  B.tensorParam("Bc", Ty, {KC, NR}, MemSpace::dram(), /*Mutable=*/false);
+  B.tensorParam("beta", Ty, {idx(1)}, MemSpace::dram(), /*Mutable=*/false);
+  B.tensorParam("C", Ty, {NR, MR}, MemSpace::dram(), /*Mutable=*/true,
+                /*LeadStrideVar=*/"ldc");
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Ge, Ldc, MR));
+
+  // Temporary buffers for C * beta and Bc * alpha (paper Fig. 4).
+  B.alloc("Cb", Ty, {NR, MR}, MemSpace::dram());
+  B.alloc("Ba", Ty, {KC, NR}, MemSpace::dram());
+
+  // Cb = C * beta
+  {
+    ExprPtr Cj = B.beginFor("cj", idx(0), NR);
+    ExprPtr Ci = B.beginFor("ci", idx(0), MR);
+    B.assign("Cb", {Cj, Ci},
+             B.readOf("C", {Cj, Ci}) * B.readOf("beta", {idx(0)}));
+    B.endFor();
+    B.endFor();
+  }
+  // Ba = Bc * alpha
+  {
+    ExprPtr Bk = B.beginFor("bk", idx(0), KC);
+    ExprPtr Bj = B.beginFor("bj", idx(0), NR);
+    B.assign("Ba", {Bk, Bj},
+             B.readOf("Bc", {Bk, Bj}) * B.readOf("alpha", {idx(0)}));
+    B.endFor();
+    B.endFor();
+  }
+  // Cb += Ac * Ba
+  {
+    ExprPtr K = B.beginFor("k", idx(0), KC);
+    ExprPtr J = B.beginFor("j", idx(0), NR);
+    ExprPtr I = B.beginFor("i", idx(0), MR);
+    B.reduce("Cb", {J, I}, B.readOf("Ac", {K, I}) * B.readOf("Ba", {K, J}));
+    B.endFor();
+    B.endFor();
+    B.endFor();
+  }
+  // C = Cb
+  {
+    ExprPtr Cj = B.beginFor("sj", idx(0), NR);
+    ExprPtr Ci = B.beginFor("si", idx(0), MR);
+    B.assign("C", {Cj, Ci}, B.readOf("Cb", {Cj, Ci}));
+    B.endFor();
+    B.endFor();
+  }
+  return B.build();
+}

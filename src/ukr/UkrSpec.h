@@ -1,0 +1,41 @@
+//===- UkrSpec.h - Reference micro-kernel procedures ----------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unscheduled micro-kernel specifications of the paper's Figs. 4 and 5.
+/// Conventions (paper §III-A): operands arrive packed, so Ac is stored
+/// KC x MR (transposed panel, unit stride along MR) and Bc is KC x NR; the C
+/// tile is NR x MR with a runtime row stride `ldc` so the kernel updates a
+/// tile of a larger column-major matrix in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UKR_UKRSPEC_H
+#define UKR_UKRSPEC_H
+
+#include "exo/ir/Proc.h"
+
+namespace ukr {
+
+/// The simplified alpha = beta = 1 specification (paper Fig. 5):
+///
+/// \code
+///   def ukernel_ref(MR: size, NR: size, KC: size, ldc: size,
+///                   Ac: ty[KC, MR], Bc: ty[KC, NR], C: ty[NR, MR] @ ldc):
+///       for k in seq(0, KC):
+///           for j in seq(0, NR):
+///               for i in seq(0, MR):
+///                   C[j, i] += Ac[k, i] * Bc[k, j]
+/// \endcode
+exo::Proc makeUkernelRef(exo::ScalarKind Ty = exo::ScalarKind::F32);
+
+/// The general alpha/beta specification (paper Fig. 4) with the Cb and Ba
+/// staging buffers: Cb = C * beta; Ba = Bc * alpha; Cb += Ac x Ba; C = Cb.
+exo::Proc makeUkernelRefFull(exo::ScalarKind Ty = exo::ScalarKind::F32);
+
+} // namespace ukr
+
+#endif // UKR_UKRSPEC_H

@@ -1,0 +1,73 @@
+//===- ModelsTest.cpp - DNN workload tables -------------------------------===//
+
+#include "dnn/Models.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace dnn;
+
+TEST(ModelsTest, ResNetTableShape) {
+  const auto &L = resnet50Layers();
+  ASSERT_EQ(L.size(), 20u);
+  // Spot-check against the paper's Table I.
+  EXPECT_EQ(L[0].M, 12544);
+  EXPECT_EQ(L[0].N, 64);
+  EXPECT_EQ(L[0].K, 147);
+  EXPECT_EQ(L[16].Id, 17);
+  EXPECT_EQ(L[16].M, 49);
+  EXPECT_EQ(L[16].N, 512);
+  EXPECT_EQ(L[16].K, 4608);
+  // Total layer instances in one inference pass.
+  int Total = 0;
+  for (const LayerGemm &G : L)
+    Total += G.Count;
+  EXPECT_EQ(Total, 53);
+}
+
+TEST(ModelsTest, VggTableShape) {
+  const auto &L = vgg16Layers();
+  ASSERT_EQ(L.size(), 9u);
+  EXPECT_EQ(L[0].M, 50176);
+  EXPECT_EQ(L[0].K, 27);
+  EXPECT_EQ(L[8].M, 196);
+  EXPECT_EQ(L[8].N, 512);
+  EXPECT_EQ(L[8].K, 4608);
+  int Total = 0;
+  for (const LayerGemm &G : L)
+    Total += G.Count;
+  EXPECT_EQ(Total, 13);
+}
+
+TEST(ModelsTest, Im2RowDerivesResNetLayer1) {
+  // ResNet50 conv1: 7x7, stride 2, pad 3, 3 -> 64 channels on 224x224.
+  LayerGemm G = im2rowGemm(1, 3, 64, 224, 224, 7, 7, 2, 3);
+  EXPECT_EQ(G.M, 112 * 112);
+  EXPECT_EQ(G.M, resnet50Layers()[0].M);
+  EXPECT_EQ(G.N, 64);
+  EXPECT_EQ(G.K, 147);
+}
+
+TEST(ModelsTest, Im2RowDerivesVggLayer1) {
+  // VGG16 conv1_1: 3x3, stride 1, pad 1, 3 -> 64 channels on 224x224.
+  LayerGemm G = im2rowGemm(1, 3, 64, 224, 224, 3, 3, 1, 1);
+  EXPECT_EQ(G.M, 224 * 224);
+  EXPECT_EQ(G.M, vgg16Layers()[0].M);
+  EXPECT_EQ(G.K, 27);
+}
+
+TEST(ModelsTest, FlopCounts) {
+  const LayerGemm &G = resnet50Layers()[0];
+  EXPECT_DOUBLE_EQ(G.flops(), 2.0 * 12544 * 64 * 147);
+}
+
+TEST(ModelsTest, ShapesAreEdgeRich) {
+  // The point of §IV-C: most DL shapes are not multiples of the 8x12
+  // flagship tile — count them to document the premise.
+  int Ragged = 0;
+  for (const LayerGemm &G : resnet50Layers())
+    if (G.M % 8 != 0 || G.N % 12 != 0)
+      ++Ragged;
+  EXPECT_GE(Ragged, 10);
+}

@@ -1,0 +1,90 @@
+//===- AffineTest.cpp - Linearization and folding -------------------------===//
+
+#include "exo/ir/Affine.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(AffineTest, LinearizeBasics) {
+  auto L = linearize(var("i") * 4 + var("j") + idx(3));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coeff("i"), 4);
+  EXPECT_EQ(L->coeff("j"), 1);
+  EXPECT_EQ(L->coeff("k"), 0);
+  EXPECT_EQ(L->Const, 3);
+}
+
+TEST(AffineTest, LinearizeCancellation) {
+  auto L = linearize(var("i") * 4 - var("i") * 4 + idx(1));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_TRUE(L->isConstant());
+  EXPECT_EQ(L->Const, 1);
+}
+
+TEST(AffineTest, LinearizeScaledSum) {
+  // 3 * (i + 2*j) - j == 3i + 5j.
+  auto L = linearize(idx(3) * (var("i") + idx(2) * var("j")) - var("j"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coeff("i"), 3);
+  EXPECT_EQ(L->coeff("j"), 5);
+}
+
+TEST(AffineTest, NonLinearFails) {
+  EXPECT_FALSE(linearize(var("i") * var("j")).has_value());
+  EXPECT_FALSE(linearize(var("i") % var("j")).has_value());
+  EXPECT_FALSE(
+      linearize(read("A", {var("i")}, ScalarKind::F32)).has_value());
+}
+
+TEST(AffineTest, ExactDivision) {
+  auto L = linearize((var("i") * 8 + idx(4)) / 4);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coeff("i"), 2);
+  EXPECT_EQ(L->Const, 1);
+  // Inexact division is rejected.
+  EXPECT_FALSE(linearize((var("i") * 3) / 2).has_value());
+}
+
+TEST(AffineTest, NegationAndUSub) {
+  auto L = linearize(USubExpr::make(var("i") + idx(2)));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coeff("i"), -1);
+  EXPECT_EQ(L->Const, -2);
+}
+
+TEST(AffineTest, TryConstFold) {
+  EXPECT_EQ(tryConstFold(idx(6) * 7 + 1).value(), 43);
+  EXPECT_EQ(tryConstFold(idx(10) % 3).value(), 1);
+  EXPECT_FALSE(tryConstFold(var("n") + 1).has_value());
+}
+
+TEST(AffineTest, RoundTripNormalization) {
+  ExprPtr E = var("jtt") + idx(4) * var("jt");
+  ExprPtr N = normalizeIndexExpr(E);
+  auto L1 = linearize(E);
+  auto L2 = linearize(N);
+  ASSERT_TRUE(L1 && L2);
+  EXPECT_TRUE(*L1 == *L2);
+}
+
+TEST(AffineTest, FromLinearConstOnly) {
+  LinExpr L;
+  L.Const = -5;
+  auto C = tryConstFold(fromLinear(L));
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(*C, -5);
+}
+
+TEST(AffineTest, FoldInsideValueExpr) {
+  // Ac[k, 4*it + itt] with constant it/itt folds the index.
+  ExprPtr E = read("Ac", {var("k"), idx(4) * idx(1) + idx(2)},
+                   ScalarKind::F32) *
+              read("B", {idx(0)}, ScalarKind::F32);
+  ExprPtr F = foldExpr(E);
+  const auto *Mul = cast<BinOpExpr>(F);
+  const auto *R = cast<ReadExpr>(Mul->lhs());
+  auto C = tryConstFold(R->indices()[1]);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(*C, 6);
+}

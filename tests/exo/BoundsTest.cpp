@@ -1,0 +1,136 @@
+//===- BoundsTest.cpp - Static bounds checking ----------------------------===//
+
+#include "exo/check/Bounds.h"
+
+#include "exo/ir/Builder.h"
+#include "exo/isa/IsaLib.h"
+
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(BoundsTest, MicroGemmSpecIsInBounds) {
+  Error Err = checkBounds(exotest::makeMicroGemm());
+  EXPECT_FALSE(Err) << Err.message();
+}
+
+TEST(BoundsTest, OffByOneWriteCaught) {
+  // y[i + 1] over i in [0, N).
+  ProcBuilder B("oob");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.assign("y", {I + 1}, ConstExpr::makeFloat(0.0, ScalarKind::F32));
+  B.endFor();
+  Error Err = checkBounds(B.build());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err.message().find("exceed"), std::string::npos)
+      << Err.message();
+}
+
+TEST(BoundsTest, NegativeIndexCaught) {
+  ProcBuilder B("neg");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.assign("y", {I - 1}, ConstExpr::makeFloat(0.0, ScalarKind::F32));
+  B.endFor();
+  Error Err = checkBounds(B.build());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err.message().find("negative"), std::string::npos);
+}
+
+TEST(BoundsTest, TiledAccessesProveInBounds) {
+  // y[4*it + itt] with it in [0, N) and itt in [0, 4) against extent 4*N.
+  ProcBuilder B("tiled");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("y", ScalarKind::F32, {idx(4) * N}, MemSpace::dram(), true);
+  ExprPtr It = B.beginFor("it", idx(0), N);
+  ExprPtr Itt = B.beginFor("itt", idx(0), idx(4));
+  B.assign("y", {idx(4) * It + Itt},
+           ConstExpr::makeFloat(1.0, ScalarKind::F32));
+  B.endFor();
+  B.endFor();
+  Error Err = checkBounds(B.build());
+  EXPECT_FALSE(Err) << Err.message();
+}
+
+TEST(BoundsTest, TiledOverrunCaught) {
+  // Same but the buffer is one element short: extent 4*N - 1.
+  ProcBuilder B("tiled_bad");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("y", ScalarKind::F32, {idx(4) * N - 1}, MemSpace::dram(),
+                true);
+  ExprPtr It = B.beginFor("it", idx(0), N);
+  ExprPtr Itt = B.beginFor("itt", idx(0), idx(4));
+  B.assign("y", {idx(4) * It + Itt},
+           ConstExpr::makeFloat(1.0, ScalarKind::F32));
+  B.endFor();
+  B.endFor();
+  EXPECT_TRUE(checkBounds(B.build()));
+}
+
+TEST(BoundsTest, InstructionSemanticsAreInBounds) {
+  // Every built-in instruction's semantic proc passes the checker,
+  // including the lane FMA whose `l` is bounded by its preconditions.
+  for (const IsaLib *Isa : allIsas()) {
+    for (ScalarKind Ty :
+         {ScalarKind::F16, ScalarKind::F32, ScalarKind::F64}) {
+      if (!Isa->supports(Ty))
+        continue;
+      for (InstrPtr I : {Isa->load(Ty), Isa->store(Ty), Isa->fmaLane(Ty),
+                         Isa->fmaBroadcast(Ty), Isa->broadcast(Ty)}) {
+        if (!I)
+          continue;
+        Error Err = checkBounds(I->semantics());
+        EXPECT_FALSE(Err) << I->name() << ": " << Err.message();
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, UnboundedIndexParamCaught) {
+  // An instruction-like proc whose index param has no precondition bounds:
+  // rhs[l] cannot be proven in range.
+  ProcBuilder B("unbounded");
+  B.tensorParam("rhs", ScalarKind::F32, {idx(4)}, MemSpace::dram(), false);
+  B.tensorParam("out", ScalarKind::F32, {idx(1)}, MemSpace::dram(), true);
+  ExprPtr L = B.indexParam("l");
+  B.assign("out", {idx(0)}, B.readOf("rhs", {L}));
+  EXPECT_TRUE(checkBounds(B.build()));
+}
+
+TEST(BoundsTest, WindowRangesChecked) {
+  const IsaLib &Isa = portableIsa();
+  const MemSpace *Reg = Isa.space(ScalarKind::F32);
+  // Window [2, 6) into a 4-element buffer.
+  ProcBuilder B("badwin");
+  B.tensorParam("src", ScalarKind::F32, {idx(4)}, MemSpace::dram(), false);
+  B.alloc("r", ScalarKind::F32, {idx(4)}, Reg);
+  B.call(Isa.load(ScalarKind::F32),
+         {CallArg::window("r", {WindowDim::interval(idx(0), idx(4))}),
+          CallArg::window("src", {WindowDim::interval(idx(2), idx(4))})});
+  Error Err = checkBounds(B.build());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err.message().find("exceed"), std::string::npos);
+}
+
+TEST(BoundsTest, LanePreconditionViolationCaught) {
+  const IsaLib &Isa = portableIsa();
+  const MemSpace *Reg = Isa.space(ScalarKind::F32);
+  ProcBuilder B("badlane");
+  B.alloc("d", ScalarKind::F32, {idx(4)}, Reg);
+  B.alloc("a", ScalarKind::F32, {idx(4)}, Reg);
+  B.alloc("b", ScalarKind::F32, {idx(4)}, Reg);
+  // Lane 5 on a 4-lane FMA.
+  B.call(Isa.fmaLane(ScalarKind::F32),
+         {CallArg::window("d", {WindowDim::interval(idx(0), idx(4))}),
+          CallArg::window("a", {WindowDim::interval(idx(0), idx(4))}),
+          CallArg::window("b", {WindowDim::interval(idx(0), idx(4))}),
+          CallArg::scalar(idx(5))});
+  Error Err = checkBounds(B.build());
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err.message().find("lane"), std::string::npos) << Err.message();
+}

@@ -1,0 +1,108 @@
+//===- CodegenTest.cpp - C emission ---------------------------------------===//
+
+#include "exo/codegen/CEmit.h"
+
+#include "exo/ir/Builder.h"
+#include "exo/sched/Schedule.h"
+
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using exotest::makeMicroGemm;
+
+TEST(CodegenTest, ScalarLoopNest) {
+  Proc P = partialEval(makeMicroGemm(), {{"MR", 2}, {"NR", 3}}).take();
+  CodegenOptions Opts;
+  auto Src = emitCFunction(P, Opts);
+  ASSERT_TRUE(static_cast<bool>(Src)) << Src.message();
+  EXPECT_NE(Src->find("void ukernel_ref(int64_t KC, int64_t ldc, "
+                      "const float *restrict Ac, const float *restrict Bc, "
+                      "float *restrict C)"),
+            std::string::npos)
+      << *Src;
+  // C is strided by ldc on dim 0, Ac densely by 2.
+  EXPECT_NE(Src->find("C[(j) * ldc + i] += Ac[(k) * 2 + i] * "
+                      "Bc[(k) * 3 + j];"),
+            std::string::npos)
+      << *Src;
+}
+
+TEST(CodegenTest, SignatureHelperAgrees) {
+  Proc P = partialEval(makeMicroGemm(), {{"MR", 2}, {"NR", 3}}).take();
+  auto Src = emitCFunction(P, CodegenOptions());
+  ASSERT_TRUE(static_cast<bool>(Src));
+  EXPECT_NE(Src->find(cSignature(P)), std::string::npos);
+}
+
+TEST(CodegenTest, ModuleHasPrologue) {
+  Proc P = partialEval(makeMicroGemm(), {{"MR", 2}, {"NR", 3}}).take();
+  CodegenOptions Opts;
+  Opts.Isa = &portableIsa();
+  auto Src = emitCModule(P, Opts);
+  ASSERT_TRUE(static_cast<bool>(Src));
+  EXPECT_NE(Src->find("#include <stdint.h>"), std::string::npos);
+  EXPECT_NE(Src->find("typedef float exo_v4f"), std::string::npos);
+}
+
+TEST(CodegenTest, RegisterAllocLowering) {
+  // A register alloc of shape [3, 4] in a 4-lane space lowers to a 1-D
+  // array of vector registers.
+  ProcBuilder B("regs");
+  const MemSpace *Reg = portableIsa().space(ScalarKind::F32);
+  B.tensorParam("x", ScalarKind::F32, {idx(4)}, MemSpace::dram(), true);
+  B.alloc("r", ScalarKind::F32, {idx(3), idx(4)}, Reg);
+  ExprPtr J = B.beginFor("j", idx(0), idx(3));
+  ExprPtr I = B.beginFor("i", idx(0), idx(4));
+  B.assign("r", {J, I}, B.readOf("x", {I}));
+  B.endFor();
+  B.endFor();
+  Proc P = B.build();
+  auto Src = emitCFunction(P, CodegenOptions());
+  ASSERT_TRUE(static_cast<bool>(Src)) << Src.message();
+  EXPECT_NE(Src->find("exo_v4f r[3];"), std::string::npos) << *Src;
+  EXPECT_NE(Src->find("r[j][i] = x[i];"), std::string::npos) << *Src;
+}
+
+TEST(CodegenTest, RegisterLaneWidthMismatchRejected) {
+  ProcBuilder B("bad");
+  const MemSpace *Reg = portableIsa().space(ScalarKind::F32);
+  B.alloc("r", ScalarKind::F32, {idx(3), idx(8)}, Reg);
+  Proc P = B.build();
+  auto Src = emitCFunction(P, CodegenOptions());
+  ASSERT_FALSE(static_cast<bool>(Src));
+  EXPECT_NE(Src.message().find("vector width"), std::string::npos);
+}
+
+TEST(CodegenTest, ScalarAllocAndVla) {
+  ProcBuilder B("allocs");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  B.alloc("acc", ScalarKind::F32, {}, MemSpace::dram());
+  B.alloc("tmp", ScalarKind::F32, {N, idx(2)}, MemSpace::dram());
+  B.assign("acc", {}, ConstExpr::makeFloat(0.0, ScalarKind::F32));
+  B.assign("tmp", {idx(0), idx(0)}, B.readOf("acc", {}));
+  Proc P = B.build();
+  auto Src = emitCFunction(P, CodegenOptions());
+  ASSERT_TRUE(static_cast<bool>(Src)) << Src.message();
+  EXPECT_NE(Src->find("float acc;"), std::string::npos) << *Src;
+  EXPECT_NE(Src->find("float tmp[2 * N];"), std::string::npos) << *Src;
+  EXPECT_NE(Src->find("acc = 0;"), std::string::npos) << *Src;
+}
+
+TEST(CodegenTest, PreconditionsEmittedAsComments) {
+  Proc P = makeMicroGemm();
+  auto Src = emitCFunction(P, CodegenOptions());
+  ASSERT_TRUE(static_cast<bool>(Src));
+  EXPECT_NE(Src->find("// requires: ldc >= MR"), std::string::npos) << *Src;
+}
+
+TEST(CodegenTest, StaticFunctionOption) {
+  Proc P = partialEval(makeMicroGemm(), {{"MR", 2}, {"NR", 3}}).take();
+  CodegenOptions Opts;
+  Opts.StaticFn = true;
+  auto Src = emitCFunction(P, Opts);
+  ASSERT_TRUE(static_cast<bool>(Src));
+  EXPECT_EQ(Src->rfind("static ", 0), 0u);
+}

@@ -1,0 +1,163 @@
+//===- ExprTest.cpp - Expression and statement IR -------------------------===//
+
+#include "exo/ir/Builder.h"
+#include "exo/ir/Equal.h"
+#include "exo/ir/Rewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(ExprTest, ConstVarRead) {
+  ExprPtr C = idx(42);
+  EXPECT_EQ(cast<ConstExpr>(C)->intValue(), 42);
+  EXPECT_EQ(C->type(), ScalarKind::Index);
+
+  ExprPtr V = var("i");
+  EXPECT_EQ(cast<VarExpr>(V)->name(), "i");
+
+  ExprPtr R = read("A", {V, C}, ScalarKind::F32);
+  EXPECT_EQ(cast<ReadExpr>(R)->buffer(), "A");
+  EXPECT_EQ(cast<ReadExpr>(R)->indices().size(), 2u);
+  EXPECT_EQ(R->type(), ScalarKind::F32);
+}
+
+TEST(ExprTest, OperatorsBuildBinOps) {
+  ExprPtr E = var("i") * 4 + var("j");
+  const auto *Add = dyn_cast<BinOpExpr>(E);
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->op(), BinOpExpr::Op::Add);
+  const auto *Mul = dyn_cast<BinOpExpr>(Add->lhs());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->op(), BinOpExpr::Op::Mul);
+}
+
+TEST(ExprTest, CastHelpers) {
+  ExprPtr V = var("x");
+  EXPECT_TRUE(isa<VarExpr>(V));
+  EXPECT_FALSE(isa<ConstExpr>(V));
+  EXPECT_EQ(dyn_cast<ConstExpr>(V), nullptr);
+  EXPECT_NE(dyn_cast<VarExpr>(V), nullptr);
+}
+
+TEST(EqualTest, StructuralEquality) {
+  ExprPtr A = var("i") * 4 + idx(3);
+  ExprPtr B = var("i") * 4 + idx(3);
+  ExprPtr C = var("i") * 4 + idx(2);
+  EXPECT_TRUE(exprEqual(A, B));
+  EXPECT_FALSE(exprEqual(A, C));
+  EXPECT_FALSE(exprEqual(A, var("i")));
+}
+
+TEST(EqualTest, EquivalenceModuloAffineForm) {
+  ExprPtr A = var("jtt") + idx(4) * var("jt");
+  ExprPtr B = var("jt") * 4 + var("jtt");
+  EXPECT_FALSE(exprEqual(A, B));
+  EXPECT_TRUE(exprEquiv(A, B));
+  EXPECT_FALSE(exprEquiv(A, var("jt") * 4));
+}
+
+TEST(BuilderTest, BuildsLoopNest) {
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.assign("x", {I}, ConstExpr::makeFloat(1.0, ScalarKind::F32));
+  B.endFor();
+  Proc P = B.build();
+
+  ASSERT_EQ(P.body().size(), 1u);
+  const auto *F = dyn_castS<ForStmt>(P.body()[0]);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->loopVar(), "i");
+  ASSERT_EQ(F->body().size(), 1u);
+  EXPECT_TRUE(isaS<AssignStmt>(F->body()[0]));
+}
+
+TEST(BuilderTest, FindBuffer) {
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.alloc("t", ScalarKind::F64, {idx(4)}, MemSpace::dram());
+  B.assign("t", {idx(0)}, ConstExpr::makeFloat(0.0, ScalarKind::F64));
+  B.endFor();
+  Proc P = B.build();
+
+  auto X = P.findBuffer("x");
+  ASSERT_TRUE(X.has_value());
+  EXPECT_TRUE(X->IsParam);
+  EXPECT_TRUE(X->Mutable);
+
+  auto T = P.findBuffer("t");
+  ASSERT_TRUE(T.has_value());
+  EXPECT_FALSE(T->IsParam);
+  EXPECT_EQ(T->Ty, ScalarKind::F64);
+
+  EXPECT_FALSE(P.findBuffer("nope").has_value());
+  EXPECT_FALSE(P.findBuffer("N").has_value()) << "sizes are not buffers";
+}
+
+TEST(RewriteTest, SubstVarsRespectsShadowing) {
+  // for i in (0, N): x[i] = 0  — substituting i must not touch the bound i.
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.assign("x", {I}, ConstExpr::makeFloat(0.0, ScalarKind::F32));
+  B.endFor();
+  Proc P = B.build();
+
+  auto Out = substVarsBody(P.body(), {{"i", idx(7)}});
+  const auto *F = castS<ForStmt>(Out[0]);
+  const auto *A = castS<AssignStmt>(F->body()[0]);
+  // The inner use of i is bound by the loop, not substituted.
+  EXPECT_TRUE(exprEqual(A->indices()[0], var("i")));
+}
+
+TEST(RewriteTest, RenameBuffer) {
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), false);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.assign("x", {I}, B.readOf("y", {I}));
+  B.endFor();
+  Proc P = B.build();
+
+  auto Out = renameBuffer(P.body(), "y", "z");
+  const auto *F = castS<ForStmt>(Out[0]);
+  const auto *A = castS<AssignStmt>(F->body()[0]);
+  EXPECT_EQ(cast<ReadExpr>(A->rhs())->buffer(), "z");
+  EXPECT_EQ(A->buffer(), "x");
+}
+
+TEST(RewriteTest, CollectBufferUses) {
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), false);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.reduce("x", {I}, B.readOf("y", {I}));
+  B.endFor();
+  Proc P = B.build();
+
+  auto Uses = collectBufferUses(P.body());
+  EXPECT_TRUE(Uses.at("x").Written);
+  EXPECT_TRUE(Uses.at("x").Read) << "a reduction reads its destination";
+  EXPECT_TRUE(Uses.at("y").Read);
+  EXPECT_FALSE(Uses.at("y").Written);
+}
+
+TEST(RewriteTest, BodyMentionsVar) {
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.assign("x", {I}, ConstExpr::makeFloat(0.0, ScalarKind::F32));
+  B.endFor();
+  Proc P = B.build();
+  EXPECT_TRUE(bodyMentionsVar(P.body(), "i"));
+  EXPECT_TRUE(bodyMentionsVar(P.body(), "N"));
+  EXPECT_FALSE(bodyMentionsVar(P.body(), "q"));
+}

@@ -1,0 +1,115 @@
+//===- ExtraXformsTest.cpp - cut_loop, fuse_loops, remove_loop ------------===//
+
+#include "exo/ir/Printer.h"
+#include "exo/pattern/Cursor.h"
+#include "exo/sched/Schedule.h"
+
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using exotest::makeMicroGemm;
+
+namespace {
+
+Proc expectOk(Expected<Proc> P, const char *What) {
+  EXPECT_TRUE(static_cast<bool>(P)) << What << ": " << P.message();
+  return P ? P.take() : Proc();
+}
+
+Proc evaled(int64_t MR = 8, int64_t NR = 12) {
+  return expectOk(partialEval(makeMicroGemm(), {{"MR", MR}, {"NR", NR}}),
+                  "partial_eval");
+}
+
+} // namespace
+
+TEST(CutLoopTest, SplitsRange) {
+  Proc P = expectOk(cutLoop(evaled(8, 10), "for j in _: _", 8), "cut");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("for j in seq(0, 8)"), std::string::npos) << S;
+  EXPECT_NE(S.find("for j in seq(8, 10)"), std::string::npos) << S;
+}
+
+TEST(CutLoopTest, EdgesOfTheRange) {
+  // Cutting at 0 leaves an empty prefix loop; at N an empty tail loop.
+  Proc P0 = expectOk(cutLoop(evaled(), "for j in _: _", 0), "cut0");
+  EXPECT_NE(printProc(P0).find("for j in seq(0, 0)"), std::string::npos);
+  Proc PN = expectOk(cutLoop(evaled(), "for j in _: _", 12), "cutN");
+  EXPECT_NE(printProc(PN).find("for j in seq(12, 12)"), std::string::npos);
+}
+
+TEST(CutLoopTest, OutOfRangeRejected) {
+  EXPECT_FALSE(static_cast<bool>(cutLoop(evaled(), "for j in _: _", 13)));
+  EXPECT_FALSE(static_cast<bool>(cutLoop(evaled(), "for j in _: _", -1)));
+  EXPECT_FALSE(static_cast<bool>(cutLoop(evaled(), "for k in _: _", 1)))
+      << "symbolic bounds cannot be cut";
+}
+
+TEST(FuseLoopsTest, CutThenFuseRejectedOnBoundMismatch) {
+  Proc P = expectOk(cutLoop(evaled(8, 12), "for j in _: _", 4), "cut");
+  auto Q = fuseLoops(P, "for j in _: _");
+  EXPECT_FALSE(static_cast<bool>(Q)) << "bounds differ after a cut";
+}
+
+TEST(FuseLoopsTest, FusesIdenticalSiblings) {
+  // Build: for a in (0,N): x[a] = 1 ; for b in (0,N): y[b] = x[b]
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr A = B.beginFor("a", idx(0), N);
+  B.assign("x", {A}, ConstExpr::makeFloat(1.0, ScalarKind::F32));
+  B.endFor();
+  ExprPtr Bv = B.beginFor("b", idx(0), N);
+  B.assign("y", {Bv}, B.readOf("x", {Bv}));
+  B.endFor();
+  Proc P = B.build();
+
+  Proc Q = expectOk(fuseLoops(P, "for a in _: _"), "fuse");
+  ASSERT_EQ(Q.body().size(), 1u);
+  const auto *F = castS<ForStmt>(Q.body()[0]);
+  EXPECT_EQ(F->loopVar(), "a");
+  ASSERT_EQ(F->body().size(), 2u);
+  // The second loop's variable was renamed.
+  std::string S = printProc(Q);
+  EXPECT_NE(S.find("y[a] = x[a]"), std::string::npos) << S;
+}
+
+TEST(FuseLoopsTest, NoSiblingRejected) {
+  EXPECT_FALSE(static_cast<bool>(fuseLoops(evaled(), "for i in _: _")));
+}
+
+TEST(RemoveLoopTest, DropsInvariantLoop) {
+  // for k: x[0] = 1 — the body ignores k; removing is safe since KC >= 1.
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr K = B.beginFor("k", idx(0), N);
+  B.assign("x", {idx(0)}, ConstExpr::makeFloat(1.0, ScalarKind::F32));
+  B.endFor();
+  Proc P = B.build();
+
+  Proc Q = expectOk(removeLoop(P, "for k in _: _"), "remove");
+  ASSERT_EQ(Q.body().size(), 1u);
+  EXPECT_TRUE(isaS<AssignStmt>(Q.body()[0]));
+}
+
+TEST(RemoveLoopTest, DependentBodyRejected) {
+  auto Q = removeLoop(evaled(), "for i in _: _");
+  ASSERT_FALSE(static_cast<bool>(Q));
+  EXPECT_NE(Q.message().find("loop variable"), std::string::npos);
+}
+
+TEST(RemoveLoopTest, PossiblyZeroTripRejected) {
+  // for k in seq(0, N - 1): the trip count can be zero when N == 1.
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  B.beginFor("k", idx(0), N - 1);
+  B.assign("x", {idx(0)}, ConstExpr::makeFloat(1.0, ScalarKind::F32));
+  B.endFor();
+  Proc P = B.build();
+  EXPECT_FALSE(static_cast<bool>(removeLoop(P, "for k in _: _")));
+}

@@ -1,0 +1,50 @@
+//===- JitTest.cpp - Runtime compilation ----------------------------------===//
+
+#include "exo/jit/Jit.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(JitTest, CompilerAvailable) {
+  // The repository's tests require a working system C compiler (the JIT is
+  // how Exo-generated C runs at all).
+  EXPECT_TRUE(jitAvailable());
+}
+
+TEST(JitTest, CompileAndCall) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  auto K = jitCompile("int exo_test_add(int a, int b) { return a + b; }\n",
+                      "exo_test_add", "");
+  ASSERT_TRUE(static_cast<bool>(K)) << K.message();
+  auto Fn = (*K)->as<int (*)(int, int)>();
+  EXPECT_EQ(Fn(2, 40), 42);
+}
+
+TEST(JitTest, CacheReturnsSameKernel) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  const char *Src = "int exo_test_cached(void) { return 7; }\n";
+  auto K1 = jitCompile(Src, "exo_test_cached", "");
+  auto K2 = jitCompile(Src, "exo_test_cached", "");
+  ASSERT_TRUE(static_cast<bool>(K1));
+  ASSERT_TRUE(static_cast<bool>(K2));
+  EXPECT_EQ(K1->get(), K2->get());
+}
+
+TEST(JitTest, CompileErrorReported) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  auto K = jitCompile("this is not C\n", "nope", "");
+  ASSERT_FALSE(static_cast<bool>(K));
+  EXPECT_NE(K.message().find("JIT compilation failed"), std::string::npos);
+}
+
+TEST(JitTest, MissingSymbolReported) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  auto K = jitCompile("int present(void) { return 1; }\n", "absent", "");
+  ASSERT_FALSE(static_cast<bool>(K));
+  EXPECT_NE(K.message().find("absent"), std::string::npos);
+}

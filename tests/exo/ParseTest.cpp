@@ -1,0 +1,136 @@
+//===- ParseTest.cpp - Surface-syntax parser and round-trips --------------===//
+
+#include "exo/front/Parse.h"
+
+#include "exo/interp/Interp.h"
+#include "exo/ir/Printer.h"
+
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(ParseTest, MinimalProc) {
+  auto P = parseProc("def p(N: size, x: f32[N] @ DRAM):\n"
+                     "    for i in seq(0, N):\n"
+                     "        x[i] = 0\n");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.message();
+  EXPECT_EQ(P->name(), "p");
+  ASSERT_EQ(P->params().size(), 2u);
+  EXPECT_EQ(P->params()[0].PKind, Param::Kind::Size);
+  EXPECT_EQ(P->params()[1].PKind, Param::Kind::Tensor);
+  ASSERT_EQ(P->body().size(), 1u);
+  EXPECT_TRUE(isaS<ForStmt>(P->body()[0]));
+}
+
+TEST(ParseTest, ExpressionsAndPrecedence) {
+  auto E = parseIndexExpr("4 * jt + jtt");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(printExpr(*E), "4 * jt + jtt");
+
+  auto E2 = parseIndexExpr("(a + b) * 2 - c % 3");
+  ASSERT_TRUE(static_cast<bool>(E2));
+  EXPECT_EQ(printExpr(*E2), "(a + b) * 2 - c % 3");
+}
+
+TEST(ParseTest, AssertsAndAllocs) {
+  auto P = parseProc("def p(N: size, y: f32[N] @ DRAM):\n"
+                     "    assert N >= 4\n"
+                     "    acc: f32 @ DRAM\n"
+                     "    acc = 0\n"
+                     "    for i in seq(0, N):\n"
+                     "        acc += y[i]\n");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.message();
+  ASSERT_EQ(P->preconds().size(), 1u);
+  ASSERT_EQ(P->body().size(), 3u);
+  EXPECT_TRUE(isaS<AllocStmt>(P->body()[0]));
+  const auto *A = dyn_castS<AssignStmt>(P->body()[1]);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(A->indices().empty());
+}
+
+TEST(ParseTest, InstructionCalls) {
+  auto P = parseProc(
+      "def p(src: f32[4] @ DRAM, dst: f32[4] @ DRAM):\n"
+      "    r: f32[4] @ Vec4F\n"
+      "    vec_ld_4xf32(r[0:4], src[0:4])\n"
+      "    vec_st_4xf32(dst[0:4], r[0:4])\n",
+      isaInstrResolver());
+  ASSERT_TRUE(static_cast<bool>(P)) << P.message();
+  ASSERT_EQ(P->body().size(), 3u);
+  const auto *C = dyn_castS<CallStmt>(P->body()[1]);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->callee()->name(), "vec_ld_4xf32");
+  ASSERT_EQ(C->args().size(), 2u);
+  EXPECT_TRUE(C->args()[0].isWindow());
+  EXPECT_FALSE(C->args()[0].Dims[0].isPoint());
+}
+
+TEST(ParseTest, UnknownInstructionDiagnosed) {
+  auto P = parseProc("def p(x: f32[4] @ DRAM):\n"
+                     "    frob_4xf32(x[0:4])\n",
+                     isaInstrResolver());
+  ASSERT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.message().find("frob_4xf32"), std::string::npos);
+}
+
+TEST(ParseTest, SyntaxErrorsCarryLineNumbers) {
+  auto P = parseProc("def p(N: size, x: f32[N] @ DRAM):\n"
+                     "    for i in seq(0 N):\n"
+                     "        x[i] = 0\n");
+  ASSERT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.message().find("line 2"), std::string::npos) << P.message();
+}
+
+TEST(ParseTest, BadIndentationDiagnosed) {
+  auto P = parseProc("def p(N: size, x: f32[N] @ DRAM):\n"
+                     "    for i in seq(0, N):\n"
+                     "            x[i] = 0\n");
+  ASSERT_FALSE(static_cast<bool>(P));
+}
+
+TEST(ParseTest, RoundTripMicroGemm) {
+  Proc Orig = exotest::makeMicroGemm();
+  std::string Printed = printProc(Orig);
+  auto Reparsed = parseProc(Printed);
+  ASSERT_TRUE(static_cast<bool>(Reparsed)) << Reparsed.message();
+  // print(parse(print(p))) == print(p).
+  EXPECT_EQ(printProc(*Reparsed), Printed);
+}
+
+TEST(ParseTest, RoundTripPreservesSemantics) {
+  Proc Orig = exotest::makeMicroGemm();
+  auto Reparsed = parseProc(printProc(Orig));
+  ASSERT_TRUE(static_cast<bool>(Reparsed));
+
+  // Run both on the same inputs (the reparsed proc lost the lead-stride
+  // annotation, so use a dense C, i.e. ldc == MR).
+  const int64_t MR = 3, NR = 2, KC = 4;
+  std::vector<double> Ac(KC * MR), Bc(KC * NR), C1(NR * MR, 1.0), C2;
+  for (size_t I = 0; I != Ac.size(); ++I)
+    Ac[I] = static_cast<double>(I) - 3;
+  for (size_t I = 0; I != Bc.size(); ++I)
+    Bc[I] = static_cast<double>(I % 3);
+  C2 = C1;
+  std::map<std::string, int64_t> Scalars{
+      {"MR", MR}, {"NR", NR}, {"KC", KC}, {"ldc", MR}};
+  ASSERT_FALSE(interpret(Orig, Scalars,
+                         {{"Ac", {Ac.data(), {KC, MR}}},
+                          {"Bc", {Bc.data(), {KC, NR}}},
+                          {"C", {C1.data(), {NR, MR}}}}));
+  ASSERT_FALSE(interpret(*Reparsed, Scalars,
+                         {{"Ac", {Ac.data(), {KC, MR}}},
+                          {"Bc", {Bc.data(), {KC, NR}}},
+                          {"C", {C2.data(), {NR, MR}}}}));
+  EXPECT_EQ(C1, C2);
+}
+
+TEST(ParseTest, FloatLiteralAdoptsBufferType) {
+  auto P = parseProc("def p(x: f64[2] @ DRAM):\n"
+                     "    x[0] = 2.5\n");
+  ASSERT_TRUE(static_cast<bool>(P)) << P.message();
+  const auto *A = castS<AssignStmt>(P->body()[0]);
+  EXPECT_EQ(A->rhs()->type(), ScalarKind::F64);
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(A->rhs())->floatValue(), 2.5);
+}

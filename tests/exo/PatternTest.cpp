@@ -1,0 +1,158 @@
+//===- PatternTest.cpp - Schedule pattern language ------------------------===//
+
+#include "exo/ir/Builder.h"
+#include "exo/pattern/Cursor.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+namespace {
+
+/// for k: { for i: A[i] = x[i] }; for i: x[i] += A[i]
+Proc sampleProc() {
+  ProcBuilder B("sample");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr K = B.beginFor("k", idx(0), N);
+  B.alloc("A", ScalarKind::F32, {N}, MemSpace::dram());
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.assign("A", {I}, B.readOf("x", {I}));
+  B.endFor();
+  B.endFor();
+  ExprPtr I2 = B.beginFor("i", idx(0), N);
+  B.reduce("x", {I2}, B.readOf("A", {I2}));
+  B.endFor();
+  return B.build();
+}
+
+} // namespace
+
+TEST(PatternParseTest, LoopPatterns) {
+  auto P = parseStmtPattern("for itt in _: _");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->K, StmtPattern::Kind::For);
+  EXPECT_EQ(P->LoopVar, "itt");
+  EXPECT_EQ(P->Occurrence, 0);
+
+  auto W = parseStmtPattern("for _ in _: _ #2");
+  ASSERT_TRUE(static_cast<bool>(W));
+  EXPECT_EQ(W->LoopVar, "");
+  EXPECT_EQ(W->Occurrence, 2);
+
+  EXPECT_FALSE(static_cast<bool>(parseStmtPattern("for in _: _")));
+  EXPECT_FALSE(static_cast<bool>(parseStmtPattern("for i on _: _")));
+}
+
+TEST(PatternParseTest, AssignPatterns) {
+  auto P = parseStmtPattern("C[_] += _");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->K, StmtPattern::Kind::Assign);
+  EXPECT_EQ(P->Buf, "C");
+  EXPECT_TRUE(P->IsReduce);
+
+  auto Q = parseStmtPattern("C_reg[_] = _");
+  ASSERT_TRUE(static_cast<bool>(Q));
+  EXPECT_FALSE(Q->IsReduce);
+  EXPECT_EQ(Q->Buf, "C_reg");
+
+  auto Any = parseStmtPattern("_ = _");
+  ASSERT_TRUE(static_cast<bool>(Any));
+  EXPECT_EQ(Any->Buf, "");
+
+  EXPECT_FALSE(static_cast<bool>(parseStmtPattern("C[_] = C[_]")));
+}
+
+TEST(PatternParseTest, AllocPattern) {
+  auto P = parseStmtPattern("C_reg: _");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->K, StmtPattern::Kind::Alloc);
+  EXPECT_EQ(P->AllocName, "C_reg");
+}
+
+TEST(PatternParseTest, ExprPattern) {
+  auto P = parseExprPattern("Ac[_]");
+  ASSERT_TRUE(static_cast<bool>(P));
+  EXPECT_EQ(P->Buf, "Ac");
+  EXPECT_FALSE(static_cast<bool>(parseExprPattern("Ac")));
+}
+
+TEST(CursorTest, FindLoops) {
+  Proc P = sampleProc();
+  auto K = findStmt(P, "for k in _: _");
+  ASSERT_TRUE(static_cast<bool>(K));
+  EXPECT_TRUE(isaS<ForStmt>(stmtAt(P, *K)));
+
+  // Two loops named i, in pre-order.
+  auto I0 = findStmt(P, "for i in _: _ #0");
+  auto I1 = findStmt(P, "for i in _: _ #1");
+  ASSERT_TRUE(static_cast<bool>(I0));
+  ASSERT_TRUE(static_cast<bool>(I1));
+  EXPECT_NE(I0->Steps, I1->Steps);
+  EXPECT_EQ(I0->Steps.size(), 2u) << "first i is nested under k";
+  EXPECT_EQ(I1->Steps.size(), 1u);
+
+  EXPECT_FALSE(static_cast<bool>(findStmt(P, "for i in _: _ #2")));
+  EXPECT_FALSE(static_cast<bool>(findStmt(P, "for z in _: _")));
+}
+
+TEST(CursorTest, FindAssignsAndAllocs) {
+  Proc P = sampleProc();
+  auto A = findStmt(P, "A[_] = _");
+  ASSERT_TRUE(static_cast<bool>(A));
+  auto R = findStmt(P, "x[_] += _");
+  ASSERT_TRUE(static_cast<bool>(R));
+  auto Al = findStmt(P, "A: _");
+  ASSERT_TRUE(static_cast<bool>(Al));
+  EXPECT_TRUE(isaS<AllocStmt>(stmtAt(P, *Al)));
+  // Reduce pattern does not match plain assign.
+  EXPECT_FALSE(static_cast<bool>(findStmt(P, "A[_] += _")));
+}
+
+TEST(CursorTest, FindExprOccurrences) {
+  Proc P = sampleProc();
+  // x is *read* only in the first nest (`A[i] = x[i]`); the reduction's
+  // left-hand side is a write, not a read expression.
+  auto X0 = findExpr(P, "x[_]");
+  ASSERT_TRUE(static_cast<bool>(X0));
+  EXPECT_TRUE(isa<ReadExpr>(X0->E));
+  EXPECT_EQ(X0->Path.Steps.size(), 3u) << "read is inside for k / for i";
+  EXPECT_FALSE(static_cast<bool>(findExpr(P, "x[_] #1")));
+  // A is read on the rhs of the second nest only.
+  auto A0 = findExpr(P, "A[_]");
+  ASSERT_TRUE(static_cast<bool>(A0));
+  EXPECT_EQ(A0->Path.Steps.size(), 2u);
+  EXPECT_FALSE(static_cast<bool>(findExpr(P, "A[_] #1")));
+}
+
+TEST(CursorTest, SpliceReplacesAndRemoves) {
+  Proc P = sampleProc();
+  auto A = findStmt(P, "A[_] = _");
+  ASSERT_TRUE(static_cast<bool>(A));
+  // Deleting the statement shrinks the inner loop body to zero.
+  Proc Del = spliceAt(P, *A, {});
+  auto I0 = findStmt(Del, "for i in _: _ #0");
+  ASSERT_TRUE(static_cast<bool>(I0));
+  EXPECT_TRUE(castS<ForStmt>(stmtAt(Del, *I0))->body().empty());
+}
+
+TEST(CursorTest, InsertBeforeAndAfter) {
+  Proc P = sampleProc();
+  auto A = findStmt(P, "A[_] = _");
+  ASSERT_TRUE(static_cast<bool>(A));
+  StmtPtr New = AllocStmt::make("tmp", ScalarKind::F32, {}, MemSpace::dram());
+  Proc Ins = insertAt(P, *A, {New}, /*Before=*/true);
+  auto Tmp = findStmt(Ins, "tmp: _");
+  ASSERT_TRUE(static_cast<bool>(Tmp));
+  EXPECT_EQ(Tmp->Steps, A->Steps) << "inserted before takes the old index";
+}
+
+TEST(CursorTest, EnclosingLoops) {
+  Proc P = sampleProc();
+  auto A = findStmt(P, "A[_] = _");
+  ASSERT_TRUE(static_cast<bool>(A));
+  auto Loops = enclosingLoops(P, *A);
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_EQ(Loops[0]->loopVar(), "k");
+  EXPECT_EQ(Loops[1]->loopVar(), "i");
+}

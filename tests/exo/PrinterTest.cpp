@@ -1,0 +1,60 @@
+//===- PrinterTest.cpp - Exo-syntax pretty printing -----------------------===//
+
+#include "exo/ir/Builder.h"
+#include "exo/ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(PrinterTest, Expressions) {
+  EXPECT_EQ(printExpr(var("i") * 4 + var("j")), "4 * i + j");
+  EXPECT_EQ(printExpr(idx(0)), "0");
+  EXPECT_EQ(printExpr(read("A", {var("k"), var("i")}, ScalarKind::F32)),
+            "A[k, i]");
+}
+
+TEST(PrinterTest, NormalizesAffineForm) {
+  // jtt + 4*jt prints in canonical variable order.
+  EXPECT_EQ(printExpr(var("jtt") + idx(4) * var("jt")), "4 * jt + jtt");
+  EXPECT_EQ(printExpr(var("jt") * 4 + var("jtt")), "4 * jt + jtt");
+}
+
+TEST(PrinterTest, ValueExpressionParens) {
+  ExprPtr A = read("x", {}, ScalarKind::F32);
+  ExprPtr B = read("y", {}, ScalarKind::F32);
+  ExprPtr C = read("z", {}, ScalarKind::F32);
+  EXPECT_EQ(printExpr(BinOpExpr::make(
+                BinOpExpr::Op::Mul,
+                BinOpExpr::make(BinOpExpr::Op::Add, A, B), C)),
+            "(x + y) * z");
+}
+
+TEST(PrinterTest, ProcRendering) {
+  ProcBuilder B("axpy");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("x", ScalarKind::F32, {N}, MemSpace::dram(), false);
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.reduce("y", {I}, B.readOf("x", {I}));
+  B.endFor();
+  Proc P = B.build();
+
+  EXPECT_EQ(printProc(P),
+            "def axpy(N: size, x: f32[N] @ DRAM, y: f32[N] @ DRAM):\n"
+            "    for i in seq(0, N):\n"
+            "        y[i] += x[i]\n");
+}
+
+TEST(PrinterTest, AllocAndScalarBuffer) {
+  ProcBuilder B("p");
+  B.sizeParam("N");
+  B.tensorParam("y", ScalarKind::F32, {var("N")}, MemSpace::dram(), true);
+  B.alloc("acc", ScalarKind::F32, {}, MemSpace::dram());
+  B.assign("acc", {}, ConstExpr::makeFloat(0.0, ScalarKind::F32));
+  Proc P = B.build();
+
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("acc: f32 @ DRAM\n"), std::string::npos) << S;
+  EXPECT_NE(S.find("acc = 0\n"), std::string::npos) << S;
+}

@@ -1,0 +1,99 @@
+//===- PropertyTest.cpp - Randomized scheduling property tests ------------===//
+//
+// Property: any chain of scheduling primitives that the system *accepts*
+// preserves semantics. Each test instance applies a pseudo-random sequence
+// of rewrites to the micro-GEMM spec (failures are fine — inapplicable
+// rewrites must simply be rejected, not crash) and then checks the result
+// against the original with the interpreter-based equivalence oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/ir/Printer.h"
+#include "exo/ir/Rewrite.h"
+#include "exo/pattern/Cursor.h"
+#include "exo/sched/Schedule.h"
+#include "exo/sched/Validate.h"
+
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace exo;
+using exotest::makeMicroGemm;
+
+namespace {
+
+class ScheduleChainTest : public testing::TestWithParam<unsigned> {};
+
+/// Picks a random loop variable present in the proc.
+std::string randomLoopVar(const Proc &P, std::mt19937 &Rng) {
+  std::set<std::string> Vars;
+  collectLoopVars(P.body(), Vars);
+  if (Vars.empty())
+    return std::string();
+  std::vector<std::string> V(Vars.begin(), Vars.end());
+  return V[Rng() % V.size()];
+}
+
+} // namespace
+
+TEST_P(ScheduleChainTest, AcceptedRewritesPreserveSemantics) {
+  std::mt19937 Rng(GetParam());
+  Proc Base = partialEval(makeMicroGemm(), {{"MR", 8}, {"NR", 12}}).take();
+  Proc Cur = Base;
+
+  // Fast options: the final oracle below is the authoritative check.
+  SchedOptions Fast;
+  Fast.Validate = false;
+  int Applied = 0;
+  int Fresh = 0;
+
+  for (int Step = 0; Step != 12; ++Step) {
+    std::string V = randomLoopVar(Cur, Rng);
+    if (V.empty())
+      break;
+    std::string Pat = "for " + V + " in _: _";
+    Expected<Proc> Next = errorf("noop");
+    switch (Rng() % 5) {
+    case 0: {
+      std::string O = "v" + std::to_string(Fresh++);
+      std::string I = "v" + std::to_string(Fresh++);
+      int64_t Factor = 1 + static_cast<int64_t>(Rng() % 4);
+      Next = divideLoop(Cur, Pat, Factor, O, I, /*Perfect=*/Rng() % 2 == 0,
+                        Fast);
+      break;
+    }
+    case 1: {
+      std::string V2 = randomLoopVar(Cur, Rng);
+      if (V2.empty() || V2 == V)
+        continue;
+      Next = reorderLoops(Cur, V + " " + V2, Fast);
+      break;
+    }
+    case 2:
+      Next = unrollLoop(Cur, Pat, Fast);
+      break;
+    case 3:
+      Next = cutLoop(Cur, Pat, static_cast<int64_t>(Rng() % 13), Fast);
+      break;
+    case 4:
+      Next = fuseLoops(Cur, Pat, Fast);
+      break;
+    }
+    if (Next) {
+      Cur = Next.take();
+      ++Applied;
+    }
+  }
+
+  // The oracle: whatever was accepted, semantics are unchanged.
+  Error Err = checkProcsEquivalent(Base, Cur, 3, GetParam() * 7 + 1);
+  EXPECT_FALSE(Err) << "after " << Applied
+                    << " accepted rewrites: " << Err.message() << "\n"
+                    << printProc(Cur);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleChainTest,
+                         testing::Range(0u, 24u));

@@ -1,0 +1,123 @@
+//===- ScheduleScriptTest.cpp - Textual schedule directives ---------------===//
+
+#include "exo/front/ScheduleScript.h"
+
+#include "exo/ir/Equal.h"
+#include "exo/ir/Printer.h"
+#include "ukr/UkrSchedule.h"
+#include "ukr/UkrSpec.h"
+
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+namespace {
+
+/// The paper's full §III user schedule (Figs. 6-11) as a script, for the
+/// Neon 8x12 kernel.
+const char *PaperSchedule = R"SCHED(
+# v1: specialize the sizes (Fig. 6)
+p = rename(p, "uk_8x12_f32_neon_lane")
+p = partial_eval(p, MR=8, NR=12)
+# v2: split to the vector length (Fig. 7)
+p = divide_loop(p, "for i in _: _", 4, ["it", "itt"], perfect=True)
+p = divide_loop(p, "for j in _: _", 4, ["jt", "jtt"], perfect=True)
+# v3: C tile into registers (Fig. 8)
+p = stage_mem(p, "C[_] += _", "C", "C_reg")
+p = expand_dim(p, "C_reg", 4, "itt")
+p = expand_dim(p, "C_reg", 2, "it")
+p = expand_dim(p, "C_reg", 12, "4 * jt + jtt")
+p = lift_alloc(p, "C_reg", n_lifts=5)
+p = autofission(p, after("C_reg[_] = _"), n_lifts=5)
+p = autofission(p, before("C[_] = _"), n_lifts=5)
+p = replace(p, "for itt in _: _ #0", "neon_vld_4xf32")
+p = replace(p, "for itt in _: _ #1", "neon_vst_4xf32")
+p = set_memory(p, "C_reg", "Neon")
+# v4: A and B operands (Fig. 9)
+p = bind_expr(p, "Ac[_]", "A_reg")
+p = expand_dim(p, "A_reg", 4, "itt")
+p = expand_dim(p, "A_reg", 2, "it")
+p = lift_alloc(p, "A_reg", n_lifts=5)
+p = autofission(p, after("A_reg[_] = _"), n_lifts=4)
+p = replace(p, "for itt in _: _ #0", "neon_vld_4xf32")
+p = set_memory(p, "A_reg", "Neon")
+p = bind_expr(p, "Bc[_]", "B_reg")
+p = expand_dim(p, "B_reg", 4, "jtt")
+p = expand_dim(p, "B_reg", 3, "jt")
+p = lift_alloc(p, "B_reg", n_lifts=5)
+p = autofission(p, after("B_reg[_] = _"), n_lifts=4)
+p = replace(p, "for jtt in _: _ #1", "neon_vld_4xf32")
+p = set_memory(p, "B_reg", "Neon")
+# v5: reorder and the lane FMA (Fig. 10)
+p = reorder_loops(p, "jtt it #1")
+p = replace(p, "for itt in _: _ #0", "neon_vfmla_4xf32_4xf32")
+# v6: unroll the register loads (Fig. 11)
+p = unroll_loop(p, "for it in _: _ #1")
+p = unroll_loop(p, "for jt in _: _ #1")
+)SCHED";
+
+} // namespace
+
+TEST(ScheduleScriptTest, PaperScheduleReproducesTheGenerator) {
+  auto Scripted = runScheduleScript(ukr::makeUkernelRef(), PaperSchedule);
+  ASSERT_TRUE(static_cast<bool>(Scripted)) << Scripted.message();
+
+  ukr::UkrConfig Cfg;
+  Cfg.MR = 8;
+  Cfg.NR = 12;
+  Cfg.Isa = &neonIsa();
+  Cfg.Style = ukr::FmaStyle::Lane;
+  auto Generated = ukr::generateUkernel(Cfg);
+  ASSERT_TRUE(static_cast<bool>(Generated)) << Generated.message();
+
+  // The textual schedule and the C++ generator produce identical kernels.
+  EXPECT_EQ(printProc(Scripted->Final), printProc(Generated->Final));
+  EXPECT_EQ(Scripted->Steps.size(), 32u); // 31 rewrites + the rename.
+}
+
+TEST(ScheduleScriptTest, CommentsAndBlanksIgnored) {
+  auto R = runScheduleScript(exotest::makeMicroGemm(),
+                             "\n# nothing\n\n  # indented comment\n");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_TRUE(R->Steps.empty());
+  EXPECT_TRUE(bodyEqual(R->Final.body(), exotest::makeMicroGemm().body()));
+}
+
+TEST(ScheduleScriptTest, ErrorsCarryLineNumbers) {
+  auto R = runScheduleScript(exotest::makeMicroGemm(),
+                             "p = partial_eval(p, MR=8, NR=12)\n"
+                             "p = divide_loop(p, \"for z in _: _\", 4, "
+                             "[\"a\", \"b\"], perfect=True)\n");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.message().find("line 2"), std::string::npos) << R.message();
+}
+
+TEST(ScheduleScriptTest, MalformedDirectiveDiagnosed) {
+  EXPECT_FALSE(static_cast<bool>(
+      runScheduleScript(exotest::makeMicroGemm(), "q = rename(p, \"x\")\n")));
+  EXPECT_FALSE(static_cast<bool>(
+      runScheduleScript(exotest::makeMicroGemm(), "p = frobnicate(p)\n")));
+  EXPECT_FALSE(static_cast<bool>(runScheduleScript(
+      exotest::makeMicroGemm(), "p = rename(p, \"x\") trailing\n")));
+}
+
+TEST(ScheduleScriptTest, UnknownInstructionDiagnosed) {
+  auto R = runScheduleScript(
+      exotest::makeMicroGemm(),
+      "p = partial_eval(p, MR=4, NR=4)\n"
+      "p = replace(p, \"for i in _: _\", \"made_up_instr\")\n");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.message().find("made_up_instr"), std::string::npos);
+}
+
+TEST(ScheduleScriptTest, GapArgumentForms) {
+  // before() on the first statement in the k loop: a no-op fission that
+  // must still parse and apply.
+  auto R = runScheduleScript(exotest::makeMicroGemm(),
+                             "p = partial_eval(p, MR=4, NR=4)\n"
+                             "p = autofission(p, before(\"C[_] += _\"), "
+                             "n_lifts=1)\n");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+}

@@ -1,0 +1,262 @@
+//===- ScheduleTest.cpp - Scheduling primitives ---------------------------===//
+//
+// Every primitive runs with dynamic validation enabled (the default), so a
+// passing rewrite here has also been executed against the interpreter on
+// random inputs before and after.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/sched/Schedule.h"
+
+#include "exo/ir/Printer.h"
+#include "exo/pattern/Cursor.h"
+#include "exo/sched/Validate.h"
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using exotest::makeMicroGemm;
+
+namespace {
+
+/// Unwraps or fails the test with the diagnostic.
+Proc expectOk(Expected<Proc> P, const char *What) {
+  EXPECT_TRUE(static_cast<bool>(P)) << What << ": " << P.message();
+  if (!P)
+    return Proc();
+  return P.take();
+}
+
+Proc evaled(int64_t MR = 8, int64_t NR = 12) {
+  auto P = partialEval(makeMicroGemm(), {{"MR", MR}, {"NR", NR}});
+  return expectOk(std::move(P), "partial_eval");
+}
+
+} // namespace
+
+TEST(PartialEvalTest, SubstitutesAndDropsParams) {
+  Proc P = evaled();
+  EXPECT_EQ(P.params().size(), 5u); // KC, ldc, Ac, Bc, C
+  EXPECT_EQ(P.findParam("MR"), nullptr);
+  EXPECT_EQ(P.findParam("NR"), nullptr);
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("for j in seq(0, 12)"), std::string::npos) << S;
+  EXPECT_NE(S.find("for i in seq(0, 8)"), std::string::npos) << S;
+  EXPECT_NE(S.find("Ac: f32[KC, 8]"), std::string::npos) << S;
+}
+
+TEST(PartialEvalTest, RejectsUnknownAndNonSize) {
+  EXPECT_FALSE(static_cast<bool>(partialEval(makeMicroGemm(), {{"QQ", 3}})));
+  EXPECT_FALSE(static_cast<bool>(partialEval(makeMicroGemm(), {{"Ac", 3}})));
+  EXPECT_FALSE(static_cast<bool>(partialEval(makeMicroGemm(), {{"MR", 0}})));
+}
+
+TEST(DivideLoopTest, PerfectSplit) {
+  Proc P =
+      expectOk(divideLoop(evaled(), "for i in _: _", 4, "it", "itt", true),
+               "divide i");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("for it in seq(0, 2)"), std::string::npos) << S;
+  EXPECT_NE(S.find("for itt in seq(0, 4)"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[j, 4 * it + itt]"), std::string::npos) << S;
+}
+
+TEST(DivideLoopTest, PerfectRequiresDivisibility) {
+  // NR = 10 is not divisible by 4.
+  auto P = divideLoop(evaled(8, 10), "for j in _: _", 4, "jt", "jtt", true);
+  EXPECT_FALSE(static_cast<bool>(P));
+}
+
+TEST(DivideLoopTest, TailLoopWhenImperfect) {
+  Proc P = expectOk(
+      divideLoop(evaled(8, 10), "for j in _: _", 4, "jt", "jtt", false),
+      "divide j imperfect");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("for jt in seq(0, 2)"), std::string::npos) << S;
+  // Tail covers the remaining 2 iterations at offset 8.
+  EXPECT_NE(S.find("for jtt in seq(0, 2)"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[jtt + 8, i]"), std::string::npos) << S;
+}
+
+TEST(DivideLoopTest, SymbolicBoundRejected) {
+  auto P = divideLoop(evaled(), "for k in _: _", 4, "ko", "ki", true);
+  EXPECT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.message().find("constant"), std::string::npos);
+}
+
+TEST(DivideLoopTest, NameCollisionRejected) {
+  auto P = divideLoop(evaled(), "for i in _: _", 4, "j", "itt", true);
+  EXPECT_FALSE(static_cast<bool>(P));
+}
+
+TEST(ReorderLoopsTest, SwapsPerfectNest) {
+  Proc P = expectOk(reorderLoops(evaled(), "j i"), "reorder");
+  // Now i is outer: find i at depth 2 (under k), j under i.
+  auto J = findStmt(P, "for j in _: _");
+  ASSERT_TRUE(static_cast<bool>(J));
+  EXPECT_EQ(J->Steps.size(), 3u);
+  auto I = findStmt(P, "for i in _: _");
+  ASSERT_TRUE(static_cast<bool>(I));
+  EXPECT_EQ(I->Steps.size(), 2u);
+}
+
+TEST(ReorderLoopsTest, RequiresPerfectNesting) {
+  // k's body is a single loop (j); j's body is a single loop (i); but
+  // (i, k) are not adjacent.
+  auto P = reorderLoops(evaled(), "i k");
+  EXPECT_FALSE(static_cast<bool>(P));
+}
+
+TEST(UnrollLoopTest, UnrollsConstantLoop) {
+  Proc P = expectOk(unrollLoop(evaled(4, 4), "for i in _: _"), "unroll i");
+  std::string S = printProc(P);
+  EXPECT_EQ(S.find("for i in"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[j, 3]"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[j, 0]"), std::string::npos) << S;
+}
+
+TEST(UnrollLoopTest, SymbolicRejected) {
+  EXPECT_FALSE(static_cast<bool>(unrollLoop(evaled(), "for k in _: _")));
+}
+
+TEST(BindExprTest, IntroducesScalarStage) {
+  Proc P = expectOk(bindExpr(evaled(), "Ac[_]", "A_tmp"), "bind Ac");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("A_tmp: f32 @ DRAM"), std::string::npos) << S;
+  EXPECT_NE(S.find("A_tmp = Ac[k, i]"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[j, i] += A_tmp * Bc[k, j]"), std::string::npos) << S;
+}
+
+TEST(BindExprTest, NameCollisionRejected) {
+  EXPECT_FALSE(static_cast<bool>(bindExpr(evaled(), "Ac[_]", "k")));
+  EXPECT_FALSE(static_cast<bool>(bindExpr(evaled(), "Ac[_]", "Bc")));
+}
+
+TEST(StageMemTest, StagesLoadComputeStore) {
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("C_reg: f32 @ DRAM"), std::string::npos) << S;
+  EXPECT_NE(S.find("C_reg = C[j, i]"), std::string::npos) << S;
+  EXPECT_NE(S.find("C_reg += Ac[k, i] * Bc[k, j]"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[j, i] = C_reg"), std::string::npos) << S;
+}
+
+TEST(StageMemTest, UnknownBufferRejected) {
+  EXPECT_FALSE(
+      static_cast<bool>(stageMem(evaled(), "C[_] += _", "Q", "Q_reg")));
+}
+
+TEST(ExpandDimTest, GrowsAllocAndAccesses) {
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  P = expectOk(expandDim(P, "C_reg", idx(8), var("i")), "expand i");
+  P = expectOk(expandDim(P, "C_reg", idx(12), var("j")), "expand j");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("C_reg: f32[12, 8] @ DRAM"), std::string::npos) << S;
+  EXPECT_NE(S.find("C_reg[j, i] += Ac[k, i] * Bc[k, j]"), std::string::npos)
+      << S;
+}
+
+TEST(ExpandDimTest, OutOfRangeIndexRejected) {
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  // i ranges over [0, 8) but the new dimension has extent 4.
+  auto Bad = expandDim(P, "C_reg", idx(4), var("i"));
+  EXPECT_FALSE(static_cast<bool>(Bad));
+}
+
+TEST(ExpandDimTest, ParamRejected) {
+  EXPECT_FALSE(
+      static_cast<bool>(expandDim(evaled(), "C", idx(4), var("i"))));
+}
+
+TEST(LiftAllocTest, MovesAllocationUp) {
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  P = expectOk(expandDim(P, "C_reg", idx(8), var("i")), "expand");
+  P = expectOk(liftAlloc(P, "C_reg", 3), "lift");
+  // The alloc is now the first statement of the proc body.
+  ASSERT_FALSE(P.body().empty());
+  EXPECT_TRUE(isaS<AllocStmt>(P.body()[0])) << printProc(P);
+}
+
+TEST(LiftAllocTest, StopsAtTop) {
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  P = expectOk(expandDim(P, "C_reg", idx(8), var("i")), "expand");
+  // More lifts than loops is fine; it stops at the proc body.
+  P = expectOk(liftAlloc(P, "C_reg", 99), "lift");
+  EXPECT_TRUE(isaS<AllocStmt>(P.body()[0]));
+}
+
+TEST(AutofissionTest, SplitsAndHoists) {
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  P = expectOk(expandDim(P, "C_reg", idx(8), var("i")), "e1");
+  P = expectOk(expandDim(P, "C_reg", idx(12), var("j")), "e2");
+  P = expectOk(liftAlloc(P, "C_reg", 3), "lift");
+  P = expectOk(autofission(P, "C_reg[_] = _", /*After=*/true, 3), "fission");
+  P = expectOk(autofission(P, "C[_] = _", /*After=*/false, 3), "fission2");
+
+  // The load nest no longer sits under k: body is
+  // [alloc, load(j,i), for k: compute, store(j,i)].
+  ASSERT_EQ(P.body().size(), 4u) << printProc(P);
+  EXPECT_TRUE(isaS<AllocStmt>(P.body()[0]));
+  const auto *Load = dyn_castS<ForStmt>(P.body()[1]);
+  ASSERT_NE(Load, nullptr);
+  EXPECT_EQ(Load->loopVar(), "j");
+  const auto *KLoop = dyn_castS<ForStmt>(P.body()[2]);
+  ASSERT_NE(KLoop, nullptr);
+  EXPECT_EQ(KLoop->loopVar(), "k");
+}
+
+TEST(SetMemoryTest, RehomesAlloc) {
+  const MemSpace *Reg = MemSpace::makeRegisterFile(
+      "SchedTestReg", {{ScalarKind::F32, {"v8f_t", 8}}});
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  P = expectOk(expandDim(P, "C_reg", idx(8), var("i")), "expand");
+  P = expectOk(setMemory(P, "C_reg", Reg), "set_memory");
+  auto B = P.findBuffer("C_reg");
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->Mem, Reg);
+}
+
+TEST(SetMemoryTest, ParamAndUnknownRejected) {
+  const MemSpace *Reg = MemSpace::makeRegisterFile(
+      "SchedTestReg2", {{ScalarKind::F32, {"v8f_t", 8}}});
+  EXPECT_FALSE(static_cast<bool>(setMemory(evaled(), "C", Reg)));
+  EXPECT_FALSE(static_cast<bool>(setMemory(evaled(), "Q", Reg)));
+}
+
+TEST(SetPrecisionTest, RetypesBuffer) {
+  Proc P = expectOk(stageMem(evaled(), "C[_] += _", "C", "C_reg"), "stage");
+  P = expectOk(setPrecision(P, "C_reg", ScalarKind::F64), "set_precision");
+  auto B = P.findBuffer("C_reg");
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->Ty, ScalarKind::F64);
+}
+
+TEST(SetPrecisionTest, ParamRetyped) {
+  // C is only written (the reduce rhs reads Ac/Bc, not C), so retyping it
+  // succeeds: stores convert implicitly.
+  Proc P = expectOk(setPrecision(evaled(), "C", ScalarKind::F16), "prec");
+  EXPECT_EQ(P.findParam("C")->Ty, ScalarKind::F16);
+}
+
+TEST(SetPrecisionTest, MixedExpressionRejected) {
+  // Retyping only Ac would make `Ac[k, i] * Bc[k, j]` mix f16 with f32;
+  // the primitive must refuse rather than emit ill-typed code.
+  auto P = setPrecision(evaled(), "Ac", ScalarKind::F16);
+  ASSERT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.message().find("mixing"), std::string::npos) << P.message();
+}
+
+TEST(SimplifyTest, FoldsIndices) {
+  Proc P = evaled();
+  // divide + simplify leaves normalized indices.
+  P = expectOk(divideLoop(P, "for i in _: _", 4, "it", "itt", true), "div");
+  Proc S = simplifyProc(P);
+  EXPECT_EQ(printProc(S), printProc(P))
+      << "printer already normalizes; simplify must agree";
+}
+
+TEST(RenameTest, Renames) {
+  Proc P = renameProc(makeMicroGemm(), "uk8x12");
+  EXPECT_EQ(P.name(), "uk8x12");
+}

@@ -1,0 +1,37 @@
+//===- TestProcs.h - Shared procedure builders for tests ------------------===//
+
+#ifndef EXO_TESTS_TESTPROCS_H
+#define EXO_TESTS_TESTPROCS_H
+
+#include "exo/ir/Builder.h"
+
+namespace exotest {
+
+/// The micro-kernel specification (same shape as ukr::makeUkernelRef, local
+/// to the exo tests so they do not depend on the ukr layer):
+/// C[NR, MR] (row stride ldc) += Ac[KC, MR] * Bc[KC, NR].
+inline exo::Proc makeMicroGemm() {
+  using namespace exo;
+  ProcBuilder B("ukernel_ref");
+  ExprPtr MR = B.sizeParam("MR");
+  ExprPtr NR = B.sizeParam("NR");
+  ExprPtr KC = B.sizeParam("KC");
+  ExprPtr Ldc = B.sizeParam("ldc");
+  B.tensorParam("Ac", ScalarKind::F32, {KC, MR}, MemSpace::dram(), false);
+  B.tensorParam("Bc", ScalarKind::F32, {KC, NR}, MemSpace::dram(), false);
+  B.tensorParam("C", ScalarKind::F32, {NR, MR}, MemSpace::dram(), true,
+                "ldc");
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Ge, Ldc, MR));
+  ExprPtr K = B.beginFor("k", idx(0), KC);
+  ExprPtr J = B.beginFor("j", idx(0), NR);
+  ExprPtr I = B.beginFor("i", idx(0), MR);
+  B.reduce("C", {J, I}, B.readOf("Ac", {K, I}) * B.readOf("Bc", {K, J}));
+  B.endFor();
+  B.endFor();
+  B.endFor();
+  return B.build();
+}
+
+} // namespace exotest
+
+#endif // EXO_TESTS_TESTPROCS_H

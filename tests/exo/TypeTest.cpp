@@ -1,0 +1,69 @@
+//===- TypeTest.cpp - Scalar kinds and memory spaces ----------------------===//
+
+#include "exo/ir/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(ScalarKindTest, NamesRoundTrip) {
+  for (ScalarKind K : {ScalarKind::F16, ScalarKind::F32, ScalarKind::F64,
+                       ScalarKind::I8, ScalarKind::I16, ScalarKind::I32,
+                       ScalarKind::Index, ScalarKind::Bool}) {
+    ScalarKind Out;
+    ASSERT_TRUE(parseScalarKind(scalarKindName(K), Out));
+    EXPECT_EQ(Out, K);
+  }
+}
+
+TEST(ScalarKindTest, ParseRejectsUnknown) {
+  ScalarKind Out;
+  EXPECT_FALSE(parseScalarKind("f128", Out));
+  EXPECT_FALSE(parseScalarKind("", Out));
+}
+
+TEST(ScalarKindTest, Sizes) {
+  EXPECT_EQ(scalarKindBytes(ScalarKind::F16), 2u);
+  EXPECT_EQ(scalarKindBytes(ScalarKind::F32), 4u);
+  EXPECT_EQ(scalarKindBytes(ScalarKind::F64), 8u);
+  EXPECT_EQ(scalarKindBytes(ScalarKind::I8), 1u);
+  EXPECT_EQ(scalarKindBytes(ScalarKind::Index), 0u);
+}
+
+TEST(ScalarKindTest, FloatClassification) {
+  EXPECT_TRUE(isFloatKind(ScalarKind::F16));
+  EXPECT_TRUE(isFloatKind(ScalarKind::F32));
+  EXPECT_FALSE(isFloatKind(ScalarKind::I32));
+  EXPECT_FALSE(isFloatKind(ScalarKind::Index));
+}
+
+TEST(MemSpaceTest, DramSingleton) {
+  const MemSpace *D1 = MemSpace::dram();
+  const MemSpace *D2 = MemSpace::dram();
+  EXPECT_EQ(D1, D2);
+  EXPECT_FALSE(D1->isRegisterFile());
+  EXPECT_EQ(D1->name(), "DRAM");
+  EXPECT_TRUE(D1->supports(ScalarKind::F32));
+  EXPECT_FALSE(D1->supports(ScalarKind::Index));
+}
+
+TEST(MemSpaceTest, RegisterFileInterning) {
+  const MemSpace *R1 = MemSpace::makeRegisterFile(
+      "TestReg128", {{ScalarKind::F32, {"testv4f", 4}}});
+  const MemSpace *R2 = MemSpace::makeRegisterFile(
+      "TestReg128", {{ScalarKind::F32, {"testv4f", 4}}});
+  EXPECT_EQ(R1, R2);
+  EXPECT_TRUE(R1->isRegisterFile());
+  EXPECT_EQ(R1->lanes(ScalarKind::F32), 4u);
+  EXPECT_EQ(R1->vecType(ScalarKind::F32).CType, "testv4f");
+  EXPECT_TRUE(R1->supports(ScalarKind::F32));
+  EXPECT_FALSE(R1->supports(ScalarKind::F64));
+}
+
+TEST(MemSpaceTest, Lookup) {
+  MemSpace::makeRegisterFile("TestLookupSpace",
+                             {{ScalarKind::F64, {"v2d", 2}}});
+  EXPECT_NE(MemSpace::lookup("TestLookupSpace"), nullptr);
+  EXPECT_EQ(MemSpace::lookup("NoSuchSpace"), nullptr);
+  EXPECT_EQ(MemSpace::lookup("DRAM"), MemSpace::dram());
+}

@@ -1,0 +1,75 @@
+//===- ValidateTest.cpp - Dynamic equivalence validation ------------------===//
+
+#include "exo/sched/Validate.h"
+
+#include "exo/ir/Builder.h"
+#include "exo/pattern/Cursor.h"
+
+#include "TestProcs.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using exotest::makeMicroGemm;
+
+TEST(ValidateTest, IdenticalProcsAgree) {
+  Proc P = makeMicroGemm();
+  Error Err = checkProcsEquivalent(P, P, 3, 42);
+  EXPECT_FALSE(Err) << Err.message();
+}
+
+TEST(ValidateTest, DetectsSemanticChange) {
+  Proc P = makeMicroGemm();
+  // Corrupt the rewrite: swap the reduce into a plain assign.
+  auto A = findStmt(P, "C[_] += _");
+  ASSERT_TRUE(static_cast<bool>(A));
+  const auto *S = castS<AssignStmt>(stmtAt(P, *A));
+  Proc Bad = spliceAt(
+      P, *A,
+      {AssignStmt::make(S->buffer(), S->indices(), S->rhs(), false)});
+  Error Err = checkProcsEquivalent(P, Bad, 3, 42);
+  ASSERT_TRUE(Err);
+  EXPECT_NE(Err.message().find("diverge"), std::string::npos)
+      << Err.message();
+}
+
+TEST(ValidateTest, DetectsDroppedStatement) {
+  Proc P = makeMicroGemm();
+  auto A = findStmt(P, "C[_] += _");
+  ASSERT_TRUE(static_cast<bool>(A));
+  Proc Bad = spliceAt(P, *A, {});
+  EXPECT_TRUE(checkProcsEquivalent(P, Bad, 3, 7));
+}
+
+TEST(ValidateTest, SignatureChangeDiagnosed) {
+  Proc P = makeMicroGemm();
+  Proc Q = P.withParams(std::vector<Param>(P.params().begin(),
+                                           P.params().end() - 1));
+  EXPECT_TRUE(checkProcsEquivalent(P, Q, 1, 1));
+}
+
+TEST(ValidateTest, ValidateRewriteRespectsOptOut) {
+  Proc P = makeMicroGemm();
+  auto A = findStmt(P, "C[_] += _");
+  Proc Bad = spliceAt(P, *A, {});
+  SchedOptions Opts;
+  Opts.Validate = false;
+  EXPECT_FALSE(validateRewrite(P, Bad, Opts, "test"));
+  Opts.Validate = true;
+  EXPECT_TRUE(validateRewrite(P, Bad, Opts, "test"));
+}
+
+TEST(ValidateTest, RespectsPreconditionsWhenSampling) {
+  // A proc whose precondition constrains a size (KC % 4 == 0): sampling
+  // must only use conforming sizes, so validation succeeds for a rewrite
+  // that is only correct under the precondition.
+  ProcBuilder B("p");
+  ExprPtr N = B.sizeParam("N");
+  B.tensorParam("y", ScalarKind::F32, {N}, MemSpace::dram(), true);
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Eq, N % 4, idx(0)));
+  ExprPtr I = B.beginFor("i", idx(0), N);
+  B.reduce("y", {I}, ConstExpr::makeFloat(1.0, ScalarKind::F32));
+  B.endFor();
+  Proc P = B.build();
+  EXPECT_FALSE(checkProcsEquivalent(P, P, 2, 5));
+}

@@ -1,0 +1,67 @@
+//===- BenchUtilTest.cpp - benchutil helpers -------------------------------===//
+
+#include "benchutil/Bench.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace benchutil;
+
+TEST(BenchUtilTest, FillRandomIsDeterministicAndBounded) {
+  std::vector<float> A(1000), B(1000);
+  fillRandom(A.data(), A.size(), 42);
+  fillRandom(B.data(), B.size(), 42);
+  EXPECT_EQ(A, B);
+  for (float V : A) {
+    EXPECT_GE(V, -1.0f);
+    EXPECT_LE(V, 1.0f);
+  }
+  fillRandom(B.data(), B.size(), 43);
+  EXPECT_NE(A, B);
+}
+
+TEST(BenchUtilTest, MaxAbsDiff) {
+  std::vector<float> A{1, 2, 3}, B{1, 2.5f, 2};
+  EXPECT_FLOAT_EQ(maxAbsDiff(A.data(), B.data(), 3), 1.0f);
+  EXPECT_FLOAT_EQ(maxAbsDiff(A.data(), A.data(), 3), 0.0f);
+}
+
+TEST(BenchUtilTest, GflopsMath) {
+  EXPECT_DOUBLE_EQ(gflops(2e9, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gflops(1e9, 0.5), 2.0);
+}
+
+TEST(BenchUtilTest, TimeItRunsAtLeastOnce) {
+  int Calls = 0;
+  double Secs = timeIt([&] { ++Calls; }, 0.0);
+  EXPECT_GE(Calls, 2) << "warm-up + one measured run";
+  EXPECT_GE(Secs, 0.0);
+}
+
+TEST(BenchUtilTest, OptionsParse) {
+  const char *Argv[] = {"bench", "--big", "--seconds", "1.5", "--csv"};
+  BenchOptions O =
+      BenchOptions::parse(5, const_cast<char **>(Argv));
+  EXPECT_TRUE(O.Big);
+  EXPECT_TRUE(O.Csv);
+  EXPECT_DOUBLE_EQ(O.Seconds, 1.5);
+
+  const char *Argv2[] = {"bench"};
+  BenchOptions D = BenchOptions::parse(1, const_cast<char **>(Argv2));
+  EXPECT_FALSE(D.Big);
+  EXPECT_GT(D.Seconds, 0.0);
+}
+
+TEST(BenchUtilTest, TableRendersAllRows) {
+  testing::internal::CaptureStdout();
+  Table T("unit_test_table", {"a", "b"}, /*Csv=*/true);
+  T.addRow({"x", "1"});
+  T.addRow("y", {2.5});
+  T.print();
+  std::string Out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(Out.find("unit_test_table"), std::string::npos);
+  EXPECT_NE(Out.find("2.50"), std::string::npos);
+  EXPECT_NE(Out.find("CSV,unit_test_table,x,1"), std::string::npos);
+}

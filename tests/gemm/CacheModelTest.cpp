@@ -1,0 +1,87 @@
+//===- CacheModelTest.cpp - Analytical blocking model ---------------------===//
+
+#include "gemm/CacheModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace gemm;
+
+namespace {
+int64_t waysFor(int64_t Bytes, const CacheLevel &L) {
+  return (Bytes + L.waySize() - 1) / L.waySize();
+}
+} // namespace
+
+TEST(CacheModelTest, CarmelConfig) {
+  CacheConfig C = CacheConfig::carmel();
+  EXPECT_EQ(C.L1.SizeBytes, 64 * 1024);
+  EXPECT_EQ(C.L1.Assoc, 4);
+  EXPECT_TRUE(C.L3.present());
+}
+
+TEST(CacheModelTest, HostDetectionGivesSaneValues) {
+  CacheConfig C = CacheConfig::host();
+  EXPECT_TRUE(C.L1.present());
+  EXPECT_GE(C.L1.SizeBytes, 8 * 1024);
+  EXPECT_LE(C.L1.SizeBytes, 512 * 1024);
+  EXPECT_TRUE(C.L2.present());
+  EXPECT_FALSE(C.describe().empty());
+}
+
+TEST(CacheModelTest, BlocksRespectCacheConstraints) {
+  CacheConfig C = CacheConfig::carmel();
+  BlockSizes B = analyticalBlockSizes(C, 8, 12, sizeof(float));
+  ASSERT_GT(B.KC, 0);
+  ASSERT_GT(B.MC, 0);
+  ASSERT_GT(B.NC, 0);
+
+  // The L1 constraint the model maximizes under.
+  int64_t Ways = waysFor(8 * B.KC * 4, C.L1) + waysFor(B.KC * 12 * 4, C.L1) +
+                 1;
+  EXPECT_LE(Ways, C.L1.Assoc);
+  // Growing kc by one step must violate it (maximality).
+  int64_t KcNext = B.KC + 4;
+  int64_t WaysNext = waysFor(8 * KcNext * 4, C.L1) +
+                     waysFor(KcNext * 12 * 4, C.L1) + 1;
+  EXPECT_GT(WaysNext, C.L1.Assoc);
+
+  // Packed A block fits L2 with the reserved ways.
+  EXPECT_LE(waysFor(B.MC * B.KC * 4, C.L2) + 2, C.L2.Assoc);
+}
+
+TEST(CacheModelTest, BlocksAreMultiplesOfTileSizes) {
+  BlockSizes B =
+      analyticalBlockSizes(CacheConfig::carmel(), 8, 12, sizeof(float));
+  EXPECT_EQ(B.MC % 8, 0);
+  EXPECT_EQ(B.NC % 12, 0);
+  EXPECT_EQ(B.KC % 4, 0);
+}
+
+TEST(CacheModelTest, WiderKernelShrinksKc) {
+  CacheConfig C = CacheConfig::carmel();
+  BlockSizes Narrow = analyticalBlockSizes(C, 8, 4, sizeof(float));
+  BlockSizes Wide = analyticalBlockSizes(C, 8, 24, sizeof(float));
+  EXPECT_GE(Narrow.KC, Wide.KC);
+}
+
+TEST(CacheModelTest, DoubleElementsShrinkBlocks) {
+  CacheConfig C = CacheConfig::carmel();
+  BlockSizes F32 = analyticalBlockSizes(C, 8, 12, 4);
+  BlockSizes F64 = analyticalBlockSizes(C, 8, 12, 8);
+  EXPECT_GE(F32.KC, F64.KC);
+  EXPECT_GE(F32.MC, F64.MC);
+}
+
+TEST(CacheModelTest, NcCappedForHugeL3) {
+  CacheConfig C = CacheConfig::carmel();
+  C.L3.SizeBytes = 512ll * 1024 * 1024;
+  BlockSizes B = analyticalBlockSizes(C, 8, 12, 4);
+  EXPECT_LE(B.NC, 8196);
+}
+
+TEST(CacheModelTest, FixedBlocking) {
+  BlockSizes B = fixedBlockSizes(8, 12);
+  EXPECT_EQ(B.MC % 8, 0);
+  EXPECT_EQ(B.NC % 12, 0);
+  EXPECT_EQ(B.KC, 256);
+}

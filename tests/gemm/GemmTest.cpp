@@ -1,0 +1,153 @@
+//===- GemmTest.cpp - Full macro-kernel GEMM vs reference -----------------===//
+
+#include "gemm/Gemm.h"
+
+#include "benchutil/Bench.h"
+#include "exo/support/Str.h"
+#include "gemm/ExoProvider.h"
+#include "gemm/Kernels.h"
+#include "gemm/RefGemm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace gemm;
+
+namespace {
+
+enum class ProviderKind { Hand, Blis, BlisPrefetch, Exo };
+
+struct Case {
+  ProviderKind Kind;
+  int64_t M, N, K;
+  float Alpha = 1.0f, Beta = 1.0f;
+};
+
+std::string caseName(const testing::TestParamInfo<Case> &Info) {
+  const Case &C = Info.param;
+  const char *P = C.Kind == ProviderKind::Hand           ? "hand"
+                  : C.Kind == ProviderKind::Blis         ? "blis"
+                  : C.Kind == ProviderKind::BlisPrefetch ? "blispf"
+                                                         : "exo";
+  std::string Name = exo::strf(
+      "%s_%lldx%lldx%lld_a%d_b%d", P, static_cast<long long>(C.M),
+      static_cast<long long>(C.N), static_cast<long long>(C.K),
+      static_cast<int>(C.Alpha * 10), static_cast<int>(C.Beta * 10));
+  return exo::replaceAll(std::move(Name), "-", "m");
+}
+
+std::unique_ptr<KernelProvider> makeProvider(ProviderKind Kind) {
+  switch (Kind) {
+  case ProviderKind::Hand:
+    return std::make_unique<FixedProvider>(handVectorKernel(), "hand");
+  case ProviderKind::Blis:
+    return std::make_unique<FixedProvider>(blisKernel(), "blis");
+  case ProviderKind::BlisPrefetch:
+    return std::make_unique<FixedProvider>(blisKernelPrefetch(), "blispf");
+  case ProviderKind::Exo:
+    return std::make_unique<ExoProvider>(8, 12, &exo::avx2Isa());
+  }
+  return nullptr;
+}
+
+class GemmProviderTest : public testing::TestWithParam<Case> {};
+
+} // namespace
+
+TEST_P(GemmProviderTest, MatchesReference) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+  const Case &TC = GetParam();
+  auto Provider = makeProvider(TC.Kind);
+
+  // Leading dimensions slightly larger than the extents to catch stride
+  // bugs.
+  int64_t Lda = TC.M + 3, Ldb = TC.K + 2, Ldc = TC.M + 1;
+  std::vector<float> A(Lda * TC.K), B(Ldb * TC.N), C(Ldc * TC.N);
+  benchutil::fillRandom(A.data(), A.size(), 101);
+  benchutil::fillRandom(B.data(), B.size(), 102);
+  benchutil::fillRandom(C.data(), C.size(), 103);
+  std::vector<float> Want = C;
+  refSgemm(TC.M, TC.N, TC.K, TC.Alpha, A.data(), Lda, B.data(), Ldb, TC.Beta,
+           Want.data(), Ldc);
+
+  GemmPlan Plan = GemmPlan::standard(*Provider);
+  exo::Error Err =
+      blisGemm(Plan, *Provider, TC.M, TC.N, TC.K, TC.Alpha, A.data(), Lda,
+               B.data(), Ldb, TC.Beta, C.data(), Ldc);
+  ASSERT_FALSE(Err) << Err.message();
+
+  float Tol = 1e-5f * static_cast<float>(TC.K + 1);
+  for (int64_t J = 0; J < TC.N; ++J)
+    for (int64_t I = 0; I < TC.M; ++I)
+      ASSERT_NEAR(C[I + J * Ldc], Want[I + J * Ldc], Tol)
+          << "(" << I << ", " << J << ")";
+  // Padding between columns is untouched.
+  for (int64_t J = 0; J < TC.N; ++J)
+    for (int64_t I = TC.M; I < Ldc; ++I)
+      ASSERT_EQ(C[I + J * Ldc], Want[I + J * Ldc]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmProviderTest,
+    testing::Values(
+        Case{ProviderKind::Hand, 64, 48, 32}, //
+        Case{ProviderKind::Blis, 64, 48, 32},
+        Case{ProviderKind::BlisPrefetch, 64, 48, 32},
+        Case{ProviderKind::Exo, 64, 48, 32},
+        // Edge-rich shapes (not multiples of 8/12).
+        Case{ProviderKind::Hand, 123, 77, 55},
+        Case{ProviderKind::Blis, 123, 77, 55},
+        Case{ProviderKind::Exo, 123, 77, 55},
+        Case{ProviderKind::Exo, 49, 50, 47},
+        Case{ProviderKind::Hand, 49, 50, 47},
+        // Tiny and degenerate.
+        Case{ProviderKind::Exo, 1, 1, 1},
+        Case{ProviderKind::Hand, 1, 1, 1},
+        Case{ProviderKind::Exo, 8, 12, 1},
+        Case{ProviderKind::Exo, 7, 11, 600},
+        // Larger-than-block sizes exercise all five loops.
+        Case{ProviderKind::Exo, 300, 530, 600},
+        Case{ProviderKind::BlisPrefetch, 300, 530, 600},
+        // Alpha/beta handling.
+        Case{ProviderKind::Exo, 100, 90, 80, 2.0f, 0.5f},
+        Case{ProviderKind::Hand, 100, 90, 80, -1.0f, 0.0f},
+        Case{ProviderKind::Blis, 100, 90, 80, 0.5f, 2.0f}),
+    caseName);
+
+TEST(GemmDriverTest, KZeroScalesByBeta) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP();
+  FixedProvider P(blisKernel(), "blis");
+  std::vector<float> C(6 * 5, 2.0f);
+  GemmPlan Plan = GemmPlan::standard(P);
+  exo::Error Err = blisGemm(Plan, P, 6, 5, 0, 1.0f, nullptr, 6, nullptr, 1,
+                            0.5f, C.data(), 6);
+  ASSERT_FALSE(Err) << Err.message();
+  for (float V : C)
+    EXPECT_EQ(V, 1.0f);
+}
+
+TEST(GemmDriverTest, EmptyProblemsAreNoOps) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP();
+  FixedProvider P(blisKernel(), "blis");
+  GemmPlan Plan = GemmPlan::standard(P);
+  EXPECT_FALSE(blisGemm(Plan, P, 0, 5, 3, 1.0f, nullptr, 1, nullptr, 3, 1.0f,
+                        nullptr, 1));
+  EXPECT_FALSE(blisGemm(Plan, P, 5, 0, 3, 1.0f, nullptr, 5, nullptr, 3, 1.0f,
+                        nullptr, 5));
+  EXPECT_TRUE(blisGemm(Plan, P, -1, 5, 3, 1.0f, nullptr, 1, nullptr, 3, 1.0f,
+                       nullptr, 1));
+}
+
+TEST(GemmDriverTest, StandardPlanMatchesProviderEdgeSupport) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP();
+  FixedProvider Fixed(blisKernel(), "blis");
+  EXPECT_EQ(GemmPlan::standard(Fixed).PackMode, EdgePack::ZeroPad);
+  ExoProvider Exo(8, 12, &exo::avx2Isa());
+  EXPECT_EQ(GemmPlan::standard(Exo).PackMode, EdgePack::Tight);
+}

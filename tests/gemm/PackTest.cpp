@@ -1,0 +1,96 @@
+//===- PackTest.cpp - Packing routines ------------------------------------===//
+
+#include "gemm/Pack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace gemm;
+
+namespace {
+
+/// Column-major matrix filled with value(r, c) = 100*r + c.
+std::vector<float> colMajor(int64_t Rows, int64_t Cols, int64_t Ld) {
+  std::vector<float> M(Ld * Cols);
+  for (int64_t C = 0; C < Cols; ++C)
+    for (int64_t R = 0; R < Rows; ++R)
+      M[R + C * Ld] = static_cast<float>(100 * R + C);
+  return M;
+}
+
+} // namespace
+
+TEST(PackTest, PackAFullPanels) {
+  const int64_t Mc = 8, Kc = 3, Mr = 4, Lda = 10;
+  std::vector<float> A = colMajor(Mc, Kc, Lda);
+  std::vector<float> Buf(2 * Kc * Mr, -1.0f);
+  packA(A.data(), Lda, Mc, Kc, Mr, 1.0f, EdgePack::ZeroPad, Buf.data());
+
+  // Panel 0 holds rows 0..3; element (k, i) at [k*Mr + i].
+  for (int64_t K = 0; K < Kc; ++K)
+    for (int64_t I = 0; I < Mr; ++I) {
+      EXPECT_EQ(Buf[K * Mr + I], 100.0f * I + K);
+      EXPECT_EQ(Buf[Kc * Mr + K * Mr + I], 100.0f * (I + 4) + K);
+    }
+}
+
+TEST(PackTest, PackAAppliesAlpha) {
+  const int64_t Mc = 4, Kc = 2, Mr = 4, Lda = 4;
+  std::vector<float> A = colMajor(Mc, Kc, Lda);
+  std::vector<float> Buf(Kc * Mr);
+  packA(A.data(), Lda, Mc, Kc, Mr, 2.0f, EdgePack::ZeroPad, Buf.data());
+  EXPECT_EQ(Buf[0], 0.0f);
+  EXPECT_EQ(Buf[1], 200.0f);
+  EXPECT_EQ(Buf[Mr + 1], 2.0f * 101.0f);
+}
+
+TEST(PackTest, PackAEdgeZeroPad) {
+  // Mc = 6 with Mr = 4: second panel has 2 valid rows + 2 zero rows.
+  const int64_t Mc = 6, Kc = 2, Mr = 4, Lda = 6;
+  std::vector<float> A = colMajor(Mc, Kc, Lda);
+  std::vector<float> Buf(2 * Kc * Mr, -1.0f);
+  packA(A.data(), Lda, Mc, Kc, Mr, 1.0f, EdgePack::ZeroPad, Buf.data());
+  float *Panel1 = Buf.data() + Kc * Mr;
+  for (int64_t K = 0; K < Kc; ++K) {
+    EXPECT_EQ(Panel1[K * Mr + 0], 100.0f * 4 + K);
+    EXPECT_EQ(Panel1[K * Mr + 1], 100.0f * 5 + K);
+    EXPECT_EQ(Panel1[K * Mr + 2], 0.0f);
+    EXPECT_EQ(Panel1[K * Mr + 3], 0.0f);
+  }
+}
+
+TEST(PackTest, PackAEdgeTight) {
+  // Tight mode lays the short panel out as Kc x MrEff.
+  const int64_t Mc = 6, Kc = 3, Mr = 4, Lda = 6;
+  std::vector<float> A = colMajor(Mc, Kc, Lda);
+  std::vector<float> Buf(2 * Kc * Mr, -1.0f);
+  packA(A.data(), Lda, Mc, Kc, Mr, 1.0f, EdgePack::Tight, Buf.data());
+  float *Panel1 = Buf.data() + Kc * Mr;
+  for (int64_t K = 0; K < Kc; ++K)
+    for (int64_t I = 0; I < 2; ++I)
+      EXPECT_EQ(Panel1[K * 2 + I], 100.0f * (4 + I) + K);
+}
+
+TEST(PackTest, PackBFullAndEdge) {
+  // B is Kc x Nc column-major (ldb >= Kc).
+  const int64_t Kc = 3, Nc = 5, Nr = 4, Ldb = 8;
+  std::vector<float> B = colMajor(Kc, Nc, Ldb);
+  std::vector<float> Buf(2 * Kc * Nr, -1.0f);
+  packB(B.data(), Ldb, Kc, Nc, Nr, 1.0f, EdgePack::ZeroPad, Buf.data());
+  // Panel 0: element (k, j) = B[k + j*Ldb] = 100k + j.
+  for (int64_t K = 0; K < Kc; ++K)
+    for (int64_t J = 0; J < Nr; ++J)
+      EXPECT_EQ(Buf[K * Nr + J], 100.0f * K + J);
+  // Panel 1 zero-padded beyond column 4.
+  float *Panel1 = Buf.data() + Kc * Nr;
+  for (int64_t K = 0; K < Kc; ++K) {
+    EXPECT_EQ(Panel1[K * Nr + 0], 100.0f * K + 4);
+    EXPECT_EQ(Panel1[K * Nr + 1], 0.0f);
+  }
+
+  packB(B.data(), Ldb, Kc, Nc, Nr, 1.0f, EdgePack::Tight, Buf.data());
+  Panel1 = Buf.data() + Kc * Nr;
+  for (int64_t K = 0; K < Kc; ++K)
+    EXPECT_EQ(Panel1[K * 1 + 0], 100.0f * K + 4);
+}

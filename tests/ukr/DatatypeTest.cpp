@@ -1,0 +1,123 @@
+//===- DatatypeTest.cpp - §III-D data-type support ------------------------===//
+
+#include "ukr/UkrSchedule.h"
+#include "ukr/UkrSpec.h"
+
+#include "exo/interp/Interp.h"
+#include "exo/ir/Printer.h"
+#include "exo/jit/Jit.h"
+#include "exo/sched/Schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace ukr;
+
+TEST(DatatypeTest, F16NeonKernelGenerates) {
+  // §III-D: the f16 kernel uses the Neon8f space and 8-lane loops. With 8
+  // lanes, 8x16 is the natural f16 flagship.
+  UkrConfig Cfg;
+  Cfg.MR = 8;
+  Cfg.NR = 16;
+  Cfg.Ty = ScalarKind::F16;
+  Cfg.Isa = &neonIsa();
+  Cfg.Style = FmaStyle::Lane;
+  auto R = generateUkernel(Cfg);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+  std::string S = printProc(R->Final);
+  EXPECT_NE(S.find("C_reg: f16[16, 1, 8] @ Neon8f"), std::string::npos) << S;
+  EXPECT_NE(S.find("neon_vfmla_8xf16_8xf16"), std::string::npos) << S;
+  EXPECT_NE(R->CSource.find("float16x8_t"), std::string::npos);
+  EXPECT_NE(R->CSource.find("vfmaq_laneq_f16"), std::string::npos);
+}
+
+TEST(DatatypeTest, F16KernelSemanticsViaInterpreter) {
+  UkrConfig Cfg;
+  Cfg.MR = 8;
+  Cfg.NR = 16;
+  Cfg.Ty = ScalarKind::F16;
+  Cfg.Isa = &neonIsa();
+  Cfg.Style = FmaStyle::Lane;
+  auto R = generateUkernel(Cfg);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+
+  const int64_t KC = 5, Ldc = 8;
+  std::vector<double> Ac(KC * 8), Bc(KC * 16), C(16 * 8, 1.0);
+  for (size_t I = 0; I != Ac.size(); ++I)
+    Ac[I] = static_cast<double>(I % 4) - 1;
+  for (size_t I = 0; I != Bc.size(); ++I)
+    Bc[I] = static_cast<double>(I % 3) - 1;
+  std::vector<double> Want = C;
+  for (int64_t J = 0; J < 16; ++J)
+    for (int64_t I = 0; I < 8; ++I)
+      for (int64_t K = 0; K < KC; ++K)
+        Want[J * Ldc + I] += Ac[K * 8 + I] * Bc[K * 16 + J];
+
+  Error Err = interpret(R->Final, {{"KC", KC}, {"ldc", Ldc}},
+                        {{"Ac", {Ac.data(), {KC, 8}}},
+                         {"Bc", {Bc.data(), {KC, 16}}},
+                         {"C", {C.data(), {16, 8}}}});
+  ASSERT_FALSE(Err) << Err.message();
+  // Small integers are exact in f16.
+  EXPECT_EQ(C, Want);
+}
+
+TEST(DatatypeTest, F64PortableKernelExecutes) {
+  UkrConfig Cfg;
+  Cfg.MR = 4;
+  Cfg.NR = 4;
+  Cfg.Ty = ScalarKind::F64;
+  Cfg.Isa = &portableIsa();
+  Cfg.Style = FmaStyle::Lane;
+  auto R = generateUkernel(Cfg);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+  EXPECT_NE(R->CSource.find("exo_v2d"), std::string::npos) << R->CSource;
+  EXPECT_NE(R->CSource.find("const double *restrict Ac"), std::string::npos);
+}
+
+TEST(DatatypeTest, SetPrecisionConvertsKernelBuffers) {
+  // The §III-D path as described: take the f32 spec and set_precision the
+  // staged register to f16.
+  Proc P = partialEval(makeUkernelRef(), {{"MR", 8}, {"NR", 12}}).take();
+  P = stageMem(P, "C[_] += _", "C", "C_reg").take();
+  auto Q = setPrecision(P, "C_reg", ScalarKind::F16);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.message();
+  auto B = Q->findBuffer("C_reg");
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->Ty, ScalarKind::F16);
+}
+
+TEST(DatatypeTest, I32PortableKernelExecutes) {
+  // Integer arithmetic — one of the gaps in existing libraries the paper's
+  // introduction lists (limitation 5).
+  UkrConfig Cfg;
+  Cfg.MR = 4;
+  Cfg.NR = 8;
+  Cfg.Ty = ScalarKind::I32;
+  Cfg.Isa = &portableIsa();
+  Cfg.Style = FmaStyle::Lane;
+  auto R = generateUkernel(Cfg);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.message();
+  EXPECT_NE(R->CSource.find("exo_v4i"), std::string::npos) << R->CSource;
+  EXPECT_NE(R->CSource.find("const int32_t *restrict Ac"),
+            std::string::npos);
+
+  // JIT and verify with exact integer arithmetic.
+  auto Jit = jitCompile(R->CSource, Cfg.kernelName(), "");
+  ASSERT_TRUE(static_cast<bool>(Jit)) << Jit.message();
+  using KernelI32 = void (*)(int64_t, int64_t, const int32_t *,
+                             const int32_t *, int32_t *);
+  auto Fn = (*Jit)->as<KernelI32>();
+  const int64_t KC = 9, Ldc = 4;
+  std::vector<int32_t> Ac(KC * 4), Bc(KC * 8), C(8 * 4, 3), Want(8 * 4, 3);
+  for (size_t I = 0; I != Ac.size(); ++I)
+    Ac[I] = static_cast<int32_t>(I % 7) - 3;
+  for (size_t I = 0; I != Bc.size(); ++I)
+    Bc[I] = static_cast<int32_t>(I % 5) - 2;
+  for (int64_t J = 0; J < 8; ++J)
+    for (int64_t I = 0; I < 4; ++I)
+      for (int64_t K = 0; K < KC; ++K)
+        Want[J * Ldc + I] += Ac[K * 4 + I] * Bc[K * 8 + J];
+  Fn(KC, Ldc, Ac.data(), Bc.data(), C.data());
+  EXPECT_EQ(C, Want);
+}

@@ -1,0 +1,185 @@
+//===- StepByStepTest.cpp - The paper's Figs. 6-11 progression ------------===//
+//
+// Golden tests over the schedule pipeline: each intermediate version of the
+// 8x12 kernel must have the structure shown in the corresponding figure of
+// the paper (with the Neon instruction library, the generated C carries the
+// exact intrinsics of Fig. 3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ukr/UkrSchedule.h"
+
+#include "exo/ir/Printer.h"
+#include "exo/support/Str.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace ukr;
+
+namespace {
+
+const UkrResult &neon8x12() {
+  static UkrResult R = [] {
+    UkrConfig Cfg;
+    Cfg.MR = 8;
+    Cfg.NR = 12;
+    Cfg.Isa = &neonIsa();
+    Cfg.Style = FmaStyle::Lane;
+    auto Res = generateUkernel(Cfg);
+    if (!Res)
+      fatal(Res.message());
+    return Res.take();
+  }();
+  return R;
+}
+
+/// Finds a pipeline step's proc by its label.
+const Proc &step(const UkrResult &R, const std::string &Label) {
+  for (const UkrStep &S : R.Steps)
+    if (S.Label == Label)
+      return S.P;
+  fatal("no step labeled " + Label);
+}
+
+} // namespace
+
+TEST(StepByStepTest, V1PartialEvalMatchesFig6) {
+  const Proc &P = step(neon8x12(), "partial_eval");
+  EXPECT_EQ(printProc(P),
+            "def uk_8x12_f32_neon_lane(KC: size, ldc: size, "
+            "Ac: f32[KC, 8] @ DRAM, Bc: f32[KC, 12] @ DRAM, "
+            "C: f32[12, 8] @ DRAM):\n"
+            "    assert ldc >= 8\n"
+            "    for k in seq(0, KC):\n"
+            "        for j in seq(0, 12):\n"
+            "            for i in seq(0, 8):\n"
+            "                C[j, i] += Ac[k, i] * Bc[k, j]\n");
+}
+
+TEST(StepByStepTest, V2LoopSplitMatchesFig7) {
+  const Proc &P = step(neon8x12(), "divide_loop j");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("for jt in seq(0, 3):"), std::string::npos) << S;
+  EXPECT_NE(S.find("for jtt in seq(0, 4):"), std::string::npos) << S;
+  EXPECT_NE(S.find("for it in seq(0, 2):"), std::string::npos) << S;
+  EXPECT_NE(S.find("for itt in seq(0, 4):"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[4 * jt + jtt, 4 * it + itt] += "
+                   "Ac[k, 4 * it + itt] * Bc[k, 4 * jt + jtt]"),
+            std::string::npos)
+      << S;
+}
+
+TEST(StepByStepTest, V3CRegisterShapeMatchesFig8) {
+  const Proc &P = step(neon8x12(), "set_memory C_reg");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("C_reg: f32[12, 2, 4] @ Neon"), std::string::npos) << S;
+  EXPECT_NE(S.find("neon_vld_4xf32(C_reg[4 * jt + jtt, it, 0:4], "
+                   "C[4 * jt + jtt, 4 * it:4 * it + 4])"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("neon_vst_4xf32(C[4 * jt + jtt, 4 * it:4 * it + 4], "
+                   "C_reg[4 * jt + jtt, it, 0:4])"),
+            std::string::npos)
+      << S;
+}
+
+TEST(StepByStepTest, V4OperandRegistersMatchFig9) {
+  const Proc &P = step(neon8x12(), "set_memory B_reg");
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("A_reg: f32[2, 4] @ Neon"), std::string::npos) << S;
+  EXPECT_NE(S.find("B_reg: f32[3, 4] @ Neon"), std::string::npos) << S;
+  EXPECT_NE(S.find("neon_vld_4xf32(A_reg[it, 0:4], "
+                   "Ac[k, 4 * it:4 * it + 4])"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("neon_vld_4xf32(B_reg[jt, 0:4], "
+                   "Bc[k, 4 * jt:4 * jt + 4])"),
+            std::string::npos)
+      << S;
+}
+
+TEST(StepByStepTest, V5FmlaMatchesFig10) {
+  const Proc &P = step(neon8x12(), "replace fmla");
+  std::string S = printProc(P);
+  // After the jtt/it reorder, the computation is jt, it, jtt around the
+  // lane FMA.
+  EXPECT_NE(S.find("neon_vfmla_4xf32_4xf32(C_reg[4 * jt + jtt, it, 0:4], "
+                   "A_reg[it, 0:4], B_reg[jt, 0:4], jtt)"),
+            std::string::npos)
+      << S;
+}
+
+TEST(StepByStepTest, V6UnrolledLoadsMatchFig11) {
+  const Proc &P = neon8x12().Final;
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("neon_vld_4xf32(A_reg[0, 0:4], Ac[k, 0:4])"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("neon_vld_4xf32(A_reg[1, 0:4], Ac[k, 4:8])"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("neon_vld_4xf32(B_reg[2, 0:4], Bc[k, 8:12])"),
+            std::string::npos)
+      << S;
+}
+
+TEST(StepByStepTest, GeneratedNeonCHasPaperIntrinsics) {
+  const std::string &C = neon8x12().CSource;
+  EXPECT_NE(C.find("#include <arm_neon.h>"), std::string::npos) << C;
+  EXPECT_NE(C.find("float32x4_t C_reg[12][2];"), std::string::npos) << C;
+  EXPECT_NE(C.find("A_reg[0] = vld1q_f32(&Ac[(k) * 8 + 0]);"),
+            std::string::npos)
+      << C;
+  EXPECT_NE(
+      C.find("C_reg[4 * jt + jtt][it] = vfmaq_laneq_f32(C_reg[4 * jt + "
+             "jtt][it], A_reg[it], B_reg[jt], jtt);"),
+      std::string::npos)
+      << C;
+  EXPECT_NE(C.find("vst1q_f32(&C[(4 * jt + jtt) * ldc + 4 * it], "
+                   "C_reg[4 * jt + jtt][it]);"),
+            std::string::npos)
+      << C;
+}
+
+TEST(StepByStepTest, PipelineRecordsEveryStep) {
+  const UkrResult &R = neon8x12();
+  // partial_eval + 2 divides + 10 C steps + 7 A steps + 7 B steps +
+  // reorder + fmla + 2 unrolls.
+  EXPECT_EQ(R.Steps.size(), 31u);
+  EXPECT_EQ(R.Steps.front().Label, "partial_eval");
+  EXPECT_EQ(R.Steps.back().Label, "unroll B load");
+  EXPECT_EQ(R.Style, FmaStyle::Lane);
+}
+
+TEST(StepByStepTest, KernelNamesAreStable) {
+  UkrConfig Cfg;
+  Cfg.MR = 8;
+  Cfg.NR = 12;
+  Cfg.Isa = &neonIsa();
+  Cfg.Style = FmaStyle::Lane;
+  EXPECT_EQ(Cfg.kernelName(), "uk_8x12_f32_neon_lane");
+  Cfg.Isa = &avx2Isa();
+  Cfg.Style = FmaStyle::Auto;
+  EXPECT_EQ(Cfg.kernelName(), "uk_8x12_f32_avx2_bcst");
+  Cfg.MR = 1;
+  EXPECT_EQ(Cfg.kernelName(), "uk_1x12_f32_c_scalar");
+}
+
+TEST(StepByStepTest, LaneStyleRequiresDivisibleNR) {
+  UkrConfig Cfg;
+  Cfg.MR = 8;
+  Cfg.NR = 10; // Not a multiple of 4.
+  Cfg.Isa = &neonIsa();
+  Cfg.Style = FmaStyle::Lane;
+  auto R = generateUkernel(Cfg);
+  EXPECT_FALSE(static_cast<bool>(R));
+}
+
+TEST(StepByStepTest, AutoFallsBackToScalarForTinyMR) {
+  UkrConfig Cfg;
+  Cfg.MR = 2;
+  Cfg.NR = 12;
+  Cfg.Isa = &neonIsa();
+  EXPECT_EQ(Cfg.effectiveStyle(), FmaStyle::Scalar);
+}

@@ -1,0 +1,77 @@
+//===- UkrSpecTest.cpp - Reference micro-kernel specs ---------------------===//
+
+#include "ukr/UkrSpec.h"
+
+#include "exo/interp/Interp.h"
+#include "exo/ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+TEST(UkrSpecTest, SimplifiedSpecMatchesPaperFig5) {
+  Proc P = ukr::makeUkernelRef();
+  EXPECT_EQ(printProc(P),
+            "def ukernel_ref(MR: size, NR: size, KC: size, ldc: size, "
+            "Ac: f32[KC, MR] @ DRAM, Bc: f32[KC, NR] @ DRAM, "
+            "C: f32[NR, MR] @ DRAM):\n"
+            "    assert ldc >= MR\n"
+            "    for k in seq(0, KC):\n"
+            "        for j in seq(0, NR):\n"
+            "            for i in seq(0, MR):\n"
+            "                C[j, i] += Ac[k, i] * Bc[k, j]\n");
+}
+
+TEST(UkrSpecTest, SimplifiedSpecComputesGemm) {
+  Proc P = ukr::makeUkernelRef();
+  const int64_t MR = 3, NR = 2, KC = 4, Ldc = 5;
+  std::vector<double> Ac(KC * MR), Bc(KC * NR);
+  std::vector<double> C((NR - 1) * Ldc + MR, 1.0);
+  for (size_t I = 0; I != Ac.size(); ++I)
+    Ac[I] = static_cast<double>(I % 5) - 2;
+  for (size_t I = 0; I != Bc.size(); ++I)
+    Bc[I] = static_cast<double>(I % 3) - 1;
+
+  std::vector<double> Want = C;
+  for (int64_t J = 0; J < NR; ++J)
+    for (int64_t I = 0; I < MR; ++I)
+      for (int64_t K = 0; K < KC; ++K)
+        Want[J * Ldc + I] += Ac[K * MR + I] * Bc[K * NR + J];
+
+  Error Err = interpret(P,
+                        {{"MR", MR}, {"NR", NR}, {"KC", KC}, {"ldc", Ldc}},
+                        {{"Ac", {Ac.data(), {KC, MR}}},
+                         {"Bc", {Bc.data(), {KC, NR}}},
+                         {"C", {C.data(), {NR, MR}}}});
+  ASSERT_FALSE(Err) << Err.message();
+  EXPECT_EQ(C, Want);
+}
+
+TEST(UkrSpecTest, FullSpecHandlesAlphaBeta) {
+  Proc P = ukr::makeUkernelRefFull();
+  const int64_t MR = 2, NR = 2, KC = 3, Ldc = 2;
+  std::vector<double> Ac(KC * MR, 1.0), Bc(KC * NR, 2.0);
+  std::vector<double> C(NR * MR, 10.0);
+  std::vector<double> Alpha{0.5}, Beta{3.0};
+
+  Error Err = interpret(P,
+                        {{"MR", MR}, {"NR", NR}, {"KC", KC}, {"ldc", Ldc}},
+                        {{"alpha", {Alpha.data(), {1}}},
+                         {"Ac", {Ac.data(), {KC, MR}}},
+                         {"Bc", {Bc.data(), {KC, NR}}},
+                         {"beta", {Beta.data(), {1}}},
+                         {"C", {C.data(), {NR, MR}}}});
+  ASSERT_FALSE(Err) << Err.message();
+  // C = beta*C + Ac * (alpha*Bc): 3*10 + sum_k 1*(0.5*2) = 30 + 3 = 33.
+  for (double V : C)
+    EXPECT_DOUBLE_EQ(V, 33.0);
+}
+
+TEST(UkrSpecTest, FullSpecUsesStagingBuffers) {
+  Proc P = ukr::makeUkernelRefFull();
+  std::string S = exo::printProc(P);
+  EXPECT_NE(S.find("Cb: f32[NR, MR] @ DRAM"), std::string::npos) << S;
+  EXPECT_NE(S.find("Ba: f32[KC, NR] @ DRAM"), std::string::npos) << S;
+  EXPECT_NE(S.find("Cb[cj, ci] = C[cj, ci] * beta[0]"), std::string::npos);
+  EXPECT_NE(S.find("Ba[bk, bj] = Bc[bk, bj] * alpha[0]"), std::string::npos);
+}

@@ -1,0 +1,118 @@
+//===- exocc.cpp - Compile a textual proc to C ----------------------------===//
+//
+// A minimal compiler driver over the front-end: reads a proc in the
+// surface syntax (see exo/front/Parse.h), optionally checks bounds, and
+// emits the C translation unit — the "Exo generates plain C" contract as a
+// standalone tool.
+//
+// Usage: exocc [--isa neon|avx2|avx512|portable] [--check] [--print-ir]
+//              [--schedule script.sched] [file]   (stdin when no file)
+//
+// With --schedule, the directives in the script (see
+// exo/front/ScheduleScript.h) are applied to the parsed proc before
+// emission — proc in, schedule in, optimized C out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/check/Bounds.h"
+#include "exo/codegen/CEmit.h"
+#include "exo/front/Parse.h"
+#include "exo/front/ScheduleScript.h"
+#include "exo/ir/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+using namespace exo;
+
+int main(int Argc, char **Argv) {
+  const IsaLib *Isa = nullptr;
+  bool Check = false, PrintIr = false;
+  const char *Path = nullptr;
+  const char *SchedPath = nullptr;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--isa") && I + 1 < Argc) {
+      Isa = findIsa(Argv[++I]);
+      if (!Isa) {
+        std::fprintf(stderr, "unknown ISA '%s'\n", Argv[I]);
+        return 2;
+      }
+    } else if (!std::strcmp(Argv[I], "--schedule") && I + 1 < Argc) {
+      SchedPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--check")) {
+      Check = true;
+    } else if (!std::strcmp(Argv[I], "--print-ir")) {
+      PrintIr = true;
+    } else if (!std::strcmp(Argv[I], "--help")) {
+      std::fprintf(stderr,
+                   "usage: %s [--isa name] [--check] [--print-ir] [file]\n",
+                   Argv[0]);
+      return 0;
+    } else if (Argv[I][0] != '-') {
+      Path = Argv[I];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[I]);
+      return 2;
+    }
+  }
+
+  std::string Text;
+  if (Path) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", Path);
+      return 1;
+    }
+    Text.assign(std::istreambuf_iterator<char>(In),
+                std::istreambuf_iterator<char>());
+  } else {
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), stdin)) > 0)
+      Text.append(Buf, N);
+  }
+
+  auto P = parseProc(Text, isaInstrResolver());
+  if (!P) {
+    std::fprintf(stderr, "parse error: %s\n", P.message().c_str());
+    return 1;
+  }
+  if (SchedPath) {
+    std::ifstream In(SchedPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", SchedPath);
+      return 1;
+    }
+    std::string Sched{std::istreambuf_iterator<char>(In),
+                      std::istreambuf_iterator<char>()};
+    auto R = runScheduleScript(*P, Sched);
+    if (!R) {
+      std::fprintf(stderr, "schedule error: %s\n", R.message().c_str());
+      return 1;
+    }
+    *P = std::move(R->Final);
+  }
+  if (Check) {
+    if (Error Err = checkBounds(*P)) {
+      std::fprintf(stderr, "bounds check failed: %s\n",
+                   Err.message().c_str());
+      return 1;
+    }
+  }
+  if (PrintIr)
+    std::printf("%s\n", printProc(*P).c_str());
+
+  CodegenOptions Opts;
+  Opts.Isa = Isa;
+  auto Src = emitCModule(*P, Opts);
+  if (!Src) {
+    std::fprintf(stderr, "codegen error: %s\n", Src.message().c_str());
+    return 1;
+  }
+  std::printf("%s", Src->c_str());
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===- ukr_gen.cpp - Command-line micro-kernel generator ------------------===//
+//
+// The repository's analogue of the paper artifact's generator script: emit
+// a micro-kernel for a given (MR, NR, type, ISA) from the command line,
+// optionally printing every intermediate scheduling step (the paper's
+// `microkernel_generator.sh` walkthrough).
+//
+// Usage:
+//   ukr_gen [--mr N] [--nr N] [--isa neon|avx2|avx512|portable]
+//           [--type f32|f16|f64] [--style auto|lane|bcst|scalar]
+//           [--emit c|ir|steps|all] [--axpby] [--no-unroll]
+//           [--unroll-compute]
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/ir/Printer.h"
+#include "ukr/UkrSchedule.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace exo;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--mr N] [--nr N] [--isa neon|avx2|avx512|portable]\n"
+      "          [--type f32|f16|f64] [--style auto|lane|bcst|scalar]\n"
+      "          [--emit c|ir|steps|all] [--axpby] [--no-unroll]\n"
+      "          [--unroll-compute]\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ukr::UkrConfig Cfg;
+  Cfg.Isa = &neonIsa(); // The paper's default target.
+  std::string Emit = "c";
+
+  for (int I = 1; I < Argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (std::strcmp(Argv[I], Flag) != 0)
+        return nullptr;
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (const char *V = Value("--mr")) {
+      Cfg.MR = std::atoll(V);
+    } else if (const char *V = Value("--nr")) {
+      Cfg.NR = std::atoll(V);
+    } else if (const char *V = Value("--isa")) {
+      Cfg.Isa = findIsa(V);
+      if (!Cfg.Isa) {
+        std::fprintf(stderr, "unknown ISA '%s'\n", V);
+        return 2;
+      }
+    } else if (const char *V = Value("--type")) {
+      if (!parseScalarKind(V, Cfg.Ty)) {
+        std::fprintf(stderr, "unknown type '%s'\n", V);
+        return 2;
+      }
+    } else if (const char *V = Value("--style")) {
+      if (!std::strcmp(V, "auto"))
+        Cfg.Style = ukr::FmaStyle::Auto;
+      else if (!std::strcmp(V, "lane"))
+        Cfg.Style = ukr::FmaStyle::Lane;
+      else if (!std::strcmp(V, "bcst"))
+        Cfg.Style = ukr::FmaStyle::Broadcast;
+      else if (!std::strcmp(V, "scalar"))
+        Cfg.Style = ukr::FmaStyle::Scalar;
+      else {
+        std::fprintf(stderr, "unknown style '%s'\n", V);
+        return 2;
+      }
+    } else if (const char *V = Value("--emit")) {
+      Emit = V;
+    } else if (!std::strcmp(Argv[I], "--axpby")) {
+      Cfg.GeneralAlphaBeta = true;
+    } else if (!std::strcmp(Argv[I], "--no-unroll")) {
+      Cfg.UnrollLoads = false;
+    } else if (!std::strcmp(Argv[I], "--unroll-compute")) {
+      Cfg.UnrollCompute = true;
+    } else if (!std::strcmp(Argv[I], "--help") ||
+               !std::strcmp(Argv[I], "-h")) {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[I]);
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  auto R = ukr::generateUkernel(Cfg);
+  if (!R) {
+    std::fprintf(stderr, "generation failed: %s\n", R.message().c_str());
+    return 1;
+  }
+
+  if (Emit == "steps" || Emit == "all") {
+    int N = 0;
+    for (const ukr::UkrStep &S : R->Steps)
+      std::printf("# ---- step %d: %s ----\n%s\n", ++N, S.Label.c_str(),
+                  printProc(S.P).c_str());
+  }
+  if (Emit == "ir" || Emit == "all")
+    std::printf("%s\n", printProc(R->Final).c_str());
+  if (Emit == "c" || Emit == "all")
+    std::printf("%s", R->CSource.c_str());
+  if (Emit != "c" && Emit != "ir" && Emit != "steps" && Emit != "all") {
+    std::fprintf(stderr, "unknown --emit mode '%s'\n", Emit.c_str());
+    return 2;
+  }
+  return 0;
+}
