@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_edge.dir/bench_ablate_edge.cpp.o"
+  "CMakeFiles/bench_ablate_edge.dir/bench_ablate_edge.cpp.o.d"
+  "bench_ablate_edge"
+  "bench_ablate_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

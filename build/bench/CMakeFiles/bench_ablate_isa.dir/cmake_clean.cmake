@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_isa.dir/bench_ablate_isa.cpp.o"
+  "CMakeFiles/bench_ablate_isa.dir/bench_ablate_isa.cpp.o.d"
+  "bench_ablate_isa"
+  "bench_ablate_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_model.dir/bench_ablate_model.cpp.o"
+  "CMakeFiles/bench_ablate_model.dir/bench_ablate_model.cpp.o.d"
+  "bench_ablate_model"
+  "bench_ablate_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_shape.dir/bench_ablate_shape.cpp.o"
+  "CMakeFiles/bench_ablate_shape.dir/bench_ablate_shape.cpp.o.d"
+  "bench_ablate_shape"
+  "bench_ablate_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_unroll.dir/bench_ablate_unroll.cpp.o"
+  "CMakeFiles/bench_ablate_unroll.dir/bench_ablate_unroll.cpp.o.d"
+  "bench_ablate_unroll"
+  "bench_ablate_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_asm_audit.dir/bench_fig12_asm_audit.cpp.o"
+  "CMakeFiles/bench_fig12_asm_audit.dir/bench_fig12_asm_audit.cpp.o.d"
+  "bench_fig12_asm_audit"
+  "bench_fig12_asm_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_asm_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

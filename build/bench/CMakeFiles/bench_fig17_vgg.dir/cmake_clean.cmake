@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_vgg.dir/bench_fig17_vgg.cpp.o"
+  "CMakeFiles/bench_fig17_vgg.dir/bench_fig17_vgg.cpp.o.d"
+  "bench_fig17_vgg"
+  "bench_fig17_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

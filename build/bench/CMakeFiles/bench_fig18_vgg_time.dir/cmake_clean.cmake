@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_vgg_time.dir/bench_fig18_vgg_time.cpp.o"
+  "CMakeFiles/bench_fig18_vgg_time.dir/bench_fig18_vgg_time.cpp.o.d"
+  "bench_fig18_vgg_time"
+  "bench_fig18_vgg_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_vgg_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_instructions.dir/custom_instructions.cpp.o"
+  "CMakeFiles/custom_instructions.dir/custom_instructions.cpp.o.d"
+  "custom_instructions"
+  "custom_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datatypes.dir/datatypes.cpp.o"
+  "CMakeFiles/datatypes.dir/datatypes.cpp.o.d"
+  "datatypes"
+  "datatypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cases.dir/edge_cases.cpp.o"
+  "CMakeFiles/edge_cases.dir/edge_cases.cpp.o.d"
+  "edge_cases"
+  "edge_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

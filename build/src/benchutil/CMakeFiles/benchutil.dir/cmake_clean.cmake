@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchutil.dir/Bench.cpp.o"
+  "CMakeFiles/benchutil.dir/Bench.cpp.o.d"
+  "libbenchutil.a"
+  "libbenchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

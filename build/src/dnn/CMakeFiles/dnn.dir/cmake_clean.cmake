@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn.dir/Conv.cpp.o"
+  "CMakeFiles/dnn.dir/Conv.cpp.o.d"
+  "CMakeFiles/dnn.dir/Models.cpp.o"
+  "CMakeFiles/dnn.dir/Models.cpp.o.d"
+  "libdnn.a"
+  "libdnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_check.dir/check/Bounds.cpp.o"
+  "CMakeFiles/exo_check.dir/check/Bounds.cpp.o.d"
+  "libexo_check.a"
+  "libexo_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_codegen.dir/codegen/CEmit.cpp.o"
+  "CMakeFiles/exo_codegen.dir/codegen/CEmit.cpp.o.d"
+  "libexo_codegen.a"
+  "libexo_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_front.dir/front/Parse.cpp.o"
+  "CMakeFiles/exo_front.dir/front/Parse.cpp.o.d"
+  "CMakeFiles/exo_front.dir/front/ScheduleScript.cpp.o"
+  "CMakeFiles/exo_front.dir/front/ScheduleScript.cpp.o.d"
+  "libexo_front.a"
+  "libexo_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

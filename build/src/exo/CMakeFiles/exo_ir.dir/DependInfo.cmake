@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exo/ir/Affine.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Affine.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Affine.cpp.o.d"
+  "/root/repo/src/exo/ir/Builder.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Builder.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/exo/ir/Equal.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Equal.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Equal.cpp.o.d"
+  "/root/repo/src/exo/ir/Expr.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Expr.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Expr.cpp.o.d"
+  "/root/repo/src/exo/ir/Printer.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Printer.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/exo/ir/Proc.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Proc.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Proc.cpp.o.d"
+  "/root/repo/src/exo/ir/Rewrite.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Rewrite.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Rewrite.cpp.o.d"
+  "/root/repo/src/exo/ir/Stmt.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o.d"
+  "/root/repo/src/exo/ir/Type.cpp" "src/exo/CMakeFiles/exo_ir.dir/ir/Type.cpp.o" "gcc" "src/exo/CMakeFiles/exo_ir.dir/ir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

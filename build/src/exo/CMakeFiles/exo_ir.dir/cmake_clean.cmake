@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_ir.dir/ir/Affine.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Affine.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Builder.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Builder.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Equal.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Equal.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Expr.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Expr.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Proc.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Proc.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Rewrite.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Rewrite.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Type.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Type.cpp.o.d"
+  "libexo_ir.a"
+  "libexo_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

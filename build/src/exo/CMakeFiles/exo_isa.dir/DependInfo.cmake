@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exo/isa/Avx.cpp" "src/exo/CMakeFiles/exo_isa.dir/isa/Avx.cpp.o" "gcc" "src/exo/CMakeFiles/exo_isa.dir/isa/Avx.cpp.o.d"
+  "/root/repo/src/exo/isa/InstrBuilders.cpp" "src/exo/CMakeFiles/exo_isa.dir/isa/InstrBuilders.cpp.o" "gcc" "src/exo/CMakeFiles/exo_isa.dir/isa/InstrBuilders.cpp.o.d"
+  "/root/repo/src/exo/isa/IsaRegistry.cpp" "src/exo/CMakeFiles/exo_isa.dir/isa/IsaRegistry.cpp.o" "gcc" "src/exo/CMakeFiles/exo_isa.dir/isa/IsaRegistry.cpp.o.d"
+  "/root/repo/src/exo/isa/Neon.cpp" "src/exo/CMakeFiles/exo_isa.dir/isa/Neon.cpp.o" "gcc" "src/exo/CMakeFiles/exo_isa.dir/isa/Neon.cpp.o.d"
+  "/root/repo/src/exo/isa/Portable.cpp" "src/exo/CMakeFiles/exo_isa.dir/isa/Portable.cpp.o" "gcc" "src/exo/CMakeFiles/exo_isa.dir/isa/Portable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

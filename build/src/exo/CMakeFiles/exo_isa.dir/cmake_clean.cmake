@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_isa.dir/isa/Avx.cpp.o"
+  "CMakeFiles/exo_isa.dir/isa/Avx.cpp.o.d"
+  "CMakeFiles/exo_isa.dir/isa/InstrBuilders.cpp.o"
+  "CMakeFiles/exo_isa.dir/isa/InstrBuilders.cpp.o.d"
+  "CMakeFiles/exo_isa.dir/isa/IsaRegistry.cpp.o"
+  "CMakeFiles/exo_isa.dir/isa/IsaRegistry.cpp.o.d"
+  "CMakeFiles/exo_isa.dir/isa/Neon.cpp.o"
+  "CMakeFiles/exo_isa.dir/isa/Neon.cpp.o.d"
+  "CMakeFiles/exo_isa.dir/isa/Portable.cpp.o"
+  "CMakeFiles/exo_isa.dir/isa/Portable.cpp.o.d"
+  "libexo_isa.a"
+  "libexo_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_jit.dir/jit/Jit.cpp.o"
+  "CMakeFiles/exo_jit.dir/jit/Jit.cpp.o.d"
+  "libexo_jit.a"
+  "libexo_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

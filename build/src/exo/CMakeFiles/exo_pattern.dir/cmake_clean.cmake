@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_pattern.dir/pattern/Cursor.cpp.o"
+  "CMakeFiles/exo_pattern.dir/pattern/Cursor.cpp.o.d"
+  "CMakeFiles/exo_pattern.dir/pattern/Pattern.cpp.o"
+  "CMakeFiles/exo_pattern.dir/pattern/Pattern.cpp.o.d"
+  "libexo_pattern.a"
+  "libexo_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

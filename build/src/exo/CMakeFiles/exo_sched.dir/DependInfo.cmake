@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exo/sched/ExtraXforms.cpp" "src/exo/CMakeFiles/exo_sched.dir/sched/ExtraXforms.cpp.o" "gcc" "src/exo/CMakeFiles/exo_sched.dir/sched/ExtraXforms.cpp.o.d"
+  "/root/repo/src/exo/sched/LoopXforms.cpp" "src/exo/CMakeFiles/exo_sched.dir/sched/LoopXforms.cpp.o" "gcc" "src/exo/CMakeFiles/exo_sched.dir/sched/LoopXforms.cpp.o.d"
+  "/root/repo/src/exo/sched/MemXforms.cpp" "src/exo/CMakeFiles/exo_sched.dir/sched/MemXforms.cpp.o" "gcc" "src/exo/CMakeFiles/exo_sched.dir/sched/MemXforms.cpp.o.d"
+  "/root/repo/src/exo/sched/Misc.cpp" "src/exo/CMakeFiles/exo_sched.dir/sched/Misc.cpp.o" "gcc" "src/exo/CMakeFiles/exo_sched.dir/sched/Misc.cpp.o.d"
+  "/root/repo/src/exo/sched/Replace.cpp" "src/exo/CMakeFiles/exo_sched.dir/sched/Replace.cpp.o" "gcc" "src/exo/CMakeFiles/exo_sched.dir/sched/Replace.cpp.o.d"
+  "/root/repo/src/exo/sched/Validate.cpp" "src/exo/CMakeFiles/exo_sched.dir/sched/Validate.cpp.o" "gcc" "src/exo/CMakeFiles/exo_sched.dir/sched/Validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exo/CMakeFiles/exo_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_sched.dir/sched/ExtraXforms.cpp.o"
+  "CMakeFiles/exo_sched.dir/sched/ExtraXforms.cpp.o.d"
+  "CMakeFiles/exo_sched.dir/sched/LoopXforms.cpp.o"
+  "CMakeFiles/exo_sched.dir/sched/LoopXforms.cpp.o.d"
+  "CMakeFiles/exo_sched.dir/sched/MemXforms.cpp.o"
+  "CMakeFiles/exo_sched.dir/sched/MemXforms.cpp.o.d"
+  "CMakeFiles/exo_sched.dir/sched/Misc.cpp.o"
+  "CMakeFiles/exo_sched.dir/sched/Misc.cpp.o.d"
+  "CMakeFiles/exo_sched.dir/sched/Replace.cpp.o"
+  "CMakeFiles/exo_sched.dir/sched/Replace.cpp.o.d"
+  "CMakeFiles/exo_sched.dir/sched/Validate.cpp.o"
+  "CMakeFiles/exo_sched.dir/sched/Validate.cpp.o.d"
+  "libexo_sched.a"
+  "libexo_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

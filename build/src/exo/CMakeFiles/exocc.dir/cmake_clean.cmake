@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exocc.dir/__/__/tools/exocc.cpp.o"
+  "CMakeFiles/exocc.dir/__/__/tools/exocc.cpp.o.d"
+  "exocc"
+  "exocc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemm/CacheModel.cpp" "src/gemm/CMakeFiles/gemm.dir/CacheModel.cpp.o" "gcc" "src/gemm/CMakeFiles/gemm.dir/CacheModel.cpp.o.d"
+  "/root/repo/src/gemm/ExoProvider.cpp" "src/gemm/CMakeFiles/gemm.dir/ExoProvider.cpp.o" "gcc" "src/gemm/CMakeFiles/gemm.dir/ExoProvider.cpp.o.d"
+  "/root/repo/src/gemm/Gemm.cpp" "src/gemm/CMakeFiles/gemm.dir/Gemm.cpp.o" "gcc" "src/gemm/CMakeFiles/gemm.dir/Gemm.cpp.o.d"
+  "/root/repo/src/gemm/Kernels.cpp" "src/gemm/CMakeFiles/gemm.dir/Kernels.cpp.o" "gcc" "src/gemm/CMakeFiles/gemm.dir/Kernels.cpp.o.d"
+  "/root/repo/src/gemm/MicroKernel.cpp" "src/gemm/CMakeFiles/gemm.dir/MicroKernel.cpp.o" "gcc" "src/gemm/CMakeFiles/gemm.dir/MicroKernel.cpp.o.d"
+  "/root/repo/src/gemm/Pack.cpp" "src/gemm/CMakeFiles/gemm.dir/Pack.cpp.o" "gcc" "src/gemm/CMakeFiles/gemm.dir/Pack.cpp.o.d"
+  "/root/repo/src/gemm/RefGemm.cpp" "src/gemm/CMakeFiles/gemm.dir/RefGemm.cpp.o" "gcc" "src/gemm/CMakeFiles/gemm.dir/RefGemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ukr/CMakeFiles/ukr.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

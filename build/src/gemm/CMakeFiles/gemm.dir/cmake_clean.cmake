@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm.dir/CacheModel.cpp.o"
+  "CMakeFiles/gemm.dir/CacheModel.cpp.o.d"
+  "CMakeFiles/gemm.dir/ExoProvider.cpp.o"
+  "CMakeFiles/gemm.dir/ExoProvider.cpp.o.d"
+  "CMakeFiles/gemm.dir/Gemm.cpp.o"
+  "CMakeFiles/gemm.dir/Gemm.cpp.o.d"
+  "CMakeFiles/gemm.dir/Kernels.cpp.o"
+  "CMakeFiles/gemm.dir/Kernels.cpp.o.d"
+  "CMakeFiles/gemm.dir/MicroKernel.cpp.o"
+  "CMakeFiles/gemm.dir/MicroKernel.cpp.o.d"
+  "CMakeFiles/gemm.dir/Pack.cpp.o"
+  "CMakeFiles/gemm.dir/Pack.cpp.o.d"
+  "CMakeFiles/gemm.dir/RefGemm.cpp.o"
+  "CMakeFiles/gemm.dir/RefGemm.cpp.o.d"
+  "libgemm.a"
+  "libgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

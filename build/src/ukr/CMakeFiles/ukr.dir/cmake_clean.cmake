@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukr.dir/KernelRegistry.cpp.o"
+  "CMakeFiles/ukr.dir/KernelRegistry.cpp.o.d"
+  "CMakeFiles/ukr.dir/UkrSchedule.cpp.o"
+  "CMakeFiles/ukr.dir/UkrSchedule.cpp.o.d"
+  "CMakeFiles/ukr.dir/UkrSpec.cpp.o"
+  "CMakeFiles/ukr.dir/UkrSpec.cpp.o.d"
+  "libukr.a"
+  "libukr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukr_gen.dir/__/__/tools/ukr_gen.cpp.o"
+  "CMakeFiles/ukr_gen.dir/__/__/tools/ukr_gen.cpp.o.d"
+  "ukr_gen"
+  "ukr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

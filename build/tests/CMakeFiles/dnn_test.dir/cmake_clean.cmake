@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_test.dir/dnn/ConvTest.cpp.o"
+  "CMakeFiles/dnn_test.dir/dnn/ConvTest.cpp.o.d"
+  "CMakeFiles/dnn_test.dir/dnn/ModelsTest.cpp.o"
+  "CMakeFiles/dnn_test.dir/dnn/ModelsTest.cpp.o.d"
+  "dnn_test"
+  "dnn_test.pdb"
+  "dnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_backend_test.dir/exo/CodegenTest.cpp.o"
+  "CMakeFiles/exo_backend_test.dir/exo/CodegenTest.cpp.o.d"
+  "CMakeFiles/exo_backend_test.dir/exo/IsaTest.cpp.o"
+  "CMakeFiles/exo_backend_test.dir/exo/IsaTest.cpp.o.d"
+  "CMakeFiles/exo_backend_test.dir/exo/JitTest.cpp.o"
+  "CMakeFiles/exo_backend_test.dir/exo/JitTest.cpp.o.d"
+  "exo_backend_test"
+  "exo_backend_test.pdb"
+  "exo_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

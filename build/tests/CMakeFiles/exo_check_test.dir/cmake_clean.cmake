@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_check_test.dir/exo/BoundsTest.cpp.o"
+  "CMakeFiles/exo_check_test.dir/exo/BoundsTest.cpp.o.d"
+  "exo_check_test"
+  "exo_check_test.pdb"
+  "exo_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

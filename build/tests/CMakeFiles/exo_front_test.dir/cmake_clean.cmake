@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_front_test.dir/exo/FuzzInputsTest.cpp.o"
+  "CMakeFiles/exo_front_test.dir/exo/FuzzInputsTest.cpp.o.d"
+  "CMakeFiles/exo_front_test.dir/exo/ParseTest.cpp.o"
+  "CMakeFiles/exo_front_test.dir/exo/ParseTest.cpp.o.d"
+  "CMakeFiles/exo_front_test.dir/exo/ScheduleScriptTest.cpp.o"
+  "CMakeFiles/exo_front_test.dir/exo/ScheduleScriptTest.cpp.o.d"
+  "exo_front_test"
+  "exo_front_test.pdb"
+  "exo_front_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_front_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

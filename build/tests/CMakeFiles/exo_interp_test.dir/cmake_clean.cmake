@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_interp_test.dir/exo/InterpTest.cpp.o"
+  "CMakeFiles/exo_interp_test.dir/exo/InterpTest.cpp.o.d"
+  "exo_interp_test"
+  "exo_interp_test.pdb"
+  "exo_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exo/AffineTest.cpp" "tests/CMakeFiles/exo_ir_test.dir/exo/AffineTest.cpp.o" "gcc" "tests/CMakeFiles/exo_ir_test.dir/exo/AffineTest.cpp.o.d"
+  "/root/repo/tests/exo/ExprTest.cpp" "tests/CMakeFiles/exo_ir_test.dir/exo/ExprTest.cpp.o" "gcc" "tests/CMakeFiles/exo_ir_test.dir/exo/ExprTest.cpp.o.d"
+  "/root/repo/tests/exo/PatternTest.cpp" "tests/CMakeFiles/exo_ir_test.dir/exo/PatternTest.cpp.o" "gcc" "tests/CMakeFiles/exo_ir_test.dir/exo/PatternTest.cpp.o.d"
+  "/root/repo/tests/exo/PrinterTest.cpp" "tests/CMakeFiles/exo_ir_test.dir/exo/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/exo_ir_test.dir/exo/PrinterTest.cpp.o.d"
+  "/root/repo/tests/exo/TypeTest.cpp" "tests/CMakeFiles/exo_ir_test.dir/exo/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/exo_ir_test.dir/exo/TypeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exo/CMakeFiles/exo_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

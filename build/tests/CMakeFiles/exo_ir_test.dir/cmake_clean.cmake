@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_ir_test.dir/exo/AffineTest.cpp.o"
+  "CMakeFiles/exo_ir_test.dir/exo/AffineTest.cpp.o.d"
+  "CMakeFiles/exo_ir_test.dir/exo/ExprTest.cpp.o"
+  "CMakeFiles/exo_ir_test.dir/exo/ExprTest.cpp.o.d"
+  "CMakeFiles/exo_ir_test.dir/exo/PatternTest.cpp.o"
+  "CMakeFiles/exo_ir_test.dir/exo/PatternTest.cpp.o.d"
+  "CMakeFiles/exo_ir_test.dir/exo/PrinterTest.cpp.o"
+  "CMakeFiles/exo_ir_test.dir/exo/PrinterTest.cpp.o.d"
+  "CMakeFiles/exo_ir_test.dir/exo/TypeTest.cpp.o"
+  "CMakeFiles/exo_ir_test.dir/exo/TypeTest.cpp.o.d"
+  "exo_ir_test"
+  "exo_ir_test.pdb"
+  "exo_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

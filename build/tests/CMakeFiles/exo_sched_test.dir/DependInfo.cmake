@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exo/ExtraXformsTest.cpp" "tests/CMakeFiles/exo_sched_test.dir/exo/ExtraXformsTest.cpp.o" "gcc" "tests/CMakeFiles/exo_sched_test.dir/exo/ExtraXformsTest.cpp.o.d"
+  "/root/repo/tests/exo/PropertyTest.cpp" "tests/CMakeFiles/exo_sched_test.dir/exo/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/exo_sched_test.dir/exo/PropertyTest.cpp.o.d"
+  "/root/repo/tests/exo/ReplaceTest.cpp" "tests/CMakeFiles/exo_sched_test.dir/exo/ReplaceTest.cpp.o" "gcc" "tests/CMakeFiles/exo_sched_test.dir/exo/ReplaceTest.cpp.o.d"
+  "/root/repo/tests/exo/ScheduleTest.cpp" "tests/CMakeFiles/exo_sched_test.dir/exo/ScheduleTest.cpp.o" "gcc" "tests/CMakeFiles/exo_sched_test.dir/exo/ScheduleTest.cpp.o.d"
+  "/root/repo/tests/exo/ValidateTest.cpp" "tests/CMakeFiles/exo_sched_test.dir/exo/ValidateTest.cpp.o" "gcc" "tests/CMakeFiles/exo_sched_test.dir/exo/ValidateTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exo/CMakeFiles/exo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

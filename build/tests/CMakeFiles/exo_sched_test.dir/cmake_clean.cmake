@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_sched_test.dir/exo/ExtraXformsTest.cpp.o"
+  "CMakeFiles/exo_sched_test.dir/exo/ExtraXformsTest.cpp.o.d"
+  "CMakeFiles/exo_sched_test.dir/exo/PropertyTest.cpp.o"
+  "CMakeFiles/exo_sched_test.dir/exo/PropertyTest.cpp.o.d"
+  "CMakeFiles/exo_sched_test.dir/exo/ReplaceTest.cpp.o"
+  "CMakeFiles/exo_sched_test.dir/exo/ReplaceTest.cpp.o.d"
+  "CMakeFiles/exo_sched_test.dir/exo/ScheduleTest.cpp.o"
+  "CMakeFiles/exo_sched_test.dir/exo/ScheduleTest.cpp.o.d"
+  "CMakeFiles/exo_sched_test.dir/exo/ValidateTest.cpp.o"
+  "CMakeFiles/exo_sched_test.dir/exo/ValidateTest.cpp.o.d"
+  "exo_sched_test"
+  "exo_sched_test.pdb"
+  "exo_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

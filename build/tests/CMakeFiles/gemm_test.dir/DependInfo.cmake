@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gemm/BenchUtilTest.cpp" "tests/CMakeFiles/gemm_test.dir/gemm/BenchUtilTest.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm/BenchUtilTest.cpp.o.d"
+  "/root/repo/tests/gemm/CacheModelTest.cpp" "tests/CMakeFiles/gemm_test.dir/gemm/CacheModelTest.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm/CacheModelTest.cpp.o.d"
+  "/root/repo/tests/gemm/GemmTest.cpp" "tests/CMakeFiles/gemm_test.dir/gemm/GemmTest.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm/GemmTest.cpp.o.d"
+  "/root/repo/tests/gemm/KernelsTest.cpp" "tests/CMakeFiles/gemm_test.dir/gemm/KernelsTest.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm/KernelsTest.cpp.o.d"
+  "/root/repo/tests/gemm/PackTest.cpp" "tests/CMakeFiles/gemm_test.dir/gemm/PackTest.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm/PackTest.cpp.o.d"
+  "/root/repo/tests/gemm/ProviderTest.cpp" "tests/CMakeFiles/gemm_test.dir/gemm/ProviderTest.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm/ProviderTest.cpp.o.d"
+  "/root/repo/tests/gemm/TransposeTest.cpp" "tests/CMakeFiles/gemm_test.dir/gemm/TransposeTest.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm/TransposeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gemm/CMakeFiles/gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/ukr/CMakeFiles/ukr.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_test.dir/gemm/BenchUtilTest.cpp.o"
+  "CMakeFiles/gemm_test.dir/gemm/BenchUtilTest.cpp.o.d"
+  "CMakeFiles/gemm_test.dir/gemm/CacheModelTest.cpp.o"
+  "CMakeFiles/gemm_test.dir/gemm/CacheModelTest.cpp.o.d"
+  "CMakeFiles/gemm_test.dir/gemm/GemmTest.cpp.o"
+  "CMakeFiles/gemm_test.dir/gemm/GemmTest.cpp.o.d"
+  "CMakeFiles/gemm_test.dir/gemm/KernelsTest.cpp.o"
+  "CMakeFiles/gemm_test.dir/gemm/KernelsTest.cpp.o.d"
+  "CMakeFiles/gemm_test.dir/gemm/PackTest.cpp.o"
+  "CMakeFiles/gemm_test.dir/gemm/PackTest.cpp.o.d"
+  "CMakeFiles/gemm_test.dir/gemm/ProviderTest.cpp.o"
+  "CMakeFiles/gemm_test.dir/gemm/ProviderTest.cpp.o.d"
+  "CMakeFiles/gemm_test.dir/gemm/TransposeTest.cpp.o"
+  "CMakeFiles/gemm_test.dir/gemm/TransposeTest.cpp.o.d"
+  "gemm_test"
+  "gemm_test.pdb"
+  "gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

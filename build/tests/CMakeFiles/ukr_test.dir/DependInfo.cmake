@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ukr/AxpbyTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/AxpbyTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/AxpbyTest.cpp.o.d"
+  "/root/repo/tests/ukr/DatatypeTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/DatatypeTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/DatatypeTest.cpp.o.d"
+  "/root/repo/tests/ukr/EdgeFamilyTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/EdgeFamilyTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/EdgeFamilyTest.cpp.o.d"
+  "/root/repo/tests/ukr/GoldenNeonTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/GoldenNeonTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/GoldenNeonTest.cpp.o.d"
+  "/root/repo/tests/ukr/KernelNumericsTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o.d"
+  "/root/repo/tests/ukr/StepByStepTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o.d"
+  "/root/repo/tests/ukr/UkrSpecTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/UkrSpecTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/UkrSpecTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ukr/CMakeFiles/ukr.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchutil/CMakeFiles/benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukr_test.dir/ukr/AxpbyTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/AxpbyTest.cpp.o.d"
+  "CMakeFiles/ukr_test.dir/ukr/DatatypeTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/DatatypeTest.cpp.o.d"
+  "CMakeFiles/ukr_test.dir/ukr/EdgeFamilyTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/EdgeFamilyTest.cpp.o.d"
+  "CMakeFiles/ukr_test.dir/ukr/GoldenNeonTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/GoldenNeonTest.cpp.o.d"
+  "CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o.d"
+  "CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o.d"
+  "CMakeFiles/ukr_test.dir/ukr/UkrSpecTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/UkrSpecTest.cpp.o.d"
+  "ukr_test"
+  "ukr_test.pdb"
+  "ukr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

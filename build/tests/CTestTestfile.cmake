@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/exo_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/exo_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/exo_check_test[1]_include.cmake")
+include("/root/repo/build/tests/exo_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/exo_front_test[1]_include.cmake")
+include("/root/repo/build/tests/exo_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/ukr_test[1]_include.cmake")
+include("/root/repo/build/tests/gemm_test[1]_include.cmake")
+include("/root/repo/build/tests/dnn_test[1]_include.cmake")
+add_test(cli_ukr_gen_neon "/root/repo/build/src/ukr/ukr_gen" "--mr" "8" "--nr" "12" "--isa" "neon" "--emit" "all")
+set_tests_properties(cli_ukr_gen_neon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_ukr_gen_f16 "/root/repo/build/src/ukr/ukr_gen" "--mr" "8" "--nr" "16" "--isa" "neon" "--type" "f16")
+set_tests_properties(cli_ukr_gen_f16 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_ukr_gen_axpby "/root/repo/build/src/ukr/ukr_gen" "--mr" "8" "--nr" "12" "--isa" "avx2" "--axpby")
+set_tests_properties(cli_ukr_gen_axpby PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_ukr_gen_rejects_bad_isa "/root/repo/build/src/ukr/ukr_gen" "--isa" "riscv")
+set_tests_properties(cli_ukr_gen_rejects_bad_isa PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;88;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_exocc_paper_schedule "/root/repo/build/src/exo/exocc" "--isa" "neon" "--check" "--schedule" "/root/repo/examples/schedules/paper_8x12_neon.sched" "/root/repo/examples/schedules/ukernel_ref.proc")
+set_tests_properties(cli_exocc_paper_schedule PROPERTIES  PASS_REGULAR_EXPRESSION "vfmaq_laneq_f32" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_exocc_rejects_parse_error "/root/repo/build/src/exo/exocc" "/root/repo/examples/schedules/paper_8x12_neon.sched")
+set_tests_properties(cli_exocc_rejects_parse_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;97;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "verified against the naive" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;103;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_custom_instructions "/root/repo/build/examples/custom_instructions")
+set_tests_properties(example_custom_instructions PROPERTIES  PASS_REGULAR_EXPRESSION "mylib_fma_lane4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;106;add_test;/root/repo/tests/CMakeLists.txt;0;")
