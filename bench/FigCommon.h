@@ -107,6 +107,14 @@ inline std::vector<double> gemmSeriesSeconds(int64_t M, int64_t N, int64_t K,
   return S;
 }
 
+/// Bench epilogue: dumps the kernel-cache counters accumulated over the
+/// run to stderr (so --csv output stays clean). Pre-warming the persistent
+/// cache (`ukr_cachectl warm`, see docs/KERNEL_CACHE.md) shows up here as
+/// disk-hits with zero compiles.
+inline void dumpCacheStats() {
+  ukr::printCacheStats(ukr::globalCacheStats(), stderr);
+}
+
 } // namespace fig
 
 #endif // BENCH_FIGCOMMON_H

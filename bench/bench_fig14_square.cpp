@@ -32,5 +32,6 @@ int main(int Argc, char **Argv) {
              Row);
   }
   T.print();
+  fig::dumpCacheStats();
   return 0;
 }

@@ -48,5 +48,6 @@ int main(int Argc, char **Argv) {
   std::printf("ALG+EXO is the best option for %d of %zu layers "
               "(paper: 9 of 20 on Carmel).\n",
               ExoWins, dnn::resnet50Layers().size());
+  fig::dumpCacheStats();
   return 0;
 }

@@ -30,5 +30,6 @@ int main(int Argc, char **Argv) {
     T.addRow(fig::seriesNames()[I],
              {Total[I] * 1e3, benchutil::gflops(TotalFlops, Total[I])});
   T.print();
+  fig::dumpCacheStats();
   return 0;
 }

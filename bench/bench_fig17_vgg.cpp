@@ -42,5 +42,6 @@ int main(int Argc, char **Argv) {
     T.addRow(std::move(Cells));
   }
   T.print();
+  fig::dumpCacheStats();
   return 0;
 }

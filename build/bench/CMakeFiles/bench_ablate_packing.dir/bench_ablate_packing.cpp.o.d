@@ -220,5 +220,6 @@ bench/CMakeFiles/bench_ablate_packing.dir/bench_ablate_packing.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ukr/UkrConfig.h \
- /root/repo/src/exo/isa/IsaLib.h /root/repo/src/gemm/Gemm.h \
- /root/repo/src/gemm/CacheModel.h /root/repo/src/gemm/Pack.h
+ /root/repo/src/exo/isa/IsaLib.h /root/repo/src/ukr/KernelService.h \
+ /root/repo/src/gemm/Gemm.h /root/repo/src/gemm/CacheModel.h \
+ /root/repo/src/gemm/Pack.h

@@ -221,11 +221,11 @@ bench/CMakeFiles/bench_fig13_solo.dir/bench_fig13_solo.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ukr/UkrConfig.h \
- /root/repo/src/exo/isa/IsaLib.h /root/repo/src/gemm/Gemm.h \
- /root/repo/src/gemm/CacheModel.h /root/repo/src/gemm/Pack.h \
- /root/repo/src/gemm/Kernels.h /root/repo/src/gemm/RefGemm.h \
- /root/repo/src/exo/support/Str.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/exo/isa/IsaLib.h /root/repo/src/ukr/KernelService.h \
+ /root/repo/src/gemm/Gemm.h /root/repo/src/gemm/CacheModel.h \
+ /root/repo/src/gemm/Pack.h /root/repo/src/gemm/Kernels.h \
+ /root/repo/src/gemm/RefGemm.h /root/repo/src/exo/support/Str.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -221,7 +221,7 @@ bench/CMakeFiles/bench_fig16_resnet_time.dir/bench_fig16_resnet_time.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ukr/UkrConfig.h \
- /root/repo/src/exo/isa/IsaLib.h /root/repo/src/gemm/Gemm.h \
- /root/repo/src/gemm/CacheModel.h /root/repo/src/gemm/Pack.h \
- /root/repo/src/gemm/Kernels.h /root/repo/src/gemm/RefGemm.h \
- /root/repo/src/dnn/Models.h
+ /root/repo/src/exo/isa/IsaLib.h /root/repo/src/ukr/KernelService.h \
+ /root/repo/src/gemm/Gemm.h /root/repo/src/gemm/CacheModel.h \
+ /root/repo/src/gemm/Pack.h /root/repo/src/gemm/Kernels.h \
+ /root/repo/src/gemm/RefGemm.h /root/repo/src/dnn/Models.h

@@ -220,9 +220,9 @@ bench/CMakeFiles/bench_gbench_micro.dir/bench_gbench_micro.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ukr/UkrConfig.h \
- /root/repo/src/exo/isa/IsaLib.h /root/repo/src/gemm/Kernels.h \
- /usr/include/benchmark/benchmark.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/exo/isa/IsaLib.h /root/repo/src/ukr/KernelService.h \
+ /root/repo/src/gemm/Kernels.h /usr/include/benchmark/benchmark.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \

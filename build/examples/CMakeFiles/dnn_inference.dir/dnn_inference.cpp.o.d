@@ -220,7 +220,7 @@ examples/CMakeFiles/dnn_inference.dir/dnn_inference.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ukr/UkrConfig.h \
- /root/repo/src/exo/isa/IsaLib.h /root/repo/src/gemm/Gemm.h \
- /root/repo/src/gemm/CacheModel.h /root/repo/src/gemm/Pack.h \
- /root/repo/src/gemm/RefGemm.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/exo/isa/IsaLib.h /root/repo/src/ukr/KernelService.h \
+ /root/repo/src/gemm/Gemm.h /root/repo/src/gemm/CacheModel.h \
+ /root/repo/src/gemm/Pack.h /root/repo/src/gemm/RefGemm.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

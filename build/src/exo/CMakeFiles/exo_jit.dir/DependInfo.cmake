@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exo/jit/DiskCache.cpp" "src/exo/CMakeFiles/exo_jit.dir/jit/DiskCache.cpp.o" "gcc" "src/exo/CMakeFiles/exo_jit.dir/jit/DiskCache.cpp.o.d"
   "/root/repo/src/exo/jit/Jit.cpp" "src/exo/CMakeFiles/exo_jit.dir/jit/Jit.cpp.o" "gcc" "src/exo/CMakeFiles/exo_jit.dir/jit/Jit.cpp.o.d"
   )
 

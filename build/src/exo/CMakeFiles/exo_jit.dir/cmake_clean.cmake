@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/exo_jit.dir/jit/DiskCache.cpp.o"
+  "CMakeFiles/exo_jit.dir/jit/DiskCache.cpp.o.d"
   "CMakeFiles/exo_jit.dir/jit/Jit.cpp.o"
   "CMakeFiles/exo_jit.dir/jit/Jit.cpp.o.d"
   "libexo_jit.a"

@@ -211,4 +211,4 @@ src/gemm/CMakeFiles/gemm.dir/ExoProvider.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/ukr/UkrConfig.h \
- /root/repo/src/exo/isa/IsaLib.h
+ /root/repo/src/exo/isa/IsaLib.h /root/repo/src/ukr/KernelService.h

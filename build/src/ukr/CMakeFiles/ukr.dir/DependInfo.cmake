@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ukr/KernelRegistry.cpp" "src/ukr/CMakeFiles/ukr.dir/KernelRegistry.cpp.o" "gcc" "src/ukr/CMakeFiles/ukr.dir/KernelRegistry.cpp.o.d"
+  "/root/repo/src/ukr/KernelService.cpp" "src/ukr/CMakeFiles/ukr.dir/KernelService.cpp.o" "gcc" "src/ukr/CMakeFiles/ukr.dir/KernelService.cpp.o.d"
   "/root/repo/src/ukr/UkrSchedule.cpp" "src/ukr/CMakeFiles/ukr.dir/UkrSchedule.cpp.o" "gcc" "src/ukr/CMakeFiles/ukr.dir/UkrSchedule.cpp.o.d"
   "/root/repo/src/ukr/UkrSpec.cpp" "src/ukr/CMakeFiles/ukr.dir/UkrSpec.cpp.o" "gcc" "src/ukr/CMakeFiles/ukr.dir/UkrSpec.cpp.o.d"
   )

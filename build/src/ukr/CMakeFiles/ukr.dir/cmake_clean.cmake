@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ukr.dir/KernelRegistry.cpp.o"
   "CMakeFiles/ukr.dir/KernelRegistry.cpp.o.d"
+  "CMakeFiles/ukr.dir/KernelService.cpp.o"
+  "CMakeFiles/ukr.dir/KernelService.cpp.o.d"
   "CMakeFiles/ukr.dir/UkrSchedule.cpp.o"
   "CMakeFiles/ukr.dir/UkrSchedule.cpp.o.d"
   "CMakeFiles/ukr.dir/UkrSpec.cpp.o"

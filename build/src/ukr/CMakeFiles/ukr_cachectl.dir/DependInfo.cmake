@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/ukr_cachectl.cpp" "src/ukr/CMakeFiles/ukr_cachectl.dir/__/__/tools/ukr_cachectl.cpp.o" "gcc" "src/ukr/CMakeFiles/ukr_cachectl.dir/__/__/tools/ukr_cachectl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ukr/CMakeFiles/ukr.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/exo/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

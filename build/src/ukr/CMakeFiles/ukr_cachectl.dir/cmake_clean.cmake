@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ukr_cachectl.dir/__/__/tools/ukr_cachectl.cpp.o"
+  "CMakeFiles/ukr_cachectl.dir/__/__/tools/ukr_cachectl.cpp.o.d"
+  "ukr_cachectl"
+  "ukr_cachectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ukr_cachectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

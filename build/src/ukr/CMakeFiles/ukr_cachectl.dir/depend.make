@@ -1,0 +1,2 @@
+# Empty dependencies file for ukr_cachectl.
+# This may be replaced when dependencies are built.

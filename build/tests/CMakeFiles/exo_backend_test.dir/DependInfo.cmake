@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/exo/CodegenTest.cpp" "tests/CMakeFiles/exo_backend_test.dir/exo/CodegenTest.cpp.o" "gcc" "tests/CMakeFiles/exo_backend_test.dir/exo/CodegenTest.cpp.o.d"
+  "/root/repo/tests/exo/DiskCacheTest.cpp" "tests/CMakeFiles/exo_backend_test.dir/exo/DiskCacheTest.cpp.o" "gcc" "tests/CMakeFiles/exo_backend_test.dir/exo/DiskCacheTest.cpp.o.d"
   "/root/repo/tests/exo/IsaTest.cpp" "tests/CMakeFiles/exo_backend_test.dir/exo/IsaTest.cpp.o" "gcc" "tests/CMakeFiles/exo_backend_test.dir/exo/IsaTest.cpp.o.d"
   "/root/repo/tests/exo/JitTest.cpp" "tests/CMakeFiles/exo_backend_test.dir/exo/JitTest.cpp.o" "gcc" "tests/CMakeFiles/exo_backend_test.dir/exo/JitTest.cpp.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/exo_backend_test.dir/exo/CodegenTest.cpp.o"
   "CMakeFiles/exo_backend_test.dir/exo/CodegenTest.cpp.o.d"
+  "CMakeFiles/exo_backend_test.dir/exo/DiskCacheTest.cpp.o"
+  "CMakeFiles/exo_backend_test.dir/exo/DiskCacheTest.cpp.o.d"
   "CMakeFiles/exo_backend_test.dir/exo/IsaTest.cpp.o"
   "CMakeFiles/exo_backend_test.dir/exo/IsaTest.cpp.o.d"
   "CMakeFiles/exo_backend_test.dir/exo/JitTest.cpp.o"

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/ukr/EdgeFamilyTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/EdgeFamilyTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/EdgeFamilyTest.cpp.o.d"
   "/root/repo/tests/ukr/GoldenNeonTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/GoldenNeonTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/GoldenNeonTest.cpp.o.d"
   "/root/repo/tests/ukr/KernelNumericsTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o.d"
+  "/root/repo/tests/ukr/KernelServiceTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/KernelServiceTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/KernelServiceTest.cpp.o.d"
   "/root/repo/tests/ukr/StepByStepTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o.d"
   "/root/repo/tests/ukr/UkrSpecTest.cpp" "tests/CMakeFiles/ukr_test.dir/ukr/UkrSpecTest.cpp.o" "gcc" "tests/CMakeFiles/ukr_test.dir/ukr/UkrSpecTest.cpp.o.d"
   )

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ukr_test.dir/ukr/GoldenNeonTest.cpp.o.d"
   "CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o"
   "CMakeFiles/ukr_test.dir/ukr/KernelNumericsTest.cpp.o.d"
+  "CMakeFiles/ukr_test.dir/ukr/KernelServiceTest.cpp.o"
+  "CMakeFiles/ukr_test.dir/ukr/KernelServiceTest.cpp.o.d"
   "CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o"
   "CMakeFiles/ukr_test.dir/ukr/StepByStepTest.cpp.o.d"
   "CMakeFiles/ukr_test.dir/ukr/UkrSpecTest.cpp.o"

@@ -6,10 +6,13 @@
 ///
 /// \file
 /// Exo's contract is "emit plain C and let the user pick the compiler". The
-/// JIT honours it literally: generated C is written to a scratch directory,
-/// compiled with the system C compiler (override with EXO_CC), loaded with
-/// dlopen, and the kernel symbol resolved. Compilations are cached by a hash
-/// of (source, flags) for the lifetime of the process.
+/// JIT honours it literally: generated C is written to a scratch directory
+/// (EXO_JIT_DIR, else TMPDIR, else /tmp), compiled with the system C
+/// compiler (override with EXO_CC), loaded with dlopen, and the kernel
+/// symbol resolved. Compilations are cached at two levels: an in-process
+/// map and the persistent content-addressed artifact cache of DiskCache.h,
+/// both keyed by FNV-1a 64 of (source, flags, symbol, compiler identity,
+/// ABI version). A disk hit skips the compiler entirely.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +59,27 @@ Expected<JitKernelPtr> jitCompile(const std::string &CSource,
 
 /// True when a working C compiler is available for jitCompile.
 bool jitAvailable();
+
+/// Process-wide JIT counters; the building blocks of the kernel-cache
+/// observability layer (ukr::CacheStats aggregates these per service).
+struct JitStats {
+  uint64_t MemHits = 0;         ///< served from the in-process map
+  uint64_t DiskHits = 0;        ///< loaded from the persistent cache
+  uint64_t Compiles = 0;        ///< compiler invocations that succeeded
+  uint64_t CompileFailures = 0; ///< compiler invocations that failed
+  double CompileMs = 0;         ///< wall time spent inside the compiler
+};
+
+/// Snapshot of the counters above.
+JitStats jitStats();
+
+/// Zeroes the counters (tests).
+void jitResetStats();
+
+/// Drops the in-process compilation map so the next jitCompile must go to
+/// the disk cache or the compiler. Loaded kernels stay valid (shared_ptr).
+/// Test hook for exercising the persistence path within one process.
+void jitClearMemoryCache();
 
 } // namespace exo
 

@@ -44,6 +44,9 @@ struct Kernel {
   MicroKernelF32 Fn = nullptr;
   /// Set instead of Fn for GeneralAlphaBeta configurations.
   MicroKernelAxpbyF32 FnAxpby = nullptr;
+  /// True for the portable reference stand-in KernelService::tryGet hands
+  /// out while the specialized kernel is still compiling.
+  bool IsFallback = false;
 
   int64_t mr() const { return Cfg.MR; }
   int64_t nr() const { return Cfg.NR; }

@@ -1,0 +1,300 @@
+//===- KernelServiceTest.cpp - Async kernel-cache service -----------------===//
+
+#include "ukr/KernelService.h"
+
+#include "benchutil/Bench.h"
+#include "exo/jit/DiskCache.h"
+#include "exo/jit/Jit.h"
+#include "ukr/KernelRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <thread>
+#include <unistd.h>
+
+using namespace exo;
+using namespace ukr;
+
+namespace {
+
+std::string makeTempDir() {
+  const char *Tmp = std::getenv("TMPDIR");
+  std::string Templ =
+      std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/exo-kstest-XXXXXX";
+  std::vector<char> Buf(Templ.begin(), Templ.end());
+  Buf.push_back('\0');
+  const char *Dir = mkdtemp(Buf.data());
+  EXPECT_NE(Dir, nullptr);
+  return Dir ? Dir : "";
+}
+
+UkrConfig configFor(int64_t MR, int64_t NR) {
+  UkrConfig Cfg;
+  Cfg.MR = MR;
+  Cfg.NR = NR;
+  Cfg.Isa = bestIsaForMr(MR);
+  if (!Cfg.Isa)
+    Cfg.Style = FmaStyle::Scalar;
+  return Cfg;
+}
+
+/// Runs \p Fn on random packed panels and checks it against the triple
+/// loop (same harness as EdgeFamilyTest).
+void checkNumerics(MicroKernelF32 Fn, int64_t MR, int64_t NR) {
+  const int64_t KC = 13, Ldc = MR + 1;
+  std::vector<float> Ac(KC * MR), Bc(KC * NR);
+  std::vector<float> C((NR - 1) * Ldc + MR, 1.0f), Want;
+  benchutil::fillRandom(Ac.data(), Ac.size(), 31);
+  benchutil::fillRandom(Bc.data(), Bc.size(), 32);
+  Want = C;
+  for (int64_t J = 0; J < NR; ++J)
+    for (int64_t I = 0; I < MR; ++I)
+      for (int64_t P = 0; P < KC; ++P)
+        Want[J * Ldc + I] += Ac[P * MR + I] * Bc[P * NR + J];
+  Fn(KC, Ldc, Ac.data(), Bc.data(), C.data());
+  for (size_t I = 0; I != C.size(); ++I)
+    ASSERT_NEAR(C[I], Want[I], 1e-4f) << MR << "x" << NR << " @" << I;
+}
+
+} // namespace
+
+TEST(FallbackUkrTest, CoversTheCandidateFamilyAndNoMore) {
+  EXPECT_NE(fallbackUkr(8, 12), nullptr);
+  EXPECT_NE(fallbackUkr(1, 1), nullptr);
+  EXPECT_NE(fallbackUkr(24, 16), nullptr);
+  EXPECT_EQ(fallbackUkr(25, 1), nullptr);
+  EXPECT_EQ(fallbackUkr(1, 17), nullptr);
+  EXPECT_EQ(fallbackUkr(0, 4), nullptr);
+}
+
+TEST(FallbackUkrTest, ReferenceNumerics) {
+  for (auto [MR, NR] : {std::pair<int64_t, int64_t>{8, 12}, {3, 5}, {1, 12}})
+    checkNumerics(fallbackUkr(MR, NR), MR, NR);
+}
+
+TEST(StandardShapeFamilyTest, TilePlusEdgesNoDuplicates) {
+  std::vector<UkrConfig> Family = standardShapeFamily(8, 12);
+  ASSERT_GE(Family.size(), 5u);
+  std::set<std::string> Names;
+  bool HasFullTile = false;
+  for (const UkrConfig &Cfg : Family) {
+    EXPECT_TRUE(Names.insert(Cfg.kernelName()).second) << Cfg.kernelName();
+    EXPECT_GE(Cfg.MR, 1);
+    EXPECT_LE(Cfg.MR, 8);
+    EXPECT_GE(Cfg.NR, 1);
+    EXPECT_LE(Cfg.NR, 12);
+    HasFullTile |= Cfg.MR == 8 && Cfg.NR == 12;
+    // Every family member must have a fallback stand-in for tryGet.
+    EXPECT_NE(fallbackUkr(Cfg.MR, Cfg.NR), nullptr);
+  }
+  EXPECT_TRUE(HasFullTile);
+}
+
+TEST(KernelServiceTest, AsyncFirstTouchFallsBackThenSpecializes) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  KernelService::Options Opts;
+  Opts.Workers = 2;
+  Opts.CacheDir = makeTempDir();
+  KernelService S(Opts);
+
+  UkrConfig Cfg = configFor(4, 6);
+  // Cold service: the very first tryGet can never have a ready kernel, so
+  // it must answer with the portable stand-in immediately (never the
+  // compiler on this thread).
+  const Kernel *F = S.tryGet(Cfg);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->IsFallback);
+  ASSERT_NE(F->Fn, nullptr);
+  EXPECT_EQ(F->Fn, fallbackUkr(4, 6));
+  checkNumerics(F->Fn, 4, 6);
+
+  // Blocking get resolves to the specialized kernel...
+  auto K = S.get(Cfg);
+  ASSERT_TRUE(static_cast<bool>(K)) << K.message();
+  EXPECT_FALSE((*K)->IsFallback);
+  ASSERT_NE((*K)->Fn, nullptr);
+  EXPECT_NE((*K)->Fn, F->Fn);
+  checkNumerics((*K)->Fn, 4, 6);
+
+  // ...and from then on tryGet serves it too.
+  const Kernel *R = S.tryGet(Cfg);
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(R->IsFallback);
+  EXPECT_EQ(R->Fn, (*K)->Fn);
+
+  CacheStats St = S.stats();
+  EXPECT_GE(St.Fallbacks, 1u);
+  EXPECT_GE(St.Hits, 1u);
+  EXPECT_EQ(St.Builds, 1u);
+  EXPECT_EQ(St.Failures, 0u);
+  EXPECT_EQ(St.InFlight, 0u);
+}
+
+TEST(KernelServiceTest, EightThreadHammerBuildsOncePerConfig) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  KernelService::Options Opts;
+  Opts.Workers = 4;
+  Opts.CacheDir = makeTempDir();
+  KernelService S(Opts);
+
+  const std::vector<UkrConfig> Family = standardShapeFamily(8, 12);
+  constexpr int NumThreads = 8;
+  // [thread][config] -> resolved function pointer, preallocated so worker
+  // threads never touch shared containers (TSan-clean by construction).
+  std::vector<std::vector<MicroKernelF32>> FromService(
+      NumThreads, std::vector<MicroKernelF32>(Family.size(), nullptr));
+  std::vector<std::vector<MicroKernelF32>> FromCache = FromService;
+  std::vector<int> Errors(NumThreads, 0);
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (size_t I = 0; I < Family.size(); ++I) {
+        const UkrConfig &Cfg = Family[I];
+        // Non-blocking path: either the stand-in or the real kernel,
+        // never a null answer for the standard family.
+        const Kernel *Quick = S.tryGet(Cfg);
+        if (!Quick || !Quick->Fn) {
+          ++Errors[T];
+          continue;
+        }
+        // Blocking path: everyone must converge on one build.
+        auto K = S.get(Cfg);
+        if (!K || !(*K)->Fn) {
+          ++Errors[T];
+          continue;
+        }
+        FromService[T][I] = (*K)->Fn;
+        // And the synchronous registry agrees under the same contention.
+        auto C = KernelCache::global().get(Cfg);
+        if (!C || !(*C)->Fn) {
+          ++Errors[T];
+          continue;
+        }
+        FromCache[T][I] = (*C)->Fn;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int T = 0; T < NumThreads; ++T) {
+    EXPECT_EQ(Errors[T], 0) << "thread " << T;
+    for (size_t I = 0; I < Family.size(); ++I) {
+      // One build per config: every thread got the same function pointer.
+      EXPECT_EQ(FromService[T][I], FromService[0][I])
+          << "thread " << T << " config " << Family[I].kernelName();
+      EXPECT_EQ(FromCache[T][I], FromCache[0][I])
+          << "thread " << T << " config " << Family[I].kernelName();
+      EXPECT_NE(FromService[T][I], nullptr);
+    }
+  }
+
+  CacheStats St = S.stats();
+  EXPECT_EQ(St.Builds, Family.size());
+  EXPECT_EQ(St.Failures, 0u);
+  EXPECT_EQ(St.InFlight, 0u);
+  EXPECT_EQ(S.size(), Family.size());
+}
+
+TEST(KernelServiceTest, SecondServiceOverWarmDirSkipsTheCompiler) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  std::string Dir = makeTempDir();
+  UkrConfig Cfg = configFor(6, 5);
+
+  // First service over a cold directory: must invoke the compiler.
+  jitClearMemoryCache();
+  {
+    KernelService::Options Opts;
+    Opts.Workers = 2;
+    Opts.CacheDir = Dir;
+    KernelService S1(Opts);
+    auto K1 = S1.get(Cfg);
+    ASSERT_TRUE(static_cast<bool>(K1)) << K1.message();
+    CacheStats St1 = S1.stats();
+    EXPECT_EQ(St1.Compiles, 1u);
+    EXPECT_EQ(St1.DiskHits, 0u);
+  }
+
+  // Fresh service, same directory, empty in-process map: the kernel must
+  // come back from disk with zero compiler invocations.
+  jitClearMemoryCache();
+  KernelService::Options Opts;
+  Opts.Workers = 2;
+  Opts.CacheDir = Dir;
+  KernelService S2(Opts);
+  auto K2 = S2.get(Cfg);
+  ASSERT_TRUE(static_cast<bool>(K2)) << K2.message();
+  checkNumerics((*K2)->Fn, 6, 5);
+  CacheStats St2 = S2.stats();
+  EXPECT_EQ(St2.Compiles, 0u);
+  EXPECT_EQ(St2.DiskHits, 1u);
+  EXPECT_EQ(St2.Builds, 1u);
+}
+
+TEST(KernelServiceTest, CorruptedDiskEntryRecompilesCleanly) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  std::string Dir = makeTempDir();
+  UkrConfig Cfg = configFor(7, 3);
+
+  jitClearMemoryCache();
+  {
+    KernelService::Options Opts;
+    Opts.Workers = 1;
+    Opts.CacheDir = Dir;
+    KernelService S1(Opts);
+    auto K1 = S1.get(Cfg);
+    ASSERT_TRUE(static_cast<bool>(K1)) << K1.message();
+  }
+
+  // Replace every published artifact with garbage (a new inode, like a
+  // torn write from another process — the kernel built above stays mapped
+  // in this process, so truncating in place would be undefined).
+  std::vector<JitDiskCache::Entry> Entries = JitDiskCache::global().list();
+  ASSERT_FALSE(Entries.empty());
+  for (const JitDiskCache::Entry &E : Entries) {
+    std::string Tmp = E.SoPath + ".corrupt";
+    std::ofstream(Tmp) << "not an object";
+    ASSERT_EQ(::rename(Tmp.c_str(), E.SoPath.c_str()), 0) << E.SoPath;
+  }
+
+  // A fresh service must notice the corruption, recompile, and still hand
+  // out a working kernel — no crash, no error.
+  jitClearMemoryCache();
+  KernelService::Options Opts;
+  Opts.Workers = 1;
+  Opts.CacheDir = Dir;
+  KernelService S2(Opts);
+  auto K2 = S2.get(Cfg);
+  ASSERT_TRUE(static_cast<bool>(K2)) << K2.message();
+  checkNumerics((*K2)->Fn, 7, 3);
+  EXPECT_GE(S2.stats().Compiles, 1u);
+}
+
+TEST(KernelServiceTest, WarmResolvesTheWholeFamily) {
+  if (!jitAvailable())
+    GTEST_SKIP();
+  KernelService::Options Opts;
+  Opts.Workers = 4;
+  Opts.CacheDir = makeTempDir();
+  KernelService S(Opts);
+
+  std::vector<UkrConfig> Family = standardShapeFamily(8, 12);
+  exo::Error Err = S.warm(Family);
+  EXPECT_FALSE(static_cast<bool>(Err)) << Err.message();
+  EXPECT_EQ(S.size(), Family.size());
+  EXPECT_EQ(S.stats().InFlight, 0u);
+  for (const UkrConfig &Cfg : Family) {
+    const Kernel *K = S.tryGet(Cfg);
+    ASSERT_NE(K, nullptr) << Cfg.kernelName();
+    EXPECT_FALSE(K->IsFallback) << Cfg.kernelName();
+  }
+}

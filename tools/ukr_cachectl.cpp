@@ -1,0 +1,200 @@
+//===- ukr_cachectl.cpp - Persistent kernel-cache administration ----------===//
+//
+// Operator CLI over the persistent JIT artifact cache:
+//
+//   ukr_cachectl list                 show cached artifacts (key, symbol,
+//                                     size, age)
+//   ukr_cachectl warm                 precompile the standard shape family
+//                                     (full tile + edge family) into the
+//                                     cache — the AOT warmup path; run it
+//                                     once before benching so timed runs
+//                                     never invoke the compiler
+//   ukr_cachectl prune                evict LRU entries over the size bound
+//   ukr_cachectl verify               dlopen-check every artifact; --fix
+//                                     removes corrupt ones
+//
+// Common flags:
+//   --dir PATH        operate on this cache root (default:
+//                     $EXO_JIT_CACHE_DIR, else ~/.cache/exo-ukr)
+//   warm:  --mr N --nr N (family base tile, default 8x12), --full (every
+//          pickShape candidate tile), --jobs N (compile workers)
+//   prune: --max-bytes N (default $EXO_JIT_CACHE_MAX_BYTES or 256 MiB)
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/jit/DiskCache.h"
+#include "ukr/KernelService.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <dlfcn.h>
+#include <string>
+
+using namespace exo;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dir PATH] list\n"
+               "       %s [--dir PATH] warm [--mr N] [--nr N] [--full] "
+               "[--jobs N]\n"
+               "       %s [--dir PATH] prune [--max-bytes N]\n"
+               "       %s [--dir PATH] verify [--fix]\n",
+               Argv0, Argv0, Argv0, Argv0);
+}
+
+int cmdList() {
+  JitDiskCache &DC = JitDiskCache::global();
+  if (!DC.enabled()) {
+    std::fprintf(stderr, "cache disabled (root: %s)\n", DC.root().c_str());
+    return 1;
+  }
+  std::vector<JitDiskCache::Entry> Entries = DC.list();
+  uint64_t Total = 0;
+  std::printf("%-18s %-40s %10s %8s  %s\n", "key", "symbol", "bytes",
+              "age(s)", "flags");
+  time_t Now = time(nullptr);
+  for (const auto &E : Entries) {
+    Total += E.Bytes;
+    std::printf("k%016llx %-40s %10llu %8lld  %s\n",
+                static_cast<unsigned long long>(E.Key),
+                E.Meta.Symbol.empty() ? "?" : E.Meta.Symbol.c_str(),
+                static_cast<unsigned long long>(E.Bytes),
+                static_cast<long long>(Now - E.Mtime),
+                E.Meta.Flags.c_str());
+  }
+  std::printf("%zu artifact(s), %llu bytes, root %s\n", Entries.size(),
+              static_cast<unsigned long long>(Total), DC.root().c_str());
+  return 0;
+}
+
+int cmdWarm(int64_t MR, int64_t NR, bool Full, unsigned Jobs) {
+  if (MR < 1 || NR < 1) {
+    std::fprintf(stderr, "warm: --mr/--nr must be positive (got %lldx%lld)\n",
+                 static_cast<long long>(MR), static_cast<long long>(NR));
+    return 2;
+  }
+  JitDiskCache &DC = JitDiskCache::global();
+  if (!DC.enabled()) {
+    std::fprintf(stderr, "cache disabled (root: %s)\n", DC.root().c_str());
+    return 1;
+  }
+  if (!jitAvailable()) {
+    std::fprintf(stderr, "no working C compiler (EXO_CC/cc)\n");
+    return 1;
+  }
+  std::vector<ukr::UkrConfig> Family =
+      ukr::standardShapeFamily(MR, NR, Full);
+  std::printf("warming %zu kernel(s) into %s with %u worker(s)...\n",
+              Family.size(), DC.root().c_str(), Jobs ? Jobs : 2u);
+  ukr::KernelService::Options Opts;
+  Opts.Workers = Jobs;
+  ukr::KernelService Service(Opts);
+  Error Err = Service.warm(Family);
+  ukr::printCacheStats(Service.stats(), stdout);
+  if (Err) {
+    std::fprintf(stderr, "%s\n", Err.message().c_str());
+    return 1;
+  }
+  std::printf("warm ok: %zu kernel(s) ready\n", Service.size());
+  return 0;
+}
+
+int cmdPrune(uint64_t MaxBytes) {
+  JitDiskCache &DC = JitDiskCache::global();
+  size_t Evicted = DC.prune(MaxBytes);
+  std::printf("evicted %zu artifact(s); %zu remain under %s\n", Evicted,
+              DC.list().size(), DC.root().c_str());
+  return 0;
+}
+
+int cmdVerify(bool Fix) {
+  JitDiskCache &DC = JitDiskCache::global();
+  size_t Bad = 0;
+  for (const auto &E : DC.list()) {
+    bool Ok = false;
+    if (void *H = dlopen(E.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL)) {
+      Ok = E.Meta.Symbol.empty() ||
+           dlsym(H, E.Meta.Symbol.c_str()) != nullptr;
+      dlclose(H);
+    }
+    if (Ok)
+      continue;
+    ++Bad;
+    std::printf("corrupt: k%016llx (%s)%s\n",
+                static_cast<unsigned long long>(E.Key),
+                E.Meta.Symbol.c_str(), Fix ? " — removed" : "");
+    if (Fix)
+      DC.remove(E.Key);
+  }
+  std::printf("%zu corrupt artifact(s)%s\n", Bad,
+              Bad && !Fix ? " (re-run with --fix to remove)" : "");
+  return Bad && !Fix ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Cmd;
+  int64_t MR = 8, NR = 12;
+  bool Full = false, Fix = false;
+  unsigned Jobs = 0;
+  uint64_t MaxBytes = JitDiskCache::configuredMaxBytes();
+
+  for (int I = 1; I < Argc; ++I) {
+    auto Value = [&](const char *Flag) -> const char * {
+      if (std::strcmp(Argv[I], Flag) != 0)
+        return nullptr;
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (const char *V = Value("--dir")) {
+      JitDiskCache::setGlobalRoot(V);
+    } else if (const char *V = Value("--mr")) {
+      MR = std::atoll(V);
+    } else if (const char *V = Value("--nr")) {
+      NR = std::atoll(V);
+    } else if (const char *V = Value("--jobs")) {
+      Jobs = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--max-bytes")) {
+      char *End = nullptr;
+      MaxBytes = std::strtoull(V, &End, 10);
+      if (End == V || *End) {
+        // A typo must not parse as 0 and evict the whole cache.
+        std::fprintf(stderr, "--max-bytes: '%s' is not a byte count\n", V);
+        return 2;
+      }
+    } else if (!std::strcmp(Argv[I], "--full")) {
+      Full = true;
+    } else if (!std::strcmp(Argv[I], "--fix")) {
+      Fix = true;
+    } else if (!std::strcmp(Argv[I], "--help") ||
+               !std::strcmp(Argv[I], "-h")) {
+      usage(Argv[0]);
+      return 0;
+    } else if (Argv[I][0] != '-' && Cmd.empty()) {
+      Cmd = Argv[I];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Argv[I]);
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  if (Cmd == "list")
+    return cmdList();
+  if (Cmd == "warm")
+    return cmdWarm(MR, NR, Full, Jobs);
+  if (Cmd == "prune")
+    return cmdPrune(MaxBytes);
+  if (Cmd == "verify")
+    return cmdVerify(Fix);
+  usage(Argv[0]);
+  return 2;
+}
