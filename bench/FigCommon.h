@@ -26,6 +26,7 @@
 #include "gemm/Gemm.h"
 #include "gemm/Kernels.h"
 #include "gemm/RefGemm.h"
+#include "gemm/ThreadPool.h"
 
 #include <cstdio>
 #include <memory>
@@ -110,8 +111,14 @@ inline std::vector<double> gemmSeriesSeconds(int64_t M, int64_t N, int64_t K,
 /// Bench epilogue: dumps the kernel-cache counters accumulated over the
 /// run to stderr (so --csv output stays clean). Pre-warming the persistent
 /// cache (`ukr_cachectl warm`, see docs/KERNEL_CACHE.md) shows up here as
-/// disk-hits with zero compiles.
+/// disk-hits with zero compiles. Also reports the macro-kernel team size
+/// the run resolved to — the figure benches must say "gemm-threads: 1"
+/// for their numbers to be comparable to the paper's single-core
+/// methodology (EXO_GEMM_THREADS, when set, applies to every series).
 inline void dumpCacheStats() {
+  std::fprintf(stderr, "gemm-threads: %lld (plan default; set "
+                       "EXO_GEMM_THREADS to override)\n",
+               static_cast<long long>(gemm::resolveGemmThreads(0)));
   ukr::printCacheStats(ukr::globalCacheStats(), stderr);
 }
 

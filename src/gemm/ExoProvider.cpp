@@ -12,6 +12,7 @@ ExoProvider::ExoProvider(int64_t MR, int64_t NR, const exo::IsaLib *Isa,
       UnrollCompute(UnrollCompute) {}
 
 std::optional<MicroKernel> ExoProvider::shape(int64_t Mr, int64_t Nr) {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto Memo = ShapeCache.find({Mr, Nr});
   if (Memo != ShapeCache.end())
     return Memo->second;

@@ -22,6 +22,7 @@
 #include "ukr/KernelService.h"
 
 #include <map>
+#include <mutex>
 
 namespace gemm {
 
@@ -74,7 +75,12 @@ private:
   bool Async = false;
   /// Per-provider memo of resolved shapes: the macro-kernel asks for the
   /// same edge kernel once per tile, and the global registry lookup (name
-  /// formatting + mutex) would otherwise dominate small tiles.
+  /// formatting + mutex) would otherwise dominate small tiles. Guarded by
+  /// Mu: one provider may serve concurrent GEMM calls (the threaded
+  /// macro-kernel pre-resolves on the calling thread, but callers also
+  /// share providers across their own threads). KernelService and
+  /// KernelCache are internally locked; this memo was the remaining race.
+  std::mutex Mu;
   std::map<std::pair<int64_t, int64_t>, std::optional<MicroKernel>>
       ShapeCache;
 };

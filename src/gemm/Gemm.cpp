@@ -2,7 +2,10 @@
 
 #include "gemm/Gemm.h"
 
+#include "gemm/ThreadPool.h"
+
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 using namespace exo;
@@ -13,6 +16,9 @@ GemmPlan GemmPlan::standard(KernelProvider &P) {
   GemmPlan Plan;
   Plan.Blocks =
       analyticalBlockSizes(CacheConfig::host(), K.MR, K.NR, sizeof(float));
+  // The probe only picks the *preferred* mode; a provider whose edge family
+  // turns out to be partial at run time degrades per-strip to the re-padded
+  // scratch path inside blisGemmT instead of failing (see the driver).
   Plan.PackMode = P.edge(K.MR, 1).has_value() ? EdgePack::Tight
                                               : EdgePack::ZeroPad;
   return Plan;
@@ -36,6 +42,21 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
   if (M == 0 || N == 0)
     return Error::success();
 
+  // K == 0 degenerates to a beta scaling. Beta == 0 must *overwrite*, not
+  // scale: 0 * NaN == NaN, and serving workloads hand in pooled,
+  // uninitialized C buffers (the classic BLAS beta-zero rule).
+  if (K == 0) {
+    for (int64_t J = 0; J < N; ++J) {
+      float *Col = C + J * Ldc;
+      if (Beta == 0.0f)
+        std::fill(Col, Col + M, 0.0f);
+      else
+        for (int64_t I = 0; I < M; ++I)
+          Col[I] *= Beta;
+    }
+    return Error::success();
+  }
+
   MicroKernel Main = Provider.main();
   if (!Main.Fn)
     return errorf("gemm: provider '%s' has no runnable kernel",
@@ -50,102 +71,184 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
   const int64_t Nc =
       std::min(std::max<int64_t>(Plan.Blocks.NC, Nr), RoundUp(N, Nr));
 
-  // K == 0 degenerates to a beta scaling.
-  if (K == 0) {
-    for (int64_t J = 0; J < N; ++J)
-      for (int64_t I = 0; I < M; ++I)
-        C[I + J * Ldc] *= Beta;
-    return Error::success();
+  // Resolve every strip kernel up front, on the calling thread: the worker
+  // team must never call into the provider (whose kernel cache may invoke
+  // the JIT), and a fixed kernel per width keeps one GEMM call bitwise
+  // invariant under the thread count. A width whose specialized kernel is
+  // unavailable (partial edge family, or an async provider still
+  // compiling) stays nullopt and takes the re-padded scratch path below.
+  std::vector<std::optional<MicroKernel>> EdgeKernels(Nr);
+  bool NeedBPad = false;
+  if (Plan.PackMode == EdgePack::Tight) {
+    std::vector<bool> Probed(Nr, false);
+    for (int64_t Jc = 0; Jc < N; Jc += Nc) {
+      int64_t W = std::min(Nc, N - Jc) % Nr;
+      if (W == 0 || Probed[W])
+        continue;
+      Probed[W] = true;
+      std::optional<MicroKernel> E = Provider.edge(Mr, W);
+      if (E && E->Fn)
+        EdgeKernels[W] = *E;
+      else
+        NeedBPad = true;
+    }
   }
 
+  // Team size and its BLIS-style 2D factorization: loop 3 (ic blocks) is
+  // the primary axis; when there are fewer ic blocks than threads, the
+  // remainder parallelizes loop 4 (jr strips) within each ic team. Tic is
+  // the largest divisor of T fitting the ic block count, so every thread
+  // lands in the grid.
+  const int64_t NIc = (M + Mc - 1) / Mc;
+  const int64_t NPanMax = (std::min(Nc, N) + Nr - 1) / Nr;
+  int64_t T = std::max<int64_t>(
+      1, std::min(resolveGemmThreads(Plan.Threads), NIc * NPanMax));
+  int64_t Tic = 1;
+  for (int64_t D = 1; D <= T; ++D)
+    if (T % D == 0 && D <= NIc)
+      Tic = D;
+  const int64_t Tjr = T / Tic;
+
+  // Shared packed-B block (written cooperatively, panel-interleaved, read
+  // by everyone after the barrier) and per-thread working memory: A pack
+  // buffer, scratch tile, and — only when a Tight-mode width lacks its
+  // kernel — a re-padded B panel.
   std::vector<float> BBuf(((Nc + Nr - 1) / Nr) * Kc * Nr);
-  std::vector<float> ABuf(((Mc + Mr - 1) / Mr) * Kc * Mr);
-  std::vector<float> Scratch(Mr * Nr);
+  std::vector<std::vector<float>> ABufs(T), Scratches(T), BPads(T);
+  for (int64_t I = 0; I < T; ++I) {
+    ABufs[I].resize(((Mc + Mr - 1) / Mr) * Kc * Mr);
+    Scratches[I].resize(Mr * Nr);
+    if (NeedBPad)
+      BPads[I].resize(Kc * Nr);
+  }
+  TeamBarrier Bar(T);
 
-  for (int64_t Jc = 0; Jc < N; Jc += Nc) {            // Loop L1
-    int64_t NcEff = std::min(Nc, N - Jc);
-    for (int64_t Pc = 0; Pc < K; Pc += Kc) {          // Loop L2
-      int64_t KcEff = std::min(Kc, K - Pc);
-      // Element (k, j) of the logical block; transposition swaps strides.
-      if (TB == Trans::None)
-        packBStrided(B + Pc + Jc * Ldb, 1, Ldb, KcEff, NcEff, Nr,
-                     /*Alpha=*/1.0f, Plan.PackMode, BBuf.data());
-      else
-        packBStrided(B + Jc + Pc * Ldb, Ldb, 1, KcEff, NcEff, Nr,
-                     /*Alpha=*/1.0f, Plan.PackMode, BBuf.data());
+  auto Body = [&](int64_t Tid) {
+    // Grid position: ic team owns row blocks BIdx % Tic == IcTeam; within
+    // a team, jr strips (and pre-scale columns) split by JrIdx.
+    const int64_t IcTeam = Tid / Tjr, JrIdx = Tid % Tjr;
+    float *ABuf = ABufs[Tid].data();
+    float *Scratch = Scratches[Tid].data();
+    float *BPad = BPads[Tid].empty() ? nullptr : BPads[Tid].data();
 
-      // Apply beta once per (jc) column block, before the first update.
-      if (Pc == 0 && Beta != 1.0f)
-        for (int64_t J = 0; J < NcEff; ++J)
-          for (int64_t I = 0; I < M; ++I)
-            C[I + (Jc + J) * Ldc] *= Beta;
+    for (int64_t Jc = 0; Jc < N; Jc += Nc) {            // Loop L1
+      const int64_t NcEff = std::min(Nc, N - Jc);
+      const int64_t NPan = (NcEff + Nr - 1) / Nr;
+      for (int64_t Pc = 0; Pc < K; Pc += Kc) {          // Loop L2
+        const int64_t KcEff = std::min(Kc, K - Pc);
+        // Cooperative packB: panel P goes to thread P % T. Packing panel
+        // by panel reproduces the monolithic layout exactly (slot stride
+        // KcEff * Nr; only the last panel can be partial).
+        for (int64_t P = Tid; P < NPan; P += T) {
+          const int64_t J0 = Jc + P * Nr;
+          const int64_t W = std::min(Nr, NcEff - P * Nr);
+          float *Dst = BBuf.data() + P * KcEff * Nr;
+          // Element (k, j) of the logical block; transposition swaps
+          // strides.
+          if (TB == Trans::None)
+            packBStrided(B + Pc + J0 * Ldb, 1, Ldb, KcEff, W, Nr,
+                         /*Alpha=*/1.0f, Plan.PackMode, Dst);
+          else
+            packBStrided(B + J0 + Pc * Ldb, Ldb, 1, KcEff, W, Nr,
+                         /*Alpha=*/1.0f, Plan.PackMode, Dst);
+        }
 
-      for (int64_t Ic = 0; Ic < M; Ic += Mc) {        // Loop L3
-        int64_t McEff = std::min(Mc, M - Ic);
-        // A panels are always zero-padded to the full Mr: edge kernels
-        // keep the full vector width along m and the driver masks the
-        // copy-out instead (rows >= mr_eff contribute zeros).
-        if (TA == Trans::None)
-          packAStrided(A + Ic + Pc * Lda, 1, Lda, McEff, KcEff, Mr, Alpha,
-                       EdgePack::ZeroPad, ABuf.data());
-        else
-          packAStrided(A + Pc + Ic * Lda, Lda, 1, McEff, KcEff, Mr, Alpha,
-                       EdgePack::ZeroPad, ABuf.data());
-
-        for (int64_t Jr = 0; Jr < NcEff; Jr += Nr) {  // Loop L4
-          int64_t NrEff = std::min(Nr, NcEff - Jr);
-          const float *BPanel = BBuf.data() + (Jr / Nr) * KcEff * Nr;
-          // The edge kernel depends only on the strip width; resolve it
-          // once per strip, not once per tile.
-          std::optional<MicroKernel> StripKernel;
-          if (NrEff == Nr) {
-            StripKernel = Main;
-          } else if (Plan.PackMode == EdgePack::Tight) {
-            StripKernel = Provider.edge(Mr, NrEff);
-            if (!StripKernel || !StripKernel->Fn)
-              return errorf("gemm: no specialized kernel for %lldx%lld "
-                            "edge tile",
-                            static_cast<long long>(Mr),
-                            static_cast<long long>(NrEff));
-          }
-          for (int64_t Ir = 0; Ir < McEff; Ir += Mr) { // Loop L5
-            int64_t MrEff = std::min(Mr, McEff - Ir);
-            const float *APanel = ABuf.data() + (Ir / Mr) * KcEff * Mr;
-            float *CTile = C + (Ic + Ir) + (Jc + Jr) * Ldc;
-
-            if (MrEff == Mr && NrEff == Nr) {
-              Main.Fn(KcEff, Ldc, APanel, BPanel, CTile);
-              continue;
+        // Apply beta once per (jc) column block, before the first update.
+        // Beta == 0 overwrites (see the K == 0 comment). Ownership: rows
+        // by ic team, columns round-robin within the team — every C
+        // element has exactly one writer.
+        if (Pc == 0 && Beta != 1.0f) {
+          for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) {
+            const int64_t Ic = BIdx * Mc;
+            const int64_t McEff = std::min(Mc, M - Ic);
+            for (int64_t J = JrIdx; J < NcEff; J += Tjr) {
+              float *Col = C + Ic + (Jc + J) * Ldc;
+              if (Beta == 0.0f)
+                std::fill(Col, Col + McEff, 0.0f);
+              else
+                for (int64_t I = 0; I < McEff; ++I)
+                  Col[I] *= Beta;
             }
-            if (Plan.PackMode == EdgePack::Tight) {
-              // Specialized kernel at full vector width along m and the
-              // exact nr_eff along n (B panels are tight). When the m edge
-              // is short, the same kernel computes into a scratch tile —
-              // the A panel's padded rows are zero — and the valid window
-              // is accumulated back.
-              if (MrEff == Mr) {
-                StripKernel->Fn(KcEff, Ldc, APanel, BPanel, CTile);
+          }
+        }
+        if (T > 1)
+          Bar.arriveAndWait(); // packB + pre-scale done before any update
+
+        for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) { // Loop L3
+          const int64_t Ic = BIdx * Mc;
+          const int64_t McEff = std::min(Mc, M - Ic);
+          // A panels are always zero-padded to the full Mr: edge kernels
+          // keep the full vector width along m and the driver masks the
+          // copy-out instead (rows >= mr_eff contribute zeros). Each
+          // thread packs into its own buffer; members of the same ic team
+          // duplicate the pack, trading redundant bandwidth for zero
+          // intra-team synchronization.
+          if (TA == Trans::None)
+            packAStrided(A + Ic + Pc * Lda, 1, Lda, McEff, KcEff, Mr, Alpha,
+                         EdgePack::ZeroPad, ABuf);
+          else
+            packAStrided(A + Pc + Ic * Lda, Lda, 1, McEff, KcEff, Mr, Alpha,
+                         EdgePack::ZeroPad, ABuf);
+
+          for (int64_t P = JrIdx; P < NPan; P += Tjr) {  // Loop L4
+            const int64_t Jr = P * Nr;
+            const int64_t NrEff = std::min(Nr, NcEff - Jr);
+            const float *BPanel = BBuf.data() + P * KcEff * Nr;
+            // The edge kernel depends only on the strip width; resolved
+            // once per call above. A Tight-mode strip without its
+            // specialized kernel re-pads the tight panel and runs the
+            // monolithic kernel through the scratch tile — a partial edge
+            // family degrades instead of failing.
+            const MicroKernel *Strip = &Main;
+            bool Padded = Plan.PackMode == EdgePack::ZeroPad;
+            if (NrEff < Nr && Plan.PackMode == EdgePack::Tight) {
+              if (EdgeKernels[NrEff]) {
+                Strip = &*EdgeKernels[NrEff];
+              } else {
+                for (int64_t Kk = 0; Kk < KcEff; ++Kk) {
+                  float *Row = BPad + Kk * Nr;
+                  for (int64_t J = 0; J < NrEff; ++J)
+                    Row[J] = BPanel[Kk * NrEff + J];
+                  std::fill(Row + NrEff, Row + Nr, 0.0f);
+                }
+                BPanel = BPad;
+                Padded = true;
+              }
+            }
+            for (int64_t Ir = 0; Ir < McEff; Ir += Mr) { // Loop L5
+              const int64_t MrEff = std::min(Mr, McEff - Ir);
+              const float *APanel = ABuf + (Ir / Mr) * KcEff * Mr;
+              float *CTile = C + (Ic + Ir) + (Jc + Jr) * Ldc;
+
+              if (MrEff == Mr && NrEff == Nr) {
+                Main.Fn(KcEff, Ldc, APanel, BPanel, CTile);
                 continue;
               }
-              std::fill(Scratch.begin(), Scratch.end(), 0.0f);
-              StripKernel->Fn(KcEff, Mr, APanel, BPanel, Scratch.data());
+              if (!Padded && MrEff == Mr) {
+                // Specialized kernel at full vector width along m and the
+                // exact nr_eff along n (B panels are tight).
+                Strip->Fn(KcEff, Ldc, APanel, BPanel, CTile);
+                continue;
+              }
+              // Scratch tile: the kernel (specialized when the m edge is
+              // short, monolithic on the padded path) computes into a
+              // zero-initialized Mr x Nr tile — the A panel's padded rows
+              // are zero — and the valid window is accumulated back.
+              const MicroKernel *Kern = Padded ? &Main : Strip;
+              std::fill(Scratch, Scratch + Mr * Nr, 0.0f);
+              Kern->Fn(KcEff, Mr, APanel, BPanel, Scratch);
               for (int64_t J = 0; J < NrEff; ++J)
                 for (int64_t I = 0; I < MrEff; ++I)
                   CTile[I + J * Ldc] += Scratch[J * Mr + I];
-              continue;
             }
-            // Monolithic kernel through a zero-initialized scratch tile;
-            // packed panels are zero-padded, so the kernel computes a full
-            // Mr x Nr product and the valid window is accumulated back.
-            std::fill(Scratch.begin(), Scratch.end(), 0.0f);
-            Main.Fn(KcEff, Mr, APanel, BPanel, Scratch.data());
-            for (int64_t J = 0; J < NrEff; ++J)
-              for (int64_t I = 0; I < MrEff; ++I)
-                CTile[I + J * Ldc] += Scratch[J * Mr + I];
           }
         }
+        if (T > 1)
+          Bar.arriveAndWait(); // BBuf (and C columns) recycle next round
       }
     }
-  }
+  };
+
+  ThreadPool::global().parallel(T, Body);
   return Error::success();
 }

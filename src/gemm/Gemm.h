@@ -27,8 +27,16 @@ namespace gemm {
 struct GemmPlan {
   BlockSizes Blocks;
   /// Tight for providers with per-edge kernels; ZeroPad for monolithic
-  /// kernels routed through the scratch tile.
+  /// kernels routed through the scratch tile. Tight mode tolerates a
+  /// *partial* edge family: a strip width without a specialized kernel
+  /// degrades to the monolithic kernel over a re-padded panel copy.
   EdgePack PackMode = EdgePack::ZeroPad;
+  /// Macro-kernel team size. 0 (the default) resolves through
+  /// EXO_GEMM_THREADS — unset means 1, preserving the paper's single-core
+  /// methodology; see resolveGemmThreads() in ThreadPool.h. Loop 3 (ic
+  /// blocks) is parallelized first, loop 4 (jr strips) absorbs the
+  /// remainder; results are bitwise identical for every thread count.
+  int64_t Threads = 0;
 
   /// Standard plan for \p P: analytical blocking for the host caches and
   /// the packing mode implied by the provider's edge support.
@@ -41,7 +49,10 @@ struct GemmPlan {
 enum class Trans : uint8_t { None, Transpose };
 
 /// Column-major SGEMM, C = alpha*A*B + beta*C, through the macro-kernel.
-/// Fails when a needed edge kernel cannot be built or shapes are invalid.
+/// Beta == 0 overwrites C without reading it (BLAS semantics: NaN/Inf in
+/// an uninitialized C buffer never propagates). Fails on invalid shapes or
+/// a provider with no runnable main kernel; missing *edge* kernels degrade
+/// to the scratch-tile path instead of failing.
 exo::Error blisGemm(const GemmPlan &Plan, KernelProvider &Provider,
                     int64_t M, int64_t N, int64_t K, float Alpha,
                     const float *A, int64_t Lda, const float *B, int64_t Ldb,

@@ -12,9 +12,13 @@ void gemm::refSgemm(int64_t M, int64_t N, int64_t K, float Alpha,
       double Acc = 0.0;
       for (int64_t P = 0; P < K; ++P)
         Acc += static_cast<double>(A[I + P * Lda]) * B[P + J * Ldb];
-      C[I + J * Ldc] =
-          static_cast<float>(Alpha * Acc + static_cast<double>(Beta) *
-                                               C[I + J * Ldc]);
+      // Beta == 0 must not read C (BLAS semantics): the oracle has to
+      // agree with the driver that NaN/Inf in uninitialized C buffers is
+      // overwritten, or comparisons against it would mask the bug.
+      double Prior = Beta == 0.0f
+                         ? 0.0
+                         : static_cast<double>(Beta) * C[I + J * Ldc];
+      C[I + J * Ldc] = static_cast<float>(Alpha * Acc + Prior);
     }
   }
 }

@@ -18,7 +18,8 @@
 namespace gemm {
 
 /// C = alpha * A * B + beta * C with column-major operands: A is m x k
-/// (leading dimension Lda), B is k x n, C is m x n.
+/// (leading dimension Lda), B is k x n, C is m x n. Beta == 0 overwrites C
+/// without reading it, matching the driver's BLAS semantics.
 void refSgemm(int64_t M, int64_t N, int64_t K, float Alpha, const float *A,
               int64_t Lda, const float *B, int64_t Ldb, float Beta, float *C,
               int64_t Ldc);

@@ -1,0 +1,99 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+
+#include "gemm/ThreadPool.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace gemm;
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  CvWork.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+int64_t ThreadPool::workerCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return static_cast<int64_t>(Workers.size());
+}
+
+void ThreadPool::workerLoop(int64_t WorkerIdx) {
+  uint64_t SeenGen = 0;
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    CvWork.wait(Lock, [&] { return Stop || Gen != SeenGen; });
+    if (Stop)
+      return;
+    SeenGen = Gen;
+    // Workers beyond the job's team size sit this one out (the pool only
+    // grows; a small job after a large one leaves the tail idle).
+    if (WorkerIdx + 1 >= JobThreads)
+      continue;
+    const std::function<void(int64_t)> *MyJob = Job;
+    Lock.unlock();
+    (*MyJob)(WorkerIdx + 1);
+    Lock.lock();
+    if (--Remaining == 0)
+      CvDone.notify_all();
+  }
+}
+
+void ThreadPool::parallel(int64_t NThreads,
+                          const std::function<void(int64_t)> &Body) {
+  if (NThreads <= 1) {
+    Body(0);
+    return;
+  }
+  // One job at a time: concurrent callers (independent GEMMs sharing the
+  // global pool) serialize here, each still running its own team in
+  // parallel once admitted.
+  std::lock_guard<std::mutex> JobLock(JobMu);
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    // Lazy growth to the high-water mark.
+    while (static_cast<int64_t>(Workers.size()) < NThreads - 1) {
+      int64_t Idx = static_cast<int64_t>(Workers.size());
+      Workers.emplace_back([this, Idx] { workerLoop(Idx); });
+    }
+    Job = &Body;
+    JobThreads = NThreads;
+    Remaining = NThreads - 1;
+    ++Gen;
+  }
+  CvWork.notify_all();
+  Body(0);
+  std::unique_lock<std::mutex> Lock(Mu);
+  CvDone.wait(Lock, [&] { return Remaining == 0; });
+  Job = nullptr;
+}
+
+int64_t gemm::resolveGemmThreads(int64_t PlanThreads) {
+  if (PlanThreads > 0)
+    return PlanThreads;
+  const char *V = std::getenv("EXO_GEMM_THREADS");
+  if (!V || !*V)
+    return 1;
+  auto Auto = [] {
+    unsigned N = std::thread::hardware_concurrency();
+    return static_cast<int64_t>(N > 0 ? N : 1);
+  };
+  if (std::strcmp(V, "auto") == 0)
+    return Auto();
+  char *End = nullptr;
+  long long N = std::strtoll(V, &End, 10);
+  if (End == V || *End != '\0' || N < 0)
+    return 1; // unparsable: stay sequential rather than surprise-scale
+  if (N == 0)
+    return Auto();
+  return static_cast<int64_t>(N);
+}

@@ -1,0 +1,118 @@
+//===- ThreadPool.h - Reusable worker pool for the macro-kernel -----------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lazily-initialized, process-wide pool of persistent worker threads for
+/// the parallel macro-kernel (Gemm.cpp). The design goals, in order:
+///
+///   1. Zero cost when unused: no thread is spawned until the first
+///      parallel(N > 1, ...) call, so single-threaded runs (the paper's
+///      methodology, and the default when EXO_GEMM_THREADS is unset) are
+///      byte-for-byte the sequential driver.
+///   2. Reusable: workers persist across GEMM calls — a serving workload
+///      issuing thousands of small GEMMs must not pay thread creation per
+///      call. The pool only ever grows, up to the largest team requested.
+///   3. Fork-join with the caller participating: parallel(N, Body) runs
+///      Body(0) on the calling thread and Body(1..N-1) on workers, and
+///      returns when all N are done. One job at a time (the pool is a
+///      low-level primitive; the GEMM driver is its only client and never
+///      nests).
+///
+/// TeamBarrier is the in-job synchronization primitive: a central
+/// generation-counting barrier sized to the team, used by the driver to
+/// separate the cooperative packB / beta pre-scale phase from the compute
+/// phase of each (jc, pc) iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEMM_THREADPOOL_H
+#define GEMM_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gemm {
+
+/// See file comment.
+class ThreadPool {
+public:
+  /// The process-wide pool used by blisGemmT.
+  static ThreadPool &global();
+
+  ThreadPool() = default;
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Runs Body(Tid) for Tid in [0, NThreads): Tid 0 on the calling thread,
+  /// the rest on pool workers (spawned on first use, kept forever).
+  /// Returns when every Tid has completed. NThreads <= 1 calls Body(0)
+  /// inline without touching any synchronization. Concurrent calls from
+  /// different threads are safe but serialize (one job at a time); Body
+  /// must not call parallel() on the same pool (no nesting).
+  void parallel(int64_t NThreads, const std::function<void(int64_t)> &Body);
+
+  /// Workers currently alive (high-water mark of NThreads - 1).
+  int64_t workerCount() const;
+
+private:
+  void workerLoop(int64_t WorkerIdx);
+
+  std::mutex JobMu; ///< admits one parallel() call at a time
+  mutable std::mutex Mu;
+  std::condition_variable CvWork; ///< signals a new job (Gen bumped)
+  std::condition_variable CvDone; ///< signals job completion
+  std::vector<std::thread> Workers;
+  const std::function<void(int64_t)> *Job = nullptr;
+  int64_t JobThreads = 0; ///< team size of the current job (incl. caller)
+  int64_t Remaining = 0;  ///< participating workers not yet finished
+  uint64_t Gen = 0;       ///< bumped once per job
+  bool Stop = false;
+};
+
+/// Generation-counting central barrier for a fixed-size team. All N
+/// participants must call arriveAndWait() the same number of times; the
+/// last arrival releases the rest. Trivially reusable (phase flips).
+class TeamBarrier {
+public:
+  explicit TeamBarrier(int64_t N) : Count(N), Waiting(N) {}
+
+  void arriveAndWait() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    uint64_t MyPhase = Phase;
+    if (--Waiting == 0) {
+      Waiting = Count;
+      ++Phase;
+      Cv.notify_all();
+      return;
+    }
+    Cv.wait(Lock, [&] { return Phase != MyPhase; });
+  }
+
+private:
+  std::mutex Mu;
+  std::condition_variable Cv;
+  const int64_t Count;
+  int64_t Waiting;
+  uint64_t Phase = 0;
+};
+
+/// Resolves a GemmPlan::Threads value to a concrete team size:
+///   > 0          that many threads;
+///   0 (default)  EXO_GEMM_THREADS — unset/empty means 1 (the sequential
+///                driver, preserving the paper's single-core methodology);
+///                "auto" or "0" means std::thread::hardware_concurrency().
+/// Anything unparsable resolves to 1. Exposed for bench reporting.
+int64_t resolveGemmThreads(int64_t PlanThreads);
+
+} // namespace gemm
+
+#endif // GEMM_THREADPOOL_H

@@ -19,6 +19,13 @@
 /// deltas (disk hits, compiles, compile wall time) accumulated since its
 /// construction; benches dump the global service's snapshot.
 ///
+/// Concurrency: every counter mutation and map access happens under the
+/// service's single mutex, and the JIT-layer counters it folds in are
+/// likewise mutex-guarded (Jit.cpp) — audited for the threaded
+/// macro-kernel serving path, where many GEMM teams hit tryGet()
+/// concurrently. Kernel pointers handed out are stable for the service's
+/// lifetime.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef UKR_KERNELSERVICE_H

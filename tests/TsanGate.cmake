@@ -1,0 +1,33 @@
+# Invoked by the tsan_gate ctest (see tests/CMakeLists.txt): configures and
+# builds a nested TSan-instrumented tree, then runs the concurrency-
+# sensitive tests — the parallel macro-kernel (GemmTest with an 8-thread
+# team) and the kernel-cache service — failing on any data-race report.
+#
+# Variables: SRC (source root), BIN (nested binary dir).
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SRC} -B ${BIN} -DEXO_UKR_SANITIZE=thread
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "tsan_gate: configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BIN} --target gemm_test ukr_test
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "tsan_gate: build failed")
+endif()
+
+set(ENV{EXO_GEMM_THREADS} 8)
+execute_process(COMMAND ${BIN}/tests/gemm_test RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "tsan_gate: gemm_test failed under TSan")
+endif()
+
+execute_process(
+  COMMAND ${BIN}/tests/ukr_test --gtest_filter=KernelService*
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "tsan_gate: ukr_test (KernelService) failed under TSan")
+endif()
