@@ -1,0 +1,38 @@
+//===- FuzzInternal.h - Helpers shared inside the fuzz subsystem ----------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_FUZZ_FUZZINTERNAL_H
+#define EXO_FUZZ_FUZZINTERNAL_H
+
+#include "exo/fuzz/Fuzz.h"
+#include "exo/sched/Schedule.h"
+#include "ukr/UkrConfig.h"
+
+namespace exo {
+namespace fuzz {
+namespace detail {
+
+/// Fast scheduling options for fuzzing: the fuzzer's own oracles are the
+/// authoritative check, so the per-rewrite interpreter safety net is off —
+/// otherwise an injected fault could never reach the oracles.
+inline SchedOptions fastSchedOpts() {
+  SchedOptions O;
+  O.Validate = false;
+  return O;
+}
+
+/// The ukr::UkrConfig described by a sample's shape plus the given
+/// library/style names ("none" = scalar kernel); fails on unknown names.
+Expected<ukr::UkrConfig> sampleUkrConfig(const FuzzSample &S,
+                                         const std::string &IsaName,
+                                         const std::string &StyleName,
+                                         bool UnrollLoads);
+
+} // namespace detail
+} // namespace fuzz
+} // namespace exo
+
+#endif // EXO_FUZZ_FUZZINTERNAL_H

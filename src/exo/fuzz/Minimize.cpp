@@ -1,0 +1,86 @@
+//===- Minimize.cpp - Greedy shrinking of failing samples -----------------===//
+//
+// Delta debugging against the oracle battery: a candidate shrink is kept only
+// when the shrunk sample still fails. Deterministic (the oracles are), and
+// bounded by a fixed re-run budget so a flaky failure cannot loop forever.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/fuzz/Fuzz.h"
+
+using namespace exo;
+using namespace exo::fuzz;
+
+namespace {
+constexpr int MaxRounds = 200;
+} // namespace
+
+FuzzSample fuzz::minimizeSample(const FuzzSample &S, const OracleOptions &O,
+                                int *RoundsOut) {
+  int Rounds = 0;
+  auto StillFails = [&](const FuzzSample &Cand) {
+    ++Rounds;
+    return static_cast<bool>(runOracles(Cand, O));
+  };
+
+  FuzzSample Cur = S;
+  if (!StillFails(Cur)) {
+    // Not failing under these oracles: nothing to minimize.
+    if (RoundsOut)
+      *RoundsOut = Rounds;
+    return S;
+  }
+
+  bool Progress = true;
+  while (Progress && Rounds < MaxRounds) {
+    Progress = false;
+
+    // Drop rewrite steps, last first (later steps depend on earlier ones).
+    for (size_t K = Cur.Steps.size(); K-- > 0 && Rounds < MaxRounds;) {
+      FuzzSample Cand = Cur;
+      Cand.Steps.erase(Cand.Steps.begin() + static_cast<long>(K));
+      if (StillFails(Cand)) {
+        Cur = std::move(Cand);
+        Progress = true;
+      }
+    }
+
+    // Shrink the depth dimension.
+    while (Cur.KC > 1 && Rounds < MaxRounds) {
+      FuzzSample Cand = Cur;
+      Cand.KC = Cur.KC / 2;
+      if (!StillFails(Cand))
+        break;
+      Cur = std::move(Cand);
+      Progress = true;
+    }
+
+    // Drop the ldc slack.
+    if (Cur.LdcSlack > 0 && Rounds < MaxRounds) {
+      FuzzSample Cand = Cur;
+      Cand.LdcSlack = 0;
+      if (StillFails(Cand)) {
+        Cur = std::move(Cand);
+        Progress = true;
+      }
+    }
+
+    // Turn off schedule embellishments.
+    for (bool FuzzSample::*Flag :
+         {&FuzzSample::UnrollLoads, &FuzzSample::UnrollCompute,
+          &FuzzSample::GeneralAlphaBeta}) {
+      if (!(Cur.*Flag) || Rounds >= MaxRounds)
+        continue;
+      FuzzSample Cand = Cur;
+      Cand.*Flag = false;
+      if (StillFails(Cand)) {
+        Cur = std::move(Cand);
+        Progress = true;
+      }
+    }
+  }
+
+  if (RoundsOut)
+    *RoundsOut = Rounds;
+  return Cur;
+}

@@ -42,10 +42,12 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
   if (M == 0 || N == 0)
     return Error::success();
 
-  // K == 0 degenerates to a beta scaling. Beta == 0 must *overwrite*, not
-  // scale: 0 * NaN == NaN, and serving workloads hand in pooled,
+  // K == 0 and alpha == 0 both degenerate to a beta scaling: the update
+  // term is empty (or scaled away), and per BLAS semantics A and B are
+  // never read — callers may legally pass null. Beta == 0 must *overwrite*,
+  // not scale: 0 * NaN == NaN, and serving workloads hand in pooled,
   // uninitialized C buffers (the classic BLAS beta-zero rule).
-  if (K == 0) {
+  if (K == 0 || Alpha == 0.0f) {
     for (int64_t J = 0; J < N; ++J) {
       float *Col = C + J * Ldc;
       if (Beta == 0.0f)

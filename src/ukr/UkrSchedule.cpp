@@ -32,10 +32,14 @@ FmaStyle UkrConfig::effectiveStyle() const {
   int64_t L = Isa->lanes(Ty);
   if (MR % L != 0)
     return FmaStyle::Scalar;
+  // A forced style still requires the ISA to provide its FMA flavour
+  // (e.g. AVX2 has no lane-indexed FMA); degrade to Scalar like the other
+  // infeasible-configuration cases rather than running a schedule whose
+  // replace step would dereference a missing instruction.
   if (Style == FmaStyle::Lane)
-    return FmaStyle::Lane;
+    return Isa->fmaLane(Ty) ? FmaStyle::Lane : FmaStyle::Scalar;
   if (Style == FmaStyle::Broadcast)
-    return FmaStyle::Broadcast;
+    return Isa->fmaBroadcast(Ty) ? FmaStyle::Broadcast : FmaStyle::Scalar;
   // Auto: prefer the lane schedule when the ISA has a lane FMA and NR
   // divides evenly; otherwise broadcast.
   if (Isa->fmaLane(Ty) && NR % L == 0)

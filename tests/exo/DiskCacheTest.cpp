@@ -2,6 +2,7 @@
 
 #include "exo/jit/DiskCache.h"
 
+#include "JitCacheTestEnv.h"
 #include "exo/jit/Jit.h"
 
 #include <gtest/gtest.h>
@@ -16,18 +17,9 @@ using namespace exo;
 
 namespace {
 
-/// A fresh directory under TMPDIR for one test's cache root. Leaked on
-/// purpose: loaded artifacts may stay mapped for the process lifetime.
-std::string makeTempDir() {
-  const char *Tmp = std::getenv("TMPDIR");
-  std::string Templ =
-      std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/exo-dctest-XXXXXX";
-  std::vector<char> Buf(Templ.begin(), Templ.end());
-  Buf.push_back('\0');
-  const char *Dir = mkdtemp(Buf.data());
-  EXPECT_NE(Dir, nullptr);
-  return Dir ? Dir : "";
-}
+/// A private cache root for one test (on top of the binary-wide ephemeral
+/// EXO_JIT_CACHE_DIR the shared environment installs).
+std::string makeTempDir() { return exotest::makeTempDir("exo-dctest"); }
 
 /// Simulates a torn write from another process: the artifact path is
 /// replaced (new inode) with a short garbage prefix. Replacing rather than

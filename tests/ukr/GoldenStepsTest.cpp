@@ -1,0 +1,112 @@
+//===- GoldenStepsTest.cpp - In-tree goldens for the Fig. 6-11 pipeline ---===//
+//
+// The drift guard for the paper progression: every intermediate IR of the
+// flagship 8x12 Neon lane schedule (Fig. 6-11) and the final generated C
+// (Fig. 3) is committed under tests/ukr/golden/ and compared byte for byte.
+// StepByStepTest checks structural landmarks; this test pins the complete
+// text, so *any* printer/schedule/codegen drift — even whitespace — fails
+// loudly and shows up as a reviewable golden-file diff.
+//
+// Regenerate after an intentional change with:
+//
+//   EXO_UPDATE_GOLDEN=1 ./ukr_test --gtest_filter='GoldenSteps*'
+//
+// and commit the rewritten files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ukr/UkrSchedule.h"
+
+#include "exo/ir/Printer.h"
+#include "exo/support/Str.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace exo;
+using namespace ukr;
+
+namespace {
+
+const UkrResult &neon8x12() {
+  static UkrResult R = [] {
+    UkrConfig Cfg;
+    Cfg.MR = 8;
+    Cfg.NR = 12;
+    Cfg.Isa = &neonIsa();
+    Cfg.Style = FmaStyle::Lane;
+    auto Res = generateUkernel(Cfg);
+    if (!Res)
+      fatal(Res.message());
+    return Res.take();
+  }();
+  return R;
+}
+
+const Proc &step(const std::string &Label) {
+  for (const UkrStep &S : neon8x12().Steps)
+    if (S.Label == Label)
+      return S.P;
+  fatal("no step labeled " + Label);
+}
+
+bool updateMode() {
+  const char *V = std::getenv("EXO_UPDATE_GOLDEN");
+  return V && *V && std::string(V) != "0";
+}
+
+/// Byte-compares \p Got against the committed golden file, or rewrites the
+/// file when EXO_UPDATE_GOLDEN is set.
+void checkGolden(const std::string &FileName, const std::string &Got) {
+  const std::string Path = std::string(UKR_GOLDEN_DIR) + "/" + FileName;
+  if (updateMode()) {
+    std::ofstream Out(Path, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(Out.is_open()) << Path;
+    Out << Got;
+    ASSERT_TRUE(Out.good()) << Path;
+    std::printf("updated %s (%zu bytes)\n", Path.c_str(), Got.size());
+    return;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.is_open())
+      << Path << " missing - run with EXO_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Got)
+      << FileName << " drifted; if intentional, regenerate with "
+      << "EXO_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+} // namespace
+
+TEST(GoldenStepsTest, Fig6PartialEval) {
+  checkGolden("fig06_partial_eval.ir", printProc(step("partial_eval")));
+}
+
+TEST(GoldenStepsTest, Fig7LoopSplit) {
+  checkGolden("fig07_divide_j.ir", printProc(step("divide_loop j")));
+}
+
+TEST(GoldenStepsTest, Fig8CRegisters) {
+  checkGolden("fig08_c_reg.ir", printProc(step("set_memory C_reg")));
+}
+
+TEST(GoldenStepsTest, Fig9OperandRegisters) {
+  checkGolden("fig09_operand_regs.ir", printProc(step("set_memory B_reg")));
+}
+
+TEST(GoldenStepsTest, Fig10LaneFma) {
+  checkGolden("fig10_fmla.ir", printProc(step("replace fmla")));
+}
+
+TEST(GoldenStepsTest, Fig11FinalIr) {
+  checkGolden("fig11_final.ir", printProc(neon8x12().Final));
+}
+
+TEST(GoldenStepsTest, Fig3GeneratedC) {
+  checkGolden("fig03_kernel.c", neon8x12().CSource);
+}

@@ -2,6 +2,7 @@
 
 #include "ukr/KernelService.h"
 
+#include "JitCacheTestEnv.h"
 #include "benchutil/Bench.h"
 #include "exo/jit/DiskCache.h"
 #include "exo/jit/Jit.h"
@@ -22,16 +23,9 @@ using namespace ukr;
 
 namespace {
 
-std::string makeTempDir() {
-  const char *Tmp = std::getenv("TMPDIR");
-  std::string Templ =
-      std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/exo-kstest-XXXXXX";
-  std::vector<char> Buf(Templ.begin(), Templ.end());
-  Buf.push_back('\0');
-  const char *Dir = mkdtemp(Buf.data());
-  EXPECT_NE(Dir, nullptr);
-  return Dir ? Dir : "";
-}
+/// A private cache root for one test (on top of the binary-wide ephemeral
+/// EXO_JIT_CACHE_DIR the shared environment installs).
+std::string makeTempDir() { return exotest::makeTempDir("exo-kstest"); }
 
 UkrConfig configFor(int64_t MR, int64_t NR) {
   UkrConfig Cfg;
