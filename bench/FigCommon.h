@@ -16,12 +16,19 @@
 ///   BLIS     — the library emulation: BLIS-style kernel *with* its
 ///              in-kernel prefetch, monolithic edge handling
 ///
+/// Every bench measures through benchutil::measure() (one warm-up, reps
+/// until the time budget, obs stage attribution around the timed reps)
+/// and reports through a fig::Context, which owns the shared epilogue:
+/// cache-counter dump, BENCH_*.json emission (--json) and chrome-trace
+/// export (--trace). See docs/OBSERVABILITY.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BENCH_FIGCOMMON_H
 #define BENCH_FIGCOMMON_H
 
 #include "benchutil/Bench.h"
+#include "benchutil/Report.h"
 #include "gemm/ExoProvider.h"
 #include "gemm/Gemm.h"
 #include "gemm/Kernels.h"
@@ -40,11 +47,93 @@ inline const std::vector<std::string> &seriesNames() {
   return Names;
 }
 
-/// Measures one GEMM problem across the four series; returns GFLOPS per
-/// series (ordering of seriesNames()). Also validates each result against
-/// the reference on first use of a shape.
-inline std::vector<double> gemmSeriesGflops(int64_t M, int64_t N, int64_t K,
-                                            double MinSeconds) {
+/// Bench epilogue: dumps the kernel-cache counters accumulated over the
+/// run to stderr (so --csv output stays clean). Pre-warming the persistent
+/// cache (`ukr_cachectl warm`, see docs/KERNEL_CACHE.md) shows up here as
+/// disk-hits with zero compiles. Also reports the macro-kernel team size
+/// the run resolved to — the figure benches must say "gemm-threads: 1"
+/// for their numbers to be comparable to the paper's single-core
+/// methodology (EXO_GEMM_THREADS, when set, applies to every series).
+inline void dumpCacheStats() {
+  std::fprintf(stderr, "gemm-threads: %lld (plan default; set "
+                       "EXO_GEMM_THREADS to override)\n",
+               static_cast<long long>(gemm::resolveGemmThreads(0)));
+  ukr::printCacheStats(ukr::globalCacheStats(), stderr);
+}
+
+/// Owns the CLI options and the JSON reporter of one bench binary, and
+/// runs the shared epilogue. Usage:
+///
+///   fig::Context Ctx("fig14_square", Argc, Argv);
+///   ... Ctx.Opt, Ctx.Rep.addRow(...) ...
+///   return Ctx.finish();
+class Context {
+public:
+  Context(const char *BenchName, int Argc, char **Argv)
+      : Opt(benchutil::BenchOptions::parse(Argc, Argv)), Rep(BenchName),
+        BenchName(BenchName) {
+    Opt.applyObs();
+    Rep.setOption("seconds", Opt.Seconds);
+    Rep.setOption("big", Opt.Big);
+    Rep.setOption("smoke", Opt.Smoke);
+    Rep.setField("gemm_threads", gemm::resolveGemmThreads(0));
+  }
+
+  /// Dumps cache stats and writes the JSON report / chrome trace when
+  /// requested. Returns the process exit code.
+  int finish() {
+    dumpCacheStats();
+    int Rc = 0;
+    if (std::string Path = Opt.jsonPathFor(BenchName); !Path.empty()) {
+      if (exo::Error E = Rep.write(Path)) {
+        std::fprintf(stderr, "bench-json: %s\n", E.message().c_str());
+        Rc = 1;
+      } else {
+        std::printf("bench-json: wrote %s (%zu rows)\n", Path.c_str(),
+                    Rep.rowCount());
+      }
+    }
+    if (!Opt.TracePath.empty()) {
+      if (exo::Error E = obs::writeChromeTrace(Opt.TracePath)) {
+        std::fprintf(stderr, "bench-trace: %s\n", E.message().c_str());
+        Rc = 1;
+      } else {
+        std::printf("bench-trace: wrote %s\n", Opt.TracePath.c_str());
+      }
+    }
+    return Rc;
+  }
+
+  benchutil::BenchOptions Opt;
+  benchutil::Reporter Rep;
+
+private:
+  std::string BenchName;
+};
+
+/// `--smoke` shape selection: keeps only the last \p Keep entries (the
+/// dnn layer tables get smaller toward the end; size sweeps stay cheap
+/// with any slice since the budget is also clamped).
+template <typename T>
+std::vector<T> smokeSlice(std::vector<T> V, bool Smoke, size_t Keep = 2) {
+  if (Smoke && V.size() > Keep)
+    V.erase(V.begin(), V.end() - static_cast<long>(Keep));
+  return V;
+}
+
+/// One series' result for one GEMM problem.
+struct SeriesPoint {
+  std::string Series;
+  double Gflops = 0; ///< 0 when the series failed validation
+  benchutil::Measurement M;
+};
+
+/// Measures one GEMM problem across the four series (ordering of
+/// seriesNames()), validating each result against the reference on first
+/// use of a shape.
+inline std::vector<SeriesPoint> gemmSeriesRun(int64_t M, int64_t N,
+                                              int64_t K,
+                                              double MinSeconds) {
   using namespace gemm;
   std::vector<float> A(M * K), B(K * N), C(M * N);
   benchutil::fillRandom(A.data(), A.size(), 11);
@@ -64,62 +153,98 @@ inline std::vector<double> gemmSeriesGflops(int64_t M, int64_t N, int64_t K,
   Providers.push_back(
       std::make_unique<FixedProvider>(blisKernelPrefetch(), "BLIS"));
 
-  std::vector<double> Out;
+  std::vector<SeriesPoint> Out;
   double Flops = 2.0 * M * N * K;
-  for (auto &P : Providers) {
-    GemmPlan Plan = GemmPlan::standard(*P);
+  for (size_t PI = 0; PI != Providers.size(); ++PI) {
+    KernelProvider &P = *Providers[PI];
+    SeriesPoint Pt;
+    Pt.Series = seriesNames()[PI];
+    GemmPlan Plan = GemmPlan::standard(P);
     // One verified call before timing.
     std::vector<float> CRef(M * N, 1.0f), CChk(M * N, 1.0f);
     refSgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f, CRef.data(), M);
-    exo::Error Err = blisGemm(Plan, *P, M, N, K, 1.0f, A.data(), M, B.data(),
+    exo::Error Err = blisGemm(Plan, P, M, N, K, 1.0f, A.data(), M, B.data(),
                               K, 1.0f, CChk.data(), M);
     if (Err) {
-      std::fprintf(stderr, "series %s failed: %s\n", P->name(),
+      std::fprintf(stderr, "series %s failed: %s\n", P.name(),
                    Err.message().c_str());
-      Out.push_back(0);
+      Out.push_back(Pt);
       continue;
     }
     float Diff = benchutil::maxAbsDiff(CRef.data(), CChk.data(), CRef.size());
     if (Diff > 1e-3f * static_cast<float>(K)) {
-      std::fprintf(stderr, "series %s WRONG RESULT (maxdiff %g)\n",
-                   P->name(), Diff);
-      Out.push_back(0);
+      std::fprintf(stderr, "series %s WRONG RESULT (maxdiff %g)\n", P.name(),
+                   Diff);
+      Out.push_back(Pt);
       continue;
     }
-    double Secs = benchutil::timeIt(
+    Pt.M = benchutil::measure(
         [&] {
-          blisGemm(Plan, *P, M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f,
+          blisGemm(Plan, P, M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f,
                    C.data(), M);
         },
         MinSeconds);
-    Out.push_back(benchutil::gflops(Flops, Secs));
+    Pt.Gflops = benchutil::gflops(Flops, Pt.M.SecondsPerCall);
+    Out.push_back(std::move(Pt));
   }
   return Out;
 }
 
-/// Measures seconds per call for one series index (same ordering) — used by
-/// the aggregated-time figures.
-inline std::vector<double> gemmSeriesSeconds(int64_t M, int64_t N, int64_t K,
-                                             double MinSeconds) {
-  std::vector<double> G = gemmSeriesGflops(M, N, K, MinSeconds);
-  std::vector<double> S;
-  for (double V : G)
-    S.push_back(V > 0 ? 2.0 * M * N * K / (V * 1e9) : 0.0);
-  return S;
+/// GFLOPS per series — thin view over gemmSeriesRun for callers that only
+/// table the numbers.
+inline std::vector<double> gemmSeriesGflops(int64_t M, int64_t N, int64_t K,
+                                            double MinSeconds) {
+  std::vector<double> Out;
+  for (const SeriesPoint &Pt : gemmSeriesRun(M, N, K, MinSeconds))
+    Out.push_back(Pt.Gflops);
+  return Out;
 }
 
-/// Bench epilogue: dumps the kernel-cache counters accumulated over the
-/// run to stderr (so --csv output stays clean). Pre-warming the persistent
-/// cache (`ukr_cachectl warm`, see docs/KERNEL_CACHE.md) shows up here as
-/// disk-hits with zero compiles. Also reports the macro-kernel team size
-/// the run resolved to — the figure benches must say "gemm-threads: 1"
-/// for their numbers to be comparable to the paper's single-core
-/// methodology (EXO_GEMM_THREADS, when set, applies to every series).
-inline void dumpCacheStats() {
-  std::fprintf(stderr, "gemm-threads: %lld (plan default; set "
-                       "EXO_GEMM_THREADS to override)\n",
-               static_cast<long long>(gemm::resolveGemmThreads(0)));
-  ukr::printCacheStats(ukr::globalCacheStats(), stderr);
+/// Appends one GFLOPS row for a single measured kernel/GEMM call and
+/// returns the GFLOPS value (for tabling). \p Flops is per call.
+inline double addGemmRow(Context &Ctx, const std::string &Label,
+                         const std::string &Series, int64_t M, int64_t N,
+                         int64_t K, const benchutil::Measurement &Meas,
+                         double Flops) {
+  benchutil::ReportRow Row;
+  Row.Label = Label;
+  Row.Series = Series;
+  Row.Value = benchutil::gflops(Flops, Meas.SecondsPerCall);
+  Row.SecondsPerCall = Meas.SecondsPerCall;
+  Row.Reps = Meas.Reps;
+  Row.Threads = gemm::resolveGemmThreads(0);
+  Row.M = M;
+  Row.N = N;
+  Row.K = K;
+  Row.Stages = Meas.Stages;
+  double Out = Row.Value;
+  Ctx.Rep.addRow(std::move(Row));
+  return Out;
+}
+
+/// Appends one report row per series to \p Ctx for a GEMM problem point.
+/// \p Metric is "gflops" (better=higher) or "seconds" (better=lower);
+/// the other quantity still rides along in the row.
+inline void addSeriesRows(Context &Ctx, const std::string &Label, int64_t M,
+                          int64_t N, int64_t K,
+                          const std::vector<SeriesPoint> &Points,
+                          const std::string &Metric = "gflops") {
+  for (const SeriesPoint &Pt : Points) {
+    benchutil::ReportRow Row;
+    Row.Label = Label;
+    Row.Series = Pt.Series;
+    Row.Metric = Metric;
+    Row.Better = Metric == "seconds" ? "lower" : "higher";
+    Row.Value = Metric == "seconds" ? Pt.M.SecondsPerCall : Pt.Gflops;
+    Row.SecondsPerCall = Pt.M.SecondsPerCall;
+    Row.Reps = Pt.M.Reps;
+    Row.Threads = gemm::resolveGemmThreads(0);
+    Row.M = M;
+    Row.N = N;
+    Row.K = K;
+    Row.Stages = Pt.M.Stages;
+    Ctx.Rep.addRow(std::move(Row));
+  }
 }
 
 } // namespace fig

@@ -7,10 +7,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "benchutil/Bench.h"
+#include "FigCommon.h"
+
 #include "exo/support/Str.h"
-#include "gemm/ExoProvider.h"
-#include "gemm/Gemm.h"
 
 #include <array>
 #include <cstdio>
@@ -20,32 +19,34 @@ using namespace gemm;
 
 namespace {
 
-double run(ExoProvider &P, int64_t M, int64_t N, int64_t K, double Seconds) {
+benchutil::Measurement run(ExoProvider &P, int64_t M, int64_t N, int64_t K,
+                           double Seconds) {
   GemmPlan Plan = GemmPlan::standard(P);
   std::vector<float> A(M * K), B(K * N), C(M * N, 0.f);
   benchutil::fillRandom(A.data(), A.size(), 1);
   benchutil::fillRandom(B.data(), B.size(), 2);
-  double Secs = benchutil::timeIt(
+  return benchutil::measure(
       [&] {
         blisGemm(Plan, P, M, N, K, 1.f, A.data(), M, B.data(), K, 1.f,
                  C.data(), M);
       },
       Seconds);
-  return benchutil::gflops(2.0 * M * N * K, Secs);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("ablate_edge", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
   std::printf("Ablation: specialized edge kernels vs scratch-tile "
               "fallback (8x12 full tile in both)\n");
 
   // Shapes chosen so edge tiles dominate: m % 8 and n % 12 far from 0.
-  const std::vector<std::array<int64_t, 3>> Problems = {
+  std::vector<std::array<int64_t, 3>> Problems = {
       {100, 100, 256}, {49, 512, 512},  {196, 256, 512},
       {260, 62, 512},  {804, 110, 300}, {512, 516, 512},
   };
+  Problems = fig::smokeSlice(std::move(Problems), Opt.Smoke);
 
   benchutil::Table T("ablate_edge_gflops",
                      {"m x n x k", "specialized_edges", "scratch_fallback"},
@@ -54,12 +55,18 @@ int main(int Argc, char **Argv) {
     ExoProvider Specialized(8, 12);
     ExoProvider Scratch(8, 12);
     Scratch.setSpecializeEdges(false);
-    T.addRow(exo::strf("%lldx%lldx%lld", static_cast<long long>(M),
-                       static_cast<long long>(N),
-                       static_cast<long long>(K)),
-             {run(Specialized, M, N, K, Opt.Seconds),
-              run(Scratch, M, N, K, Opt.Seconds)});
+    std::string Label = exo::strf("%lldx%lldx%lld", static_cast<long long>(M),
+                                  static_cast<long long>(N),
+                                  static_cast<long long>(K));
+    double Flops = 2.0 * M * N * K;
+    benchutil::Measurement MSpec = run(Specialized, M, N, K, Opt.Seconds);
+    benchutil::Measurement MScr = run(Scratch, M, N, K, Opt.Seconds);
+    T.addRow(Label,
+             {fig::addGemmRow(Ctx, Label, "specialized_edges", M, N, K,
+                              MSpec, Flops),
+              fig::addGemmRow(Ctx, Label, "scratch_fallback", M, N, K, MScr,
+                              Flops)});
   }
   T.print();
-  return 0;
+  return Ctx.finish();
 }

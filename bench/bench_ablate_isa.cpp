@@ -6,9 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "benchutil/Bench.h"
-#include "gemm/ExoProvider.h"
-#include "gemm/Gemm.h"
+#include "FigCommon.h"
 
 #include <cstdio>
 #include <vector>
@@ -16,7 +14,8 @@
 using namespace gemm;
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("ablate_isa", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
   std::printf("Ablation: one schedule, three instruction libraries\n");
 
   struct IsaCase {
@@ -33,6 +32,8 @@ int main(int Argc, char **Argv) {
   std::vector<int64_t> Sizes = Opt.Big
                                    ? std::vector<int64_t>{1024, 2048, 4096}
                                    : std::vector<int64_t>{384, 768, 1152};
+  if (Opt.Smoke)
+    Sizes = {64, 96};
   std::vector<std::string> Header{"isa"};
   for (int64_t S : Sizes)
     Header.push_back(std::to_string(S));
@@ -48,16 +49,17 @@ int main(int Argc, char **Argv) {
       std::vector<float> A(S * S), B(S * S), Cm(S * S, 0.f);
       benchutil::fillRandom(A.data(), A.size(), 1);
       benchutil::fillRandom(B.data(), B.size(), 2);
-      double Secs = benchutil::timeIt(
+      benchutil::Measurement M = benchutil::measure(
           [&] {
             blisGemm(Plan, P, S, S, S, 1.f, A.data(), S, B.data(), S, 1.f,
                      Cm.data(), S);
           },
           Opt.Seconds);
-      Row.push_back(benchutil::gflops(2.0 * S * S * S, Secs));
+      Row.push_back(fig::addGemmRow(Ctx, std::to_string(S), C.Label, S, S, S,
+                                    M, 2.0 * S * S * S));
     }
     T.addRow(C.Label, Row);
   }
   T.print();
-  return 0;
+  return Ctx.finish();
 }

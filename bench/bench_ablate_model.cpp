@@ -6,9 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "benchutil/Bench.h"
-#include "gemm/ExoProvider.h"
-#include "gemm/Gemm.h"
+#include "FigCommon.h"
 
 #include <cstdio>
 #include <vector>
@@ -17,24 +15,24 @@ using namespace gemm;
 
 namespace {
 
-double run(const GemmPlan &Plan, KernelProvider &P, int64_t S,
-           double Seconds) {
+benchutil::Measurement run(const GemmPlan &Plan, KernelProvider &P, int64_t S,
+                           double Seconds) {
   std::vector<float> A(S * S), B(S * S), C(S * S, 0.f);
   benchutil::fillRandom(A.data(), A.size(), 1);
   benchutil::fillRandom(B.data(), B.size(), 2);
-  double Secs = benchutil::timeIt(
+  return benchutil::measure(
       [&] {
         blisGemm(Plan, P, S, S, S, 1.f, A.data(), S, B.data(), S, 1.f,
                  C.data(), S);
       },
       Seconds);
-  return benchutil::gflops(2.0 * S * S * S, Secs);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("ablate_model", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
   std::printf("Ablation: analytical cache model vs fixed blocking "
               "(ALG+EXO kernels)\n");
 
@@ -54,9 +52,18 @@ int main(int Argc, char **Argv) {
   std::vector<int64_t> Sizes =
       Opt.Big ? std::vector<int64_t>{1000, 2000, 4000}
               : std::vector<int64_t>{256, 512, 1024, 1536};
-  for (int64_t S : Sizes)
-    T.addRow(std::to_string(S), {run(Model, Exo, S, Opt.Seconds),
-                                 run(Fixed, Exo, S, Opt.Seconds)});
+  if (Opt.Smoke)
+    Sizes = {64, 96};
+  for (int64_t S : Sizes) {
+    double Flops = 2.0 * S * S * S;
+    benchutil::Measurement MModel = run(Model, Exo, S, Opt.Seconds);
+    benchutil::Measurement MFixed = run(Fixed, Exo, S, Opt.Seconds);
+    T.addRow(std::to_string(S),
+             {fig::addGemmRow(Ctx, std::to_string(S), "analytical_model", S,
+                              S, S, MModel, Flops),
+              fig::addGemmRow(Ctx, std::to_string(S), "fixed_blocking", S, S,
+                              S, MFixed, Flops)});
+  }
   T.print();
-  return 0;
+  return Ctx.finish();
 }

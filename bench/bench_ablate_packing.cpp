@@ -7,9 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "benchutil/Bench.h"
-#include "gemm/ExoProvider.h"
-#include "gemm/Gemm.h"
+#include "FigCommon.h"
+
 #include "gemm/Pack.h"
 
 #include <cstdio>
@@ -18,20 +17,25 @@
 using namespace gemm;
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
-  std::printf("Ablation: packing overhead vs problem depth (m = n = 512)\n");
+  fig::Context Ctx("ablate_packing", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
+  std::printf("Ablation: packing overhead vs problem depth (m = n = %d)\n",
+              Opt.Smoke ? 96 : 512);
 
   ExoProvider Exo(8, 12);
   GemmPlan Plan = GemmPlan::standard(Exo);
-  const int64_t M = 512, N = 512;
+  const int64_t M = Opt.Smoke ? 96 : 512, N = M;
+  std::vector<int64_t> Depths = {8, 32, 128, 512, 2048};
+  if (Opt.Smoke)
+    Depths = {8, 64};
 
   benchutil::Table T("ablate_packing",
                      {"k", "gemm_gflops", "pack_share_pct"}, Opt.Csv);
-  for (int64_t K : {8, 32, 128, 512, 2048}) {
+  for (int64_t K : Depths) {
     std::vector<float> A(M * K), B(K * N), C(M * N, 0.f);
     benchutil::fillRandom(A.data(), A.size(), 1);
     benchutil::fillRandom(B.data(), B.size(), 2);
-    double GemmSecs = benchutil::timeIt(
+    benchutil::Measurement GemmM = benchutil::measure(
         [&] {
           blisGemm(Plan, Exo, M, N, K, 1.f, A.data(), M, B.data(), K, 1.f,
                    C.data(), M);
@@ -45,7 +49,7 @@ int main(int Argc, char **Argv) {
     int64_t Nc = std::min<int64_t>(Plan.Blocks.NC, N);
     std::vector<float> ABuf(((Mc + 7) / 8) * Kc * 8);
     std::vector<float> BBuf(((Nc + 11) / 12) * Kc * 12);
-    double PackSecs = benchutil::timeIt(
+    benchutil::Measurement PackM = benchutil::measure(
         [&] {
           for (int64_t Pc = 0; Pc < K; Pc += Kc) {
             int64_t KcEff = std::min(Kc, K - Pc);
@@ -60,12 +64,28 @@ int main(int Argc, char **Argv) {
         },
         Opt.Seconds);
 
+    double PackSharePct =
+        100.0 * PackM.SecondsPerCall / GemmM.SecondsPerCall;
     T.addRow(std::to_string(K),
-             {benchutil::gflops(2.0 * M * N * K, GemmSecs),
-              100.0 * PackSecs / GemmSecs});
+             {benchutil::gflops(2.0 * M * N * K, GemmM.SecondsPerCall),
+              PackSharePct});
+    fig::addGemmRow(Ctx, "k" + std::to_string(K), "gemm", M, N, K, GemmM,
+                    2.0 * M * N * K);
+    benchutil::ReportRow Share;
+    Share.Label = "k" + std::to_string(K);
+    Share.Series = "pack_share";
+    Share.Metric = "pack_share_pct";
+    Share.Better = "info";
+    Share.Value = PackSharePct;
+    Share.SecondsPerCall = PackM.SecondsPerCall;
+    Share.Reps = PackM.Reps;
+    Share.M = M;
+    Share.N = N;
+    Share.K = K;
+    Ctx.Rep.addRow(std::move(Share));
   }
   T.print();
   std::printf("Small-k problems spend a large share of time packing — the "
               "motivation for the paper's non-packed kernel variant.\n");
-  return 0;
+  return Ctx.finish();
 }

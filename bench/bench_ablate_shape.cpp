@@ -6,7 +6,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "benchutil/Bench.h"
+#include "FigCommon.h"
+
 #include "ukr/KernelRegistry.h"
 
 #include <cstdio>
@@ -15,14 +16,19 @@
 using namespace exo;
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
-  const int64_t Kc = 512;
+  fig::Context Ctx("ablate_shape", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
+  const int64_t Kc = Opt.Smoke ? 64 : 512;
   std::printf("Ablation: micro-kernel shape sweep (solo mode, kc=%lld, "
               "auto ISA per MR)\n",
               static_cast<long long>(Kc));
 
   std::vector<int64_t> Mrs = {4, 8, 16, 24, 32};
   std::vector<int64_t> Nrs = {1, 2, 4, 6, 8, 12, 16};
+  if (Opt.Smoke) {
+    Mrs = {8};
+    Nrs = {4, 12};
+  }
 
   std::vector<std::string> Header{"mr\\nr"};
   for (int64_t Nr : Nrs)
@@ -47,12 +53,14 @@ int main(int Argc, char **Argv) {
       benchutil::fillRandom(Ac.data(), Ac.size(), 1);
       benchutil::fillRandom(Bc.data(), Bc.size(), 2);
       ukr::MicroKernelF32 Fn = (*K)->Fn;
-      double Secs = benchutil::timeIt(
+      benchutil::Measurement M = benchutil::measure(
           [&] { Fn(Kc, Mr, Ac.data(), Bc.data(), C.data()); }, Opt.Seconds);
-      Row.push_back(benchutil::gflops(2.0 * Mr * Nr * Kc, Secs));
+      Row.push_back(fig::addGemmRow(
+          Ctx, std::to_string(Mr) + "x" + std::to_string(Nr), "solo", Mr, Nr,
+          Kc, M, 2.0 * Mr * Nr * Kc));
     }
     T.addRow(std::to_string(Mr), Row);
   }
   T.print();
-  return 0;
+  return Ctx.finish();
 }

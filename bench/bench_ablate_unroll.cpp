@@ -6,7 +6,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "benchutil/Bench.h"
+#include "FigCommon.h"
+
 #include "ukr/KernelRegistry.h"
 
 #include <cstdio>
@@ -16,27 +17,31 @@ using namespace exo;
 
 namespace {
 
-double soloGflops(ukr::MicroKernelF32 Fn, int64_t Mr, int64_t Nr, int64_t Kc,
-                  double Seconds) {
+benchutil::Measurement soloMeasure(ukr::MicroKernelF32 Fn, int64_t Mr,
+                                   int64_t Nr, int64_t Kc, double Seconds) {
   std::vector<float> Ac(Kc * Mr), Bc(Kc * Nr), C(Nr * Mr, 0.f);
   benchutil::fillRandom(Ac.data(), Ac.size(), 1);
   benchutil::fillRandom(Bc.data(), Bc.size(), 2);
-  double Secs = benchutil::timeIt(
+  return benchutil::measure(
       [&] { Fn(Kc, Mr, Ac.data(), Bc.data(), C.data()); }, Seconds);
-  return benchutil::gflops(2.0 * Mr * Nr * Kc, Secs);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("ablate_unroll", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
+  const int64_t Kc = Opt.Smoke ? 64 : 512;
   std::printf("Ablation: loop unrolling in the generated 8x12 kernel "
-              "(solo mode, kc=512)\n");
+              "(solo mode, kc=%lld)\n",
+              static_cast<long long>(Kc));
 
   benchutil::Table T("ablate_unroll_gflops",
                      {"isa", "rolled_loads", "unrolled_loads(paper)",
                       "fully_unrolled"},
                      Opt.Csv);
+  const char *VariantNames[] = {"rolled_loads", "unrolled_loads",
+                                "fully_unrolled"};
 
   for (const IsaLib *Isa : {&portableIsa(), &avx2Isa(), &avx512Isa()}) {
     if (!Isa->hostExecutable())
@@ -55,10 +60,14 @@ int main(int Argc, char **Argv) {
         Row.push_back(0);
         continue;
       }
-      Row.push_back(soloGflops((*K)->Fn, Mr, 12, 512, Opt.Seconds));
+      benchutil::Measurement M =
+          soloMeasure((*K)->Fn, Mr, 12, Kc, Opt.Seconds);
+      Row.push_back(fig::addGemmRow(Ctx, Isa->name(),
+                                    VariantNames[Variant], Mr, 12, Kc, M,
+                                    2.0 * Mr * 12 * Kc));
     }
     T.addRow(Isa->name(), Row);
   }
   T.print();
-  return 0;
+  return Ctx.finish();
 }

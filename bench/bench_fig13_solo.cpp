@@ -43,10 +43,13 @@ void runMonolithic(KernelFn Fn, int64_t Mr, int64_t Nr, int64_t Kc,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
-  const int64_t Kc = 512;
-  const std::vector<std::pair<int64_t, int64_t>> Shapes = {
+  fig::Context Ctx("fig13_solo", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
+  const int64_t Kc = Opt.Smoke ? 64 : 512;
+  std::vector<std::pair<int64_t, int64_t>> Shapes = {
       {8, 12}, {8, 8}, {8, 4}, {4, 12}, {4, 8}, {4, 4}, {1, 12}, {1, 8}};
+  if (Opt.Smoke)
+    Shapes = {{8, 12}, {4, 8}};
 
   std::printf("Figure 13: micro-kernels in solo mode (kc=%lld)\n",
               static_cast<long long>(Kc));
@@ -73,39 +76,45 @@ int main(int Argc, char **Argv) {
     int64_t Ldc = 8;
     std::vector<float> C(12 * Ldc, 0.0f);
     double Flops = 2.0 * Mr * Nr * Kc;
+    std::string Label = exo::strf("%lldx%lld", static_cast<long long>(Mr),
+                                 static_cast<long long>(Nr));
+
+    auto addRow = [&](const char *Series, const benchutil::Measurement &M) {
+      return fig::addGemmRow(Ctx, Label, Series, Mr, Nr, Kc, M, Flops);
+    };
 
     std::vector<double> Row;
+    const char *BaselineNames[] = {"NEON", "BLIS"};
+    int BI = 0;
     for (KernelFn Fn :
          {&handVectorKernel8x12, &blisStyleKernel8x12Prefetch}) {
+      const char *Series = BaselineNames[BI++];
       if (!baselineKernelsUsable()) {
         Row.push_back(0);
         continue;
       }
-      double Secs = benchutil::timeIt(
+      benchutil::Measurement M = benchutil::measure(
           [&] {
             runMonolithic(Fn, Mr, Nr, Kc, AcPad.data(), BcPad.data(),
                           C.data(), Ldc);
           },
           Opt.Seconds);
-      Row.push_back(benchutil::gflops(Flops, Secs));
+      Row.push_back(addRow(Series, M));
     }
 
     auto K = Exo.shape(Mr, Nr);
     if (K && K->Fn) {
       KernelFn Fn = K->Fn;
-      double Secs = benchutil::timeIt(
+      benchutil::Measurement M = benchutil::measure(
           [&] { Fn(Kc, Ldc, AcTight.data(), BcTight.data(), C.data()); },
           Opt.Seconds);
-      Row.push_back(benchutil::gflops(Flops, Secs));
+      Row.push_back(addRow("EXO", M));
     } else {
       Row.push_back(0);
     }
 
-    T.addRow(exo::strf("%lldx%lld", static_cast<long long>(Mr),
-                       static_cast<long long>(Nr)),
-             Row);
+    T.addRow(Label, Row);
   }
   T.print();
-  fig::dumpCacheStats();
-  return 0;
+  return Ctx.finish();
 }

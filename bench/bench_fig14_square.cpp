@@ -13,10 +13,13 @@
 #include "exo/support/Str.h"
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("fig14_square", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
   std::vector<int64_t> Sizes = Opt.Big
                                    ? std::vector<int64_t>{1000, 2000, 4000, 5000}
                                    : std::vector<int64_t>{256, 512, 1024, 1536};
+  if (Opt.Smoke)
+    Sizes = {64, 96};
 
   std::printf("Figure 14: squarish GEMM (m = n = k)%s\n",
               Opt.Big ? " [paper sizes]" : " [scaled; use --big]");
@@ -25,13 +28,18 @@ int main(int Argc, char **Argv) {
                      Opt.Csv);
   for (int64_t S : Sizes) {
     auto [Mr, Nr] = gemm::ExoProvider::pickShape(S, S, &exo::avx2Isa());
-    std::vector<double> Row = fig::gemmSeriesGflops(S, S, S, Opt.Seconds);
+    std::vector<fig::SeriesPoint> Pts =
+        fig::gemmSeriesRun(S, S, S, Opt.Seconds);
+    std::vector<double> Row;
+    for (const fig::SeriesPoint &Pt : Pts)
+      Row.push_back(Pt.Gflops);
+    std::string Label = exo::strf("%lld", static_cast<long long>(S));
     T.addRow(exo::strf("%lld (exo %lldx%lld)", static_cast<long long>(S),
                        static_cast<long long>(Mr),
                        static_cast<long long>(Nr)),
              Row);
+    fig::addSeriesRows(Ctx, Label, S, S, S, Pts);
   }
   T.print();
-  fig::dumpCacheStats();
-  return 0;
+  return Ctx.finish();
 }

@@ -13,12 +13,15 @@
 #include "dnn/Models.h"
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("fig15_resnet", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
+  std::vector<dnn::LayerGemm> Layers =
+      fig::smokeSlice(dnn::resnet50Layers(), Opt.Smoke);
 
   std::printf("Table I: ResNet50 v1.5 im2row GEMM shapes\n");
   benchutil::Table Tab("table1_resnet50_shapes",
                        {"layer", "layers", "m", "n", "k"}, Opt.Csv);
-  for (const dnn::LayerGemm &L : dnn::resnet50Layers())
+  for (const dnn::LayerGemm &L : Layers)
     Tab.addRow({std::to_string(L.Id), L.Layers, std::to_string(L.M),
                 std::to_string(L.N), std::to_string(L.K)});
   Tab.print();
@@ -29,25 +32,26 @@ int main(int Argc, char **Argv) {
                       "winner"},
                      Opt.Csv);
   int ExoWins = 0;
-  for (const dnn::LayerGemm &L : dnn::resnet50Layers()) {
-    std::vector<double> Row =
-        fig::gemmSeriesGflops(L.M, L.N, L.K, Opt.Seconds);
+  for (const dnn::LayerGemm &L : Layers) {
+    std::vector<fig::SeriesPoint> Pts =
+        fig::gemmSeriesRun(L.M, L.N, L.K, Opt.Seconds);
     size_t Win = 0;
-    for (size_t I = 1; I < Row.size(); ++I)
-      if (Row[I] > Row[Win])
+    for (size_t I = 1; I < Pts.size(); ++I)
+      if (Pts[I].Gflops > Pts[Win].Gflops)
         Win = I;
     if (fig::seriesNames()[Win] == "ALG+EXO")
       ++ExoWins;
     std::vector<std::string> Cells{std::to_string(L.Id)};
-    for (double V : Row)
-      Cells.push_back(exo::strf("%.2f", V));
+    for (const fig::SeriesPoint &Pt : Pts)
+      Cells.push_back(exo::strf("%.2f", Pt.Gflops));
     Cells.push_back(fig::seriesNames()[Win]);
     T.addRow(std::move(Cells));
+    fig::addSeriesRows(Ctx, "layer" + std::to_string(L.Id), L.M, L.N, L.K,
+                       Pts);
   }
   T.print();
   std::printf("ALG+EXO is the best option for %d of %zu layers "
               "(paper: 9 of 20 on Carmel).\n",
-              ExoWins, dnn::resnet50Layers().size());
-  fig::dumpCacheStats();
-  return 0;
+              ExoWins, Layers.size());
+  return Ctx.finish();
 }

@@ -11,25 +11,37 @@
 #include "dnn/Models.h"
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("fig16_resnet_time", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
   std::printf("Figure 16: aggregated inference GEMM time, ResNet50 v1.5\n");
+  std::vector<dnn::LayerGemm> Layers =
+      fig::smokeSlice(dnn::resnet50Layers(), Opt.Smoke);
 
   std::vector<double> Total(fig::seriesNames().size(), 0.0);
   double TotalFlops = 0;
-  for (const dnn::LayerGemm &L : dnn::resnet50Layers()) {
-    std::vector<double> Secs =
-        fig::gemmSeriesSeconds(L.M, L.N, L.K, Opt.Seconds);
-    for (size_t I = 0; I != Secs.size(); ++I)
-      Total[I] += Secs[I] * L.Count;
+  for (const dnn::LayerGemm &L : Layers) {
+    std::vector<fig::SeriesPoint> Pts =
+        fig::gemmSeriesRun(L.M, L.N, L.K, Opt.Seconds);
+    for (size_t I = 0; I != Pts.size(); ++I)
+      Total[I] += Pts[I].M.SecondsPerCall * L.Count;
     TotalFlops += L.flops() * L.Count;
   }
 
   benchutil::Table T("fig16_resnet_time",
                      {"series", "time_ms", "aggregate_gflops"}, Opt.Csv);
-  for (size_t I = 0; I != Total.size(); ++I)
+  for (size_t I = 0; I != Total.size(); ++I) {
     T.addRow(fig::seriesNames()[I],
              {Total[I] * 1e3, benchutil::gflops(TotalFlops, Total[I])});
+    benchutil::ReportRow Row;
+    Row.Label = "resnet50_pass";
+    Row.Series = fig::seriesNames()[I];
+    Row.Metric = "seconds";
+    Row.Better = "lower";
+    Row.Value = Total[I];
+    Row.SecondsPerCall = Total[I];
+    Row.Threads = gemm::resolveGemmThreads(0);
+    Ctx.Rep.addRow(std::move(Row));
+  }
   T.print();
-  fig::dumpCacheStats();
-  return 0;
+  return Ctx.finish();
 }

@@ -10,25 +10,37 @@
 #include "dnn/Models.h"
 
 int main(int Argc, char **Argv) {
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("fig18_vgg_time", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
   std::printf("Figure 18: aggregated inference GEMM time, VGG16\n");
+  std::vector<dnn::LayerGemm> Layers =
+      fig::smokeSlice(dnn::vgg16Layers(), Opt.Smoke);
 
   std::vector<double> Total(fig::seriesNames().size(), 0.0);
   double TotalFlops = 0;
-  for (const dnn::LayerGemm &L : dnn::vgg16Layers()) {
-    std::vector<double> Secs =
-        fig::gemmSeriesSeconds(L.M, L.N, L.K, Opt.Seconds);
-    for (size_t I = 0; I != Secs.size(); ++I)
-      Total[I] += Secs[I] * L.Count;
+  for (const dnn::LayerGemm &L : Layers) {
+    std::vector<fig::SeriesPoint> Pts =
+        fig::gemmSeriesRun(L.M, L.N, L.K, Opt.Seconds);
+    for (size_t I = 0; I != Pts.size(); ++I)
+      Total[I] += Pts[I].M.SecondsPerCall * L.Count;
     TotalFlops += L.flops() * L.Count;
   }
 
   benchutil::Table T("fig18_vgg_time",
                      {"series", "time_ms", "aggregate_gflops"}, Opt.Csv);
-  for (size_t I = 0; I != Total.size(); ++I)
+  for (size_t I = 0; I != Total.size(); ++I) {
     T.addRow(fig::seriesNames()[I],
              {Total[I] * 1e3, benchutil::gflops(TotalFlops, Total[I])});
+    benchutil::ReportRow Row;
+    Row.Label = "vgg16_pass";
+    Row.Series = fig::seriesNames()[I];
+    Row.Metric = "seconds";
+    Row.Better = "lower";
+    Row.Value = Total[I];
+    Row.SecondsPerCall = Total[I];
+    Row.Threads = gemm::resolveGemmThreads(0);
+    Ctx.Rep.addRow(std::move(Row));
+  }
   T.print();
-  fig::dumpCacheStats();
-  return 0;
+  return Ctx.finish();
 }

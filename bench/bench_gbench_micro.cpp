@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 using namespace gemm;
@@ -67,4 +68,36 @@ BENCHMARK_CAPTURE(BM_ExoKernel, 16x12, 16, 12)->Arg(512);
 BENCHMARK(BM_HandVector)->Arg(512);
 BENCHMARK(BM_BlisStyle)->Arg(512);
 
-BENCHMARK_MAIN();
+// Custom main so the suite-wide flag conventions work here too: `--json
+// [PATH]` maps to google-benchmark's JSON reporter (NOT the BENCH_*.json
+// schema — bench_check does not gate on this file) and `--smoke` clamps the
+// per-benchmark time budget.
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args;
+  Args.emplace_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json") {
+      std::string Path = "BENCH_gbench_micro.json";
+      if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0)
+        Path = Argv[++I];
+      Args.push_back("--benchmark_out=" + Path);
+      Args.push_back("--benchmark_out_format=json");
+    } else if (Arg == "--smoke") {
+      // Plain seconds: the "0.01s" spelling needs benchmark >= 1.8.
+      Args.push_back("--benchmark_min_time=0.01");
+    } else {
+      Args.push_back(std::move(Arg));
+    }
+  }
+  std::vector<char *> CArgs;
+  for (std::string &S : Args)
+    CArgs.push_back(S.data());
+  int CArgc = static_cast<int>(CArgs.size());
+  benchmark::Initialize(&CArgc, CArgs.data());
+  if (benchmark::ReportUnrecognizedArguments(CArgc, CArgs.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

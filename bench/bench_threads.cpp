@@ -12,7 +12,7 @@
 // the >1 rows are oversubscribed and merely prove correctness).
 //
 //   bench_threads [--size S] [--threads "1,2,4,8"] [--all-counts]
-//                 [--seconds T] [--csv]
+//                 [--seconds T] [--csv] [--json [PATH]] [--trace PATH]
 //
 // Pin the sweep for stable numbers: `taskset -c 0-7 bench_threads`.
 //
@@ -27,8 +27,11 @@
 
 int main(int Argc, char **Argv) {
   using namespace gemm;
-  benchutil::BenchOptions Opt = benchutil::BenchOptions::parse(Argc, Argv);
+  fig::Context Ctx("threads", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
   int64_t Size = Opt.Big ? 2048 : 768;
+  if (Opt.Smoke)
+    Size = 96;
   std::vector<int64_t> Counts = {1, 2, 4, 8};
   bool AllCounts = false;
   for (int I = 1; I < Argc; ++I) {
@@ -97,19 +100,32 @@ int main(int Argc, char **Argv) {
   double Base = 0;
   for (int64_t Threads : Counts) {
     Plan.Threads = Threads;
-    double Secs = benchutil::timeIt(
+    benchutil::Measurement Meas = benchutil::measure(
         [&] {
           blisGemm(Plan, Provider, M, N, K, 1.0f, A.data(), M, B.data(), K,
                    1.0f, C.data(), M);
         },
         Opt.Seconds);
-    double G = benchutil::gflops(Flops, Secs);
+    double G = benchutil::gflops(Flops, Meas.SecondsPerCall);
     if (Base == 0)
       Base = G;
     T.addRow(exo::strf("%lld", static_cast<long long>(Threads)),
              {G, G / Base, G / Base / static_cast<double>(Threads)});
+    benchutil::ReportRow Row;
+    Row.Label = "t" + std::to_string(Threads);
+    Row.Series = "strong_scaling";
+    Row.Value = G;
+    Row.SecondsPerCall = Meas.SecondsPerCall;
+    Row.Reps = Meas.Reps;
+    Row.Threads = Threads;
+    Row.M = M;
+    Row.N = N;
+    Row.K = K;
+    Row.Stages = Meas.Stages;
+    Row.Extra["speedup"] = G / Base;
+    Row.Extra["efficiency"] = G / Base / static_cast<double>(Threads);
+    Ctx.Rep.addRow(std::move(Row));
   }
   T.print();
-  fig::dumpCacheStats();
-  return 0;
+  return Ctx.finish();
 }

@@ -21,27 +21,82 @@ BenchOptions BenchOptions::parse(int Argc, char **Argv) {
       O.Big = true;
     else if (!std::strcmp(Argv[I], "--csv"))
       O.Csv = true;
+    else if (!std::strcmp(Argv[I], "--smoke"))
+      O.Smoke = true;
     else if (!std::strcmp(Argv[I], "--seconds") && I + 1 < Argc)
       O.Seconds = std::atof(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--json")) {
+      // Optional path: a bare --json (or one followed by another flag)
+      // resolves to BENCH_<bench>.json via jsonPathFor().
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        O.JsonPath = Argv[++I];
+      else
+        O.JsonPath = "auto";
+    } else if (!std::strcmp(Argv[I], "--trace") && I + 1 < Argc)
+      O.TracePath = Argv[++I];
   }
   if (O.Seconds <= 0)
     O.Seconds = 0.25;
+  if (O.Smoke)
+    O.Seconds = std::min(O.Seconds, 0.02);
   return O;
 }
 
-double benchutil::timeIt(const std::function<void()> &Fn, double MinSeconds) {
+std::string BenchOptions::jsonPathFor(const std::string &BenchName) const {
+  if (JsonPath == "auto")
+    return "BENCH_" + BenchName + ".json";
+  return JsonPath;
+}
+
+void BenchOptions::applyObs() const {
+  // Stage attribution in the JSON report and the chrome trace both need
+  // live spans; --json/--trace opt in without requiring EXO_OBS=1 too.
+  if (!JsonPath.empty() || !TracePath.empty())
+    obs::setEnabled(true);
+}
+
+Measurement benchutil::measure(const std::function<void()> &Fn,
+                               double MinSeconds) {
   using Clock = std::chrono::steady_clock;
-  // Warm-up run (JIT pages, caches).
+  // Warm-up run (JIT pages, caches) — excluded from both the timing and
+  // the stage attribution.
   Fn();
-  int Reps = 0;
+  std::map<std::string, obs::StageStat> Before;
+  bool Obs = obs::enabled();
+  if (Obs)
+    Before = obs::stageTotals();
+  Measurement M;
   auto Start = Clock::now();
   double Elapsed = 0;
   do {
     Fn();
-    ++Reps;
+    ++M.Reps;
     Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
   } while (Elapsed < MinSeconds);
-  return Elapsed / Reps;
+  M.SecondsPerCall = Elapsed / static_cast<double>(M.Reps);
+  if (Obs) {
+    // Per-call averages of the stage deltas accumulated by the timed reps.
+    for (auto &[Name, S] : obs::stageTotals()) {
+      obs::StageStat D = S;
+      if (auto It = Before.find(Name); It != Before.end()) {
+        D.Seconds -= It->second.Seconds;
+        D.Count -= It->second.Count;
+        D.Counters = D.Counters - It->second.Counters;
+      }
+      if (D.Count == 0 && D.Seconds <= 0)
+        continue;
+      D.Seconds /= static_cast<double>(M.Reps);
+      D.Counters.Cycles /= static_cast<uint64_t>(M.Reps);
+      D.Counters.Instructions /= static_cast<uint64_t>(M.Reps);
+      D.Counters.CacheMisses /= static_cast<uint64_t>(M.Reps);
+      M.Stages[Name] = D;
+    }
+  }
+  return M;
+}
+
+double benchutil::timeIt(const std::function<void()> &Fn, double MinSeconds) {
+  return measure(Fn, MinSeconds).SecondsPerCall;
 }
 
 Table::Table(std::string Title, std::vector<std::string> Header, bool Csv)

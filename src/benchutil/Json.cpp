@@ -1,0 +1,422 @@
+//===- Json.cpp -----------------------------------------------------------===//
+
+#include "benchutil/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace benchutil;
+using exo::errorf;
+
+const Json *Json::get(const std::string &Key) const {
+  for (const auto &[K2, V] : Obj)
+    if (K2 == Key)
+      return &V;
+  return nullptr;
+}
+
+double Json::num(const std::string &Key, double Default) const {
+  const Json *V = get(Key);
+  return V && V->isNumber() ? V->asNumber() : Default;
+}
+
+std::string Json::str(const std::string &Key,
+                      const std::string &Default) const {
+  const Json *V = get(Key);
+  return V && V->isString() ? V->asString() : Default;
+}
+
+void Json::set(const std::string &Key, Json V) {
+  for (auto &[K2, Old] : Obj)
+    if (K2 == Key) {
+      Old = std::move(V);
+      return;
+    }
+  Obj.emplace_back(Key, std::move(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void appendNumber(std::string &Out, double V) {
+  if (!std::isfinite(V)) {
+    Out += "0"; // JSON has no inf/nan; reports never produce them
+    return;
+  }
+  if (V == static_cast<double>(static_cast<int64_t>(V)) &&
+      std::fabs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(V)));
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+void indent(std::string &Out, int Depth) {
+  Out.append(static_cast<size_t>(Depth) * 2, ' ');
+}
+
+} // namespace
+
+void Json::dumpTo(std::string &Out, int Depth) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    return;
+  case Kind::Number:
+    appendNumber(Out, NumV);
+    return;
+  case Kind::String:
+    appendEscaped(Out, StrV);
+    return;
+  case Kind::Array: {
+    if (Arr.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += "[\n";
+    for (size_t I = 0; I != Arr.size(); ++I) {
+      indent(Out, Depth + 1);
+      Arr[I].dumpTo(Out, Depth + 1);
+      Out += I + 1 == Arr.size() ? "\n" : ",\n";
+    }
+    indent(Out, Depth);
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Obj.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += "{\n";
+    for (size_t I = 0; I != Obj.size(); ++I) {
+      indent(Out, Depth + 1);
+      appendEscaped(Out, Obj[I].first);
+      Out += ": ";
+      Obj[I].second.dumpTo(Out, Depth + 1);
+      Out += I + 1 == Obj.size() ? "\n" : ",\n";
+    }
+    indent(Out, Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Json::dump() const {
+  std::string Out;
+  dumpTo(Out, 0);
+  Out += '\n';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Parser {
+  const char *P;
+  const char *End;
+  std::string Err;
+
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  bool parseValue(Json &Out) {
+    skipWs();
+    if (P == End)
+      return fail("unexpected end of input");
+    switch (*P) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json(std::move(S));
+      return true;
+    }
+    case 't':
+      if (End - P >= 4 && !std::strncmp(P, "true", 4)) {
+        P += 4;
+        Out = Json(true);
+        return true;
+      }
+      return fail("bad literal");
+    case 'f':
+      if (End - P >= 5 && !std::strncmp(P, "false", 5)) {
+        P += 5;
+        Out = Json(false);
+        return true;
+      }
+      return fail("bad literal");
+    case 'n':
+      if (End - P >= 4 && !std::strncmp(P, "null", 4)) {
+        P += 4;
+        Out = Json();
+        return true;
+      }
+      return fail("bad literal");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (*P != '"')
+      return fail("expected string");
+    ++P;
+    Out.clear();
+    while (P != End && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return fail("bad escape");
+        switch (*P) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'u': {
+          if (End - P < 5)
+            return fail("bad \\u escape");
+          unsigned V = 0;
+          for (int I = 1; I <= 4; ++I) {
+            char C = P[I];
+            V <<= 4;
+            if (C >= '0' && C <= '9')
+              V += C - '0';
+            else if (C >= 'a' && C <= 'f')
+              V += C - 'a' + 10;
+            else if (C >= 'A' && C <= 'F')
+              V += C - 'A' + 10;
+            else
+              return fail("bad \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair support; reports are ASCII).
+          if (V < 0x80) {
+            Out += static_cast<char>(V);
+          } else if (V < 0x800) {
+            Out += static_cast<char>(0xC0 | (V >> 6));
+            Out += static_cast<char>(0x80 | (V & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (V >> 12));
+            Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (V & 0x3F));
+          }
+          P += 4;
+          break;
+        }
+        default:
+          return fail("bad escape");
+        }
+        ++P;
+      } else {
+        Out += *P++;
+      }
+    }
+    if (P == End)
+      return fail("unterminated string");
+    ++P; // closing quote
+    return true;
+  }
+
+  bool parseNumber(Json &Out) {
+    const char *Start = P;
+    if (P != End && (*P == '-' || *P == '+'))
+      ++P;
+    bool Any = false;
+    while (P != End && (std::isdigit(static_cast<unsigned char>(*P)) ||
+                        *P == '.' || *P == 'e' || *P == 'E' || *P == '-' ||
+                        *P == '+')) {
+      ++P;
+      Any = true;
+    }
+    if (!Any)
+      return fail("expected value");
+    Out = Json(std::strtod(std::string(Start, P).c_str(), nullptr));
+    return true;
+  }
+
+  bool parseArray(Json &Out) {
+    Out = Json::array();
+    ++P; // '['
+    skipWs();
+    if (P != End && *P == ']') {
+      ++P;
+      return true;
+    }
+    while (true) {
+      Json V;
+      if (!parseValue(V))
+        return false;
+      Out.push(std::move(V));
+      skipWs();
+      if (P == End)
+        return fail("unterminated array");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(Json &Out) {
+    Out = Json::object();
+    ++P; // '{'
+    skipWs();
+    if (P != End && *P == '}') {
+      ++P;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (P == End || !parseString(Key))
+        return fail("expected object key");
+      skipWs();
+      if (P == End || *P != ':')
+        return fail("expected ':'");
+      ++P;
+      Json V;
+      if (!parseValue(V))
+        return false;
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (P == End)
+        return fail("unterminated object");
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+} // namespace
+
+exo::Expected<Json> Json::parse(const std::string &Text) {
+  Parser P{Text.data(), Text.data() + Text.size(), {}};
+  Json Out;
+  if (!P.parseValue(Out))
+    return errorf("json: %s at offset %zu", P.Err.c_str(),
+                  static_cast<size_t>(P.P - Text.data()));
+  P.skipWs();
+  if (P.P != P.End)
+    return errorf("json: trailing garbage at offset %zu",
+                  static_cast<size_t>(P.P - Text.data()));
+  return Out;
+}
+
+exo::Expected<Json> Json::load(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return errorf("json: cannot open '%s'", Path.c_str());
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  exo::Expected<Json> J = parse(SS.str());
+  if (!J)
+    return errorf("json: '%s': %s", Path.c_str(),
+                  J.takeError().message().c_str());
+  return J;
+}
+
+exo::Error Json::store(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return errorf("json: cannot open '%s' for writing", Path.c_str());
+  Out << dump();
+  Out.flush();
+  if (!Out)
+    return errorf("json: write to '%s' failed", Path.c_str());
+  return exo::Error::success();
+}

@@ -1,0 +1,105 @@
+//===- Json.h - Minimal JSON value, parser and printer --------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough JSON for the performance-observability layer: the
+/// schema-versioned BENCH_*.json reports (Report.h), the `bench_check`
+/// regression gate, and the tests that parse chrome traces back. Objects
+/// preserve insertion order so reports diff cleanly; numbers are doubles
+/// (every value this repo records fits). No external dependency — the
+/// container image is fixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCHUTIL_JSON_H
+#define BENCHUTIL_JSON_H
+
+#include "exo/support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchutil {
+
+/// See file comment.
+class Json {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : K(Kind::Null) {}
+  /*implicit*/ Json(bool B) : K(Kind::Bool), BoolV(B) {}
+  /*implicit*/ Json(double D) : K(Kind::Number), NumV(D) {}
+  /*implicit*/ Json(int64_t I)
+      : K(Kind::Number), NumV(static_cast<double>(I)) {}
+  /*implicit*/ Json(int I) : K(Kind::Number), NumV(I) {}
+  /*implicit*/ Json(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+  /*implicit*/ Json(const char *S) : K(Kind::String), StrV(S) {}
+
+  static Json array() {
+    Json J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static Json object() {
+    Json J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return BoolV; }
+  double asNumber() const { return NumV; }
+  const std::string &asString() const { return StrV; }
+
+  /// Array access.
+  size_t size() const {
+    return K == Kind::Array ? Arr.size() : K == Kind::Object ? Obj.size() : 0;
+  }
+  const Json &at(size_t I) const { return Arr[I]; }
+  void push(Json V) { Arr.push_back(std::move(V)); }
+
+  /// Object access: get() returns nullptr when the key is absent.
+  const Json *get(const std::string &Key) const;
+  /// Typed conveniences with defaults.
+  double num(const std::string &Key, double Default = 0) const;
+  std::string str(const std::string &Key,
+                  const std::string &Default = "") const;
+  /// Inserts or overwrites a key (insertion order preserved on insert).
+  void set(const std::string &Key, Json V);
+  const std::vector<std::pair<std::string, Json>> &items() const {
+    return Obj;
+  }
+
+  /// Serializes with 2-space indentation and '\n' line ends.
+  std::string dump() const;
+
+  static exo::Expected<Json> parse(const std::string &Text);
+  static exo::Expected<Json> load(const std::string &Path);
+  exo::Error store(const std::string &Path) const;
+
+private:
+  void dumpTo(std::string &Out, int Depth) const;
+
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0;
+  std::string StrV;
+  std::vector<Json> Arr;
+  std::vector<std::pair<std::string, Json>> Obj;
+};
+
+} // namespace benchutil
+
+#endif // BENCHUTIL_JSON_H

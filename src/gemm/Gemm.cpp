@@ -3,6 +3,7 @@
 #include "gemm/Gemm.h"
 
 #include "gemm/ThreadPool.h"
+#include "obs/Obs.h"
 
 #include <algorithm>
 #include <optional>
@@ -125,6 +126,13 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
   }
   TeamBarrier Bar(T);
 
+  // Tracing (see docs/OBSERVABILITY.md): spans attribute time to the
+  // packA / packB / micro-kernel / barrier phases at block granularity —
+  // coarse enough that an *enabled* trace stays cheap, and each Span
+  // construction below is a single relaxed load when EXO_OBS is unset.
+  // The spans only observe; results are bitwise identical either way.
+  EXO_OBS_SPAN("gemm.call");
+
   auto Body = [&](int64_t Tid) {
     // Grid position: ic team owns row blocks BIdx % Tic == IcTeam; within
     // a team, jr strips (and pre-scale columns) split by JrIdx.
@@ -141,7 +149,9 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
         // Cooperative packB: panel P goes to thread P % T. Packing panel
         // by panel reproduces the monolithic layout exactly (slot stride
         // KcEff * Nr; only the last panel can be partial).
-        for (int64_t P = Tid; P < NPan; P += T) {
+        {
+          EXO_OBS_SPAN("gemm.packB");
+          for (int64_t P = Tid; P < NPan; P += T) {
           const int64_t J0 = Jc + P * Nr;
           const int64_t W = std::min(Nr, NcEff - P * Nr);
           float *Dst = BBuf.data() + P * KcEff * Nr;
@@ -153,6 +163,7 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
           else
             packBStrided(B + J0 + Pc * Ldb, Ldb, 1, KcEff, W, Nr,
                          /*Alpha=*/1.0f, Plan.PackMode, Dst);
+          }
         }
 
         // Apply beta once per (jc) column block, before the first update.
@@ -160,6 +171,7 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
         // by ic team, columns round-robin within the team — every C
         // element has exactly one writer.
         if (Pc == 0 && Beta != 1.0f) {
+          EXO_OBS_SPAN("gemm.beta");
           for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) {
             const int64_t Ic = BIdx * Mc;
             const int64_t McEff = std::min(Mc, M - Ic);
@@ -173,8 +185,10 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
             }
           }
         }
-        if (T > 1)
+        if (T > 1) {
+          EXO_OBS_SPAN("gemm.barrier");
           Bar.arriveAndWait(); // packB + pre-scale done before any update
+        }
 
         for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) { // Loop L3
           const int64_t Ic = BIdx * Mc;
@@ -185,13 +199,17 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
           // thread packs into its own buffer; members of the same ic team
           // duplicate the pack, trading redundant bandwidth for zero
           // intra-team synchronization.
-          if (TA == Trans::None)
-            packAStrided(A + Ic + Pc * Lda, 1, Lda, McEff, KcEff, Mr, Alpha,
-                         EdgePack::ZeroPad, ABuf);
-          else
-            packAStrided(A + Pc + Ic * Lda, Lda, 1, McEff, KcEff, Mr, Alpha,
-                         EdgePack::ZeroPad, ABuf);
+          {
+            EXO_OBS_SPAN("gemm.packA");
+            if (TA == Trans::None)
+              packAStrided(A + Ic + Pc * Lda, 1, Lda, McEff, KcEff, Mr,
+                           Alpha, EdgePack::ZeroPad, ABuf);
+            else
+              packAStrided(A + Pc + Ic * Lda, Lda, 1, McEff, KcEff, Mr,
+                           Alpha, EdgePack::ZeroPad, ABuf);
+          }
 
+          EXO_OBS_SPAN("gemm.ukr");
           for (int64_t P = JrIdx; P < NPan; P += Tjr) {  // Loop L4
             const int64_t Jr = P * Nr;
             const int64_t NrEff = std::min(Nr, NcEff - Jr);
@@ -245,8 +263,10 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
             }
           }
         }
-        if (T > 1)
+        if (T > 1) {
+          EXO_OBS_SPAN("gemm.barrier");
           Bar.arriveAndWait(); // BBuf (and C columns) recycle next round
+        }
       }
     }
   };

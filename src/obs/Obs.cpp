@@ -1,0 +1,233 @@
+//===- Obs.cpp ------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+using namespace obs;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point traceEpoch() {
+  static const Clock::time_point Epoch = Clock::now();
+  return Epoch;
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           traceEpoch())
+          .count());
+}
+
+/// Per-thread event buffer. Owned jointly by the thread (thread_local
+/// shared_ptr) and the global registry, so events survive thread exit and
+/// the registry survives use-after-main-thread teardown.
+struct ThreadBuf {
+  uint32_t Tid = 0;
+  std::mutex Mu; ///< uncontended except while a collector snapshots
+  std::vector<Event> Events;
+
+  void push(const Event &E) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Events.push_back(E);
+  }
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  uint32_t NextTid = 0;
+
+  static Registry &get() {
+    // Leaked: threads may record during static destruction.
+    static Registry *R = new Registry;
+    return *R;
+  }
+
+  std::shared_ptr<ThreadBuf> registerThread() {
+    auto Buf = std::make_shared<ThreadBuf>();
+    std::lock_guard<std::mutex> Lock(Mu);
+    Buf->Tid = NextTid++;
+    Bufs.push_back(Buf);
+    return Buf;
+  }
+};
+
+ThreadBuf &threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> Buf =
+      Registry::get().registerThread();
+  return *Buf;
+}
+
+void dumpTraceAtExit() {
+  if (const char *Path = std::getenv("EXO_OBS_TRACE")) {
+    if (exo::Error E = writeChromeTrace(Path))
+      std::fprintf(stderr, "obs: EXO_OBS_TRACE failed: %s\n",
+                   E.message().c_str());
+    else
+      std::fprintf(stderr, "obs: chrome trace written to %s\n", Path);
+  }
+}
+
+} // namespace
+
+namespace obs::detail {
+
+std::atomic<bool> GEnabled{initFromEnv()};
+
+bool initFromEnv() {
+  traceEpoch(); // pin the epoch before any span
+  bool On = false;
+  if (const char *S = std::getenv("EXO_OBS"))
+    On = std::atoi(S) != 0;
+  if (std::getenv("EXO_OBS_TRACE")) {
+    On = true;
+    std::atexit(dumpTraceAtExit);
+  }
+  return On;
+}
+
+} // namespace obs::detail
+
+void obs::setEnabled(bool On) {
+  detail::GEnabled.store(On, std::memory_order_relaxed);
+}
+
+uint32_t obs::threadId() { return threadBuf().Tid; }
+
+void Span::begin(const char *N) {
+  Name = N;
+  HaveCounters = counterBackend() != CounterBackend::Off &&
+                 readCounters(Start);
+  StartNs = nowNs();
+}
+
+void Span::end() {
+  Event E;
+  E.Name = Name;
+  E.StartNs = StartNs;
+  E.DurNs = nowNs() - StartNs;
+  E.IsMark = false;
+  if (HaveCounters) {
+    CounterValues End;
+    if (readCounters(End))
+      E.Delta = End - Start;
+  }
+  ThreadBuf &B = threadBuf();
+  E.Tid = B.Tid;
+  B.push(E);
+}
+
+void obs::mark(const char *Name) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Name = Name;
+  E.StartNs = nowNs();
+  E.DurNs = 0;
+  E.IsMark = true;
+  ThreadBuf &B = threadBuf();
+  E.Tid = B.Tid;
+  B.push(E);
+}
+
+std::vector<Event> obs::events() {
+  Registry &R = Registry::get();
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Bufs = R.Bufs;
+  }
+  std::vector<Event> Out;
+  for (auto &B : Bufs) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    Out.insert(Out.end(), B->Events.begin(), B->Events.end());
+  }
+  return Out;
+}
+
+void obs::clear() {
+  Registry &R = Registry::get();
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Bufs = R.Bufs;
+  }
+  for (auto &B : Bufs) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    B->Events.clear();
+  }
+}
+
+std::map<std::string, StageStat> obs::stageTotals() {
+  std::map<std::string, StageStat> Totals;
+  for (const Event &E : events()) {
+    StageStat &S = Totals[E.Name];
+    S.Seconds += static_cast<double>(E.DurNs) * 1e-9;
+    S.Count += 1;
+    S.Counters += E.Delta;
+  }
+  return Totals;
+}
+
+exo::Error obs::writeChromeTrace(const std::string &Path) {
+  std::vector<Event> Evs = events();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return exo::errorf("obs: cannot open trace file '%s'", Path.c_str());
+
+  std::fputs("{\"traceEvents\":[\n", F);
+  // Thread-name metadata first: one lane per registered thread.
+  std::vector<uint32_t> Tids;
+  for (const Event &E : Evs)
+    Tids.push_back(E.Tid);
+  std::sort(Tids.begin(), Tids.end());
+  Tids.erase(std::unique(Tids.begin(), Tids.end()), Tids.end());
+  bool First = true;
+  for (uint32_t Tid : Tids) {
+    std::fprintf(F,
+                 "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%u,\"args\":{\"name\":\"%s-%u\"}}",
+                 First ? "" : ",\n", Tid, Tid == 0 ? "main" : "worker", Tid);
+    First = false;
+  }
+  for (const Event &E : Evs) {
+    // Span names are static identifiers (no quotes/backslashes); emitted
+    // verbatim. Timestamps are microseconds in the chrome trace format.
+    double TsUs = static_cast<double>(E.StartNs) * 1e-3;
+    if (E.IsMark) {
+      std::fprintf(F,
+                   "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+                   "\"tid\":%u,\"ts\":%.3f}",
+                   First ? "" : ",\n", E.Name, E.Tid, TsUs);
+    } else {
+      std::fprintf(F,
+                   "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                   "\"ts\":%.3f,\"dur\":%.3f",
+                   First ? "" : ",\n", E.Name, E.Tid, TsUs,
+                   static_cast<double>(E.DurNs) * 1e-3);
+      if (!E.Delta.isZero())
+        std::fprintf(F,
+                     ",\"args\":{\"cycles\":%llu,\"instructions\":%llu,"
+                     "\"cache_misses\":%llu}",
+                     static_cast<unsigned long long>(E.Delta.Cycles),
+                     static_cast<unsigned long long>(E.Delta.Instructions),
+                     static_cast<unsigned long long>(E.Delta.CacheMisses));
+      std::fputs("}", F);
+    }
+    First = false;
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", F);
+  if (std::fclose(F) != 0)
+    return exo::errorf("obs: write to '%s' failed", Path.c_str());
+  return exo::Error::success();
+}

@@ -1,0 +1,205 @@
+//===- PerfCounters.cpp ---------------------------------------------------===//
+
+#include "obs/PerfCounters.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+using namespace obs;
+
+namespace {
+
+std::atomic<int> GBackend{-1}; // -1 = unresolved; else CounterBackend
+std::atomic<uint64_t> GBackendEpoch{0};
+std::mutex GReasonMu;
+std::string GReason;
+
+void setReason(const std::string &R) {
+  std::lock_guard<std::mutex> Lock(GReasonMu);
+  if (GReason.empty())
+    GReason = R;
+}
+
+CounterBackend resolve() {
+  int B = GBackend.load(std::memory_order_acquire);
+  if (B >= 0)
+    return static_cast<CounterBackend>(B);
+  CounterBackend R = CounterBackend::Perf;
+  if (const char *S = std::getenv("EXO_OBS_COUNTERS")) {
+    if (!std::strcmp(S, "off") || !std::strcmp(S, "0"))
+      R = CounterBackend::Off;
+    else if (!std::strcmp(S, "fake"))
+      R = CounterBackend::Fake;
+    else if (!std::strcmp(S, "perf"))
+      R = CounterBackend::Perf;
+    else {
+      setReason(std::string("unknown EXO_OBS_COUNTERS value '") + S +
+                "' (want perf|fake|off)");
+      R = CounterBackend::Off;
+    }
+  }
+#if !defined(__linux__)
+  if (R == CounterBackend::Perf) {
+    setReason("perf_event_open is Linux-only");
+    R = CounterBackend::Off;
+  }
+#endif
+  int Expected = -1;
+  GBackend.compare_exchange_strong(Expected, static_cast<int>(R),
+                                   std::memory_order_acq_rel);
+  return static_cast<CounterBackend>(GBackend.load(std::memory_order_acquire));
+}
+
+#if defined(__linux__)
+/// Per-thread perf counter group: cycles leads, instructions and cache
+/// misses follow, read in one syscall with PERF_FORMAT_GROUP.
+struct PerfGroup {
+  int LeaderFd = -1;
+  int Fds[3] = {-1, -1, -1};
+  uint64_t Epoch = ~0ull; ///< backend epoch this group was opened under
+  bool Ok = false;
+
+  static long perfOpen(perf_event_attr &Attr, int GroupFd) {
+    return syscall(SYS_perf_event_open, &Attr, /*pid=*/0, /*cpu=*/-1,
+                   GroupFd, /*flags=*/0ul);
+  }
+
+  void close() {
+    for (int &Fd : Fds) {
+      if (Fd >= 0)
+        ::close(Fd);
+      Fd = -1;
+    }
+    LeaderFd = -1;
+    Ok = false;
+  }
+
+  bool open() {
+    close();
+    static const uint64_t Configs[3] = {PERF_COUNT_HW_CPU_CYCLES,
+                                        PERF_COUNT_HW_INSTRUCTIONS,
+                                        PERF_COUNT_HW_CACHE_MISSES};
+    for (int I = 0; I < 3; ++I) {
+      perf_event_attr Attr;
+      std::memset(&Attr, 0, sizeof(Attr));
+      Attr.type = PERF_TYPE_HARDWARE;
+      Attr.size = sizeof(Attr);
+      Attr.config = Configs[I];
+      Attr.disabled = I == 0 ? 1 : 0;
+      Attr.exclude_kernel = 1;
+      Attr.exclude_hv = 1;
+      Attr.read_format = PERF_FORMAT_GROUP;
+      long Fd = perfOpen(Attr, I == 0 ? -1 : LeaderFd);
+      if (Fd < 0) {
+        setReason(std::string("perf_event_open failed: ") +
+                  std::strerror(errno));
+        close();
+        return false;
+      }
+      Fds[I] = static_cast<int>(Fd);
+      if (I == 0)
+        LeaderFd = Fds[0];
+    }
+    ioctl(LeaderFd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(LeaderFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    Ok = true;
+    return true;
+  }
+
+  bool read(CounterValues &Out) {
+    // {nr, v0, v1, v2} under PERF_FORMAT_GROUP with no extra fields.
+    uint64_t Buf[4] = {0, 0, 0, 0};
+    ssize_t N = ::read(LeaderFd, Buf, sizeof(Buf));
+    if (N < static_cast<ssize_t>(sizeof(Buf)) || Buf[0] != 3)
+      return false;
+    Out.Cycles = Buf[1];
+    Out.Instructions = Buf[2];
+    Out.CacheMisses = Buf[3];
+    return true;
+  }
+
+  ~PerfGroup() { close(); }
+};
+#endif // __linux__
+
+/// Fake-backend state: one monotonically advancing counter per thread.
+struct FakeState {
+  CounterValues V;
+};
+
+} // namespace
+
+CounterBackend obs::counterBackend() { return resolve(); }
+
+void obs::setCounterBackend(CounterBackend B) {
+  GBackend.store(static_cast<int>(B), std::memory_order_release);
+  GBackendEpoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+const char *obs::counterBackendName() {
+  switch (resolve()) {
+  case CounterBackend::Perf:
+    return "perf";
+  case CounterBackend::Fake:
+    return "fake";
+  case CounterBackend::Off:
+    return "off";
+  }
+  return "off";
+}
+
+const char *obs::counterUnavailableReason() {
+  std::lock_guard<std::mutex> Lock(GReasonMu);
+  // Leaked on purpose: callers keep the pointer past the lock. The string
+  // is written at most once per process (setReason keeps the first).
+  static std::string Copy;
+  Copy = GReason;
+  return Copy.c_str();
+}
+
+bool obs::readCounters(CounterValues &Out) {
+  Out = CounterValues();
+  switch (resolve()) {
+  case CounterBackend::Off:
+    return false;
+  case CounterBackend::Fake: {
+    // One quantum per read: deterministic, test-assertable deltas.
+    thread_local FakeState FS;
+    FS.V.Cycles += 1000;
+    FS.V.Instructions += 500;
+    FS.V.CacheMisses += 10;
+    Out = FS.V;
+    return true;
+  }
+  case CounterBackend::Perf: {
+#if defined(__linux__)
+    thread_local PerfGroup PG;
+    uint64_t Epoch = GBackendEpoch.load(std::memory_order_acquire);
+    if (!PG.Ok || PG.Epoch != Epoch) {
+      PG.Epoch = Epoch;
+      if (!PG.open()) {
+        // Degrade the whole process: one thread failing means the
+        // environment forbids perf; keep every span cheap from now on.
+        setCounterBackend(CounterBackend::Off);
+        return false;
+      }
+    }
+    return PG.read(Out);
+#else
+    return false;
+#endif
+  }
+  }
+  return false;
+}

@@ -1,0 +1,83 @@
+//===- PerfCounters.h - Hardware counter capture for trace spans ----------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin, per-thread wrapper over Linux `perf_event_open` capturing the
+/// three counters the roofline discussion in the paper's evaluation needs:
+/// cycles, retired instructions, and last-level cache misses. Three
+/// backends, selected once per process by `EXO_OBS_COUNTERS`:
+///
+///   perf  (default) one counter group per thread via perf_event_open. If
+///         the syscall is unavailable (non-Linux build, seccomp'd
+///         container, perf_event_paranoid) the backend silently degrades
+///         to `off` and records a human-readable reason — observability
+///         must never turn a working GEMM into a failing one.
+///   fake  a deterministic software backend for tests: every read advances
+///         the thread's counters by a fixed quantum (1000 cycles, 500
+///         instructions, 10 cache misses), so a leaf span's delta is
+///         exactly one quantum and a span nesting K reads is exactly
+///         K + 1 quanta. No kernel support needed anywhere.
+///   off   reads return false; spans carry zero counter deltas.
+///
+/// Counter reads only happen inside *enabled* trace spans (obs::Span), so
+/// none of this is on any hot path when `EXO_OBS` is unset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_PERFCOUNTERS_H
+#define OBS_PERFCOUNTERS_H
+
+#include <cstdint>
+
+namespace obs {
+
+/// See file comment.
+enum class CounterBackend { Off, Perf, Fake };
+
+/// One sample of the captured counter group.
+struct CounterValues {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t CacheMisses = 0;
+
+  CounterValues operator-(const CounterValues &O) const {
+    return {Cycles - O.Cycles, Instructions - O.Instructions,
+            CacheMisses - O.CacheMisses};
+  }
+  CounterValues &operator+=(const CounterValues &O) {
+    Cycles += O.Cycles;
+    Instructions += O.Instructions;
+    CacheMisses += O.CacheMisses;
+    return *this;
+  }
+  bool isZero() const {
+    return Cycles == 0 && Instructions == 0 && CacheMisses == 0;
+  }
+};
+
+/// The process-wide backend. Resolved from EXO_OBS_COUNTERS on first use
+/// ("perf", "fake", "off"; default "perf"); a perf backend that fails to
+/// open on any thread degrades the process to Off.
+CounterBackend counterBackend();
+
+/// Forces the backend (tests). Resets per-thread state lazily: threads
+/// re-open their counters on the next read.
+void setCounterBackend(CounterBackend B);
+
+/// "perf" / "fake" / "off" — reported in BENCH_*.json.
+const char *counterBackendName();
+
+/// When the perf backend degraded to Off, the reason (e.g. the errno of
+/// the failed perf_event_open); empty otherwise.
+const char *counterUnavailableReason();
+
+/// Reads this thread's counters. Returns false (zeros) when the backend
+/// is off or this thread's counter group failed to open.
+bool readCounters(CounterValues &Out);
+
+} // namespace obs
+
+#endif // OBS_PERFCOUNTERS_H

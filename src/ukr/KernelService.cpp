@@ -4,6 +4,7 @@
 
 #include "exo/jit/DiskCache.h"
 #include "exo/support/Str.h"
+#include "obs/Obs.h"
 
 #include <array>
 #include <condition_variable>
@@ -122,7 +123,13 @@ struct KernelService::Impl {
       UkrConfig Cfg = E.Cfg;
       Lock.unlock();
 
-      auto Built = buildKernel(Cfg);
+      exo::Expected<Kernel> Built = [&] {
+        // Spans the full build pipeline: codegen + (disk-cache probe or
+        // compiler invocation) + dlopen. Disk hits show up as short
+        // jit.build spans with zero jit compile time in CacheStats.
+        obs::Span Span("jit.build");
+        return buildKernel(Cfg);
+      }();
 
       Lock.lock();
       ++St.Builds;
@@ -180,9 +187,11 @@ const Kernel *KernelService::tryGet(const UkrConfig &Cfg) {
   if (It != I->Entries.end() &&
       It->second.S == Impl::Entry::State::Ready) {
     ++I->St.Hits;
+    obs::mark("ukr.cache.hit");
     return &It->second.K;
   }
   ++I->St.Misses;
+  obs::mark("ukr.cache.miss");
   if (It == I->Entries.end())
     I->enqueueLocked(Cfg, Key);
   // Hand out the reference stand-in (only meaningful for plain f32
@@ -193,6 +202,7 @@ const Kernel *KernelService::tryGet(const UkrConfig &Cfg) {
   if (!Fn)
     return nullptr;
   ++I->St.Fallbacks;
+  obs::mark("ukr.cache.fallback");
   auto [FIt, Inserted] = I->Fallbacks.try_emplace({Cfg.MR, Cfg.NR});
   if (Inserted) {
     FIt->second.Cfg = Cfg;
@@ -210,9 +220,11 @@ Expected<const Kernel *> KernelService::get(const UkrConfig &Cfg) {
   if (It != I->Entries.end() &&
       It->second.S == Impl::Entry::State::Ready) {
     ++I->St.Hits;
+    obs::mark("ukr.cache.hit");
     return const_cast<const Kernel *>(&It->second.K);
   }
   ++I->St.Misses;
+  obs::mark("ukr.cache.miss");
   Impl::Entry &E = I->enqueueLocked(Cfg, Key);
   I->Cv.wait(Lock, [&] {
     return E.S == Impl::Entry::State::Ready ||

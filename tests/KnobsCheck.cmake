@@ -1,0 +1,68 @@
+# KnobsCheck.cmake - env-knob documentation gate (ctest docs_knobs_check)
+#
+# Two-way check between the code and docs/KNOBS.md:
+#   1. every `getenv("EXO_*")` in the tree must be documented in KNOBS.md;
+#   2. every EXO_* name KNOBS.md mentions must actually be read by code
+#      (no documented-but-dead knobs).
+# Non-EXO variables the code honors (HOME, TMPDIR, XDG_CACHE_HOME) are
+# documented prose-only and not gated here. Run directly with:
+#
+#   cmake -DREPO=/path/to/repo -P tests/KnobsCheck.cmake
+
+if(NOT REPO)
+  message(FATAL_ERROR "pass -DREPO=<repo root>")
+endif()
+
+file(GLOB_RECURSE CODE_FILES
+  "${REPO}/src/*.cpp" "${REPO}/src/*.h"
+  "${REPO}/tools/*.cpp"
+  "${REPO}/bench/*.cpp" "${REPO}/bench/*.h"
+  "${REPO}/tests/*.cpp" "${REPO}/tests/*.h"
+  "${REPO}/examples/*.cpp")
+
+set(READ_VARS "")
+foreach(F ${CODE_FILES})
+  file(READ "${F}" TEXT)
+  string(REGEX MATCHALL "getenv\\(\"EXO_[A-Z0-9_]+\"" MATCHES "${TEXT}")
+  foreach(M ${MATCHES})
+    string(REGEX REPLACE "^getenv\\(\"" "" VAR "${M}")
+    string(REGEX REPLACE "\"$" "" VAR "${VAR}")
+    list(APPEND READ_VARS "${VAR}")
+  endforeach()
+endforeach()
+list(REMOVE_DUPLICATES READ_VARS)
+list(SORT READ_VARS)
+
+set(KNOBS_MD "${REPO}/docs/KNOBS.md")
+if(NOT EXISTS "${KNOBS_MD}")
+  message(FATAL_ERROR "docs/KNOBS.md is missing")
+endif()
+file(READ "${KNOBS_MD}" KNOBS)
+string(REGEX MATCHALL "EXO_[A-Z0-9_]+" DOC_VARS "${KNOBS}")
+list(REMOVE_DUPLICATES DOC_VARS)
+list(SORT DOC_VARS)
+
+set(FAILED FALSE)
+foreach(V ${READ_VARS})
+  list(FIND DOC_VARS "${V}" IDX)
+  if(IDX EQUAL -1)
+    message(SEND_ERROR
+            "knob ${V} is read by code but not documented in docs/KNOBS.md")
+    set(FAILED TRUE)
+  endif()
+endforeach()
+foreach(V ${DOC_VARS})
+  list(FIND READ_VARS "${V}" IDX)
+  if(IDX EQUAL -1)
+    message(SEND_ERROR
+            "docs/KNOBS.md mentions ${V} but no code reads it via getenv — "
+            "remove it or implement it")
+    set(FAILED TRUE)
+  endif()
+endforeach()
+
+if(FAILED)
+  message(FATAL_ERROR "knobs-check: FAILED")
+endif()
+list(LENGTH READ_VARS NVARS)
+message(STATUS "knobs-check: PASS (${NVARS} EXO_* knobs consistent)")

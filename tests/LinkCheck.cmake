@@ -1,0 +1,54 @@
+# LinkCheck.cmake - markdown link checker (ctest docs_link_check)
+#
+# Scans README.md and docs/*.md for markdown links `[text](target)` and
+# fails when a repo-relative target does not exist. External links
+# (http/https/mailto) and in-page anchors are skipped — this gate is
+# offline by design. Run directly with:
+#
+#   cmake -DREPO=/path/to/repo -P tests/LinkCheck.cmake
+#
+# Implementation note: string(REGEX MATCHALL) corrupts matches that
+# contain `](` (CMake escapes the result into a single list element), so
+# links are extracted one at a time with REGEX MATCH / CMAKE_MATCH_n.
+
+if(NOT REPO)
+  message(FATAL_ERROR "pass -DREPO=<repo root>")
+endif()
+
+file(GLOB DOC_FILES "${REPO}/README.md" "${REPO}/docs/*.md")
+set(CHECKED 0)
+set(NBROKEN 0)
+
+foreach(F ${DOC_FILES})
+  file(READ "${F}" REST)
+  get_filename_component(DIR "${F}" DIRECTORY)
+  file(RELATIVE_PATH REL "${REPO}" "${F}")
+  while(REST MATCHES "\\]\\(([^()\n]+)\\)")
+    set(TGT "${CMAKE_MATCH_1}")
+    # Advance past this link so the next iteration finds the following one.
+    string(FIND "${REST}" "](${TGT})" POS)
+    string(LENGTH "](${TGT})" LNK_LEN)
+    math(EXPR POS "${POS} + ${LNK_LEN}")
+    string(SUBSTRING "${REST}" ${POS} -1 REST)
+    if(TGT MATCHES "^(https?|mailto):" OR TGT MATCHES "^#")
+      continue()
+    endif()
+    # Drop a section anchor riding on a file link.
+    string(REGEX REPLACE "#[^#]*$" "" TGT "${TGT}")
+    if(TGT STREQUAL "")
+      continue()
+    endif()
+    math(EXPR CHECKED "${CHECKED} + 1")
+    if(NOT EXISTS "${DIR}/${TGT}")
+      message(SEND_ERROR "${REL}: broken link -> ${TGT}")
+      math(EXPR NBROKEN "${NBROKEN} + 1")
+    endif()
+  endwhile()
+endforeach()
+
+if(NBROKEN GREATER 0)
+  message(FATAL_ERROR "link-check: FAILED (${NBROKEN} broken links)")
+endif()
+list(LENGTH DOC_FILES NFILES)
+message(STATUS
+        "link-check: PASS (${CHECKED} links across ${NFILES} files)")

@@ -1,0 +1,88 @@
+//===- JsonTest.cpp - benchutil::Json parse/print round trips -------------===//
+
+#include "benchutil/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using benchutil::Json;
+
+namespace {
+
+TEST(JsonTest, ScalarRoundTrip) {
+  auto J = Json::parse("{\"a\": 1, \"b\": -2.5, \"c\": true, \"d\": null, "
+                       "\"e\": \"hi\"}");
+  ASSERT_TRUE(bool(J));
+  EXPECT_EQ(J->num("a"), 1);
+  EXPECT_EQ(J->num("b"), -2.5);
+  ASSERT_NE(J->get("c"), nullptr);
+  EXPECT_TRUE(J->get("c")->asBool());
+  EXPECT_TRUE(J->get("d")->isNull());
+  EXPECT_EQ(J->str("e"), "hi");
+  EXPECT_EQ(J->get("missing"), nullptr);
+  EXPECT_EQ(J->num("missing", 42), 42);
+}
+
+TEST(JsonTest, DumpParsesBackIdentically) {
+  Json Root = Json::object();
+  Root.set("schema_version", 1);
+  Root.set("name", "round \"trip\"\n\t");
+  Json Arr = Json::array();
+  Arr.push(1.5);
+  Arr.push(false);
+  Arr.push(Json());
+  Json Inner = Json::object();
+  Inner.set("k", "v");
+  Arr.push(std::move(Inner));
+  Root.set("rows", std::move(Arr));
+
+  std::string Text = Root.dump();
+  auto Back = Json::parse(Text);
+  ASSERT_TRUE(bool(Back));
+  // Re-dumping the parse must reproduce the text exactly (objects keep
+  // insertion order).
+  EXPECT_EQ(Back->dump(), Text);
+  EXPECT_EQ(Back->num("schema_version"), 1);
+  EXPECT_EQ(Back->str("name"), "round \"trip\"\n\t");
+  ASSERT_EQ(Back->get("rows")->size(), 4u);
+  EXPECT_EQ(Back->get("rows")->at(3).str("k"), "v");
+}
+
+TEST(JsonTest, IntegersPrintWithoutDecimalPoint) {
+  Json J = Json::object();
+  J.set("i", 1754000000);
+  J.set("f", 0.25);
+  std::string Text = J.dump();
+  EXPECT_NE(Text.find("\"i\": 1754000000"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("\"f\": 0.25"), std::string::npos) << Text;
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto J = Json::parse("{\"s\": \"a\\u0041\\n\"}");
+  ASSERT_TRUE(bool(J));
+  EXPECT_EQ(J->str("s"), "aA\n");
+}
+
+TEST(JsonTest, ParseErrorsAreErrors) {
+  EXPECT_FALSE(bool(Json::parse("{")));
+  EXPECT_FALSE(bool(Json::parse("{\"a\": }")));
+  EXPECT_FALSE(bool(Json::parse("[1, 2,]")));
+  EXPECT_FALSE(bool(Json::parse("")));
+  EXPECT_FALSE(bool(Json::parse("{} trailing")));
+}
+
+TEST(JsonTest, StoreAndLoad) {
+  std::string Path = ::testing::TempDir() + "/json_store_test.json";
+  Json J = Json::object();
+  J.set("x", 7);
+  ASSERT_FALSE(bool(J.store(Path)));
+  auto Back = Json::load(Path);
+  ASSERT_TRUE(bool(Back));
+  EXPECT_EQ(Back->num("x"), 7);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(bool(Json::load(Path)));
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+//===- ObsTest.cpp - Trace spans, fake counters, chrome trace -------------===//
+
+#include "obs/Obs.h"
+
+#include "benchutil/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+/// Every test runs with a clean, enabled trace and the deterministic fake
+/// counter backend, and leaves tracing disabled afterwards.
+class ObsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    obs::setCounterBackend(obs::CounterBackend::Fake);
+    obs::clear();
+  }
+  void TearDown() override {
+    obs::setEnabled(false);
+    obs::setCounterBackend(obs::CounterBackend::Off);
+    obs::clear();
+  }
+};
+
+TEST_F(ObsTest, LeafSpanIsExactlyOneQuantum) {
+  { obs::Span S("test.leaf"); }
+  std::vector<obs::Event> Ev = obs::events();
+  ASSERT_EQ(Ev.size(), 1u);
+  EXPECT_STREQ(Ev[0].Name, "test.leaf");
+  EXPECT_FALSE(Ev[0].IsMark);
+  // Fake backend: +1000 cycles / +500 instructions / +10 cache misses per
+  // read; a leaf span (one begin read, one end read) sees one quantum.
+  EXPECT_EQ(Ev[0].Delta.Cycles, 1000u);
+  EXPECT_EQ(Ev[0].Delta.Instructions, 500u);
+  EXPECT_EQ(Ev[0].Delta.CacheMisses, 10u);
+}
+
+TEST_F(ObsTest, NestedSpansAccumulateQuanta) {
+  {
+    obs::Span Outer("test.outer");
+    { obs::Span Inner("test.inner"); }
+    { obs::Span Inner("test.inner"); }
+  }
+  std::map<std::string, obs::StageStat> Tot = obs::stageTotals();
+  ASSERT_EQ(Tot.count("test.outer"), 1u);
+  ASSERT_EQ(Tot.count("test.inner"), 1u);
+  EXPECT_EQ(Tot["test.inner"].Count, 2u);
+  EXPECT_EQ(Tot["test.inner"].Counters.Cycles, 2000u);
+  // The outer span encloses 4 nested reads (2 inner begin/end pairs), so
+  // its delta is exactly 4 + 1 quanta.
+  EXPECT_EQ(Tot["test.outer"].Count, 1u);
+  EXPECT_EQ(Tot["test.outer"].Counters.Cycles, 5000u);
+  EXPECT_EQ(Tot["test.outer"].Counters.Instructions, 2500u);
+  EXPECT_EQ(Tot["test.outer"].Counters.CacheMisses, 50u);
+}
+
+TEST_F(ObsTest, MarksAreInstant) {
+  obs::mark("test.mark");
+  obs::mark("test.mark");
+  std::vector<obs::Event> Ev = obs::events();
+  ASSERT_EQ(Ev.size(), 2u);
+  EXPECT_TRUE(Ev[0].IsMark);
+  EXPECT_EQ(Ev[0].DurNs, 0u);
+  EXPECT_TRUE(Ev[0].Delta.isZero());
+  EXPECT_EQ(obs::stageTotals()["test.mark"].Count, 2u);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  obs::setEnabled(false);
+  {
+    obs::Span S("test.off");
+    obs::mark("test.off.mark");
+  }
+  obs::setEnabled(true);
+  EXPECT_TRUE(obs::events().empty());
+}
+
+TEST_F(ObsTest, SpanActiveAtDisableStillRecords) {
+  // A span constructed while tracing is on records even if tracing is
+  // flipped off before it ends (Active is latched at construction).
+  {
+    obs::Span S("test.latched");
+    obs::setEnabled(false);
+  }
+  obs::setEnabled(true);
+  ASSERT_EQ(obs::events().size(), 1u);
+}
+
+TEST_F(ObsTest, ThreadsGetDistinctStableIds) {
+  uint32_t MainTid = obs::threadId();
+  { obs::Span S("test.main"); }
+  uint32_t T1 = 0, T2 = 0;
+  std::thread A([&] {
+    T1 = obs::threadId();
+    obs::Span S("test.worker");
+  });
+  A.join();
+  std::thread B([&] {
+    T2 = obs::threadId();
+    obs::Span S("test.worker");
+  });
+  B.join();
+  EXPECT_NE(T1, MainTid);
+  EXPECT_NE(T2, MainTid);
+  EXPECT_NE(T1, T2);
+
+  // Events recorded by exited threads survive in the snapshot, attributed
+  // to their recorder.
+  std::set<uint32_t> Tids;
+  for (const obs::Event &E : obs::events())
+    Tids.insert(E.Tid);
+  EXPECT_EQ(Tids.size(), 3u);
+}
+
+TEST_F(ObsTest, ClearDropsEventsKeepsIds) {
+  uint32_t Before = obs::threadId();
+  { obs::Span S("test.cleared"); }
+  obs::clear();
+  EXPECT_TRUE(obs::events().empty());
+  EXPECT_EQ(obs::threadId(), Before);
+}
+
+TEST_F(ObsTest, ChromeTraceIsValidJsonWithThreadLanes) {
+  { obs::Span S("test.lane.main"); }
+  std::thread A([] { obs::Span S("test.lane.worker"); });
+  A.join();
+  obs::mark("test.lane.mark");
+
+  std::string Path = ::testing::TempDir() + "/obs_chrome_trace.json";
+  ASSERT_FALSE(bool(obs::writeChromeTrace(Path)));
+  auto J = benchutil::Json::load(Path);
+  ASSERT_TRUE(bool(J)) << J.takeError().message();
+  const benchutil::Json *Ev = J->get("traceEvents");
+  ASSERT_NE(Ev, nullptr);
+  ASSERT_TRUE(Ev->isArray());
+
+  std::set<double> SpanTids;
+  int Metadata = 0, Complete = 0, Instant = 0;
+  for (size_t I = 0; I != Ev->size(); ++I) {
+    const benchutil::Json &E = Ev->at(I);
+    std::string Ph = E.str("ph");
+    if (Ph == "M") {
+      ++Metadata;
+      EXPECT_EQ(E.str("name"), "thread_name");
+    } else if (Ph == "X") {
+      ++Complete;
+      SpanTids.insert(E.num("tid", -1));
+    } else if (Ph == "i") {
+      ++Instant;
+    }
+  }
+  EXPECT_GE(Metadata, 2);
+  EXPECT_EQ(Complete, 2);
+  EXPECT_EQ(Instant, 1);
+  EXPECT_EQ(SpanTids.size(), 2u) << "one lane per recording thread";
+  std::remove(Path.c_str());
+}
+
+TEST_F(ObsTest, CounterBackendNames) {
+  EXPECT_STREQ(obs::counterBackendName(), "fake");
+  obs::setCounterBackend(obs::CounterBackend::Off);
+  EXPECT_STREQ(obs::counterBackendName(), "off");
+  obs::CounterValues V;
+  EXPECT_FALSE(obs::readCounters(V));
+  EXPECT_TRUE(V.isZero());
+}
+
+TEST_F(ObsTest, DisabledModeIsCheap) {
+  obs::setEnabled(false);
+  // Not a benchmark: a generous ceiling that only trips if disabled spans
+  // start doing real work (allocation, locking, counter reads).
+  constexpr int N = 1000000;
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I != N; ++I)
+    obs::Span S("test.disabled");
+  double Ns = std::chrono::duration<double, std::nano>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count() /
+              N;
+  obs::setEnabled(true);
+  EXPECT_LT(Ns, 250.0) << "disabled span costs " << Ns << " ns";
+  EXPECT_TRUE(obs::events().empty());
+}
+
+} // namespace
