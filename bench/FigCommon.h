@@ -29,6 +29,7 @@
 
 #include "benchutil/Bench.h"
 #include "benchutil/Report.h"
+#include "gemm/Engine.h"
 #include "gemm/ExoProvider.h"
 #include "gemm/Gemm.h"
 #include "gemm/Kernels.h"
@@ -128,9 +129,34 @@ struct SeriesPoint {
   benchutil::Measurement M;
 };
 
+/// The Engine behind one figure series, shared across every problem of a
+/// bench run so repeated shapes hit the plan cache the way serving traffic
+/// would. All four series use 256-bit kernels: the baselines are AVX2 by
+/// construction, and ALG+EXO is held to the same vector width for a fair
+/// like-for-like (in the paper every series is 128-bit Neon). The wider
+/// AVX-512 kernels appear in bench_ablate_isa instead.
+inline gemm::Engine &seriesEngine(size_t PI) {
+  using gemm::EngineSeries;
+  auto Mk = [](EngineSeries S) {
+    gemm::EngineConfig Cfg;
+    Cfg.Series = S;
+    if (S == EngineSeries::Exo)
+      Cfg.Isa = &exo::avx2Isa();
+    return Cfg;
+  };
+  static gemm::Engine Engines[4] = {
+      gemm::Engine(Mk(EngineSeries::HandVector)),
+      gemm::Engine(Mk(EngineSeries::Blis)),
+      gemm::Engine(Mk(EngineSeries::Exo)),
+      gemm::Engine(Mk(EngineSeries::BlisPrefetch))};
+  return Engines[PI];
+}
+
 /// Measures one GEMM problem across the four series (ordering of
 /// seriesNames()), validating each result against the reference on first
-/// use of a shape.
+/// use of a shape. Each series runs through its Engine front door: the
+/// verification call plans (and caches) the shape, so the timed reps
+/// exercise the hot plan-cache path.
 inline std::vector<SeriesPoint> gemmSeriesRun(int64_t M, int64_t N,
                                               int64_t K,
                                               double MinSeconds) {
@@ -139,49 +165,34 @@ inline std::vector<SeriesPoint> gemmSeriesRun(int64_t M, int64_t N,
   benchutil::fillRandom(A.data(), A.size(), 11);
   benchutil::fillRandom(B.data(), B.size(), 22);
 
-  // All four series use 256-bit kernels: the baselines are AVX2 by
-  // construction, and ALG+EXO is held to the same vector width for a fair
-  // like-for-like (in the paper every series is 128-bit Neon). The wider
-  // AVX-512 kernels appear in bench_ablate_isa instead.
-  auto [Mr, Nr] = ExoProvider::pickShape(M, N, &exo::avx2Isa());
-  std::vector<std::unique_ptr<KernelProvider>> Providers;
-  Providers.push_back(
-      std::make_unique<FixedProvider>(handVectorKernel(), "ALG+NEON"));
-  Providers.push_back(
-      std::make_unique<FixedProvider>(blisKernel(), "ALG+BLIS"));
-  Providers.push_back(std::make_unique<ExoProvider>(Mr, Nr, &exo::avx2Isa()));
-  Providers.push_back(
-      std::make_unique<FixedProvider>(blisKernelPrefetch(), "BLIS"));
-
   std::vector<SeriesPoint> Out;
   double Flops = 2.0 * M * N * K;
-  for (size_t PI = 0; PI != Providers.size(); ++PI) {
-    KernelProvider &P = *Providers[PI];
+  for (size_t PI = 0; PI != seriesNames().size(); ++PI) {
+    Engine &E = seriesEngine(PI);
     SeriesPoint Pt;
     Pt.Series = seriesNames()[PI];
-    GemmPlan Plan = GemmPlan::standard(P);
     // One verified call before timing.
     std::vector<float> CRef(M * N, 1.0f), CChk(M * N, 1.0f);
     refSgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f, CRef.data(), M);
-    exo::Error Err = blisGemm(Plan, P, M, N, K, 1.0f, A.data(), M, B.data(),
-                              K, 1.0f, CChk.data(), M);
+    exo::Error Err = E.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f,
+                             CChk.data(), M);
     if (Err) {
-      std::fprintf(stderr, "series %s failed: %s\n", P.name(),
+      std::fprintf(stderr, "series %s failed: %s\n", Pt.Series.c_str(),
                    Err.message().c_str());
       Out.push_back(Pt);
       continue;
     }
     float Diff = benchutil::maxAbsDiff(CRef.data(), CChk.data(), CRef.size());
     if (Diff > 1e-3f * static_cast<float>(K)) {
-      std::fprintf(stderr, "series %s WRONG RESULT (maxdiff %g)\n", P.name(),
-                   Diff);
+      std::fprintf(stderr, "series %s WRONG RESULT (maxdiff %g)\n",
+                   Pt.Series.c_str(), Diff);
       Out.push_back(Pt);
       continue;
     }
     Pt.M = benchutil::measure(
         [&] {
-          blisGemm(Plan, P, M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f,
-                   C.data(), M);
+          E.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f, C.data(),
+                  M);
         },
         MinSeconds);
     Pt.Gflops = benchutil::gflops(Flops, Pt.M.SecondsPerCall);

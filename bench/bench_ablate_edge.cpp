@@ -19,16 +19,14 @@ using namespace gemm;
 
 namespace {
 
-benchutil::Measurement run(ExoProvider &P, int64_t M, int64_t N, int64_t K,
+benchutil::Measurement run(Engine &E, int64_t M, int64_t N, int64_t K,
                            double Seconds) {
-  GemmPlan Plan = GemmPlan::standard(P);
   std::vector<float> A(M * K), B(K * N), C(M * N, 0.f);
   benchutil::fillRandom(A.data(), A.size(), 1);
   benchutil::fillRandom(B.data(), B.size(), 2);
   return benchutil::measure(
       [&] {
-        blisGemm(Plan, P, M, N, K, 1.f, A.data(), M, B.data(), K, 1.f,
-                 C.data(), M);
+        E.sgemm(M, N, K, 1.f, A.data(), M, B.data(), K, 1.f, C.data(), M);
       },
       Seconds);
 }
@@ -48,13 +46,20 @@ int main(int Argc, char **Argv) {
   };
   Problems = fig::smokeSlice(std::move(Problems), Opt.Smoke);
 
+  // Both Engines pin the same 8x12 full tile; only edge dispatch differs.
+  EngineConfig SpecCfg;
+  SpecCfg.Series = EngineSeries::Exo;
+  SpecCfg.ForceMR = 8;
+  SpecCfg.ForceNR = 12;
+  Engine Specialized(SpecCfg);
+  EngineConfig ScrCfg = SpecCfg;
+  ScrCfg.SpecializeEdges = false;
+  Engine Scratch(ScrCfg);
+
   benchutil::Table T("ablate_edge_gflops",
                      {"m x n x k", "specialized_edges", "scratch_fallback"},
                      Opt.Csv);
   for (const auto &[M, N, K] : Problems) {
-    ExoProvider Specialized(8, 12);
-    ExoProvider Scratch(8, 12);
-    Scratch.setSpecializeEdges(false);
     std::string Label = exo::strf("%lldx%lldx%lld", static_cast<long long>(M),
                                   static_cast<long long>(N),
                                   static_cast<long long>(K));

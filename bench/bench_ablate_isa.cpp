@@ -42,8 +42,12 @@ int main(int Argc, char **Argv) {
   for (const IsaCase &C : Cases) {
     if (!C.Isa->hostExecutable())
       continue;
-    ExoProvider P(C.Mr, C.Nr, C.Isa);
-    GemmPlan Plan = GemmPlan::standard(P);
+    EngineConfig Cfg;
+    Cfg.Series = EngineSeries::Exo;
+    Cfg.Isa = C.Isa;
+    Cfg.ForceMR = C.Mr;
+    Cfg.ForceNR = C.Nr;
+    Engine E(Cfg);
     std::vector<double> Row;
     for (int64_t S : Sizes) {
       std::vector<float> A(S * S), B(S * S), Cm(S * S, 0.f);
@@ -51,8 +55,8 @@ int main(int Argc, char **Argv) {
       benchutil::fillRandom(B.data(), B.size(), 2);
       benchutil::Measurement M = benchutil::measure(
           [&] {
-            blisGemm(Plan, P, S, S, S, 1.f, A.data(), S, B.data(), S, 1.f,
-                     Cm.data(), S);
+            E.sgemm(S, S, S, 1.f, A.data(), S, B.data(), S, 1.f, Cm.data(),
+                    S);
           },
           Opt.Seconds);
       Row.push_back(fig::addGemmRow(Ctx, std::to_string(S), C.Label, S, S, S,

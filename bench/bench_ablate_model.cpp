@@ -15,15 +15,13 @@ using namespace gemm;
 
 namespace {
 
-benchutil::Measurement run(const GemmPlan &Plan, KernelProvider &P, int64_t S,
-                           double Seconds) {
+benchutil::Measurement run(Engine &E, int64_t S, double Seconds) {
   std::vector<float> A(S * S), B(S * S), C(S * S, 0.f);
   benchutil::fillRandom(A.data(), A.size(), 1);
   benchutil::fillRandom(B.data(), B.size(), 2);
   return benchutil::measure(
       [&] {
-        blisGemm(Plan, P, S, S, S, 1.f, A.data(), S, B.data(), S, 1.f,
-                 C.data(), S);
+        E.sgemm(S, S, S, 1.f, A.data(), S, B.data(), S, 1.f, C.data(), S);
       },
       Seconds);
 }
@@ -36,14 +34,22 @@ int main(int Argc, char **Argv) {
   std::printf("Ablation: analytical cache model vs fixed blocking "
               "(ALG+EXO kernels)\n");
 
-  ExoProvider Exo(8, 12);
-  GemmPlan Model = GemmPlan::standard(Exo);
-  GemmPlan Fixed = Model;
-  Fixed.Blocks = fixedBlockSizes(8, 12);
+  // Same pinned 8x12 generated kernel in both Engines; only the blocking
+  // differs (EngineConfig::Blocks overrides the analytical model).
+  EngineConfig ModelCfg;
+  ModelCfg.Series = EngineSeries::Exo;
+  ModelCfg.ForceMR = 8;
+  ModelCfg.ForceNR = 12;
+  Engine ModelE(ModelCfg);
+  EngineConfig FixedCfg = ModelCfg;
+  FixedCfg.Blocks = fixedBlockSizes(8, 12);
+  Engine FixedE(FixedCfg);
 
   std::printf("model:  %s\nfixed:  %s\ncaches: %s\n",
-              Model.Blocks.describe().c_str(),
-              Fixed.Blocks.describe().c_str(),
+              analyticalBlockSizes(CacheConfig::host(), 8, 12, sizeof(float))
+                  .describe()
+                  .c_str(),
+              FixedCfg.Blocks->describe().c_str(),
               CacheConfig::host().describe().c_str());
 
   benchutil::Table T("ablate_model_gflops",
@@ -56,8 +62,8 @@ int main(int Argc, char **Argv) {
     Sizes = {64, 96};
   for (int64_t S : Sizes) {
     double Flops = 2.0 * S * S * S;
-    benchutil::Measurement MModel = run(Model, Exo, S, Opt.Seconds);
-    benchutil::Measurement MFixed = run(Fixed, Exo, S, Opt.Seconds);
+    benchutil::Measurement MModel = run(ModelE, S, Opt.Seconds);
+    benchutil::Measurement MFixed = run(FixedE, S, Opt.Seconds);
     T.addRow(std::to_string(S),
              {fig::addGemmRow(Ctx, std::to_string(S), "analytical_model", S,
                               S, S, MModel, Flops),

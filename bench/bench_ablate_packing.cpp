@@ -22,8 +22,15 @@ int main(int Argc, char **Argv) {
   std::printf("Ablation: packing overhead vs problem depth (m = n = %d)\n",
               Opt.Smoke ? 96 : 512);
 
-  ExoProvider Exo(8, 12);
-  GemmPlan Plan = GemmPlan::standard(Exo);
+  EngineConfig Cfg;
+  Cfg.Series = EngineSeries::Exo;
+  Cfg.ForceMR = 8;
+  Cfg.ForceNR = 12;
+  Engine E(Cfg);
+  // The standalone packing loop below reproduces the blocking the Engine's
+  // plan resolves (analytical model for an 8x12 tile).
+  BlockSizes Blocks =
+      analyticalBlockSizes(CacheConfig::host(), 8, 12, sizeof(float));
   const int64_t M = Opt.Smoke ? 96 : 512, N = M;
   std::vector<int64_t> Depths = {8, 32, 128, 512, 2048};
   if (Opt.Smoke)
@@ -37,16 +44,15 @@ int main(int Argc, char **Argv) {
     benchutil::fillRandom(B.data(), B.size(), 2);
     benchutil::Measurement GemmM = benchutil::measure(
         [&] {
-          blisGemm(Plan, Exo, M, N, K, 1.f, A.data(), M, B.data(), K, 1.f,
-                   C.data(), M);
+          E.sgemm(M, N, K, 1.f, A.data(), M, B.data(), K, 1.f, C.data(), M);
         },
         Opt.Seconds);
 
     // Standalone packing cost for the same operand volume (one pass over A
     // in mc x kc blocks and B in kc x nc blocks).
-    int64_t Kc = std::min<int64_t>(Plan.Blocks.KC, K);
-    int64_t Mc = std::min<int64_t>(Plan.Blocks.MC, M);
-    int64_t Nc = std::min<int64_t>(Plan.Blocks.NC, N);
+    int64_t Kc = std::min<int64_t>(Blocks.KC, K);
+    int64_t Mc = std::min<int64_t>(Blocks.MC, M);
+    int64_t Nc = std::min<int64_t>(Blocks.NC, N);
     std::vector<float> ABuf(((Mc + 7) / 8) * Kc * 8);
     std::vector<float> BBuf(((Nc + 11) / 12) * Kc * 12);
     benchutil::Measurement PackM = benchutil::measure(

@@ -38,12 +38,9 @@ int main(int Argc, char **Argv) {
   for (int64_t Mr : Mrs) {
     std::vector<double> Row;
     for (int64_t Nr : Nrs) {
-      ukr::UkrConfig Cfg;
-      Cfg.MR = Mr;
-      Cfg.NR = Nr;
-      Cfg.Isa = ukr::bestIsaForMr(Mr);
-      if (!Cfg.Isa)
-        Cfg.Style = ukr::FmaStyle::Scalar;
+      // The shared ISA-per-shape rule (same one the planner, provider, and
+      // warm-up use), so this sweep times the kernels a plan would pick.
+      ukr::UkrConfig Cfg = ukr::shapeConfig(Mr, Nr);
       auto K = ukr::KernelCache::global().get(Cfg);
       if (!K || !(*K)->Fn) {
         Row.push_back(0);

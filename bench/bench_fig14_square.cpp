@@ -27,7 +27,9 @@ int main(int Argc, char **Argv) {
                      {"size", "ALG+NEON", "ALG+BLIS", "ALG+EXO", "BLIS"},
                      Opt.Csv);
   for (int64_t S : Sizes) {
-    auto [Mr, Nr] = gemm::ExoProvider::pickShape(S, S, &exo::avx2Isa());
+    // The tile the ALG+EXO Engine's planner resolves for this problem
+    // (same call the Engine makes on a plan-cache miss).
+    gemm::PlanChoice Choice = gemm::choosePlan(S, S, S, &exo::avx2Isa());
     std::vector<fig::SeriesPoint> Pts =
         fig::gemmSeriesRun(S, S, S, Opt.Seconds);
     std::vector<double> Row;
@@ -35,8 +37,8 @@ int main(int Argc, char **Argv) {
       Row.push_back(Pt.Gflops);
     std::string Label = exo::strf("%lld", static_cast<long long>(S));
     T.addRow(exo::strf("%lld (exo %lldx%lld)", static_cast<long long>(S),
-                       static_cast<long long>(Mr),
-                       static_cast<long long>(Nr)),
+                       static_cast<long long>(Choice.MR),
+                       static_cast<long long>(Choice.NR)),
              Row);
     fig::addSeriesRows(Ctx, Label, S, S, S, Pts);
   }

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "benchutil/Bench.h"
+#include "gemm/Engine.h"
 #include "gemm/ExoProvider.h"
 #include "gemm/Kernels.h"
 
@@ -59,6 +60,26 @@ void BM_BlisStyle(benchmark::State &State) {
   runKernelBench(State, &blisStyleKernel8x12Prefetch, 8, 12);
 }
 
+/// Full GEMM through the Engine front door on the hot plan-cache path —
+/// the dispatch-inclusive number bench_dispatch compares against the
+/// legacy direct call.
+void BM_EngineSgemm(benchmark::State &State) {
+  static Engine E; // Auto series: exo kernels, blis fallback
+  const int64_t S = State.range(0);
+  std::vector<float> A(S * S), B(S * S), C(S * S, 0.f);
+  benchutil::fillRandom(A.data(), A.size(), 1);
+  benchutil::fillRandom(B.data(), B.size(), 2);
+  if (E.sgemm(S, S, S, 1.f, A.data(), S, B.data(), S, 1.f, C.data(), S)) {
+    State.SkipWithError("sgemm failed");
+    return;
+  }
+  for (auto _ : State) {
+    E.sgemm(S, S, S, 1.f, A.data(), S, B.data(), S, 1.f, C.data(), S);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * S * S * S);
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_ExoKernel, 8x12, 8, 12)->Arg(128)->Arg(512);
@@ -67,6 +88,7 @@ BENCHMARK_CAPTURE(BM_ExoKernel, 4x4, 4, 4)->Arg(512);
 BENCHMARK_CAPTURE(BM_ExoKernel, 16x12, 16, 12)->Arg(512);
 BENCHMARK(BM_HandVector)->Arg(512);
 BENCHMARK(BM_BlisStyle)->Arg(512);
+BENCHMARK(BM_EngineSgemm)->Arg(64)->Arg(256);
 
 // Custom main so the suite-wide flag conventions work here too: `--json
 // [PATH]` maps to google-benchmark's JSON reporter (NOT the BENCH_*.json

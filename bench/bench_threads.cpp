@@ -67,22 +67,27 @@ int main(int Argc, char **Argv) {
   benchutil::fillRandom(A.data(), A.size(), 11);
   benchutil::fillRandom(B.data(), B.size(), 22);
 
-  auto [Mr, Nr] = ExoProvider::pickShape(M, N, &exo::avx2Isa());
-  ExoProvider Provider(Mr, Nr, &exo::avx2Isa());
-  GemmPlan Plan = GemmPlan::standard(Provider);
+  // Team size is part of the Engine's plan key, so one Engine per count
+  // keeps every row's plan cached independently.
+  auto EngineFor = [](int64_t Threads) {
+    EngineConfig Cfg;
+    Cfg.Series = EngineSeries::Exo;
+    Cfg.Isa = &exo::avx2Isa();
+    Cfg.Threads = Threads;
+    return Cfg;
+  };
 
   // Verified once (threaded vs sequential vs reference) before timing.
   {
+    Engine E1(EngineFor(1)), ET(EngineFor(Counts.back()));
     std::vector<float> C1(M * N, 1.0f), CT(M * N, 1.0f);
-    Plan.Threads = 1;
-    exo::Error E1 = blisGemm(Plan, Provider, M, N, K, 1.0f, A.data(), M,
-                             B.data(), K, 1.0f, C1.data(), M);
-    Plan.Threads = Counts.back();
-    exo::Error E2 = blisGemm(Plan, Provider, M, N, K, 1.0f, A.data(), M,
-                             B.data(), K, 1.0f, CT.data(), M);
-    if (E1 || E2) {
+    exo::Error Err1 = E1.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f,
+                               C1.data(), M);
+    exo::Error Err2 = ET.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f,
+                               CT.data(), M);
+    if (Err1 || Err2) {
       std::fprintf(stderr, "gemm failed: %s\n",
-                   (E1 ? E1 : E2).message().c_str());
+                   (Err1 ? Err1 : Err2).message().c_str());
       return 1;
     }
     if (std::memcmp(C1.data(), CT.data(), C1.size() * sizeof(float)) != 0) {
@@ -99,11 +104,13 @@ int main(int Argc, char **Argv) {
   const double Flops = 2.0 * M * N * K;
   double Base = 0;
   for (int64_t Threads : Counts) {
-    Plan.Threads = Threads;
+    Engine E(EngineFor(Threads));
+    // Plan once outside the timed region; the reps run the cached plan.
+    E.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f, C.data(), M);
     benchutil::Measurement Meas = benchutil::measure(
         [&] {
-          blisGemm(Plan, Provider, M, N, K, 1.0f, A.data(), M, B.data(), K,
-                   1.0f, C.data(), M);
+          E.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f, C.data(),
+                  M);
         },
         Opt.Seconds);
     double G = benchutil::gflops(Flops, Meas.SecondsPerCall);

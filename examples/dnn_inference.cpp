@@ -2,8 +2,10 @@
 //
 // The workload that motivates the paper's edge-case story: the im2row GEMM
 // sequence of a ResNet50 v1.5 (batch 1) forward pass, run through the
-// BLIS-like algorithm with Exo-generated kernels, with correctness checked
-// per layer and the per-layer kernel choice reported.
+// gemm::Engine front door — each layer's shape is planned once (planner
+// picks the micro-kernel tile, §IV-B), cached, and re-executed for the
+// timed reps — with correctness checked per layer and the per-layer plan
+// reported.
 //
 // Usage: dnn_inference [resnet50|vgg16]
 //
@@ -12,8 +14,7 @@
 #include "benchutil/Bench.h"
 #include "dnn/Models.h"
 #include "exo/support/Str.h"
-#include "gemm/ExoProvider.h"
-#include "gemm/Gemm.h"
+#include "gemm/Engine.h"
 #include "gemm/RefGemm.h"
 
 #include <cstdio>
@@ -25,16 +26,16 @@ using namespace gemm;
 int main(int Argc, char **Argv) {
   bool Vgg = Argc > 1 && !std::strcmp(Argv[1], "vgg16");
   const auto &Layers = Vgg ? dnn::vgg16Layers() : dnn::resnet50Layers();
-  std::printf("Running the %s im2row GEMM sequence (batch 1) with "
-              "Exo-generated kernels.\n\n",
+  std::printf("Running the %s im2row GEMM sequence (batch 1) through the "
+              "Engine front door (plan-once/execute-many).\n\n",
               Vgg ? "VGG16" : "ResNet50 v1.5");
+
+  // One Engine serves every layer: distinct shapes get distinct cached
+  // plans, repeated calls hit the cache.
+  Engine E;
 
   double TotalSecs = 0, TotalFlops = 0;
   for (const dnn::LayerGemm &L : Layers) {
-    auto [Mr, Nr] = ExoProvider::pickShape(L.M, L.N);
-    ExoProvider P(Mr, Nr);
-    GemmPlan Plan = GemmPlan::standard(P);
-
     std::vector<float> A(L.M * L.K), B(L.K * L.N), C(L.M * L.N, 0.f);
     benchutil::fillRandom(A.data(), A.size(), L.Id);
     benchutil::fillRandom(B.data(), B.size(), L.Id + 100);
@@ -45,8 +46,8 @@ int main(int Argc, char **Argv) {
       std::vector<float> CRef(MChk * L.N, 0.f), CChk(MChk * L.N, 0.f);
       refSgemm(MChk, L.N, L.K, 1.f, A.data(), L.M, B.data(), L.K, 1.f,
                CRef.data(), MChk);
-      exo::Error Err = blisGemm(Plan, P, MChk, L.N, L.K, 1.f, A.data(), L.M,
-                                B.data(), L.K, 1.f, CChk.data(), MChk);
+      exo::Error Err = E.sgemm(MChk, L.N, L.K, 1.f, A.data(), L.M, B.data(),
+                               L.K, 1.f, CChk.data(), MChk);
       if (Err) {
         std::fprintf(stderr, "layer %d failed: %s\n", L.Id,
                      Err.message().c_str());
@@ -59,24 +60,38 @@ int main(int Argc, char **Argv) {
       }
     }
 
+    // The plan the layer's timed calls will reuse (built on first use).
+    exo::Expected<PlanChoice> Choice =
+        E.planFor(Trans::None, Trans::None, L.M, L.N, L.K);
+    if (!Choice) {
+      std::fprintf(stderr, "layer %d planning failed: %s\n", L.Id,
+                   Choice.takeError().message().c_str());
+      return 1;
+    }
+
     double Secs = benchutil::timeIt(
         [&] {
-          blisGemm(Plan, P, L.M, L.N, L.K, 1.f, A.data(), L.M, B.data(),
-                   L.K, 1.f, C.data(), L.M);
+          E.sgemm(L.M, L.N, L.K, 1.f, A.data(), L.M, B.data(), L.K, 1.f,
+                  C.data(), L.M);
         },
         0.05);
     TotalSecs += Secs * L.Count;
     TotalFlops += L.flops() * L.Count;
-    std::printf("layer %2d (%5lldx%4lldx%4lld, x%d): kernel %2lldx%-2lld  "
-                "%7.2f GFLOPS  %8.3f ms\n",
+    std::printf("layer %2d (%5lldx%4lldx%4lld, x%d): kernel %2lldx%-2lld "
+                "(%s)  %7.2f GFLOPS  %8.3f ms\n",
                 L.Id, static_cast<long long>(L.M),
                 static_cast<long long>(L.N), static_cast<long long>(L.K),
-                L.Count, static_cast<long long>(Mr),
-                static_cast<long long>(Nr),
+                L.Count, static_cast<long long>(Choice->MR),
+                static_cast<long long>(Choice->NR), Choice->Source,
                 benchutil::gflops(L.flops(), Secs), Secs * 1e3);
   }
+  EngineStats St = E.stats();
   std::printf("\nAggregated GEMM time for one inference pass: %.2f ms "
               "(%.2f GFLOPS average)\n",
               TotalSecs * 1e3, benchutil::gflops(TotalFlops, TotalSecs));
+  std::printf("plan cache: %llu plans built for %llu calls (%llu hits)\n",
+              static_cast<unsigned long long>(St.Builds),
+              static_cast<unsigned long long>(St.Hits + St.Misses),
+              static_cast<unsigned long long>(St.Hits));
   return 0;
 }

@@ -69,18 +69,19 @@ void dnn::convDirect(const ConvParams &P, const float *In, const float *W,
   }
 }
 
-exo::Error dnn::convViaGemm(const ConvParams &P,
-                            gemm::KernelProvider &Provider, const float *In,
-                            const float *W, float *Out) {
+namespace {
+
+/// Shared IM2ROW lowering around a GEMM entry point: \p Gemm computes
+/// C = A * B (column-major, beta 0) for the layer's (M, N, K).
+template <typename GemmFn>
+exo::Error convViaGemmImpl(const ConvParams &P, const float *In,
+                           const float *W, float *Out, GemmFn &&Gemm) {
   const int64_t M = P.gemmM(), N = P.gemmN(), K = P.gemmK();
   std::vector<float> A(M * K), B(K * N), C(M * N, 0.0f);
   im2row(P, In, A.data());
   weightsToMatrix(P, W, B.data());
 
-  gemm::GemmPlan Plan = gemm::GemmPlan::standard(Provider);
-  if (exo::Error Err =
-          gemm::blisGemm(Plan, Provider, M, N, K, 1.0f, A.data(), M,
-                         B.data(), K, 0.0f, C.data(), M))
+  if (exo::Error Err = Gemm(M, N, K, A.data(), B.data(), C.data()))
     return Err;
 
   // The GEMM result is column-major (pixel, oc); outputs are HWC.
@@ -88,4 +89,29 @@ exo::Error dnn::convViaGemm(const ConvParams &P,
     for (int64_t Oc = 0; Oc < N; ++Oc)
       Out[Row * N + Oc] = C[Row + Oc * M];
   return exo::Error::success();
+}
+
+} // namespace
+
+exo::Error dnn::convViaGemm(const ConvParams &P, gemm::Engine &Engine,
+                            const float *In, const float *W, float *Out) {
+  return convViaGemmImpl(
+      P, In, W, Out,
+      [&](int64_t M, int64_t N, int64_t K, const float *A, const float *B,
+          float *C) {
+        return Engine.sgemm(M, N, K, 1.0f, A, M, B, K, 0.0f, C, M);
+      });
+}
+
+exo::Error dnn::convViaGemm(const ConvParams &P,
+                            gemm::KernelProvider &Provider, const float *In,
+                            const float *W, float *Out) {
+  gemm::GemmPlan Plan = gemm::GemmPlan::standard(Provider);
+  return convViaGemmImpl(
+      P, In, W, Out,
+      [&](int64_t M, int64_t N, int64_t K, const float *A, const float *B,
+          float *C) {
+        return gemm::blisGemm(Plan, Provider, M, N, K, 1.0f, A, M, B, K,
+                              0.0f, C, M);
+      });
 }

@@ -22,6 +22,7 @@
 
 #include "dnn/Models.h"
 #include "exo/support/Error.h"
+#include "gemm/Engine.h"
 #include "gemm/MicroKernel.h"
 
 #include <cstdint>
@@ -56,8 +57,18 @@ void weightsToMatrix(const ConvParams &P, const float *W, float *B);
 void convDirect(const ConvParams &P, const float *In, const float *W,
                 float *Out);
 
+/// Convolution through IM2ROW + the Engine front door: the layer's GEMM
+/// shape is planned once and every later call with the same shape (the
+/// steady state of an inference loop) reuses the cached plan. Out is HWC
+/// like convDirect.
+exo::Error convViaGemm(const ConvParams &P, gemm::Engine &Engine,
+                       const float *In, const float *W, float *Out);
+
 /// Convolution through IM2ROW + the BLIS-like GEMM with the given
 /// micro-kernel provider. Out is HWC like convDirect.
+///
+/// Deprecated: prefer the Engine overload above, which plans the layer
+/// shape once instead of re-deriving blocking per call.
 exo::Error convViaGemm(const ConvParams &P, gemm::KernelProvider &Provider,
                        const float *In, const float *W, float *Out);
 

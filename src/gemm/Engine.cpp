@@ -1,0 +1,516 @@
+//===- Engine.cpp ---------------------------------------------------------===//
+
+#include "gemm/Engine.h"
+
+#include "gemm/ExoProvider.h"
+#include "gemm/Kernels.h"
+#include "gemm/ThreadPool.h"
+#include "obs/Obs.h"
+#include "ukr/KernelService.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <tuple>
+
+using namespace exo;
+using namespace gemm;
+
+namespace {
+
+/// Everything that distinguishes one cached plan from another within an
+/// Engine. Threads enter pre-resolved (EXO_GEMM_THREADS can change between
+/// calls); the ISA pointer covers engines reconfigured per series.
+struct PlanKey {
+  uint8_t TA = 0, TB = 0;
+  int64_t M = 0, N = 0, K = 0;
+  int64_t T = 1;
+  const exo::IsaLib *Isa = nullptr;
+
+  bool operator<(const PlanKey &O) const {
+    return std::tie(TA, TB, M, N, K, T, Isa) <
+           std::tie(O.TA, O.TB, O.M, O.N, O.K, O.T, O.Isa);
+  }
+};
+
+/// A resolved, immutable-after-publish execution plan plus its workspace
+/// pool. Geometry and edge kernels are never mutated once the plan is
+/// visible to other threads; provisional plans are *replaced*, not edited,
+/// so in-flight executions keep a consistent snapshot via their shared_ptr.
+struct ExecPlan {
+  detail::GemmGeometry G;
+  std::vector<std::optional<MicroKernel>> Edges;
+  std::shared_ptr<KernelProvider> Provider;
+  PlanChoice Choice;
+  GemmPlan Legacy;
+  /// Built over an async provider's portable fallback; re-resolved after
+  /// RebuildPeriod further calls in the hope the specialized kernels have
+  /// landed.
+  bool Provisional = false;
+  std::atomic<uint64_t> Calls{0};
+  std::atomic<bool> Rebuilding{false};
+
+  /// Pooled workspaces, bounded by the reserved capacity so release()
+  /// never reallocates the vector (zero-allocation steady state).
+  std::mutex PoolMu;
+  std::vector<std::unique_ptr<detail::GemmWorkspace>> Pool;
+
+  std::unique_ptr<detail::GemmWorkspace> acquire() {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    if (Pool.empty())
+      return nullptr;
+    std::unique_ptr<detail::GemmWorkspace> W = std::move(Pool.back());
+    Pool.pop_back();
+    return W;
+  }
+  void release(std::unique_ptr<detail::GemmWorkspace> W) {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    if (Pool.size() < Pool.capacity())
+      Pool.push_back(std::move(W));
+    // Past capacity the workspace is simply dropped: an unusual burst of
+    // concurrent callers shrinks back to the bounded pool afterwards.
+  }
+};
+
+constexpr uint64_t RebuildPeriod = 32;
+constexpr size_t WorkspacePoolCap = 16;
+
+struct CacheEntry {
+  std::shared_ptr<ExecPlan> Plan; ///< null while building
+  std::string BuildError;         ///< sticky failure (set once, final)
+  bool Building = false;
+  std::atomic<uint64_t> LastUse{0}; ///< approximate-LRU stamp
+};
+
+int64_t envPlanCacheCap() {
+  const char *V = std::getenv("EXO_GEMM_PLAN_CACHE_CAP");
+  if (!V || !*V)
+    return 256;
+  char *End = nullptr;
+  long long N = std::strtoll(V, &End, 10);
+  if (End == V || *End != '\0' || N < 1)
+    return 256;
+  return static_cast<int64_t>(N);
+}
+
+bool envPlanCacheOn() {
+  const char *V = std::getenv("EXO_GEMM_PLAN_CACHE");
+  if (!V || !*V)
+    return true;
+  return std::strtoll(V, nullptr, 10) != 0;
+}
+
+} // namespace
+
+struct Engine::Impl {
+  EngineConfig Cfg;
+  bool CacheOn = true;
+  int64_t Cap = 256;
+  /// Resolved fixed-series / custom provider (null for Exo; Auto keeps it
+  /// around as the degradation target).
+  std::shared_ptr<KernelProvider> Fixed;
+  const char *Name = "auto";
+
+  std::shared_mutex Mu; ///< guards Cache
+  std::condition_variable_any Cv;
+  std::map<PlanKey, CacheEntry> Cache;
+
+  std::mutex ProvMu; ///< guards ExoProvs (build path only)
+  std::map<std::pair<int64_t, int64_t>, std::shared_ptr<ExoProvider>>
+      ExoProvs;
+
+  std::atomic<uint64_t> Tick{0};
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Builds{0}, Rebuilds{0},
+      Evictions{0}, Degenerate{0};
+
+  std::shared_ptr<ExoProvider> exoProviderFor(int64_t MR, int64_t NR) {
+    std::lock_guard<std::mutex> Lock(ProvMu);
+    auto It = ExoProvs.find({MR, NR});
+    if (It != ExoProvs.end())
+      return It->second;
+    auto P = std::make_shared<ExoProvider>(MR, NR, Cfg.Isa,
+                                           Cfg.UnrollCompute);
+    P->setAsync(Cfg.Async);
+    P->setSpecializeEdges(Cfg.SpecializeEdges);
+    ExoProvs.emplace(std::make_pair(MR, NR), P);
+    return P;
+  }
+
+  Expected<std::shared_ptr<ExecPlan>> build(const PlanKey &Key);
+  std::shared_ptr<ExecPlan> lookupOrBuild(const PlanKey &Key, Error &Err);
+  void evictLocked();
+  void maybeRebuild(const PlanKey &Key,
+                    const std::shared_ptr<ExecPlan> &Old);
+};
+
+Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
+  EXO_OBS_SPAN("plan.build");
+  PlanChoice Choice;
+  std::shared_ptr<KernelProvider> Provider;
+  const bool WantExo = Cfg.Series == EngineSeries::Exo ||
+                       Cfg.Series == EngineSeries::Auto;
+  if (WantExo) {
+    if (Cfg.ForceMR > 0 && Cfg.ForceNR > 0)
+      Choice = PlanChoice{Cfg.ForceMR, Cfg.ForceNR, "forced"};
+    else
+      Choice = choosePlan(Key.M, Key.N, Key.K, Cfg.Isa, Cfg.PriorPath);
+    Provider = exoProviderFor(Choice.MR, Choice.NR);
+  } else {
+    Provider = Fixed;
+    MicroKernel Mk = Provider->main();
+    Choice = PlanChoice{Mk.MR, Mk.NR, "fixed"};
+  }
+
+  MicroKernel Main = Provider->main();
+  if (!Main.Fn && Cfg.Series == EngineSeries::Auto) {
+    // No generated kernel (JIT or compiler unavailable): degrade to the
+    // portable BLIS-style kernel so Auto engines always serve.
+    Provider = Fixed;
+    Main = Provider->main();
+    Choice = PlanChoice{Main.MR, Main.NR, "fallback"};
+  }
+  if (!Main.Fn)
+    return errorf("gemm engine (%s): provider '%s' has no runnable kernel "
+                  "for %lldx%lldx%lld",
+                  Name, Provider->name(), static_cast<long long>(Key.M),
+                  static_cast<long long>(Key.N),
+                  static_cast<long long>(Key.K));
+
+  GemmPlan Legacy = GemmPlan::standard(*Provider);
+  if (Cfg.Blocks)
+    Legacy.Blocks = *Cfg.Blocks;
+  if (Cfg.PackMode)
+    Legacy.PackMode = *Cfg.PackMode;
+  Legacy.Threads = Key.T;
+
+  auto P = std::make_shared<ExecPlan>();
+  P->Provider = Provider;
+  P->Choice = Choice;
+  P->Legacy = Legacy;
+  P->G = detail::deriveGeometry(Legacy, Main, Key.M, Key.N, Key.K);
+  detail::resolveEdgeKernels(*Provider, P->G, Key.N, P->Edges);
+  bool EdgeFallback = false;
+  for (const std::optional<MicroKernel> &E : P->Edges)
+    if (E && E->IsFallback)
+      EdgeFallback = true;
+  P->Provisional =
+      Cfg.Async && (Main.IsFallback || EdgeFallback || P->G.NeedBPad);
+  P->Pool.reserve(WorkspacePoolCap);
+  auto WS = std::make_unique<detail::GemmWorkspace>();
+  WS->ensure(P->G);
+  P->Pool.push_back(std::move(WS));
+  return P;
+}
+
+void Engine::Impl::evictLocked() {
+  while (static_cast<int64_t>(Cache.size()) > Cap) {
+    auto Victim = Cache.end();
+    uint64_t Oldest = ~uint64_t{0};
+    for (auto It = Cache.begin(); It != Cache.end(); ++It) {
+      if (!It->second.Plan || It->second.Building)
+        continue;
+      uint64_t Use = It->second.LastUse.load(std::memory_order_relaxed);
+      if (Use < Oldest) {
+        Oldest = Use;
+        Victim = It;
+      }
+    }
+    if (Victim == Cache.end())
+      return; // everything in flight; over-cap is transient
+    Cache.erase(Victim);
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<ExecPlan> Engine::Impl::lookupOrBuild(const PlanKey &Key,
+                                                      Error &Err) {
+  {
+    EXO_OBS_SPAN("plan.lookup");
+    std::shared_lock<std::shared_mutex> SL(Mu);
+    auto It = Cache.find(Key);
+    if (It != Cache.end() && It->second.Plan) {
+      It->second.LastUse.store(
+          Tick.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      obs::mark("plan.hit");
+      return It->second.Plan;
+    }
+  }
+
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> UL(Mu);
+  for (;;) {
+    CacheEntry &E = Cache[Key];
+    if (E.Plan) {
+      // Built while we waited for the lock (or by the builder we waited
+      // on) — a miss in the counters, but no duplicate work.
+      E.LastUse.store(Tick.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+      return E.Plan;
+    }
+    if (!E.BuildError.empty()) {
+      Err = errorf("%s", E.BuildError.c_str());
+      return nullptr;
+    }
+    if (!E.Building) {
+      E.Building = true;
+      break;
+    }
+    Cv.wait(UL);
+  }
+  UL.unlock();
+
+  Expected<std::shared_ptr<ExecPlan>> Built = build(Key);
+
+  UL.lock();
+  CacheEntry &E = Cache[Key];
+  E.Building = false;
+  if (!Built) {
+    // Failures are sticky: a shape with no runnable kernel fails the same
+    // way on every retry, and re-planning per call would hide that behind
+    // repeated JIT attempts.
+    E.BuildError = Built.message();
+    Err = errorf("%s", E.BuildError.c_str());
+    Cv.notify_all();
+    return nullptr;
+  }
+  E.Plan = Built.take();
+  E.LastUse.store(Tick.fetch_add(1, std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  Builds.fetch_add(1, std::memory_order_relaxed);
+  evictLocked();
+  Cv.notify_all();
+  return E.Plan;
+}
+
+void Engine::Impl::maybeRebuild(const PlanKey &Key,
+                                const std::shared_ptr<ExecPlan> &Old) {
+  bool Claim = false;
+  if (!Old->Rebuilding.compare_exchange_strong(Claim, true))
+    return; // another caller is already re-resolving this plan
+  Expected<std::shared_ptr<ExecPlan>> Built = build(Key);
+  if (Built) {
+    std::unique_lock<std::shared_mutex> UL(Mu);
+    auto It = Cache.find(Key);
+    if (It != Cache.end() && It->second.Plan == Old) {
+      It->second.Plan = Built.take();
+      Rebuilds.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // A failed rebuild keeps serving the provisional plan; the next period
+  // retries.
+  Old->Rebuilding.store(false);
+}
+
+Engine::Engine() : Engine(EngineConfig{}) {}
+
+Engine::Engine(const EngineConfig &Cfg) : I(new Impl) {
+  I->Cfg = Cfg;
+  I->CacheOn = Cfg.PlanCache >= 0 ? Cfg.PlanCache != 0 : envPlanCacheOn();
+  I->Cap = Cfg.PlanCacheCap >= 0 ? std::max<int64_t>(Cfg.PlanCacheCap, 1)
+                                 : envPlanCacheCap();
+  switch (Cfg.Series) {
+  case EngineSeries::Auto:
+    I->Name = "auto";
+    I->Fixed = std::make_shared<FixedProvider>(blisKernel(), "blis");
+    break;
+  case EngineSeries::Exo:
+    I->Name = "exo";
+    break;
+  case EngineSeries::HandVector:
+    I->Name = "hand-vector";
+    I->Fixed =
+        std::make_shared<FixedProvider>(handVectorKernel(), "hand-vector");
+    break;
+  case EngineSeries::Blis:
+    I->Name = "blis";
+    I->Fixed = std::make_shared<FixedProvider>(blisKernel(), "blis");
+    break;
+  case EngineSeries::BlisPrefetch:
+    I->Name = "blis-prefetch";
+    I->Fixed = std::make_shared<FixedProvider>(blisKernelPrefetch(),
+                                               "blis-prefetch");
+    break;
+  case EngineSeries::Custom:
+    I->Name = Cfg.Provider ? Cfg.Provider->name() : "custom";
+    I->Fixed = Cfg.Provider;
+    break;
+  }
+}
+
+Engine::~Engine() { delete I; }
+
+Engine &Engine::global() {
+  static Engine E;
+  return E;
+}
+
+Error Engine::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                    float Alpha, const float *A, int64_t Lda, const float *B,
+                    int64_t Ldb, float Beta, float *C, int64_t Ldc) {
+  if (M < 0 || N < 0 || K < 0)
+    return errorf("gemm engine: negative dimension");
+  // Degenerate quick returns, ahead of the plan cache: trivial calls never
+  // plan, allocate, or read A/B (BLAS semantics; beta == 0 overwrites).
+  if (M == 0 || N == 0) {
+    I->Degenerate.fetch_add(1, std::memory_order_relaxed);
+    return Error::success();
+  }
+  if (K == 0 || Alpha == 0.0f) {
+    I->Degenerate.fetch_add(1, std::memory_order_relaxed);
+    detail::scaleByBeta(M, N, Beta, C, Ldc);
+    return Error::success();
+  }
+  if (I->Cfg.Series == EngineSeries::Custom && !I->Fixed)
+    return errorf("gemm engine: custom series without a provider");
+
+  PlanKey Key{static_cast<uint8_t>(TA),
+              static_cast<uint8_t>(TB),
+              M,
+              N,
+              K,
+              resolveGemmThreads(I->Cfg.Threads),
+              I->Cfg.Isa};
+
+  std::shared_ptr<ExecPlan> Plan;
+  if (!I->CacheOn) {
+    I->Misses.fetch_add(1, std::memory_order_relaxed);
+    Expected<std::shared_ptr<ExecPlan>> Built = I->build(Key);
+    if (!Built)
+      return Built.takeError();
+    I->Builds.fetch_add(1, std::memory_order_relaxed);
+    Plan = Built.take();
+  } else {
+    Error Err = Error::success();
+    Plan = I->lookupOrBuild(Key, Err);
+    if (!Plan)
+      return Err;
+  }
+
+  if (Plan->Provisional &&
+      (Plan->Calls.fetch_add(1, std::memory_order_relaxed) + 1) %
+              RebuildPeriod ==
+          0)
+    I->maybeRebuild(Key, Plan);
+
+  std::unique_ptr<detail::GemmWorkspace> WS = Plan->acquire();
+  if (!WS) {
+    WS = std::make_unique<detail::GemmWorkspace>();
+    WS->ensure(Plan->G);
+  }
+  detail::executeGemm(Plan->G,
+                      detail::GemmCall{TA, TB, M, N, K, Alpha, A, Lda, B,
+                                       Ldb, Beta, C, Ldc},
+                      *WS);
+  Plan->release(std::move(WS));
+  return Error::success();
+}
+
+Expected<PlanChoice> Engine::planFor(Trans TA, Trans TB, int64_t M,
+                                     int64_t N, int64_t K) {
+  if (M <= 0 || N <= 0 || K <= 0)
+    return errorf("gemm engine: planFor needs positive dimensions");
+  PlanKey Key{static_cast<uint8_t>(TA),
+              static_cast<uint8_t>(TB),
+              M,
+              N,
+              K,
+              resolveGemmThreads(I->Cfg.Threads),
+              I->Cfg.Isa};
+  if (!I->CacheOn) {
+    Expected<std::shared_ptr<ExecPlan>> Built = I->build(Key);
+    if (!Built)
+      return Built.takeError();
+    return Built.take()->Choice;
+  }
+  Error Err = Error::success();
+  std::shared_ptr<ExecPlan> Plan = I->lookupOrBuild(Key, Err);
+  if (!Plan)
+    return std::move(Err);
+  return Plan->Choice;
+}
+
+Error Engine::warm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                   bool Wait) {
+  if (M <= 0 || N <= 0 || K <= 0)
+    return Error::success(); // degenerate shapes never plan
+  Expected<PlanChoice> Choice = planFor(TA, TB, M, N, K);
+  if (!Choice)
+    return Choice.takeError();
+  const bool WantExo = I->Cfg.Series == EngineSeries::Exo ||
+                       (I->Cfg.Series == EngineSeries::Auto &&
+                        std::strcmp(Choice->Source, "fallback") != 0);
+  if (!WantExo)
+    return Error::success(); // fixed kernels have nothing to precompile
+  // Prefetch the plan's whole kernel family (main + the edge widths this
+  // problem dispatches) so the disk cache serves every later process.
+  const exo::IsaLib *PIsa =
+      I->Cfg.Isa ? I->Cfg.Isa : ukr::bestIsaForMr(Choice->MR);
+  std::vector<ukr::UkrConfig> Family;
+  Family.push_back(ukr::shapeConfig(Choice->MR, Choice->NR, PIsa,
+                                    I->Cfg.UnrollCompute));
+  BlockSizes Bl = analyticalBlockSizes(CacheConfig::host(), Choice->MR,
+                                       Choice->NR, sizeof(float));
+  auto RoundUp = [](int64_t V, int64_t Q) { return ((V + Q - 1) / Q) * Q; };
+  const int64_t Nc =
+      std::min(std::max<int64_t>(Bl.NC, Choice->NR), RoundUp(N, Choice->NR));
+  std::vector<bool> Seen(static_cast<size_t>(Choice->NR), false);
+  for (int64_t Jc = 0; Jc < N; Jc += Nc) {
+    int64_t W = std::min(Nc, N - Jc) % Choice->NR;
+    if (W == 0 || Seen[W])
+      continue;
+    Seen[W] = true;
+    Family.push_back(
+        ukr::shapeConfig(Choice->MR, W, PIsa, I->Cfg.UnrollCompute));
+  }
+  ukr::KernelService::global().prefetchBatch(Family);
+  if (Wait)
+    ukr::KernelService::global().wait();
+  return Error::success();
+}
+
+void Engine::clearPlanCache() {
+  std::unique_lock<std::shared_mutex> UL(I->Mu);
+  for (auto It = I->Cache.begin(); It != I->Cache.end();) {
+    if (It->second.Building)
+      ++It; // the in-flight builder still owns this entry
+    else
+      It = I->Cache.erase(It);
+  }
+}
+
+size_t Engine::planCount() const {
+  std::shared_lock<std::shared_mutex> SL(I->Mu);
+  size_t N = 0;
+  for (const auto &[Key, E] : I->Cache)
+    if (E.Plan)
+      ++N;
+  return N;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats S;
+  S.Hits = I->Hits.load(std::memory_order_relaxed);
+  S.Misses = I->Misses.load(std::memory_order_relaxed);
+  S.Builds = I->Builds.load(std::memory_order_relaxed);
+  S.Rebuilds = I->Rebuilds.load(std::memory_order_relaxed);
+  S.Evictions = I->Evictions.load(std::memory_order_relaxed);
+  S.Degenerate = I->Degenerate.load(std::memory_order_relaxed);
+  return S;
+}
+
+void Engine::resetStats() {
+  I->Hits.store(0);
+  I->Misses.store(0);
+  I->Builds.store(0);
+  I->Rebuilds.store(0);
+  I->Evictions.store(0);
+  I->Degenerate.store(0);
+}
+
+const char *Engine::seriesName() const { return I->Name; }

@@ -1,0 +1,162 @@
+//===- Engine.h - Plan-once/execute-many GEMM front door ------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-path entry point: `Engine::sgemm` looks like a BLAS call,
+/// but behind it every distinct problem shape is planned once — micro-
+/// kernel tile chosen by the planner (Planner.h), kernels resolved through
+/// the provider, blocking clamped, team factorized, edge kernels probed —
+/// and the resulting ExecPlan is cached and re-executed on every later
+/// call. The paper's thesis (specialize the micro-kernel to the problem,
+/// §IV) moves from bench-harness code into the dispatch layer.
+///
+/// Guarantees:
+///   - Results are bitwise identical to the legacy blisGemm/blisGemmT path
+///     for the same (provider, tile, plan): both front doors execute the
+///     exact same detail::executeGemm (enforced by EngineTest's
+///     differential sweep).
+///   - Degenerate calls (m/n/k == 0, alpha == 0) return before touching
+///     the plan cache and never allocate or plan.
+///   - The steady state performs zero heap allocations per call: plans are
+///     cached, workspaces pooled per plan, and team dispatch uses the
+///     ThreadPool's raw-callback form (asserted by engine_alloc_test).
+///
+/// Concurrency: one Engine may serve concurrent callers. Plan lookup takes
+/// a shared lock; a miss builds the plan exactly once per key (concurrent
+/// requesters for the same shape wait rather than duplicate the JIT work).
+///
+/// Knobs: EXO_GEMM_PLAN_CACHE (0 disables caching — plan per call),
+/// EXO_GEMM_PLAN_CACHE_CAP (entry cap, approximate-LRU eviction past it),
+/// EXO_GEMM_PLAN_PRIOR (baseline JSON consulted by the planner); see
+/// docs/KNOBS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEMM_ENGINE_H
+#define GEMM_ENGINE_H
+
+#include "gemm/Gemm.h"
+#include "gemm/Planner.h"
+
+#include <memory>
+
+namespace gemm {
+
+/// How an Engine sources micro-kernels. The fixed series mirror the
+/// paper's baselines; Auto prefers generated kernels and degrades to the
+/// portable BLIS-style kernel when the JIT cannot produce one.
+enum class EngineSeries : uint8_t {
+  Auto,         ///< Exo when the JIT delivers, Blis otherwise
+  Exo,          ///< generated kernel per shape (ExoProvider)
+  HandVector,   ///< the hand-written 8x12 vector kernel ("ALG+NEON")
+  Blis,         ///< the BLIS-style C kernel ("ALG+BLIS")
+  BlisPrefetch, ///< the prefetching variant ("BLIS")
+  Custom,       ///< caller-supplied provider (EngineConfig::Provider)
+};
+
+struct EngineConfig {
+  EngineSeries Series = EngineSeries::Auto;
+  /// Provider for EngineSeries::Custom; shared so cached plans can hold
+  /// the kernels alive past caller scope.
+  std::shared_ptr<KernelProvider> Provider;
+  /// Restricts planner tile candidates to this library's vector width
+  /// (the figure benches keep every series at one width). Part of the
+  /// plan key.
+  const exo::IsaLib *Isa = nullptr;
+  /// Pin the full tile instead of consulting the planner (> 0 both).
+  int64_t ForceMR = 0, ForceNR = 0;
+  /// GemmPlan::Threads semantics: 0 resolves EXO_GEMM_THREADS per call.
+  int64_t Threads = 0;
+  /// Request kernels through KernelService's non-blocking path: cold
+  /// shapes run the portable fallback while the specialized kernel
+  /// compiles, and their provisional plans re-resolve once it lands.
+  bool Async = false;
+  bool SpecializeEdges = true;
+  bool UnrollCompute = false;
+  /// Ablation overrides; unset uses the analytical model / edge probe
+  /// (GemmPlan::standard).
+  std::optional<BlockSizes> Blocks;
+  std::optional<EdgePack> PackMode;
+  /// Plan-cache controls; -1 defers to EXO_GEMM_PLAN_CACHE /
+  /// EXO_GEMM_PLAN_CACHE_CAP (default: on, 256 entries).
+  int PlanCache = -1;
+  int64_t PlanCacheCap = -1;
+  /// Measured-prior baseline for the planner; "" defers to
+  /// EXO_GEMM_PLAN_PRIOR (unset: analytical model only).
+  std::string PriorPath;
+};
+
+/// Plan-cache counters (relaxed; exact under external synchronization).
+struct EngineStats {
+  uint64_t Hits = 0;       ///< calls served by a cached plan
+  uint64_t Misses = 0;     ///< calls that had to build (or wait for) a plan
+  uint64_t Builds = 0;     ///< plans built (exactly one per cached key)
+  uint64_t Rebuilds = 0;   ///< provisional plans re-resolved after warm-up
+  uint64_t Evictions = 0;  ///< plans dropped by the cache cap
+  uint64_t Degenerate = 0; ///< calls answered by the quick return
+};
+
+/// See file comment.
+class Engine {
+public:
+  Engine(); ///< EngineConfig defaults (Auto series).
+  explicit Engine(const EngineConfig &Cfg);
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// The process-wide default-configured Engine (examples, dnn drivers).
+  static Engine &global();
+
+  /// C = alpha * op(A) * op(B) + beta * C, column-major, through the plan
+  /// cache. Identical semantics to blisGemmT (beta == 0 overwrites, A/B
+  /// unread on degenerate calls); fails on negative dimensions or when no
+  /// runnable kernel exists for the shape.
+  exo::Error sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                   float Alpha, const float *A, int64_t Lda, const float *B,
+                   int64_t Ldb, float Beta, float *C, int64_t Ldc);
+
+  /// Non-transposed convenience form.
+  exo::Error sgemm(int64_t M, int64_t N, int64_t K, float Alpha,
+                   const float *A, int64_t Lda, const float *B, int64_t Ldb,
+                   float Beta, float *C, int64_t Ldc) {
+    return sgemm(Trans::None, Trans::None, M, N, K, Alpha, A, Lda, B, Ldb,
+                 Beta, C, Ldc);
+  }
+
+  /// Builds (and caches) the plan for a shape ahead of traffic and
+  /// prefetches its kernel family through KernelService. \p Wait blocks
+  /// until the background builds resolve, so the next sgemm runs fully
+  /// specialized — the `ukr_cachectl warm --shape/--model` path.
+  exo::Error warm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                  bool Wait = true);
+
+  /// Tile + provider the cached (or freshly built) plan for this shape
+  /// uses; builds the plan as a side effect. For tests and bench labels.
+  exo::Expected<PlanChoice> planFor(Trans TA, Trans TB, int64_t M, int64_t N,
+                                    int64_t K);
+
+  /// Drops every cached plan (bench_dispatch's cold-plan series; tests).
+  void clearPlanCache();
+
+  /// Cached plan count.
+  size_t planCount() const;
+
+  EngineStats stats() const;
+  void resetStats();
+
+  /// The active series' display name ("exo", "blis", ...).
+  const char *seriesName() const;
+
+private:
+  struct Impl;
+  Impl *I;
+};
+
+} // namespace gemm
+
+#endif // GEMM_ENGINE_H

@@ -2,6 +2,8 @@
 
 #include "gemm/ExoProvider.h"
 
+#include "gemm/Planner.h"
+
 #include <cstdio>
 
 using namespace gemm;
@@ -16,14 +18,11 @@ std::optional<MicroKernel> ExoProvider::shape(int64_t Mr, int64_t Nr) {
   auto Memo = ShapeCache.find({Mr, Nr});
   if (Memo != ShapeCache.end())
     return Memo->second;
-  ukr::UkrConfig Cfg;
-  Cfg.MR = Mr;
-  Cfg.NR = Nr;
-  Cfg.UnrollCompute = UnrollCompute;
-  // Full tiles use the configured library; edges re-pick per shape.
-  Cfg.Isa = (Mr == MR && Isa) ? Isa : ukr::bestIsaForMr(Mr);
-  if (!Cfg.Isa)
-    Cfg.Style = ukr::FmaStyle::Scalar;
+  // Full tiles use the configured library; edges re-pick per shape via the
+  // shared selection rule (shapeConfig) so provider, planner, and fuzzer
+  // agree.
+  ukr::UkrConfig Cfg =
+      ukr::shapeConfig(Mr, Nr, Mr == MR ? Isa : nullptr, UnrollCompute);
 
   if (Async) {
     // Non-blocking: run whatever the service has right now. A fallback
@@ -33,7 +32,8 @@ std::optional<MicroKernel> ExoProvider::shape(int64_t Mr, int64_t Nr) {
     if (!K || !K->Fn)
       return std::nullopt; // No fallback either: scratch-tile path.
     if (K->IsFallback)
-      return MicroKernel{Mr, Nr, K->Fn, "exo fallback (compiling)"};
+      return MicroKernel{Mr, Nr, K->Fn, "exo fallback (compiling)",
+                         /*IsFallback=*/true};
     std::optional<MicroKernel> Out =
         MicroKernel{Mr, Nr, K->Fn, "exo generated"};
     ShapeCache.emplace(std::make_pair(Mr, Nr), Out);
@@ -65,49 +65,8 @@ std::optional<MicroKernel> ExoProvider::edge(int64_t MrEff, int64_t NrEff) {
 
 std::pair<int64_t, int64_t>
 ExoProvider::pickShape(int64_t M, int64_t N, const exo::IsaLib *ForceIsa) {
-  // Candidate full-tile shapes (host-vectorizable MR values).
-  static const std::pair<int64_t, int64_t> Candidates[] = {
-      {8, 12}, {8, 8}, {8, 6}, {8, 4},  {16, 12}, {16, 8},
-      {16, 6}, {16, 4}, {4, 12}, {4, 8}, {4, 4},  {24, 4},
-  };
-  // Estimated flops-per-load of an a x b tile update: 2ab FMs per (a + b)
-  // elements streamed from the packed panels.
-  auto Eff = [](int64_t A, int64_t B) {
-    if (A <= 0 || B <= 0)
-      return 0.0;
-    return 2.0 * static_cast<double>(A) * static_cast<double>(B) /
-           static_cast<double>(A + B);
-  };
-
-  std::pair<int64_t, int64_t> Best = {8, 12};
-  double BestScore = -1;
-  for (auto [Mr, Nr] : Candidates) {
-    const exo::IsaLib *Isa = ForceIsa ? ForceIsa : ukr::bestIsaForMr(Mr);
-    if (!Isa || Mr % Isa->lanes(exo::ScalarKind::F32) != 0)
-      continue;
-    // Register-pressure sanity: C tile + one A register + one broadcast
-    // must fit 16 vector registers at the chosen width.
-    int64_t Vecs = (Mr / Isa->lanes(exo::ScalarKind::F32));
-    if (Nr * Vecs + Vecs + 1 > 16)
-      continue;
-
-    int64_t MEdge = M % Mr, NEdge = N % Nr;
-    double FullM = static_cast<double>(M - MEdge) / M;
-    double FullN = static_cast<double>(N - NEdge) / N;
-    double EdgeM = static_cast<double>(MEdge) / M;
-    double EdgeN = static_cast<double>(NEdge) / N;
-    // Edge regions pay dispatch/packing overhead beyond their lower
-    // flops-per-load, so they are further discounted; exact divisors win
-    // near-ties.
-    const double EdgeDiscount = 0.6;
-    double Score = Eff(Mr, Nr) * FullM * FullN +
-                   EdgeDiscount * (Eff(MEdge, Nr) * EdgeM * FullN +
-                                   Eff(Mr, NEdge) * FullM * EdgeN +
-                                   Eff(MEdge, NEdge) * EdgeM * EdgeN);
-    if (Score > BestScore) {
-      BestScore = Score;
-      Best = {Mr, Nr};
-    }
-  }
-  return Best;
+  // The heuristic lives with the Engine planner now (Planner.h) so the
+  // plan cache, this provider, and the fuzzer share one selection rule;
+  // K == 0 keeps the historical area-only scoring of this entry point.
+  return pickTileForProblem(M, N, /*K=*/0, ForceIsa);
 }

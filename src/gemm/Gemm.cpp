@@ -19,10 +19,275 @@ GemmPlan GemmPlan::standard(KernelProvider &P) {
       analyticalBlockSizes(CacheConfig::host(), K.MR, K.NR, sizeof(float));
   // The probe only picks the *preferred* mode; a provider whose edge family
   // turns out to be partial at run time degrades per-strip to the re-padded
-  // scratch path inside blisGemmT instead of failing (see the driver).
+  // scratch path inside the executor instead of failing (see executeGemm).
   Plan.PackMode = P.edge(K.MR, 1).has_value() ? EdgePack::Tight
                                               : EdgePack::ZeroPad;
   return Plan;
+}
+
+void detail::scaleByBeta(int64_t M, int64_t N, float Beta, float *C,
+                         int64_t Ldc) {
+  // Beta == 0 must *overwrite*, not scale: 0 * NaN == NaN, and serving
+  // workloads hand in pooled, uninitialized C buffers (the classic BLAS
+  // beta-zero rule).
+  for (int64_t J = 0; J < N; ++J) {
+    float *Col = C + J * Ldc;
+    if (Beta == 0.0f)
+      std::fill(Col, Col + M, 0.0f);
+    else
+      for (int64_t I = 0; I < M; ++I)
+        Col[I] *= Beta;
+  }
+}
+
+detail::GemmGeometry detail::deriveGeometry(const GemmPlan &Plan,
+                                            const MicroKernel &Main,
+                                            int64_t M, int64_t N, int64_t K) {
+  GemmGeometry G;
+  G.Main = Main;
+  G.PackMode = Plan.PackMode;
+  G.Mr = Main.MR;
+  G.Nr = Main.NR;
+  // Clamp blocks to the problem so pack buffers stay proportionate.
+  auto RoundUp = [](int64_t V, int64_t Q) { return ((V + Q - 1) / Q) * Q; };
+  G.Mc = std::min(std::max<int64_t>(Plan.Blocks.MC, G.Mr), RoundUp(M, G.Mr));
+  G.Kc =
+      std::min(std::max<int64_t>(Plan.Blocks.KC, 1), std::max<int64_t>(K, 1));
+  G.Nc = std::min(std::max<int64_t>(Plan.Blocks.NC, G.Nr), RoundUp(N, G.Nr));
+
+  // Team size and its BLIS-style 2D factorization: loop 3 (ic blocks) is
+  // the primary axis; when there are fewer ic blocks than threads, the
+  // remainder parallelizes loop 4 (jr strips) within each ic team. Tic is
+  // the largest divisor of T fitting the ic block count, so every thread
+  // lands in the grid.
+  G.NIc = (M + G.Mc - 1) / G.Mc;
+  const int64_t NPanMax = (std::min(G.Nc, N) + G.Nr - 1) / G.Nr;
+  G.T = std::max<int64_t>(
+      1, std::min(resolveGemmThreads(Plan.Threads), G.NIc * NPanMax));
+  G.Tic = 1;
+  for (int64_t D = 1; D <= G.T; ++D)
+    if (G.T % D == 0 && D <= G.NIc)
+      G.Tic = D;
+  G.Tjr = G.T / G.Tic;
+  return G;
+}
+
+void detail::resolveEdgeKernels(
+    KernelProvider &Provider, GemmGeometry &G, int64_t N,
+    std::vector<std::optional<MicroKernel>> &Storage) {
+  // Resolve every strip kernel up front, on the calling thread: the worker
+  // team must never call into the provider (whose kernel cache may invoke
+  // the JIT), and a fixed kernel per width keeps one GEMM call bitwise
+  // invariant under the thread count. A width whose specialized kernel is
+  // unavailable (partial edge family, or an async provider still
+  // compiling) stays nullopt and takes the re-padded scratch path.
+  Storage.assign(static_cast<size_t>(G.Nr), std::nullopt);
+  G.NeedBPad = false;
+  if (G.PackMode == EdgePack::Tight) {
+    std::vector<bool> Probed(G.Nr, false);
+    for (int64_t Jc = 0; Jc < N; Jc += G.Nc) {
+      int64_t W = std::min(G.Nc, N - Jc) % G.Nr;
+      if (W == 0 || Probed[W])
+        continue;
+      Probed[W] = true;
+      std::optional<MicroKernel> E = Provider.edge(G.Mr, W);
+      if (E && E->Fn)
+        Storage[W] = *E;
+      else
+        G.NeedBPad = true;
+    }
+  }
+  G.EdgeKernels = Storage.data();
+}
+
+void detail::GemmWorkspace::ensure(const GemmGeometry &G) {
+  // Shared packed-B block (written cooperatively, panel-interleaved, read
+  // by everyone after the barrier) and per-thread working memory: A pack
+  // buffer, scratch tile, and — only when a Tight-mode width lacks its
+  // kernel — a re-padded B panel. Every resize is a no-op when the
+  // workspace already fits this geometry (the Engine's pooled hot path).
+  BBuf.resize(((G.Nc + G.Nr - 1) / G.Nr) * G.Kc * G.Nr);
+  ABufs.resize(G.T);
+  Scratches.resize(G.T);
+  BPads.resize(G.T);
+  for (int64_t I = 0; I < G.T; ++I) {
+    ABufs[I].resize(((G.Mc + G.Mr - 1) / G.Mr) * G.Kc * G.Mr);
+    Scratches[I].resize(G.Mr * G.Nr);
+    BPads[I].resize(G.NeedBPad ? G.Kc * G.Nr : 0);
+  }
+}
+
+namespace {
+
+/// Per-call context handed to the raw ThreadPool callback: pointers only,
+/// so dispatching a team performs no allocation.
+struct TeamJob {
+  const detail::GemmGeometry *G;
+  const detail::GemmCall *Call;
+  detail::GemmWorkspace *WS;
+  TeamBarrier *Bar;
+};
+
+void runTeamMember(void *Ctx, int64_t Tid) {
+  const TeamJob &Job = *static_cast<TeamJob *>(Ctx);
+  const detail::GemmGeometry &G = *Job.G;
+  const detail::GemmCall &Cl = *Job.Call;
+  detail::GemmWorkspace &WS = *Job.WS;
+  const int64_t Mr = G.Mr, Nr = G.Nr, Mc = G.Mc, Kc = G.Kc, Nc = G.Nc;
+  const int64_t NIc = G.NIc, T = G.T, Tic = G.Tic, Tjr = G.Tjr;
+  const int64_t M = Cl.M, N = Cl.N, K = Cl.K;
+  const MicroKernel &Main = G.Main;
+
+  // Grid position: ic team owns row blocks BIdx % Tic == IcTeam; within
+  // a team, jr strips (and pre-scale columns) split by JrIdx.
+  const int64_t IcTeam = Tid / Tjr, JrIdx = Tid % Tjr;
+  float *ABuf = WS.ABufs[Tid].data();
+  float *Scratch = WS.Scratches[Tid].data();
+  float *BPad = WS.BPads[Tid].empty() ? nullptr : WS.BPads[Tid].data();
+
+  for (int64_t Jc = 0; Jc < N; Jc += Nc) {            // Loop L1
+    const int64_t NcEff = std::min(Nc, N - Jc);
+    const int64_t NPan = (NcEff + Nr - 1) / Nr;
+    for (int64_t Pc = 0; Pc < K; Pc += Kc) {          // Loop L2
+      const int64_t KcEff = std::min(Kc, K - Pc);
+      // Cooperative packB: panel P goes to thread P % T. Packing panel
+      // by panel reproduces the monolithic layout exactly (slot stride
+      // KcEff * Nr; only the last panel can be partial).
+      {
+        EXO_OBS_SPAN("gemm.packB");
+        for (int64_t P = Tid; P < NPan; P += T) {
+        const int64_t J0 = Jc + P * Nr;
+        const int64_t W = std::min(Nr, NcEff - P * Nr);
+        float *Dst = WS.BBuf.data() + P * KcEff * Nr;
+        // Element (k, j) of the logical block; transposition swaps
+        // strides.
+        if (Cl.TB == Trans::None)
+          packBStrided(Cl.B + Pc + J0 * Cl.Ldb, 1, Cl.Ldb, KcEff, W, Nr,
+                       /*Alpha=*/1.0f, G.PackMode, Dst);
+        else
+          packBStrided(Cl.B + J0 + Pc * Cl.Ldb, Cl.Ldb, 1, KcEff, W, Nr,
+                       /*Alpha=*/1.0f, G.PackMode, Dst);
+        }
+      }
+
+      // Apply beta once per (jc) column block, before the first update.
+      // Beta == 0 overwrites (see scaleByBeta). Ownership: rows by ic
+      // team, columns round-robin within the team — every C element has
+      // exactly one writer.
+      if (Pc == 0 && Cl.Beta != 1.0f) {
+        EXO_OBS_SPAN("gemm.beta");
+        for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) {
+          const int64_t Ic = BIdx * Mc;
+          const int64_t McEff = std::min(Mc, M - Ic);
+          for (int64_t J = JrIdx; J < NcEff; J += Tjr) {
+            float *Col = Cl.C + Ic + (Jc + J) * Cl.Ldc;
+            if (Cl.Beta == 0.0f)
+              std::fill(Col, Col + McEff, 0.0f);
+            else
+              for (int64_t I = 0; I < McEff; ++I)
+                Col[I] *= Cl.Beta;
+          }
+        }
+      }
+      if (T > 1) {
+        EXO_OBS_SPAN("gemm.barrier");
+        Job.Bar->arriveAndWait(); // packB + pre-scale done before update
+      }
+
+      for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) { // Loop L3
+        const int64_t Ic = BIdx * Mc;
+        const int64_t McEff = std::min(Mc, M - Ic);
+        // A panels are always zero-padded to the full Mr: edge kernels
+        // keep the full vector width along m and the driver masks the
+        // copy-out instead (rows >= mr_eff contribute zeros). Each
+        // thread packs into its own buffer; members of the same ic team
+        // duplicate the pack, trading redundant bandwidth for zero
+        // intra-team synchronization.
+        {
+          EXO_OBS_SPAN("gemm.packA");
+          if (Cl.TA == Trans::None)
+            packAStrided(Cl.A + Ic + Pc * Cl.Lda, 1, Cl.Lda, McEff, KcEff,
+                         Mr, Cl.Alpha, EdgePack::ZeroPad, ABuf);
+          else
+            packAStrided(Cl.A + Pc + Ic * Cl.Lda, Cl.Lda, 1, McEff, KcEff,
+                         Mr, Cl.Alpha, EdgePack::ZeroPad, ABuf);
+        }
+
+        EXO_OBS_SPAN("gemm.ukr");
+        for (int64_t P = JrIdx; P < NPan; P += Tjr) {  // Loop L4
+          const int64_t Jr = P * Nr;
+          const int64_t NrEff = std::min(Nr, NcEff - Jr);
+          const float *BPanel = WS.BBuf.data() + P * KcEff * Nr;
+          // The edge kernel depends only on the strip width; resolved
+          // once per plan (or per legacy call). A Tight-mode strip
+          // without its specialized kernel re-pads the tight panel and
+          // runs the monolithic kernel through the scratch tile — a
+          // partial edge family degrades instead of failing.
+          const MicroKernel *Strip = &Main;
+          bool Padded = G.PackMode == EdgePack::ZeroPad;
+          if (NrEff < Nr && G.PackMode == EdgePack::Tight) {
+            if (G.EdgeKernels[NrEff]) {
+              Strip = &*G.EdgeKernels[NrEff];
+            } else {
+              for (int64_t Kk = 0; Kk < KcEff; ++Kk) {
+                float *Row = BPad + Kk * Nr;
+                for (int64_t J = 0; J < NrEff; ++J)
+                  Row[J] = BPanel[Kk * NrEff + J];
+                std::fill(Row + NrEff, Row + Nr, 0.0f);
+              }
+              BPanel = BPad;
+              Padded = true;
+            }
+          }
+          for (int64_t Ir = 0; Ir < McEff; Ir += Mr) { // Loop L5
+            const int64_t MrEff = std::min(Mr, McEff - Ir);
+            const float *APanel = ABuf + (Ir / Mr) * KcEff * Mr;
+            float *CTile = Cl.C + (Ic + Ir) + (Jc + Jr) * Cl.Ldc;
+
+            if (MrEff == Mr && NrEff == Nr) {
+              Main.Fn(KcEff, Cl.Ldc, APanel, BPanel, CTile);
+              continue;
+            }
+            if (!Padded && MrEff == Mr) {
+              // Specialized kernel at full vector width along m and the
+              // exact nr_eff along n (B panels are tight).
+              Strip->Fn(KcEff, Cl.Ldc, APanel, BPanel, CTile);
+              continue;
+            }
+            // Scratch tile: the kernel (specialized when the m edge is
+            // short, monolithic on the padded path) computes into a
+            // zero-initialized Mr x Nr tile — the A panel's padded rows
+            // are zero — and the valid window is accumulated back.
+            const MicroKernel *Kern = Padded ? &Main : Strip;
+            std::fill(Scratch, Scratch + Mr * Nr, 0.0f);
+            Kern->Fn(KcEff, Mr, APanel, BPanel, Scratch);
+            for (int64_t J = 0; J < NrEff; ++J)
+              for (int64_t I = 0; I < MrEff; ++I)
+                CTile[I + J * Cl.Ldc] += Scratch[J * Mr + I];
+          }
+        }
+      }
+      if (T > 1) {
+        EXO_OBS_SPAN("gemm.barrier");
+        Job.Bar->arriveAndWait(); // BBuf (and C columns) recycle next round
+      }
+    }
+  }
+}
+
+} // namespace
+
+void detail::executeGemm(const GemmGeometry &G, const GemmCall &Call,
+                         GemmWorkspace &WS) {
+  // Tracing (see docs/OBSERVABILITY.md): spans attribute time to the
+  // packA / packB / micro-kernel / barrier phases at block granularity —
+  // coarse enough that an *enabled* trace stays cheap, and each Span
+  // construction is a single relaxed load when EXO_OBS is unset. The
+  // spans only observe; results are bitwise identical either way.
+  EXO_OBS_SPAN("gemm.call");
+  TeamBarrier Bar(G.T);
+  TeamJob Job{&G, &Call, &WS, &Bar};
+  ThreadPool::global().parallel(G.T, &runTeamMember, &Job);
 }
 
 Error gemm::blisGemm(const GemmPlan &Plan, KernelProvider &Provider,
@@ -45,18 +310,9 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
 
   // K == 0 and alpha == 0 both degenerate to a beta scaling: the update
   // term is empty (or scaled away), and per BLAS semantics A and B are
-  // never read — callers may legally pass null. Beta == 0 must *overwrite*,
-  // not scale: 0 * NaN == NaN, and serving workloads hand in pooled,
-  // uninitialized C buffers (the classic BLAS beta-zero rule).
+  // never read — callers may legally pass null.
   if (K == 0 || Alpha == 0.0f) {
-    for (int64_t J = 0; J < N; ++J) {
-      float *Col = C + J * Ldc;
-      if (Beta == 0.0f)
-        std::fill(Col, Col + M, 0.0f);
-      else
-        for (int64_t I = 0; I < M; ++I)
-          Col[I] *= Beta;
-    }
+    detail::scaleByBeta(M, N, Beta, C, Ldc);
     return Error::success();
   }
 
@@ -64,213 +320,15 @@ Error gemm::blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
   if (!Main.Fn)
     return errorf("gemm: provider '%s' has no runnable kernel",
                   Provider.name());
-  const int64_t Mr = Main.MR, Nr = Main.NR;
-  // Clamp blocks to the problem so pack buffers stay proportionate.
-  auto RoundUp = [](int64_t V, int64_t Q) { return ((V + Q - 1) / Q) * Q; };
-  const int64_t Mc =
-      std::min(std::max<int64_t>(Plan.Blocks.MC, Mr), RoundUp(M, Mr));
-  const int64_t Kc =
-      std::min(std::max<int64_t>(Plan.Blocks.KC, 1), std::max<int64_t>(K, 1));
-  const int64_t Nc =
-      std::min(std::max<int64_t>(Plan.Blocks.NC, Nr), RoundUp(N, Nr));
 
-  // Resolve every strip kernel up front, on the calling thread: the worker
-  // team must never call into the provider (whose kernel cache may invoke
-  // the JIT), and a fixed kernel per width keeps one GEMM call bitwise
-  // invariant under the thread count. A width whose specialized kernel is
-  // unavailable (partial edge family, or an async provider still
-  // compiling) stays nullopt and takes the re-padded scratch path below.
-  std::vector<std::optional<MicroKernel>> EdgeKernels(Nr);
-  bool NeedBPad = false;
-  if (Plan.PackMode == EdgePack::Tight) {
-    std::vector<bool> Probed(Nr, false);
-    for (int64_t Jc = 0; Jc < N; Jc += Nc) {
-      int64_t W = std::min(Nc, N - Jc) % Nr;
-      if (W == 0 || Probed[W])
-        continue;
-      Probed[W] = true;
-      std::optional<MicroKernel> E = Provider.edge(Mr, W);
-      if (E && E->Fn)
-        EdgeKernels[W] = *E;
-      else
-        NeedBPad = true;
-    }
-  }
-
-  // Team size and its BLIS-style 2D factorization: loop 3 (ic blocks) is
-  // the primary axis; when there are fewer ic blocks than threads, the
-  // remainder parallelizes loop 4 (jr strips) within each ic team. Tic is
-  // the largest divisor of T fitting the ic block count, so every thread
-  // lands in the grid.
-  const int64_t NIc = (M + Mc - 1) / Mc;
-  const int64_t NPanMax = (std::min(Nc, N) + Nr - 1) / Nr;
-  int64_t T = std::max<int64_t>(
-      1, std::min(resolveGemmThreads(Plan.Threads), NIc * NPanMax));
-  int64_t Tic = 1;
-  for (int64_t D = 1; D <= T; ++D)
-    if (T % D == 0 && D <= NIc)
-      Tic = D;
-  const int64_t Tjr = T / Tic;
-
-  // Shared packed-B block (written cooperatively, panel-interleaved, read
-  // by everyone after the barrier) and per-thread working memory: A pack
-  // buffer, scratch tile, and — only when a Tight-mode width lacks its
-  // kernel — a re-padded B panel.
-  std::vector<float> BBuf(((Nc + Nr - 1) / Nr) * Kc * Nr);
-  std::vector<std::vector<float>> ABufs(T), Scratches(T), BPads(T);
-  for (int64_t I = 0; I < T; ++I) {
-    ABufs[I].resize(((Mc + Mr - 1) / Mr) * Kc * Mr);
-    Scratches[I].resize(Mr * Nr);
-    if (NeedBPad)
-      BPads[I].resize(Kc * Nr);
-  }
-  TeamBarrier Bar(T);
-
-  // Tracing (see docs/OBSERVABILITY.md): spans attribute time to the
-  // packA / packB / micro-kernel / barrier phases at block granularity —
-  // coarse enough that an *enabled* trace stays cheap, and each Span
-  // construction below is a single relaxed load when EXO_OBS is unset.
-  // The spans only observe; results are bitwise identical either way.
-  EXO_OBS_SPAN("gemm.call");
-
-  auto Body = [&](int64_t Tid) {
-    // Grid position: ic team owns row blocks BIdx % Tic == IcTeam; within
-    // a team, jr strips (and pre-scale columns) split by JrIdx.
-    const int64_t IcTeam = Tid / Tjr, JrIdx = Tid % Tjr;
-    float *ABuf = ABufs[Tid].data();
-    float *Scratch = Scratches[Tid].data();
-    float *BPad = BPads[Tid].empty() ? nullptr : BPads[Tid].data();
-
-    for (int64_t Jc = 0; Jc < N; Jc += Nc) {            // Loop L1
-      const int64_t NcEff = std::min(Nc, N - Jc);
-      const int64_t NPan = (NcEff + Nr - 1) / Nr;
-      for (int64_t Pc = 0; Pc < K; Pc += Kc) {          // Loop L2
-        const int64_t KcEff = std::min(Kc, K - Pc);
-        // Cooperative packB: panel P goes to thread P % T. Packing panel
-        // by panel reproduces the monolithic layout exactly (slot stride
-        // KcEff * Nr; only the last panel can be partial).
-        {
-          EXO_OBS_SPAN("gemm.packB");
-          for (int64_t P = Tid; P < NPan; P += T) {
-          const int64_t J0 = Jc + P * Nr;
-          const int64_t W = std::min(Nr, NcEff - P * Nr);
-          float *Dst = BBuf.data() + P * KcEff * Nr;
-          // Element (k, j) of the logical block; transposition swaps
-          // strides.
-          if (TB == Trans::None)
-            packBStrided(B + Pc + J0 * Ldb, 1, Ldb, KcEff, W, Nr,
-                         /*Alpha=*/1.0f, Plan.PackMode, Dst);
-          else
-            packBStrided(B + J0 + Pc * Ldb, Ldb, 1, KcEff, W, Nr,
-                         /*Alpha=*/1.0f, Plan.PackMode, Dst);
-          }
-        }
-
-        // Apply beta once per (jc) column block, before the first update.
-        // Beta == 0 overwrites (see the K == 0 comment). Ownership: rows
-        // by ic team, columns round-robin within the team — every C
-        // element has exactly one writer.
-        if (Pc == 0 && Beta != 1.0f) {
-          EXO_OBS_SPAN("gemm.beta");
-          for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) {
-            const int64_t Ic = BIdx * Mc;
-            const int64_t McEff = std::min(Mc, M - Ic);
-            for (int64_t J = JrIdx; J < NcEff; J += Tjr) {
-              float *Col = C + Ic + (Jc + J) * Ldc;
-              if (Beta == 0.0f)
-                std::fill(Col, Col + McEff, 0.0f);
-              else
-                for (int64_t I = 0; I < McEff; ++I)
-                  Col[I] *= Beta;
-            }
-          }
-        }
-        if (T > 1) {
-          EXO_OBS_SPAN("gemm.barrier");
-          Bar.arriveAndWait(); // packB + pre-scale done before any update
-        }
-
-        for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) { // Loop L3
-          const int64_t Ic = BIdx * Mc;
-          const int64_t McEff = std::min(Mc, M - Ic);
-          // A panels are always zero-padded to the full Mr: edge kernels
-          // keep the full vector width along m and the driver masks the
-          // copy-out instead (rows >= mr_eff contribute zeros). Each
-          // thread packs into its own buffer; members of the same ic team
-          // duplicate the pack, trading redundant bandwidth for zero
-          // intra-team synchronization.
-          {
-            EXO_OBS_SPAN("gemm.packA");
-            if (TA == Trans::None)
-              packAStrided(A + Ic + Pc * Lda, 1, Lda, McEff, KcEff, Mr,
-                           Alpha, EdgePack::ZeroPad, ABuf);
-            else
-              packAStrided(A + Pc + Ic * Lda, Lda, 1, McEff, KcEff, Mr,
-                           Alpha, EdgePack::ZeroPad, ABuf);
-          }
-
-          EXO_OBS_SPAN("gemm.ukr");
-          for (int64_t P = JrIdx; P < NPan; P += Tjr) {  // Loop L4
-            const int64_t Jr = P * Nr;
-            const int64_t NrEff = std::min(Nr, NcEff - Jr);
-            const float *BPanel = BBuf.data() + P * KcEff * Nr;
-            // The edge kernel depends only on the strip width; resolved
-            // once per call above. A Tight-mode strip without its
-            // specialized kernel re-pads the tight panel and runs the
-            // monolithic kernel through the scratch tile — a partial edge
-            // family degrades instead of failing.
-            const MicroKernel *Strip = &Main;
-            bool Padded = Plan.PackMode == EdgePack::ZeroPad;
-            if (NrEff < Nr && Plan.PackMode == EdgePack::Tight) {
-              if (EdgeKernels[NrEff]) {
-                Strip = &*EdgeKernels[NrEff];
-              } else {
-                for (int64_t Kk = 0; Kk < KcEff; ++Kk) {
-                  float *Row = BPad + Kk * Nr;
-                  for (int64_t J = 0; J < NrEff; ++J)
-                    Row[J] = BPanel[Kk * NrEff + J];
-                  std::fill(Row + NrEff, Row + Nr, 0.0f);
-                }
-                BPanel = BPad;
-                Padded = true;
-              }
-            }
-            for (int64_t Ir = 0; Ir < McEff; Ir += Mr) { // Loop L5
-              const int64_t MrEff = std::min(Mr, McEff - Ir);
-              const float *APanel = ABuf + (Ir / Mr) * KcEff * Mr;
-              float *CTile = C + (Ic + Ir) + (Jc + Jr) * Ldc;
-
-              if (MrEff == Mr && NrEff == Nr) {
-                Main.Fn(KcEff, Ldc, APanel, BPanel, CTile);
-                continue;
-              }
-              if (!Padded && MrEff == Mr) {
-                // Specialized kernel at full vector width along m and the
-                // exact nr_eff along n (B panels are tight).
-                Strip->Fn(KcEff, Ldc, APanel, BPanel, CTile);
-                continue;
-              }
-              // Scratch tile: the kernel (specialized when the m edge is
-              // short, monolithic on the padded path) computes into a
-              // zero-initialized Mr x Nr tile — the A panel's padded rows
-              // are zero — and the valid window is accumulated back.
-              const MicroKernel *Kern = Padded ? &Main : Strip;
-              std::fill(Scratch, Scratch + Mr * Nr, 0.0f);
-              Kern->Fn(KcEff, Mr, APanel, BPanel, Scratch);
-              for (int64_t J = 0; J < NrEff; ++J)
-                for (int64_t I = 0; I < MrEff; ++I)
-                  CTile[I + J * Ldc] += Scratch[J * Mr + I];
-            }
-          }
-        }
-        if (T > 1) {
-          EXO_OBS_SPAN("gemm.barrier");
-          Bar.arriveAndWait(); // BBuf (and C columns) recycle next round
-        }
-      }
-    }
-  };
-
-  ThreadPool::global().parallel(T, Body);
+  detail::GemmGeometry G = detail::deriveGeometry(Plan, Main, M, N, K);
+  std::vector<std::optional<MicroKernel>> Edges;
+  detail::resolveEdgeKernels(Provider, G, N, Edges);
+  detail::GemmWorkspace WS;
+  WS.ensure(G);
+  detail::executeGemm(
+      G, detail::GemmCall{TA, TB, M, N, K, Alpha, A, Lda, B, Ldb, Beta, C,
+                          Ldc},
+      WS);
   return Error::success();
 }

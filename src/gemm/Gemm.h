@@ -22,6 +22,9 @@
 #include "gemm/MicroKernel.h"
 #include "gemm/Pack.h"
 
+#include <optional>
+#include <vector>
+
 namespace gemm {
 
 struct GemmPlan {
@@ -53,6 +56,11 @@ enum class Trans : uint8_t { None, Transpose };
 /// an uninitialized C buffer never propagates). Fails on invalid shapes or
 /// a provider with no runnable main kernel; missing *edge* kernels degrade
 /// to the scratch-tile path instead of failing.
+///
+/// Deprecated: new code should call Engine::sgemm (Engine.h), which caches
+/// the per-shape plan and workspace this entry re-derives on every call.
+/// Kept as a thin shim over the shared executor; results are bitwise
+/// identical between the two front doors.
 exo::Error blisGemm(const GemmPlan &Plan, KernelProvider &Provider,
                     int64_t M, int64_t N, int64_t K, float Alpha,
                     const float *A, int64_t Lda, const float *B, int64_t Ldb,
@@ -61,11 +69,86 @@ exo::Error blisGemm(const GemmPlan &Plan, KernelProvider &Provider,
 /// General form: C = alpha * op(A) * op(B) + beta * C with op per operand.
 /// op(A) is m x k; with TA == Transpose, A is stored k x m (leading
 /// dimension >= k), and symmetrically for B.
+///
+/// Deprecated: prefer Engine::sgemm (Engine.h); see blisGemm above.
 exo::Error blisGemmT(const GemmPlan &Plan, KernelProvider &Provider,
                      Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
                      float Alpha, const float *A, int64_t Lda,
                      const float *B, int64_t Ldb, float Beta, float *C,
                      int64_t Ldc);
+
+namespace detail {
+
+/// One GEMM call's operands and scalars, bundled so the resolved executor
+/// below can be shared verbatim between the legacy entry points and the
+/// Engine's cached-plan path (bitwise identity between the two front doors
+/// falls out of running the same code).
+struct GemmCall {
+  Trans TA = Trans::None, TB = Trans::None;
+  int64_t M = 0, N = 0, K = 0;
+  float Alpha = 1.0f;
+  const float *A = nullptr;
+  int64_t Lda = 0;
+  const float *B = nullptr;
+  int64_t Ldb = 0;
+  float Beta = 1.0f;
+  float *C = nullptr;
+  int64_t Ldc = 0;
+};
+
+/// Everything the five-loop executor needs that does not depend on the
+/// operand pointers or scalars: resolved kernels, problem-clamped blocking,
+/// and the team factorization. Deriving this once per (shape, plan) is what
+/// the Engine caches; blisGemmT derives it per call.
+struct GemmGeometry {
+  MicroKernel Main{};
+  EdgePack PackMode = EdgePack::ZeroPad;
+  int64_t Mr = 0, Nr = 0;
+  int64_t Mc = 0, Kc = 0, Nc = 0; ///< clamped to the problem
+  int64_t NIc = 0;                ///< ic block count
+  int64_t T = 1;                  ///< team size, clamped to available work
+  int64_t Tic = 1, Tjr = 1;       ///< 2D team factorization (ic x jr)
+  /// Strip-width-indexed edge kernels, Nr entries; a nullopt width takes
+  /// the re-padded scratch path. Points into caller-owned storage (the
+  /// resolveEdgeKernels Storage argument) which must outlive execution.
+  const std::optional<MicroKernel> *EdgeKernels = nullptr;
+  bool NeedBPad = false; ///< some Tight-mode width lacks its edge kernel
+};
+
+/// Pack buffers and per-thread scratch for one geometry. ensure() resizes
+/// to fit and is idempotent: a second call with the same geometry performs
+/// no allocation, which is what keeps the Engine's pooled steady state
+/// allocation-free.
+struct GemmWorkspace {
+  std::vector<float> BBuf;
+  std::vector<std::vector<float>> ABufs, Scratches, BPads;
+  void ensure(const GemmGeometry &G);
+};
+
+/// Clamps the plan's blocking to the problem and factorizes the team —
+/// everything in GemmGeometry except edge-kernel resolution (which needs
+/// the provider; see resolveEdgeKernels).
+GemmGeometry deriveGeometry(const GemmPlan &Plan, const MicroKernel &Main,
+                            int64_t M, int64_t N, int64_t K);
+
+/// Resolves the kernel for every partial strip width occurring in an N-wide
+/// problem into \p Storage (resized to Nr) and points G.EdgeKernels at it;
+/// sets G.NeedBPad when some width lacks a runnable specialized kernel.
+/// Must run on a thread allowed to call into the provider (may JIT).
+void resolveEdgeKernels(KernelProvider &Provider, GemmGeometry &G, int64_t N,
+                        std::vector<std::optional<MicroKernel>> &Storage);
+
+/// The five-loop macro-kernel over a fully resolved geometry. Performs no
+/// validation, no heap allocation, and never calls into the provider; the
+/// workspace must already satisfy WS.ensure(G).
+void executeGemm(const GemmGeometry &G, const GemmCall &Call,
+                 GemmWorkspace &WS);
+
+/// The shared degenerate path (K == 0 or alpha == 0): C = beta * C, with
+/// beta == 0 overwriting rather than scaling (NaN-safe). Allocation-free.
+void scaleByBeta(int64_t M, int64_t N, float Beta, float *C, int64_t Ldc);
+
+} // namespace detail
 
 } // namespace gemm
 

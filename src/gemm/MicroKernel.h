@@ -34,6 +34,10 @@ struct MicroKernel {
   int64_t NR = 0;
   KernelFn Fn = nullptr;
   const char *Name = "";
+  /// True when Fn is the portable stand-in an async provider hands out
+  /// while the specialized kernel compiles; the Engine marks plans built
+  /// over fallbacks provisional and re-resolves them once warm.
+  bool IsFallback = false;
 };
 
 /// See file comment.

@@ -1,0 +1,235 @@
+//===- Planner.cpp --------------------------------------------------------===//
+
+#include "gemm/Planner.h"
+
+#include "gemm/CacheModel.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+using namespace gemm;
+
+std::pair<int64_t, int64_t>
+gemm::pickTileForProblem(int64_t M, int64_t N, int64_t K,
+                         const exo::IsaLib *ForceIsa) {
+  // Candidate full-tile shapes (host-vectorizable MR values). Shared with
+  // standardShapeFamily's AllCandidates expansion.
+  static const std::pair<int64_t, int64_t> Candidates[] = {
+      {8, 12}, {8, 8}, {8, 6}, {8, 4},  {16, 12}, {16, 8},
+      {16, 6}, {16, 4}, {4, 12}, {4, 8}, {4, 4},  {24, 4},
+  };
+  // Estimated flops-per-load of an a x b tile update: 2ab FMAs per (a + b)
+  // elements streamed from the packed panels.
+  auto Eff = [](int64_t A, int64_t B) {
+    if (A <= 0 || B <= 0)
+      return 0.0;
+    return 2.0 * static_cast<double>(A) * static_cast<double>(B) /
+           static_cast<double>(A + B);
+  };
+
+  std::pair<int64_t, int64_t> Best = {8, 12};
+  double BestScore = -1;
+  for (auto [Mr, Nr] : Candidates) {
+    const exo::IsaLib *Isa = ForceIsa ? ForceIsa : ukr::bestIsaForMr(Mr);
+    if (!Isa || Mr % Isa->lanes(exo::ScalarKind::F32) != 0)
+      continue;
+    // Register-pressure sanity: C tile + one A register + one broadcast
+    // must fit 16 vector registers at the chosen width.
+    int64_t Vecs = (Mr / Isa->lanes(exo::ScalarKind::F32));
+    if (Nr * Vecs + Vecs + 1 > 16)
+      continue;
+
+    int64_t MEdge = M % Mr, NEdge = N % Nr;
+    double FullM = static_cast<double>(M - MEdge) / M;
+    double FullN = static_cast<double>(N - NEdge) / N;
+    double EdgeM = static_cast<double>(MEdge) / M;
+    double EdgeN = static_cast<double>(NEdge) / N;
+    // Edge regions pay dispatch/packing overhead beyond their lower
+    // flops-per-load, so they are further discounted; exact divisors win
+    // near-ties.
+    const double EdgeDiscount = 0.6;
+    double Score = Eff(Mr, Nr) * FullM * FullN +
+                   EdgeDiscount * (Eff(MEdge, Nr) * EdgeM * FullN +
+                                   Eff(Mr, NEdge) * FullM * EdgeN +
+                                   Eff(MEdge, NEdge) * EdgeM * EdgeN);
+    if (K > 0) {
+      // Depth-pass penalty from the cache model: every extra kc pass over
+      // the packed panels re-streams A and C through L2, so a tile whose
+      // analytical kc covers k in fewer passes wins near-ties.
+      BlockSizes Bl =
+          analyticalBlockSizes(CacheConfig::host(), Mr, Nr, sizeof(float));
+      int64_t Kc = std::max<int64_t>(1, Bl.KC);
+      double Passes = static_cast<double>((K + Kc - 1) / Kc);
+      Score /= 1.0 + 0.02 * (Passes - 1.0);
+    }
+    if (Score > BestScore) {
+      BestScore = Score;
+      Best = {Mr, Nr};
+    }
+  }
+  return Best;
+}
+
+namespace {
+
+/// One parsed row of a baseline report, as far as the prior cares.
+struct PriorRow {
+  int64_t M = 0, N = 0, K = 0;
+  int64_t Mr = 0, Nr = 0;
+  double Value = 0;
+  bool Higher = true;
+};
+
+/// Tolerant linear scan of a BENCH_*.json report. The schema is flat
+/// enough that tracking a handful of exact key names suffices; rows start
+/// at every "label" key (see benchutil::Reporter's emission). Anything
+/// unparsable simply yields no rows — the prior is best-effort by design
+/// (benchutil is a higher layer, so the planner cannot use its parser).
+std::vector<PriorRow> scanPriorRows(const std::string &Text) {
+  std::vector<PriorRow> Rows;
+  PriorRow Cur;
+  bool InRow = false;
+  auto Flush = [&] {
+    if (InRow && Cur.Mr > 0 && Cur.Nr > 0)
+      Rows.push_back(Cur);
+  };
+  size_t Pos = 0;
+  const size_t Len = Text.size();
+  while (Pos < Len) {
+    if (Text[Pos] != '"') {
+      ++Pos;
+      continue;
+    }
+    size_t End = Text.find('"', Pos + 1);
+    if (End == std::string::npos)
+      break;
+    std::string Key = Text.substr(Pos + 1, End - Pos - 1);
+    Pos = End + 1;
+    while (Pos < Len && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos >= Len || Text[Pos] != ':')
+      continue; // a string value, not a key
+    ++Pos;
+    while (Pos < Len && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Key == "label") {
+      Flush();
+      Cur = PriorRow();
+      InRow = true;
+      continue;
+    }
+    if (Pos < Len && Text[Pos] == '"') {
+      size_t VEnd = Text.find('"', Pos + 1);
+      if (VEnd == std::string::npos)
+        break;
+      if (Key == "better")
+        Cur.Higher = Text.compare(Pos + 1, VEnd - Pos - 1, "higher") == 0;
+      Pos = VEnd + 1;
+      continue;
+    }
+    char *NumEnd = nullptr;
+    double V = std::strtod(Text.c_str() + Pos, &NumEnd);
+    if (NumEnd == Text.c_str() + Pos)
+      continue; // object/array value; keep scanning inside it
+    Pos = static_cast<size_t>(NumEnd - Text.c_str());
+    if (Key == "m")
+      Cur.M = static_cast<int64_t>(V);
+    else if (Key == "n")
+      Cur.N = static_cast<int64_t>(V);
+    else if (Key == "k")
+      Cur.K = static_cast<int64_t>(V);
+    else if (Key == "mr")
+      Cur.Mr = static_cast<int64_t>(V);
+    else if (Key == "nr")
+      Cur.Nr = static_cast<int64_t>(V);
+    else if (Key == "value")
+      Cur.Value = V;
+  }
+  Flush();
+  return Rows;
+}
+
+} // namespace
+
+bool gemm::lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
+                           int64_t K, int64_t &MrOut, int64_t &NrOut) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::string Text;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(F);
+
+  bool Found = false;
+  double BestValue = 0;
+  for (const PriorRow &R : scanPriorRows(Text)) {
+    if (!R.Higher || R.M != M || R.N != N || R.K != K)
+      continue;
+    if (!Found || R.Value > BestValue) {
+      Found = true;
+      BestValue = R.Value;
+      MrOut = R.Mr;
+      NrOut = R.Nr;
+    }
+  }
+  return Found;
+}
+
+PlanChoice gemm::choosePlan(int64_t M, int64_t N, int64_t K,
+                            const exo::IsaLib *ForceIsa,
+                            const std::string &PriorPath) {
+  std::string Path = PriorPath;
+  if (Path.empty()) {
+    const char *Env = std::getenv("EXO_GEMM_PLAN_PRIOR");
+    if (Env && *Env)
+      Path = Env;
+  }
+  if (!Path.empty()) {
+    int64_t Mr = 0, Nr = 0;
+    // A measured row only wins when its tile is still admissible (the
+    // baseline may come from another machine): it must pass the same
+    // ISA/register screen the analytical stage applies.
+    if (lookupPlanPrior(Path, M, N, K, Mr, Nr) && !ForceIsa) {
+      const exo::IsaLib *Isa = ukr::bestIsaForMr(Mr);
+      if (Isa) {
+        int64_t Vecs = Mr / Isa->lanes(exo::ScalarKind::F32);
+        if (Nr * Vecs + Vecs + 1 <= 16)
+          return PlanChoice{Mr, Nr, "prior"};
+      }
+    }
+  }
+  auto [Mr, Nr] = pickTileForProblem(M, N, K, ForceIsa);
+  return PlanChoice{Mr, Nr, "model"};
+}
+
+std::vector<ukr::UkrConfig> gemm::planKernelFamily(int64_t M, int64_t N,
+                                                   int64_t K) {
+  PlanChoice C = choosePlan(M, N, K);
+  std::vector<ukr::UkrConfig> Out;
+  Out.push_back(ukr::shapeConfig(C.MR, C.NR));
+  if (N <= 0)
+    return Out;
+  // The partial strip widths the five-loop driver will request for this
+  // problem, replicating resolveEdgeKernels' enumeration over the standard
+  // clamped blocking (nc need not be a multiple of nr, so several widths
+  // can occur).
+  BlockSizes Bl =
+      analyticalBlockSizes(CacheConfig::host(), C.MR, C.NR, sizeof(float));
+  auto RoundUp = [](int64_t V, int64_t Q) { return ((V + Q - 1) / Q) * Q; };
+  const int64_t Nc =
+      std::min(std::max<int64_t>(Bl.NC, C.NR), RoundUp(N, C.NR));
+  std::set<int64_t> Widths;
+  for (int64_t Jc = 0; Jc < N; Jc += Nc) {
+    int64_t W = std::min(Nc, N - Jc) % C.NR;
+    if (W != 0 && Widths.insert(W).second)
+      Out.push_back(ukr::shapeConfig(C.MR, W));
+  }
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- Planner.h - Shape-aware GEMM plan selection ------------------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The planning half of the Engine's plan-once/execute-many split: given an
+/// (m, n, k) problem, choose the micro-kernel tile the paper's §IV-B
+/// "matching the size of the micro-kernel to the problem" result calls for.
+/// Selection runs in two stages:
+///
+///   1. Measured prior (optional): a committed BENCH_*.json baseline whose
+///      rows carry `mr`/`nr` counters is consulted for an exact (m, n, k)
+///      match; the best-measured tile wins outright. Pointed at by
+///      EngineConfig::PriorPath or the EXO_GEMM_PLAN_PRIOR knob.
+///   2. Analytical score: every candidate tile the host can vectorize is
+///      scored by estimated FMA throughput (flops per packed-panel load)
+///      weighted by full-tile area coverage, with edge regions discounted,
+///      register pressure enforced, and — when k is known — a small
+///      penalty per extra L2 depth pass implied by the cache model's kc.
+///
+/// The candidate list, register-pressure rule, and ISA-per-shape choice
+/// (ukr::shapeConfig) are shared with ExoProvider and `ukr_cachectl warm`,
+/// so the planner, the provider's kernel memo, and the fuzzer agree on
+/// which kernel a shape maps to.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GEMM_PLANNER_H
+#define GEMM_PLANNER_H
+
+#include "ukr/KernelRegistry.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gemm {
+
+/// A planner decision: the full-tile shape plus where it came from.
+struct PlanChoice {
+  int64_t MR = 8, NR = 12;
+  /// "model" (analytical score), "prior" (measured baseline row), or
+  /// "forced" (caller pinned the tile).
+  const char *Source = "model";
+};
+
+/// Stage-2 selection only: the analytical tile score over the candidate
+/// list. \p K == 0 skips the depth-pass penalty (the historical
+/// ExoProvider::pickShape behavior, which delegates here); \p ForceIsa
+/// restricts candidates to that library's vector width.
+std::pair<int64_t, int64_t>
+pickTileForProblem(int64_t M, int64_t N, int64_t K = 0,
+                   const exo::IsaLib *ForceIsa = nullptr);
+
+/// Full selection: measured prior (when \p PriorPath or EXO_GEMM_PLAN_PRIOR
+/// names a readable baseline) with the analytical score as fallback.
+PlanChoice choosePlan(int64_t M, int64_t N, int64_t K,
+                      const exo::IsaLib *ForceIsa = nullptr,
+                      const std::string &PriorPath = "");
+
+/// Every kernel config a plan for (m, n, k) can dispatch: the chosen full
+/// tile plus the specialized edge shapes the five-loop driver will request
+/// for this problem's partial strips and short rows. What plan warm-up
+/// (Engine::warm, `ukr_cachectl warm --shape/--model`) precompiles.
+std::vector<ukr::UkrConfig> planKernelFamily(int64_t M, int64_t N, int64_t K);
+
+/// Best-measured tile for an exact (m, n, k) row of the baseline at
+/// \p Path: rows must carry `mr`/`nr` counters and a "higher"-is-better
+/// metric (the bench_dispatch emission). Returns false when the file is
+/// unreadable or holds no matching row. Exposed for tests.
+bool lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
+                     int64_t K, int64_t &MrOut, int64_t &NrOut);
+
+} // namespace gemm
+
+#endif // GEMM_PLANNER_H

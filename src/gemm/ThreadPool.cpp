@@ -39,19 +39,19 @@ void ThreadPool::workerLoop(int64_t WorkerIdx) {
     // grows; a small job after a large one leaves the tail idle).
     if (WorkerIdx + 1 >= JobThreads)
       continue;
-    const std::function<void(int64_t)> *MyJob = Job;
+    ParallelFn MyFn = JobFn;
+    void *MyCtx = JobCtx;
     Lock.unlock();
-    (*MyJob)(WorkerIdx + 1);
+    MyFn(MyCtx, WorkerIdx + 1);
     Lock.lock();
     if (--Remaining == 0)
       CvDone.notify_all();
   }
 }
 
-void ThreadPool::parallel(int64_t NThreads,
-                          const std::function<void(int64_t)> &Body) {
+void ThreadPool::parallel(int64_t NThreads, ParallelFn Fn, void *Ctx) {
   if (NThreads <= 1) {
-    Body(0);
+    Fn(Ctx, 0);
     return;
   }
   // One job at a time: concurrent callers (independent GEMMs sharing the
@@ -65,16 +65,28 @@ void ThreadPool::parallel(int64_t NThreads,
       int64_t Idx = static_cast<int64_t>(Workers.size());
       Workers.emplace_back([this, Idx] { workerLoop(Idx); });
     }
-    Job = &Body;
+    JobFn = Fn;
+    JobCtx = Ctx;
     JobThreads = NThreads;
     Remaining = NThreads - 1;
     ++Gen;
   }
   CvWork.notify_all();
-  Body(0);
+  Fn(Ctx, 0);
   std::unique_lock<std::mutex> Lock(Mu);
   CvDone.wait(Lock, [&] { return Remaining == 0; });
-  Job = nullptr;
+  JobFn = nullptr;
+  JobCtx = nullptr;
+}
+
+void ThreadPool::parallel(int64_t NThreads,
+                          const std::function<void(int64_t)> &Body) {
+  parallel(
+      NThreads,
+      [](void *Ctx, int64_t Tid) {
+        (*static_cast<const std::function<void(int64_t)> *>(Ctx))(Tid);
+      },
+      const_cast<void *>(static_cast<const void *>(&Body)));
 }
 
 int64_t gemm::resolveGemmThreads(int64_t PlanThreads) {

@@ -52,12 +52,22 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Runs Body(Tid) for Tid in [0, NThreads): Tid 0 on the calling thread,
-  /// the rest on pool workers (spawned on first use, kept forever).
-  /// Returns when every Tid has completed. NThreads <= 1 calls Body(0)
+  /// Raw job signature: Fn(Ctx, Tid). The pointer-plus-context form exists
+  /// so the steady-state GEMM hot path (Engine's cached plans) can dispatch
+  /// a team without constructing a std::function — the std::function
+  /// overload below may allocate for capturing lambdas.
+  using ParallelFn = void (*)(void *Ctx, int64_t Tid);
+
+  /// Runs Fn(Ctx, Tid) for Tid in [0, NThreads): Tid 0 on the calling
+  /// thread, the rest on pool workers (spawned on first use, kept forever).
+  /// Returns when every Tid has completed. NThreads <= 1 calls Fn(Ctx, 0)
   /// inline without touching any synchronization. Concurrent calls from
-  /// different threads are safe but serialize (one job at a time); Body
-  /// must not call parallel() on the same pool (no nesting).
+  /// different threads are safe but serialize (one job at a time); Fn
+  /// must not call parallel() on the same pool (no nesting). Performs no
+  /// heap allocation beyond one-time worker spawning.
+  void parallel(int64_t NThreads, ParallelFn Fn, void *Ctx);
+
+  /// Convenience overload wrapping \p Body in the raw form above.
   void parallel(int64_t NThreads, const std::function<void(int64_t)> &Body);
 
   /// Workers currently alive (high-water mark of NThreads - 1).
@@ -71,7 +81,8 @@ private:
   std::condition_variable CvWork; ///< signals a new job (Gen bumped)
   std::condition_variable CvDone; ///< signals job completion
   std::vector<std::thread> Workers;
-  const std::function<void(int64_t)> *Job = nullptr;
+  ParallelFn JobFn = nullptr;
+  void *JobCtx = nullptr;
   int64_t JobThreads = 0; ///< team size of the current job (incl. caller)
   int64_t Remaining = 0;  ///< participating workers not yet finished
   uint64_t Gen = 0;       ///< bumped once per job

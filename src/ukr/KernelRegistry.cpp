@@ -75,6 +75,18 @@ size_t KernelCache::size() const {
   return I.Kernels.size();
 }
 
+UkrConfig ukr::shapeConfig(int64_t Mr, int64_t Nr, const IsaLib *Preferred,
+                           bool UnrollCompute) {
+  UkrConfig Cfg;
+  Cfg.MR = Mr;
+  Cfg.NR = Nr;
+  Cfg.UnrollCompute = UnrollCompute;
+  Cfg.Isa = Preferred ? Preferred : bestIsaForMr(Mr);
+  if (!Cfg.Isa)
+    Cfg.Style = FmaStyle::Scalar;
+  return Cfg;
+}
+
 const IsaLib *ukr::bestIsaForMr(int64_t MR) {
   const IsaLib *Best = nullptr;
   unsigned BestLanes = 0;

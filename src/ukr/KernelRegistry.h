@@ -78,6 +78,17 @@ private:
 /// \p MR; nullptr when none does (the scalar fallback case).
 const exo::IsaLib *bestIsaForMr(int64_t MR);
 
+/// The one ISA-per-shape selection rule: the UkrConfig for an Mr x Nr f32
+/// tile, with \p Preferred used unconditionally when non-null and the
+/// widest dividing host ISA (bestIsaForMr) otherwise; a shape no vector
+/// library divides degrades to the scalar FMA style. Every layer that
+/// turns a tile shape into a config — ExoProvider's kernel memo, the
+/// Engine planner, `ukr_cachectl warm`'s shape family, the ablation
+/// benches — must route through here so they agree on the selection.
+UkrConfig shapeConfig(int64_t Mr, int64_t Nr,
+                      const exo::IsaLib *Preferred = nullptr,
+                      bool UnrollCompute = false);
+
 } // namespace ukr
 
 #endif // UKR_KERNELREGISTRY_H

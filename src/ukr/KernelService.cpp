@@ -241,6 +241,16 @@ void KernelService::prefetch(const UkrConfig &Cfg) {
   I->enqueueLocked(Cfg, Cfg.kernelName());
 }
 
+void KernelService::prefetchBatch(const std::vector<UkrConfig> &Cfgs) {
+  // One lock acquisition for the whole batch: plan warm-up enqueues a
+  // shape's entire kernel family (main + edges) in one shot, and taking
+  // the mutex per config would let tryGet() callers interleave half-warm
+  // states between them.
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  for (const UkrConfig &Cfg : Cfgs)
+    I->enqueueLocked(Cfg, Cfg.kernelName());
+}
+
 Error KernelService::warm(const std::vector<UkrConfig> &Cfgs) {
   for (const UkrConfig &Cfg : Cfgs)
     prefetch(Cfg);
@@ -316,15 +326,8 @@ std::vector<UkrConfig> ukr::standardShapeFamily(int64_t MR, int64_t NR,
   }
 
   std::vector<UkrConfig> Out;
-  for (auto [M, N] : Shapes) {
-    UkrConfig Cfg;
-    Cfg.MR = M;
-    Cfg.NR = N;
-    Cfg.Isa = bestIsaForMr(M);
-    if (!Cfg.Isa)
-      Cfg.Style = FmaStyle::Scalar;
-    Out.push_back(Cfg);
-  }
+  for (auto [M, N] : Shapes)
+    Out.push_back(shapeConfig(M, N));
   return Out;
 }
 

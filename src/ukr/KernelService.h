@@ -93,6 +93,11 @@ public:
   /// Enqueues a build without waiting (cache warming).
   void prefetch(const UkrConfig &Cfg);
 
+  /// Enqueues a batch of builds under one lock acquisition without
+  /// waiting — the Engine planner's warm-up path for a cold shape's whole
+  /// kernel family (main + edge kernels).
+  void prefetchBatch(const std::vector<UkrConfig> &Cfgs);
+
   /// Enqueues every config and blocks until all have resolved. Returns an
   /// error naming the configs that failed (the rest are still cached).
   exo::Error warm(const std::vector<UkrConfig> &Cfgs);

@@ -1,0 +1,113 @@
+//===- PlanCacheHammerTest.cpp - Concurrent plan-cache correctness --------===//
+//
+// Eight caller threads hammer one Engine with a mix of shapes — every
+// thread races on every shape, so cold keys see 8-way build races and hot
+// keys stress the shared-lock fast path. The contract under test:
+//
+//   - exactly one plan build per distinct key (racing requesters wait for
+//     the winner instead of duplicating work),
+//   - every thread's result is bitwise identical to a single-threaded
+//     reference through the same Engine configuration,
+//   - no errors, no lost updates in the counters.
+//
+// The Engine itself runs with a team size of 1 (caller concurrency is the
+// subject here, not the macro-kernel team). The whole file is TSan-clean:
+// it rides in gemm_test, which the tsan_gemm_threads8 gate re-runs under
+// ThreadSanitizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gemm/Engine.h"
+
+#include "benchutil/Bench.h"
+#include "gemm/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace gemm;
+
+namespace {
+
+struct Shape {
+  int64_t M, N, K;
+};
+
+// Mixed hot/cold set: tile multiples and edge-heavy shapes, small enough
+// that 8 threads x reps x shapes stays fast.
+constexpr Shape Shapes[] = {
+    {8, 12, 16}, {17, 23, 31}, {49, 50, 51}, {33, 65, 17},
+    {64, 48, 32}, {5, 124, 77}, {40, 60, 20},
+};
+constexpr int NumThreads = 8;
+constexpr int RepsPerThread = 6;
+
+} // namespace
+
+TEST(PlanCacheHammer, ExactlyOneBuildPerKeyAndBitwiseResults) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+
+  EngineConfig Cfg;
+  Cfg.Series = EngineSeries::Blis;
+  Cfg.Threads = 1; // caller concurrency only
+  Engine E(Cfg);
+
+  // Shared inputs, one expected output per shape (computed through an
+  // identically configured single-threaded Engine).
+  constexpr size_t NShapes = sizeof(Shapes) / sizeof(Shapes[0]);
+  std::vector<float> A[NShapes], B[NShapes], Want[NShapes];
+  {
+    Engine Ref(Cfg);
+    for (size_t I = 0; I != NShapes; ++I) {
+      const Shape &S = Shapes[I];
+      A[I].resize(S.M * S.K);
+      B[I].resize(S.K * S.N);
+      Want[I].assign(S.M * S.N, 0.25f);
+      benchutil::fillRandom(A[I].data(), A[I].size(), 3 * I + 1);
+      benchutil::fillRandom(B[I].data(), B[I].size(), 3 * I + 2);
+      ASSERT_FALSE(static_cast<bool>(
+          Ref.sgemm(S.M, S.N, S.K, 1.5f, A[I].data(), S.M, B[I].data(), S.K,
+                    0.5f, Want[I].data(), S.M)));
+    }
+  }
+
+  std::atomic<int> Mismatches{0}, Errors{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      // Stagger each thread's shape order so cold keys see racing
+      // requesters rather than a convoy.
+      for (int Rep = 0; Rep != RepsPerThread; ++Rep)
+        for (size_t J = 0; J != NShapes; ++J) {
+          size_t I = (J + static_cast<size_t>(T)) % NShapes;
+          const Shape &S = Shapes[I];
+          std::vector<float> C(S.M * S.N, 0.25f);
+          exo::Error Err =
+              E.sgemm(S.M, S.N, S.K, 1.5f, A[I].data(), S.M, B[I].data(),
+                      S.K, 0.5f, C.data(), S.M);
+          if (Err) {
+            Errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (std::memcmp(C.data(), Want[I].data(),
+                          C.size() * sizeof(float)) != 0)
+            Mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Errors.load(), 0);
+  EXPECT_EQ(Mismatches.load(), 0);
+
+  EngineStats St = E.stats();
+  EXPECT_EQ(St.Builds, NShapes); // exactly one build per distinct key
+  EXPECT_EQ(E.planCount(), NShapes);
+  EXPECT_EQ(St.Hits + St.Misses,
+            static_cast<uint64_t>(NumThreads) * RepsPerThread * NShapes);
+}

@@ -8,7 +8,10 @@
 //                                     (full tile + edge family) into the
 //                                     cache — the AOT warmup path; run it
 //                                     once before benching so timed runs
-//                                     never invoke the compiler
+//                                     never invoke the compiler. With
+//                                     --shape/--model, warms the kernels the
+//                                     Engine planner selects per problem
+//                                     instead of the fixed family.
 //   ukr_cachectl prune                evict LRU entries over the size bound
 //   ukr_cachectl verify               dlopen-check every artifact; --fix
 //                                     removes corrupt ones
@@ -17,12 +20,17 @@
 //   --dir PATH        operate on this cache root (default:
 //                     $EXO_JIT_CACHE_DIR, else ~/.cache/exo-ukr)
 //   warm:  --mr N --nr N (family base tile, default 8x12), --full (every
-//          pickShape candidate tile), --jobs N (compile workers)
+//          pickShape candidate tile), --jobs N (compile workers),
+//          --shape MxNxK (repeatable: warm the planner's kernel family for
+//          that GEMM problem), --model resnet|vgg (every layer shape of
+//          the model's table, the §IV-C workloads)
 //   prune: --max-bytes N (default $EXO_JIT_CACHE_MAX_BYTES or 256 MiB)
 //
 //===----------------------------------------------------------------------===//
 
+#include "dnn/Models.h"
 #include "exo/jit/DiskCache.h"
+#include "gemm/Planner.h"
 #include "ukr/KernelService.h"
 
 #include <cstdio>
@@ -30,7 +38,9 @@
 #include <cstring>
 #include <ctime>
 #include <dlfcn.h>
+#include <set>
 #include <string>
+#include <vector>
 
 using namespace exo;
 
@@ -40,7 +50,7 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--dir PATH] list\n"
                "       %s [--dir PATH] warm [--mr N] [--nr N] [--full] "
-               "[--jobs N]\n"
+               "[--jobs N] [--shape MxNxK]... [--model resnet|vgg]\n"
                "       %s [--dir PATH] prune [--max-bytes N]\n"
                "       %s [--dir PATH] verify [--fix]\n",
                Argv0, Argv0, Argv0, Argv0);
@@ -71,7 +81,14 @@ int cmdList() {
   return 0;
 }
 
-int cmdWarm(int64_t MR, int64_t NR, bool Full, unsigned Jobs) {
+/// One GEMM problem named on the command line (--shape) or drawn from a
+/// model's layer table (--model).
+struct Problem {
+  int64_t M = 0, N = 0, K = 0;
+};
+
+int cmdWarm(int64_t MR, int64_t NR, bool Full, unsigned Jobs,
+            const std::vector<Problem> &Problems) {
   if (MR < 1 || NR < 1) {
     std::fprintf(stderr, "warm: --mr/--nr must be positive (got %lldx%lld)\n",
                  static_cast<long long>(MR), static_cast<long long>(NR));
@@ -86,8 +103,25 @@ int cmdWarm(int64_t MR, int64_t NR, bool Full, unsigned Jobs) {
     std::fprintf(stderr, "no working C compiler (EXO_CC/cc)\n");
     return 1;
   }
-  std::vector<ukr::UkrConfig> Family =
-      ukr::standardShapeFamily(MR, NR, Full);
+  std::vector<ukr::UkrConfig> Family;
+  if (Problems.empty()) {
+    Family = ukr::standardShapeFamily(MR, NR, Full);
+  } else {
+    // Planner-driven warm-up: the kernels Engine::sgemm would select for
+    // each problem, deduplicated across problems that share tiles.
+    std::set<std::string> Seen;
+    for (const Problem &P : Problems) {
+      std::printf("plan %lldx%lldx%lld:", static_cast<long long>(P.M),
+                  static_cast<long long>(P.N), static_cast<long long>(P.K));
+      for (const ukr::UkrConfig &Cfg : gemm::planKernelFamily(P.M, P.N, P.K)) {
+        std::printf(" %lldx%lld", static_cast<long long>(Cfg.MR),
+                    static_cast<long long>(Cfg.NR));
+        if (Seen.insert(Cfg.kernelName()).second)
+          Family.push_back(Cfg);
+      }
+      std::printf("\n");
+    }
+  }
   std::printf("warming %zu kernel(s) into %s with %u worker(s)...\n",
               Family.size(), DC.root().c_str(), Jobs ? Jobs : 2u);
   ukr::KernelService::Options Opts;
@@ -143,6 +177,7 @@ int main(int Argc, char **Argv) {
   bool Full = false, Fix = false;
   unsigned Jobs = 0;
   uint64_t MaxBytes = JitDiskCache::configuredMaxBytes();
+  std::vector<Problem> Problems;
 
   for (int I = 1; I < Argc; ++I) {
     auto Value = [&](const char *Flag) -> const char * {
@@ -162,6 +197,31 @@ int main(int Argc, char **Argv) {
       NR = std::atoll(V);
     } else if (const char *V = Value("--jobs")) {
       Jobs = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--shape")) {
+      Problem P;
+      long long M = 0, N = 0, K = 0;
+      char Trail = 0;
+      if (std::sscanf(V, "%lldx%lldx%lld%c", &M, &N, &K, &Trail) != 3 ||
+          M < 1 || N < 1 || K < 1) {
+        std::fprintf(stderr, "--shape: '%s' is not MxNxK\n", V);
+        return 2;
+      }
+      P.M = M;
+      P.N = N;
+      P.K = K;
+      Problems.push_back(P);
+    } else if (const char *V = Value("--model")) {
+      const std::vector<dnn::LayerGemm> *Layers = nullptr;
+      if (!std::strcmp(V, "resnet"))
+        Layers = &dnn::resnet50Layers();
+      else if (!std::strcmp(V, "vgg"))
+        Layers = &dnn::vgg16Layers();
+      else {
+        std::fprintf(stderr, "--model: '%s' is not resnet|vgg\n", V);
+        return 2;
+      }
+      for (const dnn::LayerGemm &L : *Layers)
+        Problems.push_back(Problem{L.M, L.N, L.K});
     } else if (const char *V = Value("--max-bytes")) {
       char *End = nullptr;
       MaxBytes = std::strtoull(V, &End, 10);
@@ -190,7 +250,7 @@ int main(int Argc, char **Argv) {
   if (Cmd == "list")
     return cmdList();
   if (Cmd == "warm")
-    return cmdWarm(MR, NR, Full, Jobs);
+    return cmdWarm(MR, NR, Full, Jobs, Problems);
   if (Cmd == "prune")
     return cmdPrune(MaxBytes);
   if (Cmd == "verify")
