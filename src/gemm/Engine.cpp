@@ -142,13 +142,18 @@ struct Engine::Impl {
 
   Expected<std::shared_ptr<ExecPlan>> build(const PlanKey &Key);
   std::shared_ptr<ExecPlan> lookupOrBuild(const PlanKey &Key, Error &Err);
-  void evictLocked();
+  void evictLocked(const PlanKey *Keep = nullptr);
   void maybeRebuild(const PlanKey &Key,
                     const std::shared_ptr<ExecPlan> &Old);
 };
 
 Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
   EXO_OBS_SPAN("plan.build");
+  // Every entry point (sgemm, planFor, warm) funnels through here, so this
+  // is the one place the misconfiguration must be caught before the
+  // fixed-series branch dereferences a null provider.
+  if (Cfg.Series == EngineSeries::Custom && !Fixed)
+    return errorf("gemm engine: custom series without a provider");
   PlanChoice Choice;
   std::shared_ptr<KernelProvider> Provider;
   const bool WantExo = Cfg.Series == EngineSeries::Exo ||
@@ -206,12 +211,19 @@ Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
   return P;
 }
 
-void Engine::Impl::evictLocked() {
+void Engine::Impl::evictLocked(const PlanKey *Keep) {
   while (static_cast<int64_t>(Cache.size()) > Cap) {
     auto Victim = Cache.end();
     uint64_t Oldest = ~uint64_t{0};
     for (auto It = Cache.begin(); It != Cache.end(); ++It) {
-      if (!It->second.Plan || It->second.Building)
+      if (It->second.Building)
+        continue;
+      if (Keep && !(It->first < *Keep) && !(*Keep < It->first))
+        continue; // never evict the entry the caller is about to return
+      // Sticky build-error entries are eligible too (their LastUse stays 0,
+      // so they go first); otherwise unbuildable-shape probes would pin the
+      // cache over cap forever.
+      if (!It->second.Plan && It->second.BuildError.empty())
         continue;
       uint64_t Use = It->second.LastUse.load(std::memory_order_relaxed);
       if (Use < Oldest) {
@@ -276,6 +288,10 @@ std::shared_ptr<ExecPlan> Engine::Impl::lookupOrBuild(const PlanKey &Key,
     // repeated JIT attempts.
     E.BuildError = Built.message();
     Err = errorf("%s", E.BuildError.c_str());
+    // Error entries occupy cache slots too; evict here as well so a
+    // workload probing many unbuildable shapes cannot grow the map past
+    // cap (successful builds are the only other eviction point).
+    evictLocked(&Key);
     Cv.notify_all();
     return nullptr;
   }
@@ -283,9 +299,13 @@ std::shared_ptr<ExecPlan> Engine::Impl::lookupOrBuild(const PlanKey &Key,
   E.LastUse.store(Tick.fetch_add(1, std::memory_order_relaxed) + 1,
                   std::memory_order_relaxed);
   Builds.fetch_add(1, std::memory_order_relaxed);
-  evictLocked();
+  // Copy out before evicting: even though evictLocked() spares Key itself,
+  // returning through the map reference would read a destroyed node if a
+  // future victim policy ever touched it.
+  std::shared_ptr<ExecPlan> Ret = E.Plan;
+  evictLocked(&Key);
   Cv.notify_all();
-  return E.Plan;
+  return Ret;
 }
 
 void Engine::Impl::maybeRebuild(const PlanKey &Key,
@@ -439,34 +459,49 @@ Error Engine::warm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
                    bool Wait) {
   if (M <= 0 || N <= 0 || K <= 0)
     return Error::success(); // degenerate shapes never plan
-  Expected<PlanChoice> Choice = planFor(TA, TB, M, N, K);
-  if (!Choice)
-    return Choice.takeError();
+  PlanKey Key{static_cast<uint8_t>(TA),
+              static_cast<uint8_t>(TB),
+              M,
+              N,
+              K,
+              resolveGemmThreads(I->Cfg.Threads),
+              I->Cfg.Isa};
+  std::shared_ptr<ExecPlan> Plan;
+  if (!I->CacheOn) {
+    Expected<std::shared_ptr<ExecPlan>> Built = I->build(Key);
+    if (!Built)
+      return Built.takeError();
+    Plan = Built.take();
+  } else {
+    Error Err = Error::success();
+    Plan = I->lookupOrBuild(Key, Err);
+    if (!Plan)
+      return Err;
+  }
+  const PlanChoice &Choice = Plan->Choice;
   const bool WantExo = I->Cfg.Series == EngineSeries::Exo ||
                        (I->Cfg.Series == EngineSeries::Auto &&
-                        std::strcmp(Choice->Source, "fallback") != 0);
+                        std::strcmp(Choice.Source, "fallback") != 0);
   if (!WantExo)
     return Error::success(); // fixed kernels have nothing to precompile
   // Prefetch the plan's whole kernel family (main + the edge widths this
-  // problem dispatches) so the disk cache serves every later process.
+  // problem dispatches) so the disk cache serves every later process. The
+  // plan's resolved geometry — not the host cache model — supplies NC, so
+  // an EngineConfig::Blocks override prefetches the edges it will use.
   const exo::IsaLib *PIsa =
-      I->Cfg.Isa ? I->Cfg.Isa : ukr::bestIsaForMr(Choice->MR);
+      I->Cfg.Isa ? I->Cfg.Isa : ukr::bestIsaForMr(Choice.MR);
   std::vector<ukr::UkrConfig> Family;
-  Family.push_back(ukr::shapeConfig(Choice->MR, Choice->NR, PIsa,
-                                    I->Cfg.UnrollCompute));
-  BlockSizes Bl = analyticalBlockSizes(CacheConfig::host(), Choice->MR,
-                                       Choice->NR, sizeof(float));
-  auto RoundUp = [](int64_t V, int64_t Q) { return ((V + Q - 1) / Q) * Q; };
-  const int64_t Nc =
-      std::min(std::max<int64_t>(Bl.NC, Choice->NR), RoundUp(N, Choice->NR));
-  std::vector<bool> Seen(static_cast<size_t>(Choice->NR), false);
+  Family.push_back(
+      ukr::shapeConfig(Choice.MR, Choice.NR, PIsa, I->Cfg.UnrollCompute));
+  const int64_t Nc = std::max<int64_t>(Plan->G.Nc, 1);
+  std::vector<bool> Seen(static_cast<size_t>(Choice.NR), false);
   for (int64_t Jc = 0; Jc < N; Jc += Nc) {
-    int64_t W = std::min(Nc, N - Jc) % Choice->NR;
+    int64_t W = std::min(Nc, N - Jc) % Choice.NR;
     if (W == 0 || Seen[W])
       continue;
     Seen[W] = true;
     Family.push_back(
-        ukr::shapeConfig(Choice->MR, W, PIsa, I->Cfg.UnrollCompute));
+        ukr::shapeConfig(Choice.MR, W, PIsa, I->Cfg.UnrollCompute));
   }
   ukr::KernelService::global().prefetchBatch(Family);
   if (Wait)

@@ -173,6 +173,28 @@ TEST(EnginePlanCache, CapEvictsLeastRecentlyUsed) {
   EXPECT_GE(E.stats().Evictions, 3u);
 }
 
+TEST(EnginePlanCache, CapOneChurnsWithoutInvalidatingReturnedPlans) {
+  // cap=1 makes every new build the sole resident: each insertion evicts
+  // the previous plan while the new entry must survive its own eviction
+  // pass (a returned plan read through the map after self-eviction is a
+  // use-after-free; ASan-visible).
+  EngineConfig Cfg;
+  Cfg.Series = EngineSeries::Blis;
+  Cfg.PlanCacheCap = 1;
+  Engine E(Cfg);
+  std::vector<float> A(64 * 64), B(64 * 64), C(64 * 64, 0.f);
+  benchutil::fillRandom(A.data(), A.size(), 1);
+  benchutil::fillRandom(B.data(), B.size(), 2);
+
+  for (int Round = 0; Round != 2; ++Round)
+    for (int64_t S : {8, 16, 24, 32})
+      ASSERT_FALSE(static_cast<bool>(E.sgemm(
+          S, S, S, 1.f, A.data(), S, B.data(), S, 0.f, C.data(), S)));
+
+  EXPECT_LE(E.planCount(), 1u);
+  EXPECT_GE(E.stats().Evictions, 7u); // every later build displaces one
+}
+
 TEST(EnginePlanCache, DisabledCachePlansPerCall) {
   EngineConfig Cfg;
   Cfg.Series = EngineSeries::Blis;
@@ -261,6 +283,8 @@ TEST(EnginePlanner, MeasuredPriorWinsOnExactShape) {
 }
 
 TEST(EngineConfigTest, CustomSeriesRequiresProvider) {
+  // Every entry point must report the misconfiguration as an Error; the
+  // planFor/warm paths used to dereference the null provider in build().
   EngineConfig Cfg;
   Cfg.Series = EngineSeries::Custom;
   Engine E(Cfg);
@@ -268,6 +292,31 @@ TEST(EngineConfigTest, CustomSeriesRequiresProvider) {
   exo::Error Err =
       E.sgemm(2, 2, 2, 1.f, C.data(), 2, C.data(), 2, 0.f, C.data(), 2);
   EXPECT_TRUE(static_cast<bool>(Err));
+
+  exo::Expected<PlanChoice> Choice =
+      E.planFor(Trans::None, Trans::None, 4, 4, 4);
+  ASSERT_FALSE(static_cast<bool>(Choice));
+  EXPECT_TRUE(static_cast<bool>(Choice.takeError()));
+
+  exo::Error WarmErr = E.warm(Trans::None, Trans::None, 4, 4, 4);
+  EXPECT_TRUE(static_cast<bool>(WarmErr));
+}
+
+TEST(EngineConfigTest, StickyErrorEntriesStayBounded) {
+  // Unbuildable shapes leave sticky error entries; those must count as
+  // eviction victims, or probing many bad shapes pins the cache over cap
+  // and disables eviction of real plans.
+  EngineConfig Cfg;
+  Cfg.Series = EngineSeries::Custom; // no provider: every build fails
+  Cfg.PlanCacheCap = 2;
+  Engine E(Cfg);
+  for (int64_t S = 1; S <= 10; ++S) {
+    exo::Expected<PlanChoice> Choice =
+        E.planFor(Trans::None, Trans::None, S, S, S);
+    ASSERT_FALSE(static_cast<bool>(Choice));
+    (void)Choice.takeError();
+  }
+  EXPECT_GE(E.stats().Evictions, 8u); // 10 error entries, cap 2
 }
 
 TEST(EngineConfigTest, CustomProviderServes) {
