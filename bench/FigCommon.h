@@ -22,6 +22,11 @@
 /// cache-counter dump, BENCH_*.json emission (--json) and chrome-trace
 /// export (--trace). See docs/OBSERVABILITY.md.
 ///
+/// With --remote [SOCKET] the four local series collapse into a single
+/// "gemmd" series whose calls travel through gemm::Client to a running
+/// daemon (docs/GEMMD.md) — the same measurement loop, verification and
+/// report plumbing, but the numbers include the IPC round trip.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BENCH_FIGCOMMON_H
@@ -35,6 +40,7 @@
 #include "gemm/Kernels.h"
 #include "gemm/RefGemm.h"
 #include "gemm/ThreadPool.h"
+#include "ipc/Client.h"
 
 #include <cstdio>
 #include <memory>
@@ -42,10 +48,42 @@
 
 namespace fig {
 
+/// --remote state, set once by Context from the parsed options.
+inline bool &remoteMode() {
+  static bool Remote = false;
+  return Remote;
+}
+
+/// The one shared session to the daemon in --remote runs (lazy connect on
+/// first call; the socket path is fixed before first use by Context).
+inline gemm::Client &remoteClient(const std::string &Socket = "") {
+  static gemm::Client Client([&] {
+    gemm::Client::Options O;
+    O.SocketPath = Socket;
+    return O;
+  }());
+  return Client;
+}
+
 inline const std::vector<std::string> &seriesNames() {
-  static const std::vector<std::string> Names = {"ALG+NEON", "ALG+BLIS",
+  static const std::vector<std::string> Local = {"ALG+NEON", "ALG+BLIS",
                                                  "ALG+EXO", "BLIS"};
-  return Names;
+  static const std::vector<std::string> Remote = {"gemmd"};
+  return remoteMode() ? Remote : Local;
+}
+
+/// Table header for the per-series columns: a leading label column, one
+/// column per *active* series (so --remote's collapse to "gemmd" is
+/// reflected), then any trailing columns.
+inline std::vector<std::string>
+seriesHeader(const char *First,
+             std::initializer_list<const char *> Tail = {}) {
+  std::vector<std::string> H{First};
+  for (const std::string &S : seriesNames())
+    H.push_back(S);
+  for (const char *T : Tail)
+    H.emplace_back(T);
+  return H;
 }
 
 /// Bench epilogue: dumps the kernel-cache counters accumulated over the
@@ -74,9 +112,13 @@ public:
       : Opt(benchutil::BenchOptions::parse(Argc, Argv)), Rep(BenchName),
         BenchName(BenchName) {
     Opt.applyObs();
+    remoteMode() = Opt.Remote;
+    if (Opt.Remote)
+      remoteClient(Opt.RemoteSocket); // fix the socket before first use
     Rep.setOption("seconds", Opt.Seconds);
     Rep.setOption("big", Opt.Big);
     Rep.setOption("smoke", Opt.Smoke);
+    Rep.setOption("remote", Opt.Remote);
     Rep.setField("gemm_threads", gemm::resolveGemmThreads(0));
   }
 
@@ -167,6 +209,41 @@ inline std::vector<SeriesPoint> gemmSeriesRun(int64_t M, int64_t N,
 
   std::vector<SeriesPoint> Out;
   double Flops = 2.0 * M * N * K;
+
+  if (remoteMode()) {
+    // One series, same protocol: verify against the reference once, then
+    // time the remote round trip on the daemon's warm plan cache.
+    Client &Cl = remoteClient();
+    SeriesPoint Pt;
+    Pt.Series = seriesNames()[0];
+    std::vector<float> CRef(M * N, 1.0f), CChk(M * N, 1.0f);
+    refSgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f, CRef.data(), M);
+    exo::Error Err = Cl.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f,
+                              CChk.data(), M);
+    if (Err) {
+      std::fprintf(stderr, "series %s failed: %s\n", Pt.Series.c_str(),
+                   Err.message().c_str());
+      Out.push_back(Pt);
+      return Out;
+    }
+    float Diff = benchutil::maxAbsDiff(CRef.data(), CChk.data(), CRef.size());
+    if (Diff > 1e-3f * static_cast<float>(K)) {
+      std::fprintf(stderr, "series %s WRONG RESULT (maxdiff %g)\n",
+                   Pt.Series.c_str(), Diff);
+      Out.push_back(Pt);
+      return Out;
+    }
+    Pt.M = benchutil::measure(
+        [&] {
+          Cl.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 1.0f, C.data(),
+                   M);
+        },
+        MinSeconds);
+    Pt.Gflops = benchutil::gflops(Flops, Pt.M.SecondsPerCall);
+    Out.push_back(std::move(Pt));
+    return Out;
+  }
+
   for (size_t PI = 0; PI != seriesNames().size(); ++PI) {
     Engine &E = seriesEngine(PI);
     SeriesPoint Pt;

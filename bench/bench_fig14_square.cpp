@@ -23,8 +23,7 @@ int main(int Argc, char **Argv) {
 
   std::printf("Figure 14: squarish GEMM (m = n = k)%s\n",
               Opt.Big ? " [paper sizes]" : " [scaled; use --big]");
-  benchutil::Table T("fig14_square_gflops",
-                     {"size", "ALG+NEON", "ALG+BLIS", "ALG+EXO", "BLIS"},
+  benchutil::Table T("fig14_square_gflops", fig::seriesHeader("size"),
                      Opt.Csv);
   for (int64_t S : Sizes) {
     // The tile the ALG+EXO Engine's planner resolves for this problem

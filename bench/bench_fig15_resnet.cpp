@@ -28,9 +28,7 @@ int main(int Argc, char **Argv) {
 
   std::printf("\nFigure 15: per-layer performance, ResNet50 v1.5\n");
   benchutil::Table T("fig15_resnet_gflops",
-                     {"layer", "ALG+NEON", "ALG+BLIS", "ALG+EXO", "BLIS",
-                      "winner"},
-                     Opt.Csv);
+                     fig::seriesHeader("layer", {"winner"}), Opt.Csv);
   int ExoWins = 0;
   for (const dnn::LayerGemm &L : Layers) {
     std::vector<fig::SeriesPoint> Pts =

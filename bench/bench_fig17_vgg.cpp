@@ -28,9 +28,7 @@ int main(int Argc, char **Argv) {
 
   std::printf("\nFigure 17: per-layer performance, VGG16\n");
   benchutil::Table T("fig17_vgg_gflops",
-                     {"layer", "ALG+NEON", "ALG+BLIS", "ALG+EXO", "BLIS",
-                      "winner"},
-                     Opt.Csv);
+                     fig::seriesHeader("layer", {"winner"}), Opt.Csv);
   for (const dnn::LayerGemm &L : Layers) {
     std::vector<fig::SeriesPoint> Pts =
         fig::gemmSeriesRun(L.M, L.N, L.K, Opt.Seconds);

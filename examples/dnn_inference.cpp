@@ -7,7 +7,12 @@
 // timed reps — with correctness checked per layer and the per-layer plan
 // reported.
 //
-// Usage: dnn_inference [resnet50|vgg16]
+// With --remote [SOCKET] the same sequence travels through gemm::Client to
+// a running gemmd daemon (docs/GEMMD.md): the plans and JIT kernels live
+// in the daemon's shared caches, so a second process running this example
+// starts warm. Start one with `gemmd --foreground &` first.
+//
+// Usage: dnn_inference [resnet50|vgg16] [--remote [SOCKET]]
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,23 +21,62 @@
 #include "exo/support/Str.h"
 #include "gemm/Engine.h"
 #include "gemm/RefGemm.h"
+#include "ipc/Client.h"
 
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 using namespace gemm;
 
 int main(int Argc, char **Argv) {
-  bool Vgg = Argc > 1 && !std::strcmp(Argv[1], "vgg16");
+  bool Vgg = false, Remote = false;
+  std::string Socket;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "vgg16"))
+      Vgg = true;
+    else if (!std::strcmp(Argv[I], "resnet50"))
+      Vgg = false;
+    else if (!std::strcmp(Argv[I], "--remote")) {
+      Remote = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        Socket = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: dnn_inference [resnet50|vgg16] [--remote [SOCKET]]\n");
+      return 2;
+    }
+  }
   const auto &Layers = Vgg ? dnn::vgg16Layers() : dnn::resnet50Layers();
-  std::printf("Running the %s im2row GEMM sequence (batch 1) through the "
-              "Engine front door (plan-once/execute-many).\n\n",
-              Vgg ? "VGG16" : "ResNet50 v1.5");
+  std::printf("Running the %s im2row GEMM sequence (batch 1) through %s "
+              "(plan-once/execute-many).\n\n",
+              Vgg ? "VGG16" : "ResNet50 v1.5",
+              Remote ? "a gemmd daemon (gemm::Client)"
+                     : "the Engine front door");
 
   // One Engine serves every layer: distinct shapes get distinct cached
-  // plans, repeated calls hit the cache.
+  // plans, repeated calls hit the cache. In remote mode the Engine (and
+  // its caches) lives in the daemon and one Client session replaces it.
   Engine E;
+  Client::Options CO;
+  CO.SocketPath = Socket;
+  Client Cl(CO);
+  if (Remote) {
+    if (exo::Error Err = Cl.connect()) {
+      std::fprintf(stderr,
+                   "cannot reach gemmd (%s) — start one with "
+                   "`gemmd --foreground &` or pass --remote SOCKET\n",
+                   Err.message().c_str());
+      return 1;
+    }
+  }
+  auto Sgemm = [&](int64_t M, int64_t N, int64_t K, const float *A,
+                   int64_t Lda, const float *B, int64_t Ldb, float *C,
+                   int64_t Ldc) {
+    return Remote ? Cl.sgemm(M, N, K, 1.f, A, Lda, B, Ldb, 1.f, C, Ldc)
+                  : E.sgemm(M, N, K, 1.f, A, Lda, B, Ldb, 1.f, C, Ldc);
+  };
 
   double TotalSecs = 0, TotalFlops = 0;
   for (const dnn::LayerGemm &L : Layers) {
@@ -46,8 +90,8 @@ int main(int Argc, char **Argv) {
       std::vector<float> CRef(MChk * L.N, 0.f), CChk(MChk * L.N, 0.f);
       refSgemm(MChk, L.N, L.K, 1.f, A.data(), L.M, B.data(), L.K, 1.f,
                CRef.data(), MChk);
-      exo::Error Err = E.sgemm(MChk, L.N, L.K, 1.f, A.data(), L.M, B.data(),
-                               L.K, 1.f, CChk.data(), MChk);
+      exo::Error Err = Sgemm(MChk, L.N, L.K, A.data(), L.M, B.data(), L.K,
+                             CChk.data(), MChk);
       if (Err) {
         std::fprintf(stderr, "layer %d failed: %s\n", L.Id,
                      Err.message().c_str());
@@ -61,37 +105,66 @@ int main(int Argc, char **Argv) {
     }
 
     // The plan the layer's timed calls will reuse (built on first use).
-    exo::Expected<PlanChoice> Choice =
-        E.planFor(Trans::None, Trans::None, L.M, L.N, L.K);
-    if (!Choice) {
-      std::fprintf(stderr, "layer %d planning failed: %s\n", L.Id,
-                   Choice.takeError().message().c_str());
-      return 1;
+    // Remotely the choice lives in the daemon; the reply flags say whether
+    // this session's first call on the shape found the plan cache warm.
+    char PlanDesc[64];
+    if (Remote) {
+      exo::Error Err = Sgemm(L.M, L.N, L.K, A.data(), L.M, B.data(), L.K,
+                             C.data(), L.M);
+      if (Err) {
+        std::fprintf(stderr, "layer %d failed: %s\n", L.Id,
+                     Err.message().c_str());
+        return 1;
+      }
+      uint32_t F = Cl.lastFlags();
+      std::snprintf(PlanDesc, sizeof(PlanDesc), "daemon plan %s%s",
+                    F & ipc::ReplyPlanHit ? "warm" : "built",
+                    F & ipc::ReplyJitCompiled ? "+jit" : "");
+    } else {
+      exo::Expected<PlanChoice> Choice =
+          E.planFor(Trans::None, Trans::None, L.M, L.N, L.K);
+      if (!Choice) {
+        std::fprintf(stderr, "layer %d planning failed: %s\n", L.Id,
+                     Choice.takeError().message().c_str());
+        return 1;
+      }
+      std::snprintf(PlanDesc, sizeof(PlanDesc), "kernel %2lldx%-2lld (%s)",
+                    static_cast<long long>(Choice->MR),
+                    static_cast<long long>(Choice->NR), Choice->Source);
     }
 
     double Secs = benchutil::timeIt(
         [&] {
-          E.sgemm(L.M, L.N, L.K, 1.f, A.data(), L.M, B.data(), L.K, 1.f,
-                  C.data(), L.M);
+          Sgemm(L.M, L.N, L.K, A.data(), L.M, B.data(), L.K, C.data(), L.M);
         },
         0.05);
     TotalSecs += Secs * L.Count;
     TotalFlops += L.flops() * L.Count;
-    std::printf("layer %2d (%5lldx%4lldx%4lld, x%d): kernel %2lldx%-2lld "
-                "(%s)  %7.2f GFLOPS  %8.3f ms\n",
+    std::printf("layer %2d (%5lldx%4lldx%4lld, x%d): %-22s  %7.2f GFLOPS  "
+                "%8.3f ms\n",
                 L.Id, static_cast<long long>(L.M),
                 static_cast<long long>(L.N), static_cast<long long>(L.K),
-                L.Count, static_cast<long long>(Choice->MR),
-                static_cast<long long>(Choice->NR), Choice->Source,
-                benchutil::gflops(L.flops(), Secs), Secs * 1e3);
+                L.Count, PlanDesc, benchutil::gflops(L.flops(), Secs),
+                Secs * 1e3);
   }
-  EngineStats St = E.stats();
   std::printf("\nAggregated GEMM time for one inference pass: %.2f ms "
               "(%.2f GFLOPS average)\n",
               TotalSecs * 1e3, benchutil::gflops(TotalFlops, TotalSecs));
-  std::printf("plan cache: %llu plans built for %llu calls (%llu hits)\n",
-              static_cast<unsigned long long>(St.Builds),
-              static_cast<unsigned long long>(St.Hits + St.Misses),
-              static_cast<unsigned long long>(St.Hits));
+  if (Remote) {
+    ipc::StatsReplyMsg St;
+    if (!Cl.serverStats(St))
+      std::printf("daemon plan cache: %llu plans built for %llu calls "
+                  "(%llu hits) across %llu client(s)\n",
+                  static_cast<unsigned long long>(St.PlanBuilds),
+                  static_cast<unsigned long long>(St.Requests),
+                  static_cast<unsigned long long>(St.PlanHits),
+                  static_cast<unsigned long long>(St.TotalClients));
+  } else {
+    EngineStats St = E.stats();
+    std::printf("plan cache: %llu plans built for %llu calls (%llu hits)\n",
+                static_cast<unsigned long long>(St.Builds),
+                static_cast<unsigned long long>(St.Hits + St.Misses),
+                static_cast<unsigned long long>(St.Hits));
+  }
   return 0;
 }

@@ -34,6 +34,12 @@ BenchOptions BenchOptions::parse(int Argc, char **Argv) {
         O.JsonPath = "auto";
     } else if (!std::strcmp(Argv[I], "--trace") && I + 1 < Argc)
       O.TracePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--remote")) {
+      O.Remote = true;
+      // Optional socket path, same convention as --json's optional path.
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        O.RemoteSocket = Argv[++I];
+    }
   }
   if (O.Seconds <= 0)
     O.Seconds = 0.25;

@@ -50,6 +50,11 @@ struct BenchOptions {
   std::string JsonPath;
   /// Chrome-trace output path (--trace); empty = no trace.
   std::string TracePath;
+  /// Route GEMM calls through a running gemmd daemon (gemm::Client)
+  /// instead of in-process Engines. An optional path argument names the
+  /// rendezvous socket; empty defers to EXO_GEMMD_SOCKET / the default.
+  bool Remote = false;
+  std::string RemoteSocket;
 
   static BenchOptions parse(int Argc, char **Argv);
 

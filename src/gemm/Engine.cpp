@@ -125,7 +125,7 @@ struct Engine::Impl {
 
   std::atomic<uint64_t> Tick{0};
   std::atomic<uint64_t> Hits{0}, Misses{0}, Builds{0}, Rebuilds{0},
-      Evictions{0}, Degenerate{0};
+      Evictions{0}, Degenerate{0}, StickyErrors{0};
 
   std::shared_ptr<ExoProvider> exoProviderFor(int64_t MR, int64_t NR) {
     std::lock_guard<std::mutex> Lock(ProvMu);
@@ -287,6 +287,7 @@ std::shared_ptr<ExecPlan> Engine::Impl::lookupOrBuild(const PlanKey &Key,
     // way on every retry, and re-planning per call would hide that behind
     // repeated JIT attempts.
     E.BuildError = Built.message();
+    StickyErrors.fetch_add(1, std::memory_order_relaxed);
     Err = errorf("%s", E.BuildError.c_str());
     // Error entries occupy cache slots too; evict here as well so a
     // workload probing many unbuildable shapes cannot grow the map past
@@ -536,6 +537,7 @@ EngineStats Engine::stats() const {
   S.Rebuilds = I->Rebuilds.load(std::memory_order_relaxed);
   S.Evictions = I->Evictions.load(std::memory_order_relaxed);
   S.Degenerate = I->Degenerate.load(std::memory_order_relaxed);
+  S.StickyErrors = I->StickyErrors.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -546,6 +548,7 @@ void Engine::resetStats() {
   I->Rebuilds.store(0);
   I->Evictions.store(0);
   I->Degenerate.store(0);
+  I->StickyErrors.store(0);
 }
 
 const char *Engine::seriesName() const { return I->Name; }

@@ -97,6 +97,7 @@ struct EngineStats {
   uint64_t Rebuilds = 0;   ///< provisional plans re-resolved after warm-up
   uint64_t Evictions = 0;  ///< plans dropped by the cache cap
   uint64_t Degenerate = 0; ///< calls answered by the quick return
+  uint64_t StickyErrors = 0; ///< sticky build failures recorded in the cache
 };
 
 /// See file comment.

@@ -1,0 +1,311 @@
+//===- Client.cpp - gemm::Client, the remote Engine front door ------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipc/Client.h"
+
+#include "obs/Obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace exo;
+
+namespace gemm {
+
+namespace {
+
+uint64_t resolveShmBytes(uint64_t Configured) {
+  if (Configured)
+    return Configured;
+  if (const char *S = std::getenv("EXO_GEMMD_SHM_BYTES"); S && *S) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(S, &End, 10);
+    if (End != S && !*End && V > 0)
+      return V;
+  }
+  return 64ull << 20;
+}
+
+int resolveTimeoutMs(int Configured) {
+  if (Configured)
+    return Configured;
+  if (const char *S = std::getenv("EXO_GEMMD_TIMEOUT_MS"); S && *S)
+    return std::atoi(S);
+  return -1;
+}
+
+/// Operand footprint as stored (column-major): Rows x Cols with a compact
+/// leading dimension equal to Rows.
+struct Staged {
+  int64_t Rows = 0, Cols = 0;
+  uint64_t Off = 0;
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(Rows) * static_cast<uint64_t>(Cols) *
+           sizeof(float);
+  }
+};
+
+void copyIn(float *Dst, const float *Src, int64_t Rows, int64_t Cols,
+            int64_t SrcLd) {
+  for (int64_t J = 0; J != Cols; ++J)
+    std::memcpy(Dst + J * Rows, Src + J * SrcLd,
+                static_cast<size_t>(Rows) * sizeof(float));
+}
+
+} // namespace
+
+Client::Client() : Client(Options{}) {}
+
+Client::Client(const Options &O) : Opts(O) {
+  if (Opts.SocketPath.empty())
+    Opts.SocketPath = ipc::defaultSocketPath();
+  Opts.ShmBytes = resolveShmBytes(Opts.ShmBytes);
+  Opts.TimeoutMs = resolveTimeoutMs(Opts.TimeoutMs);
+}
+
+Client::~Client() = default;
+
+bool Client::connected() const { return Connected; }
+
+void Client::disconnect() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  dropSessionLocked();
+}
+
+void Client::dropSessionLocked() {
+  Sock.close();
+  Shm = ipc::ShmRegion();
+  Connected = false;
+}
+
+Error Client::connect() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ensureConnectedLocked();
+}
+
+Error Client::ensureConnectedLocked() {
+  if (Connected)
+    return Error::success();
+  constexpr uint32_t Slots = 64;
+  Expected<ipc::SessionLayout> L =
+      ipc::SessionLayout::derive(Opts.ShmBytes, Slots);
+  if (!L)
+    return L.takeError();
+  Expected<ipc::ShmRegion> R = ipc::ShmRegion::create(Opts.ShmBytes);
+  if (!R)
+    return R.takeError();
+  Layout = *L;
+  Shm = R.take();
+
+  // Format the region before announcing it: header, then both rings.
+  auto *H = reinterpret_cast<ipc::ShmSessionHeader *>(Shm.base());
+  *H = ipc::ShmSessionHeader{};
+  H->TotalBytes = Opts.ShmBytes;
+  H->RingSlots = Slots;
+  H->ArenaOff = Layout.ArenaOff;
+  H->ArenaBytes = Layout.ArenaBytes;
+  ReqRing.init(Shm.at(Layout.ReqRingOff), Slots);
+  RespRing.init(Shm.at(Layout.RespRingOff), Slots);
+
+  Expected<ipc::Socket> S = ipc::Socket::connect(Opts.SocketPath);
+  if (!S) {
+    Shm = ipc::ShmRegion();
+    return S.takeError();
+  }
+  Sock = S.take();
+
+  ipc::HelloMsg Hello;
+  Hello.ShmBytes = Opts.ShmBytes;
+  Hello.RingSlots = Slots;
+  Hello.NameLen = static_cast<uint32_t>(Shm.name().size());
+  std::snprintf(Hello.ShmName, sizeof(Hello.ShmName), "%s",
+                Shm.name().c_str());
+  if (Error E = Sock.sendAll(&Hello, sizeof(Hello))) {
+    dropSessionLocked();
+    return E;
+  }
+  ipc::HelloAck Ack;
+  if (Error E = Sock.recvAllTimed(&Ack, sizeof(Ack), Opts.TimeoutMs)) {
+    dropSessionLocked();
+    return E;
+  }
+  if (Ack.Magic != ipc::WireMagic ||
+      Ack.Status != static_cast<uint16_t>(ipc::HelloStatus::Ok)) {
+    Error E = errorf("gemmd: server rejected session: %.*s",
+                     static_cast<int>(sizeof(Ack.Err)), Ack.Err[0]
+                         ? Ack.Err
+                         : "(unspecified)");
+    dropSessionLocked();
+    return E;
+  }
+  // The server holds a mapping now; drop the name so a crash on either
+  // side can never leak a /dev/shm entry.
+  Shm.unlinkName();
+  Connected = true;
+  return Error::success();
+}
+
+Error Client::transactLocked(const void *Packet, uint32_t Bytes, void *Reply,
+                             ipc::PacketType WantType, uint32_t WantSeq) {
+  if (!ReqRing.push(Packet, Bytes)) {
+    // Synchronous protocol: a full request ring means the server stopped
+    // draining — treat as a dead session.
+    dropSessionLocked();
+    return errorf("gemmd: request ring full (server stalled)");
+  }
+  if (Error E = Sock.ring(ipc::DoorbellRequest)) {
+    dropSessionLocked();
+    return E;
+  }
+  // Wait for reply doorbells; tolerate coalescing and stale packets.
+  for (;;) {
+    alignas(8) unsigned char Slot[ipc::SlotBytes];
+    while (RespRing.pop(Slot)) {
+      ipc::PacketHeader PH;
+      std::memcpy(&PH, Slot, sizeof(PH));
+      if (PH.Magic != ipc::WireMagic || PH.Version != ipc::WireVersion ||
+          PH.Bytes < sizeof(ipc::PacketHeader) || PH.Bytes > ipc::SlotBytes) {
+        dropSessionLocked();
+        return errorf("gemmd: malformed reply packet from server");
+      }
+      if (PH.Type == static_cast<uint16_t>(WantType) && PH.Seq == WantSeq) {
+        std::memcpy(Reply, Slot, ipc::SlotBytes);
+        return Error::success();
+      }
+      // Stale reply for an abandoned request; skip.
+    }
+    uint8_t Bell;
+    if (Error E = Sock.recvAllTimed(&Bell, 1, Opts.TimeoutMs)) {
+      dropSessionLocked();
+      return E;
+    }
+  }
+}
+
+Error Client::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                    float Alpha, const float *A, int64_t Lda, const float *B,
+                    int64_t Ldb, float Beta, float *C, int64_t Ldc) {
+  if (M < 0 || N < 0 || K < 0)
+    return errorf("gemmd client: negative dimension");
+  // Degenerate quick returns stay local, mirroring Engine::sgemm exactly
+  // (same scaleByBeta path, so results are bitwise identical).
+  if (M == 0 || N == 0)
+    return Error::success();
+  if (K == 0 || Alpha == 0.0f) {
+    detail::scaleByBeta(M, N, Beta, C, Ldc);
+    return Error::success();
+  }
+  const int64_t ARows = TA == Trans::None ? M : K;
+  const int64_t ACols = TA == Trans::None ? K : M;
+  const int64_t BRows = TB == Trans::None ? K : N;
+  const int64_t BCols = TB == Trans::None ? N : K;
+  if (Lda < ARows || Ldb < BRows || Ldc < M)
+    return errorf("gemmd client: leading dimension smaller than rows");
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Error E = ensureConnectedLocked())
+    return E;
+
+  // Stage the operands compactly into the arena (64-byte aligned).
+  auto Align = [](uint64_t X) { return (X + 63) & ~uint64_t{63}; };
+  Staged SA{ARows, ACols, 0}, SB{BRows, BCols, 0}, SC{M, N, 0};
+  SB.Off = Align(SA.bytes());
+  SC.Off = Align(SB.Off + SB.bytes());
+  uint64_t Need = SC.Off + SC.bytes();
+  if (Need > Layout.ArenaBytes)
+    return errorf("gemmd client: %lldx%lldx%lld needs %llu arena bytes but "
+                  "the session has %llu — raise EXO_GEMMD_SHM_BYTES",
+                  static_cast<long long>(M), static_cast<long long>(N),
+                  static_cast<long long>(K),
+                  static_cast<unsigned long long>(Need),
+                  static_cast<unsigned long long>(Layout.ArenaBytes));
+
+  EXO_OBS_SPAN("gemmd.client.call");
+  unsigned char *Arena = Shm.at(Layout.ArenaOff);
+  {
+    EXO_OBS_SPAN("gemmd.client.stage");
+    copyIn(reinterpret_cast<float *>(Arena + SA.Off), A, ARows, ACols, Lda);
+    copyIn(reinterpret_cast<float *>(Arena + SB.Off), B, BRows, BCols, Ldb);
+    if (Beta != 0.0f)
+      copyIn(reinterpret_cast<float *>(Arena + SC.Off), C, M, N, Ldc);
+  }
+
+  ipc::GemmRequestMsg Req;
+  Req.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmRequest);
+  Req.H.Seq = ++Seq;
+  Req.H.Bytes = sizeof(Req);
+  Req.TA = TA == Trans::Transpose;
+  Req.TB = TB == Trans::Transpose;
+  Req.Alpha = Alpha;
+  Req.Beta = Beta;
+  Req.M = M;
+  Req.N = N;
+  Req.K = K;
+  Req.OffA = SA.Off;
+  Req.OffB = SB.Off;
+  Req.OffC = SC.Off;
+  Req.Lda = ARows;
+  Req.Ldb = BRows;
+  Req.Ldc = M;
+
+  alignas(8) unsigned char ReplyBuf[ipc::SlotBytes];
+  if (Error E = transactLocked(&Req, sizeof(Req), ReplyBuf,
+                               ipc::PacketType::GemmReply, Req.H.Seq))
+    return E;
+  ipc::GemmReplyMsg Reply;
+  std::memcpy(&Reply, ReplyBuf, sizeof(Reply));
+  LastFlags = Reply.Flags;
+  switch (static_cast<ipc::ReqStatus>(Reply.Status)) {
+  case ipc::ReqStatus::Ok:
+    break;
+  case ipc::ReqStatus::Busy:
+    return errorf("gemmd: server busy (admission queue full)");
+  default:
+    return errorf("gemmd: %.*s", static_cast<int>(sizeof(Reply.Err)),
+                  Reply.Err[0] ? Reply.Err : "request failed");
+  }
+  {
+    EXO_OBS_SPAN("gemmd.client.collect");
+    const float *Src = reinterpret_cast<const float *>(Arena + SC.Off);
+    for (int64_t J = 0; J != N; ++J)
+      std::memcpy(C + J * Ldc, Src + J * M,
+                  static_cast<size_t>(M) * sizeof(float));
+  }
+  ++RequestsOk;
+  return Error::success();
+}
+
+Error Client::ping() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Error E = ensureConnectedLocked())
+    return E;
+  ipc::PacketHeader P;
+  P.Type = static_cast<uint16_t>(ipc::PacketType::Ping);
+  P.Seq = ++Seq;
+  P.Bytes = sizeof(P);
+  alignas(8) unsigned char Reply[ipc::SlotBytes];
+  return transactLocked(&P, sizeof(P), Reply, ipc::PacketType::PingReply,
+                        P.Seq);
+}
+
+Error Client::serverStats(ipc::StatsReplyMsg &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Error E = ensureConnectedLocked())
+    return E;
+  ipc::PacketHeader P;
+  P.Type = static_cast<uint16_t>(ipc::PacketType::StatsRequest);
+  P.Seq = ++Seq;
+  P.Bytes = sizeof(P);
+  alignas(8) unsigned char Reply[ipc::SlotBytes];
+  if (Error E = transactLocked(&P, sizeof(P), Reply,
+                               ipc::PacketType::StatsReply, P.Seq))
+    return E;
+  std::memcpy(&Out, Reply, sizeof(Out));
+  return Error::success();
+}
+
+} // namespace gemm

@@ -1,0 +1,121 @@
+//===- Client.h - gemm::Client, the remote Engine front door --------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of gemmd: `gemm::Client::sgemm` is call-compatible with
+/// `Engine::sgemm`, but instead of planning and executing locally it
+/// stages the operands into the session's shared-memory arena, posts a
+/// GemmRequest packet on the request ring, rings the doorbell, and blocks
+/// until the server's reply — so a fleet of processes shares ONE warm
+/// plan cache, ONE JIT cache, and ONE thread pool inside the daemon
+/// instead of each paying the cold-start cost (docs/GEMMD.md).
+///
+/// Semantics match the Engine exactly: degenerate calls (m/n/k == 0,
+/// alpha == 0) are answered locally through the same scaleByBeta path the
+/// Engine uses and never touch the wire; everything else produces results
+/// bitwise identical to a local `Engine::sgemm` with the daemon's config
+/// (the daemon_test differential suite enforces this).
+///
+/// Lifecycle: connect() is explicit or implicit on first use; a
+/// connection that dies (server gone, protocol error) fails the call in
+/// flight and the next call transparently reconnects. One Client holds
+/// one session; calls are serialized internally (use one Client per
+/// thread for parallel request streams, as bench_gemmd does).
+///
+/// Knobs: EXO_GEMMD_SOCKET (rendezvous path), EXO_GEMMD_SHM_BYTES
+/// (arena size; requests that do not fit fail client-side with a clear
+/// message), EXO_GEMMD_TIMEOUT_MS (reply wait); see docs/KNOBS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPC_CLIENT_H
+#define IPC_CLIENT_H
+
+#include "gemm/Gemm.h"
+#include "ipc/Shm.h"
+#include "ipc/Socket.h"
+#include "ipc/Wire.h"
+
+#include <mutex>
+
+namespace gemm {
+
+/// See file comment.
+class Client {
+public:
+  struct Options {
+    /// Empty resolves EXO_GEMMD_SOCKET, else /tmp/exo-gemmd-<uid>.sock.
+    std::string SocketPath;
+    /// Session region size (rings + tensor arena). 0 resolves
+    /// EXO_GEMMD_SHM_BYTES, else 64 MiB.
+    uint64_t ShmBytes = 0;
+    /// Reply wait budget in ms; 0 resolves EXO_GEMMD_TIMEOUT_MS, else
+    /// -1 (wait forever). Timeouts kill the session.
+    int TimeoutMs = 0;
+  };
+
+  Client();
+  explicit Client(const Options &Opts);
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Establishes the session now (handshake + shm mapping). sgemm calls
+  /// do this lazily; connect() exists so callers can fail fast.
+  exo::Error connect();
+  bool connected() const;
+  /// Tears the session down; the next call reconnects.
+  void disconnect();
+
+  /// Remote C = alpha * op(A) * op(B) + beta * C; call-compatible with
+  /// Engine::sgemm and bitwise identical to the daemon engine's local
+  /// result.
+  exo::Error sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+                   float Alpha, const float *A, int64_t Lda, const float *B,
+                   int64_t Ldb, float Beta, float *C, int64_t Ldc);
+
+  exo::Error sgemm(int64_t M, int64_t N, int64_t K, float Alpha,
+                   const float *A, int64_t Lda, const float *B, int64_t Ldb,
+                   float Beta, float *C, int64_t Ldc) {
+    return sgemm(Trans::None, Trans::None, M, N, K, Alpha, A, Lda, B, Ldb,
+                 Beta, C, Ldc);
+  }
+
+  /// Round-trips a Ping packet (liveness probe).
+  exo::Error ping();
+
+  /// Fetches the daemon's aggregate counters (plan cache, JIT cache,
+  /// admission control) — how a cold process observes the warm shared
+  /// cache.
+  exo::Error serverStats(ipc::StatsReplyMsg &Out);
+
+  /// ReplyFlags of the last completed remote sgemm (plan hit / plan
+  /// built / jit compiled), 0 before any call.
+  uint32_t lastFlags() const { return LastFlags; }
+  /// Remote sgemm calls completed Ok over this Client's lifetime.
+  uint64_t requestsOk() const { return RequestsOk; }
+
+private:
+  exo::Error ensureConnectedLocked();
+  exo::Error transactLocked(const void *Packet, uint32_t Bytes, void *Reply,
+                            ipc::PacketType WantType, uint32_t WantSeq);
+  void dropSessionLocked();
+
+  Options Opts;
+  std::mutex Mu; ///< one request in flight per Client
+  ipc::Socket Sock;
+  ipc::ShmRegion Shm;
+  ipc::SessionLayout Layout;
+  ipc::RingView ReqRing, RespRing;
+  bool Connected = false;
+  uint32_t Seq = 0;
+  uint32_t LastFlags = 0;
+  uint64_t RequestsOk = 0;
+};
+
+} // namespace gemm
+
+#endif // IPC_CLIENT_H

@@ -1,0 +1,152 @@
+//===- Shm.cpp - POSIX shared-memory tensor regions for gemmd -------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ipc/Shm.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace exo;
+
+namespace ipc {
+
+Expected<SessionLayout> SessionLayout::derive(uint64_t TotalBytes,
+                                              uint32_t Slots) {
+  if (Slots < 2 || Slots > 4096 || (Slots & (Slots - 1)) != 0)
+    return errorf("gemmd shm: ring slot count %u is not a power of two in "
+                  "[2, 4096]",
+                  Slots);
+  SessionLayout L;
+  L.RingSlots = Slots;
+  L.TotalBytes = TotalBytes;
+  // 64-byte-align each piece; the arena additionally starts page-aligned
+  // so tensor rows sit on cache-line boundaries for the kernels.
+  auto Align = [](uint64_t X, uint64_t A) { return (X + A - 1) & ~(A - 1); };
+  L.ReqRingOff = Align(sizeof(ShmSessionHeader), 64);
+  L.RespRingOff = Align(L.ReqRingOff + ringBytes(Slots), 64);
+  L.ArenaOff = Align(L.RespRingOff + ringBytes(Slots), 4096);
+  if (TotalBytes <= L.ArenaOff)
+    return errorf("gemmd shm: region of %llu bytes leaves no tensor arena "
+                  "(need > %llu)",
+                  static_cast<unsigned long long>(TotalBytes),
+                  static_cast<unsigned long long>(L.ArenaOff));
+  L.ArenaBytes = TotalBytes - L.ArenaOff;
+  return L;
+}
+
+ShmRegion::~ShmRegion() { reset(); }
+
+ShmRegion::ShmRegion(ShmRegion &&O) noexcept
+    : Base(O.Base), Bytes(O.Bytes), Name(std::move(O.Name)), Owner(O.Owner) {
+  O.Base = nullptr;
+  O.Bytes = 0;
+  O.Name.clear();
+  O.Owner = false;
+}
+
+ShmRegion &ShmRegion::operator=(ShmRegion &&O) noexcept {
+  if (this != &O) {
+    reset();
+    Base = O.Base;
+    Bytes = O.Bytes;
+    Name = std::move(O.Name);
+    Owner = O.Owner;
+    O.Base = nullptr;
+    O.Bytes = 0;
+    O.Name.clear();
+    O.Owner = false;
+  }
+  return *this;
+}
+
+void ShmRegion::reset() {
+  if (Base)
+    ::munmap(Base, Bytes);
+  unlinkName();
+  Base = nullptr;
+  Bytes = 0;
+}
+
+void ShmRegion::unlinkName() {
+  if (Owner && !Name.empty())
+    ::shm_unlink(Name.c_str());
+  Name.clear();
+  Owner = false;
+}
+
+Expected<ShmRegion> ShmRegion::create(uint64_t Bytes) {
+  if (Bytes == 0)
+    return errorf("gemmd shm: zero-byte region");
+  // Collision-proof name: pid + monotonic clock + a per-process counter
+  // (two Clients in one process may create regions in the same tick).
+  static std::atomic<uint32_t> Counter{0};
+  uint64_t Now = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "/exo-gemmd-%ld-%llx-%u",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(Now),
+                Counter.fetch_add(1, std::memory_order_relaxed));
+  int Fd = ::shm_open(Buf, O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (Fd < 0)
+    return errorf("gemmd shm: shm_open(%s) failed: %s", Buf,
+                  std::strerror(errno));
+  ShmRegion R;
+  R.Name = Buf;
+  R.Owner = true;
+  if (::ftruncate(Fd, static_cast<off_t>(Bytes)) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return errorf("gemmd shm: ftruncate to %llu bytes failed: %s",
+                  static_cast<unsigned long long>(Bytes), std::strerror(E));
+  }
+  void *P = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE, MAP_SHARED, Fd, 0);
+  ::close(Fd);
+  if (P == MAP_FAILED)
+    return errorf("gemmd shm: mmap of %llu bytes failed: %s",
+                  static_cast<unsigned long long>(Bytes),
+                  std::strerror(errno));
+  R.Base = P;
+  R.Bytes = Bytes;
+  return R;
+}
+
+Expected<ShmRegion> ShmRegion::open(const std::string &Name,
+                                    uint64_t ExpectBytes) {
+  if (Name.empty() || Name[0] != '/' || Name.find('/', 1) != std::string::npos)
+    return errorf("gemmd shm: '%s' is not a valid shm name", Name.c_str());
+  int Fd = ::shm_open(Name.c_str(), O_RDWR, 0);
+  if (Fd < 0)
+    return errorf("gemmd shm: shm_open(%s) failed: %s", Name.c_str(),
+                  std::strerror(errno));
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 ||
+      static_cast<uint64_t>(St.st_size) != ExpectBytes) {
+    ::close(Fd);
+    return errorf("gemmd shm: %s is %lld bytes, client announced %llu",
+                  Name.c_str(), static_cast<long long>(St.st_size),
+                  static_cast<unsigned long long>(ExpectBytes));
+  }
+  void *P = ::mmap(nullptr, ExpectBytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   Fd, 0);
+  ::close(Fd);
+  if (P == MAP_FAILED)
+    return errorf("gemmd shm: mmap of %s failed: %s", Name.c_str(),
+                  std::strerror(errno));
+  ShmRegion R;
+  R.Base = P;
+  R.Bytes = ExpectBytes;
+  // The server never owns the name; the client unlinks after the ack.
+  return R;
+}
+
+} // namespace ipc

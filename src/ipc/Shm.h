@@ -1,0 +1,112 @@
+//===- Shm.h - POSIX shared-memory tensor regions for gemmd ---------------===//
+//
+// Part of the exo-ukr project. MIT license; see LICENSE.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One gemmd session owns one POSIX shared-memory region, created by the
+/// client, mapped by both sides, and laid out as:
+///
+///   [ ShmSessionHeader | request ring | response ring | tensor arena ]
+///
+/// The client names the region over the control socket (HelloMsg); the
+/// server maps it, acks, and the client immediately shm_unlink()s the
+/// name — from then on the region lives exactly as long as a mapping
+/// does, so a SIGKILLed client can never leak a name into /dev/shm and
+/// the server's mapping stays valid for any request already in flight.
+///
+/// ShmRegion is the RAII mapping (create-or-open + mmap); SessionLayout
+/// derives the ring/arena offsets from (bytes, slots) on both sides
+/// independently, so neither side ever trusts offsets the other wrote.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPC_SHM_H
+#define IPC_SHM_H
+
+#include "exo/support/Error.h"
+#include "ipc/Ring.h"
+#include "ipc/Wire.h"
+
+#include <string>
+
+namespace ipc {
+
+/// Page-0 header of the region, written by the client before the
+/// handshake. The server cross-checks it against the HelloMsg and its own
+/// SessionLayout; any disagreement rejects the session (HelloStatus::
+/// BadRegion) before a single packet is popped.
+struct ShmSessionHeader {
+  uint32_t Magic = WireMagic;
+  uint16_t Version = WireVersion;
+  uint16_t Reserved = 0;
+  uint64_t TotalBytes = 0;
+  uint32_t RingSlots = 0;
+  uint32_t Reserved2 = 0;
+  uint64_t ArenaOff = 0;
+  uint64_t ArenaBytes = 0;
+};
+static_assert(sizeof(ShmSessionHeader) == 40);
+static_assert(std::is_trivially_copyable_v<ShmSessionHeader>);
+
+/// Offsets of the pieces inside a region of \p TotalBytes with \p Slots
+/// slots per ring. Both sides compute this independently.
+struct SessionLayout {
+  uint64_t ReqRingOff = 0;
+  uint64_t RespRingOff = 0;
+  uint64_t ArenaOff = 0;
+  uint64_t ArenaBytes = 0;
+  uint64_t TotalBytes = 0;
+  uint32_t RingSlots = 0;
+
+  /// Derives the layout; fails when the region is too small to hold the
+  /// header, both rings and a non-empty arena, or Slots is not a power of
+  /// two in [2, 4096].
+  static exo::Expected<SessionLayout> derive(uint64_t TotalBytes,
+                                             uint32_t Slots);
+};
+
+/// RAII POSIX shm mapping. Movable, not copyable.
+class ShmRegion {
+public:
+  ShmRegion() = default;
+  ~ShmRegion();
+  ShmRegion(ShmRegion &&O) noexcept;
+  ShmRegion &operator=(ShmRegion &&O) noexcept;
+  ShmRegion(const ShmRegion &) = delete;
+  ShmRegion &operator=(const ShmRegion &) = delete;
+
+  /// Client side: creates a fresh region (O_CREAT|O_EXCL under a
+  /// collision-proof generated name), sizes it and maps it.
+  static exo::Expected<ShmRegion> create(uint64_t Bytes);
+
+  /// Server side: maps an existing region by name and verifies its size
+  /// is exactly \p ExpectBytes.
+  static exo::Expected<ShmRegion> open(const std::string &Name,
+                                       uint64_t ExpectBytes);
+
+  /// Removes the name from the namespace; the mapping (and any other
+  /// process's) stays valid. Idempotent.
+  void unlinkName();
+
+  void *base() const { return Base; }
+  uint64_t size() const { return Bytes; }
+  const std::string &name() const { return Name; }
+  bool valid() const { return Base != nullptr; }
+
+  unsigned char *at(uint64_t Off) const {
+    return static_cast<unsigned char *>(Base) + Off;
+  }
+
+private:
+  void reset();
+  void *Base = nullptr;
+  uint64_t Bytes = 0;
+  std::string Name; ///< empty once unlinked (or on the server side)
+  bool Owner = false;
+};
+
+} // namespace ipc
+
+#endif // IPC_SHM_H

@@ -15,6 +15,12 @@
 //   ukr_cachectl prune                evict LRU entries over the size bound
 //   ukr_cachectl verify               dlopen-check every artifact; --fix
 //                                     removes corrupt ones
+//   ukr_cachectl stats                one-shot counter dump: the global
+//                                     Engine plan cache (hits, misses,
+//                                     builds, evictions, sticky errors),
+//                                     the KernelService JIT cache, and the
+//                                     disk cache footprint; --json emits a
+//                                     machine-readable object
 //
 // Common flags:
 //   --dir PATH        operate on this cache root (default:
@@ -28,8 +34,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "benchutil/Json.h"
 #include "dnn/Models.h"
 #include "exo/jit/DiskCache.h"
+#include "gemm/Engine.h"
 #include "gemm/Planner.h"
 #include "ukr/KernelService.h"
 
@@ -52,8 +60,9 @@ void usage(const char *Argv0) {
                "       %s [--dir PATH] warm [--mr N] [--nr N] [--full] "
                "[--jobs N] [--shape MxNxK]... [--model resnet|vgg]\n"
                "       %s [--dir PATH] prune [--max-bytes N]\n"
-               "       %s [--dir PATH] verify [--fix]\n",
-               Argv0, Argv0, Argv0, Argv0);
+               "       %s [--dir PATH] verify [--fix]\n"
+               "       %s [--dir PATH] stats [--json]\n",
+               Argv0, Argv0, Argv0, Argv0, Argv0);
 }
 
 int cmdList() {
@@ -169,12 +178,82 @@ int cmdVerify(bool Fix) {
   return Bad && !Fix ? 1 : 0;
 }
 
+int cmdStats(bool JsonOut) {
+  // The process-global caches this CLI can observe directly: the shared
+  // Engine plan cache, the shared KernelService JIT counters, and the
+  // on-disk artifact store. (A running gemmd's live counters travel over
+  // the wire instead — see docs/GEMMD.md.)
+  gemm::EngineStats ES = gemm::Engine::global().stats();
+  ukr::CacheStats US = ukr::globalCacheStats();
+  JitDiskCache &DC = JitDiskCache::global();
+  std::vector<JitDiskCache::Entry> Entries = DC.list();
+  uint64_t DiskBytes = 0;
+  for (const auto &E : Entries)
+    DiskBytes += E.Bytes;
+
+  if (JsonOut) {
+    benchutil::Json Plan = benchutil::Json::object();
+    Plan.set("hits", static_cast<int64_t>(ES.Hits));
+    Plan.set("misses", static_cast<int64_t>(ES.Misses));
+    Plan.set("builds", static_cast<int64_t>(ES.Builds));
+    Plan.set("rebuilds", static_cast<int64_t>(ES.Rebuilds));
+    Plan.set("evictions", static_cast<int64_t>(ES.Evictions));
+    Plan.set("degenerate", static_cast<int64_t>(ES.Degenerate));
+    Plan.set("sticky_errors", static_cast<int64_t>(ES.StickyErrors));
+    benchutil::Json Jit = benchutil::Json::object();
+    Jit.set("hits", static_cast<int64_t>(US.Hits));
+    Jit.set("misses", static_cast<int64_t>(US.Misses));
+    Jit.set("fallbacks", static_cast<int64_t>(US.Fallbacks));
+    Jit.set("builds", static_cast<int64_t>(US.Builds));
+    Jit.set("failures", static_cast<int64_t>(US.Failures));
+    Jit.set("disk_hits", static_cast<int64_t>(US.DiskHits));
+    Jit.set("compiles", static_cast<int64_t>(US.Compiles));
+    Jit.set("compile_ms", US.CompileMs);
+    benchutil::Json Disk = benchutil::Json::object();
+    Disk.set("enabled", DC.enabled());
+    Disk.set("root", DC.root());
+    Disk.set("artifacts", static_cast<int64_t>(Entries.size()));
+    Disk.set("bytes", static_cast<int64_t>(DiskBytes));
+    benchutil::Json Root = benchutil::Json::object();
+    Root.set("schema", "ukr_cachectl.stats/v1");
+    Root.set("plan_cache", std::move(Plan));
+    Root.set("jit_cache", std::move(Jit));
+    Root.set("disk_cache", std::move(Disk));
+    std::printf("%s\n", Root.dump().c_str());
+    return 0;
+  }
+
+  std::printf("plan cache:  %llu hit / %llu miss, %llu built (%llu rebuilt), "
+              "%llu evicted, %llu degenerate, %llu sticky error(s)\n",
+              static_cast<unsigned long long>(ES.Hits),
+              static_cast<unsigned long long>(ES.Misses),
+              static_cast<unsigned long long>(ES.Builds),
+              static_cast<unsigned long long>(ES.Rebuilds),
+              static_cast<unsigned long long>(ES.Evictions),
+              static_cast<unsigned long long>(ES.Degenerate),
+              static_cast<unsigned long long>(ES.StickyErrors));
+  std::printf("jit cache:   %llu hit / %llu miss, %llu fallback(s), %llu "
+              "build(s) (%llu failed), %llu disk hit(s), %llu compile(s) "
+              "(%.1f ms)\n",
+              static_cast<unsigned long long>(US.Hits),
+              static_cast<unsigned long long>(US.Misses),
+              static_cast<unsigned long long>(US.Fallbacks),
+              static_cast<unsigned long long>(US.Builds),
+              static_cast<unsigned long long>(US.Failures),
+              static_cast<unsigned long long>(US.DiskHits),
+              static_cast<unsigned long long>(US.Compiles), US.CompileMs);
+  std::printf("disk cache:  %zu artifact(s), %llu bytes, root %s%s\n",
+              Entries.size(), static_cast<unsigned long long>(DiskBytes),
+              DC.root().c_str(), DC.enabled() ? "" : " (disabled)");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string Cmd;
   int64_t MR = 8, NR = 12;
-  bool Full = false, Fix = false;
+  bool Full = false, Fix = false, JsonOut = false;
   unsigned Jobs = 0;
   uint64_t MaxBytes = JitDiskCache::configuredMaxBytes();
   std::vector<Problem> Problems;
@@ -234,6 +313,8 @@ int main(int Argc, char **Argv) {
       Full = true;
     } else if (!std::strcmp(Argv[I], "--fix")) {
       Fix = true;
+    } else if (!std::strcmp(Argv[I], "--json")) {
+      JsonOut = true;
     } else if (!std::strcmp(Argv[I], "--help") ||
                !std::strcmp(Argv[I], "-h")) {
       usage(Argv[0]);
@@ -255,6 +336,8 @@ int main(int Argc, char **Argv) {
     return cmdPrune(MaxBytes);
   if (Cmd == "verify")
     return cmdVerify(Fix);
+  if (Cmd == "stats")
+    return cmdStats(JsonOut);
   usage(Argv[0]);
   return 2;
 }
