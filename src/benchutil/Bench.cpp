@@ -2,6 +2,8 @@
 
 #include "benchutil/Bench.h"
 
+#include "exo/support/Env.h"
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -12,10 +14,10 @@ using namespace benchutil;
 
 BenchOptions BenchOptions::parse(int Argc, char **Argv) {
   BenchOptions O;
-  if (const char *S = std::getenv("EXO_BENCH_SECONDS"))
-    O.Seconds = std::atof(S);
-  if (const char *S = std::getenv("EXO_BENCH_BIG"))
-    O.Big = std::atoi(S) != 0;
+  O.Seconds = exo::envDouble("EXO_BENCH_SECONDS",
+                             std::getenv("EXO_BENCH_SECONDS"), O.Seconds,
+                             /*Min=*/0.0, /*Max=*/3600.0);
+  O.Big = exo::envBool("EXO_BENCH_BIG", std::getenv("EXO_BENCH_BIG"), O.Big);
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--big"))
       O.Big = true;

@@ -6,6 +6,7 @@
 
 #include "daemon/Server.h"
 
+#include "exo/support/Env.h"
 #include "ipc/Ring.h"
 #include "ipc/Shm.h"
 #include "ipc/Socket.h"
@@ -31,17 +32,6 @@ using namespace exo;
 namespace gemmd {
 
 namespace {
-
-/// \p S is the raw getenv() result — kept at the call sites so the
-/// docs_knobs_check grep sees each knob name next to its getenv.
-int envInt(const char *S, int Default, int Min, int Max) {
-  if (S && *S) {
-    int V = std::atoi(S);
-    if (V >= Min && V <= Max)
-      return V;
-  }
-  return Default;
-}
 
 uint64_t nowNs() {
   return static_cast<uint64_t>(
@@ -85,6 +75,8 @@ struct Session {
 struct Work {
   std::shared_ptr<Session> S;
   ipc::GemmRequestMsg Req;
+  ipc::GemmBatchRequestMsg BatchReq;
+  bool IsBatch = false;
 };
 
 } // namespace
@@ -117,13 +109,16 @@ struct Server::Impl {
     if (Opts.SocketPath.empty())
       Opts.SocketPath = ipc::defaultSocketPath();
     if (Opts.MaxClients <= 0)
-      Opts.MaxClients = envInt(std::getenv("EXO_GEMMD_MAX_CLIENTS"), 64, 1, 4096);
+      Opts.MaxClients = static_cast<int>(exo::envInt(
+          "EXO_GEMMD_MAX_CLIENTS", std::getenv("EXO_GEMMD_MAX_CLIENTS"), 64,
+          1, 4096));
     if (Opts.Workers == 0)
-      Opts.Workers = static_cast<unsigned>(
-          envInt(std::getenv("EXO_GEMMD_WORKERS"), 1, 1, 256));
+      Opts.Workers = static_cast<unsigned>(exo::envInt(
+          "EXO_GEMMD_WORKERS", std::getenv("EXO_GEMMD_WORKERS"), 1, 1, 256));
     if (Opts.QueueMax == 0)
       Opts.QueueMax = static_cast<size_t>(
-          envInt(std::getenv("EXO_GEMMD_QUEUE_MAX"), 64, 1, 1 << 20));
+          exo::envInt("EXO_GEMMD_QUEUE_MAX",
+                      std::getenv("EXO_GEMMD_QUEUE_MAX"), 64, 1, 1 << 20));
   }
 
   void pollLoop();
@@ -131,6 +126,7 @@ struct Server::Impl {
   void handshake(ipc::Socket Conn);
   void drainSession(const std::shared_ptr<Session> &S);
   void handleGemm(const Work &W);
+  void handleGemmBatch(const Work &W);
   void reapSession(const std::shared_ptr<Session> &S, const char *Why);
   bool sendReply(const std::shared_ptr<Session> &S, const void *Packet,
                  uint32_t Bytes);
@@ -301,7 +297,10 @@ void Server::Impl::drainSession(const std::shared_ptr<Session> &S) {
       {
         std::lock_guard<std::mutex> Lock(QMu);
         if (!Stopping && Queue.size() < Opts.QueueMax) {
-          Queue.push_back(Work{S, Req});
+          Work W;
+          W.S = S;
+          W.Req = Req;
+          Queue.push_back(std::move(W));
           Admitted = true;
         }
       }
@@ -313,6 +312,45 @@ void Server::Impl::drainSession(const std::shared_ptr<Session> &S) {
         BusyTotal.fetch_add(1, std::memory_order_relaxed);
         ipc::GemmReplyMsg Rep;
         Rep.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmReply);
+        Rep.H.Seq = PH.Seq;
+        Rep.H.Bytes = sizeof(Rep);
+        fillReplyError(Rep, ipc::ReqStatus::Busy,
+                       "admission queue full, request dropped");
+        sendReply(S, &Rep, sizeof(Rep));
+      }
+      break;
+    }
+    case ipc::PacketType::GemmBatchRequest: {
+      ipc::GemmBatchRequestMsg Req;
+      if (!ipc::readPacket(Slot, PH.Bytes, Req)) {
+        reapSession(S, "truncated GemmBatchRequest");
+        return;
+      }
+      S->Requests.fetch_add(1, std::memory_order_relaxed);
+      ReqTotal.fetch_add(1, std::memory_order_relaxed);
+      S->LastM.store(Req.M, std::memory_order_relaxed);
+      S->LastN.store(Req.N, std::memory_order_relaxed);
+      S->LastK.store(Req.K, std::memory_order_relaxed);
+      bool Admitted = false;
+      {
+        std::lock_guard<std::mutex> Lock(QMu);
+        if (!Stopping && Queue.size() < Opts.QueueMax) {
+          Work W;
+          W.S = S;
+          W.BatchReq = Req;
+          W.IsBatch = true;
+          Queue.push_back(std::move(W));
+          Admitted = true;
+        }
+      }
+      if (Admitted) {
+        QCv.notify_one();
+      } else {
+        obs::mark("gemmd.busy");
+        S->Busy.fetch_add(1, std::memory_order_relaxed);
+        BusyTotal.fetch_add(1, std::memory_order_relaxed);
+        ipc::GemmReplyMsg Rep;
+        Rep.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmBatchReply);
         Rep.H.Seq = PH.Seq;
         Rep.H.Bytes = sizeof(Rep);
         fillReplyError(Rep, ipc::ReqStatus::Busy,
@@ -507,6 +545,94 @@ void Server::Impl::handleGemm(const Work &W) {
   sendReply(S, &Rep, sizeof(Rep));
 }
 
+void Server::Impl::handleGemmBatch(const Work &W) {
+  const std::shared_ptr<Session> &S = W.S;
+  const ipc::GemmBatchRequestMsg &Q = W.BatchReq;
+  if (S->Dead.load(std::memory_order_relaxed))
+    return; // no one left to read the result
+
+  ipc::GemmReplyMsg Rep;
+  Rep.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmBatchReply);
+  Rep.H.Seq = Q.H.Seq;
+  Rep.H.Bytes = sizeof(Rep);
+
+  // Same wide arithmetic as handleGemm, stretched across the batch: the
+  // strides are required non-negative, so the furthest byte the engine
+  // can touch belongs to the last item — that span must land inside this
+  // client's arena.
+  const uint64_t Arena = S->Layout.ArenaBytes;
+  auto BatchSpanOk = [&](uint64_t Off, int64_t Ld, int64_t Cols,
+                         int64_t Stride) {
+    if (Ld <= 0 || Cols <= 0 || Stride < 0 || Off % sizeof(float) != 0 ||
+        Off > Arena)
+      return false;
+    unsigned __int128 End =
+        static_cast<unsigned __int128>(static_cast<uint64_t>(Stride)) *
+            static_cast<uint64_t>(Q.BatchCount - 1) * sizeof(float) +
+        static_cast<unsigned __int128>(Ld) * static_cast<uint64_t>(Cols) *
+            sizeof(float);
+    return End <= static_cast<unsigned __int128>(Arena - Off);
+  };
+  const int64_t ARows = Q.TA ? Q.K : Q.M;
+  const int64_t ACols = Q.TA ? Q.M : Q.K;
+  const int64_t BRows = Q.TB ? Q.N : Q.K;
+  const int64_t BCols = Q.TB ? Q.K : Q.N;
+  const bool Valid =
+      Q.BatchCount > 0 && Q.M > 0 && Q.N > 0 && Q.K > 0 && Q.TA <= 1 &&
+      Q.TB <= 1 && Q.Lda >= ARows && Q.Ldb >= BRows && Q.Ldc >= Q.M &&
+      (Q.BatchCount == 1 ||
+       static_cast<__int128>(Q.StrideC) >=
+           static_cast<__int128>(Q.Ldc) * Q.N) &&
+      BatchSpanOk(Q.OffA, Q.Lda, ACols, Q.StrideA) &&
+      BatchSpanOk(Q.OffB, Q.Ldb, BCols, Q.StrideB) &&
+      BatchSpanOk(Q.OffC, Q.Ldc, Q.N, Q.StrideC);
+  if (!Valid) {
+    S->Errors.fetch_add(1, std::memory_order_relaxed);
+    ErrTotal.fetch_add(1, std::memory_order_relaxed);
+    fillReplyError(Rep, ipc::ReqStatus::Bad,
+                   "batch geometry escapes the session arena");
+    sendReply(S, &Rep, sizeof(Rep));
+    return;
+  }
+
+  unsigned char *Arena0 = S->Shm.at(S->Layout.ArenaOff);
+  const float *A = reinterpret_cast<const float *>(Arena0 + Q.OffA);
+  const float *B = reinterpret_cast<const float *>(Arena0 + Q.OffB);
+  float *C = reinterpret_cast<float *>(Arena0 + Q.OffC);
+
+  gemm::EngineStats EB = Eng.stats();
+  ukr::CacheStats UB = ukr::globalCacheStats();
+  uint64_t T0 = nowNs();
+  Error E = [&] {
+    EXO_OBS_SPAN("gemmd.batch");
+    return Eng.sgemmStridedBatched(
+        Q.TA ? gemm::Trans::Transpose : gemm::Trans::None,
+        Q.TB ? gemm::Trans::Transpose : gemm::Trans::None, Q.M, Q.N, Q.K,
+        Q.Alpha, A, Q.Lda, Q.StrideA, B, Q.Ldb, Q.StrideB, Q.Beta, C, Q.Ldc,
+        Q.StrideC, Q.BatchCount);
+  }();
+  Rep.ServerNs = nowNs() - T0;
+  gemm::EngineStats EA = Eng.stats();
+  ukr::CacheStats UA = ukr::globalCacheStats();
+  if (EA.Hits > EB.Hits)
+    Rep.Flags |= ipc::ReplyPlanHit;
+  if (EA.Builds > EB.Builds)
+    Rep.Flags |= ipc::ReplyPlanBuilt;
+  if (UA.Compiles > UB.Compiles)
+    Rep.Flags |= ipc::ReplyJitCompiled;
+
+  if (E) {
+    S->Errors.fetch_add(1, std::memory_order_relaxed);
+    ErrTotal.fetch_add(1, std::memory_order_relaxed);
+    fillReplyError(Rep, ipc::ReqStatus::Error, E.message());
+  } else {
+    S->Ok.fetch_add(1, std::memory_order_relaxed);
+    OkTotal.fetch_add(1, std::memory_order_relaxed);
+    Rep.Status = static_cast<int32_t>(ipc::ReqStatus::Ok);
+  }
+  sendReply(S, &Rep, sizeof(Rep));
+}
+
 void Server::Impl::executorLoop() {
   for (;;) {
     Work W;
@@ -521,7 +647,10 @@ void Server::Impl::executorLoop() {
       W = std::move(Queue.front());
       Queue.pop_front();
     }
-    handleGemm(W);
+    if (W.IsBatch)
+      handleGemmBatch(W);
+    else
+      handleGemm(W);
   }
 }
 

@@ -47,6 +47,56 @@ const std::vector<LayerGemm> &dnn::vgg16Layers() {
   return Layers;
 }
 
+namespace {
+/// Deterministic fill in [-1, 1): same seed, same bits, every build.
+void fillLcg(std::vector<float> &V, uint32_t &State) {
+  for (float &X : V) {
+    State = State * 1664525u + 1013904223u;
+    X = static_cast<float>(State >> 8) * (2.0f / 16777216.0f) - 1.0f;
+  }
+}
+} // namespace
+
+ModelBatch dnn::buildModelBatch(const std::vector<LayerGemm> &Layers,
+                                uint32_t Seed) {
+  ModelBatch MB;
+  uint32_t State = Seed * 2654435761u + 1u;
+  for (const LayerGemm &L : Layers) {
+    // One A and one B per table row, shared by its Count instances.
+    MB.Storage.emplace_back(static_cast<size_t>(L.M * L.K));
+    fillLcg(MB.Storage.back(), State);
+    const float *A = MB.Storage.back().data();
+    MB.Storage.emplace_back(static_cast<size_t>(L.K * L.N));
+    fillLcg(MB.Storage.back(), State);
+    const float *B = MB.Storage.back().data();
+    for (int Inst = 0; Inst != L.Count; ++Inst) {
+      MB.Storage.emplace_back(static_cast<size_t>(L.M * L.N), 0.0f);
+      gemm::GemmBatchItem It;
+      It.M = L.M;
+      It.N = L.N;
+      It.K = L.K;
+      It.A = A;
+      It.Lda = L.M;
+      It.B = B;
+      It.Ldb = L.K;
+      It.C = MB.Storage.back().data();
+      It.Ldc = L.M;
+      MB.Items.push_back(It);
+      MB.Flops += L.flops();
+    }
+  }
+  return MB;
+}
+
+exo::Error dnn::runModelSequential(gemm::Engine &Eng, ModelBatch &MB) {
+  for (gemm::GemmBatchItem &It : MB.Items)
+    if (exo::Error E =
+            Eng.sgemm(It.TA, It.TB, It.M, It.N, It.K, It.Alpha, It.A, It.Lda,
+                      It.B, It.Ldb, It.Beta, It.C, It.Ldc))
+      return E;
+  return exo::Error::success();
+}
+
 LayerGemm dnn::im2rowGemm(int Id, int64_t InC, int64_t OutC, int64_t InH,
                           int64_t InW, int64_t Kh, int64_t Kw, int64_t Stride,
                           int64_t Pad) {

@@ -17,6 +17,8 @@
 #ifndef DNN_MODELS_H
 #define DNN_MODELS_H
 
+#include "gemm/Engine.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +47,43 @@ const std::vector<LayerGemm> &vgg16Layers();
 LayerGemm im2rowGemm(int Id, int64_t InC, int64_t OutC, int64_t InH,
                      int64_t InW, int64_t Kh, int64_t Kw, int64_t Stride,
                      int64_t Pad);
+
+/// A whole model's worth of layer GEMMs materialized as ONE
+/// Engine::sgemmBatched call: every layer instance (table multiplicity
+/// expanded) becomes a GemmBatchItem over storage owned here. Instances
+/// that share a table row share their A and B operands — the memory shape
+/// a stride-0 strided batch has — while each instance owns a distinct C,
+/// as the batched API requires.
+struct ModelBatch {
+  std::vector<gemm::GemmBatchItem> Items; ///< one per layer instance
+  double Flops = 0;                       ///< 2*m*n*k summed over Items
+  /// Backing buffers the Items point into; moving the ModelBatch keeps
+  /// the pointers valid (vector storage does not relocate on move).
+  std::vector<std::vector<float>> Storage;
+
+  ModelBatch() = default;
+  ModelBatch(ModelBatch &&) = default;
+  ModelBatch &operator=(ModelBatch &&) = default;
+  ModelBatch(const ModelBatch &) = delete; ///< Items would alias Storage
+  ModelBatch &operator=(const ModelBatch &) = delete;
+};
+
+/// Builds the batch for a layer table, filling operands deterministically
+/// from \p Seed so two builds are bitwise-identical inputs (alpha = 1,
+/// beta = 0, column-major with Ld = rows).
+ModelBatch buildModelBatch(const std::vector<LayerGemm> &Layers,
+                           uint32_t Seed);
+
+/// Runs the whole model through one batched engine call.
+inline exo::Error runModelBatch(gemm::Engine &Eng, ModelBatch &MB) {
+  return Eng.sgemmBatched(MB.Items.data(),
+                          static_cast<int64_t>(MB.Items.size()));
+}
+
+/// Runs the same items one Engine::sgemm at a time — the sequential
+/// baseline the batched path is measured (and differentially tested)
+/// against.
+exo::Error runModelSequential(gemm::Engine &Eng, ModelBatch &MB);
 
 } // namespace dnn
 

@@ -5,6 +5,7 @@
 #include "exo/support/Str.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -254,6 +255,33 @@ bool JitDiskCache::remove(uint64_t Key) {
   return Removed;
 }
 
+namespace {
+
+std::atomic<uint64_t> GCorruptMeta{0};
+
+/// Checked parse of a numeric sidecar field: the whole value must be
+/// base-10 digits in uint32_t range. atoi here let a truncated "abi=" line
+/// silently read as ABI 0 — a value that can collide with a real (if never
+/// current) ABI — so any malformed value now marks the entry corrupt
+/// instead of inventing one.
+bool parseMetaU32(const char *Value, uint32_t &Out) {
+  if (!*Value)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Value, &End, 10);
+  if (End == Value || *End != '\0' || errno == ERANGE || V > UINT32_MAX)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+} // namespace
+
+uint64_t JitDiskCache::corruptMetaObserved() {
+  return GCorruptMeta.load(std::memory_order_relaxed);
+}
+
 std::vector<JitDiskCache::Entry> JitDiskCache::list() {
   std::vector<Entry> Out;
   if (Root.empty())
@@ -277,15 +305,18 @@ std::vector<JitDiskCache::Entry> JitDiskCache::list() {
     std::ifstream Meta(entryPath(En.Key, ".meta"));
     std::string Line;
     while (std::getline(Meta, Line)) {
-      if (startsWith(Line, "abi="))
-        En.Meta.Abi = static_cast<uint32_t>(std::atoi(Line.c_str() + 4));
-      else if (startsWith(Line, "symbol="))
+      if (startsWith(Line, "abi=")) {
+        if (!parseMetaU32(Line.c_str() + 4, En.Meta.Abi))
+          En.MetaCorrupt = true;
+      } else if (startsWith(Line, "symbol="))
         En.Meta.Symbol = Line.substr(7);
       else if (startsWith(Line, "flags="))
         En.Meta.Flags = Line.substr(6);
       else if (startsWith(Line, "compiler="))
         En.Meta.Compiler = Line.substr(9);
     }
+    if (En.MetaCorrupt)
+      GCorruptMeta.fetch_add(1, std::memory_order_relaxed);
     Out.push_back(std::move(En));
   }
   closedir(D);
@@ -297,6 +328,11 @@ std::vector<JitDiskCache::Entry> JitDiskCache::list() {
 
 size_t JitDiskCache::pruneLocked(uint64_t MaxBytes) {
   std::vector<Entry> Entries = list();
+  // Corrupt-sidecar entries are the least trustworthy contents of the
+  // cache; when space must be reclaimed they go before any healthy entry,
+  // regardless of recency.
+  std::stable_partition(Entries.begin(), Entries.end(),
+                        [](const Entry &E) { return E.MetaCorrupt; });
   uint64_t Total = 0;
   for (const Entry &E : Entries)
     Total += E.Bytes;

@@ -114,10 +114,21 @@ public:
     ArtifactMeta Meta;
     uint64_t Bytes = 0;
     int64_t Mtime = 0;
+    /// The sidecar existed but a field would not parse (e.g. a truncated
+    /// or garbage abi= line). Meta keeps its defaults — it must not be
+    /// trusted — and consumers treat the entry as corrupt (`ukr_cachectl
+    /// verify` flags it; pruning evicts it first). A *missing* sidecar is
+    /// legal and does not set this.
+    bool MetaCorrupt = false;
   };
 
   /// All entries, oldest first.
   std::vector<Entry> list();
+
+  /// Process-wide count of corrupt sidecars observed by list() scans
+  /// (monotonic; one increment per corrupt entry per scan). Surfaces in
+  /// ukr::CacheStats::CorruptMeta.
+  static uint64_t corruptMetaObserved();
 
   /// Evicts oldest entries until the cache holds at most \p MaxBytes.
   /// Returns the number of evicted artifacts.

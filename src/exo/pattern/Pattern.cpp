@@ -5,6 +5,9 @@
 #include "exo/support/Str.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 
 using namespace exo;
 
@@ -35,15 +38,30 @@ bool ExprPattern::matches(const ExprPtr &E) const {
   return R && R->buffer() == Buf;
 }
 
-/// Strips a trailing `#k` selector, storing k in \p Occurrence.
-static std::string stripOccurrence(std::string_view Text, int &Occurrence) {
+/// Strips a trailing `#k` selector, storing k in \p Occurrence. The pattern
+/// text is user input (schedule scripts, fuzz repro files), so the index is
+/// range-checked here instead of std::stoi — which threw std::out_of_range
+/// straight through the parser on inputs like `#99999999999999999999` —
+/// and an overflowing selector becomes a parse error via \p Err.
+static std::string stripOccurrence(std::string_view Text, int &Occurrence,
+                                   Error &Err) {
   Occurrence = 0;
   size_t Hash = Text.rfind('#');
   if (Hash == std::string_view::npos)
     return std::string(trim(Text));
   std::string Num(trim(Text.substr(Hash + 1)));
-  if (!Num.empty() && Num.find_first_not_of("0123456789") == std::string::npos)
-    Occurrence = std::stoi(Num);
+  if (!Num.empty() &&
+      Num.find_first_not_of("0123456789") == std::string::npos) {
+    errno = 0;
+    char *End = nullptr;
+    long long V = std::strtoll(Num.c_str(), &End, 10);
+    if (errno == ERANGE || V > INT_MAX) {
+      Err = errorf("occurrence index '#%s' out of range in pattern '%.*s'",
+                   Num.c_str(), static_cast<int>(Text.size()), Text.data());
+      return std::string();
+    }
+    Occurrence = static_cast<int>(V);
+  }
   return std::string(trim(Text.substr(0, Hash)));
 }
 
@@ -63,7 +81,10 @@ static bool isIdentOrWild(std::string_view S) {
 
 Expected<StmtPattern> exo::parseStmtPattern(const std::string &Text) {
   StmtPattern P;
-  std::string Body = stripOccurrence(Text, P.Occurrence);
+  Error OccErr;
+  std::string Body = stripOccurrence(Text, P.Occurrence, OccErr);
+  if (OccErr)
+    return OccErr;
 
   // "for <var> in _: _"
   if (startsWith(Body, "for ")) {
@@ -126,7 +147,10 @@ Expected<StmtPattern> exo::parseStmtPattern(const std::string &Text) {
 
 Expected<ExprPattern> exo::parseExprPattern(const std::string &Text) {
   ExprPattern P;
-  std::string Body = stripOccurrence(Text, P.Occurrence);
+  Error OccErr;
+  std::string Body = stripOccurrence(Text, P.Occurrence, OccErr);
+  if (OccErr)
+    return OccErr;
   if (!endsWith(Body, "[_]"))
     return errorf("bad expression pattern '%s' (expected 'buf[_]')",
                   Text.c_str());

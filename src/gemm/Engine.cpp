@@ -2,6 +2,7 @@
 
 #include "gemm/Engine.h"
 
+#include "exo/support/Env.h"
 #include "gemm/ExoProvider.h"
 #include "gemm/Kernels.h"
 #include "gemm/ThreadPool.h"
@@ -87,21 +88,14 @@ struct CacheEntry {
 };
 
 int64_t envPlanCacheCap() {
-  const char *V = std::getenv("EXO_GEMM_PLAN_CACHE_CAP");
-  if (!V || !*V)
-    return 256;
-  char *End = nullptr;
-  long long N = std::strtoll(V, &End, 10);
-  if (End == V || *End != '\0' || N < 1)
-    return 256;
-  return static_cast<int64_t>(N);
+  return exo::envInt("EXO_GEMM_PLAN_CACHE_CAP",
+                     std::getenv("EXO_GEMM_PLAN_CACHE_CAP"),
+                     /*Default=*/256, /*Min=*/1, /*Max=*/1 << 30);
 }
 
 bool envPlanCacheOn() {
-  const char *V = std::getenv("EXO_GEMM_PLAN_CACHE");
-  if (!V || !*V)
-    return true;
-  return std::strtoll(V, nullptr, 10) != 0;
+  return exo::envBool("EXO_GEMM_PLAN_CACHE",
+                      std::getenv("EXO_GEMM_PLAN_CACHE"), true);
 }
 
 } // namespace
@@ -126,6 +120,8 @@ struct Engine::Impl {
   std::atomic<uint64_t> Tick{0};
   std::atomic<uint64_t> Hits{0}, Misses{0}, Builds{0}, Rebuilds{0},
       Evictions{0}, Degenerate{0}, StickyErrors{0};
+  std::atomic<uint64_t> BatchedItems{0}, BatchedGroups{0},
+      BatchedCrossItem{0};
 
   std::shared_ptr<ExoProvider> exoProviderFor(int64_t MR, int64_t NR) {
     std::lock_guard<std::mutex> Lock(ProvMu);
@@ -432,6 +428,207 @@ Error Engine::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
   return Error::success();
 }
 
+namespace {
+
+/// Pool-callback context for one cross-item chunk: worker Tid runs items
+/// Tid, Tid + W, Tid + 2W, ... whole, each in its own workspace. The plan
+/// was keyed with T == 1, so the inner executeGemm dispatches inline and
+/// never re-enters the pool with a team.
+struct BatchJob {
+  const detail::GemmGeometry *G;
+  const GemmBatchItem *Base;   ///< the caller's item array
+  const int64_t *Idx;          ///< indices of this chunk's items
+  int64_t NItems;              ///< chunk size
+  int64_t W;                   ///< worker count (= stride)
+  detail::GemmWorkspace *const *WSs; ///< one workspace per worker
+};
+
+void runBatchItems(void *Ctx, int64_t Tid) {
+  const BatchJob &J = *static_cast<BatchJob *>(Ctx);
+  for (int64_t I = Tid; I < J.NItems; I += J.W) {
+    const GemmBatchItem &It = J.Base[J.Idx[I]];
+    detail::executeGemm(*J.G,
+                        detail::GemmCall{It.TA, It.TB, It.M, It.N, It.K,
+                                         It.Alpha, It.A, It.Lda, It.B, It.Ldb,
+                                         It.Beta, It.C, It.Ldc},
+                        *J.WSs[Tid]);
+  }
+}
+
+/// Max items per cross-item dispatch: chunking bounds the per-batch index
+/// array and lets provisional-plan rebuilds land mid-batch on huge batches.
+int64_t batchGroupMax() {
+  return exo::envInt("EXO_GEMM_BATCH_GROUP_MAX",
+                     std::getenv("EXO_GEMM_BATCH_GROUP_MAX"),
+                     /*Default=*/4096, /*Min=*/1, /*Max=*/1 << 30);
+}
+
+} // namespace
+
+Error Engine::sgemmBatched(const GemmBatchItem *Items, int64_t Count) {
+  if (Count < 0)
+    return errorf("gemm engine: negative batch count");
+  if (Count > 0 && !Items)
+    return errorf("gemm engine: null batch item array");
+  // Validate the whole batch before touching any C: a batch either starts
+  // or fails — callers never see half-written output on a bad item.
+  for (int64_t Ix = 0; Ix < Count; ++Ix)
+    if (Items[Ix].M < 0 || Items[Ix].N < 0 || Items[Ix].K < 0)
+      return errorf("gemm engine: negative dimension in batch item %lld",
+                    static_cast<long long>(Ix));
+  if (I->Cfg.Series == EngineSeries::Custom && !I->Fixed)
+    return errorf("gemm engine: custom series without a provider");
+  I->BatchedItems.fetch_add(static_cast<uint64_t>(Count),
+                            std::memory_order_relaxed);
+  if (Count == 0)
+    return Error::success();
+
+  // Degenerate items resolve inline (sgemm's quick-return semantics, in
+  // batch order — they never group or plan); the rest group by shape so
+  // each distinct (TA, TB, M, N, K) plans once.
+  std::map<std::tuple<uint8_t, uint8_t, int64_t, int64_t, int64_t>,
+           std::vector<int64_t>>
+      Groups;
+  for (int64_t Ix = 0; Ix < Count; ++Ix) {
+    const GemmBatchItem &It = Items[Ix];
+    if (It.M == 0 || It.N == 0) {
+      I->Degenerate.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (It.K == 0 || It.Alpha == 0.0f) {
+      I->Degenerate.fetch_add(1, std::memory_order_relaxed);
+      detail::scaleByBeta(It.M, It.N, It.Beta, It.C, It.Ldc);
+      continue;
+    }
+    Groups[{static_cast<uint8_t>(It.TA), static_cast<uint8_t>(It.TB), It.M,
+            It.N, It.K}]
+        .push_back(Ix);
+  }
+
+  const int64_t T = resolveGemmThreads(I->Cfg.Threads);
+  for (const auto &[Shape, Idx] : Groups) {
+    const auto &[TA, TB, M, N, K] = Shape;
+    const int64_t GroupItems = static_cast<int64_t>(Idx.size());
+    const bool Cross =
+        batchPrefersCrossItem(M, N, K, T, GroupItems) &&
+        !ThreadPool::global().inParallel();
+    // Cross-item groups run every item single-threaded, so they want the
+    // T == 1 plan — a distinct cache key from the intra-item plan, which
+    // is exactly right: the two strategies use different geometry.
+    PlanKey Key{TA, TB, M, N, K, Cross ? 1 : T, I->Cfg.Isa};
+
+    std::shared_ptr<ExecPlan> Plan;
+    if (!I->CacheOn) {
+      I->Misses.fetch_add(1, std::memory_order_relaxed);
+      Expected<std::shared_ptr<ExecPlan>> Built = I->build(Key);
+      if (!Built)
+        return Built.takeError();
+      I->Builds.fetch_add(1, std::memory_order_relaxed);
+      Plan = Built.take();
+    } else {
+      Error Err = Error::success();
+      Plan = I->lookupOrBuild(Key, Err);
+      if (!Plan)
+        return Err;
+    }
+    I->BatchedGroups.fetch_add(1, std::memory_order_relaxed);
+
+    if (Plan->Provisional) {
+      // Credit the whole group; rebuild when the count crosses a period
+      // boundary (the batched analogue of sgemm's per-call check).
+      uint64_t Before = Plan->Calls.fetch_add(
+          static_cast<uint64_t>(GroupItems), std::memory_order_relaxed);
+      if (Before / RebuildPeriod !=
+          (Before + static_cast<uint64_t>(GroupItems)) / RebuildPeriod)
+        I->maybeRebuild(Key, Plan);
+    }
+
+    if (!Cross) {
+      // Intra-item slab parallelism: the sgemm execution body, amortizing
+      // one workspace acquisition over the group.
+      std::unique_ptr<detail::GemmWorkspace> WS = Plan->acquire();
+      if (!WS) {
+        WS = std::make_unique<detail::GemmWorkspace>();
+        WS->ensure(Plan->G);
+      }
+      for (int64_t Ix : Idx) {
+        const GemmBatchItem &It = Items[Ix];
+        detail::executeGemm(Plan->G,
+                            detail::GemmCall{It.TA, It.TB, It.M, It.N, It.K,
+                                             It.Alpha, It.A, It.Lda, It.B,
+                                             It.Ldb, It.Beta, It.C, It.Ldc},
+                            *WS);
+      }
+      Plan->release(std::move(WS));
+      continue;
+    }
+
+    // Cross-item scheduling: one whole item per pool worker, per-worker
+    // workspaces from the plan's pool. Chunked so enormous batches bound
+    // their index spans.
+    I->BatchedCrossItem.fetch_add(static_cast<uint64_t>(GroupItems),
+                                  std::memory_order_relaxed);
+    const int64_t ChunkMax = batchGroupMax();
+    for (int64_t At = 0; At < GroupItems; At += ChunkMax) {
+      const int64_t NItems = std::min(ChunkMax, GroupItems - At);
+      const int64_t W = std::min<int64_t>(T, NItems);
+      std::vector<std::unique_ptr<detail::GemmWorkspace>> Owned(
+          static_cast<size_t>(W));
+      std::vector<detail::GemmWorkspace *> WSs(static_cast<size_t>(W));
+      for (int64_t WI = 0; WI < W; ++WI) {
+        Owned[WI] = Plan->acquire();
+        if (!Owned[WI]) {
+          Owned[WI] = std::make_unique<detail::GemmWorkspace>();
+          Owned[WI]->ensure(Plan->G);
+        }
+        WSs[WI] = Owned[WI].get();
+      }
+      BatchJob Job{&Plan->G, Items, Idx.data() + At, NItems, W, WSs.data()};
+      ThreadPool::global().parallel(W, &runBatchItems, &Job);
+      for (int64_t WI = 0; WI < W; ++WI)
+        Plan->release(std::move(Owned[WI]));
+    }
+  }
+  return Error::success();
+}
+
+Error Engine::sgemmStridedBatched(Trans TA, Trans TB, int64_t M, int64_t N,
+                                  int64_t K, float Alpha, const float *A,
+                                  int64_t Lda, int64_t StrideA,
+                                  const float *B, int64_t Ldb,
+                                  int64_t StrideB, float Beta, float *C,
+                                  int64_t Ldc, int64_t StrideC,
+                                  int64_t BatchCount) {
+  if (BatchCount < 0)
+    return errorf("gemm engine: negative batch count");
+  if (StrideA < 0 || StrideB < 0 || StrideC < 0)
+    return errorf("gemm engine: negative batch stride");
+  // Disjoint-C rule (same as cuBLAS): items may run concurrently, so
+  // overlapping C regions would race — and would not match sequential
+  // semantics anyway.
+  if (BatchCount > 1 && M > 0 && N > 0 && StrideC < Ldc * N)
+    return errorf("gemm engine: StrideC (%lld) overlaps C items "
+                  "(need >= Ldc * N = %lld)",
+                  static_cast<long long>(StrideC),
+                  static_cast<long long>(Ldc * N));
+  std::vector<GemmBatchItem> Items(static_cast<size_t>(BatchCount));
+  for (int64_t Ix = 0; Ix < BatchCount; ++Ix)
+    Items[Ix] = GemmBatchItem{TA,
+                              TB,
+                              M,
+                              N,
+                              K,
+                              Alpha,
+                              A + Ix * StrideA,
+                              Lda,
+                              B + Ix * StrideB,
+                              Ldb,
+                              Beta,
+                              C + Ix * StrideC,
+                              Ldc};
+  return sgemmBatched(Items.data(), BatchCount);
+}
+
 Expected<PlanChoice> Engine::planFor(Trans TA, Trans TB, int64_t M,
                                      int64_t N, int64_t K) {
   if (M <= 0 || N <= 0 || K <= 0)
@@ -538,6 +735,9 @@ EngineStats Engine::stats() const {
   S.Evictions = I->Evictions.load(std::memory_order_relaxed);
   S.Degenerate = I->Degenerate.load(std::memory_order_relaxed);
   S.StickyErrors = I->StickyErrors.load(std::memory_order_relaxed);
+  S.BatchedItems = I->BatchedItems.load(std::memory_order_relaxed);
+  S.BatchedGroups = I->BatchedGroups.load(std::memory_order_relaxed);
+  S.BatchedCrossItem = I->BatchedCrossItem.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -549,6 +749,9 @@ void Engine::resetStats() {
   I->Evictions.store(0);
   I->Degenerate.store(0);
   I->StickyErrors.store(0);
+  I->BatchedItems.store(0);
+  I->BatchedGroups.store(0);
+  I->BatchedCrossItem.store(0);
 }
 
 const char *Engine::seriesName() const { return I->Name; }

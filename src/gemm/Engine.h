@@ -98,6 +98,28 @@ struct EngineStats {
   uint64_t Evictions = 0;  ///< plans dropped by the cache cap
   uint64_t Degenerate = 0; ///< calls answered by the quick return
   uint64_t StickyErrors = 0; ///< sticky build failures recorded in the cache
+  uint64_t BatchedItems = 0;  ///< items seen by the batched entry points
+  uint64_t BatchedGroups = 0; ///< distinct shape groups executed in batches
+  uint64_t BatchedCrossItem = 0; ///< items run whole-item across the pool
+};
+
+/// One problem of a batch handed to Engine::sgemmBatched. Identical field
+/// semantics to the corresponding sgemm arguments. Precondition: distinct
+/// items' C regions must not overlap — small-item groups execute
+/// concurrently, one item per pool worker, so an overlap would be a data
+/// race (and would break the batched == N-sequential-calls equivalence).
+/// A and B may be shared between items freely.
+struct GemmBatchItem {
+  Trans TA = Trans::None, TB = Trans::None;
+  int64_t M = 0, N = 0, K = 0;
+  float Alpha = 1.0f;
+  const float *A = nullptr;
+  int64_t Lda = 0;
+  const float *B = nullptr;
+  int64_t Ldb = 0;
+  float Beta = 0.0f;
+  float *C = nullptr;
+  int64_t Ldc = 0;
 };
 
 /// See file comment.
@@ -128,6 +150,37 @@ public:
     return sgemm(Trans::None, Trans::None, M, N, K, Alpha, A, Lda, B, Ldb,
                  Beta, C, Ldc);
   }
+
+  /// Executes \p Count independent GEMMs, result-equivalent (bitwise, for
+  /// every thread count) to calling sgemm once per item in order. Items
+  /// are grouped by (TA, TB, M, N, K) so each distinct shape hits the plan
+  /// cache once, and each group picks its execution strategy via the
+  /// planner's cache model (batchPrefersCrossItem): large items keep the
+  /// intra-item team split, small items run whole — one item per pool
+  /// worker with its own pooled packing workspace — so a batch of
+  /// thousands of tiny GEMMs stops wasting the pool on shapes too small
+  /// to split. Validates every item before any work: on error, no C is
+  /// written. Degenerate items (M/N/K == 0, alpha == 0) follow sgemm's
+  /// quick-return semantics wherever they sit in the batch.
+  exo::Error sgemmBatched(const GemmBatchItem *Items, int64_t Count);
+
+  /// Convenience overload.
+  exo::Error sgemmBatched(const std::vector<GemmBatchItem> &Items) {
+    return sgemmBatched(Items.data(), static_cast<int64_t>(Items.size()));
+  }
+
+  /// Strided-batched form (the cuBLAS-style layout): item i computes
+  /// C + i*StrideC = alpha * op(A + i*StrideA) * op(B + i*StrideB) +
+  /// beta * (C + i*StrideC), strides in elements. StrideA/StrideB may be 0
+  /// (operand shared across items); StrideC must keep the C regions
+  /// disjoint — with BatchCount > 1 it must be >= Ldc * N (checked), the
+  /// same rule cuBLAS imposes, because items may execute concurrently.
+  exo::Error sgemmStridedBatched(Trans TA, Trans TB, int64_t M, int64_t N,
+                                 int64_t K, float Alpha, const float *A,
+                                 int64_t Lda, int64_t StrideA, const float *B,
+                                 int64_t Ldb, int64_t StrideB, float Beta,
+                                 float *C, int64_t Ldc, int64_t StrideC,
+                                 int64_t BatchCount);
 
   /// Builds (and caches) the plan for a shape ahead of traffic and
   /// prefetches its kernel family through KernelService. \p Wait blocks

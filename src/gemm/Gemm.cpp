@@ -285,6 +285,23 @@ void detail::executeGemm(const GemmGeometry &G, const GemmCall &Call,
   // construction is a single relaxed load when EXO_OBS is unset. The
   // spans only observe; results are bitwise identical either way.
   EXO_OBS_SPAN("gemm.call");
+  // Nested call (this thread is already inside a pool job — e.g. a batched
+  // cross-item worker, or a user callback issuing a GEMM): a T-member team
+  // cannot form, and letting the pool degrade a T > 1 job inline would
+  // deadlock on the TeamBarrier (each Tid would wait for teammates that
+  // never run concurrently). Collapse to the single-member geometry
+  // instead — results are bitwise identical for every team size by the
+  // thread-count-invariance guarantee (see Gemm.h), so this only changes
+  // scheduling, never output.
+  if (G.T > 1 && ThreadPool::global().inParallel()) {
+    GemmGeometry G1 = G;
+    G1.T = 1;
+    G1.Tic = 1;
+    G1.Tjr = 1;
+    TeamJob Job{&G1, &Call, &WS, nullptr}; // T == 1 never touches the barrier
+    runTeamMember(&Job, 0);
+    return;
+  }
   TeamBarrier Bar(G.T);
   TeamJob Job{&G, &Call, &WS, &Bar};
   ThreadPool::global().parallel(G.T, &runTeamMember, &Job);

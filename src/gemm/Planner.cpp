@@ -2,6 +2,7 @@
 
 #include "gemm/Planner.h"
 
+#include "exo/support/Env.h"
 #include "gemm/CacheModel.h"
 
 #include <algorithm>
@@ -207,6 +208,34 @@ PlanChoice gemm::choosePlan(int64_t M, int64_t N, int64_t K,
   }
   auto [Mr, Nr] = pickTileForProblem(M, N, K, ForceIsa);
   return PlanChoice{Mr, Nr, "model"};
+}
+
+int64_t gemm::batchCrossoverBytes() {
+  // Read per call (not statically cached) so tests and operators can flip
+  // EXO_GEMM_BATCH_CROSSOVER between batches. The default is the cache
+  // model's host L2: the largest footprint one core can keep private while
+  // its siblings each run their own item.
+  int64_t L2 = CacheConfig::host().L2.SizeBytes;
+  if (L2 <= 0)
+    L2 = 1 << 20;
+  return exo::envInt("EXO_GEMM_BATCH_CROSSOVER",
+                     std::getenv("EXO_GEMM_BATCH_CROSSOVER"),
+                     /*Default=*/L2, /*Min=*/0,
+                     /*Max=*/int64_t(1) << 40);
+}
+
+bool gemm::batchPrefersCrossItem(int64_t M, int64_t N, int64_t K,
+                                 int64_t Threads, int64_t Items) {
+  if (Threads <= 1 || Items <= 1)
+    return false; // nothing to spread, or no one to spread it over
+  // Per-item working set: the A and B operands plus the C block, as the
+  // five-loop driver streams them. Wide arithmetic — callers pass raw
+  // user dimensions.
+  const double Floats = static_cast<double>(M) * static_cast<double>(K) +
+                        static_cast<double>(K) * static_cast<double>(N) +
+                        static_cast<double>(M) * static_cast<double>(N);
+  return Floats * static_cast<double>(sizeof(float)) <=
+         static_cast<double>(batchCrossoverBytes());
 }
 
 std::vector<ukr::UkrConfig> gemm::planKernelFamily(int64_t M, int64_t N,

@@ -74,6 +74,23 @@ std::vector<ukr::UkrConfig> planKernelFamily(int64_t M, int64_t N, int64_t K);
 bool lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
                      int64_t K, int64_t &MrOut, int64_t &NrOut);
 
+/// Working-set size below which a batch item counts as "small" for the
+/// batched entry points' strategy choice: the host L2 capacity from the
+/// cache model (an item whose A + B + C footprint fits in one core's
+/// private L2 gains nothing from splitting loop 3 across cores, and
+/// everything from running whole on one core while its siblings do the
+/// same). Overridable via EXO_GEMM_BATCH_CROSSOVER (bytes; read per call
+/// so tests can flip it).
+int64_t batchCrossoverBytes();
+
+/// Strategy choice for one shape group of a batch: true selects cross-item
+/// scheduling (one whole item per pool worker), false the intra-item team
+/// split Engine::sgemm uses. Cross-item requires real parallelism and more
+/// than one item to spread; beyond that it is a pure working-set test
+/// against batchCrossoverBytes().
+bool batchPrefersCrossItem(int64_t M, int64_t N, int64_t K, int64_t Threads,
+                           int64_t Items);
+
 } // namespace gemm
 
 #endif // GEMM_PLANNER_H

@@ -2,15 +2,36 @@
 
 #include "gemm/ThreadPool.h"
 
+#include "exo/support/Env.h"
+
 #include <cstdlib>
 #include <cstring>
 
 using namespace gemm;
 
+namespace {
+/// The pool whose job the current thread is executing, if any. Set around
+/// every job body (caller Tid 0 and workers alike) so parallel() can detect
+/// re-entrant calls and inParallel() can answer from any thread.
+thread_local const ThreadPool *CurrentJobPool = nullptr;
+
+/// RAII setter restoring the previous value (re-entrant degradation can
+/// itself be nested).
+struct JobPoolScope {
+  const ThreadPool *Prev;
+  explicit JobPoolScope(const ThreadPool *P) : Prev(CurrentJobPool) {
+    CurrentJobPool = P;
+  }
+  ~JobPoolScope() { CurrentJobPool = Prev; }
+};
+} // namespace
+
 ThreadPool &ThreadPool::global() {
   static ThreadPool Pool;
   return Pool;
 }
+
+bool ThreadPool::inParallel() const { return CurrentJobPool == this; }
 
 ThreadPool::~ThreadPool() {
   {
@@ -42,7 +63,10 @@ void ThreadPool::workerLoop(int64_t WorkerIdx) {
     ParallelFn MyFn = JobFn;
     void *MyCtx = JobCtx;
     Lock.unlock();
-    MyFn(MyCtx, WorkerIdx + 1);
+    {
+      JobPoolScope Scope(this);
+      MyFn(MyCtx, WorkerIdx + 1);
+    }
     Lock.lock();
     if (--Remaining == 0)
       CvDone.notify_all();
@@ -52,6 +76,16 @@ void ThreadPool::workerLoop(int64_t WorkerIdx) {
 void ThreadPool::parallel(int64_t NThreads, ParallelFn Fn, void *Ctx) {
   if (NThreads <= 1) {
     Fn(Ctx, 0);
+    return;
+  }
+  // Re-entrant call: this thread is already inside a job of this pool, so
+  // blocking on JobMu would deadlock (Tid 0 holds it) or stall the outer
+  // team (a worker's nested wait keeps the outer Remaining from draining).
+  // Degrade to inline sequential execution of every Tid. Only valid for
+  // bodies whose Tids do not synchronize with each other — see the header.
+  if (CurrentJobPool == this) {
+    for (int64_t Tid = 0; Tid < NThreads; ++Tid)
+      Fn(Ctx, Tid);
     return;
   }
   // One job at a time: concurrent callers (independent GEMMs sharing the
@@ -72,7 +106,10 @@ void ThreadPool::parallel(int64_t NThreads, ParallelFn Fn, void *Ctx) {
     ++Gen;
   }
   CvWork.notify_all();
-  Fn(Ctx, 0);
+  {
+    JobPoolScope Scope(this);
+    Fn(Ctx, 0);
+  }
   std::unique_lock<std::mutex> Lock(Mu);
   CvDone.wait(Lock, [&] { return Remaining == 0; });
   JobFn = nullptr;
@@ -101,10 +138,10 @@ int64_t gemm::resolveGemmThreads(int64_t PlanThreads) {
   };
   if (std::strcmp(V, "auto") == 0)
     return Auto();
-  char *End = nullptr;
-  long long N = std::strtoll(V, &End, 10);
-  if (End == V || *End != '\0' || N < 0)
-    return 1; // unparsable: stay sequential rather than surprise-scale
+  // Unparsable or out-of-range values warn and stay sequential rather than
+  // surprise-scale.
+  long long N = exo::envInt("EXO_GEMM_THREADS", V, /*Default=*/1, /*Min=*/0,
+                            /*Max=*/1 << 20);
   if (N == 0)
     return Auto();
   return static_cast<int64_t>(N);

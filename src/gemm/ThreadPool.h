@@ -17,9 +17,10 @@
 ///      call. The pool only ever grows, up to the largest team requested.
 ///   3. Fork-join with the caller participating: parallel(N, Body) runs
 ///      Body(0) on the calling thread and Body(1..N-1) on workers, and
-///      returns when all N are done. One job at a time (the pool is a
-///      low-level primitive; the GEMM driver is its only client and never
-///      nests).
+///      returns when all N are done. One job at a time; a parallel() call
+///      issued from inside a running job of the same pool (re-entrancy) is
+///      detected and degrades to inline sequential execution — see
+///      parallel() below.
 ///
 /// TeamBarrier is the in-job synchronization primitive: a central
 /// generation-counting barrier sized to the team, used by the driver to
@@ -62,10 +63,24 @@ public:
   /// thread, the rest on pool workers (spawned on first use, kept forever).
   /// Returns when every Tid has completed. NThreads <= 1 calls Fn(Ctx, 0)
   /// inline without touching any synchronization. Concurrent calls from
-  /// different threads are safe but serialize (one job at a time); Fn
-  /// must not call parallel() on the same pool (no nesting). Performs no
-  /// heap allocation beyond one-time worker spawning.
+  /// different threads are safe but serialize (one job at a time).
+  ///
+  /// Re-entrancy: a call made from a thread already running a job of this
+  /// pool used to deadlock (the caller blocks on JobMu held — transitively —
+  /// by its own job, or a worker's nested wait keeps Remaining from ever
+  /// reaching 0). Such calls are now detected via a thread-local marker and
+  /// degrade to inline execution: Fn(Ctx, 0..NThreads-1) runs sequentially
+  /// on the calling thread. This is only correct for jobs whose Tids do not
+  /// synchronize with each other (no TeamBarrier); the GEMM driver
+  /// guarantees that by collapsing nested teams to size 1 before
+  /// dispatching (see executeGemm). Performs no heap allocation beyond
+  /// one-time worker spawning.
   void parallel(int64_t NThreads, ParallelFn Fn, void *Ctx);
+
+  /// True iff the calling thread is currently executing a job of this pool
+  /// (i.e. a parallel() body, on the caller's thread or a worker). Used by
+  /// the GEMM driver to collapse nested teams instead of blocking.
+  bool inParallel() const;
 
   /// Convenience overload wrapping \p Body in the raw form above.
   void parallel(int64_t NThreads, const std::function<void(int64_t)> &Body);

@@ -6,6 +6,7 @@
 
 #include "ipc/Client.h"
 
+#include "exo/support/Env.h"
 #include "obs/Obs.h"
 
 #include <cstdio>
@@ -21,21 +22,18 @@ namespace {
 uint64_t resolveShmBytes(uint64_t Configured) {
   if (Configured)
     return Configured;
-  if (const char *S = std::getenv("EXO_GEMMD_SHM_BYTES"); S && *S) {
-    char *End = nullptr;
-    unsigned long long V = std::strtoull(S, &End, 10);
-    if (End != S && !*End && V > 0)
-      return V;
-  }
-  return 64ull << 20;
+  return static_cast<uint64_t>(
+      exo::envInt("EXO_GEMMD_SHM_BYTES", std::getenv("EXO_GEMMD_SHM_BYTES"),
+                  /*Default=*/64ll << 20, /*Min=*/1,
+                  /*Max=*/int64_t(1) << 40));
 }
 
 int resolveTimeoutMs(int Configured) {
   if (Configured)
     return Configured;
-  if (const char *S = std::getenv("EXO_GEMMD_TIMEOUT_MS"); S && *S)
-    return std::atoi(S);
-  return -1;
+  return static_cast<int>(
+      exo::envInt("EXO_GEMMD_TIMEOUT_MS", std::getenv("EXO_GEMMD_TIMEOUT_MS"),
+                  /*Default=*/-1, /*Min=*/-1, /*Max=*/1 << 30));
 }
 
 /// Operand footprint as stored (column-major): Rows x Cols with a compact
@@ -274,6 +272,138 @@ Error Client::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
     for (int64_t J = 0; J != N; ++J)
       std::memcpy(C + J * Ldc, Src + J * M,
                   static_cast<size_t>(M) * sizeof(float));
+  }
+  ++RequestsOk;
+  return Error::success();
+}
+
+Error Client::sgemmStridedBatched(Trans TA, Trans TB, int64_t M, int64_t N,
+                                  int64_t K, float Alpha, const float *A,
+                                  int64_t Lda, int64_t StrideA,
+                                  const float *B, int64_t Ldb,
+                                  int64_t StrideB, float Beta, float *C,
+                                  int64_t Ldc, int64_t StrideC,
+                                  int64_t BatchCount) {
+  if (M < 0 || N < 0 || K < 0)
+    return errorf("gemmd client: negative dimension");
+  if (BatchCount < 0)
+    return errorf("gemmd client: negative batch count");
+  if (StrideA < 0 || StrideB < 0 || StrideC < 0)
+    return errorf("gemmd client: negative batch stride");
+  if (BatchCount == 0)
+    return Error::success();
+  // Degenerate batches stay local, item by item, mirroring
+  // Engine::sgemmStridedBatched exactly.
+  if (M == 0 || N == 0)
+    return Error::success();
+  if (K == 0 || Alpha == 0.0f) {
+    for (int64_t I = 0; I < BatchCount; ++I)
+      detail::scaleByBeta(M, N, Beta, C + I * StrideC, Ldc);
+    return Error::success();
+  }
+  if (BatchCount > 1 && StrideC < Ldc * N)
+    return errorf("gemmd client: StrideC (%lld) overlaps C items "
+                  "(need >= Ldc * N = %lld)",
+                  static_cast<long long>(StrideC),
+                  static_cast<long long>(Ldc * N));
+  const int64_t ARows = TA == Trans::None ? M : K;
+  const int64_t ACols = TA == Trans::None ? K : M;
+  const int64_t BRows = TB == Trans::None ? K : N;
+  const int64_t BCols = TB == Trans::None ? N : K;
+  if (Lda < ARows || Ldb < BRows || Ldc < M)
+    return errorf("gemmd client: leading dimension smaller than rows");
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Error E = ensureConnectedLocked())
+    return E;
+
+  // Stage compactly: each operand is an array of back-to-back compact
+  // items (the wire stride), the arrays themselves 64-byte aligned. A
+  // zero input stride ships the shared operand once and keeps stride 0 on
+  // the wire.
+  auto Align = [](uint64_t X) { return (X + 63) & ~uint64_t{63}; };
+  const int64_t NA = StrideA ? BatchCount : 1;
+  const int64_t NB = StrideB ? BatchCount : 1;
+  Staged SA{ARows, ACols, 0}, SB{BRows, BCols, 0}, SC{M, N, 0};
+  SB.Off = Align(SA.bytes() * static_cast<uint64_t>(NA));
+  SC.Off = Align(SB.Off + SB.bytes() * static_cast<uint64_t>(NB));
+  uint64_t Need = SC.Off + SC.bytes() * static_cast<uint64_t>(BatchCount);
+  if (Need > Layout.ArenaBytes)
+    return errorf("gemmd client: batch of %lld %lldx%lldx%lld items needs "
+                  "%llu arena bytes but the session has %llu — raise "
+                  "EXO_GEMMD_SHM_BYTES or split the batch",
+                  static_cast<long long>(BatchCount),
+                  static_cast<long long>(M), static_cast<long long>(N),
+                  static_cast<long long>(K),
+                  static_cast<unsigned long long>(Need),
+                  static_cast<unsigned long long>(Layout.ArenaBytes));
+
+  EXO_OBS_SPAN("gemmd.client.batch");
+  unsigned char *Arena = Shm.at(Layout.ArenaOff);
+  {
+    EXO_OBS_SPAN("gemmd.client.stage");
+    for (int64_t I = 0; I < NA; ++I)
+      copyIn(reinterpret_cast<float *>(Arena + SA.Off) +
+                 I * ARows * ACols,
+             A + I * StrideA, ARows, ACols, Lda);
+    for (int64_t I = 0; I < NB; ++I)
+      copyIn(reinterpret_cast<float *>(Arena + SB.Off) +
+                 I * BRows * BCols,
+             B + I * StrideB, BRows, BCols, Ldb);
+    if (Beta != 0.0f)
+      for (int64_t I = 0; I < BatchCount; ++I)
+        copyIn(reinterpret_cast<float *>(Arena + SC.Off) + I * M * N,
+               C + I * StrideC, M, N, Ldc);
+  }
+
+  ipc::GemmBatchRequestMsg Req;
+  Req.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmBatchRequest);
+  Req.H.Seq = ++Seq;
+  Req.H.Bytes = sizeof(Req);
+  Req.TA = TA == Trans::Transpose;
+  Req.TB = TB == Trans::Transpose;
+  Req.Alpha = Alpha;
+  Req.Beta = Beta;
+  Req.M = M;
+  Req.N = N;
+  Req.K = K;
+  Req.OffA = SA.Off;
+  Req.OffB = SB.Off;
+  Req.OffC = SC.Off;
+  Req.Lda = ARows;
+  Req.Ldb = BRows;
+  Req.Ldc = M;
+  Req.StrideA = StrideA ? ARows * ACols : 0;
+  Req.StrideB = StrideB ? BRows * BCols : 0;
+  Req.StrideC = M * N;
+  Req.BatchCount = BatchCount;
+
+  alignas(8) unsigned char ReplyBuf[ipc::SlotBytes];
+  if (Error E = transactLocked(&Req, sizeof(Req), ReplyBuf,
+                               ipc::PacketType::GemmBatchReply, Req.H.Seq))
+    return E;
+  ipc::GemmReplyMsg Reply;
+  std::memcpy(&Reply, ReplyBuf, sizeof(Reply));
+  LastFlags = Reply.Flags;
+  switch (static_cast<ipc::ReqStatus>(Reply.Status)) {
+  case ipc::ReqStatus::Ok:
+    break;
+  case ipc::ReqStatus::Busy:
+    return errorf("gemmd: server busy (admission queue full)");
+  default:
+    return errorf("gemmd: %.*s", static_cast<int>(sizeof(Reply.Err)),
+                  Reply.Err[0] ? Reply.Err : "batch request failed");
+  }
+  {
+    EXO_OBS_SPAN("gemmd.client.collect");
+    for (int64_t I = 0; I < BatchCount; ++I) {
+      const float *Src =
+          reinterpret_cast<const float *>(Arena + SC.Off) + I * M * N;
+      float *Dst = C + I * StrideC;
+      for (int64_t J = 0; J != N; ++J)
+        std::memcpy(Dst + J * Ldc, Src + J * M,
+                    static_cast<size_t>(M) * sizeof(float));
+    }
   }
   ++RequestsOk;
   return Error::success();

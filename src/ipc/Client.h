@@ -84,6 +84,20 @@ public:
                  Beta, C, Ldc);
   }
 
+  /// Remote strided-batched GEMM, call-compatible with
+  /// Engine::sgemmStridedBatched: BatchCount same-shape problems cross the
+  /// wire as ONE packet and ONE doorbell round-trip, so a model's worth of
+  /// small GEMMs pays the per-request latency once. StrideA/StrideB == 0
+  /// ships the shared operand a single time. Degenerate batches resolve
+  /// locally like sgemm; results are bitwise identical to the daemon
+  /// engine's local sgemmStridedBatched.
+  exo::Error sgemmStridedBatched(Trans TA, Trans TB, int64_t M, int64_t N,
+                                 int64_t K, float Alpha, const float *A,
+                                 int64_t Lda, int64_t StrideA, const float *B,
+                                 int64_t Ldb, int64_t StrideB, float Beta,
+                                 float *C, int64_t Ldc, int64_t StrideC,
+                                 int64_t BatchCount);
+
   /// Round-trips a Ping packet (liveness probe).
   exo::Error ping();
 

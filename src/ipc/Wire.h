@@ -39,7 +39,8 @@ namespace ipc {
 /// 'GMD1' — shared by every wire struct and the shm header.
 inline constexpr uint32_t WireMagic = 0x31444D47;
 /// Bumped on any layout or semantics change; no cross-version service.
-inline constexpr uint16_t WireVersion = 1;
+/// v2: batched GEMM (GemmBatchRequest/GemmBatchReply packets).
+inline constexpr uint16_t WireVersion = 2;
 
 /// Ring slot size. Every packet (header + payload) must fit one slot;
 /// StatsReply is the widest packet and sizes it.
@@ -109,6 +110,8 @@ enum class PacketType : uint16_t {
   StatsReply = 4,
   Ping = 5,
   PingReply = 6,
+  GemmBatchRequest = 7,
+  GemmBatchReply = 8,
 };
 
 /// Leads every ring packet. Bytes counts the full packet (header
@@ -140,6 +143,30 @@ struct GemmRequestMsg {
 };
 static_assert(sizeof(GemmRequestMsg) == 104);
 static_assert(std::is_trivially_copyable_v<GemmRequestMsg>);
+
+/// A strided batch of GEMMs over arena tensors: one doorbell round-trip
+/// executes BatchCount problems of one shape through the server Engine's
+/// sgemmStridedBatched — the amortization batched clients exist for.
+/// Offsets address item 0; item i's operands live at Off{A,B,C} +
+/// i * Stride{A,B,C} * sizeof(float) (strides in elements, like cuBLAS).
+/// StrideA/StrideB may be 0 (shared operand); StrideC must keep the C
+/// items disjoint. Answered by a single GemmReplyMsg with Type ==
+/// GemmBatchReply covering the whole batch.
+struct GemmBatchRequestMsg {
+  PacketHeader H;
+  uint8_t TA = 0, TB = 0; ///< 0 = none, 1 = transpose
+  uint16_t Pad0 = 0;
+  float Alpha = 1.0f;
+  float Beta = 0.0f;
+  int64_t M = 0, N = 0, K = 0;
+  uint64_t OffA = 0, OffB = 0, OffC = 0;
+  int64_t Lda = 0, Ldb = 0, Ldc = 0;
+  int64_t StrideA = 0, StrideB = 0, StrideC = 0;
+  int64_t BatchCount = 0;
+};
+static_assert(sizeof(GemmBatchRequestMsg) == 136);
+static_assert(sizeof(GemmBatchRequestMsg) <= SlotBytes);
+static_assert(std::is_trivially_copyable_v<GemmBatchRequestMsg>);
 
 /// Completion for one GemmRequestMsg (same Seq). On Ok the result is
 /// already in the arena at OffC.

@@ -2,6 +2,8 @@
 
 #include "obs/Obs.h"
 
+#include "exo/support/Env.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -86,9 +88,7 @@ std::atomic<bool> GEnabled{initFromEnv()};
 
 bool initFromEnv() {
   traceEpoch(); // pin the epoch before any span
-  bool On = false;
-  if (const char *S = std::getenv("EXO_OBS"))
-    On = std::atoi(S) != 0;
+  bool On = exo::envBool("EXO_OBS", std::getenv("EXO_OBS"), false);
   if (std::getenv("EXO_OBS_TRACE")) {
     On = true;
     std::atexit(dumpTraceAtExit);

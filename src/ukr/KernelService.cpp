@@ -337,6 +337,7 @@ CacheStats ukr::globalCacheStats() {
   St.DiskHits = Jit.DiskHits;
   St.Compiles = Jit.Compiles;
   St.CompileMs = Jit.CompileMs;
+  St.CorruptMeta = JitDiskCache::corruptMetaObserved();
   return St;
 }
 
@@ -345,7 +346,7 @@ void ukr::printCacheStats(const CacheStats &St, std::FILE *Out) {
                "kernel-cache: hits=%llu misses=%llu fallbacks=%llu "
                "builds=%llu failures=%llu in-flight=%llu\n"
                "jit: disk-hits=%llu compiles=%llu compile-ms=%.1f "
-               "(cache dir: %s%s)\n",
+               "corrupt-meta=%llu (cache dir: %s%s)\n",
                static_cast<unsigned long long>(St.Hits),
                static_cast<unsigned long long>(St.Misses),
                static_cast<unsigned long long>(St.Fallbacks),
@@ -354,6 +355,7 @@ void ukr::printCacheStats(const CacheStats &St, std::FILE *Out) {
                static_cast<unsigned long long>(St.InFlight),
                static_cast<unsigned long long>(St.DiskHits),
                static_cast<unsigned long long>(St.Compiles), St.CompileMs,
+               static_cast<unsigned long long>(St.CorruptMeta),
                JitDiskCache::global().root().c_str(),
                JitDiskCache::global().enabled() ? "" : ", disabled");
 }

@@ -49,6 +49,10 @@ struct CacheStats {
   uint64_t DiskHits = 0;  ///< JIT artifacts loaded from the disk cache
   uint64_t Compiles = 0;  ///< compiler invocations
   double CompileMs = 0;   ///< wall time spent inside the compiler
+  /// Disk-cache entries observed with an unparsable sidecar (process-wide,
+  /// one per corrupt entry per directory scan; see
+  /// exo::JitDiskCache::corruptMetaObserved).
+  uint64_t CorruptMeta = 0;
 };
 
 /// The portable reference micro-kernel for an MR x NR f32 tile (a plain

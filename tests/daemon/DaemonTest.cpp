@@ -256,6 +256,126 @@ TEST(GemmdDifferential, OutOfProcessClientVerifies) {
 }
 
 //===----------------------------------------------------------------------===//
+// Batched round trips (wire v2)
+//===----------------------------------------------------------------------===//
+
+TEST(GemmdBatched, StridedBatchedMatchesLocalBitwise) {
+  ServerFixture F;
+  gemm::Client Remote(F.clientOpts());
+  gemm::Engine Local; // same default EngineConfig as the server's engine
+  const int64_t M = 17, N = 23, K = 31, Count = 6;
+  const int64_t SA = M * K + 2, SB = K * N + 1, SC = M * N + 3;
+  std::vector<float> A(SA * Count), B(SB * Count), C0(SC * Count);
+  fillRandom(A, 101);
+  fillRandom(B, 102);
+  fillRandom(C0, 103);
+  std::vector<float> CR = C0, CL = C0;
+  Error ER = Remote.sgemmStridedBatched(
+      gemm::Trans::None, gemm::Trans::None, M, N, K, 1.25f, A.data(), M, SA,
+      B.data(), K, SB, 0.5f, CR.data(), M, SC, Count);
+  ASSERT_FALSE(ER) << ER.message();
+  Error EL = Local.sgemmStridedBatched(
+      gemm::Trans::None, gemm::Trans::None, M, N, K, 1.25f, A.data(), M, SA,
+      B.data(), K, SB, 0.5f, CL.data(), M, SC, Count);
+  ASSERT_FALSE(EL) << EL.message();
+  EXPECT_EQ(0, std::memcmp(CR.data(), CL.data(), CR.size() * sizeof(float)))
+      << "remote batch diverged from local engine";
+}
+
+TEST(GemmdBatched, StrideZeroSharedOperandsMatchLocal) {
+  ServerFixture F;
+  gemm::Client Remote(F.clientOpts());
+  gemm::Engine Local;
+  const int64_t M = 24, N = 36, K = 48, Count = 5;
+  std::vector<float> A(M * K), B(K * N), CR(M * N * Count, 0.0f),
+      CL(M * N * Count, 0.0f);
+  fillRandom(A, 201);
+  fillRandom(B, 202);
+  // A and B shared across the batch (stride 0): the client ships each
+  // exactly once, the server fans them out.
+  Error ER = Remote.sgemmStridedBatched(gemm::Trans::None, gemm::Trans::None,
+                                        M, N, K, 1.0f, A.data(), M, 0,
+                                        B.data(), K, 0, 0.0f, CR.data(), M,
+                                        M * N, Count);
+  ASSERT_FALSE(ER) << ER.message();
+  Error EL = Local.sgemmStridedBatched(gemm::Trans::None, gemm::Trans::None,
+                                       M, N, K, 1.0f, A.data(), M, 0,
+                                       B.data(), K, 0, 0.0f, CL.data(), M,
+                                       M * N, Count);
+  ASSERT_FALSE(EL) << EL.message();
+  EXPECT_EQ(0, std::memcmp(CR.data(), CL.data(), CR.size() * sizeof(float)));
+}
+
+TEST(GemmdBatched, DegenerateAndInvalidBatchesResolveClientSide) {
+  ServerFixture F;
+  gemm::Client Remote(F.clientOpts());
+  gemm::Engine Local;
+  // Empty batch: success, no wire traffic needed.
+  ASSERT_FALSE(Remote.sgemmStridedBatched(gemm::Trans::None,
+                                          gemm::Trans::None, 8, 8, 8, 1.0f,
+                                          nullptr, 8, 64, nullptr, 8, 64,
+                                          0.0f, nullptr, 8, 64, 0));
+  // alpha == 0: local beta scaling per item, identical to the engine's.
+  const int64_t M = 3, N = 2, Count = 2, SC = M * N;
+  std::vector<float> CR(SC * Count), CL(SC * Count);
+  fillRandom(CR, 301);
+  std::memcpy(CL.data(), CR.data(), CR.size() * sizeof(float));
+  ASSERT_FALSE(Remote.sgemmStridedBatched(gemm::Trans::None,
+                                          gemm::Trans::None, M, N, 4, 0.0f,
+                                          nullptr, M, 0, nullptr, 4, 0,
+                                          0.25f, CR.data(), M, SC, Count));
+  ASSERT_FALSE(Local.sgemmStridedBatched(gemm::Trans::None,
+                                         gemm::Trans::None, M, N, 4, 0.0f,
+                                         nullptr, M, 0, nullptr, 4, 0,
+                                         0.25f, CL.data(), M, SC, Count));
+  EXPECT_EQ(0, std::memcmp(CR.data(), CL.data(), CR.size() * sizeof(float)));
+  // Overlapping C panels fail before any traffic.
+  std::vector<float> Buf(256);
+  Error E = Remote.sgemmStridedBatched(gemm::Trans::None, gemm::Trans::None,
+                                       8, 8, 8, 1.0f, Buf.data(), 8, 0,
+                                       Buf.data(), 8, 0, 0.0f, Buf.data(), 8,
+                                       32, 2);
+  ASSERT_TRUE(E);
+}
+
+TEST(GemmdBatched, BatchGeometryEscapingArenaRejectedNotFatal) {
+  ServerFixture F;
+  RawSession S;
+  ASSERT_FALSE(S.connect(F.Opts.SocketPath));
+  ASSERT_TRUE(S.admitted());
+  // Well-formed batched packet; the last item's C panel escapes the arena
+  // through the stride multiplication, which only wide arithmetic catches.
+  ipc::GemmBatchRequestMsg Q;
+  Q.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmBatchRequest);
+  Q.H.Seq = 7;
+  Q.H.Bytes = sizeof(Q);
+  Q.M = Q.N = Q.K = 8;
+  Q.Lda = Q.Ldb = Q.Ldc = 8;
+  Q.StrideA = Q.StrideB = 64;
+  Q.StrideC = int64_t(1) << 40;
+  Q.BatchCount = 4;
+  ASSERT_FALSE(S.post(&Q, sizeof(Q)));
+  alignas(8) unsigned char Slot[ipc::SlotBytes];
+  ASSERT_FALSE(S.nextReply(Slot));
+  ipc::GemmReplyMsg Rep;
+  std::memcpy(&Rep, Slot, sizeof(Rep));
+  EXPECT_EQ(static_cast<uint16_t>(ipc::PacketType::GemmBatchReply),
+            Rep.H.Type);
+  EXPECT_EQ(Q.H.Seq, Rep.H.Seq);
+  EXPECT_EQ(static_cast<int32_t>(ipc::ReqStatus::Bad), Rep.Status);
+  // Bad geometry is a client bug, not a protocol violation: the session
+  // survives and still answers well-formed batches.
+  Q.StrideC = 64;
+  Q.OffB = 1024;
+  Q.OffC = 2048;
+  Q.H.Seq = 8;
+  ASSERT_FALSE(S.post(&Q, sizeof(Q)));
+  ASSERT_FALSE(S.nextReply(Slot));
+  std::memcpy(&Rep, Slot, sizeof(Rep));
+  EXPECT_EQ(static_cast<int32_t>(ipc::ReqStatus::Ok), Rep.Status);
+}
+
+//===----------------------------------------------------------------------===//
 // The warm shared cache (the headline acceptance criterion)
 //===----------------------------------------------------------------------===//
 

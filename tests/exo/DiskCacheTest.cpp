@@ -100,6 +100,55 @@ TEST(DiskCacheTest, StoreLookupRemove) {
   EXPECT_FALSE(Cache.remove(42));
 }
 
+TEST(DiskCacheTest, CorruptMetaIsFlaggedCountedAndEvictedFirst) {
+  std::string Dir = makeTempDir();
+  JitDiskCache Cache(Dir);
+  ASSERT_TRUE(Cache.enabled());
+
+  std::string Obj = Dir + "/fake.so";
+  std::ofstream(Obj) << std::string(100, 'x');
+  ArtifactMeta Meta;
+  Meta.Symbol = "sym";
+  for (uint64_t Key : {1u, 2u})
+    ASSERT_TRUE(static_cast<bool>(Cache.store(Key, Obj, Meta)));
+
+  // Scribble over key 1's sidecar the way the old std::atoi parse used to
+  // accept silently: an abi field that is not a number at all. The entry
+  // must come back flagged, not defaulted to abi 0.
+  std::ofstream(Dir + "/k0000000000000001.meta")
+      << "symbol=sym\nabi=banana\n";
+
+  uint64_t Before = JitDiskCache::corruptMetaObserved();
+  std::vector<JitDiskCache::Entry> Entries = Cache.list();
+  ASSERT_EQ(Entries.size(), 2u);
+  for (const JitDiskCache::Entry &E : Entries)
+    EXPECT_EQ(E.MetaCorrupt, E.Key == 1u) << "key " << E.Key;
+  EXPECT_EQ(JitDiskCache::corruptMetaObserved() - Before, 1u);
+
+  // An out-of-range numeric abi is just as corrupt as a non-numeric one.
+  std::ofstream(Dir + "/k0000000000000002.meta")
+      << "symbol=sym\nabi=99999999999999999999\n";
+  for (const JitDiskCache::Entry &E : Cache.list())
+    EXPECT_TRUE(E.MetaCorrupt) << "key " << E.Key;
+
+  // Restore key 2's sidecar; pruning under pressure must sacrifice the
+  // corrupt entry first even when it is not the LRU victim.
+  ASSERT_TRUE(Cache.remove(2));
+  ASSERT_TRUE(static_cast<bool>(Cache.store(2, Obj, Meta)));
+  time_t Now = time(nullptr);
+  for (JitDiskCache::Entry &E : Cache.list()) {
+    // Make the corrupt key 1 the *hottest* entry.
+    struct utimbuf Times;
+    Times.actime = Times.modtime = Now - (E.Key == 1 ? 0 : 1000);
+    ASSERT_EQ(utime(E.SoPath.c_str(), &Times), 0);
+  }
+  EXPECT_EQ(Cache.prune(150), 1u);
+  std::vector<JitDiskCache::Entry> Left = Cache.list();
+  ASSERT_EQ(Left.size(), 1u);
+  EXPECT_EQ(Left[0].Key, 2u);
+  EXPECT_FALSE(Left[0].MetaCorrupt);
+}
+
 TEST(DiskCacheTest, PruneEvictsOldestFirst) {
   std::string Dir = makeTempDir();
   JitDiskCache Cache(Dir);

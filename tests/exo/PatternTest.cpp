@@ -44,6 +44,30 @@ TEST(PatternParseTest, LoopPatterns) {
   EXPECT_FALSE(static_cast<bool>(parseStmtPattern("for i on _: _")));
 }
 
+TEST(PatternParseTest, OccurrenceOverflowIsAParseErrorNotAThrow) {
+  // Pattern text is user input (schedule scripts, fuzz repro files): an
+  // occurrence index past INT_MAX used to escape as std::out_of_range
+  // from std::stoi and abort the parser. It must surface as an ordinary
+  // parse error on both pattern grammars.
+  auto S = parseStmtPattern("for i in _: _ #99999999999999999999");
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_NE(S.message().find("out of range"), std::string::npos)
+      << S.message();
+  EXPECT_FALSE(
+      static_cast<bool>(parseStmtPattern("C[_] += _ #3000000000")));
+  auto E = parseExprPattern("x[_] #18446744073709551616");
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("out of range"), std::string::npos)
+      << E.message();
+
+  // The boundary itself still parses.
+  auto Max = parseStmtPattern("for i in _: _ #2147483647");
+  ASSERT_TRUE(static_cast<bool>(Max));
+  EXPECT_EQ(Max->Occurrence, 2147483647);
+  EXPECT_FALSE(
+      static_cast<bool>(parseStmtPattern("for i in _: _ #2147483648")));
+}
+
 TEST(PatternParseTest, AssignPatterns) {
   auto P = parseStmtPattern("C[_] += _");
   ASSERT_TRUE(static_cast<bool>(P));

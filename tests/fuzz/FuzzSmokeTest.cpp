@@ -138,8 +138,10 @@ TEST(FuzzFaultInjectionTest, InjectedFaultIsCaughtAndMinimizes) {
 }
 
 // The committed corpus: fault_* entries must still fail (regression repros
-// stay live), everything else must pass with no step skipped (a skipped
-// step means the repro drifted from the rewrite engine and checks nothing).
+// stay live), parse_* entries carry a deliberately malformed step that must
+// degrade to a skipped parse error instead of crashing the replayer, and
+// everything else must pass with no step skipped (a skipped step means the
+// repro drifted from the rewrite engine and checks nothing).
 TEST(FuzzCorpusTest, CommittedCorpusReplays) {
   namespace fs = std::filesystem;
   const fs::path Dir(EXO_FUZZ_CORPUS_DIR);
@@ -157,6 +159,12 @@ TEST(FuzzCorpusTest, CommittedCorpusReplays) {
     EXPECT_FALSE(Res.Rejected) << Name;
     if (Name.rfind("fault_", 0) == 0) {
       EXPECT_TRUE(static_cast<bool>(E)) << Name << ": fault repro passes";
+    } else if (Name.rfind("parse_", 0) == 0) {
+      // Reaching this point at all is the regression check: the malformed
+      // pattern used to throw out of the occurrence parser and abort.
+      EXPECT_FALSE(static_cast<bool>(E)) << Name << ": " << E.message();
+      EXPECT_GT(Res.StepsSkipped, 0)
+          << Name << ": malformed step unexpectedly applied";
     } else {
       EXPECT_FALSE(static_cast<bool>(E)) << Name << ": " << E.message();
       EXPECT_EQ(Res.StepsSkipped, 0) << Name << ": vacuous corpus entry";

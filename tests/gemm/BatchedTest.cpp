@@ -1,0 +1,290 @@
+//===- BatchedTest.cpp - Batched entry points vs N sequential sgemm -------===//
+//
+// The batched front door's core guarantee: Engine::sgemmBatched and
+// Engine::sgemmStridedBatched are *scheduling* layers, not different
+// arithmetic. Whatever the grouping and whichever execution strategy the
+// planner picks (intra-item slab teams or whole-item cross-batch
+// scheduling), every item's C must be bitwise identical to the same item
+// run through a lone Engine::sgemm — at every team size. The differential
+// suite here holds that across mixed shapes in one batch, all four
+// transpose combos, team sizes 1 and 4, both forced scheduling modes
+// (EXO_GEMM_BATCH_CROSSOVER at 0 and huge), and degenerate items
+// (m/n/k == 0, alpha == 0) interleaved mid-batch.
+//
+// Rides in gemm_test, so the tsan_gemm_threads8 gate re-runs the
+// cross-item scheduling (one item per pool worker, per-worker packing
+// workspaces) under ThreadSanitizer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gemm/Engine.h"
+
+#include "benchutil/Bench.h"
+#include "gemm/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+using namespace gemm;
+
+namespace {
+
+constexpr Trans Combos[][2] = {{Trans::None, Trans::None},
+                               {Trans::None, Trans::Transpose},
+                               {Trans::Transpose, Trans::None},
+                               {Trans::Transpose, Trans::Transpose}};
+
+struct Shape {
+  int64_t M, N, K;
+};
+
+// Small enough that the cache model prefers cross-item scheduling, plus a
+// couple of larger items that stay intra-item — one batch exercises both
+// strategies and the grouping in between.
+constexpr Shape MixedShapes[] = {
+    {8, 12, 16},  {17, 23, 31}, {8, 12, 16},  {64, 64, 64},
+    {5, 124, 77}, {8, 12, 16},  {128, 96, 64}, {17, 23, 31},
+    {1, 1, 1},    {33, 65, 17}, {64, 64, 64},  {3, 57, 19},
+};
+
+/// Backing storage plus the item list for one differential batch.
+struct BatchFixture {
+  std::vector<GemmBatchItem> Items;
+  std::vector<std::vector<float>> Store;  ///< A/B/C buffers, C last per item
+  std::vector<std::vector<float>> CSeq;   ///< per-item sequential C copies
+
+  /// Item over fresh deterministic operands; Ld padding and alpha/beta
+  /// vary with the item index so no two items are accidentally uniform.
+  void add(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+           size_t Salt) {
+    const int64_t ARows = TA == Trans::None ? M : K;
+    const int64_t ACols = TA == Trans::None ? K : M;
+    const int64_t BRows = TB == Trans::None ? K : N;
+    const int64_t BCols = TB == Trans::None ? N : K;
+    GemmBatchItem It;
+    It.TA = TA;
+    It.TB = TB;
+    It.M = M;
+    It.N = N;
+    It.K = K;
+    It.Alpha = Salt % 3 == 0 ? 1.0f : 1.25f;
+    It.Beta = Salt % 2 == 0 ? 0.0f : 0.5f;
+    It.Lda = ARows + static_cast<int64_t>(Salt % 3);
+    It.Ldb = BRows + 1;
+    It.Ldc = M + 2;
+    Store.emplace_back(static_cast<size_t>(
+        std::max<int64_t>(1, It.Lda * ACols)));
+    benchutil::fillRandom(Store.back().data(), Store.back().size(),
+                          static_cast<int>(7 * Salt + 1));
+    It.A = Store.back().data();
+    Store.emplace_back(static_cast<size_t>(
+        std::max<int64_t>(1, It.Ldb * BCols)));
+    benchutil::fillRandom(Store.back().data(), Store.back().size(),
+                          static_cast<int>(11 * Salt + 2));
+    It.B = Store.back().data();
+    Store.emplace_back(static_cast<size_t>(
+        std::max<int64_t>(1, It.Ldc * N)));
+    benchutil::fillRandom(Store.back().data(), Store.back().size(),
+                          static_cast<int>(13 * Salt + 3));
+    It.C = Store.back().data();
+    CSeq.push_back(Store.back()); // same pre-call C contents
+    Items.push_back(It);
+  }
+
+  /// Sequential reference: each item through a lone sgemm on its copy.
+  void runSequential(Engine &E) {
+    for (size_t I = 0; I != Items.size(); ++I) {
+      const GemmBatchItem &It = Items[I];
+      ASSERT_FALSE(E.sgemm(It.TA, It.TB, It.M, It.N, It.K, It.Alpha, It.A,
+                           It.Lda, It.B, It.Ldb, It.Beta, CSeq[I].data(),
+                           It.Ldc));
+    }
+  }
+
+  void expectBitwise() const {
+    for (size_t I = 0; I != Items.size(); ++I)
+      EXPECT_EQ(0, std::memcmp(Items[I].C, CSeq[I].data(),
+                               CSeq[I].size() * sizeof(float)))
+          << "item " << I << " (" << Items[I].M << "x" << Items[I].N << "x"
+          << Items[I].K << ") differs from its sequential result";
+  }
+};
+
+Engine makeEngine(int64_t Threads) {
+  EngineConfig Cfg;
+  Cfg.Series = EngineSeries::Blis;
+  Cfg.Threads = Threads;
+  return Engine(Cfg);
+}
+
+/// Scoped setenv, restoring the previous value on destruction.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name)) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    ::setenv(Name, Value, 1);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      ::setenv(Name.c_str(), OldValue.c_str(), 1);
+    else
+      ::unsetenv(Name.c_str());
+  }
+
+private:
+  std::string Name, OldValue;
+  bool HadOld = false;
+};
+
+void runMixedDifferential(int64_t Threads) {
+  Engine E = makeEngine(Threads);
+  BatchFixture F;
+  size_t Salt = 0;
+  for (const Shape &S : MixedShapes)
+    F.add(Combos[Salt % 4][0], Combos[Salt % 4][1], S.M, S.N, S.K, Salt++);
+  F.runSequential(E);
+  ASSERT_FALSE(E.sgemmBatched(F.Items));
+  F.expectBitwise();
+}
+
+} // namespace
+
+TEST(Batched, MixedShapesAllTransposeCombosOneThread) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+  runMixedDifferential(1);
+}
+
+TEST(Batched, MixedShapesAllTransposeCombosFourThreads) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+  runMixedDifferential(4);
+}
+
+TEST(Batched, ForcedCrossItemAndForcedIntraItemAgree) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+  // Crossover 0: every group runs intra-item. Crossover huge: every
+  // group runs cross-item. Both must reproduce the sequential bits.
+  for (const char *Crossover : {"0", "1099511627776"}) {
+    ScopedEnv Env("EXO_GEMM_BATCH_CROSSOVER", Crossover);
+    Engine E = makeEngine(4);
+    EngineStats Before = E.stats();
+    BatchFixture F;
+    for (size_t I = 0; I != 8; ++I)
+      F.add(Trans::None, Trans::None, 24, 36, 48, I);
+    F.runSequential(E);
+    ASSERT_FALSE(E.sgemmBatched(F.Items));
+    F.expectBitwise();
+    EngineStats After = E.stats();
+    EXPECT_EQ(After.BatchedItems - Before.BatchedItems, 8u);
+    if (Crossover[0] == '0')
+      EXPECT_EQ(After.BatchedCrossItem, Before.BatchedCrossItem)
+          << "crossover 0 must keep every item intra-item";
+    else
+      EXPECT_EQ(After.BatchedCrossItem - Before.BatchedCrossItem, 8u)
+          << "huge crossover must schedule every item cross-batch";
+  }
+}
+
+TEST(Batched, DegeneratesInterleavedMidBatch) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+  for (int64_t Threads : {int64_t(1), int64_t(4)}) {
+    Engine E = makeEngine(Threads);
+    BatchFixture F;
+    F.add(Trans::None, Trans::None, 17, 23, 31, 0);
+    F.add(Trans::None, Trans::None, 8, 12, 0, 1); // k == 0: beta-scale only
+    F.add(Trans::Transpose, Trans::None, 33, 65, 17, 2);
+    F.Items.back().Alpha = 0.0f; // alpha == 0: beta-scale only
+    F.add(Trans::None, Trans::None, 0, 12, 16, 3); // m == 0: no-op
+    F.add(Trans::None, Trans::Transpose, 24, 0, 48, 4); // n == 0: no-op
+    F.add(Trans::None, Trans::None, 49, 50, 51, 5);
+    EngineStats Before = E.stats();
+    F.runSequential(E);
+    ASSERT_FALSE(E.sgemmBatched(F.Items));
+    F.expectBitwise();
+    EngineStats After = E.stats();
+    // 4 degenerates, counted by the batched path and the 4 sequential
+    // reference calls alike.
+    EXPECT_EQ(After.Degenerate - Before.Degenerate, 8u);
+  }
+}
+
+TEST(Batched, StridedMatchesItemList) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+  const int64_t M = 17, N = 23, K = 31, Count = 6;
+  const int64_t SA = M * K + 5, SB = K * N + 3, SC = M * N + 7;
+  Engine E = makeEngine(4);
+  std::vector<float> A(SA * Count), B(SB * Count), C(SC * Count),
+      CSeq(SC * Count);
+  benchutil::fillRandom(A.data(), A.size(), 41);
+  benchutil::fillRandom(B.data(), B.size(), 42);
+  benchutil::fillRandom(C.data(), C.size(), 43);
+  std::memcpy(CSeq.data(), C.data(), C.size() * sizeof(float));
+  for (int64_t I = 0; I != Count; ++I)
+    ASSERT_FALSE(E.sgemm(M, N, K, 1.5f, A.data() + I * SA, M,
+                         B.data() + I * SB, K, 0.25f, CSeq.data() + I * SC,
+                         M));
+  ASSERT_FALSE(E.sgemmStridedBatched(Trans::None, Trans::None, M, N, K, 1.5f,
+                                     A.data(), M, SA, B.data(), K, SB, 0.25f,
+                                     C.data(), M, SC, Count));
+  EXPECT_EQ(0, std::memcmp(C.data(), CSeq.data(), C.size() * sizeof(float)));
+}
+
+TEST(Batched, StridedSharedOperandsViaStrideZero) {
+  if (!baselineKernelsUsable())
+    GTEST_SKIP() << "host lacks AVX2+FMA";
+  const int64_t M = 24, N = 36, K = 48, Count = 5;
+  Engine E = makeEngine(1);
+  std::vector<float> A(M * K), B(K * N), C(M * N * Count),
+      CSeq(M * N * Count);
+  benchutil::fillRandom(A.data(), A.size(), 51);
+  benchutil::fillRandom(B.data(), B.size(), 52);
+  for (int64_t I = 0; I != Count; ++I)
+    ASSERT_FALSE(E.sgemm(M, N, K, 1.0f, A.data(), M, B.data(), K, 0.0f,
+                         CSeq.data() + I * M * N, M));
+  // A shared across the batch (stride 0), distinct C per item.
+  ASSERT_FALSE(E.sgemmStridedBatched(Trans::None, Trans::None, M, N, K, 1.0f,
+                                     A.data(), M, 0, B.data(), K, 0, 0.0f,
+                                     C.data(), M, M * N, Count));
+  EXPECT_EQ(0, std::memcmp(C.data(), CSeq.data(), C.size() * sizeof(float)));
+}
+
+TEST(Batched, RejectsBadArguments) {
+  Engine E = makeEngine(1);
+  std::vector<float> Buf(64 * 64);
+  GemmBatchItem It;
+  It.M = 8;
+  It.N = 8;
+  It.K = 8;
+  It.A = Buf.data();
+  It.Lda = 8;
+  It.B = Buf.data();
+  It.Ldb = 8;
+  It.C = Buf.data();
+  It.Ldc = 8;
+
+  EXPECT_TRUE(E.sgemmBatched(nullptr, 3)); // null items with count > 0
+  GemmBatchItem Bad = It;
+  Bad.M = -1;
+  EXPECT_TRUE(E.sgemmBatched(&Bad, 1)); // negative dim
+  EXPECT_TRUE(E.sgemmStridedBatched(Trans::None, Trans::None, 8, 8, 8, 1.0f,
+                                    Buf.data(), 8, -1, Buf.data(), 8, 64,
+                                    0.0f, Buf.data(), 8, 64,
+                                    2)); // negative stride
+  // Overlapping C panels: StrideC < Ldc * N with more than one item.
+  EXPECT_TRUE(E.sgemmStridedBatched(Trans::None, Trans::None, 8, 8, 8, 1.0f,
+                                    Buf.data(), 8, 64, Buf.data(), 8, 64,
+                                    0.0f, Buf.data(), 8, 32, 2));
+  // Valid single item and the empty batch both succeed.
+  EXPECT_FALSE(E.sgemmBatched(&It, 1));
+  EXPECT_FALSE(E.sgemmBatched(nullptr, 0));
+}

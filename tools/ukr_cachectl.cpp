@@ -159,17 +159,22 @@ int cmdVerify(bool Fix) {
   size_t Bad = 0;
   for (const auto &E : DC.list()) {
     bool Ok = false;
-    if (void *H = dlopen(E.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL)) {
-      Ok = E.Meta.Symbol.empty() ||
-           dlsym(H, E.Meta.Symbol.c_str()) != nullptr;
-      dlclose(H);
+    // An unparsable sidecar is corruption in its own right (the recorded
+    // ABI cannot be trusted), even when the .so itself still loads.
+    if (!E.MetaCorrupt) {
+      if (void *H = dlopen(E.SoPath.c_str(), RTLD_NOW | RTLD_LOCAL)) {
+        Ok = E.Meta.Symbol.empty() ||
+             dlsym(H, E.Meta.Symbol.c_str()) != nullptr;
+        dlclose(H);
+      }
     }
     if (Ok)
       continue;
     ++Bad;
     std::printf("corrupt: k%016llx (%s)%s\n",
                 static_cast<unsigned long long>(E.Key),
-                E.Meta.Symbol.c_str(), Fix ? " — removed" : "");
+                E.MetaCorrupt ? "unparsable meta" : E.Meta.Symbol.c_str(),
+                Fix ? " — removed" : "");
     if (Fix)
       DC.remove(E.Key);
   }
