@@ -172,6 +172,12 @@ struct FuzzOptions {
   /// Check the GEMM driver on every Nth sample (0 disables). Driver checks
   /// dominate wall time, so the smoke suite rations them.
   int DriverEvery = 8;
+  /// Draw every Nth sample's tile config from a synthetic tuned-prior
+  /// record (0 disables): the record round-trips through the PriorDb
+  /// serialization and materializes through the same priorRecordConfig
+  /// mapping the planner uses, so the campaign exercises the
+  /// Prior→schedule path end to end.
+  int PriorEvery = 8;
   /// Inject this fault into every drawn chain sample (EXO_FUZZ_FAULT).
   std::string Fault;
 };
@@ -192,6 +198,11 @@ struct FuzzStats {
   int JitChecks = 0;
   int CrossChecks = 0;
   int DriverChecks = 0;
+  /// Samples whose tile config came from a synthetic prior record that
+  /// survived the PriorDb format round trip (FuzzOptions::PriorEvery). A
+  /// campaign drawing fewer than Samples / PriorEvery of these means the
+  /// record format broke under the fuzzer's tiles.
+  int PriorShaped = 0;
   /// Libraries that appeared in a drawn sample's schedule (includes
   /// non-host-executable ones like neon, which are interp/codegen-checked).
   std::set<std::string> IsasScheduled;

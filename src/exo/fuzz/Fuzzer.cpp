@@ -14,6 +14,8 @@
 #include "exo/fuzz/FuzzInternal.h"
 
 #include "exo/ir/Rewrite.h"
+#include "exo/isa/IsaLib.h"
+#include "gemm/PriorDb.h"
 #include "ukr/KernelService.h"
 
 #include <cstdio>
@@ -28,6 +30,7 @@ struct ScheduleFuzzer::Impl {
   FuzzOptions O;
   std::mt19937_64 Rng;
   FuzzStats St;
+  int Drawn = 0;
 
   explicit Impl(const FuzzOptions &O) : O(O), Rng(O.Seed) {}
 
@@ -146,11 +149,57 @@ struct ScheduleFuzzer::Impl {
     return S;
   }
 
+  /// A recipe sample whose tile comes out of a synthetic tuned-prior
+  /// record: the record is serialized and re-parsed through the PriorDb
+  /// on-disk format, then materialized with priorRecordConfig — the exact
+  /// mapping Planner::choosePlanWithDb uses — so every Nth campaign sample
+  /// checks that a prior-shaped schedule is semantics-preserving. Tiles are
+  /// restricted to the portable-admissible set so the sample is legal on
+  /// any host.
+  FuzzSample drawPriorShaped(FuzzSample S) {
+    S.M = FuzzSample::Mode::Recipe;
+    struct Tile {
+      int64_t MR, NR;
+    };
+    Tile T = pick<Tile>({{8, 12}, {8, 8}, {8, 4}, {4, 8}, {4, 4}, {16, 4}});
+
+    gemm::PriorRecord Rec;
+    Rec.Machine = gemm::priorMachineKey();
+    Rec.MR = T.MR;
+    Rec.NR = T.NR;
+    Rec.M = T.MR * static_cast<int64_t>(1 + Rng() % 8);
+    Rec.N = T.NR * static_cast<int64_t>(1 + Rng() % 8);
+    Rec.K = 16 + static_cast<int64_t>(Rng() % 512);
+    Rec.Class = gemm::priorShapeClass(Rec.M, Rec.N, Rec.K);
+    Rec.UnrollCompute = Rng() % 4 == 0;
+    Rec.TunedGflops = 2.0; // positive margin: the planner would accept it
+    Rec.ModelMR = 8;
+    Rec.ModelNR = 8;
+    Rec.ModelGflops = 1.0;
+
+    Expected<gemm::PriorRecord> P =
+        gemm::parsePriorRecord(gemm::formatPriorRecord(Rec));
+    if (P)
+      ++St.PriorShaped; // only a surviving round trip counts as coverage
+    ukr::UkrConfig Cfg = gemm::priorRecordConfig(P ? *P : Rec);
+    S.MR = Cfg.MR;
+    S.NR = Cfg.NR;
+    S.Isa = Cfg.Isa ? Cfg.Isa->name() : "none";
+    S.Style = "auto";
+    S.UnrollLoads = Cfg.UnrollLoads;
+    S.UnrollCompute = Cfg.UnrollCompute;
+    St.IsasScheduled.insert(S.Isa);
+    return S;
+  }
+
   FuzzSample draw() {
     FuzzSample S;
     S.Seed = Rng();
     S.KC = 1 + static_cast<int64_t>(Rng() % 8);
     S.LdcSlack = pick<int64_t>({0, 0, 0, 1, 2, 5});
+    ++Drawn;
+    if (O.PriorEvery > 0 && Drawn % O.PriorEvery == 0)
+      return drawPriorShaped(S);
     return Rng() % 4 == 0 ? drawRecipe(S) : drawChain(S);
   }
 

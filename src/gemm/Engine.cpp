@@ -4,6 +4,7 @@
 
 #include "exo/support/Env.h"
 #include "gemm/ExoProvider.h"
+#include "gemm/PriorDb.h"
 #include "gemm/Kernels.h"
 #include "gemm/ThreadPool.h"
 #include "obs/Obs.h"
@@ -122,17 +123,22 @@ struct Engine::Impl {
       Evictions{0}, Degenerate{0}, StickyErrors{0};
   std::atomic<uint64_t> BatchedItems{0}, BatchedGroups{0},
       BatchedCrossItem{0};
+  std::atomic<uint64_t> PlansFromModel{0}, PlansFromPrior{0},
+      PlansFromTuned{0}, PriorRejected{0};
 
-  std::shared_ptr<ExoProvider> exoProviderFor(int64_t MR, int64_t NR) {
+  std::shared_ptr<ExoProvider> exoProviderFor(int64_t MR, int64_t NR,
+                                              bool UnrollCompute) {
+    // UnrollCompute is part of the memo key: a tuned prior can request the
+    // unrolled schedule for one shape while others keep the default.
+    const int64_t UnrollTag = UnrollCompute ? (int64_t(1) << 62) : 0;
     std::lock_guard<std::mutex> Lock(ProvMu);
-    auto It = ExoProvs.find({MR, NR});
+    auto It = ExoProvs.find({MR, NR | UnrollTag});
     if (It != ExoProvs.end())
       return It->second;
-    auto P = std::make_shared<ExoProvider>(MR, NR, Cfg.Isa,
-                                           Cfg.UnrollCompute);
+    auto P = std::make_shared<ExoProvider>(MR, NR, Cfg.Isa, UnrollCompute);
     P->setAsync(Cfg.Async);
     P->setSpecializeEdges(Cfg.SpecializeEdges);
-    ExoProvs.emplace(std::make_pair(MR, NR), P);
+    ExoProvs.emplace(std::make_pair(MR, NR | UnrollTag), P);
     return P;
   }
 
@@ -155,15 +161,22 @@ Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
   const bool WantExo = Cfg.Series == EngineSeries::Exo ||
                        Cfg.Series == EngineSeries::Auto;
   if (WantExo) {
-    if (Cfg.ForceMR > 0 && Cfg.ForceNR > 0)
-      Choice = PlanChoice{Cfg.ForceMR, Cfg.ForceNR, "forced"};
-    else
-      Choice = choosePlan(Key.M, Key.N, Key.K, Cfg.Isa, Cfg.PriorPath);
-    Provider = exoProviderFor(Choice.MR, Choice.NR);
+    if (Cfg.ForceMR > 0 && Cfg.ForceNR > 0) {
+      Choice = PlanChoice::make(Cfg.ForceMR, Cfg.ForceNR, PlanSource::Forced);
+    } else {
+      PlanOutcome Out;
+      Choice = choosePlanWithDb(Key.M, Key.N, Key.K, Cfg.Isa, Cfg.PriorPath,
+                                Cfg.TunedPriors ? &PriorDb::global() : nullptr,
+                                &Out);
+      PriorRejected.fetch_add(Out.PriorRejected + Out.TunedRejected,
+                              std::memory_order_relaxed);
+    }
+    Provider = exoProviderFor(Choice.MR, Choice.NR,
+                              Cfg.UnrollCompute || Choice.UnrollCompute);
   } else {
     Provider = Fixed;
     MicroKernel Mk = Provider->main();
-    Choice = PlanChoice{Mk.MR, Mk.NR, "fixed"};
+    Choice = PlanChoice::make(Mk.MR, Mk.NR, PlanSource::Fixed);
   }
 
   MicroKernel Main = Provider->main();
@@ -172,7 +185,7 @@ Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
     // portable BLIS-style kernel so Auto engines always serve.
     Provider = Fixed;
     Main = Provider->main();
-    Choice = PlanChoice{Main.MR, Main.NR, "fallback"};
+    Choice = PlanChoice::make(Main.MR, Main.NR, PlanSource::Fallback);
   }
   if (!Main.Fn)
     return errorf("gemm engine (%s): provider '%s' has no runnable kernel "
@@ -184,9 +197,33 @@ Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
   GemmPlan Legacy = GemmPlan::standard(*Provider);
   if (Cfg.Blocks)
     Legacy.Blocks = *Cfg.Blocks;
+  else if (Choice.Blocks)
+    Legacy.Blocks = *Choice.Blocks;
   if (Cfg.PackMode)
     Legacy.PackMode = *Cfg.PackMode;
   Legacy.Threads = Key.T;
+
+  // Per-plan provenance: one count and one obs mark per plan built. Forced,
+  // fixed-series, and fallback plans mark but do not count — the three
+  // counters answer "which selection stage chose the tile", and those plans
+  // never ran selection.
+  switch (Choice.Src) {
+  case PlanSource::Model:
+    PlansFromModel.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case PlanSource::Prior:
+    PlansFromPrior.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case PlanSource::Tuned:
+    PlansFromTuned.fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
+    break;
+  }
+  obs::mark(Choice.Src == PlanSource::Model   ? "plan.source.model"
+            : Choice.Src == PlanSource::Prior ? "plan.source.prior"
+            : Choice.Src == PlanSource::Tuned ? "plan.source.tuned"
+                                              : "plan.source.other");
 
   auto P = std::make_shared<ExecPlan>();
   P->Provider = Provider;
@@ -679,7 +716,7 @@ Error Engine::warm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
   const PlanChoice &Choice = Plan->Choice;
   const bool WantExo = I->Cfg.Series == EngineSeries::Exo ||
                        (I->Cfg.Series == EngineSeries::Auto &&
-                        std::strcmp(Choice.Source, "fallback") != 0);
+                        Choice.Src != PlanSource::Fallback);
   if (!WantExo)
     return Error::success(); // fixed kernels have nothing to precompile
   // Prefetch the plan's whole kernel family (main + the edge widths this
@@ -738,6 +775,10 @@ EngineStats Engine::stats() const {
   S.BatchedItems = I->BatchedItems.load(std::memory_order_relaxed);
   S.BatchedGroups = I->BatchedGroups.load(std::memory_order_relaxed);
   S.BatchedCrossItem = I->BatchedCrossItem.load(std::memory_order_relaxed);
+  S.PlansFromModel = I->PlansFromModel.load(std::memory_order_relaxed);
+  S.PlansFromPrior = I->PlansFromPrior.load(std::memory_order_relaxed);
+  S.PlansFromTuned = I->PlansFromTuned.load(std::memory_order_relaxed);
+  S.PriorRejected = I->PriorRejected.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -752,6 +793,10 @@ void Engine::resetStats() {
   I->BatchedItems.store(0);
   I->BatchedGroups.store(0);
   I->BatchedCrossItem.store(0);
+  I->PlansFromModel.store(0);
+  I->PlansFromPrior.store(0);
+  I->PlansFromTuned.store(0);
+  I->PriorRejected.store(0);
 }
 
 const char *Engine::seriesName() const { return I->Name; }

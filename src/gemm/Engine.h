@@ -87,6 +87,10 @@ struct EngineConfig {
   /// Measured-prior baseline for the planner; "" defers to
   /// EXO_GEMM_PLAN_PRIOR (unset: analytical model only).
   std::string PriorPath;
+  /// Consult the autotuner's persistent prior database (PriorDb::global(),
+  /// rooted at EXO_GEMM_PRIOR_DB) before the BENCH prior and the model.
+  /// false is the ablation arm benches use to measure the model alone.
+  bool TunedPriors = true;
 };
 
 /// Plan-cache counters (relaxed; exact under external synchronization).
@@ -101,6 +105,13 @@ struct EngineStats {
   uint64_t BatchedItems = 0;  ///< items seen by the batched entry points
   uint64_t BatchedGroups = 0; ///< distinct shape groups executed in batches
   uint64_t BatchedCrossItem = 0; ///< items run whole-item across the pool
+  // Per-plan provenance (PlanSource), counted at build time.
+  uint64_t PlansFromModel = 0; ///< analytical-model tiles
+  uint64_t PlansFromPrior = 0; ///< BENCH-baseline prior tiles
+  uint64_t PlansFromTuned = 0; ///< autotuner prior-database tiles
+  /// Prior rows/records rejected during selection: BENCH rows inadmissible
+  /// under the chosen ISA plus tuned records failing the never-lose gate.
+  uint64_t PriorRejected = 0;
 };
 
 /// One problem of a batch handed to Engine::sgemmBatched. Identical field

@@ -4,6 +4,7 @@
 
 #include "exo/support/Env.h"
 #include "gemm/CacheModel.h"
+#include "gemm/PriorDb.h"
 
 #include <algorithm>
 #include <cctype>
@@ -14,15 +15,61 @@
 
 using namespace gemm;
 
+const char *gemm::planSourceName(PlanSource S) {
+  switch (S) {
+  case PlanSource::Model:
+    return "model";
+  case PlanSource::Prior:
+    return "prior";
+  case PlanSource::Tuned:
+    return "tuned";
+  case PlanSource::Forced:
+    return "forced";
+  case PlanSource::Fixed:
+    return "fixed";
+  case PlanSource::Fallback:
+    return "fallback";
+  }
+  return "model";
+}
+
+namespace {
+
+/// Candidate full-tile shapes (host-vectorizable MR values). Shared with
+/// standardShapeFamily's AllCandidates expansion and the tuner's search
+/// space.
+const std::pair<int64_t, int64_t> TileCandidates[] = {
+    {8, 12}, {8, 8},  {8, 6},  {8, 4}, {16, 12}, {16, 8},
+    {16, 6}, {16, 4}, {4, 12}, {4, 8}, {4, 4},   {24, 4},
+};
+
+} // namespace
+
+bool gemm::tileAdmissible(int64_t Mr, int64_t Nr,
+                          const exo::IsaLib *ForceIsa) {
+  if (Mr <= 0 || Nr <= 0)
+    return false;
+  const exo::IsaLib *Isa = ForceIsa ? ForceIsa : ukr::bestIsaForMr(Mr);
+  if (!Isa || Mr % Isa->lanes(exo::ScalarKind::F32) != 0)
+    return false;
+  // Register-pressure sanity: C tile + one A register + one broadcast
+  // must fit 16 vector registers at the chosen width.
+  int64_t Vecs = Mr / Isa->lanes(exo::ScalarKind::F32);
+  return Nr * Vecs + Vecs + 1 <= 16;
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+gemm::plannerTileCandidates(const exo::IsaLib *ForceIsa) {
+  std::vector<std::pair<int64_t, int64_t>> Out;
+  for (auto [Mr, Nr] : TileCandidates)
+    if (tileAdmissible(Mr, Nr, ForceIsa))
+      Out.push_back({Mr, Nr});
+  return Out;
+}
+
 std::pair<int64_t, int64_t>
 gemm::pickTileForProblem(int64_t M, int64_t N, int64_t K,
                          const exo::IsaLib *ForceIsa) {
-  // Candidate full-tile shapes (host-vectorizable MR values). Shared with
-  // standardShapeFamily's AllCandidates expansion.
-  static const std::pair<int64_t, int64_t> Candidates[] = {
-      {8, 12}, {8, 8}, {8, 6}, {8, 4},  {16, 12}, {16, 8},
-      {16, 6}, {16, 4}, {4, 12}, {4, 8}, {4, 4},  {24, 4},
-  };
   // Estimated flops-per-load of an a x b tile update: 2ab FMAs per (a + b)
   // elements streamed from the packed panels.
   auto Eff = [](int64_t A, int64_t B) {
@@ -34,14 +81,8 @@ gemm::pickTileForProblem(int64_t M, int64_t N, int64_t K,
 
   std::pair<int64_t, int64_t> Best = {8, 12};
   double BestScore = -1;
-  for (auto [Mr, Nr] : Candidates) {
-    const exo::IsaLib *Isa = ForceIsa ? ForceIsa : ukr::bestIsaForMr(Mr);
-    if (!Isa || Mr % Isa->lanes(exo::ScalarKind::F32) != 0)
-      continue;
-    // Register-pressure sanity: C tile + one A register + one broadcast
-    // must fit 16 vector registers at the chosen width.
-    int64_t Vecs = (Mr / Isa->lanes(exo::ScalarKind::F32));
-    if (Nr * Vecs + Vecs + 1 > 16)
+  for (auto [Mr, Nr] : TileCandidates) {
+    if (!tileAdmissible(Mr, Nr, ForceIsa))
       continue;
 
     int64_t MEdge = M % Mr, NEdge = N % Nr;
@@ -154,25 +195,46 @@ std::vector<PriorRow> scanPriorRows(const std::string &Text) {
   return Rows;
 }
 
-} // namespace
-
-bool gemm::lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
-                           int64_t K, int64_t &MrOut, int64_t &NrOut) {
+std::string readWholeFile(const std::string &Path, bool &Ok) {
+  Ok = false;
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return false;
+    return {};
+  Ok = true;
   std::string Text;
   char Buf[4096];
   size_t Got;
   while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
     Text.append(Buf, Got);
   std::fclose(F);
+  return Text;
+}
+
+} // namespace
+
+bool gemm::lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
+                           int64_t K, int64_t &MrOut, int64_t &NrOut,
+                           const exo::IsaLib *ForceIsa,
+                           uint64_t *RejectedOut) {
+  bool Readable = false;
+  std::string Text = readWholeFile(Path, Readable);
+  if (!Readable)
+    return false;
 
   bool Found = false;
   double BestValue = 0;
   for (const PriorRow &R : scanPriorRows(Text)) {
     if (!R.Higher || R.M != M || R.N != N || R.K != K)
       continue;
+    // A measured row only wins when its tile is still admissible under the
+    // chosen ISA (the baseline may come from another machine or another
+    // kernel series). A shape-matching but inadmissible row used to be
+    // skipped silently; it is now an accounted rejection.
+    if (!tileAdmissible(R.Mr, R.Nr, ForceIsa)) {
+      if (RejectedOut)
+        ++*RejectedOut;
+      continue;
+    }
     if (!Found || R.Value > BestValue) {
       Found = true;
       BestValue = R.Value;
@@ -183,9 +245,35 @@ bool gemm::lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
   return Found;
 }
 
-PlanChoice gemm::choosePlan(int64_t M, int64_t N, int64_t K,
-                            const exo::IsaLib *ForceIsa,
-                            const std::string &PriorPath) {
+bool gemm::lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
+                           int64_t K, int64_t &MrOut, int64_t &NrOut) {
+  return lookupPlanPrior(Path, M, N, K, MrOut, NrOut, /*ForceIsa=*/nullptr,
+                         /*RejectedOut=*/nullptr);
+}
+
+PlanChoice gemm::choosePlanWithDb(int64_t M, int64_t N, int64_t K,
+                                  const exo::IsaLib *ForceIsa,
+                                  const std::string &PriorPath, PriorDb *Db,
+                                  PlanOutcome *Outcome) {
+  // Stage 1: the autotuner's persistent prior database.
+  if (Db && Db->enabled()) {
+    if (std::optional<PriorRecord> R = Db->lookup(M, N, K)) {
+      // The never-lose gate: the record must beat its own measured model
+      // baseline, and its tile must pass the same screen as every other
+      // stage. Anything else falls through to the model.
+      if (R->margin() > 0 && tileAdmissible(R->MR, R->NR, ForceIsa)) {
+        PlanChoice C = PlanChoice::make(R->MR, R->NR, PlanSource::Tuned);
+        if (R->MC > 0 && R->KC > 0 && R->NC > 0)
+          C.Blocks = BlockSizes{R->MC, R->KC, R->NC};
+        C.UnrollCompute = R->UnrollCompute;
+        return C;
+      }
+      if (Outcome)
+        ++Outcome->TunedRejected;
+    }
+  }
+
+  // Stage 2: the exact-shape BENCH baseline prior.
   std::string Path = PriorPath;
   if (Path.empty()) {
     const char *Env = std::getenv("EXO_GEMM_PLAN_PRIOR");
@@ -194,20 +282,38 @@ PlanChoice gemm::choosePlan(int64_t M, int64_t N, int64_t K,
   }
   if (!Path.empty()) {
     int64_t Mr = 0, Nr = 0;
-    // A measured row only wins when its tile is still admissible (the
-    // baseline may come from another machine): it must pass the same
-    // ISA/register screen the analytical stage applies.
-    if (lookupPlanPrior(Path, M, N, K, Mr, Nr) && !ForceIsa) {
-      const exo::IsaLib *Isa = ukr::bestIsaForMr(Mr);
-      if (Isa) {
-        int64_t Vecs = Mr / Isa->lanes(exo::ScalarKind::F32);
-        if (Nr * Vecs + Vecs + 1 <= 16)
-          return PlanChoice{Mr, Nr, "prior"};
-      }
+    uint64_t Rejected = 0;
+    bool Found = lookupPlanPrior(Path, M, N, K, Mr, Nr, ForceIsa, &Rejected);
+    if (Rejected) {
+      if (Outcome)
+        Outcome->PriorRejected += Rejected;
+      std::string WarnKey = "EXO_GEMM_PLAN_PRIOR@" + Path;
+      if (!exo::env_impl::envAlreadyWarned(WarnKey.c_str()))
+        std::fprintf(stderr,
+                     "exo: plan prior %s: ignoring row(s) whose mr/nr is "
+                     "not admissible under ISA '%s' (first at "
+                     "%lldx%lldx%lld); falling back to %s\n",
+                     Path.c_str(),
+                     ForceIsa ? ForceIsa->name().c_str() : "host",
+                     static_cast<long long>(M), static_cast<long long>(N),
+                     static_cast<long long>(K),
+                     Found ? "the best admissible row" : "the model");
     }
+    if (Found)
+      return PlanChoice::make(Mr, Nr, PlanSource::Prior);
   }
+
+  // Stage 3: the analytical model.
   auto [Mr, Nr] = pickTileForProblem(M, N, K, ForceIsa);
-  return PlanChoice{Mr, Nr, "model"};
+  return PlanChoice::make(Mr, Nr, PlanSource::Model);
+}
+
+PlanChoice gemm::choosePlan(int64_t M, int64_t N, int64_t K,
+                            const exo::IsaLib *ForceIsa,
+                            const std::string &PriorPath,
+                            PlanOutcome *Outcome) {
+  return choosePlanWithDb(M, N, K, ForceIsa, PriorPath, &PriorDb::global(),
+                          Outcome);
 }
 
 int64_t gemm::batchCrossoverBytes() {

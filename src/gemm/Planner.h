@@ -8,13 +8,22 @@
 /// The planning half of the Engine's plan-once/execute-many split: given an
 /// (m, n, k) problem, choose the micro-kernel tile the paper's §IV-B
 /// "matching the size of the micro-kernel to the problem" result calls for.
-/// Selection runs in two stages:
+/// Selection runs in three stages:
 ///
-///   1. Measured prior (optional): a committed BENCH_*.json baseline whose
-///      rows carry `mr`/`nr` counters is consulted for an exact (m, n, k)
-///      match; the best-measured tile wins outright. Pointed at by
-///      EngineConfig::PriorPath or the EXO_GEMM_PLAN_PRIOR knob.
-///   2. Analytical score: every candidate tile the host can vectorize is
+///   1. Tuned prior (optional): the persistent autotuner database
+///      (PriorDb.h) is consulted for a machine-matching record of this
+///      shape (exact, else shape class). A record wins only when its tile
+///      passes the same ISA/register screen as every other stage AND its
+///      stored margin over the measured model baseline is positive — the
+///      never-lose gate: a tuned prior can never beat the analytical
+///      choice on paper but lose on its own shape.
+///   2. Measured BENCH prior (optional): a committed BENCH_*.json baseline
+///      whose rows carry `mr`/`nr` counters is consulted for an exact
+///      (m, n, k) match; the best-measured admissible tile wins. Pointed
+///      at by EngineConfig::PriorPath or the EXO_GEMM_PLAN_PRIOR knob.
+///      Rows whose tile is not admissible under the chosen ISA are
+///      rejected (warned once, counted in PlanOutcome::PriorRejected).
+///   3. Analytical score: every candidate tile the host can vectorize is
 ///      scored by estimated FMA throughput (flops per packed-panel load)
 ///      weighted by full-tile area coverage, with edge regions discounted,
 ///      register pressure enforced, and — when k is known — a small
@@ -22,32 +31,87 @@
 ///
 /// The candidate list, register-pressure rule, and ISA-per-shape choice
 /// (ukr::shapeConfig) are shared with ExoProvider and `ukr_cachectl warm`,
-/// so the planner, the provider's kernel memo, and the fuzzer agree on
-/// which kernel a shape maps to.
+/// so the planner, the provider's kernel memo, the tuner, and the fuzzer
+/// agree on which kernel a shape maps to.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GEMM_PLANNER_H
 #define GEMM_PLANNER_H
 
+#include "gemm/CacheModel.h"
 #include "ukr/KernelRegistry.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace gemm {
 
-/// A planner decision: the full-tile shape plus where it came from.
-struct PlanChoice {
-  int64_t MR = 8, NR = 12;
-  /// "model" (analytical score), "prior" (measured baseline row), or
-  /// "forced" (caller pinned the tile).
-  const char *Source = "model";
+class PriorDb;
+
+/// Where a plan's tile came from. Recorded per plan in EngineStats and as
+/// an obs mark ("plan.source.<name>").
+enum class PlanSource : uint8_t {
+  Model,    ///< analytical cache-model score
+  Prior,    ///< measured BENCH_*.json baseline row
+  Tuned,    ///< autotuner record from the prior database
+  Forced,   ///< caller pinned the tile (EngineConfig::ForceMR/NR)
+  Fixed,    ///< fixed-series provider's native tile
+  Fallback, ///< Auto series degraded to the portable kernel
 };
 
-/// Stage-2 selection only: the analytical tile score over the candidate
+/// Display name ("model", "prior", "tuned", ...).
+const char *planSourceName(PlanSource S);
+
+/// A planner decision: the full-tile shape plus where it came from, plus
+/// the tuned execution overrides a prior-database record may carry.
+struct PlanChoice {
+  int64_t MR = 8, NR = 12;
+  /// Always planSourceName(Src); kept as a field so bench labels and tests
+  /// can read it without a lookup.
+  const char *Source = "model";
+  PlanSource Src = PlanSource::Model;
+  /// Tuned blocking override (Src == Tuned only; unset = analytical).
+  std::optional<BlockSizes> Blocks;
+  /// Tuned compute-unroll override (Src == Tuned only).
+  bool UnrollCompute = false;
+
+  static PlanChoice make(int64_t Mr, int64_t Nr, PlanSource S) {
+    PlanChoice C;
+    C.MR = Mr;
+    C.NR = Nr;
+    C.Src = S;
+    C.Source = planSourceName(S);
+    return C;
+  }
+};
+
+/// Selection accounting the Engine folds into EngineStats.
+struct PlanOutcome {
+  /// BENCH-prior rows that matched the shape but were rejected because
+  /// their tile is not admissible under the chosen ISA (satellite of the
+  /// silent-skip bug: rejected rows now warn once and count here).
+  uint64_t PriorRejected = 0;
+  /// A tuned-database record existed for the shape but was rejected (tile
+  /// inadmissible, or stored margin non-positive — the never-lose gate).
+  uint64_t TunedRejected = 0;
+};
+
+/// The shared admissibility screen: \p Isa (or the widest host library
+/// dividing \p Mr) must vectorize the tile within the 16-register budget
+/// (C tile + one A register + one broadcast).
+bool tileAdmissible(int64_t Mr, int64_t Nr,
+                    const exo::IsaLib *ForceIsa = nullptr);
+
+/// The planner's candidate full-tile shapes that pass tileAdmissible under
+/// \p ForceIsa — the search space the tuner enumerates.
+std::vector<std::pair<int64_t, int64_t>>
+plannerTileCandidates(const exo::IsaLib *ForceIsa = nullptr);
+
+/// Stage-3 selection only: the analytical tile score over the candidate
 /// list. \p K == 0 skips the depth-pass penalty (the historical
 /// ExoProvider::pickShape behavior, which delegates here); \p ForceIsa
 /// restricts candidates to that library's vector width.
@@ -55,11 +119,21 @@ std::pair<int64_t, int64_t>
 pickTileForProblem(int64_t M, int64_t N, int64_t K = 0,
                    const exo::IsaLib *ForceIsa = nullptr);
 
-/// Full selection: measured prior (when \p PriorPath or EXO_GEMM_PLAN_PRIOR
-/// names a readable baseline) with the analytical score as fallback.
+/// Full selection against the process-global prior database: tuned prior,
+/// then BENCH prior (when \p PriorPath or EXO_GEMM_PLAN_PRIOR names a
+/// readable baseline), then the analytical score.
 PlanChoice choosePlan(int64_t M, int64_t N, int64_t K,
                       const exo::IsaLib *ForceIsa = nullptr,
-                      const std::string &PriorPath = "");
+                      const std::string &PriorPath = "",
+                      PlanOutcome *Outcome = nullptr);
+
+/// As choosePlan, but against an explicit database handle; \p Db == nullptr
+/// skips the tuned stage entirely (EngineConfig::TunedPriors == false, the
+/// bench_tune "model" arm).
+PlanChoice choosePlanWithDb(int64_t M, int64_t N, int64_t K,
+                            const exo::IsaLib *ForceIsa, //
+                            const std::string &PriorPath, PriorDb *Db,
+                            PlanOutcome *Outcome = nullptr);
 
 /// Every kernel config a plan for (m, n, k) can dispatch: the chosen full
 /// tile plus the specialized edge shapes the five-loop driver will request
@@ -73,6 +147,14 @@ std::vector<ukr::UkrConfig> planKernelFamily(int64_t M, int64_t N, int64_t K);
 /// unreadable or holds no matching row. Exposed for tests.
 bool lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
                      int64_t K, int64_t &MrOut, int64_t &NrOut);
+
+/// As above, but screens every matching row for admissibility under
+/// \p ForceIsa (or the host screen): inadmissible rows are counted in
+/// \p RejectedOut instead of silently skipped, and the best *admissible*
+/// row wins. Returns false when no admissible row matched.
+bool lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
+                     int64_t K, int64_t &MrOut, int64_t &NrOut,
+                     const exo::IsaLib *ForceIsa, uint64_t *RejectedOut);
 
 /// Working-set size below which a batch item counts as "small" for the
 /// batched entry points' strategy choice: the host L2 capacity from the

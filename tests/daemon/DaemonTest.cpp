@@ -22,7 +22,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "daemon/Server.h"
+#include "exo/jit/Jit.h"
 #include "gemm/Engine.h"
+#include "gemm/Planner.h"
+#include "gemm/PriorDb.h"
 #include "ipc/Client.h"
 #include "ipc/Ring.h"
 #include "ipc/Shm.h"

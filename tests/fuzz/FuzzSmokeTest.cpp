@@ -97,6 +97,11 @@ TEST(FuzzSmokeTest, DefaultSweepIsCleanAndCoversIsas) {
   EXPECT_EQ(St.Samples, O.Iterations);
   // Every non-rejected sample passed through the interpreter oracle.
   EXPECT_EQ(St.InterpChecks + St.Rejected, St.Samples);
+  // Every PriorEvery-th sample must have drawn its tile from a synthetic
+  // prior record that survived the PriorDb format round trip; a shortfall
+  // means the record format broke under the fuzzer's tiles.
+  if (O.PriorEvery > 0)
+    EXPECT_EQ(St.PriorShaped, O.Iterations / O.PriorEvery);
   if (O.Seed == FuzzOptions().Seed && O.Iterations >= FuzzOptions().Iterations) {
     // Known coverage of the default campaign (deterministic by design).
     EXPECT_EQ(St.Rejected, 0);

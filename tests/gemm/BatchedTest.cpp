@@ -19,8 +19,12 @@
 
 #include "gemm/Engine.h"
 
+#include "JitCacheTestEnv.h"
 #include "benchutil/Bench.h"
+#include "exo/jit/Jit.h"
 #include "gemm/Kernels.h"
+#include "gemm/Planner.h"
+#include "gemm/PriorDb.h"
 
 #include <gtest/gtest.h>
 
@@ -146,8 +150,10 @@ void runMixedDifferential(int64_t Threads) {
   Engine E = makeEngine(Threads);
   BatchFixture F;
   size_t Salt = 0;
-  for (const Shape &S : MixedShapes)
-    F.add(Combos[Salt % 4][0], Combos[Salt % 4][1], S.M, S.N, S.K, Salt++);
+  for (const Shape &S : MixedShapes) {
+    F.add(Combos[Salt % 4][0], Combos[Salt % 4][1], S.M, S.N, S.K, Salt);
+    ++Salt;
+  }
   F.runSequential(E);
   ASSERT_FALSE(E.sgemmBatched(F.Items));
   F.expectBitwise();
@@ -256,6 +262,81 @@ TEST(Batched, StridedSharedOperandsViaStrideZero) {
                                      A.data(), M, 0, B.data(), K, 0, 0.0f,
                                      C.data(), M, M * N, Count));
   EXPECT_EQ(0, std::memcmp(C.data(), CSeq.data(), C.size() * sizeof(float)));
+}
+
+TEST(Batched, TunedPriorsKeepBitwiseThreadCountInvariance) {
+  // Tuned priors change *which* plan a batch's shape groups run under
+  // (tile, blocking, unroll), and the batched layer changes *where* items
+  // run — neither may change a single bit of C. With a tuned record
+  // steering the shape and cross-item scheduling forced, team sizes 1 and
+  // 4 must produce identical batches, and both must equal the sequential
+  // reference.
+  if (!exo::jitAvailable())
+    GTEST_SKIP() << "no JIT toolchain";
+  const int64_t M = 24, N = 36, K = 48;
+  auto Model = pickTileForProblem(M, N, K);
+  std::pair<int64_t, int64_t> Tile{0, 0};
+  for (auto T : plannerTileCandidates())
+    if (T != Model) {
+      Tile = T;
+      break;
+    }
+  if (Tile.first == 0)
+    GTEST_SKIP() << "host has a single admissible tile";
+
+  const char *SavedRoot = std::getenv("EXO_GEMM_PRIOR_DB");
+  std::string Root = exotest::makeTempDir("exo-batchtune");
+  PriorDb::setGlobalRoot(Root);
+  PriorRecord R;
+  R.M = M;
+  R.N = N;
+  R.K = K;
+  R.MR = Tile.first;
+  R.NR = Tile.second;
+  R.MC = 2 * Tile.first;
+  R.NC = 2 * Tile.second;
+  R.KC = 16;
+  R.UnrollCompute = true;
+  R.TunedGflops = 60.0;
+  std::tie(R.ModelMR, R.ModelNR) = Model;
+  R.ModelGflops = 50.0;
+  ASSERT_FALSE(static_cast<bool>(PriorDb::global().store(R)));
+
+  // Huge crossover: every group a multi-threaded engine sees goes
+  // cross-item (threads == 1 has no pool to spread over and stays
+  // intra-item — the invariance must hold across that divide too).
+  ScopedEnv Env("EXO_GEMM_BATCH_CROSSOVER", "1099511627776");
+
+  std::vector<std::vector<float>> CByThreads;
+  for (int64_t Threads : {int64_t(1), int64_t(4)}) {
+    EngineConfig Cfg; // Auto series: the tuned stage is in play
+    Cfg.Threads = Threads;
+    Engine E(Cfg);
+    BatchFixture F;
+    for (size_t I = 0; I != 8; ++I)
+      F.add(Trans::None, Trans::None, M, N, K, I);
+    exo::Expected<PlanChoice> Plan =
+        E.planFor(Trans::None, Trans::None, M, N, K);
+    ASSERT_TRUE(static_cast<bool>(Plan)) << Plan.takeError().message();
+    ASSERT_STREQ(Plan->Source, "tuned") << "record not in play; the test "
+                                           "would prove nothing";
+    F.runSequential(E);
+    ASSERT_FALSE(E.sgemmBatched(F.Items));
+    F.expectBitwise();
+    EXPECT_GE(E.stats().PlansFromTuned, 1u);
+    if (Threads > 1)
+      EXPECT_EQ(E.stats().BatchedCrossItem, 8u)
+          << "huge crossover must schedule every item cross-batch";
+    // Snapshot item 0's C (identical fixtures across team sizes).
+    CByThreads.emplace_back(F.Items[0].C,
+                            F.Items[0].C + F.CSeq[0].size());
+  }
+  ASSERT_EQ(CByThreads.size(), 2u);
+  EXPECT_EQ(0, std::memcmp(CByThreads[0].data(), CByThreads[1].data(),
+                           CByThreads[0].size() * sizeof(float)))
+      << "tuned priors broke thread-count invariance";
+
+  PriorDb::setGlobalRoot(SavedRoot ? SavedRoot : "");
 }
 
 TEST(Batched, RejectsBadArguments) {

@@ -21,16 +21,34 @@
 //                                     the KernelService JIT cache, and the
 //                                     disk cache footprint; --json emits a
 //                                     machine-readable object
+//   ukr_cachectl tune                 search the schedule space for each
+//                                     --shape/--model problem and persist
+//                                     winners into the tuning-prior
+//                                     database (see docs/TUNING.md)
+//   ukr_cachectl priors ACTION        administer the prior database:
+//                                     list, verify (quarantine corrupt
+//                                     records), prune (drop quarantined /
+//                                     foreign / overflow records)
+//   ukr_cachectl plan                 print the planner's decision and its
+//                                     provenance (model/prior/tuned) for
+//                                     each --shape problem
 //
 // Common flags:
 //   --dir PATH        operate on this cache root (default:
 //                     $EXO_JIT_CACHE_DIR, else ~/.cache/exo-ukr)
+//   --db PATH         operate on this prior-database root (default:
+//                     $EXO_GEMM_PRIOR_DB, else ~/.cache/exo-ukr/priors)
 //   warm:  --mr N --nr N (family base tile, default 8x12), --full (every
 //          pickShape candidate tile), --jobs N (compile workers),
 //          --shape MxNxK (repeatable: warm the planner's kernel family for
 //          that GEMM problem), --model resnet|vgg (every layer shape of
 //          the model's table, the §IV-C workloads)
 //   prune: --max-bytes N (default $EXO_JIT_CACHE_MAX_BYTES or 256 MiB)
+//   tune:  --shape/--model as warm, --budget N (candidates per shape),
+//          --seconds S (per-candidate time), --threads N, --min-margin F
+//          (relative improvement required to store a winner)
+//   priors prune: --keep-foreign (keep other machines' records),
+//          --max-records N (cap record count)
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +57,8 @@
 #include "exo/jit/DiskCache.h"
 #include "gemm/Engine.h"
 #include "gemm/Planner.h"
+#include "gemm/PriorDb.h"
+#include "gemm/Tuner.h"
 #include "ukr/KernelService.h"
 
 #include <cstdio>
@@ -61,8 +81,14 @@ void usage(const char *Argv0) {
                "[--jobs N] [--shape MxNxK]... [--model resnet|vgg]\n"
                "       %s [--dir PATH] prune [--max-bytes N]\n"
                "       %s [--dir PATH] verify [--fix]\n"
-               "       %s [--dir PATH] stats [--json]\n",
-               Argv0, Argv0, Argv0, Argv0, Argv0);
+               "       %s [--dir PATH] stats [--json]\n"
+               "       %s [--db PATH] tune [--shape MxNxK]... "
+               "[--model resnet|vgg] [--budget N] [--seconds S] "
+               "[--threads N] [--min-margin F]\n"
+               "       %s [--db PATH] priors list|verify|prune "
+               "[--keep-foreign] [--max-records N]\n"
+               "       %s [--db PATH] plan [--shape MxNxK]...\n",
+               Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
 }
 
 int cmdList() {
@@ -205,6 +231,10 @@ int cmdStats(bool JsonOut) {
     Plan.set("evictions", static_cast<int64_t>(ES.Evictions));
     Plan.set("degenerate", static_cast<int64_t>(ES.Degenerate));
     Plan.set("sticky_errors", static_cast<int64_t>(ES.StickyErrors));
+    Plan.set("plans_model", static_cast<int64_t>(ES.PlansFromModel));
+    Plan.set("plans_prior", static_cast<int64_t>(ES.PlansFromPrior));
+    Plan.set("plans_tuned", static_cast<int64_t>(ES.PlansFromTuned));
+    Plan.set("prior_rejected", static_cast<int64_t>(ES.PriorRejected));
     benchutil::Json Jit = benchutil::Json::object();
     Jit.set("hits", static_cast<int64_t>(US.Hits));
     Jit.set("misses", static_cast<int64_t>(US.Misses));
@@ -219,11 +249,22 @@ int cmdStats(bool JsonOut) {
     Disk.set("root", DC.root());
     Disk.set("artifacts", static_cast<int64_t>(Entries.size()));
     Disk.set("bytes", static_cast<int64_t>(DiskBytes));
+    gemm::PriorDb::Stats PS = gemm::PriorDb::stats();
+    benchutil::Json Priors = benchutil::Json::object();
+    Priors.set("enabled", gemm::PriorDb::global().enabled());
+    Priors.set("root", gemm::PriorDb::global().root());
+    Priors.set("lookups", static_cast<int64_t>(PS.Lookups));
+    Priors.set("hits", static_cast<int64_t>(PS.Hits));
+    Priors.set("class_hits", static_cast<int64_t>(PS.ClassHits));
+    Priors.set("machine_mismatch", static_cast<int64_t>(PS.MachineMismatch));
+    Priors.set("corrupt_seen", static_cast<int64_t>(PS.CorruptSeen));
+    Priors.set("quarantined", static_cast<int64_t>(PS.Quarantined));
     benchutil::Json Root = benchutil::Json::object();
     Root.set("schema", "ukr_cachectl.stats/v1");
     Root.set("plan_cache", std::move(Plan));
     Root.set("jit_cache", std::move(Jit));
     Root.set("disk_cache", std::move(Disk));
+    Root.set("prior_db", std::move(Priors));
     std::printf("%s\n", Root.dump().c_str());
     return 0;
   }
@@ -250,18 +291,168 @@ int cmdStats(bool JsonOut) {
   std::printf("disk cache:  %zu artifact(s), %llu bytes, root %s%s\n",
               Entries.size(), static_cast<unsigned long long>(DiskBytes),
               DC.root().c_str(), DC.enabled() ? "" : " (disabled)");
+  std::printf("plan source: %llu model, %llu prior, %llu tuned, %llu "
+              "rejected prior row(s)/record(s)\n",
+              static_cast<unsigned long long>(ES.PlansFromModel),
+              static_cast<unsigned long long>(ES.PlansFromPrior),
+              static_cast<unsigned long long>(ES.PlansFromTuned),
+              static_cast<unsigned long long>(ES.PriorRejected));
+  gemm::PriorDb::Stats PS = gemm::PriorDb::stats();
+  std::printf("prior db:    %llu lookup(s), %llu exact / %llu class hit(s), "
+              "%llu machine mismatch(es), %llu corrupt seen, root %s%s\n",
+              static_cast<unsigned long long>(PS.Lookups),
+              static_cast<unsigned long long>(PS.Hits),
+              static_cast<unsigned long long>(PS.ClassHits),
+              static_cast<unsigned long long>(PS.MachineMismatch),
+              static_cast<unsigned long long>(PS.CorruptSeen),
+              gemm::PriorDb::global().root().c_str(),
+              gemm::PriorDb::global().enabled() ? "" : " (disabled)");
+  return 0;
+}
+
+int cmdTune(const std::vector<Problem> &Problems, const gemm::TuneOptions &O) {
+  if (Problems.empty()) {
+    std::fprintf(stderr, "tune: name at least one --shape or --model\n");
+    return 2;
+  }
+  gemm::PriorDb &Db = gemm::PriorDb::global();
+  if (!Db.enabled()) {
+    std::fprintf(stderr, "prior db disabled (root: %s)\n", Db.root().c_str());
+    return 1;
+  }
+  std::printf("tuning %zu shape(s), budget %lld, %.3gs per candidate, into "
+              "%s\n",
+              Problems.size(), static_cast<long long>(O.Budget), O.Seconds,
+              Db.root().c_str());
+  int Failures = 0;
+  size_t Stored = 0;
+  for (const Problem &P : Problems) {
+    Expected<gemm::TuneResult> R = gemm::tuneShape(P.M, P.N, P.K, O, &Db);
+    if (!R) {
+      std::fprintf(stderr, "tune %lldx%lldx%lld: %s\n",
+                   static_cast<long long>(P.M), static_cast<long long>(P.N),
+                   static_cast<long long>(P.K), R.message().c_str());
+      ++Failures;
+      continue;
+    }
+    if (R->Stored) {
+      ++Stored;
+      std::printf("tune %lldx%lldx%lld: stored %lldx%lld (%.2f GFLOPS, "
+                  "model %lldx%lld %.2f, +%.1f%%), %zu candidate(s)\n",
+                  static_cast<long long>(P.M), static_cast<long long>(P.N),
+                  static_cast<long long>(P.K),
+                  static_cast<long long>(R->Best.MR),
+                  static_cast<long long>(R->Best.NR), R->Best.Gflops,
+                  static_cast<long long>(R->ModelMR),
+                  static_cast<long long>(R->ModelNR), R->ModelGflops,
+                  100.0 * (R->Best.Gflops / R->ModelGflops - 1.0),
+                  R->Samples.size());
+    } else {
+      std::printf("tune %lldx%lldx%lld: model %lldx%lld holds (%.2f GFLOPS, "
+                  "best candidate %.2f), nothing stored, %zu candidate(s)\n",
+                  static_cast<long long>(P.M), static_cast<long long>(P.N),
+                  static_cast<long long>(P.K),
+                  static_cast<long long>(R->ModelMR),
+                  static_cast<long long>(R->ModelNR), R->ModelGflops,
+                  R->Best.Gflops, R->Samples.size());
+    }
+  }
+  std::printf("tune done: %zu record(s) stored, %d failure(s)\n", Stored,
+              Failures);
+  return Failures ? 1 : 0;
+}
+
+int cmdPriors(const std::string &Action, bool KeepForeign,
+              int64_t MaxRecords) {
+  gemm::PriorDb &Db = gemm::PriorDb::global();
+  if (!Db.enabled()) {
+    std::fprintf(stderr, "prior db disabled (root: %s)\n", Db.root().c_str());
+    return 1;
+  }
+  if (Action == "list") {
+    std::vector<gemm::PriorDb::Entry> Entries = Db.list();
+    std::printf("%-20s %-7s %-9s %9s %9s  %s\n", "shape", "tile", "gflops",
+                "margin", "bytes", "flags");
+    for (const auto &E : Entries) {
+      if (E.Corrupt) {
+        std::printf("%-20s corrupt: %s\n", "?", E.Path.c_str());
+        continue;
+      }
+      std::printf("%5lldx%-5lldx%-7lld %lldx%-5lld %-9.2f %+9.2f %9llu  "
+                  "%s%s%s\n",
+                  static_cast<long long>(E.Rec.M),
+                  static_cast<long long>(E.Rec.N),
+                  static_cast<long long>(E.Rec.K),
+                  static_cast<long long>(E.Rec.MR),
+                  static_cast<long long>(E.Rec.NR), E.Rec.TunedGflops,
+                  E.Rec.margin(), static_cast<unsigned long long>(E.Bytes),
+                  E.ClassEntry ? "class " : "exact ",
+                  E.MachineMatch ? "" : "foreign ",
+                  E.Rec.UnrollCompute ? "unroll" : "");
+    }
+    std::printf("%zu record(s), root %s\n", Entries.size(),
+                Db.root().c_str());
+    return 0;
+  }
+  if (Action == "verify") {
+    size_t Corrupt = 0;
+    for (const auto &E : Db.list())
+      if (E.Corrupt) {
+        ++Corrupt;
+        std::printf("corrupt: %s\n", E.Path.c_str());
+      }
+    size_t Quarantined = Db.quarantine();
+    std::printf("%zu corrupt record(s), %zu quarantined\n", Corrupt,
+                Quarantined);
+    return 0;
+  }
+  if (Action == "prune") {
+    size_t Removed = Db.prune(!KeepForeign, MaxRecords);
+    std::printf("pruned %zu file(s); %zu record(s) remain under %s\n",
+                Removed, Db.list().size(), Db.root().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "priors: '%s' is not list|verify|prune\n",
+               Action.c_str());
+  return 2;
+}
+
+int cmdPlan(const std::vector<Problem> &Problems) {
+  if (Problems.empty()) {
+    std::fprintf(stderr, "plan: name at least one --shape\n");
+    return 2;
+  }
+  for (const Problem &P : Problems) {
+    gemm::PlanOutcome Out;
+    gemm::PlanChoice C = gemm::choosePlan(P.M, P.N, P.K, nullptr, "", &Out);
+    std::printf("plan %lldx%lldx%lld: tile %lldx%lld source %s",
+                static_cast<long long>(P.M), static_cast<long long>(P.N),
+                static_cast<long long>(P.K), static_cast<long long>(C.MR),
+                static_cast<long long>(C.NR), C.Source);
+    if (C.Blocks)
+      std::printf(" blocks %s", C.Blocks->describe().c_str());
+    if (C.UnrollCompute)
+      std::printf(" unroll");
+    if (Out.PriorRejected + Out.TunedRejected)
+      std::printf(" (%llu prior row(s)/record(s) rejected)",
+                  static_cast<unsigned long long>(Out.PriorRejected +
+                                                  Out.TunedRejected));
+    std::printf("\n");
+  }
   return 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Cmd;
+  std::string Cmd, Sub;
   int64_t MR = 8, NR = 12;
-  bool Full = false, Fix = false, JsonOut = false;
+  bool Full = false, Fix = false, JsonOut = false, KeepForeign = false;
   unsigned Jobs = 0;
   uint64_t MaxBytes = JitDiskCache::configuredMaxBytes();
+  int64_t MaxRecords = 0;
   std::vector<Problem> Problems;
+  gemm::TuneOptions Tune = gemm::tuneOptionsFromEnv();
 
   for (int I = 1; I < Argc; ++I) {
     auto Value = [&](const char *Flag) -> const char * {
@@ -275,6 +466,34 @@ int main(int Argc, char **Argv) {
     };
     if (const char *V = Value("--dir")) {
       JitDiskCache::setGlobalRoot(V);
+    } else if (const char *V = Value("--db")) {
+      gemm::PriorDb::setGlobalRoot(V);
+    } else if (const char *V = Value("--budget")) {
+      Tune.Budget = std::atoll(V);
+      if (Tune.Budget < 1) {
+        std::fprintf(stderr, "--budget: '%s' is not a positive count\n", V);
+        return 2;
+      }
+    } else if (const char *V = Value("--seconds")) {
+      Tune.Seconds = std::atof(V);
+      if (!(Tune.Seconds > 0)) {
+        std::fprintf(stderr, "--seconds: '%s' is not a positive number\n", V);
+        return 2;
+      }
+    } else if (const char *V = Value("--threads")) {
+      Tune.Threads = std::atoll(V);
+      if (Tune.Threads < 1) {
+        std::fprintf(stderr, "--threads: '%s' is not a positive count\n", V);
+        return 2;
+      }
+    } else if (const char *V = Value("--min-margin")) {
+      Tune.MinMargin = std::atof(V);
+    } else if (const char *V = Value("--max-records")) {
+      MaxRecords = std::atoll(V);
+      if (MaxRecords < 0) {
+        std::fprintf(stderr, "--max-records: '%s' is not a count\n", V);
+        return 2;
+      }
     } else if (const char *V = Value("--mr")) {
       MR = std::atoll(V);
     } else if (const char *V = Value("--nr")) {
@@ -320,12 +539,16 @@ int main(int Argc, char **Argv) {
       Fix = true;
     } else if (!std::strcmp(Argv[I], "--json")) {
       JsonOut = true;
+    } else if (!std::strcmp(Argv[I], "--keep-foreign")) {
+      KeepForeign = true;
     } else if (!std::strcmp(Argv[I], "--help") ||
                !std::strcmp(Argv[I], "-h")) {
       usage(Argv[0]);
       return 0;
     } else if (Argv[I][0] != '-' && Cmd.empty()) {
       Cmd = Argv[I];
+    } else if (Argv[I][0] != '-' && Cmd == "priors" && Sub.empty()) {
+      Sub = Argv[I];
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", Argv[I]);
       usage(Argv[0]);
@@ -343,6 +566,12 @@ int main(int Argc, char **Argv) {
     return cmdVerify(Fix);
   if (Cmd == "stats")
     return cmdStats(JsonOut);
+  if (Cmd == "tune")
+    return cmdTune(Problems, Tune);
+  if (Cmd == "priors")
+    return cmdPriors(Sub, KeepForeign, MaxRecords);
+  if (Cmd == "plan")
+    return cmdPlan(Problems);
   usage(Argv[0]);
   return 2;
 }
