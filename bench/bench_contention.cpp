@@ -1,0 +1,271 @@
+//===- bench_contention.cpp - Concurrent-stream throughput ----------------===//
+//
+// Not a paper figure: the paper evaluates one micro-kernel on one core.
+// This bench measures the serving-side question the governor answers
+// (docs/CONCURRENCY.md): when N independent callers issue mixed-shape
+// SGEMMs concurrently, how does aggregate throughput compare between
+//
+//   fixed_tT  — every caller plans at a fixed EXO_GEMM_THREADS=T team
+//   governor  — every caller plans at the governor ceiling and each call
+//               is granted a width from shape + live pool occupancy
+//
+// Each row runs N streams (raw std::threads, as gemmd executors would be)
+// round-robin over a mixed shape set for the time budget and reports the
+// aggregate GFLOPS across all streams. The fixed arms sweep {1, 2, hw}
+// deduped to the host's hardware concurrency, so on a 1-core CI box the
+// sweep collapses to fixed_t1 and the governor row must tie it.
+//
+// The never-lose gate: for every stream count, the governor arm must
+// reach >= 95% of the best fixed arm. A miss exits nonzero (skipped under
+// --smoke, where the shapes are too small to time meaningfully).
+//
+//   bench_contention [--streams "1,2,4,8"] [--seconds T] [--csv]
+//                    [--json [PATH]] [--trace PATH]
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigCommon.h"
+
+#include "exo/support/Str.h"
+#include "gemm/Governor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <cstring>
+#include <thread>
+
+namespace {
+
+struct Shape {
+  int64_t M, N, K;
+};
+
+struct StreamResult {
+  double Flops = 0;
+  int64_t Calls = 0;
+  double Seconds = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  using namespace gemm;
+  fig::Context Ctx("contention", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
+
+  std::vector<int64_t> StreamCounts = {1, 2, 4, 8};
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--streams") && I + 1 < Argc) {
+      StreamCounts.clear();
+      for (const std::string &Tok : exo::split(Argv[++I], ','))
+        if (int64_t S = std::atoll(Tok.c_str()); S > 0)
+          StreamCounts.push_back(S);
+    }
+  }
+  if (Opt.Smoke)
+    StreamCounts = {1, 2};
+
+  // Mixed shapes: one square compute-bound problem, one wide-N and one
+  // tall-M skewed problem, one small problem under the governor's default
+  // work floor (the small one is why fixed wide teams lose: it pins
+  // workers for no speedup while other streams wait).
+  std::vector<Shape> Shapes = Opt.Big
+                                  ? std::vector<Shape>{{1024, 1024, 1024},
+                                                       {256, 2048, 256},
+                                                       {2048, 256, 512},
+                                                       {96, 96, 96}}
+                                  : std::vector<Shape>{{512, 512, 512},
+                                                       {128, 768, 128},
+                                                       {768, 128, 256},
+                                                       {64, 64, 64}};
+  if (Opt.Smoke)
+    Shapes = {{96, 96, 96}, {48, 64, 48}};
+
+  const int64_t HW = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int64_t> FixedCounts;
+  for (int64_t T : {int64_t(1), int64_t(2), HW})
+    if (T <= HW &&
+        std::find(FixedCounts.begin(), FixedCounts.end(), T) ==
+            FixedCounts.end())
+      FixedCounts.push_back(T);
+
+  std::printf("Contention: %zu mixed shapes, streams {", Shapes.size());
+  for (size_t I = 0; I < StreamCounts.size(); ++I)
+    std::printf("%s%lld", I ? "," : "",
+                static_cast<long long>(StreamCounts[I]));
+  std::printf("}, %lld hardware thread(s)\n", static_cast<long long>(HW));
+
+  // Shared read-only operands per shape; each stream owns its C buffer.
+  int64_t MaxC = 0;
+  std::vector<std::vector<float>> As, Bs;
+  for (const Shape &S : Shapes) {
+    As.emplace_back(S.M * S.K);
+    Bs.emplace_back(S.K * S.N);
+    benchutil::fillRandom(As.back().data(), As.back().size(), 7 + As.size());
+    benchutil::fillRandom(Bs.back().data(), Bs.back().size(), 31 + Bs.size());
+    MaxC = std::max(MaxC, S.M * S.N);
+  }
+
+  auto EngineFor = [](int64_t Threads, bool Governed) {
+    EngineConfig Cfg;
+    Cfg.Series = EngineSeries::Exo;
+    Cfg.Isa = &exo::avx2Isa();
+    Cfg.Threads = Threads;
+    Cfg.Governor = Governed ? 1 : 0;
+    return Cfg;
+  };
+
+  struct Arm {
+    std::string Name;
+    std::unique_ptr<Engine> E;
+    int64_t Threads; // fixed team size, or 0 for the governor arm
+  };
+  std::vector<Arm> Arms;
+  for (int64_t T : FixedCounts)
+    Arms.push_back({"fixed_t" + std::to_string(T),
+                    std::make_unique<Engine>(EngineFor(T, false)), T});
+  Arms.push_back(
+      {"governor", std::make_unique<Engine>(EngineFor(0, true)), 0});
+
+  // Every arm must produce bitwise-identical results: the governed arm may
+  // run any granted width, so this is the thread-count-invariance contract
+  // (docs/CONCURRENCY.md) checked end to end.
+  {
+    std::vector<float> Ref(MaxC), Got(MaxC);
+    for (size_t SI = 0; SI < Shapes.size(); ++SI) {
+      const Shape &S = Shapes[SI];
+      std::fill(Ref.begin(), Ref.end(), 1.0f);
+      if (exo::Error Err =
+              Arms.front().E->sgemm(S.M, S.N, S.K, 1.0f, As[SI].data(), S.M,
+                                    Bs[SI].data(), S.K, 1.0f, Ref.data(),
+                                    S.M)) {
+        std::fprintf(stderr, "gemm failed: %s\n", Err.message().c_str());
+        return 1;
+      }
+      for (size_t AI = 1; AI < Arms.size(); ++AI) {
+        std::fill(Got.begin(), Got.end(), 1.0f);
+        if (exo::Error Err =
+                Arms[AI].E->sgemm(S.M, S.N, S.K, 1.0f, As[SI].data(), S.M,
+                                  Bs[SI].data(), S.K, 1.0f, Got.data(),
+                                  S.M)) {
+          std::fprintf(stderr, "gemm failed: %s\n", Err.message().c_str());
+          return 1;
+        }
+        if (std::memcmp(Ref.data(), Got.data(),
+                        S.M * S.N * sizeof(float)) != 0) {
+          std::fprintf(stderr,
+                       "WRONG RESULT: arm %s differs from %s on "
+                       "%lldx%lldx%lld\n",
+                       Arms[AI].Name.c_str(), Arms.front().Name.c_str(),
+                       static_cast<long long>(S.M),
+                       static_cast<long long>(S.N),
+                       static_cast<long long>(S.K));
+          return 1;
+        }
+      }
+    }
+  }
+
+  benchutil::Table T("contention_aggregate",
+                     {"streams", "arm", "gflops", "calls"}, Opt.Csv);
+  // gate[streams] = {best fixed GFLOPS, governor GFLOPS}
+  std::map<int64_t, std::pair<double, double>> Gate;
+
+  for (int64_t Streams : StreamCounts) {
+    for (Arm &A : Arms) {
+      std::vector<StreamResult> Results(Streams);
+      std::vector<std::vector<float>> Cs(Streams,
+                                         std::vector<float>(MaxC, 0.0f));
+      std::atomic<bool> Go{false};
+      std::atomic<bool> Failed{false};
+      std::vector<std::thread> Threads;
+      for (int64_t SId = 0; SId < Streams; ++SId) {
+        Threads.emplace_back([&, SId] {
+          while (!Go.load(std::memory_order_acquire))
+            std::this_thread::yield();
+          const Clock::time_point Start = Clock::now();
+          const Clock::time_point Deadline =
+              Start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(Opt.Seconds));
+          StreamResult &R = Results[SId];
+          size_t I = static_cast<size_t>(SId);
+          do {
+            const size_t SI = I++ % Shapes.size();
+            const Shape &S = Shapes[SI];
+            if (exo::Error Err = A.E->sgemm(S.M, S.N, S.K, 1.0f,
+                                            As[SI].data(), S.M,
+                                            Bs[SI].data(), S.K, 1.0f,
+                                            Cs[SId].data(), S.M)) {
+              std::fprintf(stderr, "gemm failed: %s\n",
+                           Err.message().c_str());
+              Failed.store(true);
+              break;
+            }
+            R.Flops += 2.0 * S.M * S.N * S.K;
+            ++R.Calls;
+          } while (Clock::now() < Deadline && !Failed.load());
+          R.Seconds = secondsSince(Start);
+        });
+      }
+      Go.store(true, std::memory_order_release);
+      for (std::thread &Th : Threads)
+        Th.join();
+      if (Failed.load())
+        return 1;
+
+      double Flops = 0, Elapsed = 0;
+      int64_t Calls = 0;
+      for (const StreamResult &R : Results) {
+        Flops += R.Flops;
+        Calls += R.Calls;
+        Elapsed = std::max(Elapsed, R.Seconds);
+      }
+      const double G = benchutil::gflops(Flops, Elapsed);
+      if (A.Threads == 0)
+        Gate[Streams].second = G;
+      else
+        Gate[Streams].first = std::max(Gate[Streams].first, G);
+
+      T.addRow({std::to_string(Streams), A.Name, exo::strf("%.2f", G),
+                std::to_string(Calls)});
+      benchutil::ReportRow Row;
+      Row.Label = "s" + std::to_string(Streams);
+      Row.Series = A.Name;
+      Row.Value = G;
+      Row.SecondsPerCall = Calls ? Elapsed / static_cast<double>(Calls) : 0;
+      Row.Reps = Calls;
+      Row.Threads = A.Threads ? A.Threads : Governor::global().ceiling();
+      Row.Extra["streams"] = static_cast<double>(Streams);
+      Row.Extra["aggregate_flops"] = Flops;
+      Ctx.Rep.addRow(std::move(Row));
+    }
+  }
+  T.print();
+
+  // Never-lose gate: governor >= 95% of the best fixed arm per row. Too
+  // noisy to be meaningful on --smoke shapes.
+  bool GatePass = true;
+  for (const auto &[Streams, G] : Gate) {
+    const double Ratio = G.first > 0 ? G.second / G.first : 1.0;
+    std::printf("contention-gate: streams=%lld governor=%.2f best_fixed=%.2f "
+                "ratio=%.3f\n",
+                static_cast<long long>(Streams), G.second, G.first, Ratio);
+    if (Ratio < 0.95)
+      GatePass = false;
+  }
+  std::printf("contention-gate: %s\n",
+              Opt.Smoke ? "SKIP (smoke)" : GatePass ? "PASS" : "FAIL");
+
+  int Rc = Ctx.finish();
+  if (!Opt.Smoke && !GatePass)
+    return 1;
+  return Rc;
+}

@@ -105,7 +105,21 @@ struct Server::Impl {
   std::atomic<uint32_t> NextId{1};
   uint64_t StartNs = 0;
 
-  explicit Impl(const ServerOptions &O) : Opts(O), Eng(O.Engine) {
+  /// The daemon's Engine defaults governed dispatch ON (Governor.h): its
+  /// executors are exactly the N-concurrent-callers case the governor
+  /// exists for — without it, one large request and a flood of small ones
+  /// each claim a full fixed-width team and oversubscribe the machine. An
+  /// explicit EngineConfig::Governor or any EXO_GEMM_GOVERNOR setting
+  /// (including 0) still wins; library Engines keep the paper's fixed-team
+  /// default. See docs/CONCURRENCY.md.
+  static gemm::EngineConfig daemonEngineConfig(gemm::EngineConfig C) {
+    if (C.Governor < 0 && !std::getenv("EXO_GEMM_GOVERNOR"))
+      C.Governor = 1;
+    return C;
+  }
+
+  explicit Impl(const ServerOptions &O)
+      : Opts(O), Eng(daemonEngineConfig(O.Engine)) {
     if (Opts.SocketPath.empty())
       Opts.SocketPath = ipc::defaultSocketPath();
     if (Opts.MaxClients <= 0)

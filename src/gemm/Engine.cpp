@@ -4,6 +4,7 @@
 
 #include "exo/support/Env.h"
 #include "gemm/ExoProvider.h"
+#include "gemm/Governor.h"
 #include "gemm/PriorDb.h"
 #include "gemm/Kernels.h"
 #include "gemm/ThreadPool.h"
@@ -125,6 +126,40 @@ struct Engine::Impl {
       BatchedCrossItem{0};
   std::atomic<uint64_t> PlansFromModel{0}, PlansFromPrior{0},
       PlansFromTuned{0}, PriorRejected{0};
+  std::atomic<uint64_t> GovGrants{0}, GovShapeClamped{0}, GovOccClamped{0},
+      GovWidthSum{0};
+
+  /// Governed dispatch for this Engine: explicit config, else the
+  /// EXO_GEMM_GOVERNOR env default (read per call so tests can flip it).
+  bool governorOn() const {
+    return Cfg.Governor > 0 ||
+           (Cfg.Governor < 0 && Governor::enabledByEnv());
+  }
+
+  /// The canonical per-shape plan width — the team-size component of every
+  /// plan key. Fixed dispatch: the resolved thread count, as always. With
+  /// the governor on and no fixed width requested (resolves to 1), plans
+  /// are keyed and sized at the governor ceiling so grants can widen up to
+  /// it; an explicit width (EngineConfig::Threads or EXO_GEMM_THREADS)
+  /// stays the cap and the governor only ever narrows below it. Either
+  /// way the key is invariant across calls — grants never re-key.
+  int64_t plannedThreads() const {
+    const int64_t T = resolveGemmThreads(Cfg.Threads);
+    if (T > 1 || !governorOn())
+      return T;
+    return Governor::global().ceiling();
+  }
+
+  /// Folds one grant into the per-Engine counters.
+  void countGrant(const Governor::Grant &G) {
+    GovGrants.fetch_add(1, std::memory_order_relaxed);
+    GovWidthSum.fetch_add(static_cast<uint64_t>(G.width()),
+                          std::memory_order_relaxed);
+    if (G.shapeClamped())
+      GovShapeClamped.fetch_add(1, std::memory_order_relaxed);
+    if (G.occupancyClamped())
+      GovOccClamped.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::shared_ptr<ExoProvider> exoProviderFor(int64_t MR, int64_t NR,
                                               bool UnrollCompute) {
@@ -428,7 +463,7 @@ Error Engine::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
               M,
               N,
               K,
-              resolveGemmThreads(I->Cfg.Threads),
+              I->plannedThreads(),
               I->Cfg.Isa};
 
   std::shared_ptr<ExecPlan> Plan;
@@ -457,10 +492,23 @@ Error Engine::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
     WS = std::make_unique<detail::GemmWorkspace>();
     WS->ensure(Plan->G);
   }
-  detail::executeGemm(Plan->G,
-                      detail::GemmCall{TA, TB, M, N, K, Alpha, A, Lda, B,
-                                       Ldb, Beta, C, Ldc},
-                      *WS);
+  const detail::GemmCall Call{TA, TB, M,    N, K,   Alpha, A,
+                              Lda, B,  Ldb, Beta, C, Ldc};
+  // Governed dispatch: the process-wide governor grants this call a team
+  // width in [1, plan width] from the shape model and live occupancy;
+  // results are bitwise identical at every width (Gemm.h), so this only
+  // changes scheduling. Nested calls skip the governor and take
+  // executeGemm's collapse path — a reservation cannot form from inside a
+  // pool job.
+  if (I->governorOn() && Plan->G.T > 1 &&
+      !ThreadPool::global().inParallel()) {
+    Governor::Grant Grant;
+    Governor::global().acquire(M, N, K, Plan->G.T, Grant);
+    I->countGrant(Grant);
+    detail::executeGemmReserved(Plan->G, Call, *WS, Grant.reservation());
+  } else {
+    detail::executeGemm(Plan->G, Call, *WS);
+  }
   Plan->release(std::move(WS));
   return Error::success();
 }
@@ -542,7 +590,8 @@ Error Engine::sgemmBatched(const GemmBatchItem *Items, int64_t Count) {
         .push_back(Ix);
   }
 
-  const int64_t T = resolveGemmThreads(I->Cfg.Threads);
+  const int64_t T = I->plannedThreads();
+  const bool Governed = I->governorOn() && !ThreadPool::global().inParallel();
   for (const auto &[Shape, Idx] : Groups) {
     const auto &[TA, TB, M, N, K] = Shape;
     const int64_t GroupItems = static_cast<int64_t>(Idx.size());
@@ -590,11 +639,20 @@ Error Engine::sgemmBatched(const GemmBatchItem *Items, int64_t Count) {
       }
       for (int64_t Ix : Idx) {
         const GemmBatchItem &It = Items[Ix];
-        detail::executeGemm(Plan->G,
-                            detail::GemmCall{It.TA, It.TB, It.M, It.N, It.K,
-                                             It.Alpha, It.A, It.Lda, It.B,
-                                             It.Ldb, It.Beta, It.C, It.Ldc},
-                            *WS);
+        const detail::GemmCall Call{It.TA,  It.TB, It.M,    It.N, It.K,
+                                    It.Alpha, It.A, It.Lda, It.B, It.Ldb,
+                                    It.Beta, It.C, It.Ldc};
+        if (Governed && Plan->G.T > 1) {
+          // Per item, like sgemm: each item's grant tracks occupancy as
+          // sibling callers come and go over a long batch.
+          Governor::Grant Grant;
+          Governor::global().acquire(It.M, It.N, It.K, Plan->G.T, Grant);
+          I->countGrant(Grant);
+          detail::executeGemmReserved(Plan->G, Call, *WS,
+                                      Grant.reservation());
+        } else {
+          detail::executeGemm(Plan->G, Call, *WS);
+        }
       }
       Plan->release(std::move(WS));
       continue;
@@ -608,7 +666,20 @@ Error Engine::sgemmBatched(const GemmBatchItem *Items, int64_t Count) {
     const int64_t ChunkMax = batchGroupMax();
     for (int64_t At = 0; At < GroupItems; At += ChunkMax) {
       const int64_t NItems = std::min(ChunkMax, GroupItems - At);
-      const int64_t W = std::min<int64_t>(T, NItems);
+      int64_t W = std::min<int64_t>(T, NItems);
+      // Governed: the chunk's aggregate flops (not one small item's) drive
+      // the width model — cross-item chunks are many small items, and it
+      // is their sum that justifies workers.
+      Governor::Grant Grant;
+      if (Governed && W > 1) {
+        Governor::global().acquireFlops(2.0 * static_cast<double>(M) *
+                                            static_cast<double>(N) *
+                                            static_cast<double>(K) *
+                                            static_cast<double>(NItems),
+                                        W, Grant);
+        I->countGrant(Grant);
+        W = Grant.width();
+      }
       std::vector<std::unique_ptr<detail::GemmWorkspace>> Owned(
           static_cast<size_t>(W));
       std::vector<detail::GemmWorkspace *> WSs(static_cast<size_t>(W));
@@ -621,7 +692,11 @@ Error Engine::sgemmBatched(const GemmBatchItem *Items, int64_t Count) {
         WSs[WI] = Owned[WI].get();
       }
       BatchJob Job{&Plan->G, Items, Idx.data() + At, NItems, W, WSs.data()};
-      ThreadPool::global().parallel(W, &runBatchItems, &Job);
+      if (Grant.reservation().Count > 0)
+        ThreadPool::global().runTeam(Grant.reservation(), &runBatchItems,
+                                     &Job);
+      else
+        ThreadPool::global().parallel(W, &runBatchItems, &Job);
       for (int64_t WI = 0; WI < W; ++WI)
         Plan->release(std::move(Owned[WI]));
     }
@@ -675,7 +750,7 @@ Expected<PlanChoice> Engine::planFor(Trans TA, Trans TB, int64_t M,
               M,
               N,
               K,
-              resolveGemmThreads(I->Cfg.Threads),
+              I->plannedThreads(),
               I->Cfg.Isa};
   if (!I->CacheOn) {
     Expected<std::shared_ptr<ExecPlan>> Built = I->build(Key);
@@ -699,7 +774,7 @@ Error Engine::warm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
               M,
               N,
               K,
-              resolveGemmThreads(I->Cfg.Threads),
+              I->plannedThreads(),
               I->Cfg.Isa};
   std::shared_ptr<ExecPlan> Plan;
   if (!I->CacheOn) {
@@ -779,6 +854,10 @@ EngineStats Engine::stats() const {
   S.PlansFromPrior = I->PlansFromPrior.load(std::memory_order_relaxed);
   S.PlansFromTuned = I->PlansFromTuned.load(std::memory_order_relaxed);
   S.PriorRejected = I->PriorRejected.load(std::memory_order_relaxed);
+  S.GovGrants = I->GovGrants.load(std::memory_order_relaxed);
+  S.GovShapeClamped = I->GovShapeClamped.load(std::memory_order_relaxed);
+  S.GovOccClamped = I->GovOccClamped.load(std::memory_order_relaxed);
+  S.GovWidthSum = I->GovWidthSum.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -797,6 +876,10 @@ void Engine::resetStats() {
   I->PlansFromPrior.store(0);
   I->PlansFromTuned.store(0);
   I->PriorRejected.store(0);
+  I->GovGrants.store(0);
+  I->GovShapeClamped.store(0);
+  I->GovOccClamped.store(0);
+  I->GovWidthSum.store(0);
 }
 
 const char *Engine::seriesName() const { return I->Name; }

@@ -91,6 +91,14 @@ struct EngineConfig {
   /// rooted at EXO_GEMM_PRIOR_DB) before the BENCH prior and the model.
   /// false is the ablation arm benches use to measure the model alone.
   bool TunedPriors = true;
+  /// Governed dispatch (Governor.h, docs/CONCURRENCY.md): the per-call
+  /// team width is granted by the process-wide governor — shape model plus
+  /// live pool occupancy — instead of being fixed at the resolved thread
+  /// count. Plans are keyed and sized at the fixed width; grants only
+  /// narrow the executing team, so results stay bitwise identical.
+  /// -1 defers to EXO_GEMM_GOVERNOR (default off — the paper's fixed-team
+  /// methodology; gemmd enables it for its shared Engine), 0 off, 1 on.
+  int Governor = -1;
 };
 
 /// Plan-cache counters (relaxed; exact under external synchronization).
@@ -112,6 +120,11 @@ struct EngineStats {
   /// Prior rows/records rejected during selection: BENCH rows inadmissible
   /// under the chosen ISA plus tuned records failing the never-lose gate.
   uint64_t PriorRejected = 0;
+  // Governed dispatch (EngineConfig::Governor; zeros when off).
+  uint64_t GovGrants = 0;       ///< calls that went through the governor
+  uint64_t GovShapeClamped = 0; ///< grants narrowed by the shape model
+  uint64_t GovOccClamped = 0;   ///< grants narrowed by occupancy/budget
+  uint64_t GovWidthSum = 0;     ///< sum of granted widths (avg = /GovGrants)
 };
 
 /// One problem of a batch handed to Engine::sgemmBatched. Identical field

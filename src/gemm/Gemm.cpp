@@ -64,12 +64,24 @@ detail::GemmGeometry detail::deriveGeometry(const GemmPlan &Plan,
   const int64_t NPanMax = (std::min(G.Nc, N) + G.Nr - 1) / G.Nr;
   G.T = std::max<int64_t>(
       1, std::min(resolveGemmThreads(Plan.Threads), G.NIc * NPanMax));
+  factorizeTeam(G);
+  return G;
+}
+
+void detail::factorizeTeam(GemmGeometry &G) {
   G.Tic = 1;
   for (int64_t D = 1; D <= G.T; ++D)
     if (G.T % D == 0 && D <= G.NIc)
       G.Tic = D;
   G.Tjr = G.T / G.Tic;
-  return G;
+}
+
+detail::GemmGeometry detail::reteamGeometry(const GemmGeometry &G,
+                                            int64_t Width) {
+  GemmGeometry G2 = G;
+  G2.T = std::max<int64_t>(1, std::min(Width, G.T));
+  factorizeTeam(G2);
+  return G2;
 }
 
 void detail::resolveEdgeKernels(
@@ -305,6 +317,43 @@ void detail::executeGemm(const GemmGeometry &G, const GemmCall &Call,
   TeamBarrier Bar(G.T);
   TeamJob Job{&G, &Call, &WS, &Bar};
   ThreadPool::global().parallel(G.T, &runTeamMember, &Job);
+}
+
+void detail::executeGemmReserved(const GemmGeometry &G, const GemmCall &Call,
+                                 GemmWorkspace &WS,
+                                 ThreadPool::Reservation &Res) {
+  EXO_OBS_SPAN("gemm.call");
+  // The granted team: the caller plus every reserved worker. Res.Count is
+  // already <= G.T - 1 (the governor caps its ask at the plan width), so
+  // the re-teamed copy fits the workspace ensured for G, and by the
+  // thread-count-invariance guarantee the narrower team produces bitwise
+  // the same C.
+  const int64_t Width = 1 + Res.Count;
+  if (Width >= G.T && G.T > 1) {
+    // Full width granted: run the plan's own geometry directly.
+    TeamBarrier Bar(G.T);
+    TeamJob Job{&G, &Call, &WS, &Bar};
+    ThreadPool::global().runTeam(Res, &runTeamMember, &Job);
+    return;
+  }
+  GemmGeometry G2 = reteamGeometry(G, Width);
+  if (G2.T < Width) {
+    // The shape offers less parallel work than the grant (tiny problem on
+    // a wide plan): return the surplus workers before dispatching.
+    ThreadPool::global().release(Res);
+    if (G2.T <= 1) {
+      TeamJob Job{&G2, &Call, &WS, nullptr};
+      runTeamMember(&Job, 0);
+      return;
+    }
+    TeamBarrier Bar(G2.T);
+    TeamJob Job{&G2, &Call, &WS, &Bar};
+    ThreadPool::global().parallel(G2.T, &runTeamMember, &Job);
+    return;
+  }
+  TeamBarrier Bar(G2.T);
+  TeamJob Job{&G2, &Call, &WS, G2.T > 1 ? &Bar : nullptr};
+  ThreadPool::global().runTeam(Res, &runTeamMember, &Job);
 }
 
 Error gemm::blisGemm(const GemmPlan &Plan, KernelProvider &Provider,

@@ -21,6 +21,7 @@
 #include "gemm/CacheModel.h"
 #include "gemm/MicroKernel.h"
 #include "gemm/Pack.h"
+#include "gemm/ThreadPool.h"
 
 #include <optional>
 #include <vector>
@@ -131,6 +132,12 @@ struct GemmWorkspace {
 GemmGeometry deriveGeometry(const GemmPlan &Plan, const MicroKernel &Main,
                             int64_t M, int64_t N, int64_t K);
 
+/// Recomputes Tic / Tjr from G.T and G.NIc (the divisor rule: Tic is the
+/// largest divisor of T fitting the ic block count). Shared by
+/// deriveGeometry and reteamGeometry so a re-teamed copy factorizes
+/// exactly like a freshly derived one.
+void factorizeTeam(GemmGeometry &G);
+
 /// Resolves the kernel for every partial strip width occurring in an N-wide
 /// problem into \p Storage (resized to Nr) and points G.EdgeKernels at it;
 /// sets G.NeedBPad when some width lacks a runnable specialized kernel.
@@ -143,6 +150,23 @@ void resolveEdgeKernels(KernelProvider &Provider, GemmGeometry &G, int64_t N,
 /// workspace must already satisfy WS.ensure(G).
 void executeGemm(const GemmGeometry &G, const GemmCall &Call,
                  GemmWorkspace &WS);
+
+/// Returns \p G re-factorized for a team of \p Width (1 <= Width <= G.T):
+/// same blocking, same kernels, recomputed T / Tic / Tjr via the divisor
+/// rule of deriveGeometry. Because results are bitwise invariant under the
+/// team size (Gemm.h file comment), executing a plan's geometry at any
+/// smaller width — which is what the governor does under contention —
+/// changes scheduling only, never output; and since Width <= G.T, a
+/// workspace ensured for G already fits the re-teamed copy.
+GemmGeometry reteamGeometry(const GemmGeometry &G, int64_t Width);
+
+/// executeGemm on a team granted by the governor: Tid 0 on the caller and
+/// one Tid per worker of \p Res (consumed; see ThreadPool::runTeam). The
+/// geometry is re-teamed to the granted width 1 + Res.Count. Must not be
+/// called from inside a pool job — reserve-then-run is for top-level
+/// callers; nested calls take the plain executeGemm collapse path.
+void executeGemmReserved(const GemmGeometry &G, const GemmCall &Call,
+                         GemmWorkspace &WS, ThreadPool::Reservation &Res);
 
 /// The shared degenerate path (K == 0 or alpha == 0): C = beta * C, with
 /// beta == 0 overwriting rather than scaling (NaN-safe). Allocation-free.

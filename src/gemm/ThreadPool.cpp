@@ -4,6 +4,8 @@
 
 #include "exo/support/Env.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 
@@ -39,6 +41,7 @@ ThreadPool::~ThreadPool() {
     Stop = true;
   }
   CvWork.notify_all();
+  CvTicket.notify_all(); // queued callers fall back to inline execution
   for (std::thread &T : Workers)
     T.join();
 }
@@ -48,28 +51,57 @@ int64_t ThreadPool::workerCount() const {
   return static_cast<int64_t>(Workers.size());
 }
 
+int64_t ThreadPool::busyWorkers() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return ClaimedCount;
+}
+
+void ThreadPool::ensureWorkersLocked(int64_t Target) {
+  while (static_cast<int64_t>(Workers.size()) < Target) {
+    int64_t Idx = static_cast<int64_t>(Workers.size());
+    Slots.emplace_back();
+    Workers.emplace_back([this, Idx] { workerLoop(Idx); });
+  }
+}
+
+void ThreadPool::claimAndAssignLocked(int64_t Count, TeamCtl *Team,
+                                      int64_t TidBase) {
+  int64_t Assigned = 0;
+  for (size_t I = 0; I < Slots.size() && Assigned < Count; ++I) {
+    if (Slots[I].Claimed)
+      continue;
+    Slots[I].Claimed = true;
+    Slots[I].Team = Team;
+    Slots[I].Tid = TidBase + Assigned;
+    ++ClaimedCount;
+    ++Assigned;
+  }
+  assert(Assigned == Count && "claimAndAssignLocked: not enough idle workers");
+}
+
 void ThreadPool::workerLoop(int64_t WorkerIdx) {
-  uint64_t SeenGen = 0;
   std::unique_lock<std::mutex> Lock(Mu);
   while (true) {
-    CvWork.wait(Lock, [&] { return Stop || Gen != SeenGen; });
+    CvWork.wait(Lock, [&] { return Stop || Slots[WorkerIdx].Team != nullptr; });
     if (Stop)
       return;
-    SeenGen = Gen;
-    // Workers beyond the job's team size sit this one out (the pool only
-    // grows; a small job after a large one leaves the tail idle).
-    if (WorkerIdx + 1 >= JobThreads)
-      continue;
-    ParallelFn MyFn = JobFn;
-    void *MyCtx = JobCtx;
+    TeamCtl *T = Slots[WorkerIdx].Team;
+    int64_t Tid = Slots[WorkerIdx].Tid;
     Lock.unlock();
     {
       JobPoolScope Scope(this);
-      MyFn(MyCtx, WorkerIdx + 1);
+      T->Fn(T->Ctx, Tid);
     }
     Lock.lock();
-    if (--Remaining == 0)
+    Slots[WorkerIdx].Team = nullptr;
+    Slots[WorkerIdx].Claimed = false;
+    --ClaimedCount;
+    if (--T->Remaining == 0)
       CvDone.notify_all();
+    // A freed worker may complete the head FIFO waiter's quota, or open a
+    // window for tryReserve (which polls, so only waiters need waking).
+    if (WaitHead)
+      CvTicket.notify_all();
   }
 }
 
@@ -79,31 +111,53 @@ void ThreadPool::parallel(int64_t NThreads, ParallelFn Fn, void *Ctx) {
     return;
   }
   // Re-entrant call: this thread is already inside a job of this pool, so
-  // blocking on JobMu would deadlock (Tid 0 holds it) or stall the outer
-  // team (a worker's nested wait keeps the outer Remaining from draining).
-  // Degrade to inline sequential execution of every Tid. Only valid for
-  // bodies whose Tids do not synchronize with each other — see the header.
+  // waiting for workers would deadlock (the outer team is holding them, and
+  // it cannot finish until this call returns). Degrade to inline sequential
+  // execution of every Tid. Only valid for bodies whose Tids do not
+  // synchronize with each other — see the header.
   if (CurrentJobPool == this) {
     for (int64_t Tid = 0; Tid < NThreads; ++Tid)
       Fn(Ctx, Tid);
     return;
   }
-  // One job at a time: concurrent callers (independent GEMMs sharing the
-  // global pool) serialize here, each still running its own team in
-  // parallel once admitted.
-  std::lock_guard<std::mutex> JobLock(JobMu);
+  const int64_t Need = NThreads - 1;
+  TeamCtl Ctl;
+  Ctl.Fn = Fn;
+  Ctl.Ctx = Ctx;
   {
     std::unique_lock<std::mutex> Lock(Mu);
-    // Lazy growth to the high-water mark.
-    while (static_cast<int64_t>(Workers.size()) < NThreads - 1) {
-      int64_t Idx = static_cast<int64_t>(Workers.size());
-      Workers.emplace_back([this, Idx] { workerLoop(Idx); });
+    ensureWorkersLocked(Need); // pool grows to the high-water mark
+    if (WaitHead != nullptr || idleLocked() < Need) {
+      // Not enough idle workers (or others arrived first): wait FIFO.
+      // Strict arrival order plus tryReserve staying off the head waiter's
+      // quota means a large team is never starved by a stream of small
+      // ones. The node lives on this stack frame.
+      Waiter Me;
+      Me.Need = Need;
+      if (WaitTail)
+        WaitTail->Next = &Me;
+      else
+        WaitHead = &Me;
+      WaitTail = &Me;
+      CvTicket.wait(Lock,
+                    [&] { return Stop || (WaitHead == &Me && idleLocked() >= Need); });
+      WaitHead = Me.Next;
+      if (!WaitHead)
+        WaitTail = nullptr;
+      else
+        CvTicket.notify_all(); // the new head may already be satisfiable
+      if (Stop) {
+        // Process teardown with callers still queued: run inline rather
+        // than hang (teams then must not use a TeamBarrier, which holds at
+        // exit — matching the re-entrancy degrade contract).
+        Lock.unlock();
+        for (int64_t Tid = 0; Tid < NThreads; ++Tid)
+          Fn(Ctx, Tid);
+        return;
+      }
     }
-    JobFn = Fn;
-    JobCtx = Ctx;
-    JobThreads = NThreads;
-    Remaining = NThreads - 1;
-    ++Gen;
+    Ctl.Remaining = Need;
+    claimAndAssignLocked(Need, &Ctl, /*TidBase=*/1);
   }
   CvWork.notify_all();
   {
@@ -111,9 +165,77 @@ void ThreadPool::parallel(int64_t NThreads, ParallelFn Fn, void *Ctx) {
     Fn(Ctx, 0);
   }
   std::unique_lock<std::mutex> Lock(Mu);
-  CvDone.wait(Lock, [&] { return Remaining == 0; });
-  JobFn = nullptr;
-  JobCtx = nullptr;
+  CvDone.wait(Lock, [&] { return Ctl.Remaining == 0; });
+}
+
+int64_t ThreadPool::tryReserve(int64_t Want, int64_t SpawnCap,
+                               Reservation &R) {
+  assert(R.Count == 0 && "tryReserve: reservation already holds workers");
+  if (Want <= 0)
+    return 0;
+  Want = std::min(Want, Reservation::CapSlots);
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Spawn only within the cap; idle workers from past growth beyond it are
+  // still usable (they exist either way).
+  if (idleLocked() < Want && SpawnCap > 0)
+    ensureWorkersLocked(
+        std::min<int64_t>(SpawnCap, ClaimedCount + Want));
+  // Leave the head FIFO waiter whole: never claim into its quota.
+  int64_t Avail = idleLocked() - (WaitHead ? WaitHead->Need : 0);
+  int64_t Take = std::max<int64_t>(0, std::min(Want, Avail));
+  for (size_t I = 0; I < Slots.size() && R.Count < Take; ++I) {
+    if (Slots[I].Claimed)
+      continue;
+    Slots[I].Claimed = true;
+    Slots[I].Team = nullptr; // reserved, not yet dispatched
+    ++ClaimedCount;
+    R.Slots[R.Count++] = static_cast<int32_t>(I);
+  }
+  return R.Count;
+}
+
+void ThreadPool::release(Reservation &R) {
+  if (R.Count == 0)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (int64_t I = 0; I < R.Count; ++I) {
+      Slot &S = Slots[static_cast<size_t>(R.Slots[I])];
+      assert(S.Claimed && S.Team == nullptr && "release: worker not reserved");
+      S.Claimed = false;
+      --ClaimedCount;
+    }
+  }
+  R.Count = 0;
+  CvTicket.notify_all();
+}
+
+void ThreadPool::runTeam(Reservation &R, ParallelFn Fn, void *Ctx) {
+  if (R.Count == 0) {
+    Fn(Ctx, 0);
+    return;
+  }
+  TeamCtl Ctl;
+  Ctl.Fn = Fn;
+  Ctl.Ctx = Ctx;
+  Ctl.Remaining = R.Count;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (int64_t I = 0; I < R.Count; ++I) {
+      Slot &S = Slots[static_cast<size_t>(R.Slots[I])];
+      assert(S.Claimed && S.Team == nullptr && "runTeam: worker not reserved");
+      S.Team = &Ctl;
+      S.Tid = I + 1;
+    }
+  }
+  CvWork.notify_all();
+  {
+    JobPoolScope Scope(this);
+    Fn(Ctx, 0);
+  }
+  std::unique_lock<std::mutex> Lock(Mu);
+  CvDone.wait(Lock, [&] { return Ctl.Remaining == 0; });
+  R.Count = 0; // workers freed themselves as they finished
 }
 
 void ThreadPool::parallel(int64_t NThreads,
