@@ -1,0 +1,189 @@
+//===- bench_precision.cpp - Throughput per dtype vs the f32 baseline -----===//
+//
+// Not a paper figure: measures the precision dimension added on top of the
+// paper's f32 kernels (docs/PRECISION.md). For a sweep of square problems,
+// every served dtype runs through Engine::gemm and reports GFLOPS (GOPS
+// for i8 -> i32 — the row's `unit` field says which) plus its throughput
+// relative to the f32 row of the same shape.
+//
+// Before any timing, each (dtype, shape) is gated on correctness against
+// the typed reference refGemmT: f32 must match Engine::sgemm bitwise and
+// i8 must match the wraparound oracle bitwise; f16/bf16 must agree within
+// a few storage ULPs (the engine rounds per Kc block, the oracle once).
+// A configuration that fails its gate reports 0 GFLOPS and fails the run.
+//
+//   bench_precision [--threads T] [--seconds T] [--smoke]
+//                   [--csv] [--json [PATH]] [--trace PATH]
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigCommon.h"
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+using namespace gemm;
+
+namespace {
+
+void fillStorage(DType Ty, void *P, size_t Elems, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  if (Ty == DType::I8I32) {
+    std::uniform_int_distribution<int> D(-128, 127);
+    int8_t *I = static_cast<int8_t *>(P);
+    for (size_t X = 0; X != Elems; ++X)
+      I[X] = static_cast<int8_t>(D(Rng));
+    return;
+  }
+  std::uniform_real_distribution<float> D(-1.0f, 1.0f);
+  if (Ty == DType::F32) {
+    float *F = static_cast<float *>(P);
+    for (size_t X = 0; X != Elems; ++X)
+      F[X] = D(Rng);
+    return;
+  }
+  uint16_t *H = static_cast<uint16_t *>(P);
+  for (size_t X = 0; X != Elems; ++X)
+    H[X] = Ty == DType::F16 ? f32ToF16(D(Rng)) : f32ToBf16(D(Rng));
+}
+
+/// The pre-timing correctness gate; returns false (and explains on
+/// stderr) when the engine's result violates the dtype's contract.
+bool gate(Engine &Eng, DType Ty, int64_t S, const void *A, const void *B) {
+  const unsigned OutB = dtypeOutBytes(Ty);
+  std::vector<unsigned char> Got(S * S * OutB, 0), Want(S * S * OutB, 0);
+  exo::Error Err = Eng.gemm(Ty, Trans::None, Trans::None, S, S, S, 1.0, A,
+                            S, B, S, 0.0, Got.data(), S);
+  if (Err) {
+    std::fprintf(stderr, "gate %s %lldx%lld: %s\n", dtypeName(Ty),
+                 static_cast<long long>(S), static_cast<long long>(S),
+                 Err.message().c_str());
+    return false;
+  }
+  if (Ty == DType::F32) {
+    // The refactor's promise: the typed door is bitwise sgemm.
+    std::vector<float> Sg(S * S, 0.0f);
+    if (exo::Error E2 =
+            Eng.sgemm(S, S, S, 1.0f, static_cast<const float *>(A), S,
+                      static_cast<const float *>(B), S, 0.0f, Sg.data(), S)) {
+      std::fprintf(stderr, "gate f32 sgemm: %s\n", E2.message().c_str());
+      return false;
+    }
+    if (std::memcmp(Got.data(), Sg.data(), Sg.size() * sizeof(float))) {
+      std::fprintf(stderr, "gate f32: typed door diverged from sgemm\n");
+      return false;
+    }
+    return true;
+  }
+  refGemmT(Ty, Trans::None, Trans::None, S, S, S, 1.0, A, S, B, S, 0.0,
+           Want.data(), S);
+  if (Ty == DType::I8I32) {
+    if (std::memcmp(Got.data(), Want.data(), Got.size())) {
+      std::fprintf(stderr, "gate i8: engine diverged from the exact "
+                           "wraparound reference\n");
+      return false;
+    }
+    return true;
+  }
+  const float Eps = Ty == DType::F16 ? 0x1p-10f : 0x1p-7f;
+  const uint16_t *G = reinterpret_cast<const uint16_t *>(Got.data());
+  const uint16_t *W = reinterpret_cast<const uint16_t *>(Want.data());
+  for (int64_t X = 0; X != S * S; ++X) {
+    float Gf = Ty == DType::F16 ? f16ToF32(G[X]) : bf16ToF32(G[X]);
+    float Wf = Ty == DType::F16 ? f16ToF32(W[X]) : bf16ToF32(W[X]);
+    if (std::fabs(Gf - Wf) > 4.0f * Eps * (1.0f + std::fabs(Wf))) {
+      std::fprintf(stderr,
+                   "gate %s: elem %lld off by %g (ULP bound %g)\n",
+                   dtypeName(Ty), static_cast<long long>(X),
+                   std::fabs(Gf - Wf), 4.0f * Eps * (1.0f + std::fabs(Wf)));
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  fig::Context Ctx("precision", Argc, Argv);
+  benchutil::BenchOptions &Opt = Ctx.Opt;
+  int64_t Threads = 1;
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc)
+      Threads = std::atoll(Argv[++I]);
+  if (Threads < 1) {
+    std::fprintf(stderr, "bad --threads\n");
+    return 1;
+  }
+
+  std::vector<int64_t> Sizes = {64, 128, 256, 512};
+  if (Opt.Big)
+    Sizes.push_back(1024);
+  Sizes = fig::smokeSlice(Sizes, Opt.Smoke);
+
+  EngineConfig Cfg;
+  Cfg.Series = EngineSeries::Exo;
+  Cfg.Isa = &exo::avx2Isa();
+  Cfg.Threads = Threads;
+  Engine Eng(Cfg);
+
+  const DType Dtypes[] = {DType::F32, DType::F16, DType::BF16,
+                          DType::I8I32};
+  std::printf("Precision sweep (threads=%lld): GFLOPS per dtype, "
+              "correctness-gated; rel_f32 = throughput vs the f32 row\n",
+              static_cast<long long>(Threads));
+  std::printf("%-12s %-6s %10s %8s\n", "shape", "dtype", "gflops",
+              "rel_f32");
+
+  int Rc = 0;
+  for (int64_t S : Sizes) {
+    double F32Gflops = 0;
+    for (DType Ty : Dtypes) {
+      const unsigned InB = dtypeInBytes(Ty);
+      const unsigned OutB = dtypeOutBytes(Ty);
+      std::vector<unsigned char> A(S * S * InB), B(S * S * InB),
+          C(S * S * OutB);
+      fillStorage(Ty, A.data(), S * S, 11);
+      fillStorage(Ty, B.data(), S * S, 22);
+      if (!gate(Eng, Ty, S, A.data(), B.data())) {
+        Rc = 1;
+        continue;
+      }
+      benchutil::Measurement M = benchutil::measure(
+          [&] {
+            Eng.gemm(Ty, Trans::None, Trans::None, S, S, S, 1.0, A.data(),
+                     S, B.data(), S, 0.0, C.data(), S);
+          },
+          Opt.Seconds);
+      const double Flops = 2.0 * S * S * S;
+      const double G = benchutil::gflops(Flops, M.SecondsPerCall);
+      if (Ty == DType::F32)
+        F32Gflops = G;
+
+      const std::string Label = std::to_string(S) + "x" +
+                                std::to_string(S) + "x" + std::to_string(S);
+      benchutil::ReportRow Row;
+      Row.Label = Label;
+      Row.Series = dtypeName(Ty);
+      Row.Value = G;
+      Row.SecondsPerCall = M.SecondsPerCall;
+      Row.Reps = M.Reps;
+      Row.Threads = Threads;
+      Row.M = S;
+      Row.N = S;
+      Row.K = S;
+      Row.Stages = M.Stages;
+      Row.Extra["unit"] = dtypeIsInt(Ty) ? 1.0 : 0.0; // 1 = GOPS
+      if (F32Gflops > 0)
+        Row.Extra["rel_f32"] = G / F32Gflops;
+      Ctx.Rep.addRow(std::move(Row));
+
+      std::printf("%-12s %-6s %10.2f %8.2f\n", Label.c_str(),
+                  dtypeName(Ty), G, F32Gflops > 0 ? G / F32Gflops : 1.0);
+    }
+  }
+
+  int FinishRc = Ctx.finish();
+  return Rc ? Rc : FinishRc;
+}

@@ -12,7 +12,14 @@
 // in the daemon's shared caches, so a second process running this example
 // starts warm. Start one with `gemmd --foreground &` first.
 //
-// Usage: dnn_inference [resnet50|vgg16] [--remote [SOCKET]]
+// With --int8 the same layer table runs the post-training-quantization
+// scenario instead: operands are quantized to int8 (symmetric per-tensor
+// scales), multiplied through Engine::gemm(DType::I8I32) with exact i32
+// accumulation, and dequantized — the printed per-layer error is pure
+// quantization noise, so a blow-up indicates an engine bug, not a hard
+// model (docs/PRECISION.md).
+//
+// Usage: dnn_inference [resnet50|vgg16] [--remote [SOCKET]] [--int8]
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,22 +38,51 @@
 using namespace gemm;
 
 int main(int Argc, char **Argv) {
-  bool Vgg = false, Remote = false;
+  bool Vgg = false, Remote = false, Int8 = false;
   std::string Socket;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "vgg16"))
       Vgg = true;
     else if (!std::strcmp(Argv[I], "resnet50"))
       Vgg = false;
+    else if (!std::strcmp(Argv[I], "--int8"))
+      Int8 = true;
     else if (!std::strcmp(Argv[I], "--remote")) {
       Remote = true;
       if (I + 1 < Argc && Argv[I + 1][0] != '-')
         Socket = Argv[++I];
     } else {
-      std::fprintf(stderr,
-                   "usage: dnn_inference [resnet50|vgg16] [--remote [SOCKET]]\n");
+      std::fprintf(stderr, "usage: dnn_inference [resnet50|vgg16] "
+                           "[--remote [SOCKET]] [--int8]\n");
       return 2;
     }
+  }
+  if (Int8 && Remote) {
+    std::fprintf(stderr, "--int8 runs locally (the quantized scenario "
+                         "exercises Engine::gemm directly)\n");
+    return 2;
+  }
+  if (Int8) {
+    const auto &Layers = Vgg ? dnn::vgg16Layers() : dnn::resnet50Layers();
+    std::printf("Running the %s im2row sequence quantized to int8 "
+                "(symmetric per-tensor, i32 accumulate).\n\n",
+                Vgg ? "VGG16" : "ResNet50 v1.5");
+    Engine E;
+    exo::Expected<dnn::QuantModelResult> R =
+        dnn::runModelQuantized(E, Layers, /*Seed=*/7);
+    if (!R) {
+      std::fprintf(stderr, "quantized run failed: %s\n",
+                   R.takeError().message().c_str());
+      return 1;
+    }
+    for (const dnn::QuantLayerResult &L : R->Layers)
+      std::printf("layer %2d (%5lldx%4lldx%4lld): dequant rel err %.3e\n",
+                  L.Id, static_cast<long long>(L.M),
+                  static_cast<long long>(L.N), static_cast<long long>(L.K),
+                  L.RelErr);
+    std::printf("\n%.2f GOP of int8 MACs, max dequant rel err %.3e\n",
+                R->Ops / 1e9, R->MaxRelErr);
+    return R->MaxRelErr < 0.05 ? 0 : 1;
   }
   const auto &Layers = Vgg ? dnn::vgg16Layers() : dnn::resnet50Layers();
   std::printf("Running the %s im2row GEMM sequence (batch 1) through %s "

@@ -489,15 +489,28 @@ void Server::Impl::handleGemm(const Work &W) {
   Rep.H.Bytes = sizeof(Rep);
 
   // Geometry validation against the arena: every byte the engine will
-  // touch must land inside this client's region. Offsets/extents are
-  // attacker-controlled; do the arithmetic wide.
+  // touch must land inside this client's region, at the *request dtype's*
+  // element sizes (A/B at dtypeInBytes, C at dtypeOutBytes — an i8 span is
+  // a quarter of the f32 span the same dims imply, and its C is still 4
+  // bytes wide). Offsets/extents are attacker-controlled; do the
+  // arithmetic wide, and never trust the dtype byte itself either.
   const uint64_t Arena = S->Layout.ArenaBytes;
-  auto SpanOk = [&](uint64_t Off, int64_t Ld, int64_t Cols) {
-    if (Ld <= 0 || Cols <= 0 || Off % sizeof(float) != 0 || Off > Arena)
+  if (Q.DTy >= gemm::DTypeCount) {
+    S->Errors.fetch_add(1, std::memory_order_relaxed);
+    ErrTotal.fetch_add(1, std::memory_order_relaxed);
+    fillReplyError(Rep, ipc::ReqStatus::Bad, "unknown request dtype");
+    sendReply(S, &Rep, sizeof(Rep));
+    return;
+  }
+  const gemm::DType Ty = static_cast<gemm::DType>(Q.DTy);
+  const uint64_t InB = gemm::dtypeInBytes(Ty);
+  const uint64_t OutB = gemm::dtypeOutBytes(Ty);
+  auto SpanOk = [&](uint64_t Off, int64_t Ld, int64_t Cols, uint64_t Elem) {
+    if (Ld <= 0 || Cols <= 0 || Off % Elem != 0 || Off > Arena)
       return false;
     unsigned __int128 Bytes =
         static_cast<unsigned __int128>(Ld) * static_cast<uint64_t>(Cols) *
-        sizeof(float);
+        Elem;
     return Bytes <= static_cast<unsigned __int128>(Arena - Off);
   };
   const int64_t ARows = Q.TA ? Q.K : Q.M;
@@ -506,9 +519,9 @@ void Server::Impl::handleGemm(const Work &W) {
   const int64_t BCols = Q.TB ? Q.K : Q.N;
   const bool Valid = Q.M > 0 && Q.N > 0 && Q.K > 0 && Q.TA <= 1 &&
                      Q.TB <= 1 && Q.Lda >= ARows && Q.Ldb >= BRows &&
-                     Q.Ldc >= Q.M && SpanOk(Q.OffA, Q.Lda, ACols) &&
-                     SpanOk(Q.OffB, Q.Ldb, BCols) &&
-                     SpanOk(Q.OffC, Q.Ldc, Q.N);
+                     Q.Ldc >= Q.M && SpanOk(Q.OffA, Q.Lda, ACols, InB) &&
+                     SpanOk(Q.OffB, Q.Ldb, BCols, InB) &&
+                     SpanOk(Q.OffC, Q.Ldc, Q.N, OutB);
   if (!Valid) {
     S->Errors.fetch_add(1, std::memory_order_relaxed);
     ErrTotal.fetch_add(1, std::memory_order_relaxed);
@@ -519,9 +532,9 @@ void Server::Impl::handleGemm(const Work &W) {
   }
 
   unsigned char *Arena0 = S->Shm.at(S->Layout.ArenaOff);
-  const float *A = reinterpret_cast<const float *>(Arena0 + Q.OffA);
-  const float *B = reinterpret_cast<const float *>(Arena0 + Q.OffB);
-  float *C = reinterpret_cast<float *>(Arena0 + Q.OffC);
+  const void *A = Arena0 + Q.OffA;
+  const void *B = Arena0 + Q.OffB;
+  void *C = Arena0 + Q.OffC;
 
   // Cache-attribution flags ride on global counter deltas around the
   // call; with several executors they can misattribute a neighbor's
@@ -532,10 +545,13 @@ void Server::Impl::handleGemm(const Work &W) {
   uint64_t T0 = nowNs();
   Error E = [&] {
     EXO_OBS_SPAN("gemmd.request");
-    return Eng.sgemm(Q.TA ? gemm::Trans::Transpose : gemm::Trans::None,
-                     Q.TB ? gemm::Trans::Transpose : gemm::Trans::None, Q.M,
-                     Q.N, Q.K, Q.Alpha, A, Q.Lda, B, Q.Ldb, Q.Beta, C,
-                     Q.Ldc);
+    // The typed front door; F32 lands on the byte-identical sgemm path.
+    // For I8I32 the engine itself rejects fractional alpha/beta, which
+    // surfaces to the client as ReqStatus::Error with the message intact.
+    return Eng.gemm(Ty, Q.TA ? gemm::Trans::Transpose : gemm::Trans::None,
+                    Q.TB ? gemm::Trans::Transpose : gemm::Trans::None, Q.M,
+                    Q.N, Q.K, static_cast<double>(Q.Alpha), A, Q.Lda, B,
+                    Q.Ldb, static_cast<double>(Q.Beta), C, Q.Ldc);
   }();
   Rep.ServerNs = nowNs() - T0;
   gemm::EngineStats EA = Eng.stats();
@@ -569,6 +585,17 @@ void Server::Impl::handleGemmBatch(const Work &W) {
   Rep.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmBatchReply);
   Rep.H.Seq = Q.H.Seq;
   Rep.H.Bytes = sizeof(Rep);
+
+  // Batches are f32-only in wire v3 (Wire.h): the batched engine path has
+  // no typed counterpart yet, so any non-zero dtype byte is a client bug.
+  if (Q.DTy != 0) {
+    S->Errors.fetch_add(1, std::memory_order_relaxed);
+    ErrTotal.fetch_add(1, std::memory_order_relaxed);
+    fillReplyError(Rep, ipc::ReqStatus::Bad,
+                   "batched requests are f32-only in wire v3");
+    sendReply(S, &Rep, sizeof(Rep));
+    return;
+  }
 
   // Same wide arithmetic as handleGemm, stretched across the batch: the
   // strides are required non-negative, so the furthest byte the engine

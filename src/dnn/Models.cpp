@@ -2,6 +2,9 @@
 
 #include "dnn/Models.h"
 
+#include <algorithm>
+#include <cmath>
+
 using namespace dnn;
 
 const std::vector<LayerGemm> &dnn::resnet50Layers() {
@@ -95,6 +98,69 @@ exo::Error dnn::runModelSequential(gemm::Engine &Eng, ModelBatch &MB) {
                       It.B, It.Ldb, It.Beta, It.C, It.Ldc))
       return E;
   return exo::Error::success();
+}
+
+exo::Expected<QuantModelResult>
+dnn::runModelQuantized(gemm::Engine &Eng,
+                       const std::vector<LayerGemm> &Layers, uint32_t Seed) {
+  QuantModelResult R;
+  uint32_t State = Seed * 2654435761u + 1u;
+  for (const LayerGemm &L : Layers) {
+    std::vector<float> Af(static_cast<size_t>(L.M * L.K));
+    std::vector<float> Bf(static_cast<size_t>(L.K * L.N));
+    fillLcg(Af, State);
+    fillLcg(Bf, State);
+
+    // Symmetric per-tensor scales: s = maxabs / 127, so every quantized
+    // value lands in [-127, 127] and the i32 accumulator cannot saturate
+    // for any K in these tables (127*127*K << 2^31).
+    auto quantize = [](const std::vector<float> &V, std::vector<int8_t> &Q) {
+      float Max = 0.0f;
+      for (float X : V)
+        Max = std::max(Max, std::fabs(X));
+      const float S = Max > 0.0f ? Max / 127.0f : 1.0f;
+      Q.resize(V.size());
+      for (size_t I = 0; I != V.size(); ++I) {
+        long R = std::lround(V[I] / S);
+        Q[I] = static_cast<int8_t>(std::min(127l, std::max(-127l, R)));
+      }
+      return S;
+    };
+    std::vector<int8_t> Aq, Bq;
+    const float SA = quantize(Af, Aq);
+    const float SB = quantize(Bf, Bq);
+
+    std::vector<int32_t> Ci(static_cast<size_t>(L.M * L.N), 0);
+    if (exo::Error E = Eng.gemm(gemm::DType::I8I32, gemm::Trans::None,
+                                gemm::Trans::None, L.M, L.N, L.K, 1.0,
+                                Aq.data(), L.M, Bq.data(), L.K, 0.0,
+                                Ci.data(), L.M))
+      return E;
+
+    std::vector<float> Cf(static_cast<size_t>(L.M * L.N), 0.0f);
+    if (exo::Error E = Eng.sgemm(L.M, L.N, L.K, 1.0f, Af.data(), L.M,
+                                 Bf.data(), L.K, 0.0f, Cf.data(), L.M))
+      return E;
+
+    // Relative Frobenius error of the dequantized result.
+    const double Deq = static_cast<double>(SA) * static_cast<double>(SB);
+    double Num = 0, Den = 0;
+    for (size_t I = 0; I != Cf.size(); ++I) {
+      const double D = Deq * Ci[I] - Cf[I];
+      Num += D * D;
+      Den += static_cast<double>(Cf[I]) * Cf[I];
+    }
+    QuantLayerResult QL;
+    QL.Id = L.Id;
+    QL.M = L.M;
+    QL.N = L.N;
+    QL.K = L.K;
+    QL.RelErr = Den > 0 ? std::sqrt(Num / Den) : std::sqrt(Num);
+    R.Layers.push_back(QL);
+    R.MaxRelErr = std::max(R.MaxRelErr, QL.RelErr);
+    R.Ops += L.flops() * L.Count;
+  }
+  return R;
 }
 
 LayerGemm dnn::im2rowGemm(int Id, int64_t InC, int64_t OutC, int64_t InH,

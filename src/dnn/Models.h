@@ -85,6 +85,41 @@ inline exo::Error runModelBatch(gemm::Engine &Eng, ModelBatch &MB) {
 /// against.
 exo::Error runModelSequential(gemm::Engine &Eng, ModelBatch &MB);
 
+//===----------------------------------------------------------------------===//
+// Quantized (int8) inference scenario
+//===----------------------------------------------------------------------===//
+
+/// Per-layer outcome of runModelQuantized.
+struct QuantLayerResult {
+  int Id = 0;
+  int64_t M = 0, N = 0, K = 0;
+  /// Relative Frobenius error of the dequantized i8 result against the
+  /// engine's own f32 result for the same (pre-quantization) operands —
+  /// i.e. the quantization noise, since the i32 accumulation is exact.
+  double RelErr = 0;
+};
+
+/// Whole-model outcome: every layer ran end-to-end through the typed
+/// engine door.
+struct QuantModelResult {
+  std::vector<QuantLayerResult> Layers;
+  double MaxRelErr = 0;
+  double Ops = 0; ///< 2*m*n*k summed over layer instances (integer MACs)
+};
+
+/// The post-training-quantization serving scenario over a layer table:
+/// each layer's f32 operands are quantized to int8 with symmetric
+/// per-tensor scales (s = maxabs/127), multiplied through
+/// Engine::gemm(DType::I8I32) — i32 accumulate, exact — and dequantized
+/// by s_A * s_B back to f32, which is compared against the same engine's
+/// f32 product of the original operands. With inputs in [-1, 1) the
+/// relative error is pure 7-bit quantization noise (well under 1e-2 for
+/// these shapes); a blow-up here means the i8 pack/kernel path is wrong,
+/// not that the model is hard to quantize.
+exo::Expected<QuantModelResult>
+runModelQuantized(gemm::Engine &Eng, const std::vector<LayerGemm> &Layers,
+                  uint32_t Seed);
+
 } // namespace dnn
 
 #endif // DNN_MODELS_H

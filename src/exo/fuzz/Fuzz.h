@@ -87,9 +87,14 @@ struct FuzzSample {
   uint64_t Seed = 0; ///< Seed the sample was drawn from (diagnostics).
   int64_t MR = 8, NR = 12, KC = 4;
   int64_t LdcSlack = 0; ///< ldc = MR + LdcSlack.
-  /// Element type name ("f32", "f16", ...). Non-f32 samples run the
-  /// interpreter oracle only.
+  /// Element type name ("f32", "f16", "bf16", "i8", ...). Non-f32 samples
+  /// run the interpreter oracle only.
   std::string Ty = "f32";
+  /// Accumulate into dotAccumKind(Ty) instead of Ty (the i8 -> i32 and
+  /// bf16 -> f32 dot-product convention; mirrors UkrConfig::WidenAcc).
+  /// Serialized as `widen_acc` only when set, so pre-dtype repro files
+  /// stay byte-identical.
+  bool WidenAcc = false;
   // Recipe-mode fields (mirror ukr::UkrConfig).
   std::string Isa = "portable"; ///< Library name, or "none" for scalar.
   std::string Style = "auto";   ///< auto | lane | bcst | scalar.

@@ -62,10 +62,28 @@ struct ScheduleFuzzer::Impl {
     S.Isa = pick<const char *>(
         {"portable", "portable", "avx2", "avx2", "avx512", "neon", "none"});
     S.Style = pick<const char *>({"auto", "auto", "auto", "lane", "bcst"});
-    S.Ty = S.Isa == "neon" && Rng() % 3 == 0 ? "f16" : "f32";
+    // Weighted dtype draw (§III-D): most recipes stay f32 — the JIT and
+    // cross oracles only run there — but every campaign also exercises the
+    // typed instruction libraries: the Neon f16/bf16 half schedules and the
+    // K-grouped i8 -> i32 dot paths (Neon sdot-style / AVX-512 VNNI),
+    // gated to libraries that actually carry those spaces so the default
+    // campaign keeps its zero-rejection invariant.
+    const uint64_t TyDraw = Rng() % 8;
+    if (TyDraw == 0 && (S.Isa == "neon" || S.Isa == "none"))
+      S.Ty = "f16";
+    else if (TyDraw == 1 && (S.Isa == "neon" || S.Isa == "none"))
+      S.Ty = "bf16";
+    else if (TyDraw == 2 &&
+             (S.Isa == "neon" || S.Isa == "avx512" || S.Isa == "none")) {
+      S.Ty = "i8";
+      S.WidenAcc = true; // i8 accumulates i32, the dot-unit convention
+    } else {
+      S.Ty = "f32";
+    }
     S.UnrollLoads = Rng() % 2 == 0;
     S.UnrollCompute = Rng() % 4 == 0;
-    S.GeneralAlphaBeta = Rng() % 4 == 0;
+    // widen_acc has no axpby spec (Fig. 4 is same-type); keep them apart.
+    S.GeneralAlphaBeta = !S.WidenAcc && Rng() % 4 == 0;
     St.IsasScheduled.insert(S.Isa);
     return S;
   }

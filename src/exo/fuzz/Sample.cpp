@@ -21,7 +21,8 @@ namespace {
 SchedOptions fastOpts() { return detail::fastSchedOpts(); }
 
 std::optional<ScalarKind> scalarKindFromName(const std::string &Name) {
-  for (ScalarKind K : {ScalarKind::F16, ScalarKind::F32, ScalarKind::F64})
+  for (ScalarKind K : {ScalarKind::F16, ScalarKind::BF16, ScalarKind::F32,
+                       ScalarKind::F64, ScalarKind::I8})
     if (Name == scalarKindName(K))
       return K;
   return std::nullopt;
@@ -60,6 +61,7 @@ Expected<ukr::UkrConfig> detail::sampleUkrConfig(const FuzzSample &S,
   Cfg.UnrollLoads = UnrollLoads;
   Cfg.UnrollCompute = S.UnrollCompute;
   Cfg.GeneralAlphaBeta = S.GeneralAlphaBeta;
+  Cfg.WidenAcc = S.WidenAcc;
   return Cfg;
 }
 
@@ -88,8 +90,11 @@ Expected<Proc> makeSpec(const FuzzSample &S, const std::string &Name) {
   std::optional<ScalarKind> Ty = scalarKindFromName(S.Ty);
   if (!Ty)
     return errorf("fuzz: unknown element type '%s'", S.Ty.c_str());
+  if (S.WidenAcc && S.GeneralAlphaBeta)
+    return errorf("fuzz: widen_acc has no axpby spec");
   Proc Ref = S.GeneralAlphaBeta ? ukr::makeUkernelRefFull(*Ty)
-                                : ukr::makeUkernelRef(*Ty);
+             : S.WidenAcc ? ukr::makeUkernelRef(*Ty, dotAccumKind(*Ty))
+                          : ukr::makeUkernelRef(*Ty);
   return partialEval(renameProc(Ref, Name), {{"MR", S.MR}, {"NR", S.NR}});
 }
 
@@ -143,6 +148,8 @@ std::string FuzzSample::summary() const {
            static_cast<long long>(MR), static_cast<long long>(NR),
            static_cast<long long>(KC), static_cast<long long>(LdcSlack),
            Ty.c_str(), Isa.c_str(), Style.c_str());
+  if (WidenAcc)
+    S += " widen";
   if (GeneralAlphaBeta)
     S += " axpby";
   if (!Steps.empty())
@@ -161,6 +168,8 @@ std::string fuzz::serializeSample(const FuzzSample &S) {
   O << "shape " << S.MR << " " << S.NR << " " << S.KC << " " << S.LdcSlack
     << "\n";
   O << "ty " << S.Ty << "\n";
+  if (S.WidenAcc)
+    O << "widen_acc 1\n";
   O << "isa " << S.Isa << "\n";
   O << "style " << S.Style << "\n";
   O << "unroll_loads " << (S.UnrollLoads ? 1 : 0) << "\n";
@@ -258,6 +267,10 @@ Expected<FuzzSample> fuzz::parseSample(const std::string &Text) {
         return errorf("repro:%d: bad shape line", LineNo);
     } else if (Key == "ty") {
       L >> S.Ty;
+    } else if (Key == "widen_acc") {
+      int V = 0;
+      L >> V;
+      S.WidenAcc = V != 0;
     } else if (Key == "isa") {
       L >> S.Isa;
     } else if (Key == "style") {

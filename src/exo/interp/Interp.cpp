@@ -5,6 +5,7 @@
 #include "exo/support/Str.h"
 
 #include <cmath>
+#include <cstring>
 #include <deque>
 
 using namespace exo;
@@ -27,6 +28,21 @@ double roundToKind(double V, ScalarKind K) {
   switch (K) {
   case ScalarKind::F16:
     return static_cast<double>(static_cast<_Float16>(V));
+  case ScalarKind::BF16: {
+    // Software bf16 rounding (round-to-nearest-even on f32's top 16 bits):
+    // the host may lack a __bf16 arithmetic type, and the GEMM layer's
+    // converters must agree with this oracle bit-for-bit.
+    float F = static_cast<float>(V);
+    uint32_t Bits;
+    std::memcpy(&Bits, &F, sizeof(Bits));
+    if ((Bits & 0x7f800000u) == 0x7f800000u && (Bits & 0x7fffffu))
+      Bits |= 0x400000u; // quiet the NaN
+    else
+      Bits += 0x7fffu + ((Bits >> 16) & 1);
+    Bits &= 0xffff0000u;
+    std::memcpy(&F, &Bits, sizeof(F));
+    return static_cast<double>(F);
+  }
   case ScalarKind::F32:
     return static_cast<double>(static_cast<float>(V));
   case ScalarKind::F64:

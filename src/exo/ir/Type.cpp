@@ -14,6 +14,8 @@ const char *exo::scalarKindName(ScalarKind K) {
   switch (K) {
   case ScalarKind::F16:
     return "f16";
+  case ScalarKind::BF16:
+    return "bf16";
   case ScalarKind::F32:
     return "f32";
   case ScalarKind::F64:
@@ -36,6 +38,8 @@ const char *exo::scalarKindCType(ScalarKind K) {
   switch (K) {
   case ScalarKind::F16:
     return "_Float16";
+  case ScalarKind::BF16:
+    return "__bf16";
   case ScalarKind::F32:
     return "float";
   case ScalarKind::F64:
@@ -57,6 +61,7 @@ const char *exo::scalarKindCType(ScalarKind K) {
 unsigned exo::scalarKindBytes(ScalarKind K) {
   switch (K) {
   case ScalarKind::F16:
+  case ScalarKind::BF16:
     return 2;
   case ScalarKind::F32:
     return 4;
@@ -76,12 +81,14 @@ unsigned exo::scalarKindBytes(ScalarKind K) {
 }
 
 bool exo::isFloatKind(ScalarKind K) {
-  return K == ScalarKind::F16 || K == ScalarKind::F32 || K == ScalarKind::F64;
+  return K == ScalarKind::F16 || K == ScalarKind::BF16 ||
+         K == ScalarKind::F32 || K == ScalarKind::F64;
 }
 
 bool exo::parseScalarKind(const std::string &Name, ScalarKind &Out) {
   static const std::map<std::string, ScalarKind> Names = {
-      {"f16", ScalarKind::F16},     {"f32", ScalarKind::F32},
+      {"f16", ScalarKind::F16},     {"bf16", ScalarKind::BF16},
+      {"f32", ScalarKind::F32},
       {"f64", ScalarKind::F64},     {"i8", ScalarKind::I8},
       {"i16", ScalarKind::I16},     {"i32", ScalarKind::I32},
       {"index", ScalarKind::Index}, {"bool", ScalarKind::Bool},

@@ -30,6 +30,9 @@ namespace exo {
 /// Element types of buffers and scalars in the object language.
 enum class ScalarKind : uint8_t {
   F16,
+  /// bfloat16: f32's top 16 bits. Generated code uses the GCC/Clang
+  /// `__bf16` storage type; arithmetic happens in f32 (see Interp rounding).
+  BF16,
   F32,
   F64,
   I8,
@@ -50,7 +53,7 @@ const char *scalarKindCType(ScalarKind K);
 /// Returns sizeof the element in generated code (0 for index/bool).
 unsigned scalarKindBytes(ScalarKind K);
 
-/// True for f16/f32/f64.
+/// True for f16/bf16/f32/f64.
 bool isFloatKind(ScalarKind K);
 
 /// Parses "f32" etc. Returns false on unknown names.

@@ -60,6 +60,27 @@ InstrPtr exo::makeFmaBroadcastInstr(const std::string &Name, ScalarKind Ty,
   return Instr::make(B.build(), CFormat);
 }
 
+InstrPtr exo::makeDotInstr(const std::string &Name, ScalarKind InTy,
+                           ScalarKind AccTy, unsigned AccLanes, unsigned Group,
+                           const MemSpace *RegIn, const MemSpace *RegAcc,
+                           const std::string &CFormat) {
+  ProcBuilder B(Name);
+  B.tensorParam("dst", AccTy, {idx(AccLanes)}, RegAcc, /*Mutable=*/true);
+  B.tensorParam("lhs", InTy, {idx(AccLanes), idx(Group)}, RegIn,
+                /*Mutable=*/false);
+  B.tensorParam("rhs", InTy, {idx(AccLanes), idx(Group)}, RegIn,
+                /*Mutable=*/false);
+  ExprPtr L = B.indexParam("l");
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Ge, L, idx(0)));
+  B.precond(BinOpExpr::make(BinOpExpr::Op::Lt, L, idx(AccLanes)));
+  ExprPtr I = B.beginFor("i", idx(0), idx(AccLanes));
+  ExprPtr KK = B.beginFor("kk", idx(0), idx(Group));
+  B.reduce("dst", {I}, B.readOf("lhs", {I, KK}) * B.readOf("rhs", {L, KK}));
+  B.endFor();
+  B.endFor();
+  return Instr::make(B.build(), CFormat);
+}
+
 InstrPtr exo::makeBroadcastInstr(const std::string &Name, ScalarKind Ty,
                                  unsigned Lanes, const MemSpace *Reg,
                                  const std::string &CFormat) {

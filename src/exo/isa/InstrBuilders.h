@@ -50,6 +50,25 @@ InstrPtr makeBroadcastInstr(const std::string &Name, ScalarKind Ty,
                             unsigned Lanes, const MemSpace *Reg,
                             const std::string &CFormat);
 
+/// K-grouped widening dot-product-accumulate (the sdot/bfdot/VNNI shape):
+///
+/// \code
+///   def <name>(dst: [AccTy][AccLanes] @ RegAcc,
+///              lhs: [InTy][AccLanes, Group] @ RegIn,
+///              rhs: [InTy][AccLanes, Group] @ RegIn, l: index):
+///       for i in seq(0, AccLanes):
+///           for kk in seq(0, Group):
+///               dst[i] += lhs[i, kk] * rhs[l, kk]
+/// \endcode
+///
+/// The interpreter evaluates the multiply in double precision and rounds
+/// each partial sum to AccTy on store, which models both integer (i8 -> i32
+/// exact) and widening-float (bf16 -> f32) dot units.
+InstrPtr makeDotInstr(const std::string &Name, ScalarKind InTy,
+                      ScalarKind AccTy, unsigned AccLanes, unsigned Group,
+                      const MemSpace *RegIn, const MemSpace *RegAcc,
+                      const std::string &CFormat);
+
 } // namespace exo
 
 #endif // EXO_ISA_INSTRBUILDERS_H

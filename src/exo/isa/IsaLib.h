@@ -11,14 +11,19 @@
 /// passing a different library to the same schedule (§III-C).
 ///
 /// Libraries provided:
-///   - neon:     ARM Neon 128-bit, f32 (4 lanes) and f16 (8 lanes, "Neon8f").
-///               Matches the paper's Fig. 3 definitions. Not executable on
-///               this repo's x86 test hardware; codegen output is
-///               golden-tested textually instead.
+///   - neon:     ARM Neon 128-bit, f32 (4 lanes), f16 (8 lanes, "Neon8f"),
+///               bf16 (8 lanes, "Neon8bf") and i8 (16 lanes, "Neon16b").
+///               Matches the paper's Fig. 3 definitions; bf16/i8 compute is
+///               exposed as K-grouped dot-product-accumulate (vbfdot/vsdot).
+///               Not executable on this repo's x86 test hardware; codegen
+///               output is golden-tested textually instead.
 ///   - avx2:     Intel AVX2+FMA, f32 (8 lanes), broadcast-style FMA.
-///   - avx512:   Intel AVX-512, f32 (16 lanes), broadcast-style FMA.
+///   - avx512:   Intel AVX-512, f32 (16 lanes), broadcast-style FMA, plus a
+///               VNNI-style i8 -> i32 dot-product-accumulate.
 ///   - portable: GCC vector extensions, f32 (4 lanes), lane-style FMA with
 ///               the exact shape of the Neon schedule; executable anywhere.
+///               No dot instructions — narrow types fall back to scalar
+///               code there (UkrConfig::effectiveStyle degrades).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +36,16 @@
 #include <vector>
 
 namespace exo {
+
+/// Accumulator kind of a widening K-grouped dot product over \p InTy inputs:
+/// i8 -> i32 (the VNNI/sdot convention), f16/bf16 -> f32. Kinds that
+/// accumulate in themselves map to themselves.
+ScalarKind dotAccumKind(ScalarKind InTy);
+
+/// Elements of \p InTy consumed per accumulator lane by one dot step: 4 for
+/// i8 (sdot/vpdpbssd), 2 for f16/bf16 (bfdot pairs), 1 otherwise. This is
+/// also the K-group width of the matching packed-panel layout.
+unsigned dotGroupSize(ScalarKind InTy);
 
 /// See file comment.
 class IsaLib {
@@ -70,6 +85,24 @@ public:
   virtual InstrPtr fmaBroadcast(ScalarKind Ty) const = 0;
   /// dst[i] = s[0] (broadcast/dup). Null when unavailable.
   virtual InstrPtr broadcast(ScalarKind Ty) const = 0;
+
+  /// K-grouped widening dot-product-accumulate: with G = dotGroupSize(InTy)
+  /// and A = dotAccumKind(InTy),
+  ///
+  /// \code
+  ///   dst[i] += sum over kk in [0, G) of lhs[i, kk] * rhs[l, kk]
+  /// \endcode
+  ///
+  /// where dst is an A-typed accumulator register (accSpace lanes) and
+  /// lhs/rhs are InTy registers holding lanes x G elements (the Neon
+  /// vdotq_laneq_s32 / vbfdotq_laneq_f32 shape; VNNI on x86). Null when the
+  /// ISA has no dot instruction for \p InTy — callers fall back to scalar
+  /// code.
+  virtual InstrPtr dotAccum(ScalarKind InTy) const { return nullptr; }
+
+  /// Register space of dotAccum's accumulator operand; null iff dotAccum
+  /// returns null for \p InTy.
+  virtual const MemSpace *accSpace(ScalarKind InTy) const { return nullptr; }
 };
 
 /// Built-in libraries.

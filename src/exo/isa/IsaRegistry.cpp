@@ -6,6 +6,30 @@ using namespace exo;
 
 IsaLib::~IsaLib() = default;
 
+ScalarKind exo::dotAccumKind(ScalarKind InTy) {
+  switch (InTy) {
+  case ScalarKind::I8:
+    return ScalarKind::I32;
+  case ScalarKind::F16:
+  case ScalarKind::BF16:
+    return ScalarKind::F32;
+  default:
+    return InTy;
+  }
+}
+
+unsigned exo::dotGroupSize(ScalarKind InTy) {
+  switch (InTy) {
+  case ScalarKind::I8:
+    return 4;
+  case ScalarKind::F16:
+  case ScalarKind::BF16:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
 const IsaLib *exo::findIsa(const std::string &Name) {
   for (const IsaLib *I : allIsas())
     if (I->name() == Name)

@@ -2,10 +2,14 @@
 //
 // The paper's hardware target. The f32 definitions mirror its Fig. 3
 // (`neon_vst_4xf32`, `neon_vfmla_4xf32_4xf32`, ...); f16 support uses the
-// "Neon8f" register space exactly as §III-D describes. This library is not
-// executable on the x86 hardware this repository is developed on — its
-// generated C is validated by golden tests against the paper's figures and
-// compiles on any aarch64 toolchain.
+// "Neon8f" register space exactly as §III-D describes. The bf16 ("Neon8bf")
+// and i8 ("Neon16b") spaces expose ARMv8.2+'s widening dot products
+// (vbfdotq_laneq_f32, vdotq_laneq_s32) that accumulate pairs/quads into
+// f32/i32 Q registers — the same K-grouped shape the GEMM layer's int8
+// panel packing produces. This library is not executable on the x86
+// hardware this repository is developed on — its generated C is validated
+// by golden tests against the paper's figures and compiles on any aarch64
+// toolchain with +fp16+bf16+dotprod.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,9 +25,14 @@ public:
   NeonIsa() {
     F32Space = MemSpace::makeRegisterFile(
         "Neon", {{ScalarKind::F32, {"float32x4_t", 4}},
-                 {ScalarKind::F64, {"float64x2_t", 2}}});
+                 {ScalarKind::F64, {"float64x2_t", 2}},
+                 {ScalarKind::I32, {"int32x4_t", 4}}});
     F16Space = MemSpace::makeRegisterFile(
         "Neon8f", {{ScalarKind::F16, {"float16x8_t", 8}}});
+    BF16Space = MemSpace::makeRegisterFile(
+        "Neon8bf", {{ScalarKind::BF16, {"bfloat16x8_t", 8}}});
+    I8Space = MemSpace::makeRegisterFile(
+        "Neon16b", {{ScalarKind::I8, {"int8x16_t", 16}}});
 
     LoadF32 = makeLoadInstr("neon_vld_4xf32", ScalarKind::F32, 4, F32Space,
                             "{dst_data} = vld1q_f32(&{src_data});");
@@ -54,6 +63,34 @@ public:
     BcstF16 = makeBroadcastInstr("neon_vdup_8xf16", ScalarKind::F16, 8,
                                  F16Space,
                                  "{dst_data} = vld1q_dup_f16(&{s_data});");
+
+    LoadBF16 = makeLoadInstr("neon_vld_8xbf16", ScalarKind::BF16, 8,
+                             BF16Space,
+                             "{dst_data} = vld1q_bf16(&{src_data});");
+    StoreBF16 = makeStoreInstr("neon_vst_8xbf16", ScalarKind::BF16, 8,
+                               BF16Space,
+                               "vst1q_bf16(&{dst_data}, {src_data});");
+    BcstBF16 = makeBroadcastInstr("neon_vdup_8xbf16", ScalarKind::BF16, 8,
+                                  BF16Space,
+                                  "{dst_data} = vld1q_dup_bf16(&{s_data});");
+    DotBF16 = makeDotInstr(
+        "neon_vbfdot_4xf32_8xbf16", ScalarKind::BF16, ScalarKind::F32, 4, 2,
+        BF16Space, F32Space,
+        "{dst_data} = vbfdotq_laneq_f32({dst_data}, {lhs_data}, {rhs_data}, "
+        "{l});");
+
+    LoadI8 = makeLoadInstr("neon_vld_16xi8", ScalarKind::I8, 16, I8Space,
+                           "{dst_data} = vld1q_s8(&{src_data});");
+    StoreI8 = makeStoreInstr("neon_vst_16xi8", ScalarKind::I8, 16, I8Space,
+                             "vst1q_s8(&{dst_data}, {src_data});");
+    BcstI8 = makeBroadcastInstr("neon_vdup_16xi8", ScalarKind::I8, 16,
+                                I8Space,
+                                "{dst_data} = vld1q_dup_s8(&{s_data});");
+    DotI8 = makeDotInstr(
+        "neon_vsdot_4xi32_16xi8", ScalarKind::I8, ScalarKind::I32, 4, 4,
+        I8Space, F32Space,
+        "{dst_data} = vdotq_laneq_s32({dst_data}, {lhs_data}, {rhs_data}, "
+        "{l});");
   }
 
   std::string name() const override { return "neon"; }
@@ -67,11 +104,21 @@ public:
   }
 
   bool supports(ScalarKind Ty) const override {
-    return Ty == ScalarKind::F32 || Ty == ScalarKind::F16;
+    return Ty == ScalarKind::F32 || Ty == ScalarKind::F16 ||
+           Ty == ScalarKind::BF16 || Ty == ScalarKind::I8;
   }
 
   const MemSpace *space(ScalarKind Ty) const override {
-    return Ty == ScalarKind::F16 ? F16Space : F32Space;
+    switch (Ty) {
+    case ScalarKind::F16:
+      return F16Space;
+    case ScalarKind::BF16:
+      return BF16Space;
+    case ScalarKind::I8:
+      return I8Space;
+    default:
+      return F32Space;
+    }
   }
 
   std::string prologue() const override {
@@ -79,39 +126,61 @@ public:
   }
 
   std::string jitFlags() const override {
-    return "-march=armv8.2-a+fp16";
+    return "-march=armv8.2-a+fp16+dotprod+bf16";
   }
 
   InstrPtr load(ScalarKind Ty) const override {
-    return pick(Ty, LoadF32, LoadF16);
+    return pick(Ty, LoadF32, LoadF16, LoadBF16, LoadI8);
   }
   InstrPtr store(ScalarKind Ty) const override {
-    return pick(Ty, StoreF32, StoreF16);
+    return pick(Ty, StoreF32, StoreF16, StoreBF16, StoreI8);
   }
+  // bf16 and i8 have no plain element-wise FMA on Neon: their compute shape
+  // is the widening dot below, so both FMA hooks return null for them and
+  // UkrConfig::effectiveStyle degrades plain-FMA schedules to scalar.
   InstrPtr fmaLane(ScalarKind Ty) const override {
-    return pick(Ty, FmaLaneF32, FmaLaneF16);
+    return pick(Ty, FmaLaneF32, FmaLaneF16, nullptr, nullptr);
   }
   InstrPtr fmaBroadcast(ScalarKind Ty) const override {
-    return pick(Ty, FmaBcstF32, FmaBcstF16);
+    return pick(Ty, FmaBcstF32, FmaBcstF16, nullptr, nullptr);
   }
   InstrPtr broadcast(ScalarKind Ty) const override {
-    return pick(Ty, BcstF32, BcstF16);
+    return pick(Ty, BcstF32, BcstF16, BcstBF16, BcstI8);
+  }
+  InstrPtr dotAccum(ScalarKind InTy) const override {
+    return pick(InTy, nullptr, nullptr, DotBF16, DotI8);
+  }
+  const MemSpace *accSpace(ScalarKind InTy) const override {
+    // Both dots accumulate into 4-lane Q registers (f32 / i32).
+    return dotAccum(InTy) ? F32Space : nullptr;
   }
 
 private:
   static InstrPtr pick(ScalarKind Ty, const InstrPtr &F32,
-                       const InstrPtr &F16) {
-    if (Ty == ScalarKind::F32)
+                       const InstrPtr &F16, const InstrPtr &BF16,
+                       const InstrPtr &I8) {
+    switch (Ty) {
+    case ScalarKind::F32:
       return F32;
-    if (Ty == ScalarKind::F16)
+    case ScalarKind::F16:
       return F16;
-    return nullptr;
+    case ScalarKind::BF16:
+      return BF16;
+    case ScalarKind::I8:
+      return I8;
+    default:
+      return nullptr;
+    }
   }
 
   const MemSpace *F32Space = nullptr;
   const MemSpace *F16Space = nullptr;
+  const MemSpace *BF16Space = nullptr;
+  const MemSpace *I8Space = nullptr;
   InstrPtr LoadF32, StoreF32, FmaLaneF32, FmaBcstF32, BcstF32;
   InstrPtr LoadF16, StoreF16, FmaLaneF16, FmaBcstF16, BcstF16;
+  InstrPtr LoadBF16, StoreBF16, BcstBF16, DotBF16;
+  InstrPtr LoadI8, StoreI8, BcstI8, DotI8;
 };
 
 } // namespace

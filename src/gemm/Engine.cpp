@@ -12,6 +12,7 @@
 #include "ukr/KernelService.h"
 
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -33,10 +34,13 @@ struct PlanKey {
   int64_t M = 0, N = 0, K = 0;
   int64_t T = 1;
   const exo::IsaLib *Isa = nullptr;
+  /// DType of the call, as uint8_t. Last (and defaulted) so the f32 entry
+  /// points' aggregate initializers stay valid — omitting it is F32.
+  uint8_t Ty = 0;
 
   bool operator<(const PlanKey &O) const {
-    return std::tie(TA, TB, M, N, K, T, Isa) <
-           std::tie(O.TA, O.TB, O.M, O.N, O.K, O.T, O.Isa);
+    return std::tie(TA, TB, M, N, K, T, Isa, Ty) <
+           std::tie(O.TA, O.TB, O.M, O.N, O.K, O.T, O.Isa, O.Ty);
   }
 };
 
@@ -191,6 +195,40 @@ Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
   // fixed-series branch dereferences a null provider.
   if (Cfg.Series == EngineSeries::Custom && !Fixed)
     return errorf("gemm engine: custom series without a provider");
+  const DType Ty = static_cast<DType>(Key.Ty);
+
+  // I8I32: no provider, no JIT — the typed executor's built-in K-grouped
+  // scalar dot runs the plan's fixed tile (Planner.h). Geometry and
+  // workspace sizing still flow through the shared machinery so the pooled
+  // steady state is identical to every other dtype.
+  if (Ty == DType::I8I32) {
+    PlanChoice Choice = choosePlanWithDb(Key.M, Key.N, Key.K, nullptr, "",
+                                         nullptr, nullptr, Ty);
+    MicroKernel Main;
+    Main.MR = Choice.MR;
+    Main.NR = Choice.NR;
+    Main.Fn = nullptr; // unused: I8I32 geometries never call Main.Fn
+    GemmPlan Legacy;
+    Legacy.Blocks = analyticalBlockSizes(CacheConfig::host(), Choice.MR,
+                                         Choice.NR, dtypePackBytes(Ty));
+    if (Cfg.Blocks)
+      Legacy.Blocks = *Cfg.Blocks;
+    Legacy.PackMode = EdgePack::ZeroPad;
+    Legacy.Threads = Key.T;
+    PlansFromModel.fetch_add(1, std::memory_order_relaxed);
+    obs::mark("plan.source.model");
+    auto P = std::make_shared<ExecPlan>();
+    P->Choice = Choice;
+    P->Legacy = Legacy;
+    P->G = detail::deriveGeometry(Legacy, Main, Key.M, Key.N, Key.K);
+    P->G.Ty = Ty;
+    P->Pool.reserve(WorkspacePoolCap);
+    auto WS = std::make_unique<detail::GemmWorkspace>();
+    WS->ensure(P->G);
+    P->Pool.push_back(std::move(WS));
+    return P;
+  }
+
   PlanChoice Choice;
   std::shared_ptr<KernelProvider> Provider;
   const bool WantExo = Cfg.Series == EngineSeries::Exo ||
@@ -202,7 +240,7 @@ Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
       PlanOutcome Out;
       Choice = choosePlanWithDb(Key.M, Key.N, Key.K, Cfg.Isa, Cfg.PriorPath,
                                 Cfg.TunedPriors ? &PriorDb::global() : nullptr,
-                                &Out);
+                                &Out, Ty);
       PriorRejected.fetch_add(Out.PriorRejected + Out.TunedRejected,
                               std::memory_order_relaxed);
     }
@@ -265,6 +303,19 @@ Expected<std::shared_ptr<ExecPlan>> Engine::Impl::build(const PlanKey &Key) {
   P->Choice = Choice;
   P->Legacy = Legacy;
   P->G = detail::deriveGeometry(Legacy, Main, Key.M, Key.N, Key.K);
+  if (Ty != DType::F32) {
+    // F16/BF16: the plan's f32 kernel runs over convert-packed (always
+    // zero-padded) panels through the scratch tile; specialized edge
+    // kernels never dispatch, so none are resolved or JIT'd.
+    P->G.Ty = Ty;
+    P->G.PackMode = EdgePack::ZeroPad;
+    P->Provisional = Cfg.Async && Main.IsFallback;
+    P->Pool.reserve(WorkspacePoolCap);
+    auto WS = std::make_unique<detail::GemmWorkspace>();
+    WS->ensure(P->G);
+    P->Pool.push_back(std::move(WS));
+    return P;
+  }
   detail::resolveEdgeKernels(*Provider, P->G, Key.N, P->Edges);
   bool EdgeFallback = false;
   for (const std::optional<MicroKernel> &E : P->Edges)
@@ -509,6 +560,108 @@ Error Engine::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
   } else {
     detail::executeGemm(Plan->G, Call, *WS);
   }
+  Plan->release(std::move(WS));
+  return Error::success();
+}
+
+Error Engine::gemm(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N,
+                   int64_t K, double Alpha, const void *A, int64_t Lda,
+                   const void *B, int64_t Ldb, double Beta, void *C,
+                   int64_t Ldc) {
+  // F32 takes the historical path verbatim — same code, bitwise-identical
+  // results (the front doors differ only in spelling).
+  if (Ty == DType::F32)
+    return sgemm(TA, TB, M, N, K, static_cast<float>(Alpha),
+                 static_cast<const float *>(A), Lda,
+                 static_cast<const float *>(B), Ldb,
+                 static_cast<float>(Beta), static_cast<float *>(C), Ldc);
+
+  if (M < 0 || N < 0 || K < 0)
+    return errorf("gemm engine: negative dimension");
+  int64_t AlphaI = 1, BetaI = 1;
+  if (Ty == DType::I8I32) {
+    // Integer alpha/beta only: they scale the i32 accumulator exactly.
+    // A fractional scale is a quantization policy decision that belongs in
+    // the caller, not a silently-rounded GEMM parameter (DType.h).
+    constexpr double Lim = 9.0e18; // < 2^63, exactly representable
+    if (Alpha != std::nearbyint(Alpha) || Beta != std::nearbyint(Beta) ||
+        std::fabs(Alpha) > Lim || std::fabs(Beta) > Lim)
+      return errorf("gemm engine: i8 alpha/beta must be exact integers "
+                    "(got alpha=%g beta=%g)",
+                    Alpha, Beta);
+    AlphaI = static_cast<int64_t>(Alpha);
+    BetaI = static_cast<int64_t>(Beta);
+  }
+  // Degenerate quick returns, in storage type (beta == 0 overwrites; A/B
+  // never read — the same BLAS semantics as sgemm).
+  if (M == 0 || N == 0) {
+    I->Degenerate.fetch_add(1, std::memory_order_relaxed);
+    return Error::success();
+  }
+  if (K == 0 || Alpha == 0.0) {
+    I->Degenerate.fetch_add(1, std::memory_order_relaxed);
+    detail::scaleByBetaTyped(Ty, M, N, Beta, C, Ldc);
+    return Error::success();
+  }
+  if (I->Cfg.Series == EngineSeries::Custom && !I->Fixed)
+    return errorf("gemm engine: custom series without a provider");
+
+  PlanKey Key{static_cast<uint8_t>(TA),
+              static_cast<uint8_t>(TB),
+              M,
+              N,
+              K,
+              I->plannedThreads(),
+              I->Cfg.Isa,
+              static_cast<uint8_t>(Ty)};
+
+  std::shared_ptr<ExecPlan> Plan;
+  if (!I->CacheOn) {
+    I->Misses.fetch_add(1, std::memory_order_relaxed);
+    Expected<std::shared_ptr<ExecPlan>> Built = I->build(Key);
+    if (!Built)
+      return Built.takeError();
+    I->Builds.fetch_add(1, std::memory_order_relaxed);
+    Plan = Built.take();
+  } else {
+    Error Err = Error::success();
+    Plan = I->lookupOrBuild(Key, Err);
+    if (!Plan)
+      return Err;
+  }
+
+  if (Plan->Provisional &&
+      (Plan->Calls.fetch_add(1, std::memory_order_relaxed) + 1) %
+              RebuildPeriod ==
+          0)
+    I->maybeRebuild(Key, Plan);
+
+  std::unique_ptr<detail::GemmWorkspace> WS = Plan->acquire();
+  if (!WS) {
+    WS = std::make_unique<detail::GemmWorkspace>();
+    WS->ensure(Plan->G);
+  }
+  detail::GemmCallT Call;
+  Call.Ty = Ty;
+  Call.TA = TA;
+  Call.TB = TB;
+  Call.M = M;
+  Call.N = N;
+  Call.K = K;
+  Call.Alpha = static_cast<float>(Alpha);
+  Call.Beta = static_cast<float>(Beta);
+  Call.AlphaI = AlphaI;
+  Call.BetaI = BetaI;
+  Call.A = A;
+  Call.Lda = Lda;
+  Call.B = B;
+  Call.Ldb = Ldb;
+  Call.C = C;
+  Call.Ldc = Ldc;
+  // Typed dispatch runs at the plan width (the governor's reserved-team
+  // form exists only for the f32 executor); nested calls still collapse to
+  // width 1 inside executeGemmTyped, so the pool never deadlocks.
+  detail::executeGemmTyped(Plan->G, Call, *WS);
   Plan->release(std::move(WS));
   return Error::success();
 }
@@ -819,6 +972,53 @@ Error Engine::warm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
   return Error::success();
 }
 
+Error Engine::warm(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N,
+                   int64_t K, bool Wait) {
+  if (Ty == DType::F32)
+    return warm(TA, TB, M, N, K, Wait);
+  if (M <= 0 || N <= 0 || K <= 0)
+    return Error::success(); // degenerate shapes never plan
+  PlanKey Key{static_cast<uint8_t>(TA),
+              static_cast<uint8_t>(TB),
+              M,
+              N,
+              K,
+              I->plannedThreads(),
+              I->Cfg.Isa,
+              static_cast<uint8_t>(Ty)};
+  std::shared_ptr<ExecPlan> Plan;
+  if (!I->CacheOn) {
+    Expected<std::shared_ptr<ExecPlan>> Built = I->build(Key);
+    if (!Built)
+      return Built.takeError();
+    Plan = Built.take();
+  } else {
+    Error Err = Error::success();
+    Plan = I->lookupOrBuild(Key, Err);
+    if (!Plan)
+      return Err;
+  }
+  if (Ty == DType::I8I32)
+    return Error::success(); // built-in scalar dot: nothing to precompile
+  // F16/BF16 plans execute the f32 main kernel over convert-packed panels
+  // and never dispatch edge kernels, so only the main config prefetches.
+  const PlanChoice &Choice = Plan->Choice;
+  const bool WantExo = I->Cfg.Series == EngineSeries::Exo ||
+                       (I->Cfg.Series == EngineSeries::Auto &&
+                        Choice.Src != PlanSource::Fallback);
+  if (!WantExo)
+    return Error::success();
+  const exo::IsaLib *PIsa =
+      I->Cfg.Isa ? I->Cfg.Isa : ukr::bestIsaForMr(Choice.MR);
+  std::vector<ukr::UkrConfig> Family;
+  Family.push_back(
+      ukr::shapeConfig(Choice.MR, Choice.NR, PIsa, I->Cfg.UnrollCompute));
+  ukr::KernelService::global().prefetchBatch(Family);
+  if (Wait)
+    ukr::KernelService::global().wait();
+  return Error::success();
+}
+
 void Engine::clearPlanCache() {
   std::unique_lock<std::shared_mutex> UL(I->Mu);
   for (auto It = I->Cache.begin(); It != I->Cache.end();) {
@@ -858,6 +1058,14 @@ EngineStats Engine::stats() const {
   S.GovShapeClamped = I->GovShapeClamped.load(std::memory_order_relaxed);
   S.GovOccClamped = I->GovOccClamped.load(std::memory_order_relaxed);
   S.GovWidthSum = I->GovWidthSum.load(std::memory_order_relaxed);
+  {
+    // A gauge, not a counter: the cache's live per-dtype contents, read
+    // under the shared lock like planCount().
+    std::shared_lock<std::shared_mutex> SL(I->Mu);
+    for (const auto &[Key, E] : I->Cache)
+      if (E.Plan && Key.Ty < DTypeCount)
+        ++S.PlansByDtype[Key.Ty];
+  }
   return S;
 }
 

@@ -125,6 +125,11 @@ struct EngineStats {
   uint64_t GovShapeClamped = 0; ///< grants narrowed by the shape model
   uint64_t GovOccClamped = 0;   ///< grants narrowed by occupancy/budget
   uint64_t GovWidthSum = 0;     ///< sum of granted widths (avg = /GovGrants)
+  /// Live plan-cache entries per dtype, indexed by DType (the
+  /// `ukr_cachectl stats --json` per-dtype breakdown). Counted at build
+  /// time, decremented on eviction — unlike the monotonic counters above,
+  /// these describe the cache's current contents.
+  uint64_t PlansByDtype[DTypeCount] = {};
 };
 
 /// One problem of a batch handed to Engine::sgemmBatched. Identical field
@@ -159,10 +164,33 @@ public:
   /// The process-wide default-configured Engine (examples, dnn drivers).
   static Engine &global();
 
+  /// The typed front door: C = alpha * op(A) * op(B) + beta * C,
+  /// column-major, with operand storage in \p Ty's element types
+  /// (dtypeInBytes / dtypeOutBytes; docs/PRECISION.md):
+  ///
+  ///   F32    identical — bitwise — to sgemm below (it runs the same code).
+  ///   F16    A/B/C are IEEE binary16 (uint16_t storage); FMAs in f32 over
+  ///   BF16   convert-packed panels (bf16 likewise), alpha/beta applied in
+  ///          f32, C rounded to storage (RNE) once per Kc depth block.
+  ///   I8I32  A/B are int8, C is int32; i32 accumulate with two's-
+  ///          complement wraparound. Alpha and beta must be exact integers
+  ///          (a fractional scale is rejected — quantization policy lives
+  ///          in the caller).
+  ///
+  /// Degenerate semantics match sgemm (beta == 0 overwrites in storage
+  /// type; A/B unread). Every dtype flows through the same plan cache,
+  /// pooled workspaces, and five-loop executor; plans are keyed by dtype.
+  exo::Error gemm(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N,
+                  int64_t K, double Alpha, const void *A, int64_t Lda,
+                  const void *B, int64_t Ldb, double Beta, void *C,
+                  int64_t Ldc);
+
   /// C = alpha * op(A) * op(B) + beta * C, column-major, through the plan
-  /// cache. Identical semantics to blisGemmT (beta == 0 overwrites, A/B
-  /// unread on degenerate calls); fails on negative dimensions or when no
-  /// runnable kernel exists for the shape.
+  /// cache — the f32 door of gemm() above (same plans, same executor;
+  /// kept as the BLAS-shaped entry the rest of the stack calls). Identical
+  /// semantics to blisGemmT (beta == 0 overwrites, A/B unread on
+  /// degenerate calls); fails on negative dimensions or when no runnable
+  /// kernel exists for the shape.
   exo::Error sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
                    float Alpha, const float *A, int64_t Lda, const float *B,
                    int64_t Ldb, float Beta, float *C, int64_t Ldc);
@@ -212,6 +240,12 @@ public:
   /// specialized — the `ukr_cachectl warm --shape/--model` path.
   exo::Error warm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
                   bool Wait = true);
+
+  /// Dtype-aware warm-up (`ukr_cachectl warm --shape --dtype`): builds the
+  /// typed plan and prefetches its (single-config, for non-f32) kernel
+  /// family. F32 is exactly the overload above.
+  exo::Error warm(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N,
+                  int64_t K, bool Wait = true);
 
   /// Tile + provider the cached (or freshly built) plan for this shape
   /// uses; builds the plan as a side effect. For tests and bench labels.

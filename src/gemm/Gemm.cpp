@@ -118,6 +118,22 @@ void detail::GemmWorkspace::ensure(const GemmGeometry &G) {
   // buffer, scratch tile, and — only when a Tight-mode width lacks its
   // kernel — a re-padded B panel. Every resize is a no-op when the
   // workspace already fits this geometry (the Engine's pooled hot path).
+  if (G.Ty == DType::I8I32) {
+    // K-grouped byte panels and i32 scratch tiles; panel depth is the
+    // group count rounded up (the pack zero-fills the K remainder).
+    const int64_t KG = (G.Kc + I8KGroup - 1) / I8KGroup;
+    BBufI8.resize(((G.Nc + G.Nr - 1) / G.Nr) * KG * I8KGroup * G.Nr);
+    ABufsI8.resize(G.T);
+    ScratchesI32.resize(G.T);
+    for (int64_t I = 0; I < G.T; ++I) {
+      ABufsI8[I].resize(((G.Mc + G.Mr - 1) / G.Mr) * KG * I8KGroup * G.Mr);
+      ScratchesI32[I].resize(G.Mr * G.Nr);
+    }
+    return;
+  }
+  // F32 — and F16/BF16, whose panels are convert-packed to f32 with the
+  // identical layout (the scratch tile doubles as the rounding staging
+  // area at copy-out).
   BBuf.resize(((G.Nc + G.Nr - 1) / G.Nr) * G.Kc * G.Nr);
   ABufs.resize(G.T);
   Scratches.resize(G.T);
@@ -136,6 +152,14 @@ namespace {
 struct TeamJob {
   const detail::GemmGeometry *G;
   const detail::GemmCall *Call;
+  detail::GemmWorkspace *WS;
+  TeamBarrier *Bar;
+};
+
+/// Same shape for the typed executor's call bundle.
+struct TeamJobT {
+  const detail::GemmGeometry *G;
+  const detail::GemmCallT *Call;
   detail::GemmWorkspace *WS;
   TeamBarrier *Bar;
 };
@@ -287,6 +311,206 @@ void runTeamMember(void *Ctx, int64_t Tid) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Typed (non-f32) executor
+//===----------------------------------------------------------------------===//
+
+/// Storage decode/encode for the half-precision paths.
+inline float loadHalf(DType Ty, uint16_t H) {
+  return Ty == DType::BF16 ? bf16ToF32(H) : f16ToF32(H);
+}
+inline uint16_t storeHalf(DType Ty, float F) {
+  return Ty == DType::BF16 ? f32ToBf16(F) : f32ToF16(F);
+}
+
+/// The K-grouped scalar dot micro-kernel (the portable stand-in for
+/// sdot/VNNI): Scratch[j*Mr + i] += sum over (g, kk) of
+/// Ac[g][i][kk] * Bc[g][j][kk], panels in the packAI8Strided layout.
+/// Accumulation is two's-complement i32; the uint32_t detour keeps the
+/// wraparound defined.
+void i8DotTile(int64_t KGroups, int64_t Mr, int64_t Nr, const int8_t *Ac,
+               const int8_t *Bc, int32_t *Scratch) {
+  for (int64_t G = 0; G < KGroups; ++G) {
+    const int8_t *Ag = Ac + G * Mr * I8KGroup;
+    const int8_t *Bg = Bc + G * Nr * I8KGroup;
+    for (int64_t J = 0; J < Nr; ++J) {
+      const int8_t *Bq = Bg + J * I8KGroup;
+      for (int64_t I = 0; I < Mr; ++I) {
+        const int8_t *Aq = Ag + I * I8KGroup;
+        int32_t Dot = 0;
+        for (int64_t Kk = 0; Kk < I8KGroup; ++Kk)
+          Dot += int32_t(Aq[Kk]) * int32_t(Bq[Kk]);
+        uint32_t Acc = uint32_t(Scratch[J * Mr + I]) + uint32_t(Dot);
+        Scratch[J * Mr + I] = int32_t(Acc);
+      }
+    }
+  }
+}
+
+/// Wrapping i32 scale used by the i8 path's alpha/beta application.
+inline int32_t mulWrapI32(int32_t V, int64_t S) {
+  return int32_t(uint32_t(uint64_t(int64_t(V) * S)));
+}
+
+/// Mirror of runTeamMember for the non-f32 dtypes: identical loop
+/// structure, barriers and ownership grid, so the bitwise
+/// thread-count-invariance argument carries over unchanged. The branches
+/// select the pack / pre-scale / copy-out flavour; the inner kernel is the
+/// plan's f32 kernel over converted panels (f16/bf16) or the scalar i8 dot.
+void runTeamMemberTyped(void *Ctx, int64_t Tid) {
+  const TeamJobT &Job = *static_cast<TeamJobT *>(Ctx);
+  const detail::GemmGeometry &G = *Job.G;
+  const detail::GemmCallT &Cl = *Job.Call;
+  detail::GemmWorkspace &WS = *Job.WS;
+  const int64_t Mr = G.Mr, Nr = G.Nr, Mc = G.Mc, Kc = G.Kc, Nc = G.Nc;
+  const int64_t NIc = G.NIc, T = G.T, Tic = G.Tic, Tjr = G.Tjr;
+  const int64_t M = Cl.M, N = Cl.N, K = Cl.K;
+  const DType Ty = Cl.Ty;
+  const bool IsInt = Ty == DType::I8I32;
+
+  const int64_t IcTeam = Tid / Tjr, JrIdx = Tid % Tjr;
+
+  for (int64_t Jc = 0; Jc < N; Jc += Nc) {              // Loop L1
+    const int64_t NcEff = std::min(Nc, N - Jc);
+    const int64_t NPan = (NcEff + Nr - 1) / Nr;
+    for (int64_t Pc = 0; Pc < K; Pc += Kc) {            // Loop L2
+      const int64_t KcEff = std::min(Kc, K - Pc);
+      const int64_t KG = (KcEff + I8KGroup - 1) / I8KGroup;
+      {
+        EXO_OBS_SPAN("gemm.packB");
+        for (int64_t P = Tid; P < NPan; P += T) {
+          const int64_t J0 = Jc + P * Nr;
+          const int64_t W = std::min(Nr, NcEff - P * Nr);
+          // Transposition swaps the element strides, exactly as in the f32
+          // path: (k, j) of the logical block is B[k*RS + j*CS].
+          const int64_t RS = Cl.TB == Trans::None ? 1 : Cl.Ldb;
+          const int64_t CS = Cl.TB == Trans::None ? Cl.Ldb : 1;
+          if (IsInt) {
+            const int8_t *Src = static_cast<const int8_t *>(Cl.B) +
+                                (Cl.TB == Trans::None ? Pc + J0 * Cl.Ldb
+                                                      : J0 + Pc * Cl.Ldb);
+            packBI8Strided(Src, RS, CS, KcEff, W, Nr,
+                           WS.BBufI8.data() + P * KG * I8KGroup * Nr);
+          } else {
+            const uint16_t *Src = static_cast<const uint16_t *>(Cl.B) +
+                                  (Cl.TB == Trans::None ? Pc + J0 * Cl.Ldb
+                                                        : J0 + Pc * Cl.Ldb);
+            packBConvStrided(Ty, Src, RS, CS, KcEff, W, Nr, /*Alpha=*/1.0f,
+                             WS.BBuf.data() + P * KcEff * Nr);
+          }
+        }
+      }
+
+      // Beta pre-scale, once per column block before its first update;
+      // same one-writer ownership grid as the f32 path.
+      const bool BetaIsOne = IsInt ? Cl.BetaI == 1 : Cl.Beta == 1.0f;
+      if (Pc == 0 && !BetaIsOne) {
+        EXO_OBS_SPAN("gemm.beta");
+        for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) {
+          const int64_t Ic = BIdx * Mc;
+          const int64_t McEff = std::min(Mc, M - Ic);
+          for (int64_t J = JrIdx; J < NcEff; J += Tjr) {
+            if (IsInt) {
+              int32_t *Col =
+                  static_cast<int32_t *>(Cl.C) + Ic + (Jc + J) * Cl.Ldc;
+              if (Cl.BetaI == 0)
+                std::fill(Col, Col + McEff, 0);
+              else
+                for (int64_t I = 0; I < McEff; ++I)
+                  Col[I] = mulWrapI32(Col[I], Cl.BetaI);
+            } else {
+              uint16_t *Col =
+                  static_cast<uint16_t *>(Cl.C) + Ic + (Jc + J) * Cl.Ldc;
+              if (Cl.Beta == 0.0f)
+                std::fill(Col, Col + McEff, uint16_t(0));
+              else
+                for (int64_t I = 0; I < McEff; ++I)
+                  Col[I] = storeHalf(Ty, loadHalf(Ty, Col[I]) * Cl.Beta);
+            }
+          }
+        }
+      }
+      if (T > 1) {
+        EXO_OBS_SPAN("gemm.barrier");
+        Job.Bar->arriveAndWait();
+      }
+
+      for (int64_t BIdx = IcTeam; BIdx < NIc; BIdx += Tic) { // Loop L3
+        const int64_t Ic = BIdx * Mc;
+        const int64_t McEff = std::min(Mc, M - Ic);
+        {
+          EXO_OBS_SPAN("gemm.packA");
+          const int64_t RS = Cl.TA == Trans::None ? 1 : Cl.Lda;
+          const int64_t CS = Cl.TA == Trans::None ? Cl.Lda : 1;
+          if (IsInt) {
+            const int8_t *Src = static_cast<const int8_t *>(Cl.A) +
+                                (Cl.TA == Trans::None ? Ic + Pc * Cl.Lda
+                                                      : Pc + Ic * Cl.Lda);
+            packAI8Strided(Src, RS, CS, McEff, KcEff, Mr,
+                           WS.ABufsI8[Tid].data());
+          } else {
+            const uint16_t *Src = static_cast<const uint16_t *>(Cl.A) +
+                                  (Cl.TA == Trans::None ? Ic + Pc * Cl.Lda
+                                                        : Pc + Ic * Cl.Lda);
+            packAConvStrided(Ty, Src, RS, CS, McEff, KcEff, Mr, Cl.Alpha,
+                             WS.ABufs[Tid].data());
+          }
+        }
+
+        EXO_OBS_SPAN("gemm.ukr");
+        for (int64_t P = JrIdx; P < NPan; P += Tjr) {    // Loop L4
+          const int64_t Jr = P * Nr;
+          const int64_t NrEff = std::min(Nr, NcEff - Jr);
+          for (int64_t Ir = 0; Ir < McEff; Ir += Mr) {   // Loop L5
+            const int64_t MrEff = std::min(Mr, McEff - Ir);
+            if (IsInt) {
+              const int8_t *APanel =
+                  WS.ABufsI8[Tid].data() + (Ir / Mr) * KG * I8KGroup * Mr;
+              const int8_t *BPanel =
+                  WS.BBufI8.data() + P * KG * I8KGroup * Nr;
+              int32_t *Scratch = WS.ScratchesI32[Tid].data();
+              std::fill(Scratch, Scratch + Mr * Nr, 0);
+              i8DotTile(KG, Mr, Nr, APanel, BPanel, Scratch);
+              int32_t *CTile = static_cast<int32_t *>(Cl.C) + (Ic + Ir) +
+                               (Jc + Jr) * Cl.Ldc;
+              for (int64_t J = 0; J < NrEff; ++J)
+                for (int64_t I = 0; I < MrEff; ++I) {
+                  uint32_t Acc =
+                      uint32_t(CTile[I + J * Cl.Ldc]) +
+                      uint32_t(mulWrapI32(Scratch[J * Mr + I], Cl.AlphaI));
+                  CTile[I + J * Cl.Ldc] = int32_t(Acc);
+                }
+            } else {
+              // Always the scratch-tile path: the f32 kernel computes the
+              // block's contribution, and the C update (read storage,
+              // accumulate in f32, round to storage) happens exactly once
+              // per Kc block — the documented rounding contract.
+              const float *APanel =
+                  WS.ABufs[Tid].data() + (Ir / Mr) * KcEff * Mr;
+              const float *BPanel = WS.BBuf.data() + P * KcEff * Nr;
+              float *Scratch = WS.Scratches[Tid].data();
+              std::fill(Scratch, Scratch + Mr * Nr, 0.0f);
+              G.Main.Fn(KcEff, Mr, APanel, BPanel, Scratch);
+              uint16_t *CTile = static_cast<uint16_t *>(Cl.C) + (Ic + Ir) +
+                                (Jc + Jr) * Cl.Ldc;
+              for (int64_t J = 0; J < NrEff; ++J)
+                for (int64_t I = 0; I < MrEff; ++I) {
+                  uint16_t &H = CTile[I + J * Cl.Ldc];
+                  H = storeHalf(Ty,
+                                loadHalf(Ty, H) + Scratch[J * Mr + I]);
+                }
+            }
+          }
+        }
+      }
+      if (T > 1) {
+        EXO_OBS_SPAN("gemm.barrier");
+        Job.Bar->arriveAndWait();
+      }
+    }
+  }
+}
+
 } // namespace
 
 void detail::executeGemm(const GemmGeometry &G, const GemmCall &Call,
@@ -354,6 +578,57 @@ void detail::executeGemmReserved(const GemmGeometry &G, const GemmCall &Call,
   TeamBarrier Bar(G2.T);
   TeamJob Job{&G2, &Call, &WS, G2.T > 1 ? &Bar : nullptr};
   ThreadPool::global().runTeam(Res, &runTeamMember, &Job);
+}
+
+void detail::scaleByBetaTyped(DType Ty, int64_t M, int64_t N, double Beta,
+                              void *C, int64_t Ldc) {
+  if (Ty == DType::F32) {
+    scaleByBeta(M, N, float(Beta), static_cast<float *>(C), Ldc);
+    return;
+  }
+  if (Ty == DType::I8I32) {
+    const int64_t BetaI = int64_t(Beta);
+    for (int64_t J = 0; J < N; ++J) {
+      int32_t *Col = static_cast<int32_t *>(C) + J * Ldc;
+      if (BetaI == 0)
+        std::fill(Col, Col + M, 0);
+      else
+        for (int64_t I = 0; I < M; ++I)
+          Col[I] = int32_t(uint32_t(uint64_t(int64_t(Col[I]) * BetaI)));
+    }
+    return;
+  }
+  const float BetaF = float(Beta);
+  for (int64_t J = 0; J < N; ++J) {
+    uint16_t *Col = static_cast<uint16_t *>(C) + J * Ldc;
+    if (BetaF == 0.0f) {
+      std::fill(Col, Col + M, uint16_t(0));
+      continue;
+    }
+    for (int64_t I = 0; I < M; ++I) {
+      const float V =
+          (Ty == DType::BF16 ? bf16ToF32(Col[I]) : f16ToF32(Col[I])) * BetaF;
+      Col[I] = Ty == DType::BF16 ? f32ToBf16(V) : f32ToF16(V);
+    }
+  }
+}
+
+void detail::executeGemmTyped(const GemmGeometry &G, const GemmCallT &Call,
+                              GemmWorkspace &WS) {
+  EXO_OBS_SPAN("gemm.call");
+  // Nested-call collapse, for the same deadlock reason as executeGemm.
+  if (G.T > 1 && ThreadPool::global().inParallel()) {
+    GemmGeometry G1 = G;
+    G1.T = 1;
+    G1.Tic = 1;
+    G1.Tjr = 1;
+    TeamJobT Job{&G1, &Call, &WS, nullptr};
+    runTeamMemberTyped(&Job, 0);
+    return;
+  }
+  TeamBarrier Bar(G.T);
+  TeamJobT Job{&G, &Call, &WS, &Bar};
+  ThreadPool::global().parallel(G.T, &runTeamMemberTyped, &Job);
 }
 
 Error gemm::blisGemm(const GemmPlan &Plan, KernelProvider &Provider,

@@ -97,12 +97,37 @@ struct GemmCall {
   int64_t Ldc = 0;
 };
 
+/// The dtype-generic call bundle used by the non-f32 executor paths. The
+/// operand pointers are raw storage in Ty's element types (dtypeInBytes /
+/// dtypeOutBytes); Alpha/Beta carry the f32 scale for the half-precision
+/// paths and AlphaI/BetaI the exact integer scale for i8 -> i32 (set from
+/// the same user-facing doubles by the Engine front door).
+struct GemmCallT {
+  DType Ty = DType::F32;
+  Trans TA = Trans::None, TB = Trans::None;
+  int64_t M = 0, N = 0, K = 0;
+  float Alpha = 1.0f, Beta = 1.0f;
+  int64_t AlphaI = 1, BetaI = 1;
+  const void *A = nullptr;
+  int64_t Lda = 0;
+  const void *B = nullptr;
+  int64_t Ldb = 0;
+  void *C = nullptr;
+  int64_t Ldc = 0;
+};
+
 /// Everything the five-loop executor needs that does not depend on the
 /// operand pointers or scalars: resolved kernels, problem-clamped blocking,
 /// and the team factorization. Deriving this once per (shape, plan) is what
 /// the Engine caches; blisGemmT derives it per call.
 struct GemmGeometry {
   MicroKernel Main{};
+  /// Element type this geometry executes. F32 runs the historical executor
+  /// verbatim; F16/BF16 run the f32 kernels over convert-packed panels with
+  /// per-Kc-block rounding at copy-out; I8I32 runs the K-grouped scalar dot
+  /// (Main.Fn unused). Non-f32 geometries are always ZeroPad with no edge
+  /// kernels.
+  DType Ty = DType::F32;
   EdgePack PackMode = EdgePack::ZeroPad;
   int64_t Mr = 0, Nr = 0;
   int64_t Mc = 0, Kc = 0, Nc = 0; ///< clamped to the problem
@@ -123,6 +148,13 @@ struct GemmGeometry {
 struct GemmWorkspace {
   std::vector<float> BBuf;
   std::vector<std::vector<float>> ABufs, Scratches, BPads;
+  /// I8I32 geometries pack into byte panels and accumulate into i32
+  /// scratch tiles instead; the float vectors above stay empty for them
+  /// (and vice versa), so a pooled workspace is sized for exactly one
+  /// dtype — which is what the per-plan pools hold anyway.
+  std::vector<int8_t> BBufI8;
+  std::vector<std::vector<int8_t>> ABufsI8;
+  std::vector<std::vector<int32_t>> ScratchesI32;
   void ensure(const GemmGeometry &G);
 };
 
@@ -171,6 +203,24 @@ void executeGemmReserved(const GemmGeometry &G, const GemmCall &Call,
 /// The shared degenerate path (K == 0 or alpha == 0): C = beta * C, with
 /// beta == 0 overwriting rather than scaling (NaN-safe). Allocation-free.
 void scaleByBeta(int64_t M, int64_t N, float Beta, float *C, int64_t Ldc);
+
+/// The five-loop macro-kernel for non-f32 dtypes (same team structure,
+/// barriers and ownership rules as executeGemm, hence the same bitwise
+/// thread-count invariance). F16/BF16 convert-pack to f32 panels, run
+/// G.Main.Fn into a zeroed f32 scratch tile and round the C update to
+/// storage once per Kc block; I8I32 packs K-grouped byte panels and runs
+/// the scalar dot into an i32 scratch with two's-complement wraparound.
+/// Call.Ty must equal G.Ty and must not be F32 (f32 stays on executeGemm,
+/// byte for byte).
+void executeGemmTyped(const GemmGeometry &G, const GemmCallT &Call,
+                      GemmWorkspace &WS);
+
+/// Degenerate-path beta scaling in storage type: f32 behaves exactly like
+/// scaleByBeta; f16/bf16 scale in f32 and round back to storage; i8->i32
+/// scales the i32 C by the integer beta with wraparound. Beta == 0
+/// overwrites with zero storage everywhere (NaN-safe).
+void scaleByBetaTyped(DType Ty, int64_t M, int64_t N, double Beta, void *C,
+                      int64_t Ldc);
 
 } // namespace detail
 

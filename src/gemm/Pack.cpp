@@ -54,6 +54,84 @@ void gemm::packBStrided(const float *B, int64_t RowStride, int64_t ColStride,
   }
 }
 
+void gemm::packAConvStrided(DType Ty, const uint16_t *A, int64_t RowStride,
+                            int64_t ColStride, int64_t Mc, int64_t Kc,
+                            int64_t Mr, float Alpha, float *Buf) {
+  const bool Bf = Ty == DType::BF16;
+  for (int64_t P = 0, Ir = 0; Ir < Mc; ++P, Ir += Mr) {
+    int64_t MrEff = std::min(Mr, Mc - Ir);
+    float *Panel = Buf + P * Kc * Mr;
+    for (int64_t K = 0; K < Kc; ++K) {
+      for (int64_t I = 0; I < MrEff; ++I) {
+        uint16_t H = A[(Ir + I) * RowStride + K * ColStride];
+        Panel[K * Mr + I] = Alpha * (Bf ? bf16ToF32(H) : f16ToF32(H));
+      }
+      for (int64_t I = MrEff; I < Mr; ++I)
+        Panel[K * Mr + I] = 0.0f;
+    }
+  }
+}
+
+void gemm::packBConvStrided(DType Ty, const uint16_t *B, int64_t RowStride,
+                            int64_t ColStride, int64_t Kc, int64_t Nc,
+                            int64_t Nr, float Alpha, float *Buf) {
+  const bool Bf = Ty == DType::BF16;
+  for (int64_t P = 0, Jr = 0; Jr < Nc; ++P, Jr += Nr) {
+    int64_t NrEff = std::min(Nr, Nc - Jr);
+    float *Panel = Buf + P * Kc * Nr;
+    for (int64_t K = 0; K < Kc; ++K) {
+      for (int64_t J = 0; J < NrEff; ++J) {
+        uint16_t H = B[K * RowStride + (Jr + J) * ColStride];
+        Panel[K * Nr + J] = Alpha * (Bf ? bf16ToF32(H) : f16ToF32(H));
+      }
+      for (int64_t J = NrEff; J < Nr; ++J)
+        Panel[K * Nr + J] = 0.0f;
+    }
+  }
+}
+
+void gemm::packAI8Strided(const int8_t *A, int64_t RowStride,
+                          int64_t ColStride, int64_t Mc, int64_t Kc,
+                          int64_t Mr, int8_t *Buf) {
+  const int64_t KG = (Kc + I8KGroup - 1) / I8KGroup;
+  for (int64_t P = 0, Ir = 0; Ir < Mc; ++P, Ir += Mr) {
+    int64_t MrEff = std::min(Mr, Mc - Ir);
+    int8_t *Panel = Buf + P * KG * I8KGroup * Mr;
+    for (int64_t G = 0; G < KG; ++G) {
+      int8_t *Group = Panel + G * Mr * I8KGroup;
+      for (int64_t I = 0; I < Mr; ++I) {
+        for (int64_t Kk = 0; Kk < I8KGroup; ++Kk) {
+          int64_t K = G * I8KGroup + Kk;
+          Group[I * I8KGroup + Kk] =
+              I < MrEff && K < Kc ? A[(Ir + I) * RowStride + K * ColStride]
+                                  : int8_t(0);
+        }
+      }
+    }
+  }
+}
+
+void gemm::packBI8Strided(const int8_t *B, int64_t RowStride,
+                          int64_t ColStride, int64_t Kc, int64_t Nc,
+                          int64_t Nr, int8_t *Buf) {
+  const int64_t KG = (Kc + I8KGroup - 1) / I8KGroup;
+  for (int64_t P = 0, Jr = 0; Jr < Nc; ++P, Jr += Nr) {
+    int64_t NrEff = std::min(Nr, Nc - Jr);
+    int8_t *Panel = Buf + P * KG * I8KGroup * Nr;
+    for (int64_t G = 0; G < KG; ++G) {
+      int8_t *Group = Panel + G * Nr * I8KGroup;
+      for (int64_t J = 0; J < Nr; ++J) {
+        for (int64_t Kk = 0; Kk < I8KGroup; ++Kk) {
+          int64_t K = G * I8KGroup + Kk;
+          Group[J * I8KGroup + Kk] =
+              J < NrEff && K < Kc ? B[K * RowStride + (Jr + J) * ColStride]
+                                  : int8_t(0);
+        }
+      }
+    }
+  }
+}
+
 void gemm::packA(const float *A, int64_t Lda, int64_t Mc, int64_t Kc,
                  int64_t Mr, float Alpha, EdgePack Mode, float *Buf) {
   // Column-major A: element (i, k) at A[i + k*Lda].

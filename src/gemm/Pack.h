@@ -17,10 +17,25 @@
 ///          tile).
 ///   packB: symmetric, nr-wide panels of a kc x nc block of B.
 ///
+/// Two dtype-specific families extend the layout (docs/PRECISION.md):
+///
+///   convert-pack: f16/bf16 storage upconverted to *f32 panels* with the
+///          identical layout, so the existing f32 micro-kernels consume
+///          half-precision operands unchanged (accumulation is f32 by
+///          construction — the dot-unit contract).
+///   i8 K-grouped pack: the VNNI/sdot layout. Panels group the k dimension
+///          in quads (I8KGroup): element (g, i, kk) of an A panel sits at
+///          Panel[g*mr*4 + i*4 + kk], i.e. each micro-row contributes 4
+///          consecutive k values — exactly one dot-instruction operand.
+///          Short edges and the K remainder are always zero-padded (zeros
+///          are exact in integer dot products).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GEMM_PACK_H
 #define GEMM_PACK_H
+
+#include "gemm/DType.h"
 
 #include <cstdint>
 
@@ -50,6 +65,26 @@ void packAStrided(const float *A, int64_t RowStride, int64_t ColStride,
 void packBStrided(const float *B, int64_t RowStride, int64_t ColStride,
                   int64_t Kc, int64_t Nc, int64_t Nr, float Alpha,
                   EdgePack Mode, float *Buf);
+
+/// Convert-packs for f16/bf16 storage (\p Ty selects the decoder): identical
+/// panel layout to packAStrided/packBStrided but the source elements are
+/// raw 16-bit halves upconverted to f32 (alpha applied in f32). Only the
+/// ZeroPad layout is produced — half-precision plans have no specialized
+/// edge kernels.
+void packAConvStrided(DType Ty, const uint16_t *A, int64_t RowStride,
+                      int64_t ColStride, int64_t Mc, int64_t Kc, int64_t Mr,
+                      float Alpha, float *Buf);
+void packBConvStrided(DType Ty, const uint16_t *B, int64_t RowStride,
+                      int64_t ColStride, int64_t Kc, int64_t Nc, int64_t Nr,
+                      float Alpha, float *Buf);
+
+/// K-grouped int8 packs (see file comment). Caller sizes Buf as
+/// ceil(mc/mr) * ceil(kc/4)*4 * mr bytes (resp. nc/nr). No alpha: integer
+/// scaling happens exactly at i32 copy-out, not per-element at pack time.
+void packAI8Strided(const int8_t *A, int64_t RowStride, int64_t ColStride,
+                    int64_t Mc, int64_t Kc, int64_t Mr, int8_t *Buf);
+void packBI8Strided(const int8_t *B, int64_t RowStride, int64_t ColStride,
+                    int64_t Kc, int64_t Nc, int64_t Nr, int8_t *Buf);
 
 } // namespace gemm
 

@@ -254,10 +254,17 @@ bool gemm::lookupPlanPrior(const std::string &Path, int64_t M, int64_t N,
 PlanChoice gemm::choosePlanWithDb(int64_t M, int64_t N, int64_t K,
                                   const exo::IsaLib *ForceIsa,
                                   const std::string &PriorPath, PriorDb *Db,
-                                  PlanOutcome *Outcome) {
-  // Stage 1: the autotuner's persistent prior database.
+                                  PlanOutcome *Outcome, DType Ty) {
+  // I8I32 never runs selection: the scalar dot has no vector width for the
+  // screen or the model to reason about, and neither prior stage measures
+  // integer kernels (see Planner.h).
+  if (Ty == DType::I8I32)
+    return PlanChoice::make(I8TileMR, I8TileNR, PlanSource::Model);
+
+  // Stage 1: the autotuner's persistent prior database (dtype-keyed: an
+  // f16 winner never plans a bf16 shape or vice versa).
   if (Db && Db->enabled()) {
-    if (std::optional<PriorRecord> R = Db->lookup(M, N, K)) {
+    if (std::optional<PriorRecord> R = Db->lookup(M, N, K, Ty)) {
       // The never-lose gate: the record must beat its own measured model
       // baseline, and its tile must pass the same screen as every other
       // stage. Anything else falls through to the model.
@@ -273,9 +280,10 @@ PlanChoice gemm::choosePlanWithDb(int64_t M, int64_t N, int64_t K,
     }
   }
 
-  // Stage 2: the exact-shape BENCH baseline prior.
-  std::string Path = PriorPath;
-  if (Path.empty()) {
+  // Stage 2: the exact-shape BENCH baseline prior. BENCH rows are f32
+  // measurements; half-precision shapes skip straight to the model.
+  std::string Path = Ty == DType::F32 ? PriorPath : std::string();
+  if (Path.empty() && Ty == DType::F32) {
     const char *Env = std::getenv("EXO_GEMM_PLAN_PRIOR");
     if (Env && *Env)
       Path = Env;
@@ -311,9 +319,9 @@ PlanChoice gemm::choosePlanWithDb(int64_t M, int64_t N, int64_t K,
 PlanChoice gemm::choosePlan(int64_t M, int64_t N, int64_t K,
                             const exo::IsaLib *ForceIsa,
                             const std::string &PriorPath,
-                            PlanOutcome *Outcome) {
+                            PlanOutcome *Outcome, DType Ty) {
   return choosePlanWithDb(M, N, K, ForceIsa, PriorPath, &PriorDb::global(),
-                          Outcome);
+                          Outcome, Ty);
 }
 
 int64_t gemm::batchCrossoverBytes() {
@@ -345,11 +353,20 @@ bool gemm::batchPrefersCrossItem(int64_t M, int64_t N, int64_t K,
 }
 
 std::vector<ukr::UkrConfig> gemm::planKernelFamily(int64_t M, int64_t N,
-                                                   int64_t K) {
-  PlanChoice C = choosePlan(M, N, K);
+                                                   int64_t K, DType Ty) {
+  PlanChoice C =
+      choosePlan(M, N, K, nullptr, "", nullptr, Ty);
   std::vector<ukr::UkrConfig> Out;
+  if (Ty == DType::I8I32) {
+    // The typed widening-accumulator kernel for the fixed i8 tile; no edge
+    // family (non-f32 geometries always zero-pad; Planner.h).
+    Out.push_back(ukr::shapeConfig(C.MR, C.NR, nullptr,
+                                   /*UnrollCompute=*/false,
+                                   exo::ScalarKind::I8));
+    return Out;
+  }
   Out.push_back(ukr::shapeConfig(C.MR, C.NR));
-  if (N <= 0)
+  if (Ty != DType::F32 || N <= 0)
     return Out;
   // The partial strip widths the five-loop driver will request for this
   // problem, replicating resolveEdgeKernels' enumeration over the standard

@@ -40,6 +40,7 @@
 #define GEMM_PLANNER_H
 
 #include "gemm/CacheModel.h"
+#include "gemm/DType.h"
 #include "gemm/PriorDb.h"
 #include "ukr/KernelRegistry.h"
 
@@ -123,10 +124,18 @@ pickTileForProblem(int64_t M, int64_t N, int64_t K = 0,
 /// Full selection against the process-global prior database: tuned prior,
 /// then BENCH prior (when \p PriorPath or EXO_GEMM_PLAN_PRIOR names a
 /// readable baseline), then the analytical score.
+///
+/// \p Ty threads the precision dimension through selection: f16/bf16 plans
+/// run the same f32 kernels over convert-packed panels, so they share the
+/// f32 analytical model, but their tuned priors are dtype-keyed (a winner
+/// measured under one dtype never crosses over) and the BENCH prior stage
+/// — f32 measurements — is skipped. I8I32 plans use the fixed scalar-dot
+/// tile and never consult priors.
 PlanChoice choosePlan(int64_t M, int64_t N, int64_t K,
                       const exo::IsaLib *ForceIsa = nullptr,
                       const std::string &PriorPath = "",
-                      PlanOutcome *Outcome = nullptr);
+                      PlanOutcome *Outcome = nullptr,
+                      DType Ty = DType::F32);
 
 /// As choosePlan, but against an explicit database handle; \p Db == nullptr
 /// skips the tuned stage entirely (EngineConfig::TunedPriors == false, the
@@ -134,13 +143,25 @@ PlanChoice choosePlan(int64_t M, int64_t N, int64_t K,
 PlanChoice choosePlanWithDb(int64_t M, int64_t N, int64_t K,
                             const exo::IsaLib *ForceIsa, //
                             const std::string &PriorPath, PriorDb *Db,
-                            PlanOutcome *Outcome = nullptr);
+                            PlanOutcome *Outcome = nullptr,
+                            DType Ty = DType::F32);
+
+/// The I8I32 full tile: the engine's K-grouped scalar dot has no vector
+/// width to match, so every i8 plan uses this fixed shape (scratch tile
+/// and panels stay small and L1-resident).
+inline constexpr int64_t I8TileMR = 8, I8TileNR = 8;
 
 /// Every kernel config a plan for (m, n, k) can dispatch: the chosen full
 /// tile plus the specialized edge shapes the five-loop driver will request
 /// for this problem's partial strips and short rows. What plan warm-up
 /// (Engine::warm, `ukr_cachectl warm --shape/--model`) precompiles.
-std::vector<ukr::UkrConfig> planKernelFamily(int64_t M, int64_t N, int64_t K);
+///
+/// Non-f32 dtypes never use specialized edge kernels, so their families
+/// are a single config: f16/bf16 the f32 main tile actually executed over
+/// convert-packed panels, i8 the typed widening-accumulator kernel config
+/// (the ukr-layer artifact for the engine's scalar-dot tile).
+std::vector<ukr::UkrConfig> planKernelFamily(int64_t M, int64_t N, int64_t K,
+                                             DType Ty = DType::F32);
 
 /// Best-measured tile for an exact (m, n, k) row of the baseline at
 /// \p Path: rows must carry `mr`/`nr` counters and a "higher"-is-better

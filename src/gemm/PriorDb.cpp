@@ -149,18 +149,26 @@ bool writeAtomically(const std::string &Path, const std::string &Text) {
   return true;
 }
 
-uint64_t exactKey(uint64_t Machine, int64_t M, int64_t N, int64_t K) {
+uint64_t exactKey(uint64_t Machine, int64_t M, int64_t N, int64_t K,
+                  DType Ty = DType::F32) {
   std::string S = strf("exact\x1f%016llx\x1f%lld\x1f%lld\x1f%lld",
                        static_cast<unsigned long long>(Machine),
                        static_cast<long long>(M), static_cast<long long>(N),
                        static_cast<long long>(K));
+  // F32 keys stay byte-identical to the pre-dtype scheme so existing
+  // databases keep hitting; non-f32 records live under qualified keys.
+  if (Ty != DType::F32)
+    S += strf("\x1f%s", dtypeName(Ty));
   return fnv1a64(S);
 }
 
-uint64_t classKey(uint64_t Machine, const std::string &Class) {
+uint64_t classKey(uint64_t Machine, const std::string &Class,
+                  DType Ty = DType::F32) {
   std::string S = strf("class\x1f%016llx\x1f%s",
                        static_cast<unsigned long long>(Machine),
                        Class.c_str());
+  if (Ty != DType::F32)
+    S += strf("\x1f%s", dtypeName(Ty));
   return fnv1a64(S);
 }
 
@@ -200,8 +208,12 @@ std::string gemm::formatPriorRecord(const PriorRecord &R) {
     << "machine=" << strf("%016llx", static_cast<unsigned long long>(R.Machine))
     << "\n"
     << "m=" << R.M << "\nn=" << R.N << "\nk=" << R.K << "\n"
-    << "class=" << R.Class << "\n"
-    << "isa=" << R.Isa << "\n"
+    << "class=" << R.Class << "\n";
+  // Pre-dtype readers skip unknown keys, and f32 records omit the field
+  // entirely, staying byte-identical to the v1 format.
+  if (R.Dtype != DType::F32)
+    O << "dtype=" << dtypeName(R.Dtype) << "\n";
+  O << "isa=" << R.Isa << "\n"
     << "mr=" << R.MR << "\nnr=" << R.NR << "\n"
     << "mc=" << R.MC << "\nnc=" << R.NC << "\nkc=" << R.KC << "\n"
     << "unroll=" << (R.UnrollCompute ? 1 : 0) << "\n"
@@ -248,6 +260,9 @@ Expected<PriorRecord> gemm::parsePriorRecord(const std::string &Text) {
       HasDims = ++DimSeen >= 3;
     } else if (Key == "class") {
       R.Class = Val;
+    } else if (Key == "dtype") {
+      if (!parseDType(Val, R.Dtype))
+        return errorf("prior record: bad dtype '%s'", Val.c_str());
     } else if (Key == "isa") {
       R.Isa = Val;
     } else if (Key == "mr" || Key == "nr") {
@@ -300,9 +315,10 @@ Expected<PriorRecord> gemm::parsePriorRecord(const std::string &Text) {
 ukr::UkrConfig gemm::priorRecordConfig(const PriorRecord &R) {
   // The record's ISA name is advisory (the measuring host's choice); the
   // one ISA-per-shape rule re-derives the library so the config is always
-  // executable here.
+  // executable here. The dtype rides along: a non-f32 record materializes
+  // the typed kernel config (dtypeScalarKind maps F32 to itself).
   return ukr::shapeConfig(R.MR, R.NR, /*Preferred=*/nullptr,
-                          R.UnrollCompute);
+                          R.UnrollCompute, dtypeScalarKind(R.Dtype));
 }
 
 PriorDb::PriorDb(std::string RootDir) : Root(std::move(RootDir)) {
@@ -367,13 +383,17 @@ Error PriorDb::store(const PriorRecord &In) {
   std::string Text = formatPriorRecord(R);
 
   ScopedLock Lock(Root);
-  std::string Exact = entryPath(exactKey(R.Machine, R.M, R.N, R.K), false);
+  std::string Exact =
+      entryPath(exactKey(R.Machine, R.M, R.N, R.K, R.Dtype), false);
   if (!writeAtomically(Exact, Text))
     return errorf("prior db: cannot publish %s", Exact.c_str());
 
   // Class representative: best tuned GFLOPS of the class wins. A corrupt
-  // or unreadable incumbent is simply replaced.
-  std::string ClassPath = entryPath(classKey(R.Machine, R.Class), true);
+  // or unreadable incumbent is simply replaced. Classes are dtype-keyed
+  // like exact records, so same-class shapes of different dtypes never
+  // compete.
+  std::string ClassPath =
+      entryPath(classKey(R.Machine, R.Class, R.Dtype), true);
   bool Replace = true;
   {
     std::ifstream CIn(ClassPath);
@@ -391,6 +411,11 @@ Error PriorDb::store(const PriorRecord &In) {
 
 std::optional<PriorRecord> PriorDb::lookup(int64_t M, int64_t N, int64_t K,
                                            bool *ExactOut) {
+  return lookup(M, N, K, DType::F32, ExactOut);
+}
+
+std::optional<PriorRecord> PriorDb::lookup(int64_t M, int64_t N, int64_t K,
+                                           DType Ty, bool *ExactOut) {
   if (ExactOut)
     *ExactOut = false;
   if (!enabled())
@@ -399,11 +424,13 @@ std::optional<PriorRecord> PriorDb::lookup(int64_t M, int64_t N, int64_t K,
   const uint64_t Machine = priorMachineKey();
 
   bool Saw = false;
-  if (std::optional<PriorRecord> R =
-          readChecked(entryPath(exactKey(Machine, M, N, K), false), Saw)) {
-    // The filename hash already pins machine and shape, but the content is
-    // re-verified: a hand-copied or tampered file must not slip through.
-    if (R->Machine == Machine && R->M == M && R->N == N && R->K == K) {
+  if (std::optional<PriorRecord> R = readChecked(
+          entryPath(exactKey(Machine, M, N, K, Ty), false), Saw)) {
+    // The filename hash already pins machine, shape, and dtype, but the
+    // content is re-verified: a hand-copied or tampered file must not slip
+    // through.
+    if (R->Machine == Machine && R->M == M && R->N == N && R->K == K &&
+        R->Dtype == Ty) {
       GHits.fetch_add(1, std::memory_order_relaxed);
       if (ExactOut)
         *ExactOut = true;
@@ -413,9 +440,9 @@ std::optional<PriorRecord> PriorDb::lookup(int64_t M, int64_t N, int64_t K,
   }
 
   std::string Class = priorShapeClass(M, N, K);
-  if (std::optional<PriorRecord> R =
-          readChecked(entryPath(classKey(Machine, Class), true), Saw)) {
-    if (R->Machine == Machine && R->Class == Class) {
+  if (std::optional<PriorRecord> R = readChecked(
+          entryPath(classKey(Machine, Class, Ty), true), Saw)) {
+    if (R->Machine == Machine && R->Class == Class && R->Dtype == Ty) {
       GClassHits.fetch_add(1, std::memory_order_relaxed);
       return R;
     }

@@ -46,6 +46,7 @@
 #define GEMM_PRIORDB_H
 
 #include "exo/support/Error.h"
+#include "gemm/DType.h"
 #include "ukr/KernelRegistry.h"
 
 #include <cstdint>
@@ -76,6 +77,10 @@ std::string priorShapeClass(int64_t M, int64_t N, int64_t K);
 struct PriorRecord {
   uint32_t Version = PriorDbVersion;
   uint64_t Machine = 0; ///< priorMachineKey() of the measuring host.
+  /// Element type the winner was measured under. Part of the storage key
+  /// for non-f32 records; absent from pre-dtype records, which parse as
+  /// f32 (the only dtype that existed when they were written).
+  DType Dtype = DType::F32;
   int64_t M = 0, N = 0, K = 0;
   std::string Class; ///< priorShapeClass(M, N, K), denormalized.
   std::string Isa = "portable"; ///< ISA the tuned kernel ran on (name).
@@ -151,6 +156,12 @@ public:
   /// which level hit.
   std::optional<PriorRecord> lookup(int64_t M, int64_t N, int64_t K,
                                     bool *ExactOut = nullptr);
+
+  /// Dtype-keyed variant: non-f32 records live under dtype-qualified keys,
+  /// so an f16 lookup can only ever see f16 winners (and F32 behaves
+  /// exactly like the overload above).
+  std::optional<PriorRecord> lookup(int64_t M, int64_t N, int64_t K,
+                                    DType Ty, bool *ExactOut = nullptr);
 
   struct Entry {
     PriorRecord Rec; ///< Defaults when Corrupt — must not be trusted.

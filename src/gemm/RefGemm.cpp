@@ -1,6 +1,7 @@
 //===- RefGemm.cpp --------------------------------------------------------===//
 
 #include "gemm/RefGemm.h"
+#include "gemm/Gemm.h"
 
 using namespace gemm;
 
@@ -20,5 +21,103 @@ void gemm::refSgemm(int64_t M, int64_t N, int64_t K, float Alpha,
                          : static_cast<double>(Beta) * C[I + J * Ldc];
       C[I + J * Ldc] = static_cast<float>(Alpha * Acc + Prior);
     }
+  }
+}
+
+namespace {
+
+/// op(A)(i, p) for column-major storage: the transposed operand is stored
+/// p-major, so the two index roles swap.
+template <typename T>
+inline T opA(const T *A, Trans TA, int64_t I, int64_t P, int64_t Lda) {
+  return TA == Trans::None ? A[I + P * Lda] : A[P + I * Lda];
+}
+
+template <typename T>
+inline T opB(const T *B, Trans TB, int64_t P, int64_t J, int64_t Ldb) {
+  return TB == Trans::None ? B[P + J * Ldb] : B[J + P * Ldb];
+}
+
+/// The half-precision oracle: storage bits decoded through \p Dec, double
+/// accumulate, alpha/beta in f32, one \p Enc rounding at the end.
+void refHalf(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+             float Alpha, const uint16_t *A, int64_t Lda, const uint16_t *B,
+             int64_t Ldb, float Beta, uint16_t *C, int64_t Ldc,
+             float (*Dec)(uint16_t), uint16_t (*Enc)(float)) {
+  for (int64_t J = 0; J < N; ++J)
+    for (int64_t I = 0; I < M; ++I) {
+      double Acc = 0.0;
+      for (int64_t P = 0; P < K; ++P)
+        Acc += static_cast<double>(Dec(opA(A, TA, I, P, Lda))) *
+               Dec(opB(B, TB, P, J, Ldb));
+      double Prior = Beta == 0.0f ? 0.0
+                                  : static_cast<double>(Beta) *
+                                        Dec(C[I + J * Ldc]);
+      C[I + J * Ldc] = Enc(static_cast<float>(
+          static_cast<double>(Alpha) * Acc + Prior));
+    }
+}
+
+} // namespace
+
+void gemm::refGemmT(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N,
+                    int64_t K, double Alpha, const void *A, int64_t Lda,
+                    const void *B, int64_t Ldb, double Beta, void *C,
+                    int64_t Ldc) {
+  switch (Ty) {
+  case DType::F32:
+    for (int64_t J = 0; J < N; ++J)
+      for (int64_t I = 0; I < M; ++I) {
+        const float *Af = static_cast<const float *>(A);
+        const float *Bf = static_cast<const float *>(B);
+        float *Cf = static_cast<float *>(C);
+        double Acc = 0.0;
+        for (int64_t P = 0; P < K; ++P)
+          Acc += static_cast<double>(opA(Af, TA, I, P, Lda)) *
+                 opB(Bf, TB, P, J, Ldb);
+        double Prior =
+            Beta == 0.0 ? 0.0 : Beta * Cf[I + J * Ldc];
+        Cf[I + J * Ldc] = static_cast<float>(Alpha * Acc + Prior);
+      }
+    return;
+  case DType::F16:
+    refHalf(TA, TB, M, N, K, static_cast<float>(Alpha),
+            static_cast<const uint16_t *>(A), Lda,
+            static_cast<const uint16_t *>(B), Ldb,
+            static_cast<float>(Beta), static_cast<uint16_t *>(C), Ldc,
+            f16ToF32, f32ToF16);
+    return;
+  case DType::BF16:
+    refHalf(TA, TB, M, N, K, static_cast<float>(Alpha),
+            static_cast<const uint16_t *>(A), Lda,
+            static_cast<const uint16_t *>(B), Ldb,
+            static_cast<float>(Beta), static_cast<uint16_t *>(C), Ldc,
+            bf16ToF32, f32ToBf16);
+    return;
+  case DType::I8I32: {
+    const int8_t *Ai = static_cast<const int8_t *>(A);
+    const int8_t *Bi = static_cast<const int8_t *>(B);
+    int32_t *Ci = static_cast<int32_t *>(C);
+    // All arithmetic detours through uint32_t: i32 overflow is undefined
+    // in C++, but the engine's contract is two's-complement wraparound.
+    const uint32_t AlphaU = static_cast<uint32_t>(
+        static_cast<int32_t>(static_cast<int64_t>(Alpha)));
+    const uint32_t BetaU = static_cast<uint32_t>(
+        static_cast<int32_t>(static_cast<int64_t>(Beta)));
+    for (int64_t J = 0; J < N; ++J)
+      for (int64_t I = 0; I < M; ++I) {
+        uint32_t Acc = 0;
+        for (int64_t P = 0; P < K; ++P)
+          Acc += static_cast<uint32_t>(
+              static_cast<int32_t>(opA(Ai, TA, I, P, Lda)) *
+              static_cast<int32_t>(opB(Bi, TB, P, J, Ldb)));
+        uint32_t Prior =
+            Beta == 0.0
+                ? 0u
+                : BetaU * static_cast<uint32_t>(Ci[I + J * Ldc]);
+        Ci[I + J * Ldc] = static_cast<int32_t>(AlphaU * Acc + Prior);
+      }
+    return;
+  }
   }
 }

@@ -13,9 +13,13 @@
 #ifndef GEMM_REFGEMM_H
 #define GEMM_REFGEMM_H
 
+#include "gemm/DType.h"
+
 #include <cstdint>
 
 namespace gemm {
+
+enum class Trans : uint8_t; // Gemm.h
 
 /// C = alpha * A * B + beta * C with column-major operands: A is m x k
 /// (leading dimension Lda), B is k x n, C is m x n. Beta == 0 overwrites C
@@ -23,6 +27,23 @@ namespace gemm {
 void refSgemm(int64_t M, int64_t N, int64_t K, float Alpha, const float *A,
               int64_t Lda, const float *B, int64_t Ldb, float Beta, float *C,
               int64_t Ldc);
+
+/// Typed reference mirroring Engine::gemm's per-dtype contract
+/// (docs/PRECISION.md): operands are raw storage in \p Ty's element types,
+/// C = alpha * op(A) * op(B) + beta * C with per-operand transposition.
+///
+///   F32    double accumulate, one rounding to f32 (refSgemm semantics).
+///   F16    inputs upconverted via f16ToF32, double accumulate, alpha/beta
+///   BF16   in f32, one RNE rounding to storage at the end. The engine
+///          rounds once per Kc depth block instead, so comparisons against
+///          this oracle are ULP-bounded, not bitwise.
+///   I8I32  exact: i32 accumulate with two's-complement wraparound,
+///          integer alpha/beta — the engine must match bitwise.
+///
+/// Beta == 0 overwrites C without reading it, as above.
+void refGemmT(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
+              double Alpha, const void *A, int64_t Lda, const void *B,
+              int64_t Ldb, double Beta, void *C, int64_t Ldc);
 
 } // namespace gemm
 

@@ -174,6 +174,11 @@ Expected<TuneResult> tuneShape(int64_t M, int64_t N, int64_t K,
     return errorf("tune: degenerate shape %lldx%lldx%lld",
                   static_cast<long long>(M), static_cast<long long>(N),
                   static_cast<long long>(K));
+  if (O.Dtype == DType::I8I32)
+    return errorf("tune: i8 plans use the fixed %lldx%lld scalar-dot tile; "
+                  "there is no schedule space to search",
+                  static_cast<long long>(I8TileMR),
+                  static_cast<long long>(I8TileNR));
   if (!Db)
     Db = &PriorDb::global();
 
@@ -230,6 +235,7 @@ Expected<TuneResult> tuneShape(int64_t M, int64_t N, int64_t K,
   const double Gate = R.ModelGflops * (1.0 + std::max(0.0, O.MinMargin));
   if (!BestIsModel && R.Best.Gflops > Gate) {
     PriorRecord Rec;
+    Rec.Dtype = O.Dtype;
     Rec.M = M;
     Rec.N = N;
     Rec.K = K;

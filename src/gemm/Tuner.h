@@ -65,6 +65,13 @@ struct TuneOptions {
   /// Restrict candidate tiles to this library's vector width (nullptr:
   /// every host-admissible tile).
   const exo::IsaLib *Isa = nullptr;
+  /// Element type the stored record is keyed under. Measurements always
+  /// run the f32 engine path: for f16/bf16 that is the very code a typed
+  /// plan executes (f32 kernels over convert-packed panels — pack overhead
+  /// differs, kernel choice does not), so the measured tile ranking
+  /// transfers, and the record only ever feeds plans of this dtype.
+  /// I8I32 is rejected by tuneShape (fixed tile; nothing to search).
+  DType Dtype = DType::F32;
 };
 
 /// Defaults overridden by EXO_TUNE_BUDGET / EXO_TUNE_SECONDS /

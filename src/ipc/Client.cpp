@@ -9,6 +9,7 @@
 #include "exo/support/Env.h"
 #include "obs/Obs.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +53,16 @@ void copyIn(float *Dst, const float *Src, int64_t Rows, int64_t Cols,
   for (int64_t J = 0; J != Cols; ++J)
     std::memcpy(Dst + J * Rows, Src + J * SrcLd,
                 static_cast<size_t>(Rows) * sizeof(float));
+}
+
+/// Byte-typed copyIn for the dtype-generic path: column strides are in
+/// elements of \p Elem bytes, exactly like the f32 overload.
+void copyInBytes(unsigned char *Dst, const unsigned char *Src, int64_t Rows,
+                 int64_t Cols, int64_t SrcLd, uint64_t Elem) {
+  for (int64_t J = 0; J != Cols; ++J)
+    std::memcpy(Dst + static_cast<uint64_t>(J * Rows) * Elem,
+                Src + static_cast<uint64_t>(J * SrcLd) * Elem,
+                static_cast<size_t>(Rows) * Elem);
 }
 
 } // namespace
@@ -272,6 +283,132 @@ Error Client::sgemm(Trans TA, Trans TB, int64_t M, int64_t N, int64_t K,
     for (int64_t J = 0; J != N; ++J)
       std::memcpy(C + J * Ldc, Src + J * M,
                   static_cast<size_t>(M) * sizeof(float));
+  }
+  ++RequestsOk;
+  return Error::success();
+}
+
+Error Client::gemm(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N,
+                   int64_t K, double Alpha, const void *A, int64_t Lda,
+                   const void *B, int64_t Ldb, double Beta, void *C,
+                   int64_t Ldc) {
+  // The f32 door is the untyped path, byte for byte (DTy stays 0 on the
+  // wire, matching every pre-v3 client packet).
+  if (Ty == DType::F32)
+    return sgemm(TA, TB, M, N, K, static_cast<float>(Alpha),
+                 static_cast<const float *>(A), Lda,
+                 static_cast<const float *>(B), Ldb,
+                 static_cast<float>(Beta), static_cast<float *>(C), Ldc);
+  if (M < 0 || N < 0 || K < 0)
+    return errorf("gemmd client: negative dimension");
+  // The wire carries alpha/beta as f32; refuse anything that would be
+  // silently rounded in transit. For I8I32 the engine additionally
+  // requires exact integers — check here too so the diagnostic names the
+  // caller instead of costing a round trip.
+  if (static_cast<double>(static_cast<float>(Alpha)) != Alpha ||
+      static_cast<double>(static_cast<float>(Beta)) != Beta)
+    return errorf("gemmd client: alpha/beta must be exactly representable "
+                  "as f32 (the wire carries them as f32)");
+  if (Ty == DType::I8I32 &&
+      (Alpha != std::nearbyint(Alpha) || Beta != std::nearbyint(Beta)))
+    return errorf("gemmd client: i8 gemm requires integer alpha/beta");
+  // Degenerate quick returns stay local, mirroring Engine::gemm exactly.
+  if (M == 0 || N == 0)
+    return Error::success();
+  if (K == 0 || Alpha == 0.0) {
+    detail::scaleByBetaTyped(Ty, M, N, Beta, C, Ldc);
+    return Error::success();
+  }
+  const int64_t ARows = TA == Trans::None ? M : K;
+  const int64_t ACols = TA == Trans::None ? K : M;
+  const int64_t BRows = TB == Trans::None ? K : N;
+  const int64_t BCols = TB == Trans::None ? N : K;
+  if (Lda < ARows || Ldb < BRows || Ldc < M)
+    return errorf("gemmd client: leading dimension smaller than rows");
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Error E = ensureConnectedLocked())
+    return E;
+
+  // Stage compactly at the dtype's own element sizes (A/B storage
+  // elements, i32 for an i8 request's C), 64-byte aligned like sgemm.
+  const uint64_t InB = dtypeInBytes(Ty);
+  const uint64_t OutB = dtypeOutBytes(Ty);
+  auto Align = [](uint64_t X) { return (X + 63) & ~uint64_t{63}; };
+  const uint64_t ABytes =
+      static_cast<uint64_t>(ARows) * static_cast<uint64_t>(ACols) * InB;
+  const uint64_t BBytes =
+      static_cast<uint64_t>(BRows) * static_cast<uint64_t>(BCols) * InB;
+  const uint64_t CBytes =
+      static_cast<uint64_t>(M) * static_cast<uint64_t>(N) * OutB;
+  const uint64_t OffA = 0;
+  const uint64_t OffB = Align(ABytes);
+  const uint64_t OffC = Align(OffB + BBytes);
+  const uint64_t Need = OffC + CBytes;
+  if (Need > Layout.ArenaBytes)
+    return errorf("gemmd client: %lldx%lldx%lld (%s) needs %llu arena bytes "
+                  "but the session has %llu — raise EXO_GEMMD_SHM_BYTES",
+                  static_cast<long long>(M), static_cast<long long>(N),
+                  static_cast<long long>(K), dtypeName(Ty),
+                  static_cast<unsigned long long>(Need),
+                  static_cast<unsigned long long>(Layout.ArenaBytes));
+
+  EXO_OBS_SPAN("gemmd.client.call");
+  unsigned char *Arena = Shm.at(Layout.ArenaOff);
+  {
+    EXO_OBS_SPAN("gemmd.client.stage");
+    copyInBytes(Arena + OffA, static_cast<const unsigned char *>(A), ARows,
+                ACols, Lda, InB);
+    copyInBytes(Arena + OffB, static_cast<const unsigned char *>(B), BRows,
+                BCols, Ldb, InB);
+    if (Beta != 0.0)
+      copyInBytes(Arena + OffC, static_cast<const unsigned char *>(C), M, N,
+                  Ldc, OutB);
+  }
+
+  ipc::GemmRequestMsg Req;
+  Req.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmRequest);
+  Req.H.Seq = ++Seq;
+  Req.H.Bytes = sizeof(Req);
+  Req.TA = TA == Trans::Transpose;
+  Req.TB = TB == Trans::Transpose;
+  Req.DTy = static_cast<uint8_t>(Ty);
+  Req.Alpha = static_cast<float>(Alpha);
+  Req.Beta = static_cast<float>(Beta);
+  Req.M = M;
+  Req.N = N;
+  Req.K = K;
+  Req.OffA = OffA;
+  Req.OffB = OffB;
+  Req.OffC = OffC;
+  Req.Lda = ARows;
+  Req.Ldb = BRows;
+  Req.Ldc = M;
+
+  alignas(8) unsigned char ReplyBuf[ipc::SlotBytes];
+  if (Error E = transactLocked(&Req, sizeof(Req), ReplyBuf,
+                               ipc::PacketType::GemmReply, Req.H.Seq))
+    return E;
+  ipc::GemmReplyMsg Reply;
+  std::memcpy(&Reply, ReplyBuf, sizeof(Reply));
+  LastFlags = Reply.Flags;
+  switch (static_cast<ipc::ReqStatus>(Reply.Status)) {
+  case ipc::ReqStatus::Ok:
+    break;
+  case ipc::ReqStatus::Busy:
+    return errorf("gemmd: server busy (admission queue full)");
+  default:
+    return errorf("gemmd: %.*s", static_cast<int>(sizeof(Reply.Err)),
+                  Reply.Err[0] ? Reply.Err : "request failed");
+  }
+  {
+    EXO_OBS_SPAN("gemmd.client.collect");
+    const unsigned char *Src = Arena + OffC;
+    unsigned char *Dst = static_cast<unsigned char *>(C);
+    for (int64_t J = 0; J != N; ++J)
+      std::memcpy(Dst + static_cast<uint64_t>(J * Ldc) * OutB,
+                  Src + static_cast<uint64_t>(J * M) * OutB,
+                  static_cast<size_t>(M) * OutB);
   }
   ++RequestsOk;
   return Error::success();

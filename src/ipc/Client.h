@@ -77,6 +77,21 @@ public:
                    float Alpha, const float *A, int64_t Lda, const float *B,
                    int64_t Ldb, float Beta, float *C, int64_t Ldc);
 
+  /// Typed remote GEMM, call-compatible with Engine::gemm (wire v3):
+  /// operands are raw element buffers of \p Ty's storage types (f32 floats,
+  /// f16/bf16 uint16 halves, i8 A/B with i32 C) and the dtype byte rides
+  /// the request packet so the server re-validates the arena spans at the
+  /// right element sizes. F32 routes through sgemm() and stays bitwise
+  /// identical to the untyped path. Alpha/beta cross the wire as f32, so
+  /// they must be exactly representable in f32 (for I8I32 they must also
+  /// be integers — both enforced client-side so the error names the caller
+  /// rather than costing a round trip). Degenerate calls resolve locally
+  /// through the same scaleByBetaTyped path the Engine uses.
+  exo::Error gemm(DType Ty, Trans TA, Trans TB, int64_t M, int64_t N,
+                  int64_t K, double Alpha, const void *A, int64_t Lda,
+                  const void *B, int64_t Ldb, double Beta, void *C,
+                  int64_t Ldc);
+
   exo::Error sgemm(int64_t M, int64_t N, int64_t K, float Alpha,
                    const float *A, int64_t Lda, const float *B, int64_t Ldb,
                    float Beta, float *C, int64_t Ldc) {

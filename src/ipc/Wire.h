@@ -40,7 +40,10 @@ namespace ipc {
 inline constexpr uint32_t WireMagic = 0x31444D47;
 /// Bumped on any layout or semantics change; no cross-version service.
 /// v2: batched GEMM (GemmBatchRequest/GemmBatchReply packets).
-inline constexpr uint16_t WireVersion = 2;
+/// v3: dtype rides GemmRequestMsg (DTy, in the former pad byte — the
+///     struct layout is unchanged but a v2 server would silently run a
+///     typed request as f32, so the version must gate it).
+inline constexpr uint16_t WireVersion = 3;
 
 /// Ring slot size. Every packet (header + payload) must fit one slot;
 /// StatsReply is the widest packet and sizes it.
@@ -131,10 +134,17 @@ static_assert(std::is_trivially_copyable_v<PacketHeader>);
 /// arena base; operands use the same column-major convention as
 /// Engine::sgemm (with TA != 0, A is stored K x M with Lda >= K, and
 /// symmetrically for B).
+///
+/// v3: DTy selects the element type (gemm::DType values: 0 f32, 1 f16,
+/// 2 bf16, 3 i8->i32) and the server re-validates every arena span at that
+/// dtype's element sizes (A/B at dtypeInBytes, C at dtypeOutBytes). For
+/// I8I32, Alpha/Beta must hold exact integers. Zero — the old pad byte's
+/// only legal value — is f32, so a v2-era packet body reads as f32.
 struct GemmRequestMsg {
   PacketHeader H;
   uint8_t TA = 0, TB = 0; ///< 0 = none, 1 = transpose
-  uint16_t Pad0 = 0;
+  uint8_t DTy = 0;        ///< gemm::DType; 0 = f32
+  uint8_t Pad0 = 0;
   float Alpha = 1.0f;
   float Beta = 0.0f;
   int64_t M = 0, N = 0, K = 0;
@@ -155,7 +165,10 @@ static_assert(std::is_trivially_copyable_v<GemmRequestMsg>);
 struct GemmBatchRequestMsg {
   PacketHeader H;
   uint8_t TA = 0, TB = 0; ///< 0 = none, 1 = transpose
-  uint16_t Pad0 = 0;
+  /// Batches stay f32-only in v3 (the batched engine path is f32); a
+  /// non-zero value is rejected with ReqStatus::Bad. Reserved for v4.
+  uint8_t DTy = 0;
+  uint8_t Pad0 = 0;
   float Alpha = 1.0f;
   float Beta = 0.0f;
   int64_t M = 0, N = 0, K = 0;

@@ -34,6 +34,11 @@ using MicroKernelAxpbyF32 = void (*)(int64_t KC, int64_t Ldc,
                                      const float *Bc, const float *Beta,
                                      float *C);
 
+/// ABI of widened int8 kernels (UkrConfig::WidenAcc with Ty == i8): the C
+/// tile is int32 and accumulation wraps around in two's complement.
+using MicroKernelI8I32 = void (*)(int64_t KC, int64_t Ldc, const int8_t *Ac,
+                                  const int8_t *Bc, int32_t *C);
+
 /// A generated, compiled, callable kernel.
 struct Kernel {
   UkrConfig Cfg;
@@ -44,6 +49,8 @@ struct Kernel {
   MicroKernelF32 Fn = nullptr;
   /// Set instead of Fn for GeneralAlphaBeta configurations.
   MicroKernelAxpbyF32 FnAxpby = nullptr;
+  /// Set instead of Fn for widened int8 configurations.
+  MicroKernelI8I32 FnI8 = nullptr;
   /// True for the portable reference stand-in KernelService::tryGet hands
   /// out while the specialized kernel is still compiling.
   bool IsFallback = false;
@@ -78,16 +85,20 @@ private:
 /// \p MR; nullptr when none does (the scalar fallback case).
 const exo::IsaLib *bestIsaForMr(int64_t MR);
 
-/// The one ISA-per-shape selection rule: the UkrConfig for an Mr x Nr f32
-/// tile, with \p Preferred used unconditionally when non-null and the
-/// widest dividing host ISA (bestIsaForMr) otherwise; a shape no vector
-/// library divides degrades to the scalar FMA style. Every layer that
-/// turns a tile shape into a config — ExoProvider's kernel memo, the
-/// Engine planner, `ukr_cachectl warm`'s shape family, the ablation
-/// benches — must route through here so they agree on the selection.
+/// The one ISA-per-shape selection rule: the UkrConfig for an Mr x Nr tile
+/// of element kind \p Ty, with \p Preferred used unconditionally when
+/// non-null and the widest dividing host ISA (bestIsaForMr) otherwise; a
+/// shape no vector library divides degrades to the scalar FMA style. For
+/// non-f32 kinds the preferred ISA is kept only when it supports the kind,
+/// and i8/bf16 configs accumulate widened (WidenAcc, the dot-unit
+/// contract). Every layer that turns a tile shape into a config —
+/// ExoProvider's kernel memo, the Engine planner, `ukr_cachectl warm`'s
+/// shape family, the ablation benches — must route through here so they
+/// agree on the selection.
 UkrConfig shapeConfig(int64_t Mr, int64_t Nr,
                       const exo::IsaLib *Preferred = nullptr,
-                      bool UnrollCompute = false);
+                      bool UnrollCompute = false,
+                      exo::ScalarKind Ty = exo::ScalarKind::F32);
 
 } // namespace ukr
 

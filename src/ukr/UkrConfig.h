@@ -53,9 +53,18 @@ struct UkrConfig {
   /// kernel of Fig. 5. The compute core is vectorized identically; the
   /// scaling nests remain scalar C, as the paper leaves them.
   bool GeneralAlphaBeta = false;
+  /// Accumulate into the widened kind `exo::dotAccumKind(Ty)` instead of Ty
+  /// itself: the C tile parameter is typed i32 for i8 inputs and f32 for
+  /// bf16 inputs (the dot-product-unit convention). Same-type kinds are
+  /// unaffected. Widened kernels are scheduled scalar — the plain-FMA
+  /// vector schedules assume one element type throughout.
+  bool WidenAcc = false;
 
   /// Style after resolving Auto against the ISA and MR.
   FmaStyle effectiveStyle() const;
+
+  /// The kind the C tile is typed with (dotAccumKind(Ty) under WidenAcc).
+  exo::ScalarKind accKind() const;
 
   /// Stable identifier, e.g. "uk_8x12_f32_portable_lane".
   std::string kernelName() const;

@@ -24,8 +24,17 @@ const char *ukr::fmaStyleName(FmaStyle S) {
   return "?";
 }
 
+exo::ScalarKind UkrConfig::accKind() const {
+  return WidenAcc ? dotAccumKind(Ty) : Ty;
+}
+
 FmaStyle UkrConfig::effectiveStyle() const {
   if (Style == FmaStyle::Scalar)
+    return FmaStyle::Scalar;
+  // Widened accumulation mixes two element types; the plain-FMA vector
+  // schedules stage everything in one register kind, so only the scalar
+  // schedule is type-correct for it today.
+  if (WidenAcc && accKind() != Ty)
     return FmaStyle::Scalar;
   if (!Isa || !Isa->supports(Ty))
     return FmaStyle::Scalar;
@@ -64,6 +73,8 @@ std::string UkrConfig::kernelName() const {
     Name += "_full";
   if (GeneralAlphaBeta)
     Name += "_axpby";
+  if (WidenAcc && accKind() != Ty)
+    Name += strf("_%sacc", scalarKindName(accKind()));
   return Name;
 }
 
@@ -278,8 +289,13 @@ Expected<UkrResult> ukr::generateUkernel(const UkrConfig &Cfg,
   R.Cfg = Cfg;
   R.Style = Cfg.effectiveStyle();
 
+  if (Cfg.GeneralAlphaBeta && Cfg.WidenAcc && Cfg.accKind() != Cfg.Ty)
+    return errorf("generate_ukernel: WidenAcc is not defined for the "
+                  "general alpha/beta spec (alpha/beta scale in storage "
+                  "type)");
+
   Proc Ref = Cfg.GeneralAlphaBeta ? makeUkernelRefFull(Cfg.Ty)
-                                  : makeUkernelRef(Cfg.Ty);
+                                  : makeUkernelRef(Cfg.Ty, Cfg.accKind());
   CoreBufs Bufs;
   if (Cfg.GeneralAlphaBeta) {
     Bufs.C = "Cb";

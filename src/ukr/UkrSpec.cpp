@@ -6,7 +6,9 @@
 
 using namespace exo;
 
-Proc ukr::makeUkernelRef(ScalarKind Ty) {
+Proc ukr::makeUkernelRef(ScalarKind Ty) { return makeUkernelRef(Ty, Ty); }
+
+Proc ukr::makeUkernelRef(ScalarKind Ty, ScalarKind CTy) {
   ProcBuilder B("ukernel_ref");
   ExprPtr MR = B.sizeParam("MR");
   ExprPtr NR = B.sizeParam("NR");
@@ -14,7 +16,7 @@ Proc ukr::makeUkernelRef(ScalarKind Ty) {
   ExprPtr Ldc = B.sizeParam("ldc");
   B.tensorParam("Ac", Ty, {KC, MR}, MemSpace::dram(), /*Mutable=*/false);
   B.tensorParam("Bc", Ty, {KC, NR}, MemSpace::dram(), /*Mutable=*/false);
-  B.tensorParam("C", Ty, {NR, MR}, MemSpace::dram(), /*Mutable=*/true,
+  B.tensorParam("C", CTy, {NR, MR}, MemSpace::dram(), /*Mutable=*/true,
                 /*LeadStrideVar=*/"ldc");
   B.precond(BinOpExpr::make(BinOpExpr::Op::Ge, Ldc, MR));
 

@@ -24,13 +24,17 @@ namespace ukr {
 ///
 /// \code
 ///   def ukernel_ref(MR: size, NR: size, KC: size, ldc: size,
-///                   Ac: ty[KC, MR], Bc: ty[KC, NR], C: ty[NR, MR] @ ldc):
+///                   Ac: ty[KC, MR], Bc: ty[KC, NR], C: cty[NR, MR] @ ldc):
 ///       for k in seq(0, KC):
 ///           for j in seq(0, NR):
 ///               for i in seq(0, MR):
 ///                   C[j, i] += Ac[k, i] * Bc[k, j]
 /// \endcode
 exo::Proc makeUkernelRef(exo::ScalarKind Ty = exo::ScalarKind::F32);
+
+/// Same spec with a separate C (accumulator) kind \p CTy — i8 inputs into an
+/// i32 tile, bf16 inputs into an f32 tile (the dot-product-unit contract).
+exo::Proc makeUkernelRef(exo::ScalarKind Ty, exo::ScalarKind CTy);
 
 /// The general alpha/beta specification (paper Fig. 4) with the Cb and Ba
 /// staging buffers: Cb = C * beta; Ba = Bc * alpha; Cb += Ac x Ba; C = Cb.

@@ -610,6 +610,139 @@ TEST(GemmdAdmission, MaxClientsEnforced) {
 // Lifecycle hygiene
 //===----------------------------------------------------------------------===//
 
+//===----------------------------------------------------------------------===//
+// Wire v3: the precision dimension over the wire (docs/PRECISION.md)
+//===----------------------------------------------------------------------===//
+
+/// One typed problem remotely and locally; the engine's typed executor is
+/// deterministic for a fixed plan, and both sides plan on the same
+/// machine, so C must match bitwise for every dtype.
+void expectTypedRoundTrip(gemm::Client &Remote, gemm::Engine &Local,
+                          gemm::DType Ty, int64_t M, int64_t N, int64_t K,
+                          double Alpha, double Beta, unsigned Seed) {
+  const unsigned InB = gemm::dtypeInBytes(Ty);
+  const unsigned OutB = gemm::dtypeOutBytes(Ty);
+  std::vector<unsigned char> A(M * K * InB), B(K * N * InB),
+      C0(M * N * OutB);
+  std::mt19937 Rng(Seed);
+  auto FillIn = [&](std::vector<unsigned char> &V) {
+    if (Ty == gemm::DType::I8I32) {
+      for (unsigned char &X : V)
+        X = static_cast<unsigned char>(Rng());
+      return;
+    }
+    std::uniform_real_distribution<float> D(-1.0f, 1.0f);
+    auto *H = reinterpret_cast<uint16_t *>(V.data());
+    for (size_t X = 0; X != V.size() / 2; ++X)
+      H[X] = Ty == gemm::DType::F16 ? gemm::f32ToF16(D(Rng))
+                                    : gemm::f32ToBf16(D(Rng));
+  };
+  FillIn(A);
+  FillIn(B);
+  std::vector<unsigned char> CR = C0, CL = C0;
+  Error ER = Remote.gemm(Ty, gemm::Trans::None, gemm::Trans::None, M, N, K,
+                         Alpha, A.data(), M, B.data(), K, Beta, CR.data(),
+                         M);
+  ASSERT_FALSE(ER) << ER.message();
+  Error EL = Local.gemm(Ty, gemm::Trans::None, gemm::Trans::None, M, N, K,
+                        Alpha, A.data(), M, B.data(), K, Beta, CL.data(),
+                        M);
+  ASSERT_FALSE(EL) << EL.message();
+  EXPECT_EQ(0, std::memcmp(CR.data(), CL.data(), CR.size()))
+      << gemm::dtypeName(Ty) << " " << M << "x" << N << "x" << K
+      << " diverged over the wire";
+}
+
+TEST(GemmdPrecision, TypedRoundTripMatchesLocalBitwise) {
+  ServerFixture F;
+  gemm::Client Remote(F.clientOpts());
+  gemm::Engine Local;
+  unsigned Seed = 500;
+  for (gemm::DType Ty :
+       {gemm::DType::F16, gemm::DType::BF16, gemm::DType::I8I32}) {
+    expectTypedRoundTrip(Remote, Local, Ty, 17, 13, 19, 1.0, 0.0, Seed++);
+    expectTypedRoundTrip(Remote, Local, Ty, 40, 24, 32, 1.0,
+                         Ty == gemm::DType::I8I32 ? 2.0 : 0.0, Seed++);
+  }
+}
+
+TEST(GemmdPrecision, ClientRejectsUnrepresentableScalesLocally) {
+  ServerFixture F;
+  gemm::Client Remote(F.clientOpts());
+  std::vector<int8_t> A(16, 1), B(16, 1);
+  std::vector<int32_t> C(16, 0);
+  // Fractional i8 scale: refused before anything crosses the wire.
+  EXPECT_TRUE(bool(Remote.gemm(gemm::DType::I8I32, gemm::Trans::None,
+                               gemm::Trans::None, 4, 4, 4, 0.5, A.data(), 4,
+                               B.data(), 4, 0.0, C.data(), 4)));
+  // Alpha that doesn't survive the wire's f32: likewise refused.
+  std::vector<uint16_t> Ah(16, 0), Bh(16, 0), Ch(16, 0);
+  EXPECT_TRUE(bool(Remote.gemm(gemm::DType::F16, gemm::Trans::None,
+                               gemm::Trans::None, 4, 4, 4, 1.0000000001,
+                               Ah.data(), 4, Bh.data(), 4, 0.0, Ch.data(),
+                               4)));
+}
+
+TEST(GemmdPrecision, UnknownDtypeRejectedNotFatal) {
+  ServerFixture F;
+  RawSession S;
+  ASSERT_FALSE(S.connect(F.Opts.SocketPath));
+  ASSERT_TRUE(S.admitted());
+  ipc::GemmRequestMsg Q;
+  Q.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmRequest);
+  Q.H.Seq = 21;
+  Q.H.Bytes = sizeof(Q);
+  Q.M = Q.N = Q.K = 8;
+  Q.Lda = Q.Ldb = Q.Ldc = 8;
+  Q.OffB = 1024;
+  Q.OffC = 2048;
+  Q.DTy = 7; // not a gemm::DType
+  ASSERT_FALSE(S.post(&Q, sizeof(Q)));
+  alignas(8) unsigned char Slot[ipc::SlotBytes];
+  ASSERT_FALSE(S.nextReply(Slot));
+  ipc::GemmReplyMsg Rep;
+  std::memcpy(&Rep, Slot, sizeof(Rep));
+  EXPECT_EQ(static_cast<int32_t>(ipc::ReqStatus::Bad), Rep.Status);
+  // Session survives; the same packet with a valid dtype answers Ok.
+  Q.DTy = static_cast<uint8_t>(gemm::DType::I8I32);
+  Q.H.Seq = 22;
+  ASSERT_FALSE(S.post(&Q, sizeof(Q)));
+  ASSERT_FALSE(S.nextReply(Slot));
+  std::memcpy(&Rep, Slot, sizeof(Rep));
+  EXPECT_EQ(static_cast<int32_t>(ipc::ReqStatus::Ok), Rep.Status);
+}
+
+TEST(GemmdPrecision, BatchDtypeRejectedInWireV3) {
+  ServerFixture F;
+  RawSession S;
+  ASSERT_FALSE(S.connect(F.Opts.SocketPath));
+  ASSERT_TRUE(S.admitted());
+  ipc::GemmBatchRequestMsg Q;
+  Q.H.Type = static_cast<uint16_t>(ipc::PacketType::GemmBatchRequest);
+  Q.H.Seq = 31;
+  Q.H.Bytes = sizeof(Q);
+  Q.M = Q.N = Q.K = 8;
+  Q.Lda = Q.Ldb = Q.Ldc = 8;
+  Q.StrideA = Q.StrideB = Q.StrideC = 64;
+  Q.OffB = 1024;
+  Q.OffC = 2048;
+  Q.BatchCount = 2;
+  Q.DTy = static_cast<uint8_t>(gemm::DType::F16); // reserved until v4
+  ASSERT_FALSE(S.post(&Q, sizeof(Q)));
+  alignas(8) unsigned char Slot[ipc::SlotBytes];
+  ASSERT_FALSE(S.nextReply(Slot));
+  ipc::GemmReplyMsg Rep;
+  std::memcpy(&Rep, Slot, sizeof(Rep));
+  EXPECT_EQ(static_cast<int32_t>(ipc::ReqStatus::Bad), Rep.Status);
+  // f32 batches on the same session still work.
+  Q.DTy = 0;
+  Q.H.Seq = 32;
+  ASSERT_FALSE(S.post(&Q, sizeof(Q)));
+  ASSERT_FALSE(S.nextReply(Slot));
+  std::memcpy(&Rep, Slot, sizeof(Rep));
+  EXPECT_EQ(static_cast<int32_t>(ipc::ReqStatus::Ok), Rep.Status);
+}
+
 TEST(GemmdLifecycle, StopClosesSessionsAndUnlinksSocket) {
   auto F = std::make_unique<ServerFixture>();
   std::string Path = F->Opts.SocketPath;

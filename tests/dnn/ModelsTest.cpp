@@ -62,6 +62,26 @@ TEST(ModelsTest, FlopCounts) {
   EXPECT_DOUBLE_EQ(G.flops(), 2.0 * 12544 * 64 * 147);
 }
 
+TEST(ModelsTest, QuantizedScenarioRunsEndToEnd) {
+  // The --int8 serving scenario on a trimmed table (real ragged shapes,
+  // sizes kept test-friendly): every layer must flow through
+  // Engine::gemm(I8I32) and dequantize to within quantization noise of
+  // the f32 result. A large error here means the i8 pack/kernel path is
+  // broken — with inputs in [-1, 1) the noise itself is well under 5e-2.
+  const std::vector<LayerGemm> Small = {
+      {1, "t1", 1, 49, 64, 147},
+      {2, "t2", 1, 31, 33, 129},
+      {3, "t3", 2, 196, 256, 64},
+  };
+  gemm::Engine E;
+  exo::Expected<QuantModelResult> R = runModelQuantized(E, Small, 7);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.takeError().message();
+  ASSERT_EQ(R->Layers.size(), 3u);
+  for (const QuantLayerResult &L : R->Layers)
+    EXPECT_LT(L.RelErr, 0.05) << "layer " << L.Id;
+  EXPECT_GT(R->Ops, 0);
+}
+
 TEST(ModelsTest, ShapesAreEdgeRich) {
   // The point of §IV-C: most DL shapes are not multiples of the 8x12
   // flagship tile — count them to document the premise.

@@ -1,0 +1,299 @@
+//===- PrecisionTest.cpp - The precision dimension end to end -------------===//
+//
+// Differential coverage for Engine::gemm's dtype axis (docs/PRECISION.md):
+// every dtype, both transposes, team sizes {1, 4}, against the typed
+// reference refGemmT. The comparison discipline follows the accumulation
+// contract: I8I32 and F32 are exact (bitwise / same-rounding), f16 and
+// bf16 are ULP-bounded because the engine rounds C to storage once per Kc
+// depth block while the oracle rounds once at the end. The f32 door is
+// additionally pinned bitwise against Engine::sgemm — the refactor's
+// "nothing moved for f32" guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gemm/DType.h"
+#include "gemm/Engine.h"
+#include "gemm/RefGemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+using namespace gemm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Storage conversion (the single f16/bf16 <-> f32 definition)
+//===----------------------------------------------------------------------===//
+
+TEST(PrecisionTest, F16ConversionRoundTrips) {
+  // Exactly representable values survive the round trip bit-for-bit.
+  for (float F : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 1024.0f, 65504.0f,
+                  -65504.0f, 6.103515625e-05f /* min normal */}) {
+    EXPECT_EQ(f16ToF32(f32ToF16(F)), F) << F;
+  }
+  // Round-to-nearest-even at the halfway point: 1 + 2^-11 is exactly
+  // between 1.0 and the next f16 (1 + 2^-10); ties go to the even
+  // mantissa, i.e. down to 1.0.
+  EXPECT_EQ(f16ToF32(f32ToF16(1.0f + 0x1p-11f)), 1.0f);
+  // Just above the tie rounds up.
+  EXPECT_EQ(f16ToF32(f32ToF16(1.0f + 0x1p-11f + 0x1p-20f)), 1.0f + 0x1p-10f);
+  // Overflow saturates to infinity; NaN stays NaN.
+  EXPECT_TRUE(std::isinf(f16ToF32(f32ToF16(1e6f))));
+  EXPECT_TRUE(std::isnan(f16ToF32(f32ToF16(std::nanf("")))));
+  // Subnormal f16: 2^-24 is the smallest positive value.
+  EXPECT_EQ(f16ToF32(f32ToF16(0x1p-24f)), 0x1p-24f);
+}
+
+TEST(PrecisionTest, Bf16ConversionRoundTrips) {
+  for (float F : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 3.0f, 1e30f, -1e-30f}) {
+    // bf16 -> f32 is exact (top half of the f32 pattern), so anything with
+    // <= 7 mantissa bits round-trips.
+    if (F == 1e30f || F == -1e-30f)
+      continue;
+    EXPECT_EQ(bf16ToF32(f32ToBf16(F)), F) << F;
+  }
+  // RNE tie: 1 + 2^-8 sits between 1.0 and 1 + 2^-7; even goes down.
+  EXPECT_EQ(bf16ToF32(f32ToBf16(1.0f + 0x1p-8f)), 1.0f);
+  EXPECT_EQ(bf16ToF32(f32ToBf16(1.0f + 0x1p-8f + 0x1p-16f)), 1.0f + 0x1p-7f);
+  EXPECT_TRUE(std::isnan(bf16ToF32(f32ToBf16(std::nanf("")))));
+}
+
+//===----------------------------------------------------------------------===//
+// Differential suite
+//===----------------------------------------------------------------------===//
+
+/// Fills \p Bytes of \p Ty storage with values drawn in the dtype's
+/// comfortable range: [-1, 1) rounded to storage for the float types,
+/// [-128, 127] for i8.
+void fillStorage(DType Ty, void *P, size_t Elems, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  if (Ty == DType::I8I32) {
+    std::uniform_int_distribution<int> D(-128, 127);
+    int8_t *I = static_cast<int8_t *>(P);
+    for (size_t X = 0; X != Elems; ++X)
+      I[X] = static_cast<int8_t>(D(Rng));
+    return;
+  }
+  std::uniform_real_distribution<float> D(-1.0f, 1.0f);
+  if (Ty == DType::F32) {
+    float *F = static_cast<float *>(P);
+    for (size_t X = 0; X != Elems; ++X)
+      F[X] = D(Rng);
+    return;
+  }
+  uint16_t *H = static_cast<uint16_t *>(P);
+  for (size_t X = 0; X != Elems; ++X)
+    H[X] = Ty == DType::F16 ? f32ToF16(D(Rng)) : f32ToBf16(D(Rng));
+}
+
+/// Seeds C storage (including the i32 output for I8I32).
+void fillOut(DType Ty, void *P, size_t Elems, unsigned Seed) {
+  if (Ty != DType::I8I32)
+    return fillStorage(Ty, P, Elems, Seed);
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<int> D(-1000, 1000);
+  int32_t *I = static_cast<int32_t *>(P);
+  for (size_t X = 0; X != Elems; ++X)
+    I[X] = D(Rng);
+}
+
+/// Storage-rounding unit for the ULP-bounded comparisons.
+float storageEps(DType Ty) { return Ty == DType::F16 ? 0x1p-10f : 0x1p-7f; }
+
+/// Compares engine output against the typed oracle per the dtype contract.
+void expectMatches(DType Ty, const void *Got, const void *Want,
+                   int64_t Elems, int64_t K, const char *What) {
+  if (Ty == DType::I8I32) {
+    EXPECT_EQ(0, std::memcmp(Got, Want, Elems * sizeof(int32_t))) << What;
+    return;
+  }
+  if (Ty == DType::F32) {
+    // Same kernels, same blocking as sgemm: held to the f32 tolerance the
+    // rest of the suite uses (double-accumulating oracle vs f32 FMAs).
+    const float *G = static_cast<const float *>(Got);
+    const float *W = static_cast<const float *>(Want);
+    for (int64_t X = 0; X != Elems; ++X)
+      ASSERT_NEAR(G[X], W[X], 1e-4f * static_cast<float>(K) + 1e-5f)
+          << What << " elem " << X;
+    return;
+  }
+  // f16/bf16: the engine rounds to storage once per Kc depth block, the
+  // oracle once at the end; each rounding moves the value by at most half
+  // a storage ULP, and the f32-vs-double accumulation adds K ulps of f32
+  // noise (negligible at these K). A few storage ULPs of headroom covers
+  // every legal blocking.
+  const uint16_t *G = static_cast<const uint16_t *>(Got);
+  const uint16_t *W = static_cast<const uint16_t *>(Want);
+  const float Eps = storageEps(Ty);
+  for (int64_t X = 0; X != Elems; ++X) {
+    float Gf = Ty == DType::F16 ? f16ToF32(G[X]) : bf16ToF32(G[X]);
+    float Wf = Ty == DType::F16 ? f16ToF32(W[X]) : bf16ToF32(W[X]);
+    ASSERT_NEAR(Gf, Wf, 4.0f * Eps * (1.0f + std::fabs(Wf)))
+        << What << " elem " << X;
+  }
+}
+
+struct Shape {
+  int64_t M, N, K;
+};
+
+void runDifferential(DType Ty) {
+  const Shape Shapes[] = {{17, 13, 19}, {64, 48, 96}, {33, 130, 65}};
+  for (int64_t Threads : {int64_t{1}, int64_t{4}}) {
+    EngineConfig Cfg;
+    Cfg.Threads = Threads;
+    Engine E(Cfg);
+    for (const Shape &S : Shapes)
+      for (Trans TA : {Trans::None, Trans::Transpose})
+        for (Trans TB : {Trans::None, Trans::Transpose}) {
+          const int64_t ARows = TA == Trans::None ? S.M : S.K;
+          const int64_t BRows = TB == Trans::None ? S.K : S.N;
+          const unsigned InB = dtypeInBytes(Ty), OutB = dtypeOutBytes(Ty);
+          std::vector<unsigned char> A(S.M * S.K * InB),
+              B(S.K * S.N * InB), C0(S.M * S.N * OutB);
+          fillStorage(Ty, A.data(), S.M * S.K, 101);
+          fillStorage(Ty, B.data(), S.K * S.N, 202);
+          fillOut(Ty, C0.data(), S.M * S.N, 303);
+          // Integer scales so the same (alpha, beta) is legal for I8I32.
+          const double Alpha = 1.0, Beta = Ty == DType::I8I32 ? 2.0 : 1.0;
+          std::vector<unsigned char> CGot = C0, CWant = C0;
+          exo::Error Err =
+              E.gemm(Ty, TA, TB, S.M, S.N, S.K, Alpha, A.data(), ARows,
+                     B.data(), BRows, Beta, CGot.data(), S.M);
+          ASSERT_FALSE(Err) << Err.message();
+          refGemmT(Ty, TA, TB, S.M, S.N, S.K, Alpha, A.data(), ARows,
+                   B.data(), BRows, Beta, CWant.data(), S.M);
+          std::string What = std::string(dtypeName(Ty)) + " " +
+                             std::to_string(S.M) + "x" +
+                             std::to_string(S.N) + "x" +
+                             std::to_string(S.K) + " TA=" +
+                             std::to_string(TA == Trans::Transpose) +
+                             " TB=" +
+                             std::to_string(TB == Trans::Transpose) +
+                             " threads=" + std::to_string(Threads);
+          expectMatches(Ty, CGot.data(), CWant.data(), S.M * S.N, S.K,
+                        What.c_str());
+        }
+  }
+}
+
+TEST(PrecisionTest, DifferentialF32) { runDifferential(DType::F32); }
+TEST(PrecisionTest, DifferentialF16) { runDifferential(DType::F16); }
+TEST(PrecisionTest, DifferentialBf16) { runDifferential(DType::BF16); }
+TEST(PrecisionTest, DifferentialI8) { runDifferential(DType::I8I32); }
+
+//===----------------------------------------------------------------------===//
+// The f32 door moved nothing
+//===----------------------------------------------------------------------===//
+
+TEST(PrecisionTest, F32DoorIsBitwiseSgemm) {
+  Engine E;
+  for (const Shape &S : {Shape{31, 29, 37}, Shape{128, 96, 64}}) {
+    std::vector<float> A(S.M * S.K), B(S.K * S.N), C0(S.M * S.N);
+    fillStorage(DType::F32, A.data(), A.size(), 7);
+    fillStorage(DType::F32, B.data(), B.size(), 8);
+    fillStorage(DType::F32, C0.data(), C0.size(), 9);
+    std::vector<float> CTyped = C0, CF32 = C0;
+    exo::Error E1 = E.gemm(DType::F32, Trans::None, Trans::None, S.M, S.N,
+                           S.K, 1.25, A.data(), S.M, B.data(), S.K, 0.75,
+                           CTyped.data(), S.M);
+    ASSERT_FALSE(E1) << E1.message();
+    exo::Error E2 = E.sgemm(S.M, S.N, S.K, 1.25f, A.data(), S.M, B.data(),
+                            S.K, 0.75f, CF32.data(), S.M);
+    ASSERT_FALSE(E2) << E2.message();
+    EXPECT_EQ(0, std::memcmp(CTyped.data(), CF32.data(),
+                             CTyped.size() * sizeof(float)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Int8 edges
+//===----------------------------------------------------------------------===//
+
+TEST(PrecisionTest, Int8WraparoundMatchesReference) {
+  // 127 * 127 * 140000 = 2.258e9 > 2^31: the accumulator wraps. The
+  // engine's contract is two's-complement wraparound, exactly what the
+  // uint32-detour oracle computes.
+  const int64_t M = 1, N = 1, K = 140000;
+  std::vector<int8_t> A(K, 127), B(K, 127);
+  int32_t CGot = 0, CWant = 0;
+  Engine E;
+  exo::Error Err = E.gemm(DType::I8I32, Trans::None, Trans::None, M, N, K,
+                          1.0, A.data(), M, B.data(), K, 0.0, &CGot, M);
+  ASSERT_FALSE(Err) << Err.message();
+  refGemmT(DType::I8I32, Trans::None, Trans::None, M, N, K, 1.0, A.data(),
+           M, B.data(), K, 0.0, &CWant, M);
+  EXPECT_EQ(CGot, CWant);
+  EXPECT_LT(CWant, 0) << "expected the accumulator to wrap negative";
+}
+
+TEST(PrecisionTest, Int8ExtremesExact) {
+  // The full corner set, including -128 whose product with itself (16384)
+  // stresses the widening multiply.
+  const int64_t M = 8, N = 8, K = 64;
+  std::vector<int8_t> A(M * K), B(K * N);
+  const int8_t Vals[] = {-128, -127, -1, 0, 1, 127};
+  for (size_t X = 0; X != A.size(); ++X)
+    A[X] = Vals[X % 6];
+  for (size_t X = 0; X != B.size(); ++X)
+    B[X] = Vals[(X * 5 + 3) % 6];
+  std::vector<int32_t> CGot(M * N, 11), CWant(M * N, 11);
+  Engine E;
+  exo::Error Err = E.gemm(DType::I8I32, Trans::None, Trans::None, M, N, K,
+                          -3.0, A.data(), M, B.data(), K, 5.0, CGot.data(),
+                          M);
+  ASSERT_FALSE(Err) << Err.message();
+  refGemmT(DType::I8I32, Trans::None, Trans::None, M, N, K, -3.0, A.data(),
+           M, B.data(), K, 5.0, CWant.data(), M);
+  EXPECT_EQ(0, std::memcmp(CGot.data(), CWant.data(),
+                           CGot.size() * sizeof(int32_t)));
+}
+
+TEST(PrecisionTest, Int8RejectsFractionalScales) {
+  const int64_t M = 4, N = 4, K = 4;
+  std::vector<int8_t> A(M * K, 1), B(K * N, 1);
+  std::vector<int32_t> C(M * N, 0);
+  Engine E;
+  EXPECT_TRUE(bool(E.gemm(DType::I8I32, Trans::None, Trans::None, M, N, K,
+                          0.5, A.data(), M, B.data(), K, 0.0, C.data(), M)));
+  EXPECT_TRUE(bool(E.gemm(DType::I8I32, Trans::None, Trans::None, M, N, K,
+                          1.0, A.data(), M, B.data(), K, 0.25, C.data(),
+                          M)));
+  // Integer-valued doubles are fine.
+  exo::Error Ok = E.gemm(DType::I8I32, Trans::None, Trans::None, M, N, K,
+                         2.0, A.data(), M, B.data(), K, -1.0, C.data(), M);
+  EXPECT_FALSE(Ok) << Ok.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Degenerate typed calls
+//===----------------------------------------------------------------------===//
+
+TEST(PrecisionTest, TypedBetaZeroOverwritesGarbage) {
+  // Beta == 0 must not read C: storage full of NaN bit patterns comes out
+  // as the clean product (BLAS semantics in storage type).
+  const int64_t M = 6, N = 5, K = 0;
+  for (DType Ty : {DType::F16, DType::BF16}) {
+    std::vector<uint16_t> C(M * N, 0x7e00); // f16 NaN; also a bf16 NaN
+    Engine E;
+    exo::Error Err = E.gemm(Ty, Trans::None, Trans::None, M, N, K, 1.0,
+                            nullptr, M, nullptr, 1, 0.0, C.data(), M);
+    ASSERT_FALSE(Err) << Err.message();
+    for (uint16_t V : C)
+      EXPECT_EQ(V, 0);
+  }
+  std::vector<int32_t> Ci(M * N, -777);
+  Engine E;
+  exo::Error Err = E.gemm(DType::I8I32, Trans::None, Trans::None, M, N, K,
+                          1.0, nullptr, M, nullptr, 1, 0.0, Ci.data(), M);
+  ASSERT_FALSE(Err) << Err.message();
+  for (int32_t V : Ci)
+    EXPECT_EQ(V, 0);
+}
+
+} // namespace

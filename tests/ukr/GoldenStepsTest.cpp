@@ -16,8 +16,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "ukr/UkrSchedule.h"
+#include "ukr/UkrSpec.h"
 
 #include "exo/ir/Printer.h"
+#include "exo/sched/Schedule.h"
 #include "exo/support/Str.h"
 
 #include <gtest/gtest.h>
@@ -109,4 +111,32 @@ TEST(GoldenStepsTest, Fig11FinalIr) {
 
 TEST(GoldenStepsTest, Fig3GeneratedC) {
   checkGolden("fig03_kernel.c", neon8x12().CSource);
+}
+
+// §III-D: set_precision retypes the accumulator of the all-bf16 spec to
+// f32 — the widened dot-product convention (UkrConfig::WidenAcc). The
+// reduce's rhs reads only Ac/Bc, so the rewrite is type-consistent; the
+// golden pins the retyped IR, and the equivalence check pins the stronger
+// property that the rewrite lands exactly on the spec the generator
+// builds natively with makeUkernelRef(BF16, F32).
+TEST(GoldenStepsTest, SetPrecisionBf16) {
+  Proc Spec = makeUkernelRef(ScalarKind::BF16);
+  auto Eval = partialEval(Spec, {{"MR", 8}, {"NR", 12}});
+  ASSERT_TRUE(bool(Eval)) << Eval.message();
+  auto Widened = setPrecision(*Eval, "C", ScalarKind::F32);
+  ASSERT_TRUE(bool(Widened)) << Widened.message();
+  checkGolden("set_precision_bf16.ir", printProc(*Widened));
+
+  auto Native =
+      partialEval(makeUkernelRef(ScalarKind::BF16, ScalarKind::F32),
+                  {{"MR", 8}, {"NR", 12}});
+  ASSERT_TRUE(bool(Native)) << Native.message();
+  EXPECT_EQ(printProc(*Widened), printProc(*Native))
+      << "set_precision drifted from the natively typed spec";
+
+  // Retyping one multiplicand alone must be refused: the reduce's rhs
+  // would mix bf16 and f32 in a single expression, and the IR has no
+  // implicit-cast node to paper over it.
+  auto Mixed = setPrecision(*Native, "Ac", ScalarKind::F16);
+  EXPECT_FALSE(bool(Mixed));
 }

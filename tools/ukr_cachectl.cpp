@@ -47,6 +47,11 @@
 //   tune:  --shape/--model as warm, --budget N (candidates per shape),
 //          --seconds S (per-candidate time), --threads N, --min-margin F
 //          (relative improvement required to store a winner)
+//   plan/tune/warm: --dtype f32|f16|bf16|i8 (default f32) — plan and warm
+//          the typed engine path / store dtype-keyed tuning records
+//          (docs/PRECISION.md). i8 tune is rejected (fixed scalar tile);
+//          non-f32 family warm needs --shape/--model (the fixed family is
+//          an f32 notion).
 //   priors prune: --keep-foreign (keep other machines' records),
 //          --max-records N (cap record count)
 //
@@ -79,16 +84,18 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--dir PATH] list\n"
                "       %s [--dir PATH] warm [--mr N] [--nr N] [--full] "
-               "[--jobs N] [--shape MxNxK]... [--model resnet|vgg]\n"
+               "[--jobs N] [--shape MxNxK]... [--model resnet|vgg] "
+               "[--dtype f32|f16|bf16|i8]\n"
                "       %s [--dir PATH] prune [--max-bytes N]\n"
                "       %s [--dir PATH] verify [--fix]\n"
                "       %s [--dir PATH] stats [--json]\n"
                "       %s [--db PATH] tune [--shape MxNxK]... "
                "[--model resnet|vgg] [--budget N] [--seconds S] "
-               "[--threads N] [--min-margin F]\n"
+               "[--threads N] [--min-margin F] [--dtype f32|f16|bf16]\n"
                "       %s [--db PATH] priors list|verify|prune "
                "[--keep-foreign] [--max-records N]\n"
-               "       %s [--db PATH] plan [--shape MxNxK]...\n",
+               "       %s [--db PATH] plan [--shape MxNxK]... "
+               "[--dtype f32|f16|bf16|i8]\n",
                Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
 }
 
@@ -124,10 +131,16 @@ struct Problem {
 };
 
 int cmdWarm(int64_t MR, int64_t NR, bool Full, unsigned Jobs,
-            const std::vector<Problem> &Problems) {
+            const std::vector<Problem> &Problems, gemm::DType Ty) {
   if (MR < 1 || NR < 1) {
     std::fprintf(stderr, "warm: --mr/--nr must be positive (got %lldx%lld)\n",
                  static_cast<long long>(MR), static_cast<long long>(NR));
+    return 2;
+  }
+  if (Ty != gemm::DType::F32 && Problems.empty()) {
+    std::fprintf(stderr, "warm: --dtype %s needs --shape/--model (the fixed "
+                         "shape family is an f32 notion)\n",
+                 gemm::dtypeName(Ty));
     return 2;
   }
   JitDiskCache &DC = JitDiskCache::global();
@@ -149,7 +162,8 @@ int cmdWarm(int64_t MR, int64_t NR, bool Full, unsigned Jobs,
     for (const Problem &P : Problems) {
       std::printf("plan %lldx%lldx%lld:", static_cast<long long>(P.M),
                   static_cast<long long>(P.N), static_cast<long long>(P.K));
-      for (const ukr::UkrConfig &Cfg : gemm::planKernelFamily(P.M, P.N, P.K)) {
+      for (const ukr::UkrConfig &Cfg :
+           gemm::planKernelFamily(P.M, P.N, P.K, Ty)) {
         std::printf(" %lldx%lld", static_cast<long long>(Cfg.MR),
                     static_cast<long long>(Cfg.NR));
         if (Seen.insert(Cfg.kernelName()).second)
@@ -236,6 +250,13 @@ int cmdStats(bool JsonOut) {
     Plan.set("plans_prior", static_cast<int64_t>(ES.PlansFromPrior));
     Plan.set("plans_tuned", static_cast<int64_t>(ES.PlansFromTuned));
     Plan.set("prior_rejected", static_cast<int64_t>(ES.PriorRejected));
+    // Live cache composition by dtype (a gauge, not a counter): how many
+    // of the currently cached plans belong to each precision.
+    benchutil::Json ByDtype = benchutil::Json::object();
+    for (unsigned D = 0; D != gemm::DTypeCount; ++D)
+      ByDtype.set(gemm::dtypeName(static_cast<gemm::DType>(D)),
+                  static_cast<int64_t>(ES.PlansByDtype[D]));
+    Plan.set("plans_by_dtype", std::move(ByDtype));
     benchutil::Json Jit = benchutil::Json::object();
     Jit.set("hits", static_cast<int64_t>(US.Hits));
     Jit.set("misses", static_cast<int64_t>(US.Misses));
@@ -313,6 +334,12 @@ int cmdStats(bool JsonOut) {
               static_cast<unsigned long long>(ES.PlansFromPrior),
               static_cast<unsigned long long>(ES.PlansFromTuned),
               static_cast<unsigned long long>(ES.PriorRejected));
+  std::printf("plans live:  ");
+  for (unsigned D = 0; D != gemm::DTypeCount; ++D)
+    std::printf("%s%llu %s", D ? ", " : "",
+                static_cast<unsigned long long>(ES.PlansByDtype[D]),
+                gemm::dtypeName(static_cast<gemm::DType>(D)));
+  std::printf("\n");
   gemm::PriorDb::Stats PS = gemm::PriorDb::stats();
   std::printf("prior db:    %llu lookup(s), %llu exact / %llu class hit(s), "
               "%llu machine mismatch(es), %llu corrupt seen, root %s%s\n",
@@ -453,18 +480,20 @@ int cmdPriors(const std::string &Action, bool KeepForeign,
   return 2;
 }
 
-int cmdPlan(const std::vector<Problem> &Problems) {
+int cmdPlan(const std::vector<Problem> &Problems, gemm::DType Ty) {
   if (Problems.empty()) {
     std::fprintf(stderr, "plan: name at least one --shape\n");
     return 2;
   }
   for (const Problem &P : Problems) {
     gemm::PlanOutcome Out;
-    gemm::PlanChoice C = gemm::choosePlan(P.M, P.N, P.K, nullptr, "", &Out);
-    std::printf("plan %lldx%lldx%lld: tile %lldx%lld source %s",
+    gemm::PlanChoice C =
+        gemm::choosePlan(P.M, P.N, P.K, nullptr, "", &Out, Ty);
+    std::printf("plan %lldx%lldx%lld (%s): tile %lldx%lld source %s",
                 static_cast<long long>(P.M), static_cast<long long>(P.N),
-                static_cast<long long>(P.K), static_cast<long long>(C.MR),
-                static_cast<long long>(C.NR), C.Source);
+                static_cast<long long>(P.K), gemm::dtypeName(Ty),
+                static_cast<long long>(C.MR), static_cast<long long>(C.NR),
+                C.Source);
     if (C.Blocks)
       std::printf(" blocks %s", C.Blocks->describe().c_str());
     if (C.UnrollCompute)
@@ -488,6 +517,7 @@ int main(int Argc, char **Argv) {
   uint64_t MaxBytes = JitDiskCache::configuredMaxBytes();
   int64_t MaxRecords = 0;
   std::vector<Problem> Problems;
+  gemm::DType Dtype = gemm::DType::F32;
   gemm::TuneOptions Tune = gemm::tuneOptionsFromEnv();
 
   for (int I = 1; I < Argc; ++I) {
@@ -524,6 +554,11 @@ int main(int Argc, char **Argv) {
       }
     } else if (const char *V = Value("--min-margin")) {
       Tune.MinMargin = std::atof(V);
+    } else if (const char *V = Value("--dtype")) {
+      if (!gemm::parseDType(V, Dtype)) {
+        std::fprintf(stderr, "--dtype: '%s' is not f32|f16|bf16|i8\n", V);
+        return 2;
+      }
     } else if (const char *V = Value("--max-records")) {
       MaxRecords = std::atoll(V);
       if (MaxRecords < 0) {
@@ -592,10 +627,11 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  Tune.Dtype = Dtype;
   if (Cmd == "list")
     return cmdList();
   if (Cmd == "warm")
-    return cmdWarm(MR, NR, Full, Jobs, Problems);
+    return cmdWarm(MR, NR, Full, Jobs, Problems, Dtype);
   if (Cmd == "prune")
     return cmdPrune(MaxBytes);
   if (Cmd == "verify")
@@ -607,7 +643,7 @@ int main(int Argc, char **Argv) {
   if (Cmd == "priors")
     return cmdPriors(Sub, KeepForeign, MaxRecords);
   if (Cmd == "plan")
-    return cmdPlan(Problems);
+    return cmdPlan(Problems, Dtype);
   usage(Argv[0]);
   return 2;
 }
